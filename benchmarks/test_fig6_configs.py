@@ -1,0 +1,105 @@
+"""Regenerates Figure 6: the autotuned-configuration summary table.
+
+Paper claims checked:
+
+* the three machines get *different* configurations for (nearly)
+  every benchmark;
+* Sort never maps its main sorting routine to OpenCL;
+* the Tridiagonal Solver only uses cyclic reduction on Desktop;
+* Server never selects a local-memory kernel variant;
+* Poisson's iteration phase runs on the GPU exactly on the machines
+  with a discrete GPU.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.fig6_configs import Fig6Row, render_fig6, run_fig6
+from repro.experiments.runner import DEFAULT_SEED, tuned_session
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER, standard_machines
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_fig6(seed=DEFAULT_SEED)
+
+
+def by_benchmark(rows, name):
+    return {row.machine: row for row in rows if row.benchmark == name}
+
+
+def test_fig6_regeneration(rows, benchmark, capsys):
+    text = once(benchmark, lambda: render_fig6(rows))
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+def test_configurations_differ_between_machines(rows, benchmark):
+    """The crux of the paper: one configuration does not fit all."""
+    def differing():
+        count = 0
+        for spec_name in {row.benchmark for row in rows}:
+            summaries = {row.as_text() for row in rows
+                         if row.benchmark == spec_name}
+            if len(summaries) > 1:
+                count += 1
+        return count
+
+    assert once(benchmark, differing) >= 5
+
+
+def test_sort_never_uses_opencl_for_sorting(rows, benchmark):
+    """'None of the tuned configurations choose to use OpenCL in the
+    main sorting routine.'"""
+    sort_rows = once(benchmark, lambda: by_benchmark(rows, "Sort"))
+    for row in sort_rows.values():
+        assert "opencl" not in row.summary["SortInPlace"].lower()
+
+
+def test_tridiagonal_cyclic_reduction_only_on_desktop(rows, benchmark):
+    """'Cyclic reduction is the best algorithm for Desktop when using
+    the GPU ... otherwise run the sequential algorithm.'"""
+    tri = once(benchmark, lambda: by_benchmark(rows, "Tridiagonal Solver"))
+    assert "cyclic_reduction/opencl" in tri["Desktop"].summary["TridiagonalSolve"]
+    assert "thomas_direct/cpu" in tri["Server"].summary["TridiagonalSolve"]
+    assert "thomas_direct/cpu" in tri["Laptop"].summary["TridiagonalSolve"]
+
+
+def test_server_never_selects_local_memory(rows, benchmark):
+    """The CPU OpenCL runtime's caches make explicit prefetch a loss."""
+    server_rows = once(
+        benchmark, lambda: [row for row in rows if row.machine == "Server"]
+    )
+    for row in server_rows:
+        assert "opencl_local" not in row.as_text()
+
+
+def test_poisson_iterations_on_gpu_only_with_discrete_gpu(rows, benchmark):
+    poisson = once(benchmark, lambda: by_benchmark(rows, "Poisson2D SOR"))
+    assert "opencl" in poisson["Desktop"].summary["SORIteration"]
+    assert "opencl" in poisson["Laptop"].summary["SORIteration"]
+    assert "opencl_local" not in poisson["Server"].summary["SORIteration"]
+
+
+def test_strassen_uses_gpu_only_on_desktop(rows, benchmark):
+    """'OpenCL is used in the Desktop configuration, and C++/LAPACK
+    in the Server and Laptop configurations.'"""
+    strassen = once(benchmark, lambda: by_benchmark(rows, "Strassen"))
+    assert "opencl" in strassen["Desktop"].summary["MatMul"]
+    assert "opencl" not in strassen["Server"].summary["MatMul"]
+    assert "opencl" not in strassen["Laptop"].summary["MatMul"]
+
+
+def test_svd_matmul_differs_from_strassen_in_isolation(rows, benchmark):
+    """'The best configurations of the same sub-program in different
+    applications vary on the same system': on Desktop, MatMul inside
+    SVD stays on the CPU while Strassen-in-isolation uses the GPU."""
+    def pair():
+        svd = by_benchmark(rows, "SVD")["Desktop"].summary["MatMul"]
+        strassen = by_benchmark(rows, "Strassen")["Desktop"].summary["MatMul"]
+        return svd, strassen
+
+    svd_choice, strassen_choice = once(benchmark, pair)
+    assert "opencl" in strassen_choice
+    assert "opencl" not in svd_choice

@@ -1,0 +1,131 @@
+"""Regenerates Figure 7(a)-(g): configuration migration across
+machines, normalised to the natively autotuned configuration.
+
+Shape claims checked per panel (paper Section 6.2):
+
+* the natively tuned configuration is never beaten by a migrated one
+  (within a small tolerance for scheduling noise);
+* Black-Scholes: CPU-only is the worst configuration everywhere, and
+  the Laptop configuration (CPU/GPU split) slows the big machines;
+* Sort: the GPU-only bitonic configuration is 2-5x slower than native
+  on every machine;
+* Strassen: the Laptop configuration suffers a large slowdown on
+  Desktop (the paper's 16.5x headline; our substrate reproduces the
+  direction with a smaller factor — see EXPERIMENTS.md);
+* Tridiagonal: the Desktop (cyclic reduction) configuration loses on
+  the other two machines.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.fig7_migration import PANELS, run_fig7_panel
+from repro.experiments.runner import ExperimentSettings
+
+#: Tolerance for "native config is best": migrated configurations may
+#: tie (e.g. two machines tuned to the same choice).
+NATIVE_TOLERANCE = 1.02
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings.from_environment()
+
+
+@pytest.fixture(scope="module")
+def panels(settings):
+    return {name: run_fig7_panel(name, settings) for name in PANELS}
+
+
+def test_fig7_print_all_panels(panels, benchmark, capsys):
+    rendered = once(benchmark, lambda: [p.render() for p in panels.values()])
+    with capsys.disabled():
+        print()
+        for text in rendered:
+            print(text)
+            print()
+
+
+@pytest.mark.parametrize("name", list(PANELS))
+def test_native_config_is_best(panels, name, benchmark):
+    panel = once(benchmark, lambda: panels[name])
+    for machine in ("Desktop", "Server", "Laptop"):
+        native = panel.normalized[f"{machine} Config"][machine]
+        assert native == pytest.approx(1.0)
+        for label, per_machine in panel.normalized.items():
+            assert per_machine[machine] >= 1.0 / NATIVE_TOLERANCE, (
+                f"{name}: {label} beat the native config on {machine}"
+            )
+
+
+def test_fig7a_blackscholes(panels, benchmark):
+    panel = once(benchmark, lambda: panels["Black-Sholes"])
+    # CPU-only loses heavily to the native configuration everywhere
+    # (the paper: an order of magnitude on Desktop/Server, ~4x Laptop).
+    for machine in ("Desktop", "Server", "Laptop"):
+        assert panel.normalized["CPU-only Config"][machine] > 2.5
+    # The Laptop's split configuration hurts machines with fast GPUs
+    # (the paper reports ~7x on the other two systems).
+    assert panel.slowdown("Laptop", "Server") > 2.0
+    assert panel.slowdown("Laptop", "Desktop") > 1.5
+
+
+def test_fig7b_poisson(panels, benchmark):
+    panel = once(benchmark, lambda: panels["Poisson2D SOR"])
+    # CPU-only loses on the discrete-GPU machines.
+    assert panel.normalized["CPU-only Config"]["Desktop"] > 1.2
+    assert panel.normalized["CPU-only Config"]["Laptop"] > 1.2
+    # Desktop and Server disagree about the best backend placement.
+    assert panel.slowdown("Desktop", "Server") > 1.1
+
+
+def test_fig7c_convolution(panels, benchmark):
+    panel = once(benchmark, lambda: panels["SeparableConv."])
+    # The Server configuration (no local memory) loses on the GPU
+    # machines; the GPU configurations lose on Server.
+    assert panel.slowdown("Server", "Desktop") > 1.2
+    assert panel.slowdown("Desktop", "Server") > 1.2
+    # Hand-coded OpenCL baseline: ours is faster (paper: 2.3x).
+    native = panel.native_time("Desktop")
+    assert panel.handcoded > native
+
+
+def test_fig7d_sort(panels, benchmark):
+    panel = once(benchmark, lambda: panels["Sort"])
+    # GPU-only bitonic: 1.9x-5.2x slower than native in the paper.
+    for machine in ("Desktop", "Server", "Laptop"):
+        slowdown = panel.normalized["GPU-only Config"][machine]
+        assert slowdown > 1.8, f"GPU-only only {slowdown:.2f}x on {machine}"
+    # Hand-coded radix on the GPU is worse than the native CPU sort.
+    assert panel.handcoded > panel.native_time("Desktop")
+
+
+def test_fig7e_strassen(panels, benchmark):
+    panel = once(benchmark, lambda: panels["Strassen"])
+    # The headline: migrating the Laptop configuration to Desktop
+    # costs a large factor (paper: 16.5x; shape reproduced).
+    assert panel.slowdown("Laptop", "Desktop") > 1.5
+    # And the Desktop (GPU) configuration is disastrous on Server.
+    assert panel.slowdown("Desktop", "Server") > 3.0
+
+
+def test_fig7f_svd(panels, benchmark):
+    panel = once(benchmark, lambda: panels["SVD"])
+    # Migration effects exist but are the mildest of the suite
+    # (paper's panel tops out around 2x).
+    worst = max(
+        panel.normalized[label][machine]
+        for label in ("Desktop Config", "Server Config", "Laptop Config")
+        for machine in ("Desktop", "Server", "Laptop")
+    )
+    assert 1.0 <= worst < 10.0
+
+
+def test_fig7g_tridiagonal(panels, benchmark):
+    panel = once(benchmark, lambda: panels["Tridiagonal Solver"])
+    # Desktop's cyclic-reduction configuration loses off-Desktop.
+    assert panel.slowdown("Desktop", "Server") > 1.1
+    assert panel.slowdown("Desktop", "Laptop") > 1.1
+    # Server and Laptop agree (both use the sequential direct solve),
+    # and that configuration is mildly slower on Desktop.
+    assert panel.slowdown("Server", "Desktop") >= 1.0

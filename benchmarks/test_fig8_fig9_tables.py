@@ -1,0 +1,76 @@
+"""Regenerates the Figure 8 (benchmark properties) and Figure 9
+(test systems) tables."""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.fig8_properties import render_fig8, run_fig8
+from repro.experiments.fig9_machines import fig9_rows, render_fig9
+from repro.experiments.runner import DEFAULT_SEED
+
+
+@pytest.fixture(scope="module")
+def fig8_rows():
+    return run_fig8(seed=DEFAULT_SEED, tune=True)
+
+
+def test_fig8_regeneration(fig8_rows, benchmark, capsys):
+    text = once(benchmark, lambda: render_fig8(fig8_rows))
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+def test_fig8_row_count_and_sizes(fig8_rows, benchmark):
+    rows = once(benchmark, lambda: fig8_rows)
+    assert len(rows) == 7
+    sizes = {row.name: row.testing_size for row in rows}
+    # The paper's testing input sizes (Figure 8).
+    assert sizes["Black-Sholes"] == 500_000
+    assert sizes["Poisson2D SOR"] == 2048
+    assert sizes["SeparableConv."] == 3520
+    assert sizes["Sort"] == 2**20
+    assert sizes["Strassen"] == 1024
+    assert sizes["SVD"] == 256
+    assert sizes["Tridiagonal Solver"] == 1024
+
+
+def test_fig8_config_spaces_enormous(fig8_rows, benchmark):
+    """Configuration spaces range from 10^130 to 10^2435 in the paper;
+    ours are smaller in absolute exponent but share the structure:
+    every benchmark's space is astronomically large, and multi-
+    transform benchmarks (SVD, Sort) dwarf single-kernel ones
+    (Black-Scholes)."""
+    rows = once(benchmark, lambda: {r.name: r for r in fig8_rows})
+    for row in rows.values():
+        assert row.log10_configs > 20
+    assert rows["SVD"].log10_configs > rows["Black-Sholes"].log10_configs
+    assert rows["Sort"].log10_configs > rows["Black-Sholes"].log10_configs
+
+
+def test_fig8_kernel_counts(fig8_rows, benchmark):
+    """'Our system automatically creates up to 25 OpenCL kernels per
+    benchmark'; Black-Scholes generates exactly one."""
+    rows = once(benchmark, lambda: {r.name: r for r in fig8_rows})
+    assert rows["Black-Sholes"].kernels == 1
+    for row in rows.values():
+        assert 1 <= row.kernels <= 25
+
+
+def test_fig8_tuning_time_reflects_compiles(fig8_rows, benchmark):
+    """Kernel compiles are a large share of autotuning time for the
+    OpenCL-heavy benchmarks (Section 5.4)."""
+    rows = once(benchmark, lambda: {r.name: r for r in fig8_rows})
+    for row in rows.values():
+        assert row.mean_tuning_time_s > 0
+        assert row.compile_time_s > 0
+
+
+def test_fig9_regeneration(benchmark, capsys):
+    text = once(benchmark, render_fig9)
+    with capsys.disabled():
+        print()
+        print(text)
+    rows = fig9_rows()
+    assert [row[0] for row in rows] == ["Desktop", "Server", "Laptop"]
+    assert rows[0][2] == "4" and rows[1][2] == "32" and rows[2][2] == "2"

@@ -1,0 +1,40 @@
+"""Full-scale smoke: every benchmark at the paper's exact testing
+input size (Figure 8), running its natively tuned Desktop
+configuration with numerical validation.
+
+The rest of the suite defaults to reduced sizes for wall-clock
+reasons; this file always uses the paper sizes, proving the
+full-scale path works end to end.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.apps.registry import all_benchmarks
+from repro.apps.registry import benchmark as benchmark_spec
+from repro.experiments.runner import DEFAULT_SEED, tuned_session
+from repro.hardware.machines import DESKTOP
+from repro.runtime.executor import run_program
+
+NAMES = [spec.name for spec in all_benchmarks()]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_full_scale_run(name, benchmark):
+    spec = benchmark_spec(name)
+    session = tuned_session(name, DESKTOP, DEFAULT_SEED)
+
+    def run():
+        env = spec.make_env(spec.testing_size, seed=0)
+        result = run_program(session.compiled, session.report.best, env, seed=1)
+        return env, result
+
+    env, result = once(benchmark, run)
+    assert result.time_s > 0
+    if spec.reference is not None:
+        np.testing.assert_allclose(
+            env[spec.output_name], spec.reference(env), rtol=1e-6, atol=1e-7
+        )
+    elif spec.accuracy_fn is not None and spec.accuracy_target is not None:
+        assert spec.accuracy_fn(env) <= spec.accuracy_target

@@ -1,0 +1,45 @@
+"""Inspect the compiler's OpenCL code generation.
+
+Compiles the Strassen benchmark for the Desktop machine and prints
+
+* the generated OpenCL C source of each kernel variant (the
+  local-memory variant shows the cooperative-load phase and barrier),
+* the rejection log — which rules could *not* be converted and why
+  (Strassen's LAPACK choice is disqualified by the external-library
+  check of the paper's phase-two analysis),
+* the autotuner-facing training information (selectors and tunables).
+
+Run:  python examples/inspect_kernels.py
+"""
+
+from __future__ import annotations
+
+from repro import DESKTOP, compile_program
+from repro.apps import strassen
+
+
+def main() -> None:
+    compiled = compile_program(strassen.build_program(), DESKTOP)
+
+    print(f"=== generated kernels ({compiled.kernel_count}) ===========")
+    for name, kernel in sorted(compiled.kernels.items()):
+        print(f"\n--- {name} [{kernel.variant.value} variant] " + "-" * 20)
+        print(kernel.source)
+
+    print("=== rules rejected by the OpenCL conversion ===")
+    for key, reason in sorted(compiled.training_info.rejection_log.items()):
+        print(f"  {key}: {reason}")
+
+    print("\n=== training information for the autotuner ===")
+    for name, spec in sorted(compiled.training_info.selectors.items()):
+        print(f"  selector {name}: {spec.num_algorithms} algorithms x "
+              f"{spec.max_levels} levels")
+    for name, spec in sorted(compiled.training_info.tunables.items()):
+        print(f"  tunable  {name}: [{spec.lo}, {spec.hi}] "
+              f"default {spec.default} ({spec.scale})")
+    print(f"\nconfiguration space: "
+          f"10^{compiled.training_info.log10_config_space():.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Sort: machine-specific poly-algorithms and configuration migration.
+
+Autotunes the Sort benchmark (nine algorithmic choices: insertion,
+selection, quick, 2/4-way merge with sequential or parallel merges,
+radix, bitonic) on two machines, prints the resulting configurations,
+and measures what happens when each configuration runs on the *other*
+machine — the paper's Figure 7(d) experiment in miniature.
+
+Run:  python examples/sort_polyalgorithm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import compile_program, run_program
+from repro.apps import sort as sort_app
+from repro.core import autotune
+from repro.experiments.baselines import gpu_only_sort_config
+from repro.experiments.fig6_configs import describe_polyalgorithm
+from repro.hardware.machines import DESKTOP, SERVER
+
+N = 2**17
+
+
+def main() -> None:
+    machines = (DESKTOP, SERVER)
+    compiled = {m.codename: compile_program(sort_app.build_program(), m)
+                for m in machines}
+    configs = {}
+    for machine in machines:
+        report = autotune(
+            compiled[machine.codename],
+            lambda n: sort_app.make_env(n, seed=0),
+            max_size=N,
+            seed=3,
+            label=f"{machine.codename} Config",
+        )
+        configs[machine.codename] = report.best
+        print(f"{machine.codename} tuned configuration "
+              f"({report.best_time_s * 1e3:.3f} ms at n={N}):")
+        print("  SortInPlace:",
+              describe_polyalgorithm(compiled[machine.codename], report.best,
+                                     "SortInPlace", N))
+        print()
+
+    print(f"cross-machine migration (n={N}, times in ms, virtual):")
+    print(f"{'config':16s} {'on Desktop':>12s} {'on Server':>12s}")
+    for label, config in configs.items():
+        row = [f"{label} Config"]
+        for machine in machines:
+            env = sort_app.make_env(N, seed=0)
+            result = run_program(compiled[machine.codename], config, env)
+            assert np.array_equal(env["Out"], np.sort(env["In"]))
+            row.append(f"{result.time_s * 1e3:12.3f}")
+        print(f"{row[0]:16s} {row[1]} {row[2]}")
+
+    # The paper's hand-written GPU-only baseline: bitonic sort in OpenCL.
+    print("\nGPU-only baseline (PetaBricks bitonic sort on the GPU):")
+    for machine in machines:
+        config = gpu_only_sort_config(compiled[machine.codename])
+        env = sort_app.make_env(N, seed=0)
+        result = run_program(compiled[machine.codename], config, env)
+        native_env = sort_app.make_env(N, seed=0)
+        native = run_program(
+            compiled[machine.codename], configs[machine.codename], native_env
+        )
+        print(f"  {machine.codename}: {result.time_s * 1e3:8.3f} ms "
+              f"({result.time_s / native.time_s:.1f}x slower than native)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The target environment has no ``wheel`` package, so PEP 517 editable
+installs (``pip install -e .``) cannot build; ``python setup.py
+develop`` installs the package via an egg-link instead.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro: a reproduction of *Portable Performance on Heterogeneous
+Architectures* (Phothilimthana, Ansel, Ragan-Kelley, Amarasinghe —
+ASPLOS 2013).
+
+The package implements the full PetaBricks-style stack the paper
+describes — language, compiler, heterogeneous runtime, and
+evolutionary autotuner — on a simulated CPU/GPU hardware substrate, so
+the paper's experiments reproduce deterministically on any host.
+
+Quickstart::
+
+    from repro import DESKTOP, compile_program, run_program, default_configuration
+    from repro.apps import separable_convolution
+
+    program = separable_convolution.build_program(kernel_width=7)
+    compiled = compile_program(program, DESKTOP)
+    config = default_configuration(compiled.training_info)
+    env = separable_convolution.make_env(512, kernel_width=7, seed=0)
+    result = run_program(compiled, config, env)
+    print(result.time_s)
+"""
+
+from repro.compiler import compile_program
+from repro.core import Configuration, Selector, default_configuration
+from repro.hardware import DESKTOP, LAPTOP, SERVER, MachineSpec, standard_machines
+from repro.lang import (
+    Choice,
+    CostSpec,
+    Pattern,
+    Program,
+    Rule,
+    Spawn,
+    Step,
+    SubInvoke,
+    Transform,
+    make_program,
+)
+from repro.runtime import RunResult, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Choice",
+    "Configuration",
+    "CostSpec",
+    "DESKTOP",
+    "LAPTOP",
+    "MachineSpec",
+    "Pattern",
+    "Program",
+    "Rule",
+    "RunResult",
+    "SERVER",
+    "Selector",
+    "Spawn",
+    "Step",
+    "SubInvoke",
+    "Transform",
+    "compile_program",
+    "default_configuration",
+    "make_program",
+    "run_program",
+    "standard_machines",
+]

@@ -1,0 +1,38 @@
+"""The seven PetaBricks benchmarks of the paper's evaluation (Fig. 8).
+
+Each module exposes the same surface:
+
+* ``build_program(**options) -> Program`` — the PetaBricks-style
+  program with its algorithmic choices;
+* ``make_env(size, seed) -> dict`` — deterministic inputs plus
+  preallocated outputs for one run;
+* ``reference(env) -> ndarray`` — a straight-line reference result for
+  correctness checks;
+* ``TESTING_SIZE`` — the paper's testing input size (Figure 8).
+
+Use :func:`repro.apps.registry.benchmark` to look benchmarks up by
+name.
+"""
+
+from repro.apps import (
+    blackscholes,
+    poisson2d,
+    separable_convolution,
+    sort,
+    strassen,
+    svd,
+    tridiagonal,
+)
+from repro.apps.registry import all_benchmarks, benchmark
+
+__all__ = [
+    "all_benchmarks",
+    "benchmark",
+    "blackscholes",
+    "poisson2d",
+    "separable_convolution",
+    "sort",
+    "strassen",
+    "svd",
+    "tridiagonal",
+]

@@ -1,0 +1,106 @@
+"""Black-Scholes benchmark (paper Section 6.2, Figure 7(a)).
+
+Prices European call options: every output element applies the
+Black-Scholes closed-form formula to one row of market parameters.
+The computation is embarrassingly parallel with a bounding box of one
+element, so the compiler generates a global-memory OpenCL kernel but
+no local-memory variant, and the interesting tuning axis is the
+GPU/CPU workload ratio: the paper finds 100% GPU optimal on Desktop
+and Server but a 25%/75% CPU/GPU split optimal on Laptop, where the
+GPU is only a few times faster than the CPU.
+
+The formula is transcendental-heavy (exp, log, sqrt, the normal CDF):
+scalar CPU code pays several times the cost a GPU's special-function
+units do, which the rule encodes via ``cpu_flops_per_item``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.lang import Choice, CostSpec, Pattern, Rule, Transform, make_program
+from repro.lang.program import Program
+
+#: Paper Figure 8: testing input size for Black-Scholes.
+TESTING_SIZE = 500_000
+
+#: Fixed market parameters (strike, risk-free rate, volatility, expiry).
+STRIKE = 100.0
+RATE = 0.02
+VOLATILITY = 0.30
+EXPIRY = 1.5
+
+
+def black_scholes_call(spot: np.ndarray) -> np.ndarray:
+    """Closed-form Black-Scholes price of a European call.
+
+    Args:
+        spot: Spot prices (any shape).
+
+    Returns:
+        Option prices, same shape as ``spot``.
+    """
+    sqrt_t = np.sqrt(EXPIRY)
+    d1 = (np.log(spot / STRIKE) + (RATE + 0.5 * VOLATILITY**2) * EXPIRY) / (
+        VOLATILITY * sqrt_t
+    )
+    d2 = d1 - VOLATILITY * sqrt_t
+    return spot * ndtr(d1) - STRIKE * np.exp(-RATE * EXPIRY) * ndtr(d2)
+
+
+def _bs_body(ctx) -> None:
+    """Rule body: price the context's row range of options."""
+    spot = ctx.input("In")
+    out = ctx.array("Out")
+    r0, r1 = ctx.rows
+    out[r0:r1] = black_scholes_call(spot[r0:r1])
+
+
+_BS_RULE = Rule(
+    name="bs_formula",
+    reads=("In",),
+    writes=("Out",),
+    body=_bs_body,
+    pattern=Pattern.DATA_PARALLEL,
+    cost=CostSpec(
+        # ~500 "GPU-normalised" flops per option: the arithmetic plus
+        # exp/log/sqrt/CDF evaluated on special-function units.
+        flops_per_item=500.0,
+        # SSE/AVX CPU transcendentals cost ~1.5x more per option.
+        cpu_flops_per_item=750.0,
+        bytes_read_per_item=8.0,
+        bytes_written_per_item=8.0,
+        bounding_box=1,
+    ),
+)
+
+
+def build_program() -> Program:
+    """The Black-Scholes program: one transform, one rule."""
+    transform = Transform(
+        name="BlackScholes",
+        inputs=("In",),
+        outputs=("Out",),
+        choices=(Choice(name="formula", rule=_BS_RULE),),
+    )
+    return make_program("Black-Scholes", [transform], "BlackScholes")
+
+
+def make_env(size: int, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Deterministic inputs + preallocated output for one run.
+
+    Args:
+        size: Number of options.
+        seed: RNG seed for the spot prices.
+    """
+    rng = np.random.default_rng(seed)
+    spot = rng.uniform(50.0, 150.0, size=size)
+    return {"In": spot, "Out": np.zeros(size)}
+
+
+def reference(env: Dict[str, np.ndarray]) -> np.ndarray:
+    """Reference result for correctness checks."""
+    return black_scholes_call(env["In"])

@@ -1,0 +1,288 @@
+"""Poisson2D SOR benchmark (paper Section 6.2, Figure 7(b)).
+
+Solves Poisson's equation with Red-Black Successive Over-Relaxation.
+Before the main iteration the algorithm splits the input into separate
+red and black cell buffers for cache efficiency; the iterations then
+alternate red and black half-sweeps, and a final merge interleaves the
+buffers back into the output matrix.
+
+The paper's headline finding for this benchmark: the best *backend per
+phase* flips between machines — Desktop and Laptop split on the CPU
+and iterate on the GPU, while Server (whose OpenCL device is the CPU)
+does nearly the opposite.
+
+Program structure::
+
+    Poisson2D (entry)   split -> iterate xN -> merge
+      Split             data-parallel: interleave In into Red/Black
+      SORLoop           recursive driver: N sequential SORIteration
+      SORIteration      one red + one black half-sweep (2 kernels)
+      Merge             data-parallel: interleave Red/Black into Out
+
+Red/Black layout: full-height, half-width arrays — row ``i`` of
+``Red`` holds the red cells of matrix row ``i`` in column order, which
+keeps the stencil accesses regular (the cache-efficiency argument of
+the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.lang import (
+    Choice,
+    CostSpec,
+    Pattern,
+    Rule,
+    Spawn,
+    Step,
+    SubInvoke,
+    Transform,
+    make_program,
+)
+from repro.lang.program import Program
+
+#: Paper Figure 8: testing input size 2048^2.
+TESTING_SIZE = 2048
+
+#: SOR relaxation factor.
+OMEGA = 1.5
+#: Number of red-black iterations one run performs.
+DEFAULT_ITERATIONS = 20
+
+
+def _half_width(width: int) -> int:
+    """Red/black buffers each hold half of each row (even width)."""
+    return width // 2
+
+
+def _split_body(ctx) -> None:
+    """Interleave In into the Red and Black half-buffers."""
+    full = ctx.input("In")
+    red = ctx.array("Red")
+    black = ctx.array("Black")
+    r0, r1 = ctx.rows
+    for i in range(r0, r1):
+        offset = i % 2
+        red[i, :] = full[i, offset::2]
+        black[i, :] = full[i, 1 - offset :: 2]
+
+
+def _merge_body(ctx) -> None:
+    """Interleave Red and Black back into Out."""
+    red = ctx.input("Red")
+    black = ctx.input("Black")
+    out = ctx.array("Out")
+    r0, r1 = ctx.rows
+    for i in range(r0, r1):
+        offset = i % 2
+        out[i, offset::2] = red[i, :]
+        out[i, 1 - offset :: 2] = black[i, :]
+
+
+def _sor_halfsweep(
+    update: np.ndarray, other: np.ndarray, rhs: np.ndarray, update_is_red: bool
+) -> None:
+    """One red or black half-sweep of the five-point SOR stencil.
+
+    Operates on the half-width packed layout: the four neighbours of a
+    packed cell live in the *other* colour's buffer at the same and
+    adjacent rows/columns (offset depending on row parity).
+    """
+    h, hw = update.shape
+    neighbour_sum = np.zeros_like(update)
+    for i in range(h):
+        offset = i % 2 if update_is_red else 1 - (i % 2)
+        row = other[i, :]
+        # Left/right neighbours within the row (packed layout).
+        if offset == 0:
+            left = np.concatenate(([0.0], row[:-1]))
+            right = row
+        else:
+            left = row
+            right = np.concatenate((row[1:], [0.0]))
+        up = other[i - 1, :] if i > 0 else np.zeros(hw)
+        down = other[i + 1, :] if i < h - 1 else np.zeros(hw)
+        neighbour_sum[i, :] = left + right + up + down
+    gauss = 0.25 * (neighbour_sum - rhs)
+    update *= 1.0 - OMEGA
+    update += OMEGA * gauss
+
+
+def _iteration_body(ctx) -> None:
+    """One full red-black SOR iteration (two half-sweeps)."""
+    red = ctx.array("Red")
+    black = ctx.array("Black")
+    rhs_red = ctx.input("RhsRed")
+    rhs_black = ctx.input("RhsBlack")
+    _sor_halfsweep(red, black, rhs_red, update_is_red=True)
+    _sor_halfsweep(black, red, rhs_black, update_is_red=False)
+
+
+def _loop_body(ctx):
+    """Recursive driver: run the configured number of iterations."""
+    iterations = int(ctx.params.get("iterations", DEFAULT_ITERATIONS))
+    ctx.charge(flops=10.0 * iterations)
+    env = {
+        "Red": ctx.array("Red"),
+        "Black": ctx.array("Black"),
+        "RhsRed": ctx.array("RhsRed"),
+        "RhsBlack": ctx.array("RhsBlack"),
+    }
+    children = [
+        SubInvoke("SORIteration", dict(env)) for _ in range(max(1, iterations))
+    ]
+    return Spawn(children=children, sequential=True)
+
+
+_SPLIT_RULE = Rule(
+    name="split",
+    reads=("In",),
+    writes=("Red", "Black"),
+    body=_split_body,
+    pattern=Pattern.DATA_PARALLEL,
+    cost=CostSpec(
+        flops_per_item=1.0, bytes_read_per_item=16.0, bytes_written_per_item=16.0
+    ),
+)
+
+_MERGE_RULE = Rule(
+    name="merge",
+    reads=("Red", "Black"),
+    writes=("Out",),
+    body=_merge_body,
+    pattern=Pattern.DATA_PARALLEL,
+    cost=CostSpec(
+        flops_per_item=1.0, bytes_read_per_item=16.0, bytes_written_per_item=8.0
+    ),
+)
+
+_ITERATION_RULE = Rule(
+    name="sor_iteration",
+    reads=("Red", "Black", "RhsRed", "RhsBlack"),
+    writes=("Red", "Black"),
+    body=_iteration_body,
+    pattern=Pattern.SEQUENTIAL,
+    divisible=False,
+    cost=CostSpec(
+        # Per packed cell, both half-sweeps: 6 flops each.
+        flops_per_item=12.0,
+        bytes_read_per_item=80.0,
+        bytes_written_per_item=16.0,
+        bounding_box=5,
+        kernel_launches=2,
+    ),
+)
+
+_LOOP_RULE = Rule(
+    name="sor_loop",
+    reads=("Red", "Black", "RhsRed", "RhsBlack"),
+    writes=("Red", "Black"),
+    body=_loop_body,
+    pattern=Pattern.RECURSIVE,
+    divisible=False,
+    # Pure driver: spawns the iteration children without touching
+    # elements, so GPU-resident buffers survive across iterations.
+    touches_data=False,
+)
+
+
+def _half_shape(
+    shapes: Mapping[str, Tuple[int, ...]], params: Mapping[str, float]
+) -> Tuple[int, ...]:
+    h, w = shapes["In"]
+    return (h, _half_width(w))
+
+
+def build_program(iterations: int = DEFAULT_ITERATIONS) -> Program:
+    """The Poisson2D SOR program.
+
+    Args:
+        iterations: Red-black iterations per run.
+    """
+    split = Transform(
+        name="Split",
+        inputs=("In",),
+        outputs=("Red", "Black"),
+        choices=(Choice(name="direct", rule=_SPLIT_RULE),),
+    )
+    merge = Transform(
+        name="Merge",
+        inputs=("Red", "Black"),
+        outputs=("Out",),
+        choices=(Choice(name="direct", rule=_MERGE_RULE),),
+    )
+    iteration = Transform(
+        name="SORIteration",
+        inputs=("Red", "Black", "RhsRed", "RhsBlack"),
+        outputs=("Red", "Black"),
+        choices=(Choice(name="halfsweeps", rule=_ITERATION_RULE),),
+    )
+    loop = Transform(
+        name="SORLoop",
+        inputs=("Red", "Black", "RhsRed", "RhsBlack"),
+        outputs=("Red", "Black"),
+        choices=(Choice(name="iterate", rule=_LOOP_RULE),),
+        params={"iterations": float(iterations)},
+    )
+    entry = Transform(
+        name="Poisson2D",
+        inputs=("In", "RhsRed", "RhsBlack"),
+        outputs=("Out",),
+        choices=(
+            Choice(
+                name="sor",
+                steps=(
+                    Step(transform="Split"),
+                    Step(transform="SORLoop", dynamic_consumer=True),
+                    Step(transform="Merge"),
+                ),
+                intermediates={"Red": _half_shape, "Black": _half_shape},
+            ),
+        ),
+    )
+    return make_program(
+        "Poisson2D SOR",
+        [entry, split, merge, iteration, loop],
+        "Poisson2D",
+        iterations=float(iterations),
+    )
+
+
+def make_env(size: int, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Deterministic grid + right-hand side + preallocated output."""
+    rng = np.random.default_rng(seed)
+    grid = rng.random((size, size))
+    rhs_red = rng.random((size, _half_width(size))) * 0.01
+    rhs_black = rng.random((size, _half_width(size))) * 0.01
+    return {
+        "In": grid,
+        "RhsRed": rhs_red,
+        "RhsBlack": rhs_black,
+        "Out": np.zeros((size, size)),
+    }
+
+
+def reference(
+    env: Dict[str, np.ndarray], iterations: int = DEFAULT_ITERATIONS
+) -> np.ndarray:
+    """Reference red-black SOR, straight-line implementation."""
+    size = env["In"].shape[0]
+    red = np.zeros((size, _half_width(size)))
+    black = np.zeros((size, _half_width(size)))
+    full = env["In"]
+    for i in range(size):
+        offset = i % 2
+        red[i, :] = full[i, offset::2]
+        black[i, :] = full[i, 1 - offset :: 2]
+    for _ in range(iterations):
+        _sor_halfsweep(red, black, env["RhsRed"], update_is_red=True)
+        _sor_halfsweep(black, red, env["RhsBlack"], update_is_red=False)
+    out = np.zeros((size, size))
+    for i in range(size):
+        offset = i % 2
+        out[i, offset::2] = red[i, :]
+        out[i, 1 - offset :: 2] = black[i, :]
+    return out

@@ -1,0 +1,152 @@
+"""Benchmark registry: the seven programs of the paper's Figure 8."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.apps import (
+    blackscholes,
+    poisson2d,
+    separable_convolution,
+    sort,
+    strassen,
+    svd,
+    tridiagonal,
+)
+from repro.errors import ExperimentError
+from repro.lang.program import Program
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Uniform handle on one benchmark.
+
+    Attributes:
+        name: Paper name (Figure 8 row label).
+        build_program: Program factory.
+        make_env: ``(size, seed) -> env`` factory.
+        reference: ``env -> ndarray`` reference output (None when the
+            benchmark is variable-accuracy and has no single exact
+            answer).
+        output_name: Entry-transform output matrix checked against the
+            reference.
+        testing_size: The paper's testing input size (Figure 8).
+        tuning_size: Size used by default for autotuning sessions
+            (scaled down where the full testing size would make the
+            simulation's wall-clock cost excessive; the virtual-time
+            model is scale-consistent).
+        accuracy_fn: Error metric for variable-accuracy benchmarks.
+        accuracy_target: Largest acceptable error.
+    """
+
+    name: str
+    build_program: Callable[[], Program]
+    make_env: Callable[[int, int], Dict[str, np.ndarray]]
+    reference: Optional[Callable[[Dict[str, np.ndarray]], np.ndarray]]
+    output_name: str
+    testing_size: int
+    tuning_size: int
+    accuracy_fn: Optional[Callable[[Dict[str, np.ndarray]], float]] = None
+    accuracy_target: Optional[float] = None
+
+
+_BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    "Black-Sholes": BenchmarkSpec(
+        # (Spelled as in the paper's Figure 8.)
+        name="Black-Sholes",
+        build_program=blackscholes.build_program,
+        make_env=lambda size, seed=0: blackscholes.make_env(size, seed),
+        reference=blackscholes.reference,
+        output_name="Out",
+        testing_size=blackscholes.TESTING_SIZE,
+        tuning_size=blackscholes.TESTING_SIZE,
+    ),
+    "Poisson2D SOR": BenchmarkSpec(
+        name="Poisson2D SOR",
+        build_program=poisson2d.build_program,
+        make_env=lambda size, seed=0: poisson2d.make_env(size, seed),
+        reference=poisson2d.reference,
+        output_name="Out",
+        testing_size=poisson2d.TESTING_SIZE,
+        tuning_size=512,
+    ),
+    "SeparableConv.": BenchmarkSpec(
+        name="SeparableConv.",
+        build_program=separable_convolution.build_program,
+        make_env=lambda size, seed=0: separable_convolution.make_env(size, seed=seed),
+        reference=separable_convolution.reference,
+        output_name="Out",
+        testing_size=separable_convolution.TESTING_SIZE,
+        tuning_size=1024,
+    ),
+    "Sort": BenchmarkSpec(
+        name="Sort",
+        build_program=sort.build_program,
+        make_env=lambda size, seed=0: sort.make_env(size, seed),
+        reference=sort.reference,
+        output_name="Out",
+        testing_size=sort.TESTING_SIZE,
+        tuning_size=2**17,
+    ),
+    "Strassen": BenchmarkSpec(
+        name="Strassen",
+        build_program=strassen.build_program,
+        make_env=lambda size, seed=0: strassen.make_env(size, seed),
+        reference=strassen.reference,
+        output_name="C",
+        testing_size=strassen.TESTING_SIZE,
+        tuning_size=512,
+    ),
+    "SVD": BenchmarkSpec(
+        name="SVD",
+        build_program=svd.build_program,
+        make_env=lambda size, seed=0: svd.make_env(size, seed),
+        reference=None,
+        output_name="Out",
+        testing_size=svd.TESTING_SIZE,
+        tuning_size=svd.TESTING_SIZE,
+        accuracy_fn=svd.accuracy,
+        accuracy_target=svd.ACCURACY_TARGET,
+    ),
+    "Tridiagonal Solver": BenchmarkSpec(
+        name="Tridiagonal Solver",
+        build_program=tridiagonal.build_program,
+        make_env=lambda size, seed=0: tridiagonal.make_env(size, seed),
+        reference=tridiagonal.reference,
+        output_name="Out",
+        testing_size=tridiagonal.TESTING_SIZE,
+        # The algorithmic crossover (Thomas -> cyclic reduction on a
+        # fast GPU) only appears near the full testing size.
+        tuning_size=tridiagonal.TESTING_SIZE,
+    ),
+}
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by its Figure 8 name.
+
+    Raises:
+        ExperimentError: For unknown names.
+    """
+    if name not in _BENCHMARKS:
+        raise ExperimentError(
+            f"unknown benchmark {name!r}; available: {sorted(_BENCHMARKS)}"
+        )
+    return _BENCHMARKS[name]
+
+
+def all_benchmarks() -> Tuple[BenchmarkSpec, ...]:
+    """All seven benchmarks in the paper's Figure 8 order."""
+    order = (
+        "Black-Sholes",
+        "Poisson2D SOR",
+        "SeparableConv.",
+        "Sort",
+        "Strassen",
+        "SVD",
+        "Tridiagonal Solver",
+    )
+    return tuple(_BENCHMARKS[name] for name in order)

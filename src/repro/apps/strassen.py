@@ -1,0 +1,296 @@
+"""Strassen (dense matrix multiply) benchmark (paper Fig. 7(e)).
+
+Multiplies two dense square matrices.  The paper's choice space:
+recursive decompositions (including Strassen's algorithm), blocking,
+naive multiplication, and calling the LAPACK external library; the
+tuned configurations span the extremes —
+
+* Desktop: data-parallel multiply on the GPU (16.5x faster than the
+  Laptop configuration run on the same machine),
+* Server: 8-way parallel recursive decomposition, LAPACK below a
+  ~682^2 cutoff,
+* Laptop: direct LAPACK call, no decomposition.
+
+Program structure::
+
+    MatMul (entry) choices:
+      naive        data-parallel row-block multiply (OpenCL-mappable;
+                   the local-memory variant is the tiled GPU matmul)
+      rec8         2x2 block decomposition, 8 recursive multiplies
+      rec2         row-block decomposition, 2 recursive multiplies
+      strassen     Strassen's 7-multiply decomposition
+      lapack       external library call (disqualified from OpenCL by
+                   the phase-two analysis; indivisible single call)
+
+Recursive choices re-enter MatMul through the selector, so cutoff
+levels build exactly the paper's "decompose until size < k, then call
+LAPACK" configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.lang import (
+    Choice,
+    CostSpec,
+    Pattern,
+    Rule,
+    Spawn,
+    SubInvoke,
+    Transform,
+    make_program,
+)
+from repro.lang.program import Program
+
+#: Paper Figure 8: testing input size 1024^2.
+TESTING_SIZE = 1024
+
+#: Below this size recursive choices multiply inline rather than spawn.
+_MIN_RECURSE = 32
+
+
+def _side(params) -> float:
+    """Inner (reduction) dimension of the product.
+
+    Recursive decompositions produce rectangular children and pass the
+    true inner dimension via the ``inner`` parameter; top-level square
+    invocations fall back to sqrt(output size).
+    """
+    inner = params.get("inner")
+    if inner is not None:
+        return float(inner)
+    return math.sqrt(max(1.0, params.get("_size", 1.0)))
+
+
+def _naive_body(ctx) -> None:
+    """Row-block of C = A @ B (the data-parallel rule)."""
+    a = ctx.input("A")
+    b = ctx.input("B")
+    c = ctx.array("C")
+    r0, r1 = ctx.rows
+    c[r0:r1, :] = a[r0:r1, :] @ b
+
+
+def _lapack_body(ctx) -> None:
+    """External library call: one dgemm for the whole product.
+
+    Cost comes from the rule's CostSpec: blocked library code runs at
+    roughly twice the naive model's effective rate.
+    """
+    a = ctx.input("A")
+    b = ctx.input("B")
+    c = ctx.array("C")
+    c[:, :] = a @ b
+
+
+def _flops_of(a: np.ndarray, c: np.ndarray) -> float:
+    """Flops of the direct product writing ``c`` with left operand ``a``."""
+    return 2.0 * c.shape[0] * c.shape[1] * a.shape[1]
+
+
+def _quadrants(m: np.ndarray):
+    """The four n/2 quadrant views of a matrix."""
+    n = m.shape[0]
+    h = n // 2
+    return m[:h, :h], m[:h, h:], m[h:, :h], m[h:, h:]
+
+
+def _rec8_body(ctx):
+    """2x2 block decomposition: 8 recursive multiplies + 4 adds."""
+    a = ctx.input("A")
+    b = ctx.input("B")
+    c = ctx.array("C")
+    n = c.shape[0]
+    if n <= _MIN_RECURSE or n % 2 or a.shape[0] != a.shape[1] or c.shape[0] != c.shape[1]:
+        ctx.charge(flops=_flops_of(a, c), mem_bytes=24.0 * c.size)
+        c[:, :] = a @ b
+        return None
+    h = n // 2
+    a11, a12, a21, a22 = _quadrants(a)
+    b11, b12, b21, b22 = _quadrants(b)
+    temps = {name: np.zeros((h, h)) for name in ("t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8")}
+    pairs = [
+        ("t1", a11, b11), ("t2", a12, b21),
+        ("t3", a11, b12), ("t4", a12, b22),
+        ("t5", a21, b11), ("t6", a22, b21),
+        ("t7", a21, b12), ("t8", a22, b22),
+    ]
+    children = [
+        SubInvoke("MatMul", {"A": left, "B": right, "C": temps[name]},
+                  params={"inner": float(h)})
+        for name, left, right in pairs
+    ]
+
+    def combine(cctx):
+        c11, c12, c21, c22 = _quadrants(c)
+        c11[:, :] = temps["t1"] + temps["t2"]
+        c12[:, :] = temps["t3"] + temps["t4"]
+        c21[:, :] = temps["t5"] + temps["t6"]
+        c22[:, :] = temps["t7"] + temps["t8"]
+        cctx.charge(flops=4.0 * h * h, mem_bytes=8.0 * 12 * h * h)
+        return None
+
+    return Spawn(children=children, combine=combine)
+
+
+def _rec2_body(ctx):
+    """Row-block decomposition: top and bottom halves of C."""
+    a = ctx.input("A")
+    b = ctx.input("B")
+    c = ctx.array("C")
+    n = c.shape[0]
+    if n <= _MIN_RECURSE or n % 2:
+        ctx.charge(flops=_flops_of(a, c), mem_bytes=24.0 * c.size)
+        c[:, :] = a @ b
+        return None
+    h = n // 2
+    inner = float(a.shape[1])
+    children = [
+        SubInvoke("MatMul", {"A": a[:h, :], "B": b, "C": c[:h, :]},
+                  params={"inner": inner}),
+        SubInvoke("MatMul", {"A": a[h:, :], "B": b, "C": c[h:, :]},
+                  params={"inner": inner}),
+    ]
+    return Spawn(children=children)
+
+
+def _strassen_body(ctx):
+    """Strassen's algorithm: 7 recursive multiplies, 18 adds."""
+    a = ctx.input("A")
+    b = ctx.input("B")
+    c = ctx.array("C")
+    n = c.shape[0]
+    if n <= _MIN_RECURSE or n % 2 or a.shape[0] != a.shape[1] or c.shape[0] != c.shape[1]:
+        ctx.charge(flops=_flops_of(a, c), mem_bytes=24.0 * c.size)
+        c[:, :] = a @ b
+        return None
+    h = n // 2
+    a11, a12, a21, a22 = _quadrants(a)
+    b11, b12, b21, b22 = _quadrants(b)
+    # The ten linear combinations of quadrants feeding the 7 products.
+    s1 = a11 + a22
+    s2 = b11 + b22
+    s3 = a21 + a22
+    s4 = b12 - b22
+    s5 = b21 - b11
+    s6 = a11 + a12
+    s7 = a21 - a11
+    s8 = b11 + b12
+    s9 = a12 - a22
+    s10 = b21 + b22
+    ctx.charge(flops=10.0 * h * h, mem_bytes=8.0 * 30 * h * h)
+    products = [np.zeros((h, h)) for _ in range(7)]
+    inner = {"inner": float(h)}
+    children = [
+        SubInvoke("MatMul", {"A": s1, "B": s2, "C": products[0]}, params=dict(inner)),
+        SubInvoke("MatMul", {"A": s3, "B": b11, "C": products[1]}, params=dict(inner)),
+        SubInvoke("MatMul", {"A": a11, "B": s4, "C": products[2]}, params=dict(inner)),
+        SubInvoke("MatMul", {"A": a22, "B": s5, "C": products[3]}, params=dict(inner)),
+        SubInvoke("MatMul", {"A": s6, "B": b22, "C": products[4]}, params=dict(inner)),
+        SubInvoke("MatMul", {"A": s7, "B": s8, "C": products[5]}, params=dict(inner)),
+        SubInvoke("MatMul", {"A": s9, "B": s10, "C": products[6]}, params=dict(inner)),
+    ]
+
+    def combine(cctx):
+        m1, m2, m3, m4, m5, m6, m7 = products
+        c11, c12, c21, c22 = _quadrants(c)
+        c11[:, :] = m1 + m4 - m5 + m7
+        c12[:, :] = m3 + m5
+        c21[:, :] = m2 + m4
+        c22[:, :] = m1 - m2 + m3 + m6
+        cctx.charge(flops=8.0 * h * h, mem_bytes=8.0 * 20 * h * h)
+        return None
+
+    return Spawn(children=children, combine=combine)
+
+
+_NAIVE_RULE = Rule(
+    name="naive",
+    reads=("A", "B"),
+    writes=("C",),
+    body=_naive_body,
+    pattern=Pattern.DATA_PARALLEL,
+    cost=CostSpec(
+        flops_per_item=lambda p: 2.0 * _side(p),
+        bytes_read_per_item=lambda p: 16.0 * _side(p),
+        bytes_written_per_item=8.0,
+        # One output element reads a row of A and a column of B.
+        bounding_box=lambda p: max(2, int(2.0 * _side(p))),
+    ),
+)
+
+_LAPACK_RULE = Rule(
+    name="lapack",
+    reads=("A", "B"),
+    writes=("C",),
+    body=_lapack_body,
+    pattern=Pattern.SEQUENTIAL,
+    calls_external=True,  # phase-two disqualifier: no OpenCL version
+    divisible=False,
+    cost=CostSpec(
+        # Blocked library dgemm: ~2x the naive effective rate, low
+        # memory traffic per element.
+        flops_per_item=lambda p: 1.0 * _side(p),
+        bytes_read_per_item=16.0,
+        bytes_written_per_item=8.0,
+    ),
+)
+
+_REC8_RULE = Rule(
+    name="rec8", reads=("A", "B"), writes=("C",), body=_rec8_body,
+    pattern=Pattern.RECURSIVE, divisible=False,
+)
+_REC2_RULE = Rule(
+    name="rec2", reads=("A", "B"), writes=("C",), body=_rec2_body,
+    pattern=Pattern.RECURSIVE, divisible=False,
+)
+_STRASSEN_RULE = Rule(
+    name="strassen", reads=("A", "B"), writes=("C",), body=_strassen_body,
+    pattern=Pattern.RECURSIVE, divisible=False,
+)
+
+#: Authored choice order (selector algorithm indices before OpenCL
+#: expansion).  LAPACK first: a safe default everywhere.
+CHOICE_ORDER = ("lapack", "naive", "rec2", "rec8", "strassen")
+
+_RULES = {
+    "lapack": _LAPACK_RULE,
+    "naive": _NAIVE_RULE,
+    "rec2": _REC2_RULE,
+    "rec8": _REC8_RULE,
+    "strassen": _STRASSEN_RULE,
+}
+
+
+def matmul_transform() -> Transform:
+    """The multi-choice MatMul transform (also reused by SVD)."""
+    return Transform(
+        name="MatMul",
+        inputs=("A", "B"),
+        outputs=("C",),
+        choices=tuple(Choice(name=name, rule=_RULES[name]) for name in CHOICE_ORDER),
+    )
+
+
+def build_program() -> Program:
+    """The Strassen benchmark program (a multi-choice MatMul)."""
+    return make_program("Strassen", [matmul_transform()], "MatMul")
+
+
+def make_env(size: int, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Deterministic operands + preallocated product."""
+    rng = np.random.default_rng(seed)
+    return {
+        "A": rng.random((size, size)),
+        "B": rng.random((size, size)),
+        "C": np.zeros((size, size)),
+    }
+
+
+def reference(env: Dict[str, np.ndarray]) -> np.ndarray:
+    """Reference product."""
+    return env["A"] @ env["B"]

@@ -1,0 +1,252 @@
+"""SVD (low-rank approximation) benchmark (paper Fig. 7(f)).
+
+Approximates a matrix through a truncated singular value
+decomposition.  This is the paper's *variable accuracy* benchmark:
+choices such as how many eigenvalues to use impact the quality of the
+approximation, and the autotuner must meet an accuracy target rather
+than just minimise time.
+
+It is also the benchmark where the autotuner constructs poly-
+algorithms with *task-parallel divisions between the GPU and CPU*
+(the two Gram-matrix products of the first phase are independent) and
+where the embedded MatMul's best configuration differs from Strassen
+tuned in isolation — the Gram products run on sub-expressions with
+different locality, and the paper observes exactly this context
+dependence.
+
+Program structure::
+
+    SVD (entry)     GramPhase -> Eigen -> Reconstruct
+      GramPhase     parallel steps: GramLeft (A A^T), GramRight (A^T A)
+      GramLeft      recursive driver -> MatMul (Strassen's transform)
+      GramRight     recursive driver -> MatMul
+      MatMul        the full 5-choice transform from the Strassen app
+      Eigen         LAPACK eigendecomposition (external, indivisible)
+      Reconstruct   data-parallel rank-k reconstruction; k is the
+                    user tunable ``svd_rank`` (the accuracy knob)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.strassen import matmul_transform
+from repro.lang import (
+    Choice,
+    CostSpec,
+    Pattern,
+    Rule,
+    Spawn,
+    Step,
+    SubInvoke,
+    Transform,
+    make_program,
+)
+from repro.lang.program import Program
+
+#: Paper Figure 8: testing input size 256^2.
+TESTING_SIZE = 256
+
+#: Default rank fraction (of n) used when the tuner has not chosen.
+DEFAULT_RANK = 48
+
+#: Relative Frobenius reconstruction error the tuner must meet.
+ACCURACY_TARGET = 0.30
+
+
+def _gram_left_body(ctx):
+    """B1 = A @ A^T via the MatMul transform."""
+    a = ctx.input("A")
+    b1 = ctx.array("B1")
+    at = np.ascontiguousarray(a.T)
+    n = a.shape[0]
+    ctx.charge(mem_bytes=16.0 * n * n)  # the transpose copy
+    return Spawn(children=[SubInvoke("MatMul", {"A": a, "B": at, "C": b1})])
+
+
+def _gram_right_body(ctx):
+    """B2 = A^T @ A via the MatMul transform."""
+    a = ctx.input("A")
+    b2 = ctx.array("B2")
+    at = np.ascontiguousarray(a.T)
+    n = a.shape[0]
+    ctx.charge(mem_bytes=16.0 * n * n)
+    return Spawn(children=[SubInvoke("MatMul", {"A": at, "B": a, "C": b2})])
+
+
+def _eigen_body(ctx) -> None:
+    """Eigendecompositions of both Gram matrices (LAPACK)."""
+    b1 = ctx.input("B1")
+    b2 = ctx.input("B2")
+    u_out = ctx.array("U")
+    v_out = ctx.array("V")
+    s_out = ctx.array("S")
+    w1, u = np.linalg.eigh(b1)
+    w2, v = np.linalg.eigh(b2)
+    order = np.argsort(w1)[::-1]
+    u = u[:, order]
+    sigma = np.sqrt(np.clip(w1[order], 0.0, None))
+    v = v[:, np.argsort(w2)[::-1]]
+    # Fix the sign ambiguity so that U * S * V^T approximates A:
+    # v_i = A^T u_i / sigma_i where sigma_i > 0.
+    u_out[:, :] = u
+    s_out[:] = sigma
+    v_out[:, :] = v
+
+
+def _reconstruct_body(ctx) -> None:
+    """Rank-k reconstruction of the context's row range."""
+    a = ctx.input("A")
+    u = ctx.input("U")
+    s = ctx.input("S")
+    out = ctx.array("Out")
+    r0, r1 = ctx.rows
+    n = a.shape[0]
+    k = int(min(n, max(1, ctx.params.get("svd_rank", DEFAULT_RANK))))
+    u_k = u[:, :k]
+    # Derive the right factor from A directly (sign-safe): the rank-k
+    # approximation is U_k U_k^T A.
+    out[r0:r1, :] = u_k[r0:r1, :] @ (u_k.T @ a)
+
+
+_GRAM_LEFT = Rule(
+    name="gram_left", reads=("A",), writes=("B1",), body=_gram_left_body,
+    pattern=Pattern.RECURSIVE, divisible=False,
+)
+_GRAM_RIGHT = Rule(
+    name="gram_right", reads=("A",), writes=("B2",), body=_gram_right_body,
+    pattern=Pattern.RECURSIVE, divisible=False,
+)
+_EIGEN = Rule(
+    name="eigen",
+    reads=("B1", "B2"),
+    writes=("U", "V", "S"),
+    body=_eigen_body,
+    pattern=Pattern.SEQUENTIAL,
+    calls_external=True,
+    divisible=False,
+    cost=CostSpec(
+        # Two symmetric eigendecompositions: ~4.5n flops per element
+        # of the n^2 output.
+        flops_per_item=lambda p: 4.5 * math.sqrt(max(1.0, p.get("_size", 1.0))),
+        bytes_read_per_item=32.0,
+        bytes_written_per_item=16.0,
+    ),
+)
+_RECONSTRUCT = Rule(
+    name="reconstruct",
+    reads=("A", "U", "S"),
+    writes=("Out",),
+    body=_reconstruct_body,
+    pattern=Pattern.DATA_PARALLEL,
+    cost=CostSpec(
+        flops_per_item=lambda p: 4.0 * p.get("svd_rank", DEFAULT_RANK),
+        bytes_read_per_item=lambda p: 16.0 * p.get("svd_rank", DEFAULT_RANK),
+        bytes_written_per_item=8.0,
+        bounding_box=lambda p: max(2, 2 * int(p.get("svd_rank", DEFAULT_RANK))),
+    ),
+)
+
+
+def _square(shapes, params):
+    n = shapes["A"][0]
+    return (n, n)
+
+
+def _vector(shapes, params):
+    return (shapes["A"][0],)
+
+
+def build_program() -> Program:
+    """The SVD program (embedding the Strassen MatMul transform)."""
+    gram_left = Transform(
+        name="GramLeft", inputs=("A",), outputs=("B1",),
+        choices=(Choice(name="via_matmul", rule=_GRAM_LEFT),),
+    )
+    gram_right = Transform(
+        name="GramRight", inputs=("A",), outputs=("B2",),
+        choices=(Choice(name="via_matmul", rule=_GRAM_RIGHT),),
+    )
+    gram_phase = Transform(
+        name="GramPhase",
+        inputs=("A",),
+        outputs=("B1", "B2"),
+        choices=(
+            Choice(
+                name="task_parallel",
+                steps=(Step(transform="GramLeft"), Step(transform="GramRight")),
+                parallel_steps=True,
+            ),
+        ),
+    )
+    eigen = Transform(
+        name="Eigen",
+        inputs=("B1", "B2"),
+        outputs=("U", "V", "S"),
+        choices=(Choice(name="lapack", rule=_EIGEN),),
+    )
+    reconstruct = Transform(
+        name="Reconstruct",
+        inputs=("A", "U", "S"),
+        outputs=("Out",),
+        choices=(Choice(name="rank_k", rule=_RECONSTRUCT),),
+        user_tunables={"svd_rank": (1, 256, DEFAULT_RANK, "lognormal")},
+    )
+    entry = Transform(
+        name="SVD",
+        inputs=("A",),
+        outputs=("Out",),
+        choices=(
+            Choice(
+                name="two_sided",
+                steps=(
+                    Step(transform="GramPhase"),
+                    Step(transform="Eigen"),
+                    Step(transform="Reconstruct"),
+                ),
+                intermediates={
+                    "B1": _square,
+                    "B2": _square,
+                    "U": _square,
+                    "V": _square,
+                    "S": _vector,
+                },
+            ),
+        ),
+        variable_accuracy=True,
+    )
+    return make_program(
+        "SVD",
+        [entry, gram_phase, gram_left, gram_right, eigen, reconstruct,
+         matmul_transform()],
+        "SVD",
+    )
+
+
+def make_env(size: int, seed: int = 0) -> Dict[str, np.ndarray]:
+    """A matrix with decaying spectrum + preallocated approximation."""
+    rng = np.random.default_rng(seed)
+    # Construct A with a controlled singular-value decay so rank-k
+    # approximation quality varies smoothly with k.
+    u, _ = np.linalg.qr(rng.standard_normal((size, size)))
+    v, _ = np.linalg.qr(rng.standard_normal((size, size)))
+    sigma = np.exp(-np.arange(size) / (size / 8.0))
+    a = (u * sigma) @ v.T
+    return {"A": a, "Out": np.zeros((size, size))}
+
+
+def accuracy(env: Dict[str, np.ndarray]) -> float:
+    """Relative Frobenius error of the approximation (lower = better)."""
+    a = env["A"]
+    return float(np.linalg.norm(env["Out"] - a) / np.linalg.norm(a))
+
+
+def reference(env: Dict[str, np.ndarray], rank: int = DEFAULT_RANK) -> np.ndarray:
+    """Reference rank-k approximation via numpy's SVD."""
+    a = env["A"]
+    u, s, vt = np.linalg.svd(a)
+    k = min(rank, a.shape[0])
+    return (u[:, :k] * s[:k]) @ vt[:k, :]

@@ -1,0 +1,159 @@
+"""Tridiagonal Solver benchmark (paper Section 6.2, Figure 7(g)).
+
+Solves one large tridiagonal system.  The benchmark implements a
+subset of the algorithmic choices of Davidson et al. and Zhang et al.
+(paper refs [9, 30]):
+
+* ``thomas_direct`` — the sequential Thomas algorithm: least
+  arithmetic (~8 ops/row plus divisions) but a serial dependence over
+  the whole system.  The best choice wherever the GPU is absent or
+  weak ("if a machine does not use OpenCL, it is better to run the
+  sequential algorithm", as on Server and Laptop).
+* ``cyclic_reduction`` — ~2x the arithmetic, log-depth parallel, but
+  power-of-two *strided* memory access: fine on Fermi-class GPUs,
+  ruinous on cache-hierarchy devices (cache-line waste) and on mobile
+  GPUs (bank/partition conflicts).  The Desktop configuration uses it
+  on the GPU — an *algorithmic change required to utilise the GPU*.
+* ``pcr`` — parallel cyclic reduction: n log n arithmetic, fewer
+  kernel launches, same strided-access behaviour.
+
+The per-device ``strided_penalty`` is what differentiates the three
+machines here; see :mod:`repro.hardware.device`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+from repro.lang import Choice, CostSpec, Pattern, Rule, Transform, make_program
+from repro.lang.program import Program
+
+#: Paper Figure 8: testing input size 1024^2 — one system of 1024^2
+#: unknowns.  ``make_env(size)`` builds a system of size*size rows.
+TESTING_SIZE = 1024
+
+
+def _solve(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve the tridiagonal system via banded LAPACK."""
+    n = len(diag)
+    ab = np.zeros((3, n))
+    ab[0, 1:] = upper[:-1]
+    ab[1, :] = diag
+    ab[2, :-1] = lower[1:]
+    return solve_banded((1, 1), ab, rhs)
+
+
+def _solver_body(ctx) -> None:
+    """Shared body: all three choices compute the same solution.
+
+    The choices differ in the cost their rules charge (arithmetic,
+    launch counts, strided access, serial structure) — which is what
+    distinguishes them on each device.
+    """
+    out = ctx.array("Out")
+    out[:] = _solve(
+        ctx.input("Lower"), ctx.input("Diag"), ctx.input("Upper"), ctx.input("Rhs")
+    )
+
+
+def _log2n(params) -> float:
+    return math.log2(max(2.0, params.get("_size", 2.0)))
+
+
+_THOMAS_RULE = Rule(
+    name="thomas_direct",
+    reads=("Lower", "Diag", "Upper", "Rhs"),
+    writes=("Out",),
+    body=_solver_body,
+    pattern=Pattern.SEQUENTIAL,
+    divisible=False,
+    cost=CostSpec(
+        # Forward sweep + back substitution with division chains.
+        flops_per_item=24.0,
+        bytes_read_per_item=40.0,
+        bytes_written_per_item=8.0,
+        # Serial dependence across the whole system: scalar rate.
+        sequential_fraction=1.0,
+    ),
+)
+
+_CR_RULE = Rule(
+    name="cyclic_reduction",
+    reads=("Lower", "Diag", "Upper", "Rhs"),
+    writes=("Out",),
+    body=_solver_body,
+    pattern=Pattern.SEQUENTIAL,
+    divisible=False,
+    cost=CostSpec(
+        flops_per_item=17.0,
+        bytes_read_per_item=56.0,
+        bytes_written_per_item=16.0,
+        kernel_launches=lambda p: 2.0 * _log2n(p),
+        strided_access=True,
+    ),
+)
+
+_PCR_RULE = Rule(
+    name="pcr",
+    reads=("Lower", "Diag", "Upper", "Rhs"),
+    writes=("Out",),
+    body=_solver_body,
+    pattern=Pattern.SEQUENTIAL,
+    divisible=False,
+    cost=CostSpec(
+        flops_per_item=lambda p: 12.0 * _log2n(p),
+        bytes_read_per_item=lambda p: 24.0 * _log2n(p),
+        bytes_written_per_item=8.0,
+        kernel_launches=_log2n,
+        strided_access=True,
+    ),
+)
+
+
+def build_program() -> Program:
+    """The Tridiagonal Solver program with its three solver choices."""
+    solver = Transform(
+        name="TridiagonalSolve",
+        inputs=("Lower", "Diag", "Upper", "Rhs"),
+        outputs=("Out",),
+        choices=(
+            Choice(name="thomas_direct", rule=_THOMAS_RULE),
+            Choice(name="cyclic_reduction", rule=_CR_RULE),
+            Choice(name="pcr", rule=_PCR_RULE),
+        ),
+    )
+    return make_program("Tridiagonal Solver", [solver], "TridiagonalSolve")
+
+
+def make_env(size: int, seed: int = 0) -> Dict[str, np.ndarray]:
+    """A diagonally dominant system of ``size * size`` unknowns.
+
+    Args:
+        size: Square root of the system length (matches the paper's
+            "1024^2" input-size convention).
+        seed: RNG seed.
+    """
+    rng = np.random.default_rng(seed)
+    n = size * size
+    lower = rng.random(n) * 0.4
+    upper = rng.random(n) * 0.4
+    diag = 1.0 + lower + upper  # strictly diagonally dominant
+    rhs = rng.random(n)
+    return {
+        "Lower": lower,
+        "Diag": diag,
+        "Upper": upper,
+        "Rhs": rhs,
+        "Out": np.zeros(n),
+    }
+
+
+def reference(env: Dict[str, np.ndarray]) -> np.ndarray:
+    """Reference solution via banded LAPACK solve."""
+    return _solve(env["Lower"], env["Diag"], env["Upper"], env["Rhs"])

@@ -1,0 +1,40 @@
+"""The PetaBricks-style compiler for heterogeneous machines.
+
+Mirrors paper Section 3.  Compilation proceeds per machine:
+
+1. Build the *choice dependency graph* (:mod:`repro.compiler.cdg`).
+2. Run the three-phase OpenCL conversion on every leaf rule
+   (:mod:`repro.compiler.dependency_analysis`,
+   :mod:`repro.compiler.kernelgen`, :mod:`repro.compiler.localmem`):
+   eligible rules gain synthetic OpenCL choices (global-memory and,
+   when the bounding box exceeds one element, local-memory variants).
+3. Expand every transform's authored choices plus the synthetic ones
+   into the runtime's execution choices (:mod:`repro.compiler.choices`).
+4. Emit *training information* — selector and tunable specifications —
+   for the autotuner (:mod:`repro.compiler.training_info`).
+
+The data-movement analysis (:mod:`repro.compiler.data_movement`)
+classifies GPU-produced regions into must-copy-out / reused /
+may-copy-out states; the runtime executes the resulting copy strategy.
+"""
+
+from repro.compiler.choices import ChoiceKind, ExecChoice
+from repro.compiler.compile import CompiledProgram, CompiledTransform, compile_program
+from repro.compiler.data_movement import CopyOutClass, classify_copyouts
+from repro.compiler.kernelgen import GeneratedKernel, KernelVariant
+from repro.compiler.training_info import SelectorSpec, TrainingInfo, TunableSpec
+
+__all__ = [
+    "ChoiceKind",
+    "CompiledProgram",
+    "CompiledTransform",
+    "CopyOutClass",
+    "ExecChoice",
+    "GeneratedKernel",
+    "KernelVariant",
+    "SelectorSpec",
+    "TrainingInfo",
+    "TunableSpec",
+    "classify_copyouts",
+    "compile_program",
+]

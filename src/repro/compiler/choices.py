@@ -1,0 +1,138 @@
+"""Expansion of authored choices into runtime execution choices.
+
+The compiler turns each transform's authored choices into the flat
+list of *execution choices* the selector picks among at run time:
+
+* every leaf (rule) choice yields a CPU execution choice;
+* rules surviving the OpenCL conversion pipeline additionally yield an
+  OpenCL global-memory choice and, when the bounding box analysis
+  permits, an OpenCL local-memory choice — exactly the three-way
+  choice the paper describes for the Convolve* transforms
+  (Section 5.3);
+* composite choices pass through unchanged.
+
+The decision of *if and when* to use the GPU is thereby "encoded as an
+algorithmic choice in the selectors constructed by the autotuner".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.kernelgen import (
+    GeneratedKernel,
+    KernelGenReport,
+    KernelVariant,
+    generate_kernels_for_choice,
+)
+from repro.errors import CompileError
+from repro.hardware.machines import MachineSpec
+from repro.lang.program import Program
+from repro.lang.rule import Rule
+from repro.lang.transform import Choice, Transform
+
+
+class ChoiceKind(enum.Enum):
+    """How an execution choice runs."""
+
+    #: Run the rule body on the CPU work-stealing backend.
+    CPU_RULE = "cpu"
+    #: Launch the global-memory OpenCL kernel (GPU work-pushing path).
+    OPENCL_GLOBAL = "opencl_global"
+    #: Launch the local-memory OpenCL kernel variant.
+    OPENCL_LOCAL = "opencl_local"
+    #: Execute a composite choice's steps (sub-transform invocations).
+    COMPOSITE = "composite"
+
+
+@dataclass(frozen=True)
+class ExecChoice:
+    """One runnable alternative for a transform.
+
+    Attributes:
+        name: Display name, ``<authored-choice>/<backend>`` for leaves.
+        kind: Execution strategy.
+        choice: The authored :class:`~repro.lang.transform.Choice` this
+            execution choice derives from (carries steps/intermediates
+            for composites and the rule for leaves).
+        kernel: The generated kernel for OpenCL kinds, else None.
+    """
+
+    name: str
+    kind: ChoiceKind
+    choice: Choice
+    kernel: Optional[GeneratedKernel] = None
+
+    def __post_init__(self) -> None:
+        opencl = self.kind in (ChoiceKind.OPENCL_GLOBAL, ChoiceKind.OPENCL_LOCAL)
+        if opencl and self.kernel is None:
+            raise CompileError(f"exec choice {self.name!r}: OpenCL kind needs a kernel")
+        if not opencl and self.kernel is not None:
+            raise CompileError(f"exec choice {self.name!r}: unexpected kernel")
+
+    @property
+    def rule(self) -> Optional[Rule]:
+        """The underlying rule for leaf choices (None for composites)."""
+        return self.choice.rule
+
+    @property
+    def uses_opencl(self) -> bool:
+        """True for choices dispatched through the GPU manager."""
+        return self.kind in (ChoiceKind.OPENCL_GLOBAL, ChoiceKind.OPENCL_LOCAL)
+
+
+def expand_transform(
+    transform: Transform, program: Program, machine: MachineSpec
+) -> Tuple[List[ExecChoice], List[GeneratedKernel], List[KernelGenReport]]:
+    """Expand one transform's authored choices for one machine.
+
+    Args:
+        transform: Transform to expand.
+        program: Enclosing program.
+        machine: Target machine (controls kernel generation).
+
+    Returns:
+        The execution choices (authored order, CPU variant before the
+        OpenCL variants of the same authored choice), the generated
+        kernels, and the per-rule conversion reports.
+    """
+    exec_choices: List[ExecChoice] = []
+    kernels: List[GeneratedKernel] = []
+    reports: List[KernelGenReport] = []
+
+    for choice in transform.choices:
+        if not choice.is_leaf:
+            exec_choices.append(
+                ExecChoice(name=choice.name, kind=ChoiceKind.COMPOSITE, choice=choice)
+            )
+            continue
+
+        exec_choices.append(
+            ExecChoice(
+                name=f"{choice.name}/cpu", kind=ChoiceKind.CPU_RULE, choice=choice
+            )
+        )
+        generated, report = generate_kernels_for_choice(
+            transform, choice, program, machine
+        )
+        reports.append(report)
+        for kernel in generated:
+            kernels.append(kernel)
+            kind = (
+                ChoiceKind.OPENCL_GLOBAL
+                if kernel.variant is KernelVariant.GLOBAL
+                else ChoiceKind.OPENCL_LOCAL
+            )
+            suffix = "opencl" if kind is ChoiceKind.OPENCL_GLOBAL else "opencl_local"
+            exec_choices.append(
+                ExecChoice(
+                    name=f"{choice.name}/{suffix}",
+                    kind=kind,
+                    choice=choice,
+                    kernel=kernel,
+                )
+            )
+
+    return exec_choices, kernels, reports

@@ -1,0 +1,222 @@
+"""Top-level compilation: program + machine -> compiled program.
+
+Mirrors the flow of the paper's Figure 3: per-transform analysis and
+choice expansion, kernel generation, and emission of the training
+information the autotuner consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.cdg import step_order
+from repro.compiler.choices import ChoiceKind, ExecChoice, expand_transform
+from repro.compiler.kernelgen import GeneratedKernel, KernelGenReport
+from repro.compiler.training_info import (
+    SELECTOR_LEVELS,
+    SelectorSpec,
+    TrainingInfo,
+    TunableSpec,
+)
+from repro.errors import CompileError
+from repro.hardware.machines import MachineSpec
+from repro.lang.program import Program
+from repro.lang.transform import Transform
+
+
+@dataclass
+class CompiledTransform:
+    """A transform together with its expanded execution choices.
+
+    Attributes:
+        transform: The source transform.
+        exec_choices: Flat list the selector indexes into.
+    """
+
+    transform: Transform
+    exec_choices: List[ExecChoice]
+
+    def __post_init__(self) -> None:
+        if not self.exec_choices:
+            raise CompileError(
+                f"transform {self.transform.name!r} compiled to zero choices"
+            )
+
+    @property
+    def num_choices(self) -> int:
+        """Number of algorithms the transform's selector picks among."""
+        return len(self.exec_choices)
+
+    def choice_index(self, name: str) -> int:
+        """Index of an execution choice by name.
+
+        Raises:
+            KeyError: If no execution choice has that name.
+        """
+        for index, exec_choice in enumerate(self.exec_choices):
+            if exec_choice.name == name:
+                return index
+        raise KeyError(
+            f"transform {self.transform.name!r} has no execution choice {name!r}; "
+            f"available: {[c.name for c in self.exec_choices]}"
+        )
+
+    @property
+    def has_opencl_choice(self) -> bool:
+        """Whether any execution choice dispatches to the GPU manager."""
+        return any(c.uses_opencl for c in self.exec_choices)
+
+
+@dataclass
+class CompiledProgram:
+    """The compiler's output for one (program, machine) pair.
+
+    Attributes:
+        program: Source program.
+        machine: Target machine.
+        transforms: Compiled transforms keyed by name.
+        kernels: All generated OpenCL kernels keyed by kernel name.
+        reports: Per-rule kernel-generation reports.
+        training_info: Search-space description for the autotuner.
+    """
+
+    program: Program
+    machine: MachineSpec
+    transforms: Dict[str, CompiledTransform]
+    kernels: Dict[str, GeneratedKernel]
+    reports: List[KernelGenReport]
+    training_info: TrainingInfo
+
+    @property
+    def kernel_count(self) -> int:
+        """Number of generated OpenCL kernels (Figure 8 column)."""
+        return len(self.kernels)
+
+    def transform(self, name: str) -> CompiledTransform:
+        """Look up a compiled transform by name."""
+        try:
+            return self.transforms[name]
+        except KeyError as exc:
+            raise CompileError(f"no compiled transform {name!r}") from exc
+
+    @property
+    def entry(self) -> CompiledTransform:
+        """The compiled entry transform."""
+        return self.transforms[self.program.entry]
+
+
+def _tunables_for(
+    compiled: CompiledTransform, machine: MachineSpec
+) -> List[TunableSpec]:
+    """Generate the tunable specs one transform contributes.
+
+    Per paper Section 5.3: transforms with OpenCL kernels expose the
+    work-group size ("local work size") and the GPU-CPU workload ratio
+    (multiples of 1/8); transforms runnable on the CPU expose their
+    work-splitting factor for the work-stealing backend.
+    """
+    name = compiled.transform.name
+    tunables: List[TunableSpec] = []
+    if compiled.has_opencl_choice and machine.opencl_device is not None:
+        device = machine.opencl_device
+        tunables.append(
+            TunableSpec(
+                name=f"lws_{name}",
+                lo=1,
+                hi=device.max_local_size,
+                default=device.preferred_local_size,
+                scale="lognormal",
+            )
+        )
+        tunables.append(
+            TunableSpec(
+                name=f"gpu_ratio_{name}",
+                lo=0,
+                hi=8,
+                default=8,
+                scale="uniform",
+            )
+        )
+    if any(c.kind is ChoiceKind.CPU_RULE for c in compiled.exec_choices):
+        tunables.append(
+            TunableSpec(
+                name=f"split_{name}",
+                lo=1,
+                hi=256,
+                default=max(2, machine.worker_count),
+                scale="lognormal",
+            )
+        )
+    for tunable_name, (lo, hi, default, scale) in compiled.transform.user_tunables.items():
+        tunables.append(
+            TunableSpec(name=tunable_name, lo=lo, hi=hi, default=default, scale=scale)
+        )
+    return tunables
+
+
+def compile_program(program: Program, machine: MachineSpec) -> CompiledProgram:
+    """Compile a program for a machine.
+
+    Args:
+        program: The PetaBricks-style program.
+        machine: Target machine specification.
+
+    Returns:
+        A :class:`CompiledProgram` ready for the executor and tuner.
+
+    Raises:
+        CompileError: On malformed programs (cyclic composite steps,
+            outputs never produced, ...).
+    """
+    transforms: Dict[str, CompiledTransform] = {}
+    kernels: Dict[str, GeneratedKernel] = {}
+    reports: List[KernelGenReport] = []
+
+    for transform in program.iter_transforms():
+        # Validate composite dataflow early (raises on bad programs).
+        for choice in transform.choices:
+            step_order(transform, choice, program)
+
+        exec_choices, generated, choice_reports = expand_transform(
+            transform, program, machine
+        )
+        transforms[transform.name] = CompiledTransform(
+            transform=transform, exec_choices=exec_choices
+        )
+        reports.extend(choice_reports)
+        for kernel in generated:
+            if kernel.name in kernels:
+                raise CompileError(f"duplicate kernel name {kernel.name!r}")
+            kernels[kernel.name] = kernel
+
+    training = TrainingInfo(program_name=program.name)
+    training.kernel_names = sorted(kernels)
+    for report in reports:
+        if report.rejected_reason is not None:
+            key = f"{report.transform_name}/{report.choice_name}"
+            training.rejection_log[key] = report.rejected_reason
+    for name, compiled in transforms.items():
+        training.selectors[name] = SelectorSpec(
+            name=name,
+            num_algorithms=compiled.num_choices,
+            max_levels=SELECTOR_LEVELS,
+        )
+        for tunable in _tunables_for(compiled, machine):
+            if tunable.name in training.tunables:
+                raise CompileError(f"duplicate tunable {tunable.name!r}")
+            training.tunables[tunable.name] = tunable
+    # One program-wide sequential/parallel cutoff for the work-stealing
+    # backend (paper Section 5.3 lists it among the other parameters).
+    training.tunables["seq_par_cutoff"] = TunableSpec(
+        name="seq_par_cutoff", lo=16, hi=2**20, default=1024, scale="lognormal"
+    )
+
+    return CompiledProgram(
+        program=program,
+        machine=machine,
+        transforms=transforms,
+        kernels=kernels,
+        reports=reports,
+        training_info=training,
+    )

@@ -1,0 +1,118 @@
+"""Data-movement analysis (paper Section 3.2).
+
+After a schedule is generated for a choice assignment, each region
+produced on the GPU is classified into one of three states that drive
+the copy-out strategy:
+
+* ``MUST_COPY_OUT`` — immediately followed by a rule executing on the
+  CPU: copy eagerly.
+* ``REUSED`` — immediately followed by another GPU rule: leave the data
+  in GPU memory.
+* ``MAY_COPY_OUT`` — followed by dynamic control flow the compiler
+  cannot analyse: copy lazily, with a residency check inserted before
+  any potential consumer.
+
+The classification is a pure function of the step sequence and the
+backend assignment, so it can run both statically (tests, reporting)
+and inside the executor when selectors resolve backends at run time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class CopyOutClass(enum.Enum):
+    """Copy-out state of a GPU-produced region (paper Section 3.2)."""
+
+    MUST_COPY_OUT = "must_copy_out"
+    REUSED = "reused"
+    MAY_COPY_OUT = "may_copy_out"
+
+
+class Backend(enum.Enum):
+    """Where a scheduled step executes."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class ScheduledProducer:
+    """One step of a schedule, as seen by the data-movement analysis.
+
+    Attributes:
+        backend: Where the step runs.
+        produces: Matrices the step writes.
+        consumes: Matrices the step reads.
+        dynamic_consumer: True when what happens *after* this step is
+            dynamic control flow (unanalysable statically).
+    """
+
+    backend: Backend
+    produces: Tuple[str, ...]
+    consumes: Tuple[str, ...]
+    dynamic_consumer: bool = False
+
+
+def classify_copyouts(
+    steps: Sequence[ScheduledProducer],
+    final_consumer: Backend = Backend.CPU,
+    final_dynamic: bool = False,
+) -> Dict[int, Dict[str, CopyOutClass]]:
+    """Classify every GPU-produced matrix of a schedule.
+
+    Args:
+        steps: The schedule, in execution order.
+        final_consumer: Where data still live at the end of the
+            schedule will be consumed (the caller); host CPU by
+            default, so surviving GPU outputs must come back.
+        final_dynamic: True when the caller's consumption pattern is
+            itself dynamic (e.g. the transform output feeds a selector
+            whose choice is unknown) — surviving GPU outputs then get
+            the lazy strategy.
+
+    Returns:
+        ``{step_index: {matrix_name: CopyOutClass}}`` for every matrix
+        produced by a GPU step.
+    """
+    result: Dict[int, Dict[str, CopyOutClass]] = {}
+    for index, step in enumerate(steps):
+        if step.backend is not Backend.GPU:
+            continue
+        classes: Dict[str, CopyOutClass] = {}
+        for matrix in step.produces:
+            classes[matrix] = _classify_one(
+                matrix, index, steps, final_consumer, final_dynamic, step
+            )
+        result[index] = classes
+    return result
+
+
+def _classify_one(
+    matrix: str,
+    producer_index: int,
+    steps: Sequence[ScheduledProducer],
+    final_consumer: Backend,
+    final_dynamic: bool,
+    producer: ScheduledProducer,
+) -> CopyOutClass:
+    """Classify one matrix produced by one GPU step."""
+    if producer.dynamic_consumer:
+        return CopyOutClass.MAY_COPY_OUT
+    for later in steps[producer_index + 1 :]:
+        if matrix in later.consumes:
+            if later.backend is Backend.GPU:
+                return CopyOutClass.REUSED
+            return CopyOutClass.MUST_COPY_OUT
+        if matrix in later.produces:
+            # Overwritten before being read again: nobody consumes this
+            # instance, so it can stay on the device.
+            return CopyOutClass.REUSED
+    if final_dynamic:
+        return CopyOutClass.MAY_COPY_OUT
+    if final_consumer is Backend.GPU:
+        return CopyOutClass.REUSED
+    return CopyOutClass.MUST_COPY_OUT

@@ -1,0 +1,98 @@
+"""Phase one of OpenCL conversion: dependency analysis.
+
+Paper Section 3.1: "a dependency analysis is performed to determine if
+the execution pattern of the rule fits into the OpenCL execution model.
+Sequential dependency patterns and data parallel dependency patterns
+can both be mapped to OpenCL kernels, but more complex parallel
+patterns, such as wavefront parallelism, can not be."
+
+A rule is eligible when
+
+* its declared pattern is data-parallel or sequential, and
+* selecting its choice leaves no dataflow cycle through its outputs
+  (the strongly-connected-component check on the choice dependency
+  graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.compiler.cdg import outputs_in_cycle
+from repro.lang.program import Program
+from repro.lang.rule import Pattern, Rule
+from repro.lang.transform import Choice, Transform
+
+
+@dataclass(frozen=True)
+class EligibilityResult:
+    """Outcome of the phase-one analysis for one rule.
+
+    Attributes:
+        eligible: True when the rule may proceed to kernel generation.
+        reason: Human-readable explanation when ineligible.
+    """
+
+    eligible: bool
+    reason: Optional[str] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.eligible
+
+
+def analyse_rule(
+    transform: Transform, choice: Choice, program: Program
+) -> EligibilityResult:
+    """Decide whether a leaf choice's rule can map to OpenCL.
+
+    Args:
+        transform: Transform owning the choice.
+        choice: A leaf choice (direct rule application).
+        program: The enclosing program.
+
+    Returns:
+        An :class:`EligibilityResult`; composite choices are never
+        directly eligible (their steps are analysed individually).
+    """
+    if not choice.is_leaf:
+        return EligibilityResult(False, "composite choice: steps analysed separately")
+    rule = choice.rule
+    assert rule is not None
+
+    if not rule.is_opencl_candidate_pattern:
+        return EligibilityResult(
+            False,
+            f"pattern {rule.pattern.value} does not fit the OpenCL execution model",
+        )
+    if rule.pattern is Pattern.SEQUENTIAL:
+        # A sequential pattern *is* an ordered self-dependency; it maps
+        # to OpenCL as a sequence of launches (or one work-item doing
+        # ordered work), so the cycle check does not apply.
+        return EligibilityResult(True)
+    if outputs_in_cycle(transform, choice, program):
+        return EligibilityResult(
+            False, "outputs participate in a dataflow cycle for this choice"
+        )
+    return EligibilityResult(True)
+
+
+def phase_two_disqualifiers(rule: Rule) -> List[str]:
+    """Phase-two (body conversion) disqualifiers for a rule.
+
+    Paper Section 3.1 phase two rewrites the rule body into OpenCL and
+    rejects bodies containing constructs with no OpenCL equivalent.
+    In this embedding those constructs are declared as rule metadata.
+
+    Args:
+        rule: Rule that passed phase one.
+
+    Returns:
+        A list of disqualification reasons; empty means convertible.
+    """
+    reasons: List[str] = []
+    if rule.calls_external:
+        reasons.append("calls an external library (e.g. LAPACK)")
+    if rule.has_inline_native:
+        reasons.append("contains inline native code")
+    return reasons

@@ -1,0 +1,190 @@
+"""OpenCL kernel generation (phases one to three, paper Section 3.1).
+
+For each leaf choice of each transform, the generator
+
+1. runs the dependency analysis (phase one),
+2. checks body-conversion disqualifiers and emits the global-memory
+   kernel source (phase two),
+3. emits the local-memory variant when the bounding-box analysis
+   permits (phase three),
+
+and finally *attempts to compile* each kernel against the machine's
+OpenCL platform, rejecting kernels the platform cannot build — the
+paper's fallback for implementation-specific constructs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+from repro.compiler.dependency_analysis import analyse_rule, phase_two_disqualifiers
+from repro.compiler.localmem import fits_local_memory, local_memory_applicable
+from repro.compiler.opencl_source import generate_global_source, generate_local_source
+from repro.hardware.costmodel import KernelLaunch
+from repro.hardware.machines import MachineSpec
+from repro.lang.program import Program
+from repro.lang.rule import ResolvedCost, Rule
+from repro.lang.transform import Choice, Transform
+
+
+class KernelVariant(enum.Enum):
+    """Which memory-mapping variant a generated kernel implements."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+
+
+@dataclass(frozen=True)
+class GeneratedKernel:
+    """A synthetic OpenCL kernel generated from a rule.
+
+    Attributes:
+        name: Kernel symbol name (unique within the program).
+        transform_name: Transform the source rule belongs to.
+        rule: The source rule (its numpy body executes the kernel's
+            semantics during simulation).
+        variant: Global- or local-memory variant.
+        source: Generated OpenCL C text (hashed by the JIT's IR cache).
+        cost: Rule cost metadata resolved at the transform's default
+            parameters (per-launch costs are re-resolved at run time).
+    """
+
+    name: str
+    transform_name: str
+    rule: Rule
+    variant: KernelVariant
+    source: str
+    cost: ResolvedCost
+
+    def launch(
+        self,
+        work_items: int,
+        cost: ResolvedCost,
+        local_work_size: int,
+    ) -> KernelLaunch:
+        """Build the launch descriptor for one execution of this kernel.
+
+        Args:
+            work_items: Output elements to compute (one work-item each).
+            cost: Cost metadata resolved at the *invocation's* actual
+                parameters.
+            local_work_size: Autotuned work-group size.
+
+        Returns:
+            A :class:`~repro.hardware.costmodel.KernelLaunch`.
+        """
+        return KernelLaunch(
+            work_items=work_items,
+            flops_per_item=cost.flops_per_item,
+            bytes_read_per_item=cost.bytes_read_per_item,
+            bytes_written_per_item=cost.bytes_written_per_item,
+            bounding_box=cost.bounding_box,
+            local_work_size=local_work_size,
+            use_local_memory=self.variant is KernelVariant.LOCAL,
+            sequential=cost.sequential_fraction >= 1.0,
+            strided_access=cost.strided_access,
+        )
+
+
+@dataclass(frozen=True)
+class KernelGenReport:
+    """Record of one rule's journey through the conversion pipeline.
+
+    Attributes:
+        transform_name: Owning transform.
+        choice_name: Owning choice.
+        rule_name: The rule analysed.
+        generated: Names of kernels successfully generated.
+        rejected_reason: Why conversion stopped, if it did.
+    """
+
+    transform_name: str
+    choice_name: str
+    rule_name: str
+    generated: Tuple[str, ...]
+    rejected_reason: Optional[str] = None
+
+
+def generate_kernels_for_choice(
+    transform: Transform,
+    choice: Choice,
+    program: Program,
+    machine: MachineSpec,
+) -> Tuple[List[GeneratedKernel], KernelGenReport]:
+    """Run the three conversion phases for one leaf choice.
+
+    Args:
+        transform: Owning transform.
+        choice: Leaf choice whose rule is analysed.
+        program: Enclosing program.
+        machine: Target machine (platform-specific rejection and
+            scratchpad sizing happen here).
+
+    Returns:
+        The generated kernels (possibly empty) and a report.
+    """
+    rule = choice.rule
+    assert rule is not None, "generate_kernels_for_choice requires a leaf choice"
+
+    def report(generated: Tuple[str, ...], reason: Optional[str]) -> KernelGenReport:
+        return KernelGenReport(
+            transform_name=transform.name,
+            choice_name=choice.name,
+            rule_name=rule.name,
+            generated=generated,
+            rejected_reason=reason,
+        )
+
+    if not machine.has_opencl:
+        return [], report((), "machine has no OpenCL device")
+
+    eligibility = analyse_rule(transform, choice, program)
+    if not eligibility.eligible:
+        return [], report((), eligibility.reason)
+
+    disqualifiers = phase_two_disqualifiers(rule)
+    if disqualifiers:
+        return [], report((), "; ".join(disqualifiers))
+
+    if machine.opencl_platform in rule.opencl_hostile_platforms:
+        # The paper detects these by attempting to compile the kernel
+        # and rejecting synthetic rules that fail to build.
+        return [], report((), f"kernel fails to compile on {machine.opencl_platform}")
+
+    params = dict(program.default_params)
+    params.update(transform.params)
+    cost = rule.cost.resolve(params)
+
+    kernels: List[GeneratedKernel] = []
+    base = f"{transform.name}_{rule.name}"
+    global_kernel = GeneratedKernel(
+        name=f"{base}__global",
+        transform_name=transform.name,
+        rule=rule,
+        variant=KernelVariant.GLOBAL,
+        source=generate_global_source(f"{base}__global", rule, cost),
+        cost=cost,
+    )
+    kernels.append(global_kernel)
+
+    device = machine.opencl_device
+    assert device is not None
+    if local_memory_applicable(rule, cost) and fits_local_memory(
+        cost, device.preferred_local_size
+    ):
+        kernels.append(
+            GeneratedKernel(
+                name=f"{base}__local",
+                transform_name=transform.name,
+                rule=rule,
+                variant=KernelVariant.LOCAL,
+                source=generate_local_source(
+                    f"{base}__local", rule, cost, device.preferred_local_size
+                ),
+                cost=cost,
+            )
+        )
+
+    return kernels, report(tuple(k.name for k in kernels), None)

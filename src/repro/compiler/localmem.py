@@ -1,0 +1,65 @@
+"""Phase three of OpenCL conversion: local-memory variant generation.
+
+Paper Section 3.1: "A bounding box is a rectangular region of an input
+matrix that is used for computing an entry of the output matrix.  If
+the size of the bounding box is a constant greater than one, then the
+local memory version of the GPU code is created; if the size of the
+bounding box is one, there is no need to copy the data into local
+memory because threads that share the same local memory never access
+the same data."
+
+The profitability of the variant is *not* decided here — it is exposed
+as a choice to the autotuner (and the cost model makes it a loss on
+cache-backed OpenCL devices, reproducing the Server behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.lang.rule import ResolvedCost, Rule
+
+
+def local_memory_applicable(rule: Rule, cost: ResolvedCost) -> bool:
+    """Whether a local-memory kernel variant should be generated.
+
+    Args:
+        rule: Rule that passed phases one and two.
+        cost: The rule's cost metadata resolved at the transform's
+            default parameters.
+
+    Returns:
+        True when the bounding box is a constant greater than one.
+    """
+    return cost.bounding_box > 1
+
+
+def tile_elements(cost: ResolvedCost, local_size: int) -> int:
+    """Scratchpad tile footprint (elements) for a work-group.
+
+    A group of ``local_size`` work-items with a ``bounding_box``-wide
+    stencil touches ``local_size + bounding_box - 1`` distinct input
+    elements along the split dimension.
+
+    Args:
+        cost: Resolved rule cost metadata.
+        local_size: Work-group size.
+    """
+    return max(1, int(local_size)) + max(1, cost.bounding_box) - 1
+
+
+def fits_local_memory(
+    cost: ResolvedCost, local_size: int, capacity_bytes: int = 48 * 1024
+) -> bool:
+    """Whether the tile fits the device's scratchpad.
+
+    Used by the compile-attempt validation: oversized tiles are one of
+    the "more subtle, OpenCL-implementation specific" failures the
+    paper detects by attempting compilation.
+
+    Args:
+        cost: Resolved rule cost metadata.
+        local_size: Work-group size.
+        capacity_bytes: Scratchpad capacity (48 KiB typical).
+    """
+    return tile_elements(cost, local_size) * 8 <= capacity_bytes

@@ -1,0 +1,135 @@
+"""Training information emitted by the compiler for the autotuner.
+
+The final phase of PetaBricks compilation produces the output binary
+*and a training information file containing static analysis
+information* (paper Section 3); the autotuner consumes it to build the
+search space and to generate the program-specific mutator set fully
+automatically (Section 5.2).
+
+Our training information contains:
+
+* one :class:`SelectorSpec` per transform — how many algorithmic
+  choices its selector picks among and how many levels (input-size
+  ranges) it may hold (12 in the paper, Section 5.3);
+* one :class:`TunableSpec` per tunable parameter — bounded integer
+  ranges with a mutation scale (lognormal for size-like values,
+  uniform for categorical-like values);
+* the kernel-generation reports (which rules became OpenCL kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import CompileError
+
+#: Number of input-size levels each selector provides (Section 5.3:
+#: "every transform provides 12 levels of algorithmic choices for 12
+#: different ranges of input sizes").
+SELECTOR_LEVELS = 12
+
+#: Upper bound on input sizes the cutoffs may take; bounds the
+#: configuration-space size computation of Figure 8.
+MAX_INPUT_SIZE = 2**25
+
+
+@dataclass(frozen=True)
+class SelectorSpec:
+    """Search-space description of one transform's selector.
+
+    Attributes:
+        name: Transform name (selectors are per transform).
+        num_algorithms: Number of execution choices available.
+        max_levels: Maximum number of (cutoff, algorithm) levels.
+        max_input_size: Largest input size a cutoff may name.
+    """
+
+    name: str
+    num_algorithms: int
+    max_levels: int = SELECTOR_LEVELS
+    max_input_size: int = MAX_INPUT_SIZE
+
+    def __post_init__(self) -> None:
+        if self.num_algorithms < 1:
+            raise CompileError(f"selector {self.name!r}: needs >= 1 algorithm")
+        if self.max_levels < 1:
+            raise CompileError(f"selector {self.name!r}: needs >= 1 level")
+
+
+@dataclass(frozen=True)
+class TunableSpec:
+    """Search-space description of one tunable parameter.
+
+    Attributes:
+        name: Tunable name (unique per program).
+        lo: Smallest legal value (inclusive).
+        hi: Largest legal value (inclusive).
+        default: Initial value for seed configurations.
+        scale: ``"lognormal"`` for size-like values (mutations scale
+            multiplicatively; halving is as likely as doubling, paper
+            Section 5.2) or ``"uniform"`` for small categorical ranges.
+    """
+
+    name: str
+    lo: int
+    hi: int
+    default: int
+    scale: str = "lognormal"
+
+    def __post_init__(self) -> None:
+        if not self.lo <= self.default <= self.hi:
+            raise CompileError(
+                f"tunable {self.name!r}: default {self.default} outside "
+                f"[{self.lo}, {self.hi}]"
+            )
+        if self.scale not in ("lognormal", "uniform"):
+            raise CompileError(f"tunable {self.name!r}: unknown scale {self.scale!r}")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values this tunable can take."""
+        return self.hi - self.lo + 1
+
+    def clamp(self, value: int) -> int:
+        """Clamp a mutated value back into the legal range."""
+        return max(self.lo, min(self.hi, int(value)))
+
+
+@dataclass
+class TrainingInfo:
+    """Everything the autotuner needs to know about a compiled program.
+
+    Attributes:
+        program_name: Benchmark name.
+        selectors: Selector specs keyed by transform name.
+        tunables: Tunable specs keyed by tunable name.
+        kernel_names: Names of all generated OpenCL kernels.
+        rejection_log: ``transform/choice`` -> reason, for rules that
+            could not be converted to OpenCL.
+    """
+
+    program_name: str
+    selectors: Dict[str, SelectorSpec] = field(default_factory=dict)
+    tunables: Dict[str, TunableSpec] = field(default_factory=dict)
+    kernel_names: List[str] = field(default_factory=list)
+    rejection_log: Dict[str, str] = field(default_factory=dict)
+
+    def log10_config_space(self) -> float:
+        """log10 of the configuration-space cardinality (Figure 8).
+
+        A selector with ``a`` algorithms, ``L`` levels and cutoffs
+        drawn from ``[1, N]`` contributes ``a^L * N^(L-1)``
+        configurations; tunables contribute their cardinality.  The
+        result is the exponent of the ``# Possible Configs`` column.
+        """
+        import math
+
+        total = 0.0
+        for spec in self.selectors.values():
+            total += spec.max_levels * math.log10(max(1, spec.num_algorithms))
+            if spec.num_algorithms > 1:
+                total += (spec.max_levels - 1) * math.log10(spec.max_input_size)
+        for tunable in self.tunables.values():
+            total += math.log10(max(1, tunable.cardinality))
+        return total

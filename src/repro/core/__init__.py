@@ -1,0 +1,31 @@
+"""The paper's primary contribution: the heterogeneous autotuner.
+
+Choices (algorithm selectors) and tunables are represented in a
+:class:`~repro.core.configuration.Configuration`; an evolutionary
+search (:mod:`repro.core.search`) mutates configurations with
+program-specific mutators generated from the compiler's training
+information and keeps children only when they outperform their parent
+(paper Section 5).
+"""
+
+from repro.core.configuration import Configuration, default_configuration
+from repro.core.fitness import Evaluation, Evaluator
+from repro.core.mutators import Mutator, mutators_for
+from repro.core.population import Candidate, Population
+from repro.core.search import EvolutionaryTuner, TuningReport, autotune
+from repro.core.selector import Selector
+
+__all__ = [
+    "Candidate",
+    "Configuration",
+    "Evaluation",
+    "Evaluator",
+    "EvolutionaryTuner",
+    "Mutator",
+    "Population",
+    "Selector",
+    "TuningReport",
+    "autotune",
+    "default_configuration",
+    "mutators_for",
+]

@@ -1,0 +1,138 @@
+"""Choice configuration files (paper Sections 3 and 5.1).
+
+Autotuning produces a *choice configuration file* holding every
+decision the runtime consults: one selector per transform (algorithmic
+choices, including if/when to use the GPU) plus the discrete tunables
+(local work sizes, GPU/CPU workload ratios, split factors, cutoffs).
+Configurations serialise to JSON so they can be stored, migrated
+between machines (the Figure 7 experiments), and fed back to the
+compiler.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.compiler.training_info import TrainingInfo
+from repro.errors import ConfigurationError
+from repro.core.selector import Selector
+
+
+@dataclass
+class Configuration:
+    """A complete assignment of choices for one compiled program.
+
+    Attributes:
+        program_name: Program this configuration tunes.
+        selectors: Per-transform algorithm selectors.
+        tunables: Tunable parameter values.
+        label: Optional provenance label (e.g. "Desktop Config").
+    """
+
+    program_name: str
+    selectors: Dict[str, Selector] = field(default_factory=dict)
+    tunables: Dict[str, int] = field(default_factory=dict)
+    label: str = ""
+
+    def select_index(self, transform_name: str, size: int) -> int:
+        """Resolve the execution-choice index for an invocation.
+
+        Transforms without a selector entry default to algorithm 0
+        (the first authored choice on the CPU backend).
+
+        Args:
+            transform_name: The invoked transform.
+            size: Dynamic input size.
+        """
+        selector = self.selectors.get(transform_name)
+        if selector is None:
+            return 0
+        return selector.select(size)
+
+    def tunable(self, name: str, default: int = 0) -> int:
+        """Value of a tunable, with a fallback default."""
+        return int(self.tunables.get(name, default))
+
+    def copy(self, label: Optional[str] = None) -> "Configuration":
+        """Deep-enough copy (selectors are immutable)."""
+        return Configuration(
+            program_name=self.program_name,
+            selectors=dict(self.selectors),
+            tunables=dict(self.tunables),
+            label=self.label if label is None else label,
+        )
+
+    def validate(self, training: TrainingInfo) -> None:
+        """Check the configuration against a program's search space.
+
+        Raises:
+            ConfigurationError: On unknown names, out-of-range
+                algorithm indices, level overflow, or out-of-range
+                tunable values.
+        """
+        for name, selector in self.selectors.items():
+            spec = training.selectors.get(name)
+            if spec is None:
+                raise ConfigurationError(f"selector for unknown transform {name!r}")
+            if selector.max_algorithm() >= spec.num_algorithms:
+                raise ConfigurationError(
+                    f"selector {name!r}: algorithm index "
+                    f"{selector.max_algorithm()} out of range "
+                    f"(num_algorithms={spec.num_algorithms})"
+                )
+            if selector.levels > spec.max_levels:
+                raise ConfigurationError(
+                    f"selector {name!r}: {selector.levels} levels exceed "
+                    f"the maximum of {spec.max_levels}"
+                )
+        for name, value in self.tunables.items():
+            spec = training.tunables.get(name)
+            if spec is None:
+                raise ConfigurationError(f"unknown tunable {name!r}")
+            if not spec.lo <= value <= spec.hi:
+                raise ConfigurationError(
+                    f"tunable {name!r}={value} outside [{spec.lo}, {spec.hi}]"
+                )
+
+    def to_json(self) -> str:
+        """Serialise to the on-disk choice configuration format."""
+        payload = {
+            "program": self.program_name,
+            "label": self.label,
+            "selectors": {k: v.to_json() for k, v in sorted(self.selectors.items())},
+            "tunables": dict(sorted(self.tunables.items())),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "Configuration":
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"malformed configuration file: {exc}") from exc
+        return Configuration(
+            program_name=payload["program"],
+            label=payload.get("label", ""),
+            selectors={
+                name: Selector.from_json(data)
+                for name, data in payload.get("selectors", {}).items()
+            },
+            tunables={k: int(v) for k, v in payload.get("tunables", {}).items()},
+        )
+
+
+def default_configuration(training: TrainingInfo, label: str = "default") -> Configuration:
+    """The seed configuration: algorithm 0 everywhere, default tunables.
+
+    Algorithm 0 is always the first authored choice on the CPU backend,
+    so the seed runs on any machine.
+    """
+    return Configuration(
+        program_name=training.program_name,
+        selectors={name: Selector.constant(0) for name in training.selectors},
+        tunables={name: spec.default for name, spec in training.tunables.items()},
+        label=label,
+    )

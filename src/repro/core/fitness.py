@@ -1,0 +1,115 @@
+"""Candidate evaluation for the autotuner.
+
+Fitness is the virtual execution time of the compiled program under a
+candidate configuration on representative inputs.  The evaluator
+
+* shares one OpenCL JIT model across all test runs, so the IR cache
+  behaves as in paper Section 5.4 (first compile of each kernel is
+  expensive, later runs cheap);
+* separately accumulates *tuning time* — the virtual seconds the
+  autotuner spends running tests plus compiling kernels — which is
+  what the "Mean Autotuning Time" column of Figure 8 reports;
+* memoises results per (configuration, size) since the simulation is
+  deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.compile import CompiledProgram
+from repro.core.configuration import Configuration
+from repro.errors import TuningError
+
+#: Builds a fresh environment (inputs + preallocated outputs) for a
+#: given input size.  Deterministic for a given size.
+EnvFactory = Callable[[int], Dict[str, np.ndarray]]
+
+#: Optional accuracy metric computed on the filled environment; used
+#: by variable-accuracy transforms (the paper's SVD).  Lower is better
+#: (an error measure).
+AccuracyFn = Callable[[Dict[str, np.ndarray]], float]
+
+
+@dataclass
+class Evaluation:
+    """Outcome of evaluating one configuration at one size.
+
+    Attributes:
+        time_s: Virtual execution time (the fitness; lower is better).
+        accuracy: Error metric when an accuracy function is installed.
+        feasible: False when the accuracy target was missed — the
+            candidate must be rejected regardless of speed.
+    """
+
+    time_s: float
+    accuracy: Optional[float] = None
+    feasible: bool = True
+
+
+class Evaluator:
+    """Runs candidate configurations and accounts tuning time."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        env_factory: EnvFactory,
+        accuracy_fn: Optional[AccuracyFn] = None,
+        accuracy_target: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        self._compiled = compiled
+        self._env_factory = env_factory
+        self._accuracy_fn = accuracy_fn
+        self._accuracy_target = accuracy_target
+        self._seed = seed
+        self._jit = compiled.machine.fresh_jit()
+        self._cache: Dict[Tuple[str, int], Evaluation] = {}
+        self.tuning_time_s = 0.0
+        self.evaluations = 0
+
+    def evaluate(self, config: Configuration, size: int) -> Evaluation:
+        """Fitness of ``config`` at input size ``size``.
+
+        Raises:
+            TuningError: If the run fails (propagating runtime faults
+                would abort the whole search for one bad candidate).
+        """
+        from repro.runtime.executor import run_program  # local: avoids cycle
+
+        key = (config.to_json(), size)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        env = self._env_factory(size)
+        compile_before = self._jit.total_compile_time_s
+        try:
+            result = run_program(
+                self._compiled, config, env, seed=self._seed, jit=self._jit
+            )
+        except Exception as exc:
+            raise TuningError(
+                f"evaluation failed for {self._compiled.program.name} at "
+                f"size {size}: {exc}"
+            ) from exc
+
+        self.evaluations += 1
+        compile_delta = self._jit.total_compile_time_s - compile_before
+        self.tuning_time_s += result.time_s + compile_delta
+
+        accuracy: Optional[float] = None
+        feasible = True
+        if self._accuracy_fn is not None:
+            accuracy = float(self._accuracy_fn(result.env))
+            if self._accuracy_target is not None:
+                feasible = accuracy <= self._accuracy_target
+
+        evaluation = Evaluation(
+            time_s=result.time_s, accuracy=accuracy, feasible=feasible
+        )
+        self._cache[key] = evaluation
+        return evaluation

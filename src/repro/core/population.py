@@ -1,0 +1,63 @@
+"""Candidate population for the evolutionary search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.configuration import Configuration
+from repro.errors import TuningError
+
+
+@dataclass
+class Candidate:
+    """A configuration plus its measured fitness per input size.
+
+    Attributes:
+        config: The configuration.
+        times: Virtual execution time per evaluated input size.
+    """
+
+    config: Configuration
+    times: Dict[int, float] = field(default_factory=dict)
+
+    def time_at(self, size: int) -> float:
+        """Fitness at a size (infinity when not yet evaluated)."""
+        return self.times.get(size, float("inf"))
+
+
+class Population:
+    """A bounded, fitness-pruned set of candidates.
+
+    New candidates are only admitted when they outperform the parent
+    they were mutated from (paper Section 5.2); pruning keeps the
+    fastest ``capacity`` candidates at the current size.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise TuningError("population capacity must be >= 1")
+        self.capacity = capacity
+        self.members: List[Candidate] = []
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def add(self, candidate: Candidate) -> None:
+        """Admit a candidate (caller already checked it beats its parent)."""
+        self.members.append(candidate)
+
+    def best(self, size: int) -> Candidate:
+        """Fastest member at a size.
+
+        Raises:
+            TuningError: On an empty population.
+        """
+        if not self.members:
+            raise TuningError("population is empty")
+        return min(self.members, key=lambda c: c.time_at(size))
+
+    def prune(self, size: int) -> None:
+        """Keep only the ``capacity`` fastest members at ``size``."""
+        self.members.sort(key=lambda c: c.time_at(size))
+        del self.members[self.capacity :]

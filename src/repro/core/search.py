@@ -1,0 +1,281 @@
+"""The evolutionary autotuning algorithm (paper Section 5.2).
+
+The tuner maintains a population of candidate configurations which it
+continually expands with mutators and prunes by performance.  Key
+properties taken from the paper:
+
+* mutation is **asexual** — each child has a single parent;
+* a child joins the population **only if it outperforms its parent**;
+* test input sizes **grow exponentially**, exploiting optimal
+  substructure (a good configuration for size n seeds size 2n);
+* the mutator set is generated automatically from the compiler's
+  static analysis;
+* to fight the kernel-compilation overhead of Section 5.4, the tuner
+  can skip the smallest input sizes and run fewer generations there.
+
+For variable-accuracy programs (SVD) candidates that miss the accuracy
+target are rejected outright.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler.compile import CompiledProgram
+from repro.core.configuration import Configuration, default_configuration
+from repro.core.fitness import AccuracyFn, EnvFactory, Evaluator
+from repro.core.mutators import Mutator, mutators_for
+from repro.core.population import Candidate, Population
+from repro.core.selector import Selector
+from repro.errors import TuningError
+
+
+@dataclass
+class TuningReport:
+    """Outcome of one autotuning session.
+
+    Attributes:
+        best: The winning configuration (labelled with the machine).
+        best_time_s: Its virtual execution time at the final size.
+        tuning_time_s: Total virtual time spent testing candidates and
+            JIT-compiling kernels (the Figure 8 "autotuning time").
+        evaluations: Number of candidate test runs executed.
+        sizes: The exponentially growing test sizes used.
+        history: Best time per size, in tuning order.
+    """
+
+    best: Configuration
+    best_time_s: float
+    tuning_time_s: float
+    evaluations: int
+    sizes: List[int]
+    history: List[float] = field(default_factory=list)
+
+
+class EvolutionaryTuner:
+    """Searches the configuration space of one compiled program."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        env_factory: EnvFactory,
+        max_size: int,
+        population_size: int = 6,
+        generations_per_size: int = 10,
+        min_size: int = 64,
+        size_growth: int = 4,
+        seed: int = 0,
+        accuracy_fn: Optional[AccuracyFn] = None,
+        accuracy_target: Optional[float] = None,
+        skip_small_sizes_for_opencl: bool = True,
+        mutators: Optional[List[Mutator]] = None,
+    ) -> None:
+        """Configure a tuning session.
+
+        Args:
+            compiled: Compiler output for the target machine.
+            env_factory: Builds a deterministic test environment for a
+                given input size.
+            max_size: Final (testing) input size.
+            population_size: Population capacity.
+            generations_per_size: Mutation attempts per input size.
+            min_size: Smallest test size (before OpenCL adjustment).
+            size_growth: Factor between consecutive test sizes.
+            seed: Randomness seed (the whole search is deterministic).
+            accuracy_fn: Error metric for variable-accuracy programs.
+            accuracy_target: Largest acceptable error.
+            skip_small_sizes_for_opencl: Apply the Section 5.4
+                mitigation — skip extremely small sizes and run fewer
+                generations at the small sizes kept — when the program
+                has OpenCL kernels.
+            mutators: Override the auto-generated mutator set (used by
+                the autotuner ablation benchmarks).
+        """
+        self._compiled = compiled
+        self._rng = random.Random(seed)
+        self._evaluator = Evaluator(
+            compiled,
+            env_factory,
+            accuracy_fn=accuracy_fn,
+            accuracy_target=accuracy_target,
+            seed=seed,
+        )
+        self._population_size = population_size
+        self._mutators: List[Mutator] = (
+            mutators if mutators is not None else mutators_for(compiled.training_info)
+        )
+        # Scale the per-size budget with the size of the mutator set so
+        # programs with rich choice spaces (Sort's 9 algorithms, SVD's
+        # nested transforms) still get enough algorithm-changing draws.
+        self._generations = max(generations_per_size, 2 * len(self._mutators))
+        self._sizes = self._plan_sizes(
+            min_size, max_size, size_growth, skip_small_sizes_for_opencl
+        )
+        self._max_size = max_size
+
+    def _plan_sizes(
+        self, min_size: int, max_size: int, growth: int, skip_small: bool
+    ) -> List[int]:
+        """Exponentially growing test sizes, ending exactly at max_size."""
+        if max_size < 1:
+            raise TuningError("max_size must be positive")
+        if skip_small and self._compiled.kernel_count > 0:
+            # Section 5.4: kernel compiles dominate tiny tests; skip them.
+            min_size = max(min_size, max_size // (growth**3))
+        sizes: List[int] = []
+        size = max(1, min_size)
+        while size < max_size:
+            sizes.append(size)
+            size *= growth
+        sizes.append(max_size)
+        return sizes
+
+    @property
+    def sizes(self) -> List[int]:
+        """The planned test sizes (smallest to largest)."""
+        return list(self._sizes)
+
+    def _seed_configs(self) -> List[Configuration]:
+        """Initial population: the default plus one constant-selector
+        configuration per (transform, algorithm).
+
+        The paper's tuner runs large numbers of tests on small inputs
+        to quickly explore the choice space; seeding every algorithm
+        guarantees that coverage before mutation refines cutoffs and
+        tunables.  The seeds are evaluated at the smallest test size,
+        where bad algorithms are cheap to reject.
+        """
+        training = self._compiled.training_info
+        seeds = [default_configuration(training)]
+        for name, spec in sorted(training.selectors.items()):
+            for algorithm in range(1, spec.num_algorithms):
+                config = default_configuration(training)
+                config.selectors[name] = Selector.constant(algorithm)
+                seeds.append(config)
+        return seeds
+
+    def _evaluate_candidate(self, candidate: Candidate, size: int) -> float:
+        evaluation = self._evaluator.evaluate(candidate.config, size)
+        time = evaluation.time_s if evaluation.feasible else float("inf")
+        candidate.times[size] = time
+        return time
+
+    def _refine(self, best: Candidate, size: int) -> Candidate:
+        """Greedy local refinement of the winner's tunables.
+
+        After the evolutionary phase, hill-climb each tunable (one
+        step through its range for categorical values, one doubling /
+        halving for size-like values) and keep improvements.  This is
+        the deterministic final polish that makes the natively tuned
+        configuration robustly at least as good as any migrated one on
+        its own machine.
+        """
+        training = self._compiled.training_info
+        current = best
+        for _ in range(2):
+            improved = False
+            for name, spec in sorted(training.tunables.items()):
+                value = current.config.tunable(name, spec.default)
+                if spec.scale == "lognormal":
+                    neighbours = (value * 2, max(1, value // 2))
+                else:
+                    neighbours = (value + 1, value - 1)
+                for neighbour in neighbours:
+                    clamped = spec.clamp(neighbour)
+                    if clamped == value:
+                        continue
+                    config = current.config.copy()
+                    config.tunables[name] = clamped
+                    candidate = Candidate(config=config)
+                    if self._evaluate_candidate(candidate, size) < current.time_at(size):
+                        current = candidate
+                        improved = True
+            if not improved:
+                break
+        return current
+
+    def tune(self, label: str = "") -> TuningReport:
+        """Run the search and return the winning configuration.
+
+        Args:
+            label: Provenance label stored on the result (e.g.
+                ``"Desktop Config"``).
+        """
+        population = Population(self._population_size)
+        seeds = self._seed_configs()
+        for config in seeds:
+            population.add(Candidate(config=config))
+
+        history: List[float] = []
+        for size in self._sizes:
+            # Re-inject the per-algorithm seeds at every size level: an
+            # algorithm that loses at small sizes (a GPU kernel paying
+            # launch and transfer overheads) must still be considered
+            # at the sizes where it wins.  Evaluations are memoised, so
+            # re-seeding costs one run per seed per size at most.
+            present = {c.config.to_json() for c in population.members}
+            for config in seeds:
+                if config.to_json() not in present:
+                    population.add(Candidate(config=config.copy()))
+            for candidate in population.members:
+                self._evaluate_candidate(candidate, size)
+            generations = self._generations
+            if size < self._max_size // 16 and self._compiled.kernel_count > 0:
+                # Fewer tests at small sizes (Section 5.4 mitigation).
+                generations = max(2, generations // 2)
+            elif size == self._max_size:
+                # Spend extra effort at the final (testing) size, where
+                # fine-grained tunables such as the GPU/CPU ratio pay off.
+                generations *= 2
+            for _ in range(generations):
+                parent = self._rng.choice(population.members)
+                mutator = self._rng.choice(self._mutators)
+                child_config = mutator.mutate(parent.config, self._rng, size)
+                if child_config is None:
+                    continue
+                try:
+                    child_config.validate(self._compiled.training_info)
+                except Exception:
+                    continue
+                child = Candidate(config=child_config)
+                child_time = self._evaluate_candidate(child, size)
+                # Paper: children are admitted only when they
+                # outperform the parent they were created from.
+                if child_time < parent.time_at(size):
+                    population.add(child)
+            population.prune(size)
+            history.append(population.best(size).time_at(size))
+
+        final_size = self._sizes[-1]
+        best = self._refine(population.best(final_size), final_size)
+        best_config = best.config.copy(label=label or f"{self._compiled.machine.codename} Config")
+        return TuningReport(
+            best=best_config,
+            best_time_s=best.time_at(final_size),
+            tuning_time_s=self._evaluator.tuning_time_s,
+            evaluations=self._evaluator.evaluations,
+            sizes=list(self._sizes),
+            history=history,
+        )
+
+
+def autotune(
+    compiled: CompiledProgram,
+    env_factory: EnvFactory,
+    max_size: int,
+    label: str = "",
+    **tuner_kwargs,
+) -> TuningReport:
+    """Convenience wrapper: build a tuner and run it once.
+
+    Args:
+        compiled: Compiler output for the target machine.
+        env_factory: Deterministic test-environment builder.
+        max_size: Final testing input size.
+        label: Label for the winning configuration.
+        **tuner_kwargs: Forwarded to :class:`EvolutionaryTuner`.
+    """
+    tuner = EvolutionaryTuner(compiled, env_factory, max_size, **tuner_kwargs)
+    return tuner.tune(label=label)

@@ -1,0 +1,151 @@
+"""Selectors: input-size-dispatched algorithmic choices (paper 5.1).
+
+A selector ``s`` consists of cutoffs ``C = [c1 .. c(m-1)]`` and
+algorithms ``A = [a1 .. am]``; during execution
+
+    SELECT(input, s) = a_i  such that  c_i > size(input) >= c_(i-1)
+
+with ``c_0 = 0`` and ``c_m = infinity``.  Selectors can make different
+decisions at different dynamic input sizes, which is how the autotuner
+constructs poly-algorithms that switch technique at recursive call
+sites (insertion sort below one cutoff, merge sort above it, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Selector:
+    """An input-size dispatch table over algorithm indices.
+
+    Attributes:
+        cutoffs: Strictly increasing input-size thresholds (may be
+            empty: a constant selector).
+        algorithms: Algorithm index per size range; exactly
+            ``len(cutoffs) + 1`` entries.  ``algorithms[0]`` serves
+            sizes below ``cutoffs[0]``; the last entry serves every
+            size at or above the final cutoff.
+    """
+
+    cutoffs: Tuple[int, ...]
+    algorithms: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.algorithms) != len(self.cutoffs) + 1:
+            raise ConfigurationError(
+                f"selector needs len(cutoffs)+1 algorithms, got "
+                f"{len(self.cutoffs)} cutoffs / {len(self.algorithms)} algorithms"
+            )
+        if any(c <= 0 for c in self.cutoffs):
+            raise ConfigurationError("cutoffs must be positive")
+        if any(b <= a for a, b in zip(self.cutoffs, self.cutoffs[1:])):
+            raise ConfigurationError(f"cutoffs must be strictly increasing: {self.cutoffs}")
+        if any(a < 0 for a in self.algorithms):
+            raise ConfigurationError("algorithm indices must be non-negative")
+
+    @staticmethod
+    def constant(algorithm: int) -> "Selector":
+        """A selector that picks one algorithm at every size."""
+        return Selector(cutoffs=(), algorithms=(algorithm,))
+
+    @property
+    def levels(self) -> int:
+        """Number of (range, algorithm) levels."""
+        return len(self.algorithms)
+
+    def select(self, size: int) -> int:
+        """The SELECT function of paper Section 5.1.
+
+        Args:
+            size: Dynamic input size of the invocation.
+
+        Returns:
+            The algorithm index for the range containing ``size``.
+        """
+        for cutoff, algorithm in zip(self.cutoffs, self.algorithms):
+            if size < cutoff:
+                return algorithm
+        return self.algorithms[-1]
+
+    def max_algorithm(self) -> int:
+        """Largest algorithm index the selector can return."""
+        return max(self.algorithms)
+
+    def with_level_added(self, cutoff: int, algorithm: int) -> "Selector":
+        """Copy with one more (cutoff, algorithm) level inserted.
+
+        The new cutoff partitions an existing range; the new algorithm
+        serves the lower half of that range.
+
+        Raises:
+            ConfigurationError: If the cutoff already exists.
+        """
+        if cutoff in self.cutoffs:
+            raise ConfigurationError(f"cutoff {cutoff} already present")
+        position = 0
+        while position < len(self.cutoffs) and self.cutoffs[position] < cutoff:
+            position += 1
+        cutoffs = self.cutoffs[:position] + (cutoff,) + self.cutoffs[position:]
+        # The range previously served by algorithms[position] splits in
+        # two; the new algorithm serves the lower half.
+        algorithms = (
+            self.algorithms[:position]
+            + (algorithm, self.algorithms[position])
+            + self.algorithms[position + 1 :]
+        )
+        return Selector(cutoffs=cutoffs, algorithms=algorithms)
+
+    def with_level_removed(self, level: int) -> "Selector":
+        """Copy with the cutoff at ``level`` removed (ranges merge)."""
+        if not self.cutoffs:
+            raise ConfigurationError("cannot remove a level from a constant selector")
+        if not 0 <= level < len(self.cutoffs):
+            raise ConfigurationError(f"no cutoff level {level}")
+        cutoffs = self.cutoffs[:level] + self.cutoffs[level + 1 :]
+        algorithms = self.algorithms[:level] + self.algorithms[level + 1 :]
+        return Selector(cutoffs=cutoffs, algorithms=algorithms)
+
+    def with_algorithm(self, level: int, algorithm: int) -> "Selector":
+        """Copy with the algorithm at ``level`` replaced."""
+        if not 0 <= level < len(self.algorithms):
+            raise ConfigurationError(f"no algorithm level {level}")
+        algorithms = (
+            self.algorithms[:level] + (algorithm,) + self.algorithms[level + 1 :]
+        )
+        return Selector(cutoffs=self.cutoffs, algorithms=algorithms)
+
+    def with_cutoff_scaled(self, level: int, new_cutoff: int) -> "Selector":
+        """Copy with the cutoff at ``level`` moved to ``new_cutoff``.
+
+        The result keeps cutoffs strictly increasing by clamping into
+        the open interval between the neighbours; if no legal value
+        exists the selector is returned unchanged.
+        """
+        if not 0 <= level < len(self.cutoffs):
+            raise ConfigurationError(f"no cutoff level {level}")
+        lo = self.cutoffs[level - 1] + 1 if level > 0 else 1
+        hi = self.cutoffs[level + 1] - 1 if level + 1 < len(self.cutoffs) else None
+        value = max(lo, int(new_cutoff))
+        if hi is not None:
+            value = min(value, hi)
+        if hi is not None and lo > hi:
+            return self
+        cutoffs = self.cutoffs[:level] + (value,) + self.cutoffs[level + 1 :]
+        return Selector(cutoffs=cutoffs, algorithms=self.algorithms)
+
+    def to_json(self) -> Dict:
+        """JSON-serialisable representation."""
+        return {"cutoffs": list(self.cutoffs), "algorithms": list(self.algorithms)}
+
+    @staticmethod
+    def from_json(data: Dict) -> "Selector":
+        """Inverse of :meth:`to_json`."""
+        return Selector(
+            cutoffs=tuple(int(c) for c in data["cutoffs"]),
+            algorithms=tuple(int(a) for a in data["algorithms"]),
+        )

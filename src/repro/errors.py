@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LanguageError(ReproError):
+    """A PetaBricks-style program definition is malformed."""
+
+
+class CompileError(ReproError):
+    """The compiler could not produce a valid compiled program."""
+
+
+class KernelGenError(CompileError):
+    """A rule could not be converted into an OpenCL kernel."""
+
+
+class ScheduleError(CompileError):
+    """No legal schedule exists for the requested choice assignment."""
+
+
+class RuntimeFault(ReproError):
+    """The simulated runtime reached an inconsistent state."""
+
+
+class DeviceError(RuntimeFault):
+    """A simulated device was used incorrectly (e.g. bad buffer handle)."""
+
+
+class ConfigurationError(ReproError):
+    """An autotuner configuration is malformed or out of bounds."""
+
+
+class TuningError(ReproError):
+    """The autotuner could not make progress."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with inconsistent parameters."""

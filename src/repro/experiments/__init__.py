@@ -1,0 +1,26 @@
+"""Experiment harnesses regenerating every table and figure.
+
+One module per paper artefact:
+
+* :mod:`repro.experiments.fig2_convolution` — Figure 2 (the four
+  OpenCL mappings of SeparableConvolution vs. kernel width).
+* :mod:`repro.experiments.fig6_configs` — Figure 6 (the autotuned
+  configuration summary table).
+* :mod:`repro.experiments.fig7_migration` — Figure 7(a)-(g)
+  (configuration migration between machines, with baselines).
+* :mod:`repro.experiments.fig8_properties` — Figure 8 (benchmark
+  properties: configuration-space size, kernels, autotuning time).
+* :mod:`repro.experiments.fig9_machines` — Figure 9 (test systems).
+* :mod:`repro.experiments.baselines` — hand-coded OpenCL comparators
+  and CPU-only / GPU-only configurations.
+* :mod:`repro.experiments.runner` — shared autotuning-session cache.
+
+Set the environment variable ``REPRO_FULL_SCALE=1`` to run every
+experiment at the paper's exact input sizes (slower); the default uses
+reduced sizes where the full ones are wall-clock expensive.  All
+virtual-time results are deterministic for a given seed.
+"""
+
+from repro.experiments.runner import ExperimentSettings, tuned_session
+
+__all__ = ["ExperimentSettings", "tuned_session"]

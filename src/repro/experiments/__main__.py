@@ -1,0 +1,73 @@
+"""Regenerate every paper artefact from the command line.
+
+Usage::
+
+    python -m repro.experiments            # all figures/tables
+    python -m repro.experiments fig2 fig9  # a subset
+
+Set ``REPRO_FULL_SCALE=1`` for the paper's exact input sizes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.fig2_convolution import run_fig2
+from repro.experiments.fig6_configs import render_fig6, run_fig6
+from repro.experiments.fig7_migration import run_fig7
+from repro.experiments.fig8_properties import render_fig8, run_fig8
+from repro.experiments.fig9_machines import render_fig9
+from repro.experiments.runner import ExperimentSettings
+
+
+def _fig2(settings: ExperimentSettings) -> None:
+    size = 3520 if settings.full_scale else 704
+    for panel in run_fig2(size=size, seed=settings.seed).values():
+        print(panel.render())
+        print()
+
+
+def _fig6(settings: ExperimentSettings) -> None:
+    print(render_fig6(run_fig6(seed=settings.seed)))
+    print()
+
+
+def _fig7(settings: ExperimentSettings) -> None:
+    for panel in run_fig7(settings).values():
+        print(panel.render())
+        print()
+
+
+def _fig8(settings: ExperimentSettings) -> None:
+    print(render_fig8(run_fig8(seed=settings.seed)))
+    print()
+
+
+def _fig9(settings: ExperimentSettings) -> None:
+    print(render_fig9())
+    print()
+
+
+_ARTEFACTS = {
+    "fig2": _fig2,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+}
+
+
+def main(argv: list) -> int:
+    settings = ExperimentSettings.from_environment()
+    requested = argv or list(_ARTEFACTS)
+    unknown = [name for name in requested if name not in _ARTEFACTS]
+    if unknown:
+        print(f"unknown artefact(s): {unknown}; available: {sorted(_ARTEFACTS)}")
+        return 2
+    for name in requested:
+        _ARTEFACTS[name](settings)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

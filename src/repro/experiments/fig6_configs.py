@@ -1,0 +1,141 @@
+"""Figure 6: summary of the autotuned configurations.
+
+For every benchmark and machine, autotune and then summarise the
+winning configuration the way the paper's Figure 6 does: which
+algorithmic choices were selected (at the testing size and, for
+poly-algorithms, along the recursion), which backend each phase uses,
+and the GPU/CPU workload ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.registry import BenchmarkSpec, all_benchmarks
+from repro.compiler.compile import CompiledProgram
+from repro.core.configuration import Configuration
+from repro.experiments.runner import DEFAULT_SEED, tuned_session
+from repro.hardware.machines import MachineSpec, standard_machines
+from repro.reporting.tables import render_table
+
+#: Transforms whose choices the summary highlights, per benchmark.
+_FOCUS_TRANSFORMS: Dict[str, Tuple[str, ...]] = {
+    "Black-Sholes": ("BlackScholes",),
+    "Poisson2D SOR": ("Split", "SORIteration", "Merge"),
+    "SeparableConv.": ("SeparableConvolution", "Convolve2D", "ConvolveRows"),
+    "Sort": ("SortInPlace",),
+    "Strassen": ("MatMul",),
+    "SVD": ("MatMul", "Reconstruct"),
+    "Tridiagonal Solver": ("TridiagonalSolve",),
+}
+
+
+def describe_choice_at(
+    compiled: CompiledProgram,
+    config: Configuration,
+    transform_name: str,
+    size: int,
+) -> str:
+    """Human-readable description of the selected choice at one size."""
+    compiled_t = compiled.transform(transform_name)
+    index = min(config.select_index(transform_name, size), compiled_t.num_choices - 1)
+    choice = compiled_t.exec_choices[index]
+    text = choice.name
+    if choice.uses_opencl:
+        ratio = config.tunable(f"gpu_ratio_{transform_name}", 8)
+        lws = config.tunable(f"lws_{transform_name}", 0)
+        text += f" [gpu {ratio}/8, lws {lws}]"
+    return text
+
+
+def describe_polyalgorithm(
+    compiled: CompiledProgram,
+    config: Configuration,
+    transform_name: str,
+    max_size: int,
+) -> str:
+    """Describe a selector's size-dependent switching (poly-algorithm).
+
+    Renders the paper's "above N use X, then Y until M, ..." style
+    summary from the selector's cutoffs.
+    """
+    selector = config.selectors.get(transform_name)
+    compiled_t = compiled.transform(transform_name)
+    if selector is None or not selector.cutoffs:
+        return describe_choice_at(compiled, config, transform_name, max_size)
+    parts: List[str] = []
+    boundaries = list(selector.cutoffs) + [None]
+    for level, upper in enumerate(boundaries):
+        algorithm = min(selector.algorithms[level], compiled_t.num_choices - 1)
+        name = compiled_t.exec_choices[algorithm].name
+        if upper is None:
+            parts.append(f">= {selector.cutoffs[-1]}: {name}")
+        else:
+            parts.append(f"< {upper}: {name}")
+    return "; ".join(parts)
+
+
+@dataclass
+class Fig6Row:
+    """One cell block of the Figure 6 table.
+
+    Attributes:
+        benchmark: Benchmark name.
+        machine: Machine codename.
+        summary: Per-focus-transform description strings.
+        best_time_s: The tuned configuration's time at tuning size.
+    """
+
+    benchmark: str
+    machine: str
+    summary: Dict[str, str]
+    best_time_s: float
+
+    def as_text(self) -> str:
+        """Single-line rendering of the summary."""
+        return " | ".join(f"{k}: {v}" for k, v in self.summary.items())
+
+
+def run_fig6(seed: int = DEFAULT_SEED) -> List[Fig6Row]:
+    """Autotune every benchmark on every machine and summarise."""
+    rows: List[Fig6Row] = []
+    for spec in all_benchmarks():
+        for machine in standard_machines():
+            session = tuned_session(spec.name, machine, seed)
+            config = session.report.best
+            compiled = session.compiled
+            env = spec.make_env(spec.tuning_size, seed=0)
+            summary: Dict[str, str] = {}
+            for transform_name in _FOCUS_TRANSFORMS.get(spec.name, ()):
+                transform = compiled.transform(transform_name).transform
+                shapes = {
+                    name: arr.shape
+                    for name, arr in env.items()
+                    if name in set(transform.inputs) | set(transform.outputs)
+                }
+                try:
+                    size = transform.default_size(shapes)
+                except Exception:
+                    size = spec.tuning_size
+                summary[transform_name] = describe_polyalgorithm(
+                    compiled, config, transform_name, size
+                )
+            rows.append(
+                Fig6Row(
+                    benchmark=spec.name,
+                    machine=machine.codename,
+                    summary=summary,
+                    best_time_s=session.report.best_time_s,
+                )
+            )
+    return rows
+
+
+def render_fig6(rows: List[Fig6Row]) -> str:
+    """ASCII rendering of the Figure 6 table."""
+    return render_table(
+        ["Benchmark", "Machine", "Autotuned configuration"],
+        [[row.benchmark, row.machine, row.as_text()] for row in rows],
+        title="Figure 6: autotuned configuration summary",
+    )

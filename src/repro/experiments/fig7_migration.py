@@ -1,0 +1,183 @@
+"""Figure 7: configuration migration between machines.
+
+The paper's central experiment: autotune each benchmark on each of the
+three machines, then run all three configurations on all three
+machines.  Execution time on each machine is normalised to the
+natively autotuned configuration (1.0 = native; higher = slowdown from
+using a foreign configuration).  Panels (a), (b) and (d) add the
+CPU-only / GPU-only baselines; (c), (d) and (e) add the hand-coded
+OpenCL baselines, which only run on Desktop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.registry import BenchmarkSpec, benchmark
+from repro.core.configuration import Configuration
+from repro.experiments import baselines
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    ExperimentSettings,
+    tuned_session,
+)
+from repro.hardware.machines import DESKTOP, MachineSpec, standard_machines
+from repro.reporting.tables import render_table
+from repro.runtime.executor import run_program
+
+#: Panel id per benchmark (paper sub-figure letters).
+PANELS: Dict[str, str] = {
+    "Black-Sholes": "a",
+    "Poisson2D SOR": "b",
+    "SeparableConv.": "c",
+    "Sort": "d",
+    "Strassen": "e",
+    "SVD": "f",
+    "Tridiagonal Solver": "g",
+}
+
+
+@dataclass
+class Fig7Panel:
+    """Result of one Figure 7 sub-figure.
+
+    Attributes:
+        benchmark: Benchmark name.
+        panel: Sub-figure letter.
+        eval_size: Input size configurations were evaluated at.
+        times: ``config label -> {machine codename -> seconds}``.
+        normalized: Same shape, normalised per machine to the native
+            configuration.
+        handcoded: Optional hand-coded OpenCL time on Desktop.
+    """
+
+    benchmark: str
+    panel: str
+    eval_size: int
+    times: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    normalized: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    handcoded: Optional[float] = None
+
+    def native_time(self, machine: str) -> float:
+        """Time of the natively tuned configuration on a machine."""
+        return self.times[f"{machine} Config"][machine]
+
+    def slowdown(self, config_machine: str, run_machine: str) -> float:
+        """Normalised slowdown of one migrated configuration."""
+        return self.normalized[f"{config_machine} Config"][run_machine]
+
+    def render(self) -> str:
+        """ASCII rendering of the panel."""
+        machines = [m.codename for m in standard_machines()]
+        rows = []
+        for label, per_machine in self.normalized.items():
+            rows.append(
+                [label] + [per_machine.get(m, float("nan")) for m in machines]
+            )
+        table = render_table(
+            ["Configuration"] + machines,
+            rows,
+            title=(
+                f"Figure 7({self.panel}) {self.benchmark}: normalised execution "
+                f"time (1.0 = natively autotuned), input size {self.eval_size}"
+            ),
+        )
+        if self.handcoded is not None:
+            native = self.native_time("Desktop")
+            table += (
+                f"\nHand-coded OpenCL (Desktop only): {self.handcoded:.6f}s"
+                f" = {self.handcoded / native:.2f}x native"
+            )
+        return table
+
+
+def _evaluate(
+    spec: BenchmarkSpec,
+    machine: MachineSpec,
+    config: Configuration,
+    size: int,
+    seed: int,
+) -> float:
+    """Run one configuration on one machine at the evaluation size."""
+    session = tuned_session(spec.name, machine, seed)
+    env = spec.make_env(size, seed=0)
+    result = run_program(session.compiled, config, env, seed=seed)
+    return result.time_s
+
+
+def run_fig7_panel(
+    benchmark_name: str,
+    settings: Optional[ExperimentSettings] = None,
+) -> Fig7Panel:
+    """Run one Figure 7 sub-figure.
+
+    Args:
+        benchmark_name: Figure 8 benchmark name.
+        settings: Experiment settings (size scaling, seed).
+    """
+    settings = settings or ExperimentSettings.from_environment()
+    seed = settings.seed
+    spec = benchmark(benchmark_name)
+    size = settings.eval_size(spec)
+    machines = standard_machines()
+
+    panel = Fig7Panel(
+        benchmark=benchmark_name, panel=PANELS[benchmark_name], eval_size=size
+    )
+
+    configs: Dict[str, Configuration] = {}
+    for machine in machines:
+        session = tuned_session(benchmark_name, machine, seed)
+        configs[f"{machine.codename} Config"] = session.report.best
+
+    if benchmark_name in ("Black-Sholes", "Poisson2D SOR"):
+        desktop_session = tuned_session(benchmark_name, DESKTOP, seed)
+        configs["CPU-only Config"] = baselines.cpu_only_config(
+            desktop_session.compiled
+        )
+    if benchmark_name == "Sort":
+        desktop_session = tuned_session(benchmark_name, DESKTOP, seed)
+        configs["GPU-only Config"] = baselines.gpu_only_sort_config(
+            desktop_session.compiled
+        )
+
+    for label, config in configs.items():
+        panel.times[label] = {}
+        for machine in machines:
+            panel.times[label][machine.codename] = _evaluate(
+                spec, machine, config, size, seed
+            )
+
+    for label, per_machine in panel.times.items():
+        panel.normalized[label] = {}
+        for machine in machines:
+            native = panel.times[f"{machine.codename} Config"][machine.codename]
+            panel.normalized[label][machine.codename] = (
+                per_machine[machine.codename] / native
+            )
+
+    if benchmark_name == "SeparableConv.":
+        from repro.apps.separable_convolution import DEFAULT_KERNEL_WIDTH
+
+        panel.handcoded = baselines.handcoded_convolution_time(
+            DESKTOP, size, DEFAULT_KERNEL_WIDTH
+        )
+    elif benchmark_name == "Sort":
+        panel.handcoded = baselines.handcoded_radix_sort_time(DESKTOP, size)
+    elif benchmark_name == "Strassen":
+        panel.handcoded = baselines.handcoded_matmul_time(DESKTOP, size)
+
+    return panel
+
+
+def run_fig7(
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[str, Fig7Panel]:
+    """Run all seven Figure 7 sub-figures."""
+    settings = settings or ExperimentSettings.from_environment()
+    return {
+        name: run_fig7_panel(name, settings) for name in PANELS
+    }

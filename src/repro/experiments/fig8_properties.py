@@ -1,0 +1,117 @@
+"""Figure 8: properties of the benchmarks.
+
+Reproduces the paper's benchmark-property table: the size of the
+configuration space (as a power of ten), the number of OpenCL kernels
+the compiler generates, the mean autotuning time across the three
+machines, and the testing input size.
+
+Scale note: the paper reports wall-clock tuning times of hours because
+its tuner runs thousands of tests per benchmark on real hardware; our
+tuner runs dozens-to-hundreds of tests against the virtual-time model,
+so the *ordering* across benchmarks (which programs are expensive to
+tune and why — OpenCL kernel compiles at small sizes) is the
+reproduced quantity, not the absolute hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.registry import all_benchmarks
+from repro.compiler.compile import compile_program
+from repro.experiments.runner import DEFAULT_SEED, tuned_session
+from repro.hardware.machines import DESKTOP, standard_machines
+from repro.reporting.tables import render_table
+
+
+@dataclass
+class Fig8Row:
+    """One row of the benchmark-property table.
+
+    Attributes:
+        name: Benchmark name.
+        log10_configs: Exponent of the configuration-space size.
+        kernels: Generated OpenCL kernels (on Desktop).
+        mean_tuning_time_s: Mean virtual autotuning time across the
+            three machines (includes kernel-compile time).
+        compile_time_s: Mean virtual seconds of that spent in the JIT.
+        testing_size: The paper's testing input size.
+        evaluations: Mean number of candidate tests per machine.
+    """
+
+    name: str
+    log10_configs: float
+    kernels: int
+    mean_tuning_time_s: float
+    compile_time_s: float
+    testing_size: int
+    evaluations: float
+
+
+def run_fig8(seed: int = DEFAULT_SEED, tune: bool = True) -> List[Fig8Row]:
+    """Compute the Figure 8 table.
+
+    Args:
+        seed: Tuning seed.
+        tune: When False, skip the tuning columns (fast static table).
+    """
+    rows: List[Fig8Row] = []
+    for spec in all_benchmarks():
+        compiled = compile_program(spec.build_program(), DESKTOP)
+        tuning_times: List[float] = []
+        evaluations: List[float] = []
+        if tune:
+            for machine in standard_machines():
+                session = tuned_session(spec.name, machine, seed)
+                tuning_times.append(session.report.tuning_time_s)
+                evaluations.append(float(session.report.evaluations))
+        mean_tuning = sum(tuning_times) / len(tuning_times) if tuning_times else 0.0
+        mean_evals = sum(evaluations) / len(evaluations) if evaluations else 0.0
+        # Estimate JIT share: compile every kernel once per machine.
+        compile_s = 0.0
+        for machine in standard_machines():
+            jit = machine.fresh_jit()
+            for kernel in compile_program(spec.build_program(), machine).kernels.values():
+                compile_s += jit.compile(kernel.source, "probe").compile_time_s
+        compile_s /= len(standard_machines())
+        rows.append(
+            Fig8Row(
+                name=spec.name,
+                log10_configs=compiled.training_info.log10_config_space(),
+                kernels=compiled.kernel_count,
+                mean_tuning_time_s=mean_tuning,
+                compile_time_s=compile_s,
+                testing_size=spec.testing_size,
+                evaluations=mean_evals,
+            )
+        )
+    return rows
+
+
+def render_fig8(rows: List[Fig8Row]) -> str:
+    """ASCII rendering of the Figure 8 table."""
+    return render_table(
+        [
+            "Name",
+            "# Possible Configs",
+            "Generated OpenCL Kernels",
+            "Mean Autotuning Time (s, virtual)",
+            "JIT compile share (s)",
+            "Mean tests",
+            "Testing Input Size",
+        ],
+        [
+            [
+                row.name,
+                f"10^{row.log10_configs:.0f}",
+                row.kernels,
+                f"{row.mean_tuning_time_s:.1f}",
+                f"{row.compile_time_s:.1f}",
+                f"{row.evaluations:.0f}",
+                row.testing_size,
+            ]
+            for row in rows
+        ],
+        title="Figure 8: benchmark properties",
+    )

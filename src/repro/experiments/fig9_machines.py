@@ -1,0 +1,38 @@
+"""Figure 9: properties of the representative test systems."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hardware.machines import MachineSpec, standard_machines
+from repro.reporting.tables import render_table
+
+
+def fig9_rows() -> List[List[str]]:
+    """The Figure 9 table rows (one per machine)."""
+    rows: List[List[str]] = []
+    for machine in standard_machines():
+        gpu = machine.opencl_device
+        gpu_name = "None"
+        if gpu is not None and machine.has_discrete_gpu:
+            gpu_name = gpu.name
+        rows.append(
+            [
+                machine.codename,
+                machine.cpu.name,
+                str(machine.cpu.core_count),
+                gpu_name,
+                machine.os_name,
+                machine.opencl_platform,
+            ]
+        )
+    return rows
+
+
+def render_fig9() -> str:
+    """ASCII rendering of the Figure 9 table."""
+    return render_table(
+        ["Codename", "CPU(s)", "Cores", "GPU", "OS", "OpenCL Runtime"],
+        fig9_rows(),
+        title="Figure 9: representative test systems",
+    )

@@ -1,0 +1,112 @@
+"""Shared experiment infrastructure: tuned-configuration sessions.
+
+Autotuning a benchmark for a machine is the expensive step shared by
+Figures 6, 7 and 8; this module caches one session per (benchmark,
+machine, seed) so the experiment suite tunes each combination exactly
+once per process.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.apps.registry import BenchmarkSpec, benchmark
+from repro.compiler.compile import CompiledProgram, compile_program
+from repro.core.search import EvolutionaryTuner, TuningReport
+from repro.hardware.machines import MachineSpec, machine_by_name
+
+#: Default seed for every experiment (results are deterministic).
+DEFAULT_SEED = 3
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Global knobs for the experiment suite.
+
+    Attributes:
+        full_scale: Run at the paper's exact input sizes.  Controlled
+            by the ``REPRO_FULL_SCALE`` environment variable.
+        seed: Seed for tuning and scheduling randomness.
+    """
+
+    full_scale: bool = False
+    seed: int = DEFAULT_SEED
+
+    @staticmethod
+    def from_environment() -> "ExperimentSettings":
+        """Read settings from the process environment."""
+        return ExperimentSettings(
+            full_scale=os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0"),
+            seed=int(os.environ.get("REPRO_SEED", DEFAULT_SEED)),
+        )
+
+    def eval_size(self, spec: BenchmarkSpec) -> int:
+        """Input size used to *evaluate* configurations (Figure 7)."""
+        if self.full_scale:
+            return spec.testing_size
+        return min(spec.testing_size, max(spec.tuning_size, 1))
+
+
+@dataclass
+class TunedSession:
+    """One benchmark autotuned for one machine.
+
+    Attributes:
+        spec: The benchmark.
+        machine: The machine tuned on.
+        compiled: Compiler output for that machine.
+        report: The tuning report (winning configuration inside).
+    """
+
+    spec: BenchmarkSpec
+    machine: MachineSpec
+    compiled: CompiledProgram
+    report: TuningReport
+
+
+_SESSIONS: Dict[Tuple[str, str, int], TunedSession] = {}
+
+
+def tuned_session(
+    benchmark_name: str,
+    machine: MachineSpec,
+    seed: int = DEFAULT_SEED,
+) -> TunedSession:
+    """Autotune (or fetch the cached session for) one combination.
+
+    Args:
+        benchmark_name: Figure 8 benchmark name.
+        machine: Target machine.
+        seed: Tuning seed.
+
+    Returns:
+        The cached :class:`TunedSession`.
+    """
+    key = (benchmark_name, machine.codename, seed)
+    session = _SESSIONS.get(key)
+    if session is not None:
+        return session
+
+    spec = benchmark(benchmark_name)
+    compiled = compile_program(spec.build_program(), machine)
+    tuner = EvolutionaryTuner(
+        compiled,
+        lambda size: spec.make_env(size, seed=0),
+        max_size=spec.tuning_size,
+        seed=seed,
+        accuracy_fn=spec.accuracy_fn,
+        accuracy_target=spec.accuracy_target,
+    )
+    report = tuner.tune(label=f"{machine.codename} Config")
+    session = TunedSession(
+        spec=spec, machine=machine, compiled=compiled, report=report
+    )
+    _SESSIONS[key] = session
+    return session
+
+
+def clear_sessions() -> None:
+    """Drop all cached tuning sessions (tests use this)."""
+    _SESSIONS.clear()

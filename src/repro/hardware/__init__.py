@@ -1,0 +1,51 @@
+"""Simulated heterogeneous hardware substrate.
+
+The paper evaluates on three physical machines (Desktop, Server, Laptop)
+with real GPUs and vendor OpenCL runtimes.  This package replaces that
+hardware with a parameterised performance model:
+
+* :mod:`repro.hardware.device` — compute devices (CPU cores, GPU).
+* :mod:`repro.hardware.memory` — memory spaces and buffer handles.
+* :mod:`repro.hardware.transfer` — host/device transfer (PCIe) model.
+* :mod:`repro.hardware.opencl` — a simulated OpenCL runtime with JIT
+  compile costs and the IR cache of paper Section 5.4.
+* :mod:`repro.hardware.costmodel` — kernel execution-time estimation.
+* :mod:`repro.hardware.machines` — machine specifications and the three
+  presets mirroring the paper's test systems (Figure 9).
+
+All times produced by this package are *virtual seconds*: deterministic,
+reproducible quantities derived from device parameters, never wall-clock
+measurements.
+"""
+
+from repro.hardware.device import CPUDevice, Device, DeviceKind, GPUDevice
+from repro.hardware.machines import (
+    DESKTOP,
+    LAPTOP,
+    SERVER,
+    MachineSpec,
+    machine_by_name,
+    standard_machines,
+)
+from repro.hardware.memory import BufferHandle, MemoryKind, MemorySpace
+from repro.hardware.opencl import CompiledKernelBinary, OpenCLRuntimeModel
+from repro.hardware.transfer import TransferModel
+
+__all__ = [
+    "BufferHandle",
+    "CompiledKernelBinary",
+    "CPUDevice",
+    "DESKTOP",
+    "Device",
+    "DeviceKind",
+    "GPUDevice",
+    "LAPTOP",
+    "MachineSpec",
+    "MemoryKind",
+    "MemorySpace",
+    "OpenCLRuntimeModel",
+    "SERVER",
+    "TransferModel",
+    "machine_by_name",
+    "standard_machines",
+]

@@ -1,0 +1,200 @@
+"""Compute device models.
+
+A :class:`Device` captures the handful of parameters that drive the
+relative performance effects the paper relies on:
+
+* arithmetic throughput (GFLOP/s) and sustained memory bandwidth (GB/s),
+* kernel launch overhead (the fixed cost that makes small GPU kernels
+  unprofitable),
+* work-group sizing behaviour (warp/wavefront width, preferred local work
+  size, maximum local work size),
+* scratchpad ("OpenCL local") memory behaviour — on a discrete GPU the
+  scratchpad is a real on-chip memory and cooperative prefetching reduces
+  global traffic; on a CPU OpenCL runtime the "local memory" maps onto the
+  same caches as every other access, so the explicit prefetch phase is
+  pure overhead (paper Section 2.2).
+
+Devices are immutable value objects; execution state (buffers, queues)
+lives in the runtime, not here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError
+
+
+class DeviceKind(enum.Enum):
+    """Classification of a compute device."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    #: An OpenCL runtime that targets the host CPU (e.g. the AMD APP SDK
+    #: on the paper's Server machine): programmable like a GPU device but
+    #: with CPU-like memory behaviour and zero PCIe distance.
+    CPU_OPENCL = "cpu_opencl"
+
+
+@dataclass(frozen=True)
+class Device:
+    """A single compute device within a machine.
+
+    Parameters are chosen to be the minimal set that reproduces the
+    paper's qualitative effects; see :mod:`repro.hardware.machines` for
+    calibrated values.
+
+    Attributes:
+        name: Human-readable device name (e.g. ``"NVIDIA Tesla C2070"``).
+        kind: The :class:`DeviceKind` of this device.
+        compute_gflops: Sustained arithmetic throughput in GFLOP/s for
+            well-shaped data-parallel work across the whole device.
+        memory_bandwidth_gbs: Sustained bandwidth to the device's global
+            memory in GB/s.
+        launch_overhead_s: Fixed cost of launching one kernel (or, for
+            CPU devices, of spawning one parallel task batch).
+        warp_width: Number of work-items that execute in lockstep.  Work
+            groups smaller than this waste lanes.
+        preferred_local_size: Work-group size at which the device reaches
+            peak efficiency.
+        max_local_size: Largest permitted work-group size.
+        local_memory_effective: True when OpenCL local memory is a real
+            scratchpad whose cooperative loads cut global-memory traffic;
+            False when it aliases the ordinary cache hierarchy.
+        local_memory_load_cost: Extra per-element cost factor charged for
+            the cooperative load phase of local-memory kernels, expressed
+            as a fraction of one global-memory access.
+        sequential_gflops: Throughput of a single lane of sequential code
+            (used for non-data-parallel work placed on this device).
+        strided_penalty: Multiplier on read traffic for kernels with
+            large power-of-two strides (cyclic reduction): cache-line
+            waste on CPUs, bank/partition conflicts on GPUs.
+    """
+
+    name: str
+    kind: DeviceKind
+    compute_gflops: float
+    memory_bandwidth_gbs: float
+    launch_overhead_s: float
+    warp_width: int = 32
+    preferred_local_size: int = 128
+    max_local_size: int = 1024
+    local_memory_effective: bool = True
+    local_memory_load_cost: float = 0.15
+    sequential_gflops: float = 1.0
+    strided_penalty: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.compute_gflops <= 0:
+            raise DeviceError(f"{self.name}: compute_gflops must be positive")
+        if self.memory_bandwidth_gbs <= 0:
+            raise DeviceError(f"{self.name}: memory_bandwidth_gbs must be positive")
+        if self.launch_overhead_s < 0:
+            raise DeviceError(f"{self.name}: launch_overhead_s must be non-negative")
+        if self.warp_width < 1:
+            raise DeviceError(f"{self.name}: warp_width must be >= 1")
+        if not 1 <= self.preferred_local_size <= self.max_local_size:
+            raise DeviceError(
+                f"{self.name}: preferred_local_size must lie in "
+                f"[1, max_local_size={self.max_local_size}]"
+            )
+
+    @property
+    def is_accelerator(self) -> bool:
+        """True when the device is programmed through the OpenCL backend."""
+        return self.kind in (DeviceKind.GPU, DeviceKind.CPU_OPENCL)
+
+    def local_size_efficiency(self, local_size: int) -> float:
+        """Fraction of peak throughput achieved at a given work-group size.
+
+        Groups narrower than the warp width waste execution lanes
+        proportionally; groups away from the preferred size lose a mild
+        scheduling efficiency.  The returned value lies in ``(0, 1]``.
+
+        Args:
+            local_size: Requested work-group size (clamped to legal range).
+
+        Returns:
+            Multiplicative efficiency factor applied to compute throughput.
+        """
+        size = max(1, min(int(local_size), self.max_local_size))
+        lane_utilisation = min(1.0, size / float(self.warp_width))
+        # Mild penalty for straying from the preferred size: each doubling
+        # away from the sweet spot costs ~8% throughput.
+        if size >= self.preferred_local_size:
+            doublings = _log2_ratio(size, self.preferred_local_size)
+        else:
+            doublings = _log2_ratio(self.preferred_local_size, size)
+        scheduling = 0.92**doublings
+        return max(0.05, lane_utilisation * scheduling)
+
+
+def _log2_ratio(larger: float, smaller: float) -> float:
+    """Return log2(larger / smaller) for positive operands."""
+    import math
+
+    return math.log2(larger / smaller)
+
+
+@dataclass(frozen=True)
+class CPUDevice(Device):
+    """A multicore CPU.
+
+    Attributes:
+        core_count: Number of physical cores available to the runtime.
+        smt_factor: Throughput multiplier obtained by oversubscribing
+            threads beyond physical cores (1.0 = no benefit).
+        turbo_single_core: Frequency scaling factor a single busy core
+            enjoys when its neighbours are idle (paper Section 1 cites
+            Turbo Boost as a source of asymmetry even on CPUs).
+    """
+
+    core_count: int = 4
+    smt_factor: float = 1.0
+    turbo_single_core: float = 1.2
+    local_memory_effective: bool = False
+    strided_penalty: float = 16.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.core_count < 1:
+            raise DeviceError(f"{self.name}: core_count must be >= 1")
+
+    def per_core_gflops(self, active_cores: int) -> float:
+        """Throughput of each active core, accounting for turbo headroom.
+
+        Args:
+            active_cores: Number of cores concurrently busy.
+
+        Returns:
+            GFLOP/s available to each of the active cores.
+        """
+        active = max(1, min(active_cores, self.core_count))
+        base = self.compute_gflops / self.core_count
+        if active == 1:
+            return base * self.turbo_single_core
+        # Turbo benefit decays linearly to nothing at full occupancy.
+        frac_idle = (self.core_count - active) / max(1, self.core_count - 1)
+        return base * (1.0 + (self.turbo_single_core - 1.0) * frac_idle)
+
+
+@dataclass(frozen=True)
+class GPUDevice(Device):
+    """A GPU (or CPU-hosted OpenCL device) programmable via kernels.
+
+    Attributes:
+        compute_units: Number of compute units (SMs / cores); bounds how
+            many work-groups execute concurrently.
+        copy_engine_overlap: True when the device can overlap host/device
+            transfers with kernel execution (all our devices can; the GPU
+            management thread exploits it, paper Section 4.2).
+    """
+
+    compute_units: int = 14
+    copy_engine_overlap: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.compute_units < 1:
+            raise DeviceError(f"{self.name}: compute_units must be >= 1")

@@ -1,0 +1,130 @@
+"""Memory spaces and buffer handles for the simulated devices.
+
+The paper's memory management (Section 4.3) tracks regions of matrices
+living in GPU global memory: some are copies of host data, some are
+output buffers awaiting copy-out.  This module provides the low-level
+vocabulary — :class:`MemorySpace` descriptors and :class:`BufferHandle`
+objects that pair a numpy backing array with residency metadata.  The
+policy layer (dedup, lazy/eager copy-out) lives in
+:mod:`repro.runtime.memory_manager`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+
+class MemoryKind(enum.Enum):
+    """The memory spaces visible to generated kernels."""
+
+    HOST = "host"
+    #: Device-global memory (OpenCL ``__global``).
+    GLOBAL = "global"
+    #: Work-group scratchpad (OpenCL ``__local`` / CUDA shared).
+    LOCAL = "local"
+
+
+@dataclass(frozen=True)
+class MemorySpace:
+    """A memory space attached to a device.
+
+    Attributes:
+        kind: Which space this is.
+        capacity_bytes: Total capacity (None = effectively unbounded for
+            the workloads we model, e.g. host DRAM).
+        bandwidth_gbs: Sustained bandwidth of the space in GB/s.
+    """
+
+    kind: MemoryKind
+    capacity_bytes: Optional[int]
+    bandwidth_gbs: float
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` fits in this space."""
+        return self.capacity_bytes is None or nbytes <= self.capacity_bytes
+
+
+class BufferState(enum.Enum):
+    """Lifecycle of a device buffer (paper Section 4.3).
+
+    A buffer is either a *copy* of host data, an *output* that must
+    eventually reach the host, or *stale* because the host copy has been
+    written since the device copy was made.
+    """
+
+    COPY_OF_HOST = "copy_of_host"
+    DEVICE_OUTPUT = "device_output"
+    STALE = "stale"
+
+
+_handle_ids = itertools.count(1)
+
+
+@dataclass
+class BufferHandle:
+    """A buffer resident in a device's global memory.
+
+    The backing store is a real numpy array so kernels can execute and
+    tests can check numerical results; residency and freshness are
+    tracked explicitly so the memory manager can reproduce the paper's
+    copy-in deduplication and lazy/eager copy-out behaviour.
+
+    Attributes:
+        matrix_name: Name of the program matrix this buffer shadows.
+        shape: Shape of the full device allocation.
+        dtype: Element dtype.
+        state: Current :class:`BufferState`.
+        data: Backing numpy array (device-side copy).
+        valid_regions: Regions (as coordinate-slices tuples) of the
+            buffer that currently hold computed/copied data.  The paper
+            consolidates multiple rule outputs into one large buffer and
+            waits for all regions before declaring the matrix ready.
+    """
+
+    matrix_name: str
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    state: BufferState = BufferState.COPY_OF_HOST
+    data: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    valid_regions: list = field(default_factory=list)
+    handle_id: int = field(default_factory=lambda: next(_handle_ids))
+
+    def __post_init__(self) -> None:
+        if self.data is None:
+            self.data = np.zeros(self.shape, dtype=self.dtype)
+        elif tuple(self.data.shape) != tuple(self.shape):
+            raise DeviceError(
+                f"buffer for {self.matrix_name!r}: backing array shape "
+                f"{self.data.shape} != declared shape {self.shape}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the device allocation in bytes."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+    def mark_region_valid(self, region_key: Tuple) -> None:
+        """Record that a sub-region of the buffer now holds live data."""
+        if region_key not in self.valid_regions:
+            self.valid_regions.append(region_key)
+
+    def covers_whole_matrix(self, expected_regions: int) -> bool:
+        """True when every expected output region has been produced.
+
+        The paper's memory manager waits until all the individual
+        regions of a consolidated output buffer have been computed
+        before the matrix state changes (Section 4.3, copy-out
+        management).
+
+        Args:
+            expected_regions: Number of distinct regions the schedule
+                will write into this buffer.
+        """
+        return len(self.valid_regions) >= expected_regions

@@ -1,0 +1,56 @@
+"""Host/device data-transfer model.
+
+Transfers are the currency of the paper's data-movement analysis: the
+choice between eager, lazy and elided copy-outs (Section 3.2) and the
+copy-in deduplication (Section 4.3) exist to minimise time spent here.
+
+The model is the standard latency + size/bandwidth affine model.  For
+CPU-hosted OpenCL devices (the paper's Server), transfers degenerate to
+cheap cache-to-cache movement: near-zero latency and main-memory
+bandwidth, which is what makes "run OpenCL kernels for everything" a
+sensible configuration on that machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Affine cost model for host <-> device copies.
+
+    Attributes:
+        latency_s: Fixed per-transfer cost (driver call, DMA setup).
+        bandwidth_gbs: Sustained transfer bandwidth in GB/s.
+        zero_copy: True when device "transfers" are logically free
+            (CPU-hosted OpenCL); a small latency is still charged for
+            the runtime call.
+    """
+
+    latency_s: float
+    bandwidth_gbs: float
+    zero_copy: bool = False
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Virtual seconds to move ``nbytes`` between host and device.
+
+        Args:
+            nbytes: Payload size in bytes; zero-byte transfers still pay
+                the call latency.
+
+        Returns:
+            Transfer time in virtual seconds.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.zero_copy:
+            return self.latency_s
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+    def effective_bandwidth(self, nbytes: int) -> float:
+        """Achieved GB/s for a transfer of ``nbytes`` (for diagnostics)."""
+        time = self.transfer_time(nbytes)
+        if time <= 0:
+            return float("inf")
+        return nbytes / time / 1e9

@@ -1,0 +1,42 @@
+"""A PetaBricks-style language embedded in Python.
+
+The PetaBricks language (paper Section 2) lets a programmer declare a
+*transform* — a function-like unit mapping input matrices to output
+matrices — together with *multiple rules* (choices) for computing those
+outputs.  The compiler and autotuner then decide which rules to use.
+
+This package embeds the same concepts in Python:
+
+* :class:`~repro.lang.rule.Rule` — one way of computing outputs from
+  inputs: an executable numpy body plus the static metadata (dependency
+  pattern, arithmetic intensity, bounding box) the compiler analyses.
+* :class:`~repro.lang.transform.Transform` — a named unit with one or
+  more :class:`~repro.lang.transform.Choice` pathways; composite
+  choices sequence :class:`~repro.lang.transform.Step` invocations of
+  other transforms (e.g. separable convolution's two 1-D passes).
+* :class:`~repro.lang.program.Program` — a closed set of transforms
+  with a designated entry point.
+* :class:`~repro.lang.spawn.Spawn` / :class:`~repro.lang.spawn.SubInvoke`
+  — continuation-style descriptors recursive rule bodies return to
+  spawn child work (Cilk-style, paper Section 4.1).
+"""
+
+from repro.lang.program import Program, make_program
+from repro.lang.rule import CostSpec, Pattern, ResolvedCost, Rule, RuleContext
+from repro.lang.spawn import Spawn, SubInvoke
+from repro.lang.transform import Choice, Step, Transform
+
+__all__ = [
+    "Choice",
+    "CostSpec",
+    "Pattern",
+    "Program",
+    "ResolvedCost",
+    "Rule",
+    "RuleContext",
+    "Spawn",
+    "Step",
+    "SubInvoke",
+    "Transform",
+    "make_program",
+]

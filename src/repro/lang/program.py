@@ -1,0 +1,93 @@
+"""Programs: closed collections of transforms with an entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.errors import LanguageError
+from repro.lang.transform import Transform
+
+
+@dataclass
+class Program:
+    """A PetaBricks-style program.
+
+    Attributes:
+        name: Program (benchmark) name.
+        transforms: All transforms, keyed by name.
+        entry: Name of the entry transform.
+        default_params: Program-wide default parameter values, merged
+            under each transform's own defaults.
+    """
+
+    name: str
+    transforms: Dict[str, Transform]
+    entry: str
+    default_params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.entry not in self.transforms:
+            raise LanguageError(
+                f"program {self.name!r}: entry transform {self.entry!r} undefined"
+            )
+        self._check_closed()
+
+    def _check_closed(self) -> None:
+        """Every step target must resolve to a transform in the program."""
+        for transform in self.transforms.values():
+            for choice in transform.choices:
+                for step in choice.steps:
+                    if step.transform not in self.transforms:
+                        raise LanguageError(
+                            f"program {self.name!r}: transform "
+                            f"{transform.name!r} choice {choice.name!r} steps "
+                            f"into undefined transform {step.transform!r}"
+                        )
+
+    @property
+    def entry_transform(self) -> Transform:
+        """The entry :class:`~repro.lang.transform.Transform`."""
+        return self.transforms[self.entry]
+
+    def transform(self, name: str) -> Transform:
+        """Look up a transform by name.
+
+        Raises:
+            LanguageError: If the transform does not exist.
+        """
+        try:
+            return self.transforms[name]
+        except KeyError as exc:
+            raise LanguageError(
+                f"program {self.name!r} has no transform {name!r}"
+            ) from exc
+
+    def iter_transforms(self) -> Iterable[Transform]:
+        """All transforms in deterministic (name-sorted) order."""
+        for name in sorted(self.transforms):
+            yield self.transforms[name]
+
+
+def make_program(
+    name: str, transforms: Iterable[Transform], entry: str, **default_params: float
+) -> Program:
+    """Convenience constructor building the transform dict from a list.
+
+    Args:
+        name: Program name.
+        transforms: Transform objects (names must be unique).
+        entry: Entry transform name.
+        **default_params: Program-wide parameter defaults.
+
+    Returns:
+        A validated :class:`Program`.
+    """
+    table: Dict[str, Transform] = {}
+    for transform in transforms:
+        if transform.name in table:
+            raise LanguageError(f"duplicate transform name {transform.name!r}")
+        table[transform.name] = transform
+    return Program(
+        name=name, transforms=table, entry=entry, default_params=default_params
+    )

@@ -1,0 +1,170 @@
+"""Transforms, choices and steps.
+
+A :class:`Transform` is the PetaBricks unit of composition: named
+inputs and outputs plus one or more :class:`Choice` pathways computing
+the outputs.  A choice either applies a single :class:`~repro.lang.rule.Rule`
+directly, or sequences :class:`Step` invocations of other transforms
+(possibly through intermediate matrices, like the ``buffer`` of the
+separable convolution pathway in the paper's Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import LanguageError
+from repro.lang.rule import Rule
+
+#: Computes an intermediate matrix's shape from the shapes of the
+#: transform's bound matrices and the parameter mapping.
+ShapeFn = Callable[[Mapping[str, Tuple[int, ...]], Mapping[str, float]], Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One sub-transform invocation inside a composite choice.
+
+    Attributes:
+        transform: Callee transform name.
+        bindings: Maps callee matrix names to caller matrix names
+            (``{"In": "buffer"}`` binds the callee's ``In`` to the
+            caller's ``buffer``).
+        param_overrides: Parameters forwarded to the callee that
+            replace the caller's values.
+        dynamic_consumer: Marks the *output* of the previous step as
+            consumed under dynamic control flow from the compiler's
+            point of view; the data-movement analysis must then use the
+            lazy (may copy-out) strategy for it (paper Section 3.2).
+    """
+
+    transform: str
+    bindings: Mapping[str, str] = field(default_factory=dict)
+    param_overrides: Mapping[str, float] = field(default_factory=dict)
+    dynamic_consumer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.transform:
+            raise LanguageError("Step.transform must be non-empty")
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One pathway for computing a transform's outputs.
+
+    Exactly one of ``rule`` / ``steps`` must be provided.
+
+    Attributes:
+        name: Choice name, unique within the transform.
+        rule: Direct rule application (leaf choice).
+        steps: Ordered sub-transform invocations (composite choice).
+        intermediates: Shapes of scratch matrices materialised between
+            steps, keyed by matrix name.
+        parallel_steps: When True the steps have no mutual data
+            dependencies and may run concurrently (task parallelism —
+            how the paper's SVD divides work between CPU and GPU).
+    """
+
+    name: str
+    rule: Optional[Rule] = None
+    steps: Tuple[Step, ...] = ()
+    intermediates: Mapping[str, ShapeFn] = field(default_factory=dict)
+    parallel_steps: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.rule is None) == (not self.steps):
+            raise LanguageError(
+                f"choice {self.name!r} must have exactly one of rule / steps"
+            )
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for direct rule applications."""
+        return self.rule is not None
+
+
+@dataclass(frozen=True)
+class Transform:
+    """A named multi-choice computation over matrices.
+
+    Attributes:
+        name: Transform name, unique within a program.
+        inputs: Names of input matrices (``from`` in PetaBricks).
+        outputs: Names of output matrices (``to``).
+        choices: Available pathways; the autotuner's selector for this
+            transform picks among them (after the compiler appends its
+            synthetic OpenCL variants).
+        params: Default parameter values (e.g. ``{"kw": 3}``).
+        size_of: Maps the bound matrix shapes to the scalar "input
+            size" the selector compares against its cutoffs.  Defaults
+            to the element count of the first output.
+        variable_accuracy: True for transforms whose choices change the
+            quality of the result (the paper's SVD); the tuner must
+            then respect an accuracy target, not just minimise time.
+        user_tunables: User-defined tunable parameters (paper Section
+            5.1 lists them alongside the compiler-generated ones),
+            mapped as ``name -> (lo, hi, default, scale)``.  Their
+            values are injected into the rule bodies' parameter
+            mapping at invocation time.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    choices: Tuple[Choice, ...]
+    params: Mapping[str, float] = field(default_factory=dict)
+    size_of: Optional[Callable[[Mapping[str, Tuple[int, ...]]], int]] = None
+    variable_accuracy: bool = False
+    user_tunables: Mapping[str, Tuple[int, int, int, str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LanguageError("transform name must be non-empty")
+        if not self.outputs:
+            raise LanguageError(f"transform {self.name!r} must have outputs")
+        if not self.choices:
+            raise LanguageError(f"transform {self.name!r} must have >= 1 choice")
+        names = [c.name for c in self.choices]
+        if len(set(names)) != len(names):
+            raise LanguageError(f"transform {self.name!r} has duplicate choice names")
+        for choice in self.choices:
+            if choice.is_leaf:
+                self._check_rule_matrices(choice)
+
+    def _check_rule_matrices(self, choice: Choice) -> None:
+        """Validate that a leaf choice's rule touches known matrices."""
+        known = set(self.inputs) | set(self.outputs) | set(choice.intermediates)
+        rule = choice.rule
+        assert rule is not None
+        for name in tuple(rule.reads) + tuple(rule.writes):
+            if name not in known:
+                raise LanguageError(
+                    f"transform {self.name!r} choice {choice.name!r}: rule "
+                    f"touches unknown matrix {name!r}"
+                )
+
+    def choice_named(self, name: str) -> Choice:
+        """Look up a choice by name.
+
+        Raises:
+            KeyError: If no such choice exists.
+        """
+        for choice in self.choices:
+            if choice.name == name:
+                return choice
+        raise KeyError(f"transform {self.name!r} has no choice {name!r}")
+
+    def default_size(self, shapes: Mapping[str, Tuple[int, ...]]) -> int:
+        """Scalar problem size used by selectors (paper Section 5.1)."""
+        if self.size_of is not None:
+            return int(self.size_of(shapes))
+        first_output = self.outputs[0]
+        if first_output not in shapes:
+            raise LanguageError(
+                f"transform {self.name!r}: shape of output "
+                f"{first_output!r} unknown; cannot compute size"
+            )
+        size = 1
+        for dim in shapes[first_output]:
+            size *= int(dim)
+        return size

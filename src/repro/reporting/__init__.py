@@ -1,0 +1,5 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from repro.reporting.tables import render_series, render_table
+
+__all__ = ["render_series", "render_table"]

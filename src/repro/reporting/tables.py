@@ -1,0 +1,75 @@
+"""Fixed-width ASCII tables for experiment output.
+
+The paper's figures are charts; our harness prints the same data as
+tables so results are diffable and reproducible without a display.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render a fixed-width table.
+
+    Args:
+        headers: Column headers.
+        rows: Row value sequences (stringified automatically).
+        title: Optional title line printed above the table.
+
+    Returns:
+        The table as a multi-line string.
+    """
+    string_rows: List[List[str]] = [[_stringify(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    for row in string_rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render named series over a shared x axis as a table.
+
+    Args:
+        x_label: Header of the x column.
+        x_values: The x axis values.
+        series: Mapping of series name to y values (same length as
+            ``x_values``).
+        title: Optional title line.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x] + [values[index] for values in series.values()]
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,34 @@
+"""The heterogeneous work-stealing / work-pushing runtime.
+
+Implements paper Section 4 as a deterministic discrete-event
+simulation:
+
+* :mod:`repro.runtime.task` — the five-state task model with
+  continuations and arbitrary dependency graphs.
+* :mod:`repro.runtime.deque` — THE-protocol work-stealing deques.
+* :mod:`repro.runtime.gpu_manager` / :mod:`repro.runtime.gpu_tasks` —
+  the dedicated GPU management thread, its work-pushing FIFO and the
+  prepare / copy-in / execute / copy-out-completion task quartet.
+* :mod:`repro.runtime.memory_manager` — the GPU buffer table with
+  copy-in dedup and lazy/eager copy-out.
+* :mod:`repro.runtime.invocation` — expansion of transform invocations
+  into task graphs under a configuration.
+* :mod:`repro.runtime.scheduler` / :mod:`repro.runtime.executor` — the
+  event loop and the public ``run_program`` entry point.
+"""
+
+from repro.runtime.executor import RunResult, run_program
+from repro.runtime.scheduler import RuntimeState
+from repro.runtime.stats import RunStats
+from repro.runtime.task import Task, TaskKind, TaskState, make_barrier
+
+__all__ = [
+    "RunResult",
+    "RunStats",
+    "RuntimeState",
+    "Task",
+    "TaskKind",
+    "TaskState",
+    "make_barrier",
+    "run_program",
+]

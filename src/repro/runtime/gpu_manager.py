@@ -1,0 +1,86 @@
+"""GPU management thread state (paper Section 4.2).
+
+A single dedicated thread owns the GPU: it keeps a FIFO queue of GPU
+tasks (work-pushing, in contrast to the CPU workers' work-stealing),
+tracks what data resides in GPU memory, and never blocks on device
+operations — copies and kernels are asynchronous calls whose completion
+is observed by copy-out completion tasks.
+
+The device itself is modelled with two independent timelines — the
+compute engine and the copy engine — so communication and computation
+overlap exactly when the paper's runtime would overlap them.
+"""
+
+from __future__ import annotations
+
+from collections import deque as _deque
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import RuntimeFault
+from repro.hardware.device import GPUDevice
+from repro.runtime.task import Task, TaskKind, TaskState
+
+
+@dataclass
+class GpuInvocationRecord:
+    """Bookkeeping shared by one kernel execution's task quartet.
+
+    Attributes:
+        inputs_ready: Virtual time by which every copy-in transfer for
+            the kernel has landed on the device.
+        read_finish: Per-output virtual completion time of the
+            non-blocking reads started by the execute task.
+    """
+
+    inputs_ready: float = 0.0
+    read_finish: Dict[str, float] = field(default_factory=dict)
+
+
+class GpuState:
+    """The GPU management thread plus device timeline state.
+
+    Attributes:
+        device: The accelerator device model.
+        fifo: The management thread's task queue (GPU tasks only).
+        dormant: True when the manager is parked (empty queue).
+        busy: True while the manager processes a task.
+        compute_free_at: Virtual time the compute engine frees up.
+        copy_free_at: Virtual time the copy (DMA) engine frees up.
+    """
+
+    def __init__(self, device: GPUDevice) -> None:
+        self.device = device
+        self.fifo: _deque = _deque()
+        self.dormant = True
+        self.busy = False
+        self.compute_free_at = 0.0
+        self.copy_free_at = 0.0
+
+    def push(self, task: Task) -> None:
+        """Push a newly runnable GPU task to the bottom of the queue.
+
+        Paper Figure 5(a): GPU tasks are always appended; the manager
+        consumes from the head, preserving the prepare / copy-in /
+        execute / copy-out order each kernel's tasks were enqueued in.
+        """
+        if task.kind is not TaskKind.GPU:
+            raise RuntimeFault("the GPU FIFO may only contain GPU tasks")
+        if task.state is not TaskState.RUNNABLE:
+            raise RuntimeFault(f"cannot enqueue a {task.state.value} GPU task")
+        self.fifo.append(task)
+
+    def requeue(self, task: Task) -> None:
+        """Push an unfinished copy-out completion task back to the end."""
+        if task.kind is not TaskKind.GPU:
+            raise RuntimeFault("the GPU FIFO may only contain GPU tasks")
+        self.fifo.append(task)
+
+    def pop(self) -> Optional[Task]:
+        """Take the task at the head of the queue."""
+        if not self.fifo:
+            return None
+        return self.fifo.popleft()
+
+    def __len__(self) -> int:
+        return len(self.fifo)

@@ -1,0 +1,564 @@
+"""Transform invocation: from selector decision to task graph.
+
+An invocation task resolves its transform's *selector* at the dynamic
+input size (paper Section 5.1) and expands into the matching execution
+strategy:
+
+* **CPU rule** — data-parallel rules split row-wise into chunk tasks
+  for the work-stealing backend (split factor and sequential cutoff
+  are tunables); recursive/indivisible rules run inline and may spawn
+  children through :class:`~repro.lang.spawn.Spawn`.
+* **OpenCL kernel** — the GPU task quartet is enqueued, optionally
+  with a CPU portion when the autotuned GPU/CPU ratio is below 8/8
+  (work balancing, paper Section 4.3).
+* **Composite** — intermediates are allocated, steps become child
+  invocations (sequential or task-parallel), and the data-movement
+  classification decides each step's copy-out strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.compiler.choices import ChoiceKind, ExecChoice
+from repro.compiler.data_movement import (
+    Backend,
+    CopyOutClass,
+    ScheduledProducer,
+    classify_copyouts,
+)
+from repro.errors import RuntimeFault
+from repro.hardware.costmodel import cpu_task_time
+from repro.lang.rule import Pattern, ResolvedCost, Rule, RuleContext
+from repro.lang.spawn import Spawn, SubInvoke
+from repro.runtime.gpu_manager import GpuInvocationRecord
+from repro.runtime.gpu_tasks import (
+    CopyInPayload,
+    CopyOutPayload,
+    ExecutePayload,
+    PreparePayload,
+)
+from repro.runtime.payload import PayloadResult
+from repro.runtime.task import Task, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.scheduler import RuntimeState
+
+#: Fixed cost of resolving a selector and dispatching an invocation.
+DISPATCH_COST_S = 5.0e-7
+#: Per-child task-creation cost.
+TASK_CREATE_COST_S = 1.0e-7
+
+
+def merged_params(
+    rt: "RuntimeState", transform_name: str, passed: Mapping[str, float]
+) -> Dict[str, float]:
+    """Merge program defaults, transform defaults and passed params."""
+    transform = rt.compiled.transform(transform_name).transform
+    params: Dict[str, float] = dict(rt.compiled.program.default_params)
+    params.update(transform.params)
+    params.update(passed)
+    return params
+
+
+def make_invocation_task(
+    transform_name: str,
+    env: Dict[str, np.ndarray],
+    params: Optional[Mapping[str, float]] = None,
+    copy_classes: Optional[Mapping[str, CopyOutClass]] = None,
+    size_hint: Optional[int] = None,
+) -> Task:
+    """Create a (NEW) CPU task that will expand a transform invocation."""
+    payload = InvocationPayload(
+        transform_name=transform_name,
+        env=env,
+        params=dict(params or {}),
+        copy_classes=dict(copy_classes or {}),
+        size_hint=size_hint,
+    )
+    return Task(name=f"invoke:{transform_name}", kind=TaskKind.CPU, payload=payload)
+
+
+def peek_backend(rt: "RuntimeState", transform_name: str, size: int) -> Backend:
+    """Predict whether an invocation will run on the GPU.
+
+    Used by the composite scheduler to classify copy-outs before the
+    child invocations actually expand.  Composite children count as
+    CPU (their own steps re-classify internally).
+    """
+    compiled = rt.compiled.transform(transform_name)
+    index = min(rt.config.select_index(transform_name, size), compiled.num_choices - 1)
+    choice = compiled.exec_choices[index]
+    if not choice.uses_opencl:
+        return Backend.CPU
+    ratio = rt.config.tunable(f"gpu_ratio_{transform_name}", 8)
+    return Backend.GPU if ratio > 0 else Backend.CPU
+
+
+def _row_chunks(height: int, chunk_count: int) -> List[Tuple[int, int]]:
+    """Split ``[0, height)`` into up to ``chunk_count`` near-even ranges."""
+    count = max(1, min(chunk_count, height))
+    edges = [round(i * height / count) for i in range(count + 1)]
+    return [(edges[i], edges[i + 1]) for i in range(count) if edges[i] < edges[i + 1]]
+
+
+@dataclass
+class InvocationPayload:
+    """Expands one transform invocation according to the configuration.
+
+    Attributes:
+        transform_name: Transform to invoke.
+        env: Matrix bindings (host arrays) for the transform.
+        params: Parameters passed by the caller (merged with defaults
+            at run time).
+        copy_classes: Copy-out classification for this invocation's
+            outputs, decided by the caller's schedule.
+        size_hint: Optional override of the selector's input size.
+    """
+
+    transform_name: str
+    env: Dict[str, np.ndarray]
+    params: Dict[str, float]
+    copy_classes: Dict[str, CopyOutClass]
+    size_hint: Optional[int] = None
+
+    def run(self, rt: "RuntimeState", now: float) -> PayloadResult:
+        rt.stats.spawned_invocations += 1
+        compiled = rt.compiled.transform(self.transform_name)
+        transform = compiled.transform
+        params = merged_params(rt, self.transform_name, self.params)
+
+        shapes = {name: arr.shape for name, arr in self.env.items()}
+        size = self.size_hint if self.size_hint is not None else transform.default_size(shapes)
+        params.setdefault("_size", float(size))
+        for tunable_name, (_lo, _hi, default, _scale) in transform.user_tunables.items():
+            params.setdefault(
+                tunable_name, float(rt.config.tunable(tunable_name, default))
+            )
+
+        index = min(
+            rt.config.select_index(self.transform_name, size), compiled.num_choices - 1
+        )
+        choice = compiled.exec_choices[index]
+
+        if choice.kind is ChoiceKind.COMPOSITE:
+            return self._dispatch_composite(rt, choice, params, shapes)
+        if choice.uses_opencl:
+            ratio = rt.config.tunable(f"gpu_ratio_{self.transform_name}", 8)
+            if ratio > 0 and rt.gpu is not None:
+                return self._dispatch_opencl(rt, choice, params, ratio)
+        return self._dispatch_cpu_rule(rt, choice, params, now)
+
+    # ------------------------------------------------------------------
+    # CPU rule dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_cpu_rule(
+        self, rt: "RuntimeState", choice: ExecChoice, params: Dict[str, float], now: float
+    ) -> PayloadResult:
+        rule = choice.rule
+        if rule is None:
+            raise RuntimeFault(f"choice {choice.name!r} has no rule")
+        if rule.pattern is Pattern.RECURSIVE or not rule.divisible:
+            return self._run_inline(rt, rule, params, now)
+
+        out = self.env[rule.writes[0]]
+        height = int(out.shape[0])
+        total_items = int(np.prod(out.shape, dtype=np.int64))
+        seq_cutoff = rt.config.tunable("seq_par_cutoff", 1024)
+        split = rt.config.tunable(
+            f"split_{self.transform_name}", rt.machine.worker_count
+        )
+        if total_items <= seq_cutoff:
+            split = 1
+        chunks = _row_chunks(height, split)
+
+        cost = rule.cost.resolve(params)
+        children = tuple(
+            Task(
+                name=f"{self.transform_name}[{r0}:{r1}]",
+                kind=TaskKind.CPU,
+                payload=CpuChunkPayload(
+                    rule=rule,
+                    env=self.env,
+                    params=params,
+                    rows=(r0, r1),
+                    cost=cost,
+                    items=max(1, total_items * (r1 - r0) // max(1, height)),
+                ),
+            )
+            for r0, r1 in chunks
+        )
+        duration = DISPATCH_COST_S + TASK_CREATE_COST_S * len(children)
+        if len(children) == 1:
+            # No point paying spawn overhead for a single chunk; run it
+            # as the continuation directly.
+            return PayloadResult(duration=duration, children=children)
+        return PayloadResult(duration=duration, children=children)
+
+    def _run_inline(
+        self, rt: "RuntimeState", rule: Rule, params: Dict[str, float], now: float
+    ) -> PayloadResult:
+        lazy_s = 0.0
+        if rule.touches_data:
+            for name in rule.reads:
+                lazy_s += rt.memory.ensure_host(self.env[name], now)
+        out = self.env[rule.writes[0]]
+        ctx = RuleContext(self.env, params, (0, int(out.shape[0])), rt.config.tunables)
+        spawn = rule.body(ctx)
+        if rule.touches_data:
+            for name in rule.writes:
+                rt.memory.invalidate_device(self.env[name])
+        flops, mem_bytes, sequential = ctx.charged
+        if rule.pattern is not Pattern.RECURSIVE:
+            # Indivisible leaf rules are costed by their CostSpec (the
+            # same model the OpenCL variants use); recursive drivers
+            # account their split/combine work via ctx.charge instead.
+            cost = rule.cost.resolve(params)
+            items = int(np.prod(out.shape, dtype=np.int64))
+            flops += items * cost.effective_cpu_flops_per_item
+            read_bytes = cost.bytes_read_per_item
+            if cost.strided_access:
+                read_bytes *= rt.machine.cpu.strided_penalty
+            mem_bytes += items * (read_bytes + cost.bytes_written_per_item)
+            sequential = sequential or cost.sequential_fraction >= 1.0
+        duration = DISPATCH_COST_S + lazy_s + cpu_task_time(
+            flops,
+            mem_bytes,
+            rt.machine.cpu,
+            active_cores=rt.active_workers(),
+            sequential=sequential,
+        )
+        if spawn is None:
+            return PayloadResult(duration=duration)
+        return _spawn_to_result(rt, spawn, self.env, params, duration)
+
+    # ------------------------------------------------------------------
+    # OpenCL dispatch (GPU quartet + optional CPU portion)
+    # ------------------------------------------------------------------
+
+    def _dispatch_opencl(
+        self,
+        rt: "RuntimeState",
+        choice: ExecChoice,
+        params: Dict[str, float],
+        ratio: int,
+    ) -> PayloadResult:
+        rule = choice.rule
+        kernel = choice.kernel
+        assert rule is not None and kernel is not None
+        out = self.env[rule.writes[0]]
+        height = int(out.shape[0])
+        total_items = int(np.prod(out.shape, dtype=np.int64))
+        ratio = max(0, min(8, ratio))
+        gpu_rows = height * ratio // 8 if rule.divisible else height
+        if gpu_rows == 0:
+            return self._dispatch_cpu_rule(rt, choice, params, 0.0)
+
+        cost = rule.cost.resolve(params)
+        gpu_items = max(1, total_items * gpu_rows // max(1, height))
+        lws = rt.config.tunable(
+            f"lws_{self.transform_name}",
+            rt.gpu.device.preferred_local_size if rt.gpu else 128,
+        )
+        launch = kernel.launch(gpu_items, cost, lws)
+        record = GpuInvocationRecord()
+
+        copy_classes = {
+            name: self.copy_classes.get(name, CopyOutClass.MUST_COPY_OUT)
+            for name in rule.writes
+        }
+
+        children: List[Task] = []
+        children.append(
+            Task(
+                name=f"gpu:prepare:{self.transform_name}",
+                kind=TaskKind.GPU,
+                payload=PreparePayload(
+                    record=record,
+                    outputs=tuple(self.env[name] for name in rule.writes),
+                ),
+            )
+        )
+        for name in rule.reads:
+            children.append(
+                Task(
+                    name=f"gpu:copyin:{self.transform_name}:{name}",
+                    kind=TaskKind.GPU,
+                    payload=CopyInPayload(record=record, host=self.env[name]),
+                )
+            )
+        children.append(
+            Task(
+                name=f"gpu:execute:{kernel.name}",
+                kind=TaskKind.GPU,
+                payload=ExecutePayload(
+                    record=record,
+                    kernel=kernel,
+                    launch=launch,
+                    cost=cost,
+                    env=self.env,
+                    rows=(0, gpu_rows),
+                    copy_classes=copy_classes,
+                    params=params,
+                ),
+            )
+        )
+        for name in rule.writes:
+            if copy_classes[name] is CopyOutClass.MUST_COPY_OUT:
+                children.append(
+                    Task(
+                        name=f"gpu:copyout:{self.transform_name}:{name}",
+                        kind=TaskKind.GPU,
+                        payload=CopyOutPayload(record=record, matrix_name=name),
+                    )
+                )
+
+        if gpu_rows < height:
+            # CPU portion of the work-balanced split: the remaining
+            # rows become ordinary work-stealing chunks.
+            split = rt.config.tunable(
+                f"split_{self.transform_name}", rt.machine.worker_count
+            )
+            cpu_chunks = _row_chunks(height - gpu_rows, split)
+            for c0, c1 in cpu_chunks:
+                r0, r1 = gpu_rows + c0, gpu_rows + c1
+                children.append(
+                    Task(
+                        name=f"{self.transform_name}[{r0}:{r1}]",
+                        kind=TaskKind.CPU,
+                        payload=CpuChunkPayload(
+                            rule=rule,
+                            env=self.env,
+                            params=params,
+                            rows=(r0, r1),
+                            cost=cost,
+                            items=max(1, total_items * (r1 - r0) // max(1, height)),
+                        ),
+                    )
+                )
+
+        duration = DISPATCH_COST_S + TASK_CREATE_COST_S * len(children)
+        return PayloadResult(duration=duration, children=tuple(children))
+
+    # ------------------------------------------------------------------
+    # Composite dispatch (steps)
+    # ------------------------------------------------------------------
+
+    def _dispatch_composite(
+        self,
+        rt: "RuntimeState",
+        choice: ExecChoice,
+        params: Dict[str, float],
+        shapes: Mapping[str, Tuple[int, ...]],
+    ) -> PayloadResult:
+        authored = choice.choice
+        env: Dict[str, np.ndarray] = dict(self.env)
+        all_shapes = dict(shapes)
+        for name, shape_fn in authored.intermediates.items():
+            shape = tuple(int(d) for d in shape_fn(all_shapes, params))
+            env[name] = np.zeros(shape)
+            all_shapes[name] = shape
+
+        program = rt.compiled.program
+        child_envs: List[Dict[str, np.ndarray]] = []
+        child_params: List[Dict[str, float]] = []
+        producers: List[ScheduledProducer] = []
+        for step in authored.steps:
+            callee = program.transform(step.transform)
+            bindings = dict(step.bindings)
+            child_env = {}
+            for matrix in tuple(callee.inputs) + tuple(callee.outputs):
+                caller_name = bindings.get(matrix, matrix)
+                if caller_name not in env:
+                    raise RuntimeFault(
+                        f"step into {step.transform!r}: caller matrix "
+                        f"{caller_name!r} is not bound"
+                    )
+                child_env[matrix] = env[caller_name]
+            child_envs.append(child_env)
+            cparams = {
+                k: v for k, v in params.items() if k != "_size"
+            }
+            cparams.update(step.param_overrides)
+            child_params.append(cparams)
+
+            child_shapes = {m: a.shape for m, a in child_env.items()}
+            child_size = callee.default_size(child_shapes)
+            producers.append(
+                ScheduledProducer(
+                    backend=peek_backend(rt, step.transform, child_size),
+                    produces=tuple(bindings.get(m, m) for m in callee.outputs),
+                    consumes=tuple(bindings.get(m, m) for m in callee.inputs),
+                    dynamic_consumer=step.dynamic_consumer,
+                )
+            )
+
+        own_classes = {
+            name: self.copy_classes.get(name, CopyOutClass.MUST_COPY_OUT)
+            for name in rt.compiled.transform(self.transform_name).transform.outputs
+        }
+        final_dynamic = any(c is CopyOutClass.MAY_COPY_OUT for c in own_classes.values())
+        final_consumer = (
+            Backend.GPU
+            if own_classes and all(c is CopyOutClass.REUSED for c in own_classes.values())
+            else Backend.CPU
+        )
+        classes = classify_copyouts(
+            producers, final_consumer=final_consumer, final_dynamic=final_dynamic
+        )
+
+        children: List[Task] = []
+        for i, step in enumerate(authored.steps):
+            callee = program.transform(step.transform)
+            bindings = dict(step.bindings)
+            step_classes: Dict[str, CopyOutClass] = {}
+            if i in classes:
+                for matrix in callee.outputs:
+                    caller_name = bindings.get(matrix, matrix)
+                    if caller_name in classes[i]:
+                        step_classes[matrix] = classes[i][caller_name]
+            children.append(
+                make_invocation_task(
+                    step.transform,
+                    child_envs[i],
+                    child_params[i],
+                    copy_classes=step_classes,
+                )
+            )
+        duration = DISPATCH_COST_S + TASK_CREATE_COST_S * len(children)
+        return PayloadResult(
+            duration=duration,
+            children=tuple(children),
+            sequential=not authored.parallel_steps,
+        )
+
+
+@dataclass
+class CpuChunkPayload:
+    """One row-range of a data-parallel rule on the CPU backend."""
+
+    rule: Rule
+    env: Dict[str, np.ndarray]
+    params: Mapping[str, float]
+    rows: Tuple[int, int]
+    cost: ResolvedCost
+    items: int
+
+    def run(self, rt: "RuntimeState", now: float) -> PayloadResult:
+        lazy_s = 0.0
+        for name in self.rule.reads:
+            lazy_s += rt.memory.ensure_host(self.env[name], now)
+        ctx = RuleContext(self.env, self.params, self.rows, rt.config.tunables)
+        spawn = self.rule.body(ctx)
+        if spawn is not None:
+            raise RuntimeFault(
+                f"data-parallel rule {self.rule.name!r} attempted to spawn"
+            )
+        for name in self.rule.writes:
+            rt.memory.invalidate_device(self.env[name])
+        extra_flops, extra_bytes, _ = ctx.charged
+        flops = self.items * self.cost.effective_cpu_flops_per_item + extra_flops
+        read_bytes = self.cost.bytes_read_per_item
+        if self.cost.strided_access:
+            read_bytes *= rt.machine.cpu.strided_penalty
+        mem_bytes = (
+            self.items * (read_bytes + self.cost.bytes_written_per_item)
+            + extra_bytes
+        )
+        duration = lazy_s + cpu_task_time(
+            flops,
+            mem_bytes,
+            rt.machine.cpu,
+            active_cores=rt.active_workers(),
+            sequential=self.cost.sequential_fraction >= 1.0,
+        )
+        rt.stats.cpu_seconds += duration
+        rt.stats.tasks_executed += 1
+        return PayloadResult(duration=duration)
+
+
+@dataclass
+class CombinePayload:
+    """Continuation body of a recursive rule (runs after its children)."""
+
+    fn: object
+    env: Dict[str, np.ndarray]
+    params: Mapping[str, float]
+    rows: Tuple[int, int]
+    ensure_arrays: Tuple[np.ndarray, ...] = ()
+
+    def run(self, rt: "RuntimeState", now: float) -> PayloadResult:
+        lazy_s = 0.0
+        for arr in self.ensure_arrays:
+            lazy_s += rt.memory.ensure_host(arr, now)
+        ctx = RuleContext(self.env, self.params, self.rows, rt.config.tunables)
+        spawn = self.fn(ctx)  # type: ignore[operator]
+        flops, mem_bytes, sequential = ctx.charged
+        duration = lazy_s + cpu_task_time(
+            flops,
+            mem_bytes,
+            rt.machine.cpu,
+            active_cores=rt.active_workers(),
+            sequential=sequential,
+        )
+        rt.stats.cpu_seconds += duration
+        rt.stats.tasks_executed += 1
+        if spawn is None:
+            return PayloadResult(duration=duration)
+        return _spawn_to_result(rt, spawn, self.env, self.params, duration)
+
+
+def _spawn_to_result(
+    rt: "RuntimeState",
+    spawn: Spawn,
+    env: Dict[str, np.ndarray],
+    params: Mapping[str, float],
+    duration: float,
+) -> PayloadResult:
+    """Convert a rule body's :class:`Spawn` into scheduler children."""
+    children: List[Task] = []
+    ensure: List[np.ndarray] = []
+    for sub in spawn.children:
+        if not isinstance(sub, SubInvoke):
+            raise RuntimeFault("Spawn children must be SubInvoke descriptors")
+        callee = rt.compiled.program.transform(sub.transform)
+        classes = {
+            name: CopyOutClass.MAY_COPY_OUT for name in callee.outputs
+        }
+        children.append(
+            make_invocation_task(
+                sub.transform,
+                sub.env,
+                sub.params,
+                copy_classes=classes,
+                size_hint=sub.size_hint,
+            )
+        )
+        for name in callee.outputs:
+            ensure.append(sub.env[name])
+
+    continuation: Optional[Task] = None
+    if spawn.combine is not None:
+        out_rows = (0, 0)
+        continuation = Task(
+            name="combine",
+            kind=TaskKind.CPU,
+            payload=CombinePayload(
+                fn=spawn.combine,
+                env=env,
+                params=params,
+                rows=out_rows,
+                ensure_arrays=tuple(ensure),
+            ),
+        )
+    return PayloadResult(
+        duration=duration + TASK_CREATE_COST_S * len(children),
+        children=tuple(children),
+        continuation=continuation,
+        sequential=spawn.sequential,
+    )

@@ -1,0 +1,56 @@
+"""Payload protocol: what a task does when an actor executes it.
+
+The task model (:mod:`repro.runtime.task`) is pure dependency
+mechanics; payloads carry the actual behaviour.  A payload's ``run``
+returns a :class:`PayloadResult` telling the scheduler
+
+* how long the executing actor stays busy (virtual seconds),
+* whether the task spawned children and a continuation (Cilk-style;
+  the scheduler wires dependencies and applies the push rules of
+  paper Figure 5), and
+* for GPU copy-out completion tasks, whether the task must be
+  re-queued because its non-blocking read has not finished yet
+  (paper Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Tuple, TYPE_CHECKING
+
+from repro.runtime.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.scheduler import RuntimeState
+
+
+@dataclass
+class PayloadResult:
+    """Outcome of executing one payload.
+
+    Attributes:
+        duration: Virtual seconds the executing actor was busy.
+        children: Freshly created NEW tasks to spawn.
+        continuation: Task to run after the children complete; when
+            children exist and no continuation is given, the scheduler
+            synthesises a barrier so dependents still wait correctly.
+        sequential: When True, children are chained to run one after
+            another instead of concurrently.
+        requeue_at: For GPU copy-out completion polls: the virtual time
+            at which the task should be retried (the task is pushed
+            back to the end of the GPU FIFO).
+    """
+
+    duration: float = 0.0
+    children: Tuple[Task, ...] = ()
+    continuation: Optional[Task] = None
+    sequential: bool = False
+    requeue_at: Optional[float] = None
+
+
+class Payload(Protocol):
+    """Executable behaviour attached to a task."""
+
+    def run(self, rt: "RuntimeState", now: float) -> PayloadResult:
+        """Execute on the given runtime state at virtual time ``now``."""
+        ...  # pragma: no cover - protocol

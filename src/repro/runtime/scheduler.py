@@ -1,0 +1,295 @@
+"""The discrete-event scheduler binding workers and the GPU manager.
+
+This is the virtual-time engine that executes task graphs with the
+paper's scheduling disciplines:
+
+* CPU workers run a Cilk-style work-stealing loop: pop from the top of
+  the own deque, steal from the bottom of a random victim when empty
+  (paper Section 4.1).
+* The GPU management thread processes its FIFO one task at a time and
+  never blocks on device operations (Section 4.2).
+* Newly runnable tasks are pushed according to Figure 5: GPU tasks to
+  the bottom of the GPU queue; CPU tasks made runnable by a GPU task
+  to the bottom of a *random* worker's deque; CPU tasks made runnable
+  by a CPU task to the top of the executing worker's own deque.
+
+Determinism: the only randomness (victim selection, worker choice for
+GPU-caused pushes) comes from one seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.configuration import Configuration
+from repro.compiler.compile import CompiledProgram
+from repro.errors import RuntimeFault
+from repro.hardware.machines import MachineSpec
+from repro.hardware.opencl import OpenCLRuntimeModel
+from repro.runtime.gpu_manager import GpuState
+from repro.runtime.memory_manager import GpuMemoryManager
+from repro.runtime.payload import PayloadResult
+from repro.runtime.stats import RunStats
+from repro.runtime.task import Task, TaskKind, TaskState, make_barrier
+from repro.runtime.worker import STEAL_COST_S, Worker
+
+#: Event kinds in the agenda.
+_WAKE_WORKER = "wake_worker"
+_DONE_WORKER = "done_worker"
+_WAKE_GPU = "wake_gpu"
+_DONE_GPU = "done_gpu"
+
+
+class RuntimeState:
+    """All mutable state of one simulated program run."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        config: Configuration,
+        seed: int = 0,
+        jit: Optional[OpenCLRuntimeModel] = None,
+        worker_count: Optional[int] = None,
+        charge_compile_in_run: bool = False,
+        dedup_copy_ins: bool = True,
+    ) -> None:
+        self.compiled = compiled
+        self.config = config
+        self.charge_compile_in_run = charge_compile_in_run
+        self.dedup_copy_ins = dedup_copy_ins
+        self.machine: MachineSpec = compiled.machine
+        self.memory = GpuMemoryManager(
+            self.machine.transfer, dedup_copy_ins=dedup_copy_ins
+        )
+        self.stats = RunStats()
+        self.rng = random.Random(seed)
+        self.jit = jit if jit is not None else self.machine.fresh_jit()
+        count = worker_count if worker_count is not None else self.machine.worker_count
+        self.workers: List[Worker] = [Worker(index=i) for i in range(max(1, count))]
+        self.gpu: Optional[GpuState] = (
+            GpuState(self.machine.opencl_device)
+            if self.machine.opencl_device is not None
+            else None
+        )
+        self._agenda: List[Tuple[float, int, str, Tuple]] = []
+        self._seq = itertools.count()
+        self._live_tasks = 0
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Agenda
+    # ------------------------------------------------------------------
+
+    def _post(self, time: float, kind: str, payload: Tuple = ()) -> None:
+        heapq.heappush(self._agenda, (time, next(self._seq), kind, payload))
+
+    def active_workers(self) -> int:
+        """Number of busy CPU workers (for the shared-bandwidth model)."""
+        return max(1, sum(1 for w in self.workers if w.busy))
+
+    # ------------------------------------------------------------------
+    # Task admission and the push rules of Figure 5
+    # ------------------------------------------------------------------
+
+    def admit(self, task: Task, actor: Tuple[str, int], now: float) -> None:
+        """Enqueue a runnable task according to the Figure 5 push rules.
+
+        Args:
+            task: A RUNNABLE task.
+            actor: ``("worker", i)`` or ``("gpu", 0)`` — who caused the
+                task to become runnable.
+            now: Current virtual time.
+        """
+        if task.state is not TaskState.RUNNABLE:
+            raise RuntimeFault(f"cannot admit a {task.state.value} task")
+        if task.kind is TaskKind.GPU:
+            if self.gpu is None:
+                raise RuntimeFault("GPU task admitted on a machine with no GPU")
+            self.gpu.push(task)
+            self._wake_gpu(now)
+            return
+        if actor[0] == "gpu":
+            worker = self.rng.choice(self.workers)
+            worker.deque.push_bottom(task)
+        else:
+            worker = self.workers[actor[1]]
+            worker.deque.push_top(task)
+        self._wake_worker(worker, now)
+        self._wake_idle_thieves(now)
+
+    def _wake_worker(self, worker: Worker, now: float) -> None:
+        if worker.dormant and not worker.busy:
+            worker.dormant = False
+            self._post(now, _WAKE_WORKER, (worker.index,))
+
+    def _wake_idle_thieves(self, now: float) -> None:
+        """Wake dormant workers so they can attempt steals."""
+        for worker in self.workers:
+            if worker.dormant and not worker.busy:
+                worker.dormant = False
+                self._post(now, _WAKE_WORKER, (worker.index,))
+
+    def _wake_gpu(self, now: float) -> None:
+        gpu = self.gpu
+        if gpu is not None and gpu.dormant and not gpu.busy:
+            gpu.dormant = False
+            self._post(now, _WAKE_GPU)
+
+    # ------------------------------------------------------------------
+    # Spawning and completion plumbing
+    # ------------------------------------------------------------------
+
+    def _handle_result(
+        self, task: Task, result: PayloadResult, actor: Tuple[str, int], now: float
+    ) -> None:
+        """Apply a finished payload's effects (spawn or complete)."""
+        if result.requeue_at is not None:
+            # Only GPU copy-out completion polls requeue.
+            if self.gpu is None:
+                raise RuntimeFault("requeue outside the GPU manager")
+            self.gpu.requeue(task)
+            return
+
+        if result.children or result.continuation is not None:
+            continuation = result.continuation or make_barrier(f"{task.name}#join")
+            previous: Optional[Task] = None
+            for child in result.children:
+                if result.sequential and previous is not None:
+                    child.depend_on(previous)
+                continuation.depend_on(child)
+                previous = child
+            task.continue_with(continuation)
+            self._live_tasks += 1  # continuation enters the system
+            ready_children: List[Task] = []
+            for child in result.children:
+                self._live_tasks += 1
+                if child.finish_dependency_creation():
+                    ready_children.append(child)
+            if continuation.finish_dependency_creation():
+                self.admit(continuation, actor, now)
+            # Push CPU children in reverse so the first spawned child
+            # sits on top of the deque and runs first (Cilk order);
+            # GPU children keep quartet order in the FIFO.
+            gpu_children = [c for c in ready_children if c.kind is TaskKind.GPU]
+            cpu_children = [c for c in ready_children if c.kind is TaskKind.CPU]
+            for child in gpu_children:
+                self.admit(child, actor, now)
+            for child in reversed(cpu_children):
+                self.admit(child, actor, now)
+            self._live_tasks -= 1  # the continued task leaves the system
+            return
+
+        released = task.complete()
+        self._live_tasks -= 1
+        for dependent in released:
+            self.admit(dependent, actor, now)
+
+    # ------------------------------------------------------------------
+    # Actor loops
+    # ------------------------------------------------------------------
+
+    def _on_wake_worker(self, index: int, now: float) -> None:
+        worker = self.workers[index]
+        if worker.busy:
+            return
+        task = worker.deque.pop_top()
+        start = now
+        if task is None:
+            task, start = self._try_steal(worker, now)
+            if task is None:
+                return
+        worker.busy = True
+        result = (
+            task.payload.run(self, start) if task.payload is not None else PayloadResult()
+        )
+        self._post(start + result.duration, _DONE_WORKER, (index, task, result))
+
+    def _try_steal(self, worker: Worker, now: float) -> Tuple[Optional[Task], float]:
+        """One steal attempt; returns (task, time-after-attempt)."""
+        victims = [w for w in self.workers if w.index != worker.index]
+        if not victims or not any(len(v.deque) for v in victims):
+            worker.dormant = True
+            return None, now
+        victim = self.rng.choice(victims)
+        after = now + STEAL_COST_S
+        task = victim.deque.steal_bottom()
+        if task is None:
+            self.stats.failed_steals += 1
+            self._post(after, _WAKE_WORKER, (worker.index,))
+            return None, now
+        self.stats.steals += 1
+        return task, after
+
+    def _on_done_worker(
+        self, index: int, task: Task, result: PayloadResult, now: float
+    ) -> None:
+        worker = self.workers[index]
+        worker.busy = False
+        self._handle_result(task, result, ("worker", index), now)
+        self._post(now, _WAKE_WORKER, (index,))
+
+    def _on_wake_gpu(self, now: float) -> None:
+        gpu = self.gpu
+        if gpu is None or gpu.busy:
+            return
+        task = gpu.pop()
+        if task is None:
+            gpu.dormant = True
+            return
+        result = (
+            task.payload.run(self, now) if task.payload is not None else PayloadResult()
+        )
+        self._post(now + result.duration, _DONE_GPU, (task, result))
+        gpu.busy = True
+
+    def _on_done_gpu(self, task: Task, result: PayloadResult, now: float) -> None:
+        gpu = self.gpu
+        assert gpu is not None
+        gpu.busy = False
+        self._handle_result(task, result, ("gpu", 0), now)
+        if result.requeue_at is not None and len(gpu.fifo) == 1:
+            # Nothing else to do until the read lands: sleep till then.
+            self._post(max(now, result.requeue_at), _WAKE_GPU)
+        else:
+            self._post(now, _WAKE_GPU)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def submit_root(self, root: Task) -> None:
+        """Admit the root task of a run (always to worker 0)."""
+        if root.state is TaskState.NEW:
+            root.finish_dependency_creation()
+        self._live_tasks += 1
+        self.workers[0].deque.push_top(root)
+        self.workers[0].dormant = False
+        self._post(0.0, _WAKE_WORKER, (0,))
+
+    def run_to_completion(self) -> float:
+        """Drain the agenda; returns the final virtual time.
+
+        Raises:
+            RuntimeFault: On deadlock (events exhausted while tasks
+                remain incomplete).
+        """
+        handlers = {
+            _WAKE_WORKER: lambda p, t: self._on_wake_worker(p[0], t),
+            _DONE_WORKER: lambda p, t: self._on_done_worker(p[0], p[1], p[2], t),
+            _WAKE_GPU: lambda p, t: self._on_wake_gpu(t),
+            _DONE_GPU: lambda p, t: self._on_done_gpu(p[0], p[1], t),
+        }
+        while self._agenda:
+            time, _, kind, payload = heapq.heappop(self._agenda)
+            if time < self.now - 1e-12:
+                raise RuntimeFault("agenda time went backwards")
+            self.now = max(self.now, time)
+            handlers[kind](payload, time)
+        if self._live_tasks != 0:
+            raise RuntimeFault(
+                f"deadlock: {self._live_tasks} task(s) incomplete at time {self.now}"
+            )
+        return self.now

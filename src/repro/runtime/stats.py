@@ -1,0 +1,51 @@
+"""Execution statistics collected by the simulated runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RunStats:
+    """Counters and virtual-time aggregates for one program run.
+
+    Attributes:
+        tasks_executed: CPU tasks run by worker threads.
+        gpu_tasks_executed: Tasks processed by the GPU manager.
+        kernel_launches: OpenCL kernel launches (counting multi-launch
+            algorithms once per launch).
+        kernel_seconds: Virtual seconds of device kernel execution.
+        cpu_seconds: Virtual seconds of CPU task execution.
+        steals: Successful steals.
+        failed_steals: Steal attempts that found an empty victim.
+        compile_seconds: Virtual seconds of OpenCL JIT compilation.
+        copyout_polls: Copy-out completion tasks that had to requeue.
+        spawned_invocations: Transform invocations expanded.
+    """
+
+    tasks_executed: int = 0
+    gpu_tasks_executed: int = 0
+    kernel_launches: int = 0
+    kernel_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    steals: int = 0
+    failed_steals: int = 0
+    compile_seconds: float = 0.0
+    copyout_polls: int = 0
+    spawned_invocations: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict (for reports and tests)."""
+        return {
+            "tasks_executed": self.tasks_executed,
+            "gpu_tasks_executed": self.gpu_tasks_executed,
+            "kernel_launches": self.kernel_launches,
+            "kernel_seconds": self.kernel_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "steals": self.steals,
+            "failed_steals": self.failed_steals,
+            "compile_seconds": self.compile_seconds,
+            "copyout_polls": self.copyout_polls,
+            "spawned_invocations": self.spawned_invocations,
+        }

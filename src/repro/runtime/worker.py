@@ -1,0 +1,39 @@
+"""CPU worker threads of the work-stealing runtime (paper Section 4.1).
+
+Each worker owns a THE-protocol deque; it pops from the top, and when
+out of work it picks a random victim and steals from the bottom of the
+victim's deque.  In the discrete-event simulation a worker is a small
+state record; the scheduling logic lives in
+:mod:`repro.runtime.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.deque import WorkDeque
+
+#: Virtual cost of one steal attempt (successful or not).
+STEAL_COST_S = 5.0e-7
+
+
+@dataclass
+class Worker:
+    """One CPU worker thread.
+
+    Attributes:
+        index: Worker id (0-based).
+        deque: The worker's own task deque.
+        dormant: True when the worker found no work anywhere and is
+            parked until new work appears.
+        busy: True while the worker is executing a task.
+    """
+
+    index: int
+    deque: WorkDeque = field(default=None)  # type: ignore[assignment]
+    dormant: bool = True
+    busy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.deque is None:
+            self.deque = WorkDeque(owner_id=self.index)

@@ -1,0 +1,63 @@
+"""Fast end-to-end migration sanity checks (the Figure 7 story at
+unit-test scale): a configuration tuned for one machine runs
+*correctly* on every other machine, just slower."""
+
+import numpy as np
+import pytest
+
+from repro.apps import benchmark
+from repro.compiler.compile import compile_program
+from repro.core import autotune
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
+
+SMALL = {
+    "Black-Sholes": 20_000,
+    "Strassen": 128,
+    "Tridiagonal Solver": 96,
+}
+
+
+@pytest.mark.parametrize("name", list(SMALL))
+def test_migrated_configs_stay_correct(name):
+    """Any machine's tuned configuration produces correct results on
+    every other machine — migration affects time, never semantics."""
+    from repro.runtime.executor import run_program
+
+    spec = benchmark(name)
+    program = spec.build_program()
+    compiled = {m.codename: compile_program(program, m)
+                for m in (DESKTOP, SERVER, LAPTOP)}
+    report = autotune(
+        compiled["Desktop"],
+        lambda n: spec.make_env(n, seed=0),
+        max_size=SMALL[name],
+        seed=4,
+    )
+    for codename, target in compiled.items():
+        env = spec.make_env(SMALL[name], seed=1)
+        run_program(target, report.best, env, seed=1)
+        if spec.reference is not None:
+            np.testing.assert_allclose(
+                env[spec.output_name], spec.reference(env), rtol=1e-7, atol=1e-9,
+                err_msg=f"{name}: Desktop config wrong on {codename}",
+            )
+
+
+def test_config_json_survives_migration():
+    """Configurations migrate as JSON files between machines."""
+    from repro.core.configuration import Configuration
+    from repro.runtime.executor import run_program
+
+    spec = benchmark("Black-Sholes")
+    program = spec.build_program()
+    desktop = compile_program(program, DESKTOP)
+    laptop = compile_program(program, LAPTOP)
+    report = autotune(
+        desktop, lambda n: spec.make_env(n, seed=0), max_size=20_000, seed=4
+    )
+    text = report.best.to_json()
+    restored = Configuration.from_json(text)
+    restored.validate(laptop.training_info)
+    env = spec.make_env(20_000, seed=2)
+    run_program(laptop, restored, env)
+    np.testing.assert_allclose(env["Out"], spec.reference(env))

@@ -1,0 +1,195 @@
+"""Unit tests for the CDG, dependency analysis and data-movement
+classification (paper Sections 3.1 / 3.2)."""
+
+import pytest
+
+from repro.compiler.cdg import build_choice_graph, outputs_in_cycle, step_order
+from repro.compiler.data_movement import (
+    Backend,
+    CopyOutClass,
+    ScheduledProducer,
+    classify_copyouts,
+)
+from repro.compiler.dependency_analysis import analyse_rule, phase_two_disqualifiers
+from repro.errors import CompileError
+from repro.lang import Choice, Pattern, Rule, Step, Transform, make_program
+
+
+def noop(ctx):
+    return None
+
+
+def rule(reads, writes, pattern=Pattern.DATA_PARALLEL, **kw):
+    return Rule(name="r", reads=tuple(reads), writes=tuple(writes), body=noop,
+                pattern=pattern, **kw)
+
+
+def leaf(name, inputs, outputs, the_rule):
+    return Transform(name=name, inputs=tuple(inputs), outputs=tuple(outputs),
+                     choices=(Choice(name="only", rule=the_rule),))
+
+
+class TestChoiceGraph:
+    def test_leaf_graph_structure(self):
+        transform = leaf("T", ["In"], ["Out"], rule(["In"], ["Out"]))
+        program = make_program("p", [transform], "T")
+        graph = build_choice_graph(transform, transform.choices[0], program)
+        assert ("matrix", "In") in graph
+        assert ("matrix", "Out") in graph
+        rule_nodes = [n for n in graph if n[0] == "rule"]
+        assert len(rule_nodes) == 1
+
+    def test_inplace_rule_forms_cycle(self):
+        transform = leaf("T", ["Data"], ["Data"], rule(["Data"], ["Data"]))
+        program = make_program("p", [transform], "T")
+        assert outputs_in_cycle(transform, transform.choices[0], program)
+
+    def test_pure_pipeline_has_no_cycle(self):
+        transform = leaf("T", ["In"], ["Out"], rule(["In"], ["Out"]))
+        program = make_program("p", [transform], "T")
+        assert not outputs_in_cycle(transform, transform.choices[0], program)
+
+    def test_step_order_detects_use_before_def(self):
+        inner = leaf("Inner", ["In"], ["Out"], rule(["In"], ["Out"]))
+        top = Transform(
+            name="Top", inputs=("In",), outputs=("Out",),
+            choices=(
+                Choice(
+                    name="bad",
+                    steps=(
+                        # Reads `buf` before any step produces it.
+                        Step(transform="Inner", bindings={"In": "buf"}),
+                        Step(transform="Inner", bindings={"Out": "buf"}),
+                    ),
+                    intermediates={"buf": lambda s, p: s["In"]},
+                ),
+            ),
+        )
+        program = make_program("p", [top, inner], "Top")
+        with pytest.raises(CompileError):
+            step_order(top, top.choices[0], program)
+
+    def test_step_order_detects_missing_output(self):
+        inner = leaf("Inner", ["In"], ["Mid"], rule(["In"], ["Mid"]))
+        top = Transform(
+            name="Top", inputs=("In",), outputs=("Out",),
+            choices=(
+                Choice(name="c", steps=(Step(transform="Inner", bindings={"Mid": "buf"}),),
+                       intermediates={"buf": lambda s, p: s["In"]}),
+            ),
+        )
+        program = make_program("p", [top, inner], "Top")
+        with pytest.raises(CompileError):
+            step_order(top, top.choices[0], program)
+
+
+class TestPhaseOne:
+    def make(self, pattern, reads=("In",), writes=("Out",)):
+        transform = leaf("T", set(reads) | {"In"}, writes, rule(reads, writes, pattern))
+        program = make_program("p", [transform], "T")
+        return transform, transform.choices[0], program
+
+    def test_data_parallel_eligible(self):
+        assert analyse_rule(*self.make(Pattern.DATA_PARALLEL)).eligible
+
+    def test_sequential_eligible_even_inplace(self):
+        transform = leaf("T", ["Data"], ["Data"],
+                         rule(["Data"], ["Data"], Pattern.SEQUENTIAL))
+        program = make_program("p", [transform], "T")
+        assert analyse_rule(transform, transform.choices[0], program).eligible
+
+    def test_wavefront_rejected(self):
+        result = analyse_rule(*self.make(Pattern.WAVEFRONT))
+        assert not result.eligible
+        assert "wavefront" in result.reason
+
+    def test_recursive_rejected(self):
+        assert not analyse_rule(*self.make(Pattern.RECURSIVE)).eligible
+
+    def test_data_parallel_inplace_rejected(self):
+        """A DP rule whose output feeds itself has a true cycle."""
+        transform = leaf("T", ["Data"], ["Data"], rule(["Data"], ["Data"]))
+        program = make_program("p", [transform], "T")
+        result = analyse_rule(transform, transform.choices[0], program)
+        assert not result.eligible
+
+    def test_composite_choices_not_directly_eligible(self):
+        inner = leaf("Inner", ["In"], ["Out"], rule(["In"], ["Out"]))
+        top = Transform(
+            name="Top", inputs=("In",), outputs=("Out",),
+            choices=(Choice(name="c", steps=(Step(transform="Inner"),)),),
+        )
+        program = make_program("p", [top, inner], "Top")
+        assert not analyse_rule(top, top.choices[0], program).eligible
+
+
+class TestPhaseTwo:
+    def test_external_library_disqualifies(self):
+        reasons = phase_two_disqualifiers(
+            rule(["In"], ["Out"], calls_external=True)
+        )
+        assert any("external" in r for r in reasons)
+
+    def test_inline_native_disqualifies(self):
+        reasons = phase_two_disqualifiers(
+            rule(["In"], ["Out"], has_inline_native=True)
+        )
+        assert any("native" in r for r in reasons)
+
+    def test_clean_rule_passes(self):
+        assert phase_two_disqualifiers(rule(["In"], ["Out"])) == []
+
+
+class TestCopyOutClassification:
+    """Paper Section 3.2: must copy-out / reused / may copy-out."""
+
+    def test_gpu_then_cpu_is_must_copy_out(self):
+        steps = [
+            ScheduledProducer(Backend.GPU, produces=("A",), consumes=()),
+            ScheduledProducer(Backend.CPU, produces=("B",), consumes=("A",)),
+        ]
+        classes = classify_copyouts(steps)
+        assert classes[0]["A"] is CopyOutClass.MUST_COPY_OUT
+
+    def test_gpu_then_gpu_is_reused(self):
+        steps = [
+            ScheduledProducer(Backend.GPU, produces=("A",), consumes=()),
+            ScheduledProducer(Backend.GPU, produces=("B",), consumes=("A",)),
+        ]
+        classes = classify_copyouts(steps)
+        assert classes[0]["A"] is CopyOutClass.REUSED
+
+    def test_dynamic_consumer_is_may_copy_out(self):
+        steps = [
+            ScheduledProducer(Backend.GPU, produces=("A",), consumes=(),
+                              dynamic_consumer=True),
+            ScheduledProducer(Backend.CPU, produces=("B",), consumes=("A",)),
+        ]
+        classes = classify_copyouts(steps)
+        assert classes[0]["A"] is CopyOutClass.MAY_COPY_OUT
+
+    def test_unconsumed_output_returns_to_final_consumer(self):
+        steps = [ScheduledProducer(Backend.GPU, produces=("A",), consumes=())]
+        assert classify_copyouts(steps)[0]["A"] is CopyOutClass.MUST_COPY_OUT
+        assert (
+            classify_copyouts(steps, final_consumer=Backend.GPU)[0]["A"]
+            is CopyOutClass.REUSED
+        )
+        assert (
+            classify_copyouts(steps, final_dynamic=True)[0]["A"]
+            is CopyOutClass.MAY_COPY_OUT
+        )
+
+    def test_overwritten_before_read_stays_on_device(self):
+        steps = [
+            ScheduledProducer(Backend.GPU, produces=("A",), consumes=()),
+            ScheduledProducer(Backend.GPU, produces=("A",), consumes=()),
+            ScheduledProducer(Backend.CPU, produces=("B",), consumes=("A",)),
+        ]
+        classes = classify_copyouts(steps)
+        assert classes[0]["A"] is CopyOutClass.REUSED
+        assert classes[1]["A"] is CopyOutClass.MUST_COPY_OUT
+
+    def test_cpu_steps_not_classified(self):
+        steps = [ScheduledProducer(Backend.CPU, produces=("A",), consumes=())]
+        assert classify_copyouts(steps) == {}

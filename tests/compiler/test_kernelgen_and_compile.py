@@ -1,0 +1,202 @@
+"""Unit tests for kernel generation, choice expansion and compilation."""
+
+import pytest
+
+from repro.compiler.choices import ChoiceKind, expand_transform
+from repro.compiler.compile import compile_program
+from repro.compiler.kernelgen import KernelVariant, generate_kernels_for_choice
+from repro.compiler.localmem import fits_local_memory, local_memory_applicable, tile_elements
+from repro.compiler.opencl_source import generate_global_source, generate_local_source
+from repro.errors import CompileError
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
+from repro.lang import Choice, CostSpec, Pattern, Rule, Transform, make_program
+
+from tests.conftest import make_scale_program, make_stencil_program, scale_rule, stencil_rule
+
+
+class TestLocalMemAnalysis:
+    def test_applicable_requires_bounding_box(self):
+        rule = stencil_rule(5)
+        cost = rule.cost.resolve({})
+        assert local_memory_applicable(rule, cost)
+        scale = scale_rule()
+        assert not local_memory_applicable(scale, scale.cost.resolve({}))
+
+    def test_tile_sizing(self):
+        cost = stencil_rule(5).cost.resolve({})
+        assert tile_elements(cost, 128) == 132
+
+    def test_fits_local_memory(self):
+        cost = stencil_rule(5).cost.resolve({})
+        assert fits_local_memory(cost, 128)
+        assert not fits_local_memory(cost, 128, capacity_bytes=64)
+
+
+class TestSourceGeneration:
+    def test_global_source_mentions_global_memory(self):
+        rule = stencil_rule(5)
+        source = generate_global_source("k", rule, rule.cost.resolve({}))
+        assert "__kernel void k" in source
+        assert "__global" in source
+        assert "__local" not in source
+
+    def test_local_source_has_cooperative_load_and_barrier(self):
+        rule = stencil_rule(5)
+        source = generate_local_source("k", rule, rule.cost.resolve({}))
+        assert "__local double tile" in source
+        assert "barrier(CLK_LOCAL_MEM_FENCE)" in source
+
+    def test_sources_differ_between_variants(self):
+        rule = stencil_rule(5)
+        cost = rule.cost.resolve({})
+        assert generate_global_source("k", rule, cost) != generate_local_source(
+            "k", rule, cost
+        )
+
+    def test_source_parameterised_by_width(self):
+        a = stencil_rule(3)
+        b = stencil_rule(9)
+        assert generate_global_source("k", a, a.cost.resolve({})) != (
+            generate_global_source("k", b, b.cost.resolve({}))
+        )
+
+
+class TestKernelGeneration:
+    def test_stencil_gets_both_variants(self):
+        program = make_stencil_program(5)
+        transform = program.entry_transform
+        kernels, report = generate_kernels_for_choice(
+            transform, transform.choices[0], program, DESKTOP
+        )
+        variants = {k.variant for k in kernels}
+        assert variants == {KernelVariant.GLOBAL, KernelVariant.LOCAL}
+        assert report.rejected_reason is None
+
+    def test_elementwise_gets_only_global(self):
+        """Bounding box of one: no local-memory version (Sec. 3.1)."""
+        program = make_scale_program()
+        transform = program.entry_transform
+        kernels, _ = generate_kernels_for_choice(
+            transform, transform.choices[0], program, DESKTOP
+        )
+        assert [k.variant for k in kernels] == [KernelVariant.GLOBAL]
+
+    def test_external_call_rejected(self):
+        rule = Rule(
+            name="ext", reads=("In",), writes=("Out",), body=lambda ctx: None,
+            calls_external=True,
+        )
+        transform = Transform(name="T", inputs=("In",), outputs=("Out",),
+                              choices=(Choice(name="c", rule=rule),))
+        program = make_program("p", [transform], "T")
+        kernels, report = generate_kernels_for_choice(
+            transform, transform.choices[0], program, DESKTOP
+        )
+        assert kernels == []
+        assert "external" in report.rejected_reason
+
+    def test_hostile_platform_rejected_by_compile_attempt(self):
+        rule = Rule(
+            name="fragile", reads=("In",), writes=("Out",), body=lambda ctx: None,
+            opencl_hostile_platforms=(DESKTOP.opencl_platform,),
+        )
+        transform = Transform(name="T", inputs=("In",), outputs=("Out",),
+                              choices=(Choice(name="c", rule=rule),))
+        program = make_program("p", [transform], "T")
+        kernels, report = generate_kernels_for_choice(
+            transform, transform.choices[0], program, DESKTOP
+        )
+        assert kernels == []
+        assert "fails to compile" in report.rejected_reason
+        # ... but compiles fine on other platforms.
+        kernels, report = generate_kernels_for_choice(
+            transform, transform.choices[0], program, LAPTOP
+        )
+        assert kernels
+
+
+class TestChoiceExpansion:
+    def test_cpu_variant_always_first(self):
+        program = make_stencil_program(5)
+        choices, _, _ = expand_transform(program.entry_transform, program, DESKTOP)
+        assert choices[0].kind is ChoiceKind.CPU_RULE
+        assert choices[0].name == "direct/cpu"
+
+    def test_three_way_choice_for_stencils(self):
+        """CPU / OpenCL-global / OpenCL-local: the Convolve* pattern."""
+        program = make_stencil_program(5)
+        choices, kernels, _ = expand_transform(program.entry_transform, program, DESKTOP)
+        kinds = [c.kind for c in choices]
+        assert kinds == [
+            ChoiceKind.CPU_RULE,
+            ChoiceKind.OPENCL_GLOBAL,
+            ChoiceKind.OPENCL_LOCAL,
+        ]
+        assert len(kernels) == 2
+
+    def test_opencl_choices_carry_kernels(self):
+        program = make_stencil_program(5)
+        choices, _, _ = expand_transform(program.entry_transform, program, DESKTOP)
+        for choice in choices:
+            assert choice.uses_opencl == (choice.kernel is not None)
+
+
+class TestCompileProgram:
+    def test_kernel_count(self):
+        compiled = compile_program(make_stencil_program(5), DESKTOP)
+        assert compiled.kernel_count == 2
+
+    def test_training_info_selectors(self):
+        compiled = compile_program(make_stencil_program(5), DESKTOP)
+        spec = compiled.training_info.selectors["Stencil"]
+        assert spec.num_algorithms == 3
+        assert spec.max_levels == 12
+
+    def test_training_info_tunables(self):
+        compiled = compile_program(make_stencil_program(5), DESKTOP)
+        names = set(compiled.training_info.tunables)
+        assert {"lws_Stencil", "gpu_ratio_Stencil", "split_Stencil",
+                "seq_par_cutoff"} <= names
+
+    def test_config_space_is_large(self):
+        compiled = compile_program(make_stencil_program(5), DESKTOP)
+        assert compiled.training_info.log10_config_space() > 50
+
+    def test_choice_index_lookup(self):
+        compiled = compile_program(make_stencil_program(5), DESKTOP)
+        transform = compiled.transform("Stencil")
+        assert transform.choice_index("direct/opencl_local") == 2
+        with pytest.raises(KeyError):
+            transform.choice_index("nope")
+
+    def test_unknown_transform_lookup(self):
+        compiled = compile_program(make_stencil_program(5), DESKTOP)
+        with pytest.raises(CompileError):
+            compiled.transform("Ghost")
+
+    def test_entry_property(self):
+        compiled = compile_program(make_stencil_program(5), DESKTOP)
+        assert compiled.entry.transform.name == "Stencil"
+
+    def test_user_tunables_compiled(self):
+        rule = stencil_rule(3)
+        transform = Transform(
+            name="T", inputs=("In",), outputs=("Out",),
+            choices=(Choice(name="c", rule=rule),),
+            user_tunables={"quality": (1, 10, 5, "uniform")},
+        )
+        compiled = compile_program(make_program("p", [transform], "T"), DESKTOP)
+        spec = compiled.training_info.tunables["quality"]
+        assert (spec.lo, spec.hi, spec.default) == (1, 10, 5)
+
+    def test_same_choice_lists_across_machines(self):
+        """Configurations migrate between machines (Figure 7), so the
+        expanded choice lists must agree."""
+        program = make_stencil_program(5)
+        names = {}
+        for machine in (DESKTOP, SERVER, LAPTOP):
+            compiled = compile_program(program, machine)
+            names[machine.codename] = [
+                c.name for c in compiled.transform("Stencil").exec_choices
+            ]
+        assert names["Desktop"] == names["Server"] == names["Laptop"]

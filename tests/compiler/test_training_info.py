@@ -1,0 +1,77 @@
+"""Unit tests for the training-information structures."""
+
+import math
+
+import pytest
+
+from repro.compiler.training_info import (
+    MAX_INPUT_SIZE,
+    SELECTOR_LEVELS,
+    SelectorSpec,
+    TrainingInfo,
+    TunableSpec,
+)
+from repro.errors import CompileError
+
+
+class TestSelectorSpec:
+    def test_twelve_levels_default(self):
+        """Section 5.3: every transform provides 12 levels."""
+        spec = SelectorSpec(name="T", num_algorithms=3)
+        assert spec.max_levels == SELECTOR_LEVELS == 12
+
+    def test_needs_algorithms(self):
+        with pytest.raises(CompileError):
+            SelectorSpec(name="T", num_algorithms=0)
+
+    def test_needs_levels(self):
+        with pytest.raises(CompileError):
+            SelectorSpec(name="T", num_algorithms=2, max_levels=0)
+
+
+class TestTunableSpec:
+    def test_default_in_range(self):
+        with pytest.raises(CompileError):
+            TunableSpec(name="t", lo=1, hi=10, default=11)
+
+    def test_unknown_scale(self):
+        with pytest.raises(CompileError):
+            TunableSpec(name="t", lo=1, hi=10, default=5, scale="quadratic")
+
+    def test_cardinality(self):
+        assert TunableSpec(name="t", lo=0, hi=8, default=8,
+                           scale="uniform").cardinality == 9
+
+    def test_clamp(self):
+        spec = TunableSpec(name="t", lo=2, hi=6, default=4)
+        assert spec.clamp(0) == 2
+        assert spec.clamp(100) == 6
+        assert spec.clamp(5) == 5
+
+
+class TestConfigSpaceSize:
+    def make(self, algorithms, tunable_range=0):
+        info = TrainingInfo(program_name="p")
+        info.selectors["T"] = SelectorSpec(name="T", num_algorithms=algorithms)
+        if tunable_range:
+            info.tunables["t"] = TunableSpec(
+                name="t", lo=1, hi=tunable_range, default=1
+            )
+        return info
+
+    def test_single_algorithm_contributes_nothing(self):
+        assert self.make(1).log10_config_space() == pytest.approx(0.0)
+
+    def test_grows_with_algorithms(self):
+        assert self.make(4).log10_config_space() > self.make(2).log10_config_space()
+
+    def test_cutoff_space_dominates(self):
+        """11 cutoffs drawn from [1, 2^25] dwarf the algorithm choice."""
+        space = self.make(2).log10_config_space()
+        cutoff_share = (SELECTOR_LEVELS - 1) * math.log10(MAX_INPUT_SIZE)
+        assert space > cutoff_share
+
+    def test_tunables_add_their_cardinality(self):
+        with_tunable = self.make(2, tunable_range=1000).log10_config_space()
+        without = self.make(2).log10_config_space()
+        assert with_tunable - without == pytest.approx(3.0, abs=0.01)

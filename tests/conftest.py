@@ -1,0 +1,125 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import compile_program
+from repro.core.configuration import default_configuration
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
+from repro.lang import Choice, CostSpec, Pattern, Rule, Transform, make_program
+
+
+def scale_rule(factor: float = 2.0) -> Rule:
+    """A simple data-parallel rule: Out = factor * In."""
+
+    def body(ctx):
+        src = ctx.input("In")
+        out = ctx.array("Out")
+        r0, r1 = ctx.rows
+        out[r0:r1] = factor * src[r0:r1]
+
+    return Rule(
+        name="scale",
+        reads=("In",),
+        writes=("Out",),
+        body=body,
+        pattern=Pattern.DATA_PARALLEL,
+        # Compute-bound on every machine so parallelism is visible in
+        # the virtual times (bandwidth-bound kernels share the bus and
+        # deliberately do not scale with cores).
+        cost=CostSpec(
+            flops_per_item=50.0, bytes_read_per_item=8.0, bytes_written_per_item=8.0
+        ),
+    )
+
+
+def stencil_rule(width: int = 5) -> Rule:
+    """A 1-D stencil rule with a bounding box (local-memory eligible)."""
+
+    def body(ctx):
+        src = ctx.input("In")
+        out = ctx.array("Out")
+        r0, r1 = ctx.rows
+        acc = np.zeros_like(out[r0:r1])
+        for offset in range(width):
+            acc += src[r0 + offset : r1 + offset]
+        out[r0:r1] = acc / width
+
+    return Rule(
+        name="stencil",
+        reads=("In",),
+        writes=("Out",),
+        body=body,
+        pattern=Pattern.DATA_PARALLEL,
+        cost=CostSpec(
+            flops_per_item=float(2 * width),
+            bytes_read_per_item=float(8 * width),
+            bytes_written_per_item=8.0,
+            bounding_box=width,
+        ),
+    )
+
+
+def make_scale_program(factor: float = 2.0):
+    """One-transform program computing Out = factor * In."""
+    transform = Transform(
+        name="Scale",
+        inputs=("In",),
+        outputs=("Out",),
+        choices=(Choice(name="direct", rule=scale_rule(factor)),),
+    )
+    return make_program("scale-program", [transform], "Scale")
+
+
+def make_stencil_program(width: int = 5):
+    """One-transform stencil program (generates a local-mem variant)."""
+    transform = Transform(
+        name="Stencil",
+        inputs=("In",),
+        outputs=("Out",),
+        choices=(Choice(name="direct", rule=stencil_rule(width)),),
+    )
+    return make_program("stencil-program", [transform], "Stencil")
+
+
+def scale_env(n: int, seed: int = 0):
+    """Environment for the scale/stencil programs."""
+    rng = np.random.default_rng(seed)
+    return {"In": rng.random(n + 8), "Out": np.zeros(n)}
+
+
+@pytest.fixture
+def desktop():
+    return DESKTOP
+
+
+@pytest.fixture
+def server():
+    return SERVER
+
+
+@pytest.fixture
+def laptop():
+    return LAPTOP
+
+
+@pytest.fixture(params=["Desktop", "Server", "Laptop"])
+def any_machine(request):
+    return {"Desktop": DESKTOP, "Server": SERVER, "Laptop": LAPTOP}[request.param]
+
+
+@pytest.fixture
+def compiled_scale(desktop):
+    return compile_program(make_scale_program(), desktop)
+
+
+@pytest.fixture
+def compiled_stencil(desktop):
+    return compile_program(make_stencil_program(), desktop)
+
+
+@pytest.fixture
+def default_config(compiled_scale):
+    return default_configuration(compiled_scale.training_info)

@@ -1,0 +1,103 @@
+"""Unit tests for choice configuration files."""
+
+import pytest
+
+from repro.compiler.compile import compile_program
+from repro.core.configuration import Configuration, default_configuration
+from repro.core.selector import Selector
+from repro.errors import ConfigurationError
+from repro.hardware.machines import DESKTOP
+
+from tests.conftest import make_stencil_program
+
+
+@pytest.fixture
+def training():
+    return compile_program(make_stencil_program(5), DESKTOP).training_info
+
+
+class TestDefaults:
+    def test_default_selects_algorithm_zero(self, training):
+        config = default_configuration(training)
+        assert config.select_index("Stencil", 10) == 0
+        assert config.select_index("Stencil", 10**9) == 0
+
+    def test_default_tunables_match_specs(self, training):
+        config = default_configuration(training)
+        for name, spec in training.tunables.items():
+            assert config.tunables[name] == spec.default
+
+    def test_missing_selector_defaults_to_zero(self, training):
+        config = Configuration(program_name="stencil-program")
+        assert config.select_index("Anything", 5) == 0
+
+    def test_tunable_fallback(self, training):
+        config = Configuration(program_name="stencil-program")
+        assert config.tunable("missing", 17) == 17
+
+
+class TestValidation:
+    def test_valid_default(self, training):
+        default_configuration(training).validate(training)
+
+    def test_unknown_selector_rejected(self, training):
+        config = default_configuration(training)
+        config.selectors["Ghost"] = Selector.constant(0)
+        with pytest.raises(ConfigurationError):
+            config.validate(training)
+
+    def test_out_of_range_algorithm_rejected(self, training):
+        config = default_configuration(training)
+        config.selectors["Stencil"] = Selector.constant(99)
+        with pytest.raises(ConfigurationError):
+            config.validate(training)
+
+    def test_too_many_levels_rejected(self, training):
+        config = default_configuration(training)
+        selector = Selector.constant(0)
+        for level in range(12):
+            selector = selector.with_level_added(2 + level, 0)
+        config.selectors["Stencil"] = selector
+        with pytest.raises(ConfigurationError):
+            config.validate(training)
+
+    def test_unknown_tunable_rejected(self, training):
+        config = default_configuration(training)
+        config.tunables["bogus"] = 1
+        with pytest.raises(ConfigurationError):
+            config.validate(training)
+
+    def test_out_of_range_tunable_rejected(self, training):
+        config = default_configuration(training)
+        config.tunables["gpu_ratio_Stencil"] = 99
+        with pytest.raises(ConfigurationError):
+            config.validate(training)
+
+
+class TestSerialisation:
+    def test_json_round_trip(self, training):
+        config = default_configuration(training, label="Test Config")
+        config.selectors["Stencil"] = Selector(cutoffs=(64,), algorithms=(0, 2))
+        restored = Configuration.from_json(config.to_json())
+        assert restored.program_name == config.program_name
+        assert restored.label == "Test Config"
+        assert restored.selectors["Stencil"] == config.selectors["Stencil"]
+        assert restored.tunables == config.tunables
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration.from_json("{not json")
+
+    def test_copy_is_independent(self, training):
+        config = default_configuration(training)
+        clone = config.copy(label="clone")
+        clone.tunables["seq_par_cutoff"] = 9999
+        clone.selectors["Stencil"] = Selector.constant(1)
+        assert config.tunables["seq_par_cutoff"] != 9999
+        assert config.select_index("Stencil", 10) == 0
+        assert clone.label == "clone"
+
+    def test_json_is_deterministic(self, training):
+        a = default_configuration(training)
+        b = default_configuration(training)
+        assert a.to_json() == b.to_json()

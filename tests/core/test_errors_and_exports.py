@@ -1,0 +1,71 @@
+"""Tests for the error hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        subclasses = [
+            errors.LanguageError,
+            errors.CompileError,
+            errors.KernelGenError,
+            errors.ScheduleError,
+            errors.RuntimeFault,
+            errors.DeviceError,
+            errors.ConfigurationError,
+            errors.TuningError,
+            errors.ExperimentError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_subsystem_nesting(self):
+        assert issubclass(errors.KernelGenError, errors.CompileError)
+        assert issubclass(errors.ScheduleError, errors.CompileError)
+        assert issubclass(errors.DeviceError, errors.RuntimeFault)
+
+    def test_single_except_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TuningError("no progress")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_machines_exported(self):
+        assert repro.DESKTOP.codename == "Desktop"
+        assert repro.SERVER.codename == "Server"
+        assert repro.LAPTOP.codename == "Laptop"
+
+    def test_core_package_exports(self):
+        from repro import core
+        for name in core.__all__:
+            assert hasattr(core, name)
+
+    def test_lang_package_exports(self):
+        from repro import lang
+        for name in lang.__all__:
+            assert hasattr(lang, name)
+
+    def test_runtime_package_exports(self):
+        from repro import runtime
+        for name in runtime.__all__:
+            assert hasattr(runtime, name)
+
+    def test_hardware_package_exports(self):
+        from repro import hardware
+        for name in hardware.__all__:
+            assert hasattr(hardware, name)
+
+    def test_apps_package_exports(self):
+        from repro import apps
+        for name in apps.__all__:
+            assert hasattr(apps, name)

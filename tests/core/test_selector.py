@@ -1,0 +1,111 @@
+"""Unit tests for selectors (paper Section 5.1 SELECT semantics)."""
+
+import pytest
+
+from repro.core.selector import Selector
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Selector(cutoffs=(10,), algorithms=(0,))
+
+    def test_cutoffs_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Selector(cutoffs=(10, 10), algorithms=(0, 1, 2))
+        with pytest.raises(ConfigurationError):
+            Selector(cutoffs=(20, 10), algorithms=(0, 1, 2))
+
+    def test_cutoffs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Selector(cutoffs=(0,), algorithms=(0, 1))
+
+    def test_negative_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Selector(cutoffs=(), algorithms=(-1,))
+
+
+class TestSelect:
+    def test_constant_selector(self):
+        selector = Selector.constant(3)
+        for size in (0, 1, 10**9):
+            assert selector.select(size) == 3
+
+    def test_select_semantics(self):
+        """SELECT(input, s) = a_i s.t. c_i > size >= c_(i-1)."""
+        selector = Selector(cutoffs=(100, 1000), algorithms=(0, 1, 2))
+        assert selector.select(0) == 0
+        assert selector.select(99) == 0
+        assert selector.select(100) == 1
+        assert selector.select(999) == 1
+        assert selector.select(1000) == 2
+        assert selector.select(10**9) == 2
+
+    def test_levels(self):
+        assert Selector.constant(0).levels == 1
+        assert Selector(cutoffs=(5,), algorithms=(0, 1)).levels == 2
+
+
+class TestLevelOps:
+    def test_add_level_splits_range(self):
+        selector = Selector(cutoffs=(100,), algorithms=(0, 1))
+        grown = selector.with_level_added(10, 2)
+        assert grown.cutoffs == (10, 100)
+        assert grown.select(5) == 2
+        assert grown.select(50) == 0
+        assert grown.select(500) == 1
+
+    def test_add_duplicate_cutoff_rejected(self):
+        selector = Selector(cutoffs=(100,), algorithms=(0, 1))
+        with pytest.raises(ConfigurationError):
+            selector.with_level_added(100, 2)
+
+    def test_add_level_at_top(self):
+        selector = Selector(cutoffs=(100,), algorithms=(0, 1))
+        grown = selector.with_level_added(1000, 2)
+        assert grown.select(500) == 2
+        assert grown.select(5000) == 1
+
+    def test_remove_level_merges(self):
+        selector = Selector(cutoffs=(10, 100), algorithms=(0, 1, 2))
+        shrunk = selector.with_level_removed(0)
+        assert shrunk.cutoffs == (100,)
+        assert shrunk.select(5) == 1
+
+    def test_remove_from_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Selector.constant(0).with_level_removed(0)
+
+    def test_remove_bad_level_rejected(self):
+        selector = Selector(cutoffs=(10,), algorithms=(0, 1))
+        with pytest.raises(ConfigurationError):
+            selector.with_level_removed(5)
+
+    def test_change_algorithm(self):
+        selector = Selector(cutoffs=(10,), algorithms=(0, 1))
+        changed = selector.with_algorithm(0, 5)
+        assert changed.algorithms == (5, 1)
+
+    def test_scale_cutoff_respects_neighbours(self):
+        selector = Selector(cutoffs=(10, 100, 1000), algorithms=(0, 1, 2, 3))
+        moved = selector.with_cutoff_scaled(1, 5000)
+        assert moved.cutoffs == (10, 999, 1000)
+        moved = selector.with_cutoff_scaled(1, 1)
+        assert moved.cutoffs == (10, 11, 1000)
+
+    def test_scale_cutoff_no_room_is_identity(self):
+        selector = Selector(cutoffs=(10, 11), algorithms=(0, 1, 2))
+        # Between 10 and 11 there is no legal integer slot to move to;
+        # scaling level 0 clamps into place.
+        moved = selector.with_cutoff_scaled(0, 500)
+        assert moved.cutoffs[0] <= 10
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        selector = Selector(cutoffs=(10, 100), algorithms=(2, 0, 1))
+        assert Selector.from_json(selector.to_json()) == selector
+
+    def test_max_algorithm(self):
+        assert Selector(cutoffs=(5,), algorithms=(3, 1)).max_algorithm() == 3

@@ -1,0 +1,149 @@
+"""Tests for the experiment harnesses (small, fast parameterisations).
+
+The full-scale regenerations live in ``benchmarks/``; these tests
+check the harness mechanics and the headline *shape* claims at small
+sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import separable_convolution as conv
+from repro.compiler.compile import compile_program
+from repro.experiments import baselines
+from repro.experiments.fig2_convolution import (
+    MAPPINGS,
+    mapping_config,
+    run_fig2_machine,
+)
+from repro.experiments.fig9_machines import fig9_rows, render_fig9
+from repro.errors import ExperimentError
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
+from repro.reporting.tables import render_series, render_table
+
+
+class TestMappingConfigs:
+    def test_all_four_mappings_buildable(self):
+        compiled = compile_program(conv.build_program(7), DESKTOP)
+        for name in MAPPINGS:
+            config = mapping_config(compiled, name)
+            config.validate(compiled.training_info)
+
+    def test_unknown_mapping_rejected(self):
+        compiled = compile_program(conv.build_program(7), DESKTOP)
+        with pytest.raises(ExperimentError):
+            mapping_config(compiled, "3D Hologram")
+
+    def test_mappings_differ(self):
+        compiled = compile_program(conv.build_program(7), DESKTOP)
+        jsons = {mapping_config(compiled, m).to_json() for m in MAPPINGS}
+        assert len(jsons) == 4
+
+
+class TestFig2Shapes:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        widths = (3, 9, 17)
+        return {
+            machine.codename: run_fig2_machine(
+                machine, widths=widths, size=256, include_autotuner=False
+            )
+            for machine in (DESKTOP, SERVER, LAPTOP)
+        }
+
+    def test_separable_wins_at_large_width_on_desktop(self, panels):
+        """Two 1-D passes do asymptotically less work: at width 17 the
+        separable algorithms beat the 2-D ones on the GPU."""
+        panel = panels["Desktop"]
+        index = panel.widths.index(17)
+        sep = min(panel.series["Separable Localmem"][index],
+                  panel.series["Separable No-local"][index])
+        two_d = min(panel.series["2D Localmem"][index],
+                    panel.series["2D No-local"][index])
+        assert sep < two_d
+
+    def test_local_memory_never_helps_on_server(self, panels):
+        """The Server's OpenCL 'local memory' is its cache: the
+        explicit prefetch is wasted work at every width."""
+        panel = panels["Server"]
+        for index in range(len(panel.widths)):
+            assert (panel.series["Separable No-local"][index]
+                    <= panel.series["Separable Localmem"][index])
+            assert (panel.series["2D No-local"][index]
+                    <= panel.series["2D Localmem"][index])
+
+    def test_local_memory_helps_on_desktop_at_large_widths(self, panels):
+        panel = panels["Desktop"]
+        index = panel.widths.index(17)
+        assert (panel.series["2D Localmem"][index]
+                < panel.series["2D No-local"][index])
+
+    def test_results_are_per_machine(self, panels):
+        series_a = panels["Desktop"].series["2D Localmem"]
+        series_b = panels["Server"].series["2D Localmem"]
+        assert series_a != series_b
+
+    def test_render(self, panels):
+        text = panels["Desktop"].render()
+        assert "Figure 2 (Desktop)" in text
+        assert "2D Localmem" in text
+
+
+class TestBaselines:
+    def test_cpu_only_config_never_uses_gpu(self):
+        from repro.apps import blackscholes
+        compiled = compile_program(blackscholes.build_program(), DESKTOP)
+        config = baselines.cpu_only_config(compiled)
+        assert config.select_index("BlackScholes", 10**6) == 0
+        assert config.tunable("gpu_ratio_BlackScholes", 8) == 0
+
+    def test_gpu_only_sort_config_picks_bitonic(self):
+        from repro.apps import sort as sort_app
+        compiled = compile_program(sort_app.build_program(), DESKTOP)
+        config = baselines.gpu_only_sort_config(compiled)
+        index = config.select_index("SortInPlace", 10**6)
+        choice = compiled.transform("SortInPlace").exec_choices[index]
+        assert choice.name == "bitonic_sort/opencl"
+
+    def test_gpu_only_config_rejects_wrong_program(self):
+        from repro.apps import blackscholes
+        compiled = compile_program(blackscholes.build_program(), DESKTOP)
+        with pytest.raises(ExperimentError):
+            baselines.gpu_only_sort_config(compiled)
+
+    def test_handcoded_baselines_need_discrete_gpu(self):
+        with pytest.raises(ExperimentError):
+            baselines.handcoded_matmul_time(SERVER, 512)
+        assert baselines.handcoded_matmul_time(DESKTOP, 512) > 0
+
+    def test_handcoded_times_scale_with_size(self):
+        assert baselines.handcoded_radix_sort_time(DESKTOP, 2**20) > (
+            baselines.handcoded_radix_sort_time(DESKTOP, 2**16)
+        )
+        assert baselines.cudpp_tridiagonal_time(DESKTOP, 512) > 0
+
+
+class TestFig9:
+    def test_three_rows(self):
+        rows = fig9_rows()
+        assert len(rows) == 3
+        assert rows[0][0] == "Desktop"
+        assert rows[1][3] == "None"  # Server has no GPU
+
+    def test_render_contains_devices(self):
+        text = render_fig9()
+        assert "Tesla C2070" in text
+        assert "Radeon HD 6630M" in text
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xxx", 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_series(self):
+        text = render_series("x", [1, 2], {"y": [0.1, 0.2]}, title="t")
+        assert text.splitlines()[0] == "t"
+        assert "0.1" in text

@@ -1,0 +1,109 @@
+"""Tests for the experiment runner's session cache, the Figure 6
+description helpers and the CLI entry point."""
+
+import pytest
+
+from repro.compiler.compile import compile_program
+from repro.core.configuration import default_configuration
+from repro.core.selector import Selector
+from repro.experiments.fig6_configs import (
+    describe_choice_at,
+    describe_polyalgorithm,
+)
+from repro.experiments.runner import (
+    ExperimentSettings,
+    clear_sessions,
+    tuned_session,
+)
+from repro.hardware.machines import DESKTOP
+
+from tests.conftest import make_stencil_program
+
+
+class TestSettings:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_SEED", raising=False)
+        settings = ExperimentSettings.from_environment()
+        assert not settings.full_scale
+        assert settings.seed == 3
+
+    def test_environment_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        monkeypatch.setenv("REPRO_SEED", "7")
+        settings = ExperimentSettings.from_environment()
+        assert settings.full_scale
+        assert settings.seed == 7
+
+    def test_eval_size_scaling(self):
+        from repro.apps.registry import benchmark
+        spec = benchmark("SeparableConv.")
+        assert ExperimentSettings(full_scale=True).eval_size(spec) == 3520
+        assert ExperimentSettings(full_scale=False).eval_size(spec) == 1024
+
+
+class TestSessionCache:
+    def test_sessions_cached_per_key(self):
+        clear_sessions()
+        first = tuned_session("Black-Sholes", DESKTOP, seed=41)
+        second = tuned_session("Black-Sholes", DESKTOP, seed=41)
+        assert first is second
+        different = tuned_session("Black-Sholes", DESKTOP, seed=42)
+        assert different is not first
+        clear_sessions()
+
+    def test_session_carries_compiled_program(self):
+        clear_sessions()
+        session = tuned_session("Black-Sholes", DESKTOP, seed=41)
+        assert session.compiled.machine is DESKTOP
+        assert session.report.best.label == "Desktop Config"
+        clear_sessions()
+
+
+class TestDescriptions:
+    @pytest.fixture
+    def compiled(self):
+        return compile_program(make_stencil_program(5), DESKTOP)
+
+    def test_describe_constant_choice(self, compiled):
+        config = default_configuration(compiled.training_info)
+        text = describe_choice_at(compiled, config, "Stencil", 1000)
+        assert text == "direct/cpu"
+
+    def test_describe_opencl_choice_includes_tunables(self, compiled):
+        config = default_configuration(compiled.training_info)
+        config.selectors["Stencil"] = Selector.constant(
+            compiled.transform("Stencil").choice_index("direct/opencl")
+        )
+        config.tunables["gpu_ratio_Stencil"] = 6
+        text = describe_choice_at(compiled, config, "Stencil", 1000)
+        assert "direct/opencl" in text
+        assert "gpu 6/8" in text
+
+    def test_describe_polyalgorithm_chain(self, compiled):
+        config = default_configuration(compiled.training_info)
+        config.selectors["Stencil"] = Selector(
+            cutoffs=(256, 65536),
+            algorithms=(0, 1, 2),
+        )
+        text = describe_polyalgorithm(compiled, config, "Stencil", 10**6)
+        assert "< 256: direct/cpu" in text
+        assert "< 65536: direct/opencl" in text
+        assert ">= 65536: direct/opencl_local" in text
+
+    def test_describe_polyalgorithm_constant_falls_back(self, compiled):
+        config = default_configuration(compiled.training_info)
+        text = describe_polyalgorithm(compiled, config, "Stencil", 10**6)
+        assert text == "direct/cpu"
+
+
+class TestCli:
+    def test_fig9_artefact(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla C2070" in out
+
+    def test_unknown_artefact(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["fig99"]) == 2

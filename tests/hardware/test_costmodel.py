@@ -1,0 +1,211 @@
+"""Unit tests for the kernel/task cost model — the analytic heart of
+the hardware substitution.  These tests pin the qualitative effects
+the paper's results depend on."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hardware.costmodel import KernelLaunch, cpu_task_time, kernel_time, transfer_bytes
+from repro.hardware.device import CPUDevice, DeviceKind, GPUDevice
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
+
+
+def gpu(**overrides) -> GPUDevice:
+    params = dict(
+        name="g",
+        kind=DeviceKind.GPU,
+        compute_gflops=100.0,
+        memory_bandwidth_gbs=50.0,
+        launch_overhead_s=1e-5,
+        local_memory_effective=True,
+        local_memory_load_cost=0.1,
+        sequential_gflops=0.1,
+    )
+    params.update(overrides)
+    return GPUDevice(**params)
+
+
+def cpu_opencl(**overrides) -> GPUDevice:
+    return gpu(kind=DeviceKind.CPU_OPENCL, local_memory_effective=False, **overrides)
+
+
+def launch(**overrides) -> KernelLaunch:
+    params = dict(
+        work_items=1_000_000,
+        flops_per_item=10.0,
+        bytes_read_per_item=80.0,
+        bytes_written_per_item=8.0,
+        bounding_box=10,
+        local_work_size=128,
+    )
+    params.update(overrides)
+    return KernelLaunch(**params)
+
+
+class TestKernelTimeBasics:
+    def test_empty_launch_costs_only_overhead(self):
+        device = gpu()
+        time = kernel_time(launch(work_items=0), device)
+        assert time == pytest.approx(device.launch_overhead_s)
+
+    def test_cpu_device_rejected(self):
+        cpu = CPUDevice(
+            name="c", kind=DeviceKind.CPU, compute_gflops=10,
+            memory_bandwidth_gbs=10, launch_overhead_s=0,
+        )
+        with pytest.raises(DeviceError):
+            kernel_time(launch(), cpu)
+
+    def test_time_scales_with_work_items(self):
+        device = gpu()
+        small = kernel_time(launch(work_items=1000), device)
+        large = kernel_time(launch(work_items=1_000_000), device)
+        assert large > small
+
+    def test_launch_overhead_included(self):
+        fast = gpu(launch_overhead_s=0.0)
+        slow = gpu(launch_overhead_s=1e-3)
+        delta = kernel_time(launch(), slow) - kernel_time(launch(), fast)
+        assert delta == pytest.approx(1e-3)
+
+    def test_roofline_max_of_compute_and_memory(self):
+        device = gpu()
+        compute_bound = launch(flops_per_item=10_000.0, bytes_read_per_item=1.0)
+        memory_bound = launch(flops_per_item=0.1, bytes_read_per_item=8000.0)
+        t_c = kernel_time(compute_bound, device)
+        expected_c = compute_bound.work_items * 10_000.0 / (100e9)
+        assert t_c >= expected_c
+
+        t_m = kernel_time(memory_bound, device)
+        expected_m = memory_bound.work_items * 8000.0 / (50e9)
+        assert t_m >= expected_m
+
+    def test_invalid_launch_rejected(self):
+        with pytest.raises(DeviceError):
+            KernelLaunch(
+                work_items=-1, flops_per_item=1, bytes_read_per_item=1,
+                bytes_written_per_item=1,
+            )
+        with pytest.raises(DeviceError):
+            KernelLaunch(
+                work_items=1, flops_per_item=1, bytes_read_per_item=1,
+                bytes_written_per_item=1, bounding_box=0,
+            )
+
+
+class TestLocalMemoryEffects:
+    """Paper Sections 2.2 / 3.1: when scratchpad prefetching pays off."""
+
+    def test_local_memory_helps_large_stencils_on_gpu(self):
+        device = gpu()
+        big = launch(bounding_box=49, bytes_read_per_item=8.0 * 49)
+        assert kernel_time(big.with_local_memory(True), device) < kernel_time(
+            big.with_local_memory(False), device
+        )
+
+    def test_local_memory_hurts_on_cpu_opencl(self):
+        """On a cache-backed device the prefetch phase is wasted work."""
+        device = cpu_opencl()
+        big = launch(bounding_box=49, bytes_read_per_item=8.0 * 49)
+        assert kernel_time(big.with_local_memory(True), device) > kernel_time(
+            big.with_local_memory(False), device
+        )
+
+    def test_local_memory_useless_for_elementwise(self):
+        """Bounding box of one: threads never share data."""
+        device = gpu()
+        elementwise = launch(bounding_box=1, bytes_read_per_item=8.0)
+        assert kernel_time(elementwise.with_local_memory(True), device) >= kernel_time(
+            elementwise.with_local_memory(False), device
+        )
+
+    def test_benefit_grows_with_bounding_box(self):
+        device = gpu()
+        gains = []
+        for box in (4, 16, 64):
+            base = launch(bounding_box=box, bytes_read_per_item=8.0 * box)
+            gain = kernel_time(base.with_local_memory(False), device) / kernel_time(
+                base.with_local_memory(True), device
+            )
+            gains.append(gain)
+        assert gains == sorted(gains)
+
+
+class TestSequentialKernels:
+    def test_sequential_runs_at_scalar_rate(self):
+        device = gpu(sequential_gflops=0.05)
+        serial = launch(sequential=True, flops_per_item=100.0, bytes_read_per_item=1.0)
+        parallel = launch(sequential=False, flops_per_item=100.0, bytes_read_per_item=1.0)
+        assert kernel_time(serial, device) > 100 * kernel_time(parallel, device)
+
+
+class TestStridedAccess:
+    def test_strided_penalty_applied(self):
+        device = gpu(strided_penalty=8.0)
+        strided = launch(strided_access=True, bytes_read_per_item=800.0,
+                         flops_per_item=0.1)
+        normal = launch(strided_access=False, bytes_read_per_item=800.0,
+                        flops_per_item=0.1)
+        assert kernel_time(strided, device) > 4 * kernel_time(normal, device)
+
+    def test_desktop_gpu_tolerates_strides_better_than_server(self):
+        """Fermi-class memory system vs cache-hierarchy OpenCL device."""
+        strided = launch(strided_access=True)
+        desktop_gpu = DESKTOP.opencl_device
+        server_dev = SERVER.opencl_device
+        assert desktop_gpu.strided_penalty < server_dev.strided_penalty
+
+
+class TestCpuTaskTime:
+    def test_rejects_negative_cost(self):
+        with pytest.raises(DeviceError):
+            cpu_task_time(-1, 0, DESKTOP.cpu)
+
+    def test_sequential_slower_than_vectorised(self):
+        cpu = DESKTOP.cpu
+        assert cpu_task_time(1e8, 0, cpu, sequential=True) > cpu_task_time(
+            1e8, 0, cpu, sequential=False
+        )
+
+    def test_bandwidth_shared_among_active_cores(self):
+        cpu = DESKTOP.cpu
+        alone = cpu_task_time(0.0, 1e8, cpu, active_cores=1)
+        crowded = cpu_task_time(0.0, 1e8, cpu, active_cores=4)
+        assert crowded > alone
+
+    def test_compute_bound_unaffected_by_sharing(self):
+        cpu = DESKTOP.cpu
+        # Pure-compute tasks only see the (small) turbo effect.
+        alone = cpu_task_time(1e9, 0.0, cpu, active_cores=1)
+        crowded = cpu_task_time(1e9, 0.0, cpu, active_cores=4)
+        assert crowded / alone == pytest.approx(cpu.turbo_single_core, rel=0.01)
+
+
+class TestTransferBytes:
+    def test_dense_array_size(self):
+        assert transfer_bytes((10, 10)) == 800
+        assert transfer_bytes((4,), itemsize=4) == 16
+
+
+class TestMachineCalibration:
+    """Pin the cross-machine ratios the experiments rely on."""
+
+    def test_desktop_gpu_dwarfs_its_cpu(self):
+        assert DESKTOP.opencl_device.compute_gflops > 10 * DESKTOP.cpu.compute_gflops
+
+    def test_laptop_gpu_is_only_a_few_times_its_cpu(self):
+        ratio = LAPTOP.opencl_device.compute_gflops / LAPTOP.cpu.compute_gflops
+        assert 1.5 < ratio < 5.0
+
+    def test_server_opencl_is_cpu_hosted(self):
+        assert SERVER.opencl_device.kind is DeviceKind.CPU_OPENCL
+        assert not SERVER.opencl_device.local_memory_effective
+        assert SERVER.transfer.zero_copy
+
+    def test_laptop_transfers_cost_more_than_desktop(self):
+        nbytes = 8 * 1024 * 1024
+        assert LAPTOP.transfer.transfer_time(nbytes) > 0
+        assert SERVER.transfer.transfer_time(nbytes) < min(
+            DESKTOP.transfer.transfer_time(nbytes),
+            LAPTOP.transfer.transfer_time(nbytes),
+        )

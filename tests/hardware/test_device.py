@@ -1,0 +1,130 @@
+"""Unit tests for the device models."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hardware.device import CPUDevice, Device, DeviceKind, GPUDevice
+
+
+def make_gpu(**overrides) -> GPUDevice:
+    params = dict(
+        name="test-gpu",
+        kind=DeviceKind.GPU,
+        compute_gflops=100.0,
+        memory_bandwidth_gbs=50.0,
+        launch_overhead_s=1e-5,
+    )
+    params.update(overrides)
+    return GPUDevice(**params)
+
+
+def make_cpu(**overrides) -> CPUDevice:
+    params = dict(
+        name="test-cpu",
+        kind=DeviceKind.CPU,
+        compute_gflops=40.0,
+        memory_bandwidth_gbs=20.0,
+        launch_overhead_s=1e-6,
+        core_count=4,
+    )
+    params.update(overrides)
+    return CPUDevice(**params)
+
+
+class TestDeviceValidation:
+    def test_negative_compute_rejected(self):
+        with pytest.raises(DeviceError):
+            make_gpu(compute_gflops=-1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(DeviceError):
+            make_gpu(memory_bandwidth_gbs=0.0)
+
+    def test_negative_launch_overhead_rejected(self):
+        with pytest.raises(DeviceError):
+            make_gpu(launch_overhead_s=-1e-6)
+
+    def test_warp_width_must_be_positive(self):
+        with pytest.raises(DeviceError):
+            make_gpu(warp_width=0)
+
+    def test_preferred_local_size_bounded_by_max(self):
+        with pytest.raises(DeviceError):
+            make_gpu(preferred_local_size=2048, max_local_size=1024)
+
+    def test_cpu_core_count_positive(self):
+        with pytest.raises(DeviceError):
+            make_cpu(core_count=0)
+
+    def test_gpu_compute_units_positive(self):
+        with pytest.raises(DeviceError):
+            make_gpu(compute_units=0)
+
+
+class TestDeviceKinds:
+    def test_gpu_is_accelerator(self):
+        assert make_gpu().is_accelerator
+
+    def test_cpu_opencl_is_accelerator(self):
+        assert make_gpu(kind=DeviceKind.CPU_OPENCL).is_accelerator
+
+    def test_cpu_is_not_accelerator(self):
+        assert not make_cpu().is_accelerator
+
+
+class TestLocalSizeEfficiency:
+    def test_peak_at_preferred_size(self):
+        gpu = make_gpu(warp_width=32, preferred_local_size=128)
+        peak = gpu.local_size_efficiency(128)
+        assert peak == pytest.approx(1.0)
+
+    def test_sub_warp_sizes_waste_lanes(self):
+        gpu = make_gpu(warp_width=32, preferred_local_size=128)
+        assert gpu.local_size_efficiency(8) < gpu.local_size_efficiency(32)
+
+    def test_efficiency_bounded(self):
+        gpu = make_gpu()
+        for size in (1, 2, 16, 64, 256, 1024, 4096):
+            eff = gpu.local_size_efficiency(size)
+            assert 0.0 < eff <= 1.0
+
+    def test_oversized_groups_clamped(self):
+        gpu = make_gpu(max_local_size=256)
+        assert gpu.local_size_efficiency(10_000) == gpu.local_size_efficiency(256)
+
+    def test_large_groups_mildly_penalised(self):
+        gpu = make_gpu(warp_width=32, preferred_local_size=128, max_local_size=1024)
+        assert gpu.local_size_efficiency(1024) < gpu.local_size_efficiency(128)
+
+
+class TestTurboScaling:
+    def test_single_core_gets_turbo(self):
+        cpu = make_cpu(turbo_single_core=1.3)
+        assert cpu.per_core_gflops(1) == pytest.approx(10.0 * 1.3)
+
+    def test_full_occupancy_has_no_turbo(self):
+        cpu = make_cpu(turbo_single_core=1.3)
+        assert cpu.per_core_gflops(4) == pytest.approx(10.0)
+
+    def test_partial_occupancy_interpolates(self):
+        cpu = make_cpu(turbo_single_core=1.3)
+        two = cpu.per_core_gflops(2)
+        assert 10.0 < two < 13.0
+
+    def test_active_cores_clamped(self):
+        cpu = make_cpu()
+        assert cpu.per_core_gflops(100) == cpu.per_core_gflops(4)
+        assert cpu.per_core_gflops(0) == cpu.per_core_gflops(1)
+
+    def test_monotone_in_active_cores(self):
+        cpu = make_cpu(turbo_single_core=1.25)
+        rates = [cpu.per_core_gflops(k) for k in range(1, 5)]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestStridedPenalty:
+    def test_cpu_default_is_cache_hostile(self):
+        assert make_cpu().strided_penalty == pytest.approx(16.0)
+
+    def test_gpu_default_moderate(self):
+        assert make_gpu().strided_penalty == pytest.approx(4.0)

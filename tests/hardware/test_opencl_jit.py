@@ -1,0 +1,93 @@
+"""Unit tests for the simulated OpenCL JIT and its caches (Sec. 5.4)."""
+
+import pytest
+
+from repro.hardware.opencl import OpenCLRuntimeModel
+
+
+def make_jit(**overrides) -> OpenCLRuntimeModel:
+    params = dict(platform_name="test", parse_cost_s=1.0, jit_cost_s=0.5)
+    params.update(overrides)
+    return OpenCLRuntimeModel(**params)
+
+
+class TestColdCompiles:
+    def test_first_compile_pays_full_cost(self):
+        jit = make_jit()
+        binary = jit.compile("kernel void k() {}", "dev")
+        assert binary.compile_time_s == pytest.approx(1.5)
+        assert not binary.from_ir_cache
+
+    def test_distinct_sources_each_pay_parse(self):
+        jit = make_jit()
+        jit.compile("kernel A", "dev")
+        binary = jit.compile("kernel B", "dev")
+        assert binary.compile_time_s == pytest.approx(1.5)
+        assert jit.ir_hits == 0
+
+
+class TestIRCache:
+    def test_second_compile_skips_parse(self):
+        """IR caching skips the parsing and optimisation phases."""
+        jit = make_jit()
+        jit.compile("kernel void k() {}", "dev")
+        binary = jit.compile("kernel void k() {}", "dev")
+        assert binary.from_ir_cache
+        assert binary.compile_time_s == pytest.approx(0.5)
+
+    def test_ir_cache_is_cross_device(self):
+        """The IR is device independent; only the JIT phase is re-run."""
+        jit = make_jit()
+        jit.compile("src", "dev-a")
+        binary = jit.compile("src", "dev-b")
+        assert binary.from_ir_cache
+
+    def test_disabled_cache_always_pays_full(self):
+        jit = make_jit(ir_cache_enabled=False)
+        jit.compile("src", "dev")
+        binary = jit.compile("src", "dev")
+        assert binary.compile_time_s == pytest.approx(1.5)
+
+    def test_total_time_accumulates(self):
+        jit = make_jit()
+        jit.compile("a", "dev")
+        jit.compile("a", "dev")
+        assert jit.total_compile_time_s == pytest.approx(2.0)
+
+
+class TestBinaryCache:
+    def test_binary_cache_eliminates_jit(self):
+        """Full binary caching (CUDA-style) removes compile cost
+        entirely — the paper's 'would further reduce training times'."""
+        jit = make_jit(binary_cache_enabled=True)
+        jit.compile("src", "dev")
+        binary = jit.compile("src", "dev")
+        assert binary.from_binary_cache
+        assert binary.compile_time_s == 0.0
+
+    def test_binary_cache_is_per_device(self):
+        jit = make_jit(binary_cache_enabled=True)
+        jit.compile("src", "dev-a")
+        binary = jit.compile("src", "dev-b")
+        assert not binary.from_binary_cache
+
+
+class TestBookkeeping:
+    def test_source_hash_stable(self):
+        assert OpenCLRuntimeModel.source_hash("x") == OpenCLRuntimeModel.source_hash("x")
+        assert OpenCLRuntimeModel.source_hash("x") != OpenCLRuntimeModel.source_hash("y")
+
+    def test_reset_statistics_preserves_caches(self):
+        jit = make_jit()
+        jit.compile("src", "dev")
+        jit.reset_statistics()
+        assert jit.compile_count == 0
+        binary = jit.compile("src", "dev")
+        assert binary.from_ir_cache  # cache survived
+
+    def test_clear_caches(self):
+        jit = make_jit()
+        jit.compile("src", "dev")
+        jit.clear_caches()
+        binary = jit.compile("src", "dev")
+        assert not binary.from_ir_cache

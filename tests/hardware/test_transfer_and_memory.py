@@ -1,0 +1,102 @@
+"""Unit tests for the transfer model and buffer handles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.hardware.memory import BufferHandle, BufferState, MemoryKind, MemorySpace
+from repro.hardware.transfer import TransferModel
+
+
+class TestTransferModel:
+    def test_affine_cost(self):
+        model = TransferModel(latency_s=1e-5, bandwidth_gbs=10.0)
+        assert model.transfer_time(0) == pytest.approx(1e-5)
+        assert model.transfer_time(10_000_000_000) == pytest.approx(1.0, rel=0.01)
+
+    def test_zero_copy_only_pays_latency(self):
+        model = TransferModel(latency_s=2e-6, bandwidth_gbs=60.0, zero_copy=True)
+        assert model.transfer_time(10**9) == pytest.approx(2e-6)
+
+    def test_negative_bytes_rejected(self):
+        model = TransferModel(latency_s=0, bandwidth_gbs=1)
+        with pytest.raises(ValueError):
+            model.transfer_time(-1)
+
+    def test_effective_bandwidth_below_peak(self):
+        model = TransferModel(latency_s=1e-4, bandwidth_gbs=10.0)
+        assert model.effective_bandwidth(1024) < 10.0
+
+    def test_monotone_in_size(self):
+        model = TransferModel(latency_s=1e-5, bandwidth_gbs=5.0)
+        times = [model.transfer_time(n) for n in (0, 10, 10_000, 10**7)]
+        assert times == sorted(times)
+
+
+class TestMemorySpace:
+    def test_bounded_capacity(self):
+        space = MemorySpace(MemoryKind.LOCAL, capacity_bytes=48 * 1024, bandwidth_gbs=1000)
+        assert space.fits(48 * 1024)
+        assert not space.fits(48 * 1024 + 1)
+
+    def test_unbounded_capacity(self):
+        space = MemorySpace(MemoryKind.HOST, capacity_bytes=None, bandwidth_gbs=20)
+        assert space.fits(10**15)
+
+
+class TestBufferHandle:
+    def test_backing_allocated_lazily(self):
+        handle = BufferHandle(matrix_name="m", shape=(4, 4), dtype=np.float64)
+        assert handle.data.shape == (4, 4)
+        assert handle.nbytes == 128
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DeviceError):
+            BufferHandle(
+                matrix_name="m", shape=(4, 4), dtype=np.float64,
+                data=np.zeros((2, 2)),
+            )
+
+    def test_region_tracking(self):
+        handle = BufferHandle(matrix_name="m", shape=(8, 8), dtype=np.float64)
+        handle.mark_region_valid((0, 4))
+        handle.mark_region_valid((4, 8))
+        handle.mark_region_valid((0, 4))  # idempotent
+        assert handle.covers_whole_matrix(expected_regions=2)
+        assert not handle.covers_whole_matrix(expected_regions=3)
+
+    def test_unique_ids(self):
+        a = BufferHandle(matrix_name="a", shape=(1,), dtype=np.float64)
+        b = BufferHandle(matrix_name="b", shape=(1,), dtype=np.float64)
+        assert a.handle_id != b.handle_id
+
+
+class TestMachineLookup:
+    def test_lookup_by_name(self):
+        from repro.hardware.machines import machine_by_name, DESKTOP
+        assert machine_by_name("desktop") is DESKTOP
+        assert machine_by_name("Desktop") is DESKTOP
+
+    def test_unknown_machine(self):
+        from repro.hardware.machines import machine_by_name
+        with pytest.raises(KeyError):
+            machine_by_name("Mainframe")
+
+    def test_standard_machine_order(self):
+        from repro.hardware.machines import standard_machines
+        names = [m.codename for m in standard_machines()]
+        assert names == ["Desktop", "Server", "Laptop"]
+
+    def test_server_uses_16_workers(self):
+        """Section 6.1: 16 threads performs best on Server."""
+        from repro.hardware.machines import SERVER, DESKTOP, LAPTOP
+        assert SERVER.worker_count == 16
+        assert DESKTOP.worker_count == 4
+        assert LAPTOP.worker_count == 2
+
+    def test_fresh_jit_has_cold_caches(self):
+        from repro.hardware.machines import DESKTOP
+        jit1 = DESKTOP.fresh_jit()
+        jit1.compile("src", "dev")
+        jit2 = DESKTOP.fresh_jit()
+        assert not jit2.compile("src", "dev").from_ir_cache

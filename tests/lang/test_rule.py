@@ -1,0 +1,124 @@
+"""Unit tests for rules, cost specs and rule contexts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LanguageError
+from repro.lang.rule import CostSpec, Pattern, Rule, RuleContext
+
+
+def noop(ctx):
+    return None
+
+
+class TestRuleValidation:
+    def test_requires_name(self):
+        with pytest.raises(LanguageError):
+            Rule(name="", reads=("A",), writes=("B",), body=noop)
+
+    def test_requires_writes(self):
+        with pytest.raises(LanguageError):
+            Rule(name="r", reads=("A",), writes=(), body=noop)
+
+    def test_requires_callable_body(self):
+        with pytest.raises(LanguageError):
+            Rule(name="r", reads=("A",), writes=("B",), body="not-callable")
+
+    def test_pattern_opencl_candidates(self):
+        dp = Rule(name="r", reads=(), writes=("B",), body=noop,
+                  pattern=Pattern.DATA_PARALLEL)
+        seq = Rule(name="r", reads=(), writes=("B",), body=noop,
+                   pattern=Pattern.SEQUENTIAL)
+        wave = Rule(name="r", reads=(), writes=("B",), body=noop,
+                    pattern=Pattern.WAVEFRONT)
+        rec = Rule(name="r", reads=(), writes=("B",), body=noop,
+                   pattern=Pattern.RECURSIVE)
+        assert dp.is_opencl_candidate_pattern
+        assert seq.is_opencl_candidate_pattern
+        assert not wave.is_opencl_candidate_pattern
+        assert not rec.is_opencl_candidate_pattern
+
+
+class TestCostSpec:
+    def test_constant_fields_resolve(self):
+        cost = CostSpec(flops_per_item=3.0, bytes_read_per_item=16.0,
+                        bytes_written_per_item=8.0, bounding_box=5)
+        resolved = cost.resolve({})
+        assert resolved.flops_per_item == 3.0
+        assert resolved.bounding_box == 5
+
+    def test_callable_fields_resolve_against_params(self):
+        cost = CostSpec(
+            flops_per_item=lambda p: 2.0 * p["kw"] ** 2,
+            bounding_box=lambda p: int(p["kw"]) ** 2,
+        )
+        resolved = cost.resolve({"kw": 3})
+        assert resolved.flops_per_item == 18.0
+        assert resolved.bounding_box == 9
+
+    def test_non_numeric_constant_rejected(self):
+        cost = CostSpec(flops_per_item="many")
+        with pytest.raises(LanguageError):
+            cost.resolve({})
+
+    def test_kernel_launches_floor_one(self):
+        cost = CostSpec(kernel_launches=lambda p: 0.2)
+        assert cost.resolve({}).kernel_launches == 1
+
+    def test_cpu_flops_override(self):
+        cost = CostSpec(flops_per_item=10.0, cpu_flops_per_item=40.0)
+        resolved = cost.resolve({})
+        assert resolved.effective_cpu_flops_per_item == 40.0
+
+    def test_cpu_flops_defaults_to_gpu_flops(self):
+        resolved = CostSpec(flops_per_item=10.0).resolve({})
+        assert resolved.effective_cpu_flops_per_item == 10.0
+
+    def test_strided_flag_propagates(self):
+        assert CostSpec(strided_access=True).resolve({}).strided_access
+
+
+class TestRuleContext:
+    def make_ctx(self, n=8):
+        env = {"In": np.arange(n, dtype=float), "Out": np.zeros(n)}
+        return RuleContext(env, {"kw": 3}, rows=(2, 5), tunables={"t": 7})
+
+    def test_array_access(self):
+        ctx = self.make_ctx()
+        assert ctx.array("In")[3] == 3.0
+
+    def test_unknown_matrix_raises(self):
+        ctx = self.make_ctx()
+        with pytest.raises(LanguageError):
+            ctx.array("Nope")
+
+    def test_output_rows_view(self):
+        ctx = self.make_ctx()
+        view = ctx.output_rows("Out")
+        view[:] = 1.0
+        assert ctx.array("Out")[2:5].sum() == 3.0
+        assert ctx.array("Out")[:2].sum() == 0.0
+
+    def test_tunable_lookup_with_default(self):
+        ctx = self.make_ctx()
+        assert ctx.tunable("t") == 7
+        assert ctx.tunable("missing", 42) == 42
+
+    def test_charge_accumulates(self):
+        ctx = self.make_ctx()
+        ctx.charge(flops=10, mem_bytes=20)
+        ctx.charge(flops=5, sequential=True)
+        flops, mem, seq = ctx.charged
+        assert flops == 15
+        assert mem == 20
+        assert seq
+
+    def test_negative_charge_rejected(self):
+        ctx = self.make_ctx()
+        with pytest.raises(LanguageError):
+            ctx.charge(flops=-1)
+
+    def test_params_copied(self):
+        ctx = self.make_ctx()
+        ctx.params["kw"] = 99
+        assert self.make_ctx().params["kw"] == 3

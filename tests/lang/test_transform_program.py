@@ -1,0 +1,165 @@
+"""Unit tests for transforms, choices, steps, spawns and programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LanguageError
+from repro.lang import (
+    Choice,
+    Pattern,
+    Rule,
+    Spawn,
+    Step,
+    SubInvoke,
+    Transform,
+    make_program,
+)
+
+
+def noop(ctx):
+    return None
+
+
+def leaf_rule(reads=("In",), writes=("Out",)):
+    return Rule(name="r", reads=reads, writes=writes, body=noop)
+
+
+def leaf_transform(name="T", inputs=("In",), outputs=("Out",)):
+    return Transform(
+        name=name, inputs=inputs, outputs=outputs,
+        choices=(Choice(name="only", rule=leaf_rule(inputs, outputs)),),
+    )
+
+
+class TestChoiceValidation:
+    def test_choice_needs_rule_or_steps(self):
+        with pytest.raises(LanguageError):
+            Choice(name="bad")
+
+    def test_choice_cannot_have_both(self):
+        with pytest.raises(LanguageError):
+            Choice(name="bad", rule=leaf_rule(), steps=(Step(transform="X"),))
+
+    def test_leaf_flag(self):
+        assert Choice(name="leaf", rule=leaf_rule()).is_leaf
+        assert not Choice(name="comp", steps=(Step(transform="X"),)).is_leaf
+
+    def test_step_requires_transform(self):
+        with pytest.raises(LanguageError):
+            Step(transform="")
+
+
+class TestTransformValidation:
+    def test_requires_outputs(self):
+        with pytest.raises(LanguageError):
+            Transform(name="T", inputs=("In",), outputs=(),
+                      choices=(Choice(name="c", rule=leaf_rule()),))
+
+    def test_requires_choices(self):
+        with pytest.raises(LanguageError):
+            Transform(name="T", inputs=("In",), outputs=("Out",), choices=())
+
+    def test_duplicate_choice_names_rejected(self):
+        with pytest.raises(LanguageError):
+            Transform(
+                name="T", inputs=("In",), outputs=("Out",),
+                choices=(
+                    Choice(name="same", rule=leaf_rule()),
+                    Choice(name="same", rule=leaf_rule()),
+                ),
+            )
+
+    def test_rule_touching_unknown_matrix_rejected(self):
+        bad_rule = Rule(name="r", reads=("Mystery",), writes=("Out",), body=noop)
+        with pytest.raises(LanguageError):
+            Transform(
+                name="T", inputs=("In",), outputs=("Out",),
+                choices=(Choice(name="c", rule=bad_rule),),
+            )
+
+    def test_rule_may_touch_intermediates(self):
+        rule = Rule(name="r", reads=("buf",), writes=("Out",), body=noop)
+        transform = Transform(
+            name="T", inputs=("In",), outputs=("Out",),
+            choices=(
+                Choice(name="c", rule=rule,
+                       intermediates={"buf": lambda s, p: s["In"]}),
+            ),
+        )
+        assert transform.choice_named("c").is_leaf
+
+    def test_choice_named_missing(self):
+        transform = leaf_transform()
+        with pytest.raises(KeyError):
+            transform.choice_named("nope")
+
+
+class TestTransformSize:
+    def test_default_size_is_output_elements(self):
+        transform = leaf_transform()
+        assert transform.default_size({"Out": (4, 8)}) == 32
+
+    def test_custom_size_of(self):
+        transform = Transform(
+            name="T", inputs=("In",), outputs=("Out",),
+            choices=(Choice(name="c", rule=leaf_rule()),),
+            size_of=lambda shapes: shapes["In"][0],
+        )
+        assert transform.default_size({"In": (7,), "Out": (3,)}) == 7
+
+    def test_missing_shape_raises(self):
+        transform = leaf_transform()
+        with pytest.raises(LanguageError):
+            transform.default_size({"In": (4,)})
+
+
+class TestSpawnDescriptors:
+    def test_subinvoke_requires_arrays(self):
+        with pytest.raises(LanguageError):
+            SubInvoke("T", {"In": [1, 2, 3]})
+
+    def test_subinvoke_requires_transform(self):
+        with pytest.raises(LanguageError):
+            SubInvoke("", {"In": np.zeros(3)})
+
+    def test_spawn_requires_children_or_combine(self):
+        with pytest.raises(LanguageError):
+            Spawn(children=[])
+
+    def test_combine_only_spawn(self):
+        spawn = Spawn(children=[], combine=lambda ctx: None)
+        assert spawn.combine is not None
+
+
+class TestProgram:
+    def test_entry_must_exist(self):
+        with pytest.raises(LanguageError):
+            make_program("p", [leaf_transform("A")], "B")
+
+    def test_steps_must_resolve(self):
+        top = Transform(
+            name="Top", inputs=("In",), outputs=("Out",),
+            choices=(Choice(name="c", steps=(Step(transform="Ghost"),)),),
+        )
+        with pytest.raises(LanguageError):
+            make_program("p", [top], "Top")
+
+    def test_duplicate_transform_names_rejected(self):
+        with pytest.raises(LanguageError):
+            make_program("p", [leaf_transform("A"), leaf_transform("A")], "A")
+
+    def test_iter_transforms_sorted(self):
+        program = make_program(
+            "p", [leaf_transform("B"), leaf_transform("A")], "A"
+        )
+        names = [t.name for t in program.iter_transforms()]
+        assert names == ["A", "B"]
+
+    def test_transform_lookup_error(self):
+        program = make_program("p", [leaf_transform("A")], "A")
+        with pytest.raises(LanguageError):
+            program.transform("Z")
+
+    def test_default_params_stored(self):
+        program = make_program("p", [leaf_transform("A")], "A", kw=7.0)
+        assert program.default_params["kw"] == 7.0

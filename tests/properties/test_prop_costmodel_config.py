@@ -1,0 +1,96 @@
+"""Property-based tests: cost-model sanity and configuration
+serialisation over randomly generated configurations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.selector import Selector
+from repro.hardware.costmodel import KernelLaunch, cpu_task_time, kernel_time
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
+
+
+launches = st.builds(
+    KernelLaunch,
+    work_items=st.integers(min_value=0, max_value=10**8),
+    flops_per_item=st.floats(min_value=0, max_value=1e4),
+    bytes_read_per_item=st.floats(min_value=0, max_value=1e5),
+    bytes_written_per_item=st.floats(min_value=0, max_value=1e4),
+    bounding_box=st.integers(min_value=1, max_value=1024),
+    local_work_size=st.integers(min_value=1, max_value=2048),
+    use_local_memory=st.booleans(),
+    sequential=st.booleans(),
+    strided_access=st.booleans(),
+)
+
+
+@given(launches)
+@settings(max_examples=200)
+def test_kernel_time_positive_and_finite(launch):
+    for machine in (DESKTOP, SERVER, LAPTOP):
+        time = kernel_time(launch, machine.opencl_device)
+        assert time >= machine.opencl_device.launch_overhead_s
+        assert time < float("inf")
+
+
+@given(launches, st.integers(min_value=1, max_value=10))
+def test_kernel_time_monotone_in_work(launch, factor):
+    device = DESKTOP.opencl_device
+    bigger = KernelLaunch(
+        work_items=launch.work_items * factor,
+        flops_per_item=launch.flops_per_item,
+        bytes_read_per_item=launch.bytes_read_per_item,
+        bytes_written_per_item=launch.bytes_written_per_item,
+        bounding_box=launch.bounding_box,
+        local_work_size=launch.local_work_size,
+        use_local_memory=launch.use_local_memory,
+        sequential=launch.sequential,
+        strided_access=launch.strided_access,
+    )
+    assert kernel_time(bigger, device) >= kernel_time(launch, device)
+
+
+@given(
+    st.floats(min_value=0, max_value=1e12),
+    st.floats(min_value=0, max_value=1e12),
+    st.integers(min_value=1, max_value=32),
+    st.booleans(),
+)
+def test_cpu_task_time_non_negative(flops, mem_bytes, active, sequential):
+    for machine in (DESKTOP, SERVER, LAPTOP):
+        time = cpu_task_time(flops, mem_bytes, machine.cpu, active, sequential)
+        assert time >= 0
+        assert time < float("inf")
+
+
+@st.composite
+def configurations(draw):
+    selectors = {}
+    for name in draw(st.lists(st.sampled_from(["A", "B", "C"]), unique=True)):
+        cutoffs = tuple(
+            sorted(draw(st.lists(st.integers(1, 10**6), unique=True, max_size=4)))
+        )
+        algorithms = tuple(
+            draw(st.lists(st.integers(0, 5), min_size=len(cutoffs) + 1,
+                          max_size=len(cutoffs) + 1))
+        )
+        selectors[name] = Selector(cutoffs=cutoffs, algorithms=algorithms)
+    tunables = draw(
+        st.dictionaries(
+            st.sampled_from(["t1", "t2", "lws_A"]), st.integers(0, 10**6)
+        )
+    )
+    return Configuration(
+        program_name="prop", selectors=selectors, tunables=tunables,
+        label=draw(st.text(max_size=10)),
+    )
+
+
+@given(configurations())
+@settings(max_examples=100)
+def test_configuration_json_round_trip(config):
+    restored = Configuration.from_json(config.to_json())
+    assert restored.program_name == config.program_name
+    assert restored.selectors == config.selectors
+    assert restored.tunables == config.tunables
+    assert restored.label == config.label

@@ -1,0 +1,98 @@
+"""Property-based tests: memory-manager consistency and the sort
+benchmark's merge helpers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.sort import _merge_path, merge_runs
+from repro.hardware.transfer import TransferModel
+from repro.runtime.memory_manager import GpuMemoryManager
+
+
+sorted_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=0, max_value=64),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+).map(np.sort)
+
+
+@given(sorted_arrays, sorted_arrays)
+def test_merge_runs_is_a_sorted_permutation(a, b):
+    merged = merge_runs(a, b)
+    assert len(merged) == len(a) + len(b)
+    np.testing.assert_array_equal(np.sort(merged), merged)
+    np.testing.assert_array_equal(
+        np.sort(merged), np.sort(np.concatenate([a, b]))
+    )
+
+
+@given(sorted_arrays, sorted_arrays, st.data())
+def test_merge_path_partitions_consistently(a, b, data):
+    k = data.draw(st.integers(min_value=0, max_value=len(a) + len(b)))
+    ia = _merge_path(a, b, k)
+    ib = k - ia
+    assert 0 <= ia <= len(a)
+    assert 0 <= ib <= len(b)
+    # Everything taken must not exceed anything left behind.
+    if ia > 0 and ib < len(b):
+        assert a[ia - 1] <= b[ib] or np.isclose(a[ia - 1], b[ib])
+    if ib > 0 and ia < len(a):
+        assert b[ib - 1] <= a[ia] or np.isclose(b[ib - 1], a[ia])
+
+
+@given(sorted_arrays, sorted_arrays, st.integers(min_value=1, max_value=5))
+def test_chunked_merge_equals_full_merge(a, b, chunks):
+    """Merging chunk-by-chunk along merge paths reproduces the full
+    merge (this is what the ParallelMerge rule does per work chunk)."""
+    total = len(a) + len(b)
+    out = np.empty(total)
+    edges = [round(i * total / chunks) for i in range(chunks + 1)]
+    for lo, hi in zip(edges, edges[1:]):
+        ia0, ia1 = _merge_path(a, b, lo), _merge_path(a, b, hi)
+        out[lo:hi] = merge_runs(a[ia0:ia1], b[lo - ia0 : hi - ia1])
+    np.testing.assert_array_equal(out, merge_runs(a, b))
+
+
+host_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 16), st.integers(1, 8)),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+@given(host_arrays, st.data())
+@settings(max_examples=50)
+def test_memory_manager_roundtrip_preserves_data(host, data):
+    """Any sequence of copy-in / device-write / copy-out operations
+    leaves host equal to the logical latest values."""
+    manager = GpuMemoryManager(TransferModel(latency_s=1e-6, bandwidth_gbs=10))
+    manager.copy_in(host)
+    buffer = manager.lookup(host)
+    np.testing.assert_array_equal(buffer.device, host)
+
+    rows = host.shape[0]
+    r0 = data.draw(st.integers(0, rows - 1))
+    r1 = data.draw(st.integers(r0 + 1, rows))
+    buffer.device[r0:r1] += 1.0
+    manager.record_device_write(host, (r0, r1))
+
+    expected = host.copy()
+    expected[r0:r1] += 1.0
+    manager.ensure_host(host)
+    np.testing.assert_array_equal(host, expected)
+    # Idempotent once synced.
+    assert manager.ensure_host(host) == 0.0
+
+
+@given(host_arrays)
+@settings(max_examples=30)
+def test_dedup_never_loses_host_updates(host):
+    """Invalidate-then-copy-in must always re-upload fresh host data."""
+    manager = GpuMemoryManager(TransferModel(latency_s=1e-6, bandwidth_gbs=10))
+    manager.copy_in(host)
+    host += 5.0
+    manager.invalidate_device(host)
+    manager.copy_in(host)
+    np.testing.assert_array_equal(manager.lookup(host).device, host)

@@ -1,0 +1,81 @@
+"""Property-based tests for selectors (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selector import Selector
+
+
+@st.composite
+def selectors(draw, max_algorithms=8):
+    cutoffs = draw(
+        st.lists(st.integers(min_value=1, max_value=10**7), unique=True,
+                 max_size=11).map(sorted).map(tuple)
+    )
+    algorithms = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_algorithms - 1),
+            min_size=len(cutoffs) + 1,
+            max_size=len(cutoffs) + 1,
+        ).map(tuple)
+    )
+    return Selector(cutoffs=cutoffs, algorithms=algorithms)
+
+
+@given(selectors(), st.integers(min_value=0, max_value=10**9))
+def test_select_returns_declared_algorithm(selector, size):
+    assert selector.select(size) in selector.algorithms
+
+
+@given(selectors(), st.integers(min_value=0, max_value=10**9))
+def test_select_respects_ranges(selector, size):
+    """SELECT must return the algorithm of the unique containing range."""
+    result = selector.select(size)
+    bounds = (0,) + selector.cutoffs + (None,)
+    for level in range(selector.levels):
+        low = bounds[level]
+        high = bounds[level + 1]
+        if size >= low and (high is None or size < high):
+            assert result == selector.algorithms[level]
+            return
+    raise AssertionError("size fell through every range")
+
+
+@given(selectors())
+def test_json_round_trip(selector):
+    assert Selector.from_json(selector.to_json()) == selector
+
+
+@given(
+    selectors(),
+    st.integers(min_value=1, max_value=10**7),
+    st.integers(min_value=0, max_value=7),
+)
+def test_add_level_preserves_other_ranges(selector, cutoff, algorithm):
+    if cutoff in selector.cutoffs:
+        return
+    grown = selector.with_level_added(cutoff, algorithm)
+    assert grown.levels == selector.levels + 1
+    # Points away from the new cutoff's range keep their algorithm.
+    for probe in list(selector.cutoffs) + [10**9]:
+        if probe >= cutoff:
+            assert grown.select(probe) == selector.select(probe)
+
+
+@given(selectors(), st.data())
+def test_remove_level_shrinks(selector, data):
+    if not selector.cutoffs:
+        return
+    level = data.draw(st.integers(0, len(selector.cutoffs) - 1))
+    shrunk = selector.with_level_removed(level)
+    assert shrunk.levels == selector.levels - 1
+
+
+@given(selectors(), st.data())
+def test_scale_cutoff_keeps_strictly_increasing(selector, data):
+    if not selector.cutoffs:
+        return
+    level = data.draw(st.integers(0, len(selector.cutoffs) - 1))
+    target = data.draw(st.integers(1, 10**8))
+    moved = selector.with_cutoff_scaled(level, target)
+    assert all(b > a for a, b in zip(moved.cutoffs, moved.cutoffs[1:]))

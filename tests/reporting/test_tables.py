@@ -1,0 +1,50 @@
+"""Unit tests for the ASCII table/series renderers."""
+
+from repro.reporting.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22]],
+        )
+        lines = text.splitlines()
+        assert len({line.index("  ") >= 0 for line in lines}) == 1
+        # Separator row matches header width.
+        assert set(lines[1].replace("  ", "")) == {"-"}
+
+    def test_title_line(self):
+        text = render_table(["h"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456], [1234567.0], [0.0000001]])
+        assert "0.123" in text
+        assert "1.23e+06" in text
+        assert "1e-07" in text
+
+    def test_zero_and_ints(self):
+        text = render_table(["v"], [[0.0], [42]])
+        assert "0" in text
+        assert "42" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_ragged_rows_tolerated(self):
+        text = render_table(["a", "b", "c"], [["x"]])
+        assert "x" in text
+
+
+class TestRenderSeries:
+    def test_x_column_first(self):
+        text = render_series("width", [3, 5], {"cpu": [1.0, 2.0], "gpu": [0.5, 0.7]})
+        header = text.splitlines()[0]
+        assert header.startswith("width")
+        assert "cpu" in header and "gpu" in header
+
+    def test_values_in_rows(self):
+        text = render_series("x", [1], {"y": [9.5]})
+        assert "9.5" in text.splitlines()[-1]

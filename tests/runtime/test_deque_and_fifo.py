@@ -1,0 +1,106 @@
+"""Unit tests for the THE-protocol deque and the GPU FIFO."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.hardware.machines import DESKTOP
+from repro.runtime.deque import WorkDeque
+from repro.runtime.gpu_manager import GpuState
+from repro.runtime.task import Task, TaskKind
+
+
+def runnable(name="t", kind=TaskKind.CPU) -> Task:
+    task = Task(name, kind=kind)
+    task.finish_dependency_creation()
+    return task
+
+
+class TestWorkDeque:
+    def test_owner_lifo(self):
+        deque = WorkDeque(0)
+        a, b = runnable("a"), runnable("b")
+        deque.push_top(a)
+        deque.push_top(b)
+        assert deque.pop_top() is b
+        assert deque.pop_top() is a
+        assert deque.pop_top() is None
+
+    def test_thief_steals_oldest(self):
+        deque = WorkDeque(0)
+        a, b = runnable("a"), runnable("b")
+        deque.push_top(a)
+        deque.push_top(b)
+        assert deque.steal_bottom() is a
+
+    def test_gpu_manager_pushes_bottom(self):
+        """Figure 5(b): GPU-caused tasks go to the bottom."""
+        deque = WorkDeque(0)
+        a, b = runnable("a"), runnable("b")
+        deque.push_top(a)
+        deque.push_bottom(b)
+        assert deque.pop_top() is a
+        assert deque.pop_top() is b
+
+    def test_rejects_gpu_tasks(self):
+        deque = WorkDeque(0)
+        with pytest.raises(RuntimeFault):
+            deque.push_top(runnable(kind=TaskKind.GPU))
+        with pytest.raises(RuntimeFault):
+            deque.push_bottom(runnable(kind=TaskKind.GPU))
+
+    def test_rejects_non_runnable(self):
+        deque = WorkDeque(0)
+        with pytest.raises(RuntimeFault):
+            deque.push_top(Task("new"))
+
+    def test_counters(self):
+        deque = WorkDeque(0)
+        deque.push_top(runnable())
+        deque.steal_bottom()
+        assert deque.pushes == 1
+        assert deque.steals_suffered == 1
+
+    def test_len(self):
+        deque = WorkDeque(0)
+        assert len(deque) == 0
+        deque.push_top(runnable())
+        assert len(deque) == 1
+
+
+class TestGpuFifo:
+    def make_gpu(self):
+        return GpuState(DESKTOP.opencl_device)
+
+    def test_fifo_order(self):
+        gpu = self.make_gpu()
+        a, b = runnable("a", TaskKind.GPU), runnable("b", TaskKind.GPU)
+        gpu.push(a)
+        gpu.push(b)
+        assert gpu.pop() is a
+        assert gpu.pop() is b
+        assert gpu.pop() is None
+
+    def test_rejects_cpu_tasks(self):
+        gpu = self.make_gpu()
+        with pytest.raises(RuntimeFault):
+            gpu.push(runnable(kind=TaskKind.CPU))
+
+    def test_rejects_non_runnable(self):
+        gpu = self.make_gpu()
+        with pytest.raises(RuntimeFault):
+            gpu.push(Task("new", kind=TaskKind.GPU))
+
+    def test_requeue_appends(self):
+        gpu = self.make_gpu()
+        a, b = runnable("a", TaskKind.GPU), runnable("b", TaskKind.GPU)
+        gpu.push(a)
+        gpu.push(b)
+        first = gpu.pop()
+        gpu.requeue(first)
+        assert gpu.pop() is b
+        assert gpu.pop() is a
+
+    def test_timelines_start_at_zero(self):
+        gpu = self.make_gpu()
+        assert gpu.compute_free_at == 0.0
+        assert gpu.copy_free_at == 0.0

@@ -1,0 +1,139 @@
+"""Unit tests of the individual GPU task payloads (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import compile_program
+from repro.compiler.data_movement import CopyOutClass
+from repro.core.configuration import default_configuration
+from repro.errors import RuntimeFault
+from repro.hardware.machines import DESKTOP
+from repro.runtime.gpu_manager import GpuInvocationRecord
+from repro.runtime.gpu_tasks import (
+    CopyInPayload,
+    CopyOutPayload,
+    ExecutePayload,
+    PreparePayload,
+)
+from repro.runtime.scheduler import RuntimeState
+
+from tests.conftest import make_stencil_program
+
+
+@pytest.fixture
+def rt():
+    compiled = compile_program(make_stencil_program(5), DESKTOP)
+    return RuntimeState(compiled, default_configuration(compiled.training_info))
+
+
+class TestPrepare:
+    def test_allocates_buffers(self, rt):
+        record = GpuInvocationRecord()
+        host = np.zeros(100)
+        result = PreparePayload(record=record, outputs=(host,)).run(rt, 0.0)
+        assert rt.memory.lookup(host) is not None
+        assert result.duration > 0
+
+    def test_reallocation_cheaper(self, rt):
+        record = GpuInvocationRecord()
+        host = np.zeros(100)
+        first = PreparePayload(record=record, outputs=(host,)).run(rt, 0.0)
+        second = PreparePayload(record=record, outputs=(host,)).run(rt, 0.0)
+        assert second.duration < first.duration
+
+
+class TestCopyIn:
+    def test_nonblocking_semantics(self, rt):
+        """The task completes after the call; the transfer occupies the
+        copy engine and gates inputs_ready."""
+        record = GpuInvocationRecord()
+        host = np.ones(100_000)
+        result = CopyInPayload(record=record, host=host).run(rt, 0.0)
+        assert result.duration < 1e-5  # just the call
+        assert record.inputs_ready > result.duration  # transfer later
+        assert rt.gpu.copy_free_at == record.inputs_ready
+
+    def test_dedup_short_circuits(self, rt):
+        record = GpuInvocationRecord()
+        host = np.ones(1000)
+        CopyInPayload(record=record, host=host).run(rt, 0.0)
+        ready_before = record.inputs_ready
+        result = CopyInPayload(record=record, host=host).run(rt, 1.0)
+        assert record.inputs_ready == ready_before  # no new transfer
+        assert result.duration < 1e-6
+
+    def test_transfers_serialise_on_copy_engine(self, rt):
+        record = GpuInvocationRecord()
+        a, b = np.ones(100_000), np.ones(100_000)
+        CopyInPayload(record=record, host=a).run(rt, 0.0)
+        first_done = rt.gpu.copy_free_at
+        CopyInPayload(record=record, host=b).run(rt, 0.0)
+        assert rt.gpu.copy_free_at > first_done
+
+
+class TestExecute:
+    def make_execute(self, rt, rows=(0, 100), copy_class=CopyOutClass.MUST_COPY_OUT):
+        compiled = rt.compiled
+        kernel = next(iter(compiled.kernels.values()))
+        host_in = np.ones(108)
+        host_out = np.zeros(100)
+        env = {"In": host_in, "Out": host_out}
+        record = GpuInvocationRecord()
+        PreparePayload(record=record, outputs=(host_out,)).run(rt, 0.0)
+        CopyInPayload(record=record, host=host_in).run(rt, 0.0)
+        cost = kernel.rule.cost.resolve({})
+        payload = ExecutePayload(
+            record=record,
+            kernel=kernel,
+            launch=kernel.launch(100, cost, 128),
+            cost=cost,
+            env=env,
+            rows=rows,
+            copy_classes={"Out": copy_class},
+            params={},
+        )
+        return payload, record, env
+
+    def test_kernel_waits_for_inputs(self, rt):
+        payload, record, _ = self.make_execute(rt)
+        payload.run(rt, 0.0)
+        assert rt.gpu.compute_free_at >= record.inputs_ready
+
+    def test_must_copy_out_starts_read(self, rt):
+        payload, record, env = self.make_execute(rt)
+        payload.run(rt, 0.0)
+        assert "Out" in record.read_finish
+        assert record.read_finish["Out"] > rt.gpu.compute_free_at - 1e-12
+
+    def test_may_copy_out_is_lazy(self, rt):
+        payload, record, env = self.make_execute(
+            rt, copy_class=CopyOutClass.MAY_COPY_OUT
+        )
+        payload.run(rt, 0.0)
+        assert "Out" not in record.read_finish
+        buffer = rt.memory.lookup(env["Out"])
+        assert buffer.pending_rows  # device-only result
+
+    def test_compile_time_recorded(self, rt):
+        payload, _, _ = self.make_execute(rt)
+        payload.run(rt, 0.0)
+        assert rt.stats.compile_seconds > 0
+
+
+class TestCopyOutCompletion:
+    def test_ready_read_completes(self, rt):
+        record = GpuInvocationRecord()
+        record.read_finish["Out"] = 1.0
+        result = CopyOutPayload(record=record, matrix_name="Out").run(rt, 2.0)
+        assert result.requeue_at is None
+
+    def test_pending_read_requeues(self, rt):
+        record = GpuInvocationRecord()
+        record.read_finish["Out"] = 5.0
+        result = CopyOutPayload(record=record, matrix_name="Out").run(rt, 2.0)
+        assert result.requeue_at == 5.0
+
+    def test_missing_read_is_a_fault(self, rt):
+        record = GpuInvocationRecord()
+        with pytest.raises(RuntimeFault):
+            CopyOutPayload(record=record, matrix_name="Out").run(rt, 0.0)

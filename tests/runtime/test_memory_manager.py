@@ -1,0 +1,185 @@
+"""Unit tests for the GPU memory manager (paper Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.hardware.transfer import TransferModel
+from repro.runtime.memory_manager import GpuMemoryManager
+
+
+def make_manager(**kw) -> GpuMemoryManager:
+    return GpuMemoryManager(TransferModel(latency_s=1e-5, bandwidth_gbs=10.0), **kw)
+
+
+class TestAllocation:
+    def test_consolidated_buffer_per_matrix(self):
+        manager = make_manager()
+        host = np.zeros((8, 8))
+        buffer1, created1 = manager.get_or_create(host)
+        buffer2, created2 = manager.get_or_create(host)
+        assert created1 and not created2
+        assert buffer1 is buffer2
+        assert manager.allocations == 1
+
+    def test_distinct_arrays_get_distinct_buffers(self):
+        manager = make_manager()
+        a, b = np.zeros(4), np.zeros(4)
+        manager.get_or_create(a)
+        manager.get_or_create(b)
+        assert manager.table_size() == 2
+
+
+class TestCopyInDedup:
+    def test_first_copy_pays_transfer(self):
+        manager = make_manager()
+        host = np.ones(1000)
+        assert manager.copy_in(host) > 0
+        assert manager.copy_in_transfers == 1
+
+    def test_second_copy_deduplicated(self):
+        """Paper: if the data is already on the GPU, the copy-in task
+        completes without executing."""
+        manager = make_manager()
+        host = np.ones(1000)
+        manager.copy_in(host)
+        assert manager.copy_in(host) == 0.0
+        assert manager.copy_in_dedups == 1
+
+    def test_device_write_enables_dedup(self):
+        """Data produced by a previous kernel is 'already there'."""
+        manager = make_manager()
+        host = np.ones(10)
+        manager.get_or_create(host)
+        manager.record_device_write(host, (0, 10))
+        assert manager.device_has_current(host)
+
+    def test_host_write_invalidates(self):
+        manager = make_manager()
+        host = np.ones(10)
+        manager.copy_in(host)
+        manager.invalidate_device(host)
+        assert not manager.device_has_current(host)
+        assert manager.copy_in(host) > 0
+
+    def test_dedup_can_be_disabled(self):
+        manager = make_manager(dedup_copy_ins=False)
+        host = np.ones(10)
+        manager.copy_in(host)
+        assert manager.copy_in(host) > 0
+        assert not manager.device_has_current(host)
+
+    def test_copy_in_actually_copies(self):
+        manager = make_manager()
+        host = np.arange(4.0)
+        manager.copy_in(host)
+        buffer = manager.lookup(host)
+        np.testing.assert_array_equal(buffer.device, host)
+
+
+class TestEagerCopyOut:
+    def test_must_copy_out_updates_host(self):
+        manager = make_manager()
+        host = np.zeros(10)
+        buffer, _ = manager.get_or_create(host)
+        buffer.device[:] = 7.0
+        manager.record_device_write(host, (0, 10))
+        transfer = manager.eager_copy_out(host, (0, 10))
+        assert transfer > 0
+        np.testing.assert_array_equal(host, np.full(10, 7.0))
+        assert manager.eager_copy_outs == 1
+
+    def test_partial_rows(self):
+        manager = make_manager()
+        host = np.zeros((8, 4))
+        buffer, _ = manager.get_or_create(host)
+        buffer.device[:4] = 1.0
+        manager.record_device_write(host, (0, 4))
+        manager.eager_copy_out(host, (0, 4))
+        assert host[:4].sum() == 16.0
+        assert host[4:].sum() == 0.0
+
+    def test_copy_out_without_buffer_raises(self):
+        manager = make_manager()
+        with pytest.raises(RuntimeFault):
+            manager.eager_copy_out(np.zeros(4), (0, 4))
+
+
+class TestLazyCopyOut:
+    def test_ensure_host_copies_pending(self):
+        manager = make_manager()
+        host = np.zeros(10)
+        buffer, _ = manager.get_or_create(host)
+        buffer.device[:] = 3.0
+        manager.record_device_write(host, (0, 10))
+        assert manager.ensure_host(host, now=1.0) > 0
+        np.testing.assert_array_equal(host, np.full(10, 3.0))
+        assert manager.lazy_copy_outs == 1
+
+    def test_ensure_host_noop_when_current(self):
+        manager = make_manager()
+        host = np.zeros(10)
+        assert manager.ensure_host(host) == 0.0
+        manager.copy_in(host)
+        assert manager.ensure_host(host) == 0.0
+
+    def test_ensure_host_waits_for_kernel(self):
+        """The consumer waits for the producing kernel to finish."""
+        manager = make_manager()
+        host = np.zeros(10)
+        manager.get_or_create(host)
+        manager.record_device_write(host, (0, 10), available_at=5.0)
+        early = manager.ensure_host(host, now=1.0)
+        assert early >= 4.0  # waited for the device
+
+    def test_no_wait_after_kernel_end(self):
+        manager = make_manager()
+        host = np.zeros(10)
+        manager.get_or_create(host)
+        manager.record_device_write(host, (0, 10), available_at=5.0)
+        late = manager.ensure_host(host, now=10.0)
+        assert late < 1.0
+
+
+class TestHybridSplit:
+    def test_cpu_write_preserves_pending_device_rows(self):
+        """A hybrid GPU/CPU split writes disjoint rows; the CPU write
+        must not discard the GPU's pending rows."""
+        manager = make_manager()
+        host = np.zeros((8, 2))
+        buffer, _ = manager.get_or_create(host)
+        buffer.device[:4] = 9.0
+        manager.record_device_write(host, (0, 4))
+        # CPU writes rows 4..8 on the host, invalidating the device copy.
+        host[4:] = 1.0
+        manager.invalidate_device(host)
+        # The pending GPU rows are still recoverable.
+        manager.ensure_host(host)
+        assert host[:4].sum() == 8 * 9.0
+        assert host[4:].sum() == 8 * 1.0
+
+    def test_copy_in_merges_pending_first(self):
+        """A full-buffer copy-in must not clobber device-only rows."""
+        manager = make_manager()
+        host = np.zeros((4, 2))
+        buffer, _ = manager.get_or_create(host)
+        buffer.device[:2] = 5.0
+        manager.record_device_write(host, (0, 2))
+        manager.invalidate_device(host)
+        manager.copy_in(host)
+        buffer = manager.lookup(host)
+        assert buffer.device[:2].sum() == 4 * 5.0  # merged, then copied
+        np.testing.assert_array_equal(buffer.device, host)
+
+
+class TestTrafficAccounting:
+    def test_bytes_tracked(self):
+        manager = make_manager()
+        host = np.zeros(1024)
+        manager.copy_in(host)
+        buffer = manager.lookup(host)
+        buffer.device[:] = 1.0
+        manager.record_device_write(host, (0, 1024))
+        manager.eager_copy_out(host, (0, 1024))
+        assert manager.bytes_copied_in == 8192
+        assert manager.bytes_copied_out == 8192

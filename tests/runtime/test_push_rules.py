@@ -1,0 +1,83 @@
+"""Tests pinning the push rules of paper Figure 5 at scheduler level.
+
+* (a) GPU tasks are always pushed to the bottom of the GPU queue;
+* (b) a CPU task made runnable by a GPU task goes to the *bottom* of a
+  random worker's deque;
+* (c) a CPU task made runnable by a CPU task goes to the *top* of the
+  executing worker's own deque.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import compile_program
+from repro.core.configuration import default_configuration
+from repro.hardware.machines import DESKTOP
+from repro.runtime.scheduler import RuntimeState
+from repro.runtime.task import Task, TaskKind
+
+from tests.conftest import make_scale_program
+
+
+@pytest.fixture
+def rt():
+    compiled = compile_program(make_scale_program(), DESKTOP)
+    return RuntimeState(compiled, default_configuration(compiled.training_info))
+
+
+def runnable(name, kind=TaskKind.CPU):
+    task = Task(name, kind=kind)
+    task.finish_dependency_creation()
+    return task
+
+
+class TestFigure5PushRules:
+    def test_gpu_task_goes_to_gpu_fifo(self, rt):
+        task = runnable("g", TaskKind.GPU)
+        rt.admit(task, ("worker", 0), 0.0)
+        assert len(rt.gpu.fifo) == 1
+        assert rt.gpu.fifo[0] is task
+
+    def test_gpu_task_from_gpu_actor_also_fifo(self, rt):
+        task = runnable("g", TaskKind.GPU)
+        rt.admit(task, ("gpu", 0), 0.0)
+        assert rt.gpu.pop() is task
+
+    def test_cpu_task_from_cpu_actor_goes_to_own_top(self, rt):
+        worker = rt.workers[2]
+        existing = runnable("existing")
+        worker.deque.push_top(existing)
+        task = runnable("t")
+        rt.admit(task, ("worker", 2), 0.0)
+        assert worker.deque.pop_top() is task  # on top (LIFO)
+        assert worker.deque.pop_top() is existing
+
+    def test_cpu_task_from_gpu_actor_goes_to_random_bottom(self, rt):
+        # Pre-fill every deque so bottom-insertion is observable.
+        for worker in rt.workers:
+            worker.deque.push_top(runnable(f"pre{worker.index}"))
+        task = runnable("from-gpu")
+        rt.admit(task, ("gpu", 0), 0.0)
+        receiving = [w for w in rt.workers if len(w.deque) == 2]
+        assert len(receiving) == 1
+        # The GPU-caused task is at the bottom: stolen first.
+        assert receiving[0].deque.steal_bottom() is task
+
+    def test_gpu_pushes_use_seeded_randomness(self):
+        """The victim worker for GPU-caused pushes is reproducible."""
+        def receiving_worker(seed):
+            compiled = compile_program(make_scale_program(), DESKTOP)
+            state = RuntimeState(
+                compiled, default_configuration(compiled.training_info), seed=seed
+            )
+            task = runnable("t")
+            state.admit(task, ("gpu", 0), 0.0)
+            return next(w.index for w in state.workers if len(w.deque))
+
+        assert receiving_worker(5) == receiving_worker(5)
+
+    def test_admitting_wakes_dormant_workers(self, rt):
+        for worker in rt.workers:
+            worker.dormant = True
+        rt.admit(runnable("t"), ("worker", 0), 0.0)
+        assert any(not w.dormant for w in rt.workers)

@@ -1,0 +1,153 @@
+"""Unit tests for the five-state task model (paper Section 4.1)."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.runtime.task import Task, TaskKind, TaskState, make_barrier
+
+
+class TestStateMachine:
+    def test_new_task_initial_state(self):
+        task = Task("t")
+        assert task.state is TaskState.NEW
+        assert task.dependency_count == 0
+
+    def test_no_dependencies_becomes_runnable(self):
+        task = Task("t")
+        assert task.finish_dependency_creation()
+        assert task.state is TaskState.RUNNABLE
+
+    def test_with_dependencies_becomes_non_runnable(self):
+        dep = Task("dep")
+        dep.finish_dependency_creation()
+        task = Task("t")
+        task.depend_on(dep)
+        assert not task.finish_dependency_creation()
+        assert task.state is TaskState.NON_RUNNABLE
+
+    def test_cannot_add_dependency_after_new(self):
+        task = Task("t")
+        task.finish_dependency_creation()
+        other = Task("o")
+        with pytest.raises(RuntimeFault):
+            task.depend_on(other)
+
+    def test_cannot_finish_twice(self):
+        task = Task("t")
+        task.finish_dependency_creation()
+        with pytest.raises(RuntimeFault):
+            task.finish_dependency_creation()
+
+    def test_complete_releases_dependents(self):
+        dep = Task("dep")
+        dep.finish_dependency_creation()
+        task = Task("t")
+        task.depend_on(dep)
+        task.finish_dependency_creation()
+        ready = dep.complete()
+        assert ready == [task]
+        assert task.state is TaskState.RUNNABLE
+        assert dep.state is TaskState.COMPLETE
+
+    def test_complete_clears_dependents_list(self):
+        dep = Task("dep")
+        dep.finish_dependency_creation()
+        task = Task("t")
+        task.depend_on(dep)
+        task.finish_dependency_creation()
+        dep.complete()
+        assert dep.dependents == []
+
+    def test_depending_on_complete_task_is_noop(self):
+        """Paper: 'Any subsequent attempt to depend on this task
+        results in a no-op.'"""
+        done = Task("done")
+        done.finish_dependency_creation()
+        done.complete()
+        task = Task("t")
+        assert not task.depend_on(done)
+        assert task.finish_dependency_creation()  # still runnable
+
+    def test_multi_dependency_counting(self):
+        deps = [Task(f"d{i}") for i in range(3)]
+        for dep in deps:
+            dep.finish_dependency_creation()
+        task = Task("t")
+        for dep in deps:
+            task.depend_on(dep)
+        task.finish_dependency_creation()
+        assert task.dependency_count == 3
+        assert deps[0].complete() == []
+        assert deps[1].complete() == []
+        assert deps[2].complete() == [task]
+
+    def test_cannot_complete_non_runnable(self):
+        dep = Task("dep")
+        dep.finish_dependency_creation()
+        task = Task("t")
+        task.depend_on(dep)
+        task.finish_dependency_creation()
+        with pytest.raises(RuntimeFault):
+            task.complete()
+
+
+class TestContinuations:
+    def test_continue_transfers_dependents(self):
+        """Paper: the dependents list is transferred to the
+        continuation task."""
+        task = Task("t")
+        task.finish_dependency_creation()
+        waiter = Task("w")
+        waiter.depend_on(task)
+        waiter.finish_dependency_creation()
+
+        continuation = Task("cont")
+        task.continue_with(continuation)
+        assert task.state is TaskState.CONTINUED
+        assert waiter in continuation.dependents
+        assert task.dependents == []
+
+        continuation.finish_dependency_creation()
+        ready = continuation.complete()
+        assert ready == [waiter]
+
+    def test_depend_on_continued_follows_chain(self):
+        """Paper: subsequent attempts to depend on a continued task
+        instead depend on the continuation (recursively)."""
+        task = Task("t")
+        task.finish_dependency_creation()
+        cont1 = Task("c1")
+        task.continue_with(cont1)
+        cont1.finish_dependency_creation()
+        cont2 = Task("c2")
+        cont1.continue_with(cont2)
+        cont2.finish_dependency_creation()
+
+        waiter = Task("w")
+        waiter.depend_on(task)
+        assert waiter in cont2.dependents
+
+    def test_cannot_continue_unrun_task(self):
+        task = Task("t")
+        with pytest.raises(RuntimeFault):
+            task.continue_with(Task("c"))
+
+    def test_resolve_continuations_on_live_task(self):
+        task = Task("t")
+        assert task.resolve_continuations() is task
+
+
+class TestBarriers:
+    def test_barrier_has_no_payload(self):
+        barrier = make_barrier("join")
+        assert barrier.payload is None
+        assert barrier.kind is TaskKind.CPU
+
+    def test_gpu_barrier(self):
+        assert make_barrier("join", TaskKind.GPU).kind is TaskKind.GPU
+
+
+class TestTaskIds:
+    def test_ids_unique_and_increasing(self):
+        a, b = Task("a"), Task("b")
+        assert b.task_id > a.task_id
