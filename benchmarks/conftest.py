@@ -9,7 +9,20 @@ Environment:
     REPRO_SEED=<int>     change the deterministic seed.
 """
 
+import os
+import pathlib
+
 import pytest
+
+from repro.core.result_cache import CACHE_DIR_ENV
+
+# Share the repo-local evaluation cache with the main test suite (see
+# tests/conftest.py): warm reruns of the figure regenerations skip
+# re-simulating every candidate evaluation.
+os.environ.setdefault(
+    CACHE_DIR_ENV,
+    str(pathlib.Path(__file__).resolve().parent.parent / ".pytest_repro_cache"),
+)
 
 from repro.experiments.runner import ExperimentSettings
 

@@ -8,7 +8,6 @@
 """
 
 import pytest
-
 from benchmarks.conftest import once
 from repro.apps import sort as sort_app
 from repro.compiler.compile import compile_program
@@ -19,6 +18,10 @@ from repro.core.mutators import (
 )
 from repro.core.search import EvolutionaryTuner
 from repro.hardware.machines import DESKTOP
+
+#: End-to-end tuning sweeps: excluded from the default (fast) tier;
+#: run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 MAX_SIZE = 2**14
 

@@ -19,7 +19,6 @@ module and shared.
 import os
 
 import pytest
-
 from benchmarks.conftest import once
 from repro.experiments.fig2_convolution import (
     MAPPINGS,
@@ -27,6 +26,10 @@ from repro.experiments.fig2_convolution import (
     run_fig2_machine,
 )
 from repro.hardware.machines import DESKTOP, standard_machines
+
+#: End-to-end tuning sweeps: excluded from the default (fast) tier;
+#: run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 SIZE = 3520 if os.environ.get("REPRO_FULL_SCALE") else 704
 WIDTHS = PAPER_WIDTHS

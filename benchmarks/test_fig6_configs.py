@@ -12,11 +12,14 @@ Paper claims checked:
 """
 
 import pytest
-
 from benchmarks.conftest import once
 from repro.experiments.fig6_configs import Fig6Row, render_fig6, run_fig6
 from repro.experiments.runner import DEFAULT_SEED, tuned_session
 from repro.hardware.machines import DESKTOP, LAPTOP, SERVER, standard_machines
+
+#: End-to-end tuning sweeps: excluded from the default (fast) tier;
+#: run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")
@@ -103,3 +106,26 @@ def test_svd_matmul_differs_from_strassen_in_isolation(rows, benchmark):
     svd_choice, strassen_choice = once(benchmark, pair)
     assert "opencl" in strassen_choice
     assert "opencl" not in svd_choice
+
+
+def test_warm_cache_rerun_performs_zero_new_evaluations(rows, benchmark):
+    """With the cross-session disk cache warm (the module fixture just
+    tuned everything), regenerating Figure 6 from scratch must replay
+    every session without a single new simulation."""
+    from repro.core.result_cache import ResultCache
+    from repro.experiments.runner import clear_sessions, tune_all_standard
+
+    if not ResultCache.from_environment().enabled:
+        pytest.skip("REPRO_CACHE_DIR disabled; no cross-session cache")
+
+    def rerun():
+        clear_sessions()
+        run_fig6(seed=DEFAULT_SEED)
+        return [
+            session.report
+            for session in tune_all_standard(DEFAULT_SEED).values()
+        ]
+
+    reports = once(benchmark, rerun)
+    assert sum(report.computed_evaluations for report in reports) == 0
+    assert sum(report.evaluations for report in reports) > 0

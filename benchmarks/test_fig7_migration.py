@@ -17,10 +17,13 @@ Shape claims checked per panel (paper Section 6.2):
 """
 
 import pytest
-
 from benchmarks.conftest import once
 from repro.experiments.fig7_migration import PANELS, run_fig7_panel
 from repro.experiments.runner import ExperimentSettings
+
+#: End-to-end tuning sweeps: excluded from the default (fast) tier;
+#: run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 #: Tolerance for "native config is best": migrated configurations may
 #: tie (e.g. two machines tuned to the same choice).

@@ -2,11 +2,14 @@
 (test systems) tables."""
 
 import pytest
-
 from benchmarks.conftest import once
 from repro.experiments.fig8_properties import render_fig8, run_fig8
 from repro.experiments.fig9_machines import fig9_rows, render_fig9
 from repro.experiments.runner import DEFAULT_SEED
+
+#: End-to-end tuning sweeps: excluded from the default (fast) tier;
+#: run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

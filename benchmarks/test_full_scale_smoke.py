@@ -9,13 +9,16 @@ full-scale path works end to end.
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import once
 from repro.apps.registry import all_benchmarks
 from repro.apps.registry import benchmark as benchmark_spec
 from repro.experiments.runner import DEFAULT_SEED, tuned_session
 from repro.hardware.machines import DESKTOP
 from repro.runtime.executor import run_program
+
+#: End-to-end tuning sweeps: excluded from the default (fast) tier;
+#: run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 NAMES = [spec.name for spec in all_benchmarks()]
 

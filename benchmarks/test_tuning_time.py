@@ -22,8 +22,8 @@ def tuning_time_with(ir_cache: bool, binary_cache: bool = False) -> float:
     """Virtual tuning time of a mini session under a JIT cache policy."""
     compiled = compile_program(conv.build_program(7), DESKTOP)
     evaluator = Evaluator(compiled, lambda n: conv.make_env(n, 7, seed=0))
-    evaluator._jit.ir_cache_enabled = ir_cache
-    evaluator._jit.binary_cache_enabled = binary_cache
+    evaluator.jit.ir_cache_enabled = ir_cache
+    evaluator.jit.binary_cache_enabled = binary_cache
 
     config = default_configuration(compiled.training_info)
     gpu_config = config.copy()

@@ -9,9 +9,11 @@ information and keeps children only when they outperform their parent
 """
 
 from repro.core.configuration import Configuration, default_configuration
-from repro.core.fitness import Evaluation, Evaluator
+from repro.core.fitness import Evaluation, Evaluator, PureEvaluation
 from repro.core.mutators import Mutator, mutators_for
+from repro.core.parallel import ParallelEvaluator, default_worker_count
 from repro.core.population import Candidate, Population
+from repro.core.result_cache import ResultCache
 from repro.core.search import EvolutionaryTuner, TuningReport, autotune
 from repro.core.selector import Selector
 
@@ -22,10 +24,14 @@ __all__ = [
     "Evaluator",
     "EvolutionaryTuner",
     "Mutator",
+    "ParallelEvaluator",
     "Population",
+    "PureEvaluation",
+    "ResultCache",
     "Selector",
     "TuningReport",
     "autotune",
     "default_configuration",
+    "default_worker_count",
     "mutators_for",
 ]

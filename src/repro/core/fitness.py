@@ -1,28 +1,47 @@
 """Candidate evaluation for the autotuner.
 
 Fitness is the virtual execution time of the compiled program under a
-candidate configuration on representative inputs.  The evaluator
+candidate configuration on representative inputs.  Evaluation is split
+into two halves so it can be parallelised and cached without changing
+any observable result:
 
-* shares one OpenCL JIT model across all test runs, so the IR cache
-  behaves as in paper Section 5.4 (first compile of each kernel is
-  expensive, later runs cheap);
-* separately accumulates *tuning time* — the virtual seconds the
-  autotuner spends running tests plus compiling kernels — which is
-  what the "Mean Autotuning Time" column of Figure 8 reports;
-* memoises results per (configuration, size) since the simulation is
-  deterministic.
+* **compute** — a *pure* step: run the deterministic simulation and
+  record ``(time, accuracy, compile events)``.  Pure outcomes depend
+  only on ``(configuration, size)`` (plus the program/machine/seed the
+  evaluator is bound to), never on evaluation order, so they can be
+  executed speculatively on worker threads and persisted across
+  processes in a :class:`~repro.core.result_cache.ResultCache`;
+* **commit** — an order-sensitive accounting step: replay the recorded
+  compile events against a session-wide JIT model (so the IR cache
+  behaves as in paper Section 5.4 — first compile of each kernel is
+  expensive, later ones cheap) and accumulate *tuning time*, the
+  virtual seconds the autotuner spends running tests plus compiling
+  kernels (the "Mean Autotuning Time" column of Figure 8).
+
+Committing results in the same sequential order the serial tuner would
+have evaluated them reproduces its ``evaluations`` count and
+``tuning_time_s`` bit for bit, no matter which worker (or which past
+process, via the disk cache) actually ran the simulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.compiler.compile import CompiledProgram
 from repro.core.configuration import Configuration
+from repro.core.result_cache import (
+    CACHE_VERSION,
+    ResultCache,
+    execution_model_hash,
+)
 from repro.errors import TuningError
+from repro.hardware.opencl import OpenCLRuntimeModel
 
 #: Builds a fresh environment (inputs + preallocated outputs) for a
 #: given input size.  Deterministic for a given size.
@@ -50,8 +69,156 @@ class Evaluation:
     feasible: bool = True
 
 
+@dataclass
+class PureEvaluation:
+    """Order-independent outcome of one simulated test run.
+
+    Attributes:
+        time_s: Virtual execution time.
+        accuracy: Error metric (None without an accuracy function).
+        compile_events: Ordered ``(source_hash, device_name)`` pairs,
+            one per kernel-compile call the run issued.  Replaying them
+            against a session JIT model at commit time reproduces the
+            serial tuner's compile-time accounting.
+    """
+
+    time_s: float
+    accuracy: Optional[float]
+    compile_events: Tuple[Tuple[str, str], ...]
+
+
+class _RecordingJit:
+    """JIT model proxy that logs every compile call's cache key."""
+
+    def __init__(self, inner: OpenCLRuntimeModel) -> None:
+        self._inner = inner
+        self.events: List[Tuple[str, str]] = []
+
+    def compile(self, source: str, device_name: str):
+        key = OpenCLRuntimeModel.source_hash(source)
+        self.events.append((key, device_name))
+        return self._inner.compile_hashed(key, device_name)
+
+    @property
+    def total_compile_time_s(self) -> float:
+        return self._inner.total_compile_time_s
+
+
+def program_fingerprint(compiled: CompiledProgram) -> str:
+    """Content hash of everything the virtual timing model consumes.
+
+    Two compiled programs with the same fingerprint produce the same
+    pure evaluation outcomes, so the fingerprint (together with the
+    cache version) guards the cross-session disk cache against stale
+    entries from changed programs, cost models or machines.
+    """
+    digest = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        digest.update(text.encode("utf-8"))
+        digest.update(b"\x00")
+
+    feed(compiled.program.name)
+    machine = compiled.machine
+    feed(machine.codename)
+    feed(repr(machine.cpu))
+    feed(repr(machine.opencl_device))
+    feed(repr(machine.transfer))
+    jit = machine.opencl_jit
+    feed(
+        f"{jit.platform_name}:{jit.parse_cost_s}:{jit.jit_cost_s}:"
+        f"{jit.ir_cache_enabled}:{jit.binary_cache_enabled}"
+    )
+    for name, kernel in sorted(compiled.kernels.items()):
+        feed(name)
+        feed(kernel.source)
+    for name, transform in sorted(compiled.transforms.items()):
+        feed(name)
+        for choice in transform.exec_choices:
+            feed(f"{choice.name}:{choice.uses_opencl}")
+    training = compiled.training_info
+    for name, spec in sorted(training.selectors.items()):
+        feed(f"{name}:{spec!r}")
+    for name, spec in sorted(training.tunables.items()):
+        feed(f"{name}:{spec!r}")
+    return digest.hexdigest()[:24]
+
+
+def _stable_value_token(value) -> str:
+    """Best-effort stable description of a captured value.
+
+    Primitives (and tuples of primitives) are rendered by value;
+    everything else by type name only — object reprs can embed memory
+    addresses, which would make the token differ on every process and
+    defeat cross-session caching.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, tuple):
+        return "(" + ",".join(_stable_value_token(item) for item in value) + ")"
+    return f"<{type(value).__module__}.{type(value).__qualname__}>"
+
+
+def _callable_token(fn, none_token: str) -> str:
+    """Conservative cache-key identity for a user-supplied callable.
+
+    Covers the definition site (module + qualname), the bytecode, the
+    code constants, default arguments and captured closure values (the
+    usual carriers of "same code, different data" — a seed literal, a
+    kernel width, a threshold).  Semantically identical callables
+    defined at different sites tokenise differently, which only costs
+    a cold cache; callables capturing unstable objects fall back to
+    the object's type name, so rare genuinely-different captures of
+    the same type can still collide — the program fingerprint and
+    configuration key shield the realistic cases.
+    """
+    if fn is None:
+        return none_token
+    digest = hashlib.sha256()
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        digest.update(code.co_code)
+        digest.update(_stable_value_token(code.co_consts).encode("utf-8"))
+    for cell in getattr(fn, "__closure__", None) or ():
+        try:
+            digest.update(_stable_value_token(cell.cell_contents).encode("utf-8"))
+        except ValueError:  # empty cell
+            digest.update(b"<empty>")
+    defaults = getattr(fn, "__defaults__", None) or ()
+    digest.update(_stable_value_token(tuple(defaults)).encode("utf-8"))
+    return (
+        f"{getattr(fn, '__module__', '?')}."
+        f"{getattr(fn, '__qualname__', '?')}:"
+        f"{digest.hexdigest()[:12]}"
+    )
+
+
 class Evaluator:
-    """Runs candidate configurations and accounts tuning time."""
+    """Runs candidate configurations and accounts tuning time.
+
+    Args:
+        compiled: Compiler output for the target machine.
+        env_factory: Deterministic test-environment builder.
+        accuracy_fn: Error metric for variable-accuracy programs.
+        accuracy_target: Largest acceptable error.
+        seed: Seed forwarded to the runtime scheduler.
+        result_cache: Cross-session disk cache; defaults to the one
+            configured by ``REPRO_CACHE_DIR`` (disabled when unset).
+
+    Attributes:
+        tuning_time_s: Accumulated virtual tuning time (test runs plus
+            kernel compiles), identical whether results were computed,
+            memoised or served from disk.
+        evaluations: Number of *logical* candidate tests committed —
+            the serial tuner's test count.  Memoisation and disk hits
+            never inflate it.
+        computed_evaluations: Number of simulations physically executed
+            by this evaluator (a warm disk cache keeps this at zero).
+            Unlike the logical counters this is a wall-clock-work
+            gauge, not a deterministic result: with speculation it can
+            exceed ``evaluations`` (discarded speculative work still
+            simulates) and vary between runs.
+    """
 
     def __init__(
         self,
@@ -60,16 +227,158 @@ class Evaluator:
         accuracy_fn: Optional[AccuracyFn] = None,
         accuracy_target: Optional[float] = None,
         seed: int = 0,
+        result_cache: Optional[ResultCache] = None,
     ) -> None:
         self._compiled = compiled
         self._env_factory = env_factory
         self._accuracy_fn = accuracy_fn
         self._accuracy_target = accuracy_target
         self._seed = seed
-        self._jit = compiled.machine.fresh_jit()
-        self._cache: Dict[Tuple[str, int], Evaluation] = {}
+        self._result_cache = (
+            result_cache if result_cache is not None else ResultCache.from_environment()
+        )
+        self._fingerprint = program_fingerprint(compiled)
+        # Session JIT model used only for commit-order replay of
+        # compile events (the accounting model of Section 5.4).
+        self._commit_jit = compiled.machine.fresh_jit()
+        self._pure: Dict[Tuple[str, int], PureEvaluation] = {}
+        self._committed: Dict[Tuple[str, int], Evaluation] = {}
+        self._pure_lock = threading.Lock()
         self.tuning_time_s = 0.0
         self.evaluations = 0
+        self.computed_evaluations = 0
+
+    @property
+    def result_cache(self) -> ResultCache:
+        """The cross-session disk cache in use."""
+        return self._result_cache
+
+    @property
+    def jit(self) -> OpenCLRuntimeModel:
+        """The session JIT accounting model (Section 5.4).
+
+        Compile events replay against this model in commit order;
+        flipping its ``ir_cache_enabled`` / ``binary_cache_enabled``
+        reproduces the paper's caching ablations without touching the
+        (policy-independent) pure evaluation results.
+        """
+        return self._commit_jit
+
+    def key_for(self, config: Configuration, size: int) -> Tuple[str, int]:
+        """Memoisation key of one (configuration, size) pair."""
+        return (config.to_json(), size)
+
+    def _cache_key(self, config_json: str, size: int) -> Dict[str, object]:
+        return {
+            "version": CACHE_VERSION,
+            "model": execution_model_hash(),
+            "program": self._compiled.program.name,
+            "machine": self._compiled.machine.codename,
+            "fingerprint": self._fingerprint,
+            # Sessions with different test inputs or accuracy metrics
+            # must use disjoint entries: cached times/accuracies feed
+            # admission and feasibility decisions, and a cache must
+            # never change tuning results.
+            "env": _callable_token(self._env_factory, "none"),
+            "accuracy": _callable_token(self._accuracy_fn, "none"),
+            "config": config_json,
+            "size": size,
+            "seed": self._seed,
+        }
+
+    def _disk_lookup(self, config_json: str, size: int) -> Optional[PureEvaluation]:
+        payload = self._result_cache.get(self._cache_key(config_json, size))
+        if payload is None:
+            return None
+        try:
+            time_s = float(payload["time_s"])
+            accuracy = payload["accuracy"]
+            accuracy = None if accuracy is None else float(accuracy)
+            events = tuple(
+                (str(source_hash), str(device))
+                for source_hash, device in payload["compile_events"]
+            )
+        except (KeyError, TypeError, ValueError):
+            self._result_cache.record_invalid()
+            return None
+        return PureEvaluation(time_s=time_s, accuracy=accuracy, compile_events=events)
+
+    def _simulate(self, config: Configuration, size: int) -> PureEvaluation:
+        """Physically run the simulation (the expensive pure step)."""
+        from repro.runtime.executor import run_program  # local: avoids cycle
+
+        env = self._env_factory(size)
+        recorder = _RecordingJit(self._compiled.machine.fresh_jit())
+        try:
+            result = run_program(
+                self._compiled, config, env, seed=self._seed, jit=recorder
+            )
+        except Exception as exc:
+            raise TuningError(
+                f"evaluation failed for {self._compiled.program.name} at "
+                f"size {size}: {exc}"
+            ) from exc
+        accuracy: Optional[float] = None
+        if self._accuracy_fn is not None:
+            accuracy = float(self._accuracy_fn(result.env))
+        return PureEvaluation(
+            time_s=result.time_s,
+            accuracy=accuracy,
+            compile_events=tuple(recorder.events),
+        )
+
+    def compute(self, config: Configuration, size: int) -> PureEvaluation:
+        """Pure outcome for ``config`` at ``size`` (no accounting).
+
+        Safe to call from worker threads; consults, in order, the
+        in-memory pure memo, the disk cache, and the simulator.
+
+        Raises:
+            TuningError: If the simulated run fails.
+        """
+        key = self.key_for(config, size)
+        with self._pure_lock:
+            pure = self._pure.get(key)
+        if pure is not None:
+            return pure
+        config_json, _ = key
+        pure = self._disk_lookup(config_json, size)
+        if pure is None:
+            pure = self._simulate(config, size)
+            with self._pure_lock:
+                self.computed_evaluations += 1
+            self._result_cache.put(
+                self._cache_key(config_json, size),
+                {
+                    "time_s": pure.time_s,
+                    "accuracy": pure.accuracy,
+                    "compile_events": [list(event) for event in pure.compile_events],
+                },
+            )
+        with self._pure_lock:
+            self._pure.setdefault(key, pure)
+            return self._pure[key]
+
+    def _commit(self, key: Tuple[str, int], pure: PureEvaluation) -> Evaluation:
+        """Account one pure outcome in sequential commit order."""
+        committed = self._committed.get(key)
+        if committed is not None:
+            return committed
+        self.evaluations += 1
+        compile_s = 0.0
+        for source_hash, device_name in pure.compile_events:
+            compile_s += self._commit_jit.compile_hashed(
+                source_hash, device_name
+            ).compile_time_s
+        self.tuning_time_s += pure.time_s + compile_s
+        feasible = True
+        if pure.accuracy is not None and self._accuracy_target is not None:
+            feasible = pure.accuracy <= self._accuracy_target
+        evaluation = Evaluation(
+            time_s=pure.time_s, accuracy=pure.accuracy, feasible=feasible
+        )
+        self._committed[key] = evaluation
+        return evaluation
 
     def evaluate(self, config: Configuration, size: int) -> Evaluation:
         """Fitness of ``config`` at input size ``size``.
@@ -78,38 +387,22 @@ class Evaluator:
             TuningError: If the run fails (propagating runtime faults
                 would abort the whole search for one bad candidate).
         """
-        from repro.runtime.executor import run_program  # local: avoids cycle
+        key = self.key_for(config, size)
+        committed = self._committed.get(key)
+        if committed is not None:
+            return committed
+        return self._commit(key, self.compute(config, size))
 
-        key = (config.to_json(), size)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+    def prefetch(self, configs, size: int) -> None:
+        """Hint that these configurations will be evaluated soon.
 
-        env = self._env_factory(size)
-        compile_before = self._jit.total_compile_time_s
-        try:
-            result = run_program(
-                self._compiled, config, env, seed=self._seed, jit=self._jit
-            )
-        except Exception as exc:
-            raise TuningError(
-                f"evaluation failed for {self._compiled.program.name} at "
-                f"size {size}: {exc}"
-            ) from exc
+        The serial evaluator ignores the hint; the parallel evaluator
+        overrides this to start speculative background computation.
+        """
 
-        self.evaluations += 1
-        compile_delta = self._jit.total_compile_time_s - compile_before
-        self.tuning_time_s += result.time_s + compile_delta
+    def drop_speculation(self) -> None:
+        """Forget speculation whose premise was invalidated (no-op
+        here; the parallel evaluator overrides)."""
 
-        accuracy: Optional[float] = None
-        feasible = True
-        if self._accuracy_fn is not None:
-            accuracy = float(self._accuracy_fn(result.env))
-            if self._accuracy_target is not None:
-                feasible = accuracy <= self._accuracy_target
-
-        evaluation = Evaluation(
-            time_s=result.time_s, accuracy=accuracy, feasible=feasible
-        )
-        self._cache[key] = evaluation
-        return evaluation
+    def close(self) -> None:
+        """Release evaluation resources (worker pools)."""

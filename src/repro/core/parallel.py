@@ -1,0 +1,155 @@
+"""Concurrent candidate evaluation with serial-equivalent results.
+
+The evolutionary tuner's candidate tests are pure functions of
+``(configuration, size)`` (see :mod:`repro.core.fitness`), so they can
+run *speculatively* on a worker pool.  Determinism is preserved by the
+compute/commit split: workers only produce pure outcomes, and the
+tuner commits them in exactly the order the serial loop would have,
+replaying kernel-compile events against the session JIT model.  The
+result — best configuration, history, evaluation count, tuning time —
+is bit-for-bit identical to the serial tuner's.
+
+A thread pool (not a process pool) is used deliberately: programs are
+built from rule closures that do not pickle, the simulation releases
+the GIL inside its NumPy kernels, and threads share the in-memory
+memo and the disk-cache handle for free.  The worker count comes from
+the constructor, the ``REPRO_TUNER_WORKERS`` environment variable, or
+defaults to 1 (serial commit path, no pool).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.compile import CompiledProgram
+from repro.core.configuration import Configuration
+from repro.core.fitness import (
+    AccuracyFn,
+    EnvFactory,
+    Evaluation,
+    Evaluator,
+    PureEvaluation,
+)
+from repro.core.result_cache import ResultCache
+from repro.errors import TuningError
+
+#: Environment variable selecting the default worker count.
+WORKERS_ENV = "REPRO_TUNER_WORKERS"
+
+
+def default_worker_count() -> int:
+    """Worker count from ``REPRO_TUNER_WORKERS`` (1 when unset/bad)."""
+    raw = os.environ.get(WORKERS_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+class ParallelEvaluator(Evaluator):
+    """Evaluator that fans pure computation out over a thread pool.
+
+    Drop-in replacement for :class:`Evaluator`: ``evaluate`` keeps the
+    caller's sequential commit order (and therefore the exact serial
+    accounting), while :meth:`prefetch` starts speculative background
+    simulation of configurations the caller expects to need.
+
+    Args:
+        compiled: Compiler output for the target machine.
+        env_factory: Deterministic test-environment builder.
+        workers: Worker threads; ``None`` reads ``REPRO_TUNER_WORKERS``.
+        accuracy_fn: Error metric for variable-accuracy programs.
+        accuracy_target: Largest acceptable error.
+        seed: Seed forwarded to the runtime scheduler.
+        result_cache: Cross-session disk cache (see base class).
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        env_factory: EnvFactory,
+        workers: Optional[int] = None,
+        accuracy_fn: Optional[AccuracyFn] = None,
+        accuracy_target: Optional[float] = None,
+        seed: int = 0,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
+        super().__init__(
+            compiled,
+            env_factory,
+            accuracy_fn=accuracy_fn,
+            accuracy_target=accuracy_target,
+            seed=seed,
+            result_cache=result_cache,
+        )
+        self.workers = max(1, workers if workers is not None else default_worker_count())
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._inflight: Dict[Tuple[str, int], Future] = {}
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-eval"
+            )
+        return self._executor
+
+    def prefetch(self, configs: Sequence[Configuration], size: int) -> None:
+        """Start speculative evaluation of ``configs`` at ``size``.
+
+        Pure computation only — no accounting happens until a caller
+        commits via :meth:`evaluate`.  Discarded speculation costs
+        wall-clock work but cannot perturb results; a speculative
+        failure surfaces only if that configuration is later actually
+        evaluated (exactly when the serial tuner would have failed).
+        """
+        if self.workers <= 1:
+            return
+        for config in configs:
+            key = self.key_for(config, size)
+            if key in self._committed or key in self._inflight:
+                continue
+            if key in self._pure:
+                continue
+            self._inflight[key] = self._pool().submit(self.compute, config, size)
+
+    def evaluate(self, config: Configuration, size: int) -> Evaluation:
+        """Commit-ordered evaluation (see base class).
+
+        Joins an in-flight speculative computation for this key when
+        one exists instead of recomputing.
+        """
+        key = self.key_for(config, size)
+        committed = self._committed.get(key)
+        if committed is not None:
+            return committed
+        future = self._inflight.pop(key, None)
+        if future is not None:
+            pure: PureEvaluation = future.result()
+        else:
+            pure = self.compute(config, size)
+        return self._commit(key, pure)
+
+    def drop_speculation(self) -> None:
+        """Forget queued speculative work whose premise was invalidated.
+
+        In-flight futures keep running (their results stay usable via
+        the pure memo), but they will no longer be joined implicitly.
+        """
+        for future in self._inflight.values():
+            future.cancel()
+        self._inflight.clear()
+
+    def close(self) -> None:
+        """Shut the worker pool down, discarding pending speculation."""
+        self.drop_speculation()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None

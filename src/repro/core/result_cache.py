@@ -1,0 +1,225 @@
+"""Cross-session evaluation result cache.
+
+The virtual-time simulation is deterministic: the outcome of running
+one configuration at one input size — execution time, accuracy, and
+the ordered stream of kernel-compile events — is a pure function of
+``(program, machine, configuration, size, seed)``.  This module
+persists those pure outcomes to disk so repeated tuning sessions in
+*different processes* (the test suite, the benchmark suite, the
+experiment runner) skip re-simulation entirely.
+
+Storage format
+==============
+
+One JSON file per entry, inside the cache directory::
+
+    <cache_dir>/<sha256(key)[:32]>.json
+
+    {
+      "key": {"version": ..., "program": ..., "machine": ...,
+              "fingerprint": ..., "config": ..., "size": ..., "seed": ...},
+      "time_s": <float>,
+      "accuracy": <float or null>,
+      "compile_events": [["<source-hash>", "<device>"], ...]
+    }
+
+Writes are atomic (temp file + ``os.replace``), so concurrent tuners
+can share one directory; colliding writers produce identical content.
+A corrupted or partially written file is treated as a miss and left to
+be overwritten — it never crashes the tuner.
+
+Invalidation rules
+==================
+
+* the entry key embeds :data:`CACHE_VERSION` — bump it whenever the
+  execution model changes in a way that alters virtual times;
+* the key also embeds a *program fingerprint* (kernel sources, choice
+  lists, tunable/selector specs, device parameters), so recompiling a
+  changed program or retargeting a changed machine misses naturally;
+* ``rm -rf`` of the directory is always safe.
+
+The directory is taken from the ``REPRO_CACHE_DIR`` environment
+variable; when unset (or set to ``""``, ``"0"`` or ``"off"``) the disk
+layer is disabled and evaluators fall back to in-memory memoisation
+only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bump when the cache entry layout changes incompatibly.
+CACHE_VERSION = 1
+
+_MODEL_HASH: Optional[str] = None
+
+
+def execution_model_hash() -> str:
+    """Content hash of the execution-model source code.
+
+    Pure evaluation outcomes depend on the simulator itself, not just
+    the compiled program, so the cache key embeds a hash of every
+    module that can change virtual times, test inputs or numerical
+    results (compiler, hardware, runtime, language and application
+    layers plus the selector / configuration semantics).  Editing any
+    of them invalidates the cache automatically — no manual
+    ``CACHE_VERSION`` bump needed for day-to-day model changes.
+    """
+    global _MODEL_HASH
+    if _MODEL_HASH is None:
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        sources: list = []
+        for package in ("apps", "compiler", "hardware", "runtime", "lang"):
+            sources.extend(sorted((root / package).glob("*.py")))
+        sources.append(root / "core" / "configuration.py")
+        sources.append(root / "core" / "selector.py")
+        for path in sources:
+            digest.update(path.name.encode("utf-8"))
+            try:
+                digest.update(path.read_bytes())
+            except OSError:
+                digest.update(b"<unreadable>")
+        _MODEL_HASH = digest.hexdigest()[:16]
+    return _MODEL_HASH
+
+#: Environment variable naming the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Values of ``REPRO_CACHE_DIR`` that mean "disabled".
+_DISABLED_VALUES = ("", "0", "off", "none")
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance.
+
+    Attributes:
+        hits: Entries served from disk.
+        misses: Lookups that found no (usable) entry.
+        stores: Entries written to disk.
+        invalid: Files that existed but were corrupt or mismatched.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0
+
+
+class ResultCache:
+    """Disk-backed store of pure evaluation outcomes.
+
+    Args:
+        directory: Cache directory (created on first write).  ``None``
+            disables the disk layer: :meth:`get` always misses and
+            :meth:`put` is a no-op.
+    """
+
+    def __init__(self, directory: Optional[str]) -> None:
+        self._directory = directory
+        self.stats = CacheStats()
+        # Guards the stats counters: lookups run concurrently on the
+        # parallel evaluator's worker threads.
+        self._stats_lock = threading.Lock()
+
+    @staticmethod
+    def from_environment() -> "ResultCache":
+        """Cache configured by ``REPRO_CACHE_DIR`` (disabled if unset)."""
+        raw = os.environ.get(CACHE_DIR_ENV, "")
+        if raw.strip().lower() in _DISABLED_VALUES:
+            return ResultCache(None)
+        return ResultCache(raw)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the disk layer is active."""
+        return self._directory is not None
+
+    @property
+    def directory(self) -> Optional[str]:
+        """The cache directory (None when disabled)."""
+        return self._directory
+
+    def _path_for(self, key: Dict[str, Any]) -> str:
+        digest = hashlib.sha256(
+            json.dumps(key, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:32]
+        assert self._directory is not None
+        return os.path.join(self._directory, f"{digest}.json")
+
+    def get(self, key: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Look an entry up.
+
+        Args:
+            key: JSON-serialisable key dict (must round-trip exactly).
+
+        Returns:
+            The stored payload dict, or None on a miss.  Corrupted,
+            unreadable or key-mismatched files count as misses.
+        """
+        if self._directory is None:
+            return None
+        path = self._path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            with self._stats_lock:
+                if os.path.exists(path):
+                    self.stats.invalid += 1
+                self.stats.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("key") != key
+            or not isinstance(entry.get("payload"), dict)
+        ):
+            with self._stats_lock:
+                self.stats.invalid += 1
+                self.stats.misses += 1
+            return None
+        with self._stats_lock:
+            self.stats.hits += 1
+        return entry["payload"]
+
+    def put(self, key: Dict[str, Any], payload: Dict[str, Any]) -> None:
+        """Store an entry atomically (no-op when disabled).
+
+        Write failures (read-only or full disk) are swallowed: the
+        cache is an accelerator, never a correctness dependency.
+        """
+        if self._directory is None:
+            return
+        entry = {"key": key, "payload": payload}
+        try:
+            os.makedirs(self._directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self._directory, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp_path, self._path_for(key))
+            finally:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+        except OSError:
+            return
+        with self._stats_lock:
+            self.stats.stores += 1
+
+    def record_invalid(self) -> None:
+        """Count an entry whose payload failed validation downstream."""
+        with self._stats_lock:
+            self.stats.invalid += 1

@@ -15,19 +15,34 @@ properties taken from the paper:
 
 For variable-accuracy programs (SVD) candidates that miss the accuracy
 target are rejected outright.
+
+Parallel evaluation
+===================
+
+With ``workers > 1`` the tuner evaluates candidates speculatively on a
+:class:`~repro.core.parallel.ParallelEvaluator` while committing
+results in the exact order the serial loop would: the generation loop
+draws a *window* of mutations ahead of time (checkpointing the RNG
+after every draw), fans their evaluations out, then commits one by
+one.  As soon as a committed child is admitted — which changes the
+parent pool the serial tuner would draw from — the remaining window is
+discarded and the RNG rewound to the checkpoint, so the committed
+decision sequence is bit-for-bit identical to ``workers=1``.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.compile import CompiledProgram
 from repro.core.configuration import Configuration, default_configuration
 from repro.core.fitness import AccuracyFn, EnvFactory, Evaluator
 from repro.core.mutators import Mutator, mutators_for
+from repro.core.parallel import ParallelEvaluator, default_worker_count
 from repro.core.population import Candidate, Population
+from repro.core.result_cache import ResultCache
 from repro.core.selector import Selector
 from repro.errors import TuningError
 
@@ -44,6 +59,11 @@ class TuningReport:
         evaluations: Number of candidate test runs executed.
         sizes: The exponentially growing test sizes used.
         history: Best time per size, in tuning order.
+        computed_evaluations: Simulations physically executed this
+            session — zero on a fully warm disk cache.  A wall-clock
+            work gauge, not part of the deterministic result: with
+            ``workers > 1`` discarded speculation still simulates, so
+            it may exceed ``evaluations`` and vary between runs.
     """
 
     best: Configuration
@@ -52,6 +72,7 @@ class TuningReport:
     evaluations: int
     sizes: List[int]
     history: List[float] = field(default_factory=list)
+    computed_evaluations: int = 0
 
 
 class EvolutionaryTuner:
@@ -71,6 +92,8 @@ class EvolutionaryTuner:
         accuracy_target: Optional[float] = None,
         skip_small_sizes_for_opencl: bool = True,
         mutators: Optional[List[Mutator]] = None,
+        workers: Optional[int] = None,
+        result_cache: Optional[ResultCache] = None,
     ) -> None:
         """Configure a tuning session.
 
@@ -82,7 +105,7 @@ class EvolutionaryTuner:
             population_size: Population capacity.
             generations_per_size: Mutation attempts per input size.
             min_size: Smallest test size (before OpenCL adjustment).
-            size_growth: Factor between consecutive test sizes.
+            size_growth: Factor between consecutive test sizes (>= 2).
             seed: Randomness seed (the whole search is deterministic).
             accuracy_fn: Error metric for variable-accuracy programs.
             accuracy_target: Largest acceptable error.
@@ -92,16 +115,36 @@ class EvolutionaryTuner:
                 has OpenCL kernels.
             mutators: Override the auto-generated mutator set (used by
                 the autotuner ablation benchmarks).
+            workers: Speculative evaluation threads; ``None`` reads the
+                ``REPRO_TUNER_WORKERS`` environment variable (1 when
+                unset).  Results are identical for every value.
+            result_cache: Cross-session disk cache; ``None`` uses the
+                ``REPRO_CACHE_DIR``-configured default.
         """
         self._compiled = compiled
         self._rng = random.Random(seed)
-        self._evaluator = Evaluator(
-            compiled,
-            env_factory,
-            accuracy_fn=accuracy_fn,
-            accuracy_target=accuracy_target,
-            seed=seed,
+        self._workers = max(
+            1, workers if workers is not None else default_worker_count()
         )
+        if self._workers > 1:
+            self._evaluator: Evaluator = ParallelEvaluator(
+                compiled,
+                env_factory,
+                workers=self._workers,
+                accuracy_fn=accuracy_fn,
+                accuracy_target=accuracy_target,
+                seed=seed,
+                result_cache=result_cache,
+            )
+        else:
+            self._evaluator = Evaluator(
+                compiled,
+                env_factory,
+                accuracy_fn=accuracy_fn,
+                accuracy_target=accuracy_target,
+                seed=seed,
+                result_cache=result_cache,
+            )
         self._population_size = population_size
         self._mutators: List[Mutator] = (
             mutators if mutators is not None else mutators_for(compiled.training_info)
@@ -121,11 +164,15 @@ class EvolutionaryTuner:
         """Exponentially growing test sizes, ending exactly at max_size."""
         if max_size < 1:
             raise TuningError("max_size must be positive")
+        if growth < 2:
+            raise TuningError(f"size_growth must be >= 2, got {growth}")
         if skip_small and self._compiled.kernel_count > 0:
             # Section 5.4: kernel compiles dominate tiny tests; skip them.
             min_size = max(min_size, max_size // (growth**3))
         sizes: List[int] = []
-        size = max(1, min_size)
+        # A min_size at or above max_size collapses the ramp to the
+        # single final size (no duplicate max_size entries).
+        size = max(1, min(min_size, max_size))
         while size < max_size:
             sizes.append(size)
             size *= growth
@@ -136,6 +183,11 @@ class EvolutionaryTuner:
     def sizes(self) -> List[int]:
         """The planned test sizes (smallest to largest)."""
         return list(self._sizes)
+
+    @property
+    def evaluator(self) -> Evaluator:
+        """The (possibly parallel) candidate evaluator."""
+        return self._evaluator
 
     def _seed_configs(self) -> List[Configuration]:
         """Initial population: the default plus one constant-selector
@@ -162,6 +214,65 @@ class EvolutionaryTuner:
         candidate.times[size] = time
         return time
 
+    def _draw_child(
+        self, population: Population, size: int
+    ) -> Optional[Tuple[Candidate, Candidate]]:
+        """One serial-order mutation draw (may produce no child).
+
+        Returns:
+            ``(parent, child)`` or None when the drawn mutator could
+            not produce a legal child.
+        """
+        parent = self._rng.choice(population.members)
+        mutator = self._rng.choice(self._mutators)
+        child_config = mutator.mutate(parent.config, self._rng, size)
+        if child_config is None:
+            return None
+        try:
+            child_config.validate(self._compiled.training_info)
+        except Exception:
+            return None
+        return parent, Candidate(config=child_config)
+
+    def _run_generations(
+        self, population: Population, size: int, generations: int
+    ) -> None:
+        """The mutation loop, with speculative parallel evaluation.
+
+        Mutations are drawn in windows of up to ``workers`` with an RNG
+        checkpoint after each draw; window members are evaluated
+        concurrently and committed in draw order.  An admission
+        invalidates the rest of the window (the serial tuner would have
+        drawn from the enlarged population), so it is discarded and the
+        RNG rewound — making every commit identical to the serial run.
+        """
+        remaining = generations
+        while remaining > 0:
+            window = min(self._workers, remaining)
+            draws: List[Tuple[Optional[Tuple[Candidate, Candidate]], object]] = []
+            for _ in range(window):
+                draw = self._draw_child(population, size)
+                draws.append((draw, self._rng.getstate()))
+            self._evaluator.prefetch(
+                [draw[1].config for draw, _ in draws if draw is not None], size
+            )
+            admitted = False
+            for draw, rng_state in draws:
+                remaining -= 1
+                if draw is None:
+                    continue
+                parent, child = draw
+                child_time = self._evaluate_candidate(child, size)
+                # Paper: children are admitted only when they
+                # outperform the parent they were created from.
+                if child_time < parent.time_at(size):
+                    population.add(child)
+                    admitted = True
+                    self._rng.setstate(rng_state)
+                    break
+            if admitted:
+                self._evaluator.drop_speculation()
+
     def _refine(self, best: Candidate, size: int) -> Candidate:
         """Greedy local refinement of the winner's tunables.
 
@@ -182,6 +293,19 @@ class EvolutionaryTuner:
                     neighbours = (value * 2, max(1, value // 2))
                 else:
                     neighbours = (value + 1, value - 1)
+                # Speculate on both neighbours of the entry config; if
+                # the first one wins, the second commit below rebuilds
+                # from the new base (the speculative result is simply
+                # unused).
+                speculative: List[Configuration] = []
+                for neighbour in neighbours:
+                    clamped = spec.clamp(neighbour)
+                    if clamped == value:
+                        continue
+                    config = current.config.copy()
+                    config.tunables[name] = clamped
+                    speculative.append(config)
+                self._evaluator.prefetch(speculative, size)
                 for neighbour in neighbours:
                     clamped = spec.clamp(neighbour)
                     if clamped == value:
@@ -219,6 +343,9 @@ class EvolutionaryTuner:
             for config in seeds:
                 if config.to_json() not in present:
                     population.add(Candidate(config=config.copy()))
+            self._evaluator.prefetch(
+                [candidate.config for candidate in population.members], size
+            )
             for candidate in population.members:
                 self._evaluate_candidate(candidate, size)
             generations = self._generations
@@ -229,22 +356,7 @@ class EvolutionaryTuner:
                 # Spend extra effort at the final (testing) size, where
                 # fine-grained tunables such as the GPU/CPU ratio pay off.
                 generations *= 2
-            for _ in range(generations):
-                parent = self._rng.choice(population.members)
-                mutator = self._rng.choice(self._mutators)
-                child_config = mutator.mutate(parent.config, self._rng, size)
-                if child_config is None:
-                    continue
-                try:
-                    child_config.validate(self._compiled.training_info)
-                except Exception:
-                    continue
-                child = Candidate(config=child_config)
-                child_time = self._evaluate_candidate(child, size)
-                # Paper: children are admitted only when they
-                # outperform the parent they were created from.
-                if child_time < parent.time_at(size):
-                    population.add(child)
+            self._run_generations(population, size, generations)
             population.prune(size)
             history.append(population.best(size).time_at(size))
 
@@ -258,7 +370,12 @@ class EvolutionaryTuner:
             evaluations=self._evaluator.evaluations,
             sizes=list(self._sizes),
             history=history,
+            computed_evaluations=self._evaluator.computed_evaluations,
         )
+
+    def close(self) -> None:
+        """Release the evaluator's worker pool (if any)."""
+        self._evaluator.close()
 
 
 def autotune(
@@ -268,14 +385,18 @@ def autotune(
     label: str = "",
     **tuner_kwargs,
 ) -> TuningReport:
-    """Convenience wrapper: build a tuner and run it once.
+    """Convenience wrapper: build a tuner, run it once, clean up.
 
     Args:
         compiled: Compiler output for the target machine.
         env_factory: Deterministic test-environment builder.
         max_size: Final testing input size.
         label: Label for the winning configuration.
-        **tuner_kwargs: Forwarded to :class:`EvolutionaryTuner`.
+        **tuner_kwargs: Forwarded to :class:`EvolutionaryTuner`
+            (including ``workers`` and ``result_cache``).
     """
     tuner = EvolutionaryTuner(compiled, env_factory, max_size, **tuner_kwargs)
-    return tuner.tune(label=label)
+    try:
+        return tuner.tune(label=label)
+    finally:
+        tuner.close()

@@ -5,7 +5,15 @@ Usage::
     python -m repro.experiments            # all figures/tables
     python -m repro.experiments fig2 fig9  # a subset
 
-Set ``REPRO_FULL_SCALE=1`` for the paper's exact input sizes.
+Environment:
+    REPRO_FULL_SCALE=1            the paper's exact input sizes.
+    REPRO_SEED=<int>              deterministic experiment seed.
+    REPRO_CACHE_DIR=<dir>         cross-session evaluation cache; a
+                                  warm cache regenerates the tuning
+                                  figures without re-simulating.
+    REPRO_TUNE_MANY_WORKERS=<n>   concurrent tuning sessions (default 4).
+    REPRO_TUNER_WORKERS=<n>       speculative evaluation threads per
+                                  tuner (default 1; results identical).
 """
 
 from __future__ import annotations
@@ -64,6 +72,9 @@ def main(argv: list) -> int:
     if unknown:
         print(f"unknown artefact(s): {unknown}; available: {sorted(_ARTEFACTS)}")
         return 2
+    # The tuning harnesses (fig6/7/8) each batch-tune their sessions
+    # concurrently via tune_many and share one session cache, so no
+    # extra warm-up pass is needed here.
     for name in requested:
         _ARTEFACTS[name](settings)
     return 0

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.apps.registry import BenchmarkSpec, all_benchmarks
 from repro.compiler.compile import CompiledProgram
 from repro.core.configuration import Configuration
-from repro.experiments.runner import DEFAULT_SEED, tuned_session
+from repro.experiments.runner import DEFAULT_SEED, tune_all_standard, tuned_session
 from repro.hardware.machines import MachineSpec, standard_machines
 from repro.reporting.tables import render_table
 
@@ -97,8 +97,19 @@ class Fig6Row:
         return " | ".join(f"{k}: {v}" for k, v in self.summary.items())
 
 
-def run_fig6(seed: int = DEFAULT_SEED) -> List[Fig6Row]:
-    """Autotune every benchmark on every machine and summarise."""
+def run_fig6(
+    seed: int = DEFAULT_SEED, workers: Optional[int] = None
+) -> List[Fig6Row]:
+    """Autotune every benchmark on every machine and summarise.
+
+    Args:
+        seed: Tuning seed.
+        workers: Concurrent tuning sessions for the warm-up batch
+            (``None`` reads ``REPRO_TUNE_MANY_WORKERS``).
+    """
+    # Tune all (benchmark, machine) pairs concurrently up front; the
+    # summary loop below then hits the warm session cache only.
+    tune_all_standard(seed=seed, workers=workers)
     rows: List[Fig6Row] = []
     for spec in all_benchmarks():
         for machine in standard_machines():

@@ -22,6 +22,8 @@ from repro.experiments import baselines
 from repro.experiments.runner import (
     DEFAULT_SEED,
     ExperimentSettings,
+    tune_all_standard,
+    tune_many,
     tuned_session,
 )
 from repro.hardware.machines import DESKTOP, MachineSpec, standard_machines
@@ -128,6 +130,9 @@ def run_fig7_panel(
         benchmark=benchmark_name, panel=PANELS[benchmark_name], eval_size=size
     )
 
+    # Tune this benchmark for all three machines concurrently.
+    tune_many([(benchmark_name, machine) for machine in machines], seed=seed)
+
     configs: Dict[str, Configuration] = {}
     for machine in machines:
         session = tuned_session(benchmark_name, machine, seed)
@@ -178,6 +183,9 @@ def run_fig7(
 ) -> Dict[str, Fig7Panel]:
     """Run all seven Figure 7 sub-figures."""
     settings = settings or ExperimentSettings.from_environment()
+    # Batch-tune every (benchmark, machine) pair before rendering the
+    # panels, so the expensive sessions overlap across benchmarks too.
+    tune_all_standard(seed=settings.seed)
     return {
         name: run_fig7_panel(name, settings) for name in PANELS
     }

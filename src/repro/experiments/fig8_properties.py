@@ -20,7 +20,7 @@ from typing import List, Optional
 
 from repro.apps.registry import all_benchmarks
 from repro.compiler.compile import compile_program
-from repro.experiments.runner import DEFAULT_SEED, tuned_session
+from repro.experiments.runner import DEFAULT_SEED, tune_all_standard, tuned_session
 from repro.hardware.machines import DESKTOP, standard_machines
 from repro.reporting.tables import render_table
 
@@ -56,6 +56,9 @@ def run_fig8(seed: int = DEFAULT_SEED, tune: bool = True) -> List[Fig8Row]:
         seed: Tuning seed.
         tune: When False, skip the tuning columns (fast static table).
     """
+    if tune:
+        # Warm every (benchmark, machine) session concurrently.
+        tune_all_standard(seed=seed)
     rows: List[Fig8Row] = []
     for spec in all_benchmarks():
         compiled = compile_program(spec.build_program(), DESKTOP)

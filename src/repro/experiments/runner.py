@@ -3,22 +3,44 @@
 Autotuning a benchmark for a machine is the expensive step shared by
 Figures 6, 7 and 8; this module caches one session per (benchmark,
 machine, seed) so the experiment suite tunes each combination exactly
-once per process.
+once per process, and provides :func:`tune_many` to tune a batch of
+(benchmark, machine) pairs concurrently.  Results are independent of
+concurrency: each pair's search is seeded separately, evaluations are
+pure, and the cross-session disk cache (``REPRO_CACHE_DIR``) is
+content-addressed, so ``tune_many`` produces byte-identical winning
+configurations to sequential :func:`tuned_session` calls.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.apps.registry import BenchmarkSpec, benchmark
+from repro.apps.registry import BenchmarkSpec, all_benchmarks, benchmark
 from repro.compiler.compile import CompiledProgram, compile_program
 from repro.core.search import EvolutionaryTuner, TuningReport
-from repro.hardware.machines import MachineSpec, machine_by_name
+from repro.hardware.machines import MachineSpec, machine_by_name, standard_machines
 
 #: Default seed for every experiment (results are deterministic).
 DEFAULT_SEED = 3
+
+#: Environment variable: concurrent tuning sessions in tune_many.
+TUNE_MANY_WORKERS_ENV = "REPRO_TUNE_MANY_WORKERS"
+
+#: A (benchmark, machine) pair; the machine may be given by codename.
+TunePair = Tuple[str, Union[MachineSpec, str]]
+
+
+def default_tune_many_workers() -> int:
+    """Worker count from ``REPRO_TUNE_MANY_WORKERS`` (4 when unset)."""
+    raw = os.environ.get(TUNE_MANY_WORKERS_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 4
 
 
 @dataclass(frozen=True)
@@ -67,28 +89,13 @@ class TunedSession:
 
 
 _SESSIONS: Dict[Tuple[str, str, int], TunedSession] = {}
+_SESSIONS_LOCK = threading.Lock()
+_KEY_LOCKS: Dict[Tuple[str, str, int], threading.Lock] = {}
 
 
-def tuned_session(
-    benchmark_name: str,
-    machine: MachineSpec,
-    seed: int = DEFAULT_SEED,
+def _tune_one(
+    benchmark_name: str, machine: MachineSpec, seed: int
 ) -> TunedSession:
-    """Autotune (or fetch the cached session for) one combination.
-
-    Args:
-        benchmark_name: Figure 8 benchmark name.
-        machine: Target machine.
-        seed: Tuning seed.
-
-    Returns:
-        The cached :class:`TunedSession`.
-    """
-    key = (benchmark_name, machine.codename, seed)
-    session = _SESSIONS.get(key)
-    if session is not None:
-        return session
-
     spec = benchmark(benchmark_name)
     compiled = compile_program(spec.build_program(), machine)
     tuner = EvolutionaryTuner(
@@ -99,14 +106,135 @@ def tuned_session(
         accuracy_fn=spec.accuracy_fn,
         accuracy_target=spec.accuracy_target,
     )
-    report = tuner.tune(label=f"{machine.codename} Config")
-    session = TunedSession(
+    try:
+        report = tuner.tune(label=f"{machine.codename} Config")
+    finally:
+        tuner.close()
+    return TunedSession(
         spec=spec, machine=machine, compiled=compiled, report=report
     )
-    _SESSIONS[key] = session
+
+
+def tuned_session(
+    benchmark_name: str,
+    machine: MachineSpec,
+    seed: int = DEFAULT_SEED,
+) -> TunedSession:
+    """Autotune (or fetch the cached session for) one combination.
+
+    Thread-safe and single-flight: concurrent callers for the same key
+    (as spawned by :func:`tune_many`) share one tuning run.
+
+    Args:
+        benchmark_name: Figure 8 benchmark name.
+        machine: Target machine.
+        seed: Tuning seed.
+
+    Returns:
+        The cached :class:`TunedSession`.
+    """
+    key = (benchmark_name, machine.codename, seed)
+    with _SESSIONS_LOCK:
+        session = _SESSIONS.get(key)
+        if session is not None:
+            return session
+        key_lock = _KEY_LOCKS.setdefault(key, threading.Lock())
+    with key_lock:
+        with _SESSIONS_LOCK:
+            session = _SESSIONS.get(key)
+        if session is not None:
+            return session
+        session = _tune_one(benchmark_name, machine, seed)
+        with _SESSIONS_LOCK:
+            _SESSIONS[key] = session
     return session
+
+
+def _resolve_machine(machine: Union[MachineSpec, str]) -> MachineSpec:
+    if isinstance(machine, MachineSpec):
+        return machine
+    return machine_by_name(machine)
+
+
+def tune_many(
+    pairs: Iterable[TunePair],
+    seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+) -> Dict[Tuple[str, str], TunedSession]:
+    """Tune a batch of (benchmark, machine) pairs concurrently.
+
+    Each pair runs an independent, separately seeded search, so the
+    winning configurations are byte-identical to tuning the pairs one
+    by one with sequential ``autotune``/:func:`tuned_session` calls —
+    concurrency changes wall-clock time only.  Sessions land in the
+    same process-wide cache :func:`tuned_session` uses.
+
+    Args:
+        pairs: (benchmark name, machine or machine codename) pairs;
+            duplicates are tuned once.
+        seed: Tuning seed used for every pair.
+        workers: Concurrent sessions; ``None`` reads the
+            ``REPRO_TUNE_MANY_WORKERS`` environment variable
+            (default 4).  ``1`` tunes sequentially.
+
+    Returns:
+        ``{(benchmark name, machine codename): session}`` for every
+        requested pair, in input order.
+    """
+    resolved: List[Tuple[str, MachineSpec]] = []
+    seen = set()
+    for name, machine in pairs:
+        spec = _resolve_machine(machine)
+        dedupe_key = (name, spec.codename)
+        if dedupe_key in seen:
+            continue
+        seen.add(dedupe_key)
+        resolved.append((name, spec))
+
+    worker_count = (
+        workers if workers is not None else default_tune_many_workers()
+    )
+    worker_count = max(1, min(worker_count, len(resolved) or 1))
+
+    if worker_count == 1 or len(resolved) <= 1:
+        sessions = [
+            tuned_session(name, machine, seed) for name, machine in resolved
+        ]
+    else:
+        with ThreadPoolExecutor(
+            max_workers=worker_count, thread_name_prefix="repro-tune"
+        ) as pool:
+            futures = [
+                pool.submit(tuned_session, name, machine, seed)
+                for name, machine in resolved
+            ]
+            sessions = [future.result() for future in futures]
+
+    return {
+        (name, machine.codename): session
+        for (name, machine), session in zip(resolved, sessions)
+    }
+
+
+def standard_pairs() -> List[Tuple[str, MachineSpec]]:
+    """The paper's full experiment grid: every benchmark on every
+    standard machine (the sessions Figures 6, 7 and 8 consume)."""
+    return [
+        (spec.name, machine)
+        for spec in all_benchmarks()
+        for machine in standard_machines()
+    ]
+
+
+def tune_all_standard(
+    seed: int = DEFAULT_SEED, workers: Optional[int] = None
+) -> Dict[Tuple[str, str], TunedSession]:
+    """Batch-tune the full standard grid (see :func:`tune_many`)."""
+    return tune_many(standard_pairs(), seed=seed, workers=workers)
 
 
 def clear_sessions() -> None:
     """Drop all cached tuning sessions (tests use this)."""
-    _SESSIONS.clear()
+    with _SESSIONS_LOCK:
+        _SESSIONS.clear()
+        _KEY_LOCKS.clear()

@@ -84,7 +84,17 @@ class OpenCLRuntimeModel:
             A :class:`CompiledKernelBinary` carrying the virtual compile
             time actually paid for this invocation.
         """
-        key = self.source_hash(source)
+        return self.compile_hashed(self.source_hash(source), device_name)
+
+    def compile_hashed(self, key: str, device_name: str) -> CompiledKernelBinary:
+        """Compile by pre-computed source hash.
+
+        The cache lookups only ever consult the hash, so a recorded
+        stream of ``(source_hash, device_name)`` compile events can be
+        replayed against a fresh model to reproduce the exact virtual
+        compile-time accounting of the original run order (the parallel
+        evaluator commits speculative evaluations this way).
+        """
         binary_key = f"{key}:{device_name}"
         self.compile_count += 1
 

@@ -2,8 +2,24 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
+
 import numpy as np
 import pytest
+
+from repro.core.result_cache import CACHE_DIR_ENV
+
+# Point the cross-session evaluation cache at a repo-local directory
+# (unless the caller already chose one), so consecutive pytest runs
+# skip re-simulating identical candidate evaluations.  Entries are
+# keyed by a content fingerprint of the compiled program and machine,
+# so stale entries miss instead of corrupting results; `rm -rf` of the
+# directory is always safe.
+os.environ.setdefault(
+    CACHE_DIR_ENV,
+    str(pathlib.Path(__file__).resolve().parent.parent / ".pytest_repro_cache"),
+)
 
 from repro.compiler.compile import compile_program
 from repro.core.configuration import default_configuration
@@ -90,17 +106,17 @@ def scale_env(n: int, seed: int = 0):
     return {"In": rng.random(n + 8), "Out": np.zeros(n)}
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def desktop():
     return DESKTOP
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def server():
     return SERVER
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def laptop():
     return LAPTOP
 
@@ -110,16 +126,20 @@ def any_machine(request):
     return {"Desktop": DESKTOP, "Server": SERVER, "Laptop": LAPTOP}[request.param]
 
 
-@pytest.fixture
+# Compiled programs are read-only during execution (runs mutate only
+# the environment and per-run state), so one compile per session is
+# shared by every test.
+@pytest.fixture(scope="session")
 def compiled_scale(desktop):
     return compile_program(make_scale_program(), desktop)
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def compiled_stencil(desktop):
     return compile_program(make_stencil_program(), desktop)
 
 
 @pytest.fixture
 def default_config(compiled_scale):
+    # Function-scoped on purpose: tests mutate the configuration.
     return default_configuration(compiled_scale.training_info)

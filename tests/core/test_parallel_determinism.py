@@ -1,0 +1,174 @@
+"""Determinism lockdown for the parallel tuning engine.
+
+The contract under test: ``EvolutionaryTuner`` with N speculative
+workers produces a :class:`TuningReport` *identical* to the serial
+tuner — same winning configuration (byte-for-byte JSON), same history,
+same evaluation count, same virtual tuning time — for every registered
+benchmark at small sizes; and a warm disk cache replays a cold session
+exactly (while physically simulating nothing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.apps.registry import all_benchmarks, benchmark
+from repro.compiler.compile import compile_program
+from repro.core.parallel import ParallelEvaluator
+from repro.core.result_cache import ResultCache
+from repro.core.search import EvolutionaryTuner, TuningReport, autotune
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
+
+from tests.conftest import make_stencil_program, scale_env
+
+#: Small per-app tuning sizes keeping the whole suite fast.
+SMALL_SIZES = {
+    "Black-Sholes": 4096,
+    "Poisson2D SOR": 64,
+    "SeparableConv.": 96,
+    "Sort": 4096,
+    "Strassen": 64,
+    "SVD": 48,
+    "Tridiagonal Solver": 256,
+}
+
+APP_NAMES = [spec.name for spec in all_benchmarks()]
+
+
+def report_key(report: TuningReport):
+    """Everything a TuningReport observable promises (sans the
+    physical-compute counter, which legitimately varies with cache
+    warmth)."""
+    return (
+        report.best.to_json(),
+        report.best_time_s,
+        report.tuning_time_s,
+        report.evaluations,
+        report.sizes,
+        report.history,
+    )
+
+
+def tune_app(name: str, workers: int, machine=DESKTOP, seed: int = 1,
+             result_cache=None) -> TuningReport:
+    spec = benchmark(name)
+    compiled = compile_program(spec.build_program(), machine)
+    return autotune(
+        compiled,
+        lambda n: spec.make_env(n, 0),
+        max_size=min(spec.tuning_size, SMALL_SIZES[name]),
+        seed=seed,
+        accuracy_fn=spec.accuracy_fn,
+        accuracy_target=spec.accuracy_target,
+        workers=workers,
+        result_cache=result_cache,
+    )
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_parallel_report_identical_to_serial(name):
+    """N-worker speculation must be invisible in the report.
+
+    Both sides run with the disk layer disabled so the parallel tuner
+    genuinely simulates on its worker threads instead of replaying the
+    serial run's cache entries — this is the test that exercises
+    concurrent speculation for real.
+    """
+    serial = tune_app(name, workers=1, result_cache=ResultCache(None))
+    parallel = tune_app(name, workers=4, result_cache=ResultCache(None))
+    assert report_key(parallel) == report_key(serial)
+
+
+@pytest.mark.parametrize("workers", [2, 3, 8])
+def test_worker_count_never_changes_the_report(workers):
+    """The stencil program across several pool widths and machines
+    (disk layer disabled — see above)."""
+    for machine in (DESKTOP, SERVER, LAPTOP):
+        compiled = compile_program(make_stencil_program(5), machine)
+        serial = autotune(
+            compiled, lambda n: scale_env(n, seed=1), max_size=50_000, seed=9,
+            result_cache=ResultCache(None),
+        )
+        parallel = autotune(
+            compiled, lambda n: scale_env(n, seed=1), max_size=50_000, seed=9,
+            workers=workers, result_cache=ResultCache(None),
+        )
+        assert report_key(parallel) == report_key(serial), (
+            f"workers={workers} diverged on {machine.codename}"
+        )
+
+
+def test_parallel_evaluator_prefetch_does_not_change_accounting(compiled_stencil):
+    """Speculative prefetch of configurations that are never committed
+    must not touch the logical counters."""
+    from repro.core.configuration import default_configuration
+    from repro.core.selector import Selector
+
+    with ParallelEvaluator(
+        compiled_stencil, lambda n: scale_env(n, seed=1), workers=4,
+        result_cache=ResultCache(None),
+    ) as evaluator:
+        base = default_configuration(compiled_stencil.training_info)
+        gpu = base.copy()
+        gpu.selectors["Stencil"] = Selector.constant(1)
+        evaluator.prefetch([base, gpu], 1024)
+        committed = evaluator.evaluate(base, 1024)
+        assert evaluator.evaluations == 1
+        # The speculative gpu result may already be computed, but only
+        # commits count.
+        assert evaluator.tuning_time_s == pytest.approx(
+            committed.time_s + evaluator.jit.total_compile_time_s
+        )
+
+
+def test_cold_vs_warm_disk_cache_equivalence(tmp_path):
+    """A warm cache must replay the cold session bit-for-bit while
+    simulating nothing."""
+    cold = tune_app("SeparableConv.", workers=1,
+                    result_cache=ResultCache(str(tmp_path)))
+    warm = tune_app("SeparableConv.", workers=1,
+                    result_cache=ResultCache(str(tmp_path)))
+    assert report_key(warm) == report_key(cold)
+    assert cold.computed_evaluations == cold.evaluations
+    assert warm.computed_evaluations == 0
+
+
+def test_cold_parallel_vs_warm_serial_equivalence(tmp_path):
+    """Cache written by a parallel session must satisfy a serial one."""
+    cold = tune_app("Tridiagonal Solver", workers=4,
+                    result_cache=ResultCache(str(tmp_path)))
+    warm = tune_app("Tridiagonal Solver", workers=1,
+                    result_cache=ResultCache(str(tmp_path)))
+    assert report_key(warm) == report_key(cold)
+    assert warm.computed_evaluations == 0
+
+
+def test_tuner_exposes_parallel_evaluator_only_when_asked(compiled_stencil):
+    serial = EvolutionaryTuner(
+        compiled_stencil, lambda n: scale_env(n, seed=1), max_size=1024
+    )
+    parallel = EvolutionaryTuner(
+        compiled_stencil, lambda n: scale_env(n, seed=1), max_size=1024,
+        workers=4,
+    )
+    try:
+        assert not isinstance(serial.evaluator, ParallelEvaluator)
+        assert isinstance(parallel.evaluator, ParallelEvaluator)
+        assert parallel.evaluator.workers == 4
+    finally:
+        serial.close()
+        parallel.close()
+
+
+def test_workers_env_knob(monkeypatch, compiled_stencil):
+    monkeypatch.setenv("REPRO_TUNER_WORKERS", "3")
+    tuner = EvolutionaryTuner(
+        compiled_stencil, lambda n: scale_env(n, seed=1), max_size=1024
+    )
+    try:
+        assert isinstance(tuner.evaluator, ParallelEvaluator)
+        assert tuner.evaluator.workers == 3
+    finally:
+        tuner.close()

@@ -1,0 +1,257 @@
+"""Regression tests for the cross-session evaluation result cache and
+the evaluator's accounting invariants."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.compiler.compile import compile_program
+from repro.core.configuration import default_configuration
+from repro.core.fitness import Evaluator, program_fingerprint
+from repro.core.result_cache import CACHE_DIR_ENV, ResultCache
+from repro.core.selector import Selector
+from repro.hardware.machines import DESKTOP, SERVER
+
+from tests.conftest import make_scale_program, make_stencil_program, scale_env
+
+
+def env_factory(n):
+    return scale_env(n, seed=1)
+
+
+def fresh_evaluator(compiled, cache: ResultCache) -> Evaluator:
+    return Evaluator(compiled, env_factory, result_cache=cache)
+
+
+def gpu_config(compiled):
+    config = default_configuration(compiled.training_info)
+    config.selectors["Stencil"] = Selector.constant(1)
+    return config
+
+
+class TestAccounting:
+    def test_memo_hits_do_not_inflate_counters(self, compiled_stencil):
+        evaluator = fresh_evaluator(compiled_stencil, ResultCache(None))
+        config = default_configuration(compiled_stencil.training_info)
+        evaluator.evaluate(config, 256)
+        evals, time_s = evaluator.evaluations, evaluator.tuning_time_s
+        for _ in range(3):
+            evaluator.evaluate(config, 256)
+        assert evaluator.evaluations == evals == 1
+        assert evaluator.tuning_time_s == time_s
+
+    def test_disk_hits_do_not_inflate_counters(self, compiled_stencil, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = gpu_config(compiled_stencil)
+
+        cold = fresh_evaluator(compiled_stencil, cache)
+        cold_eval = cold.evaluate(config, 256)
+        assert cold.computed_evaluations == 1
+
+        warm = fresh_evaluator(compiled_stencil, ResultCache(str(tmp_path)))
+        warm_eval = warm.evaluate(config, 256)
+        # Logical accounting is replayed identically...
+        assert warm.evaluations == cold.evaluations == 1
+        assert warm.tuning_time_s == cold.tuning_time_s
+        assert warm_eval == cold_eval
+        # ...but nothing was physically simulated.
+        assert warm.computed_evaluations == 0
+        assert warm.result_cache.stats.hits == 1
+
+    def test_compile_replay_matches_shared_jit_semantics(self, compiled_stencil):
+        """Two evaluations sharing a kernel must pay the parse cost
+        once (the Section 5.4 IR cache), even though each pure run
+        executed against its own cold JIT model."""
+        evaluator = fresh_evaluator(compiled_stencil, ResultCache(None))
+        config = gpu_config(compiled_stencil)
+        evaluator.evaluate(config, 256)
+        first_time = evaluator.tuning_time_s
+        jit = evaluator.jit
+        parse_paid_once = jit.compile_count - jit.ir_hits
+        evaluator.evaluate(config, 512)
+        assert evaluator.jit.ir_hits > 0
+        # Second size re-used the IR: the increment is strictly less
+        # than paying the full parse again per compile.
+        assert evaluator.tuning_time_s > first_time
+        assert jit.compile_count - jit.ir_hits == parse_paid_once
+
+
+class TestCorruption:
+    def _entry_path(self, evaluator, config, size):
+        cache = evaluator.result_cache
+        key = evaluator._cache_key(config.to_json(), size)
+        return cache._path_for(key)
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"",  # empty file (interrupted write)
+            b"{\"key\": ",  # truncated JSON
+            b"\x00\xff\x13 not json at all",
+            json.dumps({"key": "wrong", "payload": {}}).encode(),
+            json.dumps({"key": None}).encode(),
+            json.dumps([1, 2, 3]).encode(),
+        ],
+    )
+    def test_corrupted_entry_is_ignored_not_fatal(
+        self, compiled_stencil, tmp_path, garbage
+    ):
+        cache = ResultCache(str(tmp_path))
+        evaluator = fresh_evaluator(compiled_stencil, cache)
+        config = default_configuration(compiled_stencil.training_info)
+        evaluator.evaluate(config, 128)
+
+        path = self._entry_path(evaluator, config, 128)
+        assert os.path.exists(path)
+        with open(path, "wb") as handle:
+            handle.write(garbage)
+
+        fresh = fresh_evaluator(compiled_stencil, ResultCache(str(tmp_path)))
+        evaluation = fresh.evaluate(config, 128)  # must not raise
+        assert evaluation.time_s > 0
+        assert fresh.computed_evaluations == 1  # recomputed
+        if garbage:
+            assert fresh.result_cache.stats.invalid >= 1
+
+    def test_bad_payload_fields_force_recompute(self, compiled_stencil, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        evaluator = fresh_evaluator(compiled_stencil, cache)
+        config = default_configuration(compiled_stencil.training_info)
+        evaluator.evaluate(config, 128)
+        path = self._entry_path(evaluator, config, 128)
+        entry = json.load(open(path))
+        entry["payload"]["time_s"] = "not-a-number"
+        json.dump(entry, open(path, "w"))
+
+        fresh = fresh_evaluator(compiled_stencil, ResultCache(str(tmp_path)))
+        assert fresh.evaluate(config, 128).time_s > 0
+        assert fresh.computed_evaluations == 1
+
+
+class TestIsolation:
+    def test_disabled_cache_is_inert(self, compiled_stencil):
+        cache = ResultCache(None)
+        assert not cache.enabled
+        assert cache.get({"any": "key"}) is None
+        cache.put({"any": "key"}, {"x": 1})
+        assert cache.stats.stores == 0
+
+    def test_from_environment_disabled_values(self, monkeypatch):
+        for value in ("", "0", "off", "none"):
+            monkeypatch.setenv(CACHE_DIR_ENV, value)
+            assert not ResultCache.from_environment().enabled
+        monkeypatch.setenv(CACHE_DIR_ENV, "/tmp/somewhere")
+        assert ResultCache.from_environment().enabled
+
+    def test_different_machines_never_share_entries(self, tmp_path):
+        program = make_stencil_program(5)
+        desktop = compile_program(program, DESKTOP)
+        server = compile_program(program, SERVER)
+        assert program_fingerprint(desktop) != program_fingerprint(server)
+
+        cache_dir = str(tmp_path)
+        a = fresh_evaluator(desktop, ResultCache(cache_dir))
+        config = default_configuration(desktop.training_info)
+        a.evaluate(config, 256)
+
+        b = fresh_evaluator(server, ResultCache(cache_dir))
+        b.evaluate(default_configuration(server.training_info), 256)
+        assert b.computed_evaluations == 1  # desktop entry not reused
+
+    def test_different_programs_never_share_entries(self, tmp_path):
+        cache_dir = str(tmp_path)
+        stencil = compile_program(make_stencil_program(5), DESKTOP)
+        scale = compile_program(make_scale_program(), DESKTOP)
+        assert program_fingerprint(stencil) != program_fingerprint(scale)
+
+    def test_accuracy_metric_is_part_of_the_key(self, compiled_stencil, tmp_path):
+        """Entries written under one accuracy metric (or none) must
+        never satisfy a session using another: the cached accuracy
+        drives feasibility decisions."""
+        cache_dir = str(tmp_path)
+        config = default_configuration(compiled_stencil.training_info)
+
+        plain = Evaluator(
+            compiled_stencil, env_factory, result_cache=ResultCache(cache_dir)
+        )
+        assert plain.evaluate(config, 256).accuracy is None
+
+        def strict_metric(env):
+            return 1.0
+
+        strict = Evaluator(
+            compiled_stencil, env_factory,
+            accuracy_fn=strict_metric, accuracy_target=0.5,
+            result_cache=ResultCache(cache_dir),
+        )
+        evaluation = strict.evaluate(config, 256)
+        assert strict.computed_evaluations == 1  # plain entry not reused
+        assert evaluation.accuracy == 1.0
+        assert not evaluation.feasible
+
+        # And the accuracy-free session never sees the metric entry.
+        plain_again = Evaluator(
+            compiled_stencil, env_factory, result_cache=ResultCache(cache_dir)
+        )
+        assert plain_again.evaluate(config, 256).accuracy is None
+        assert plain_again.computed_evaluations == 0  # its own entry hits
+
+    def test_env_factory_data_is_part_of_the_key(self, compiled_stencil, tmp_path):
+        """Factories differing only in a captured data seed must not
+        share entries: the inputs (and so times/accuracies) differ."""
+        cache_dir = str(tmp_path)
+        config = default_configuration(compiled_stencil.training_info)
+
+        def factory_for(data_seed):
+            return lambda n: scale_env(n, seed=data_seed)
+
+        a = Evaluator(
+            compiled_stencil, factory_for(0), result_cache=ResultCache(cache_dir)
+        )
+        a.evaluate(config, 256)
+        b = Evaluator(
+            compiled_stencil, factory_for(1), result_cache=ResultCache(cache_dir)
+        )
+        b.evaluate(config, 256)
+        assert b.computed_evaluations == 1  # seed-0 entry not reused
+
+        # Same factory shape and data seed → entries are shared.
+        c = Evaluator(
+            compiled_stencil, factory_for(0), result_cache=ResultCache(cache_dir)
+        )
+        c.evaluate(config, 256)
+        assert c.computed_evaluations == 0
+
+    def test_execution_model_hash_is_stable_within_a_process(self):
+        from repro.core.result_cache import execution_model_hash
+
+        assert execution_model_hash() == execution_model_hash()
+        assert len(execution_model_hash()) == 16
+
+    def test_seed_is_part_of_the_key(self, compiled_stencil, tmp_path):
+        cache_dir = str(tmp_path)
+        config = default_configuration(compiled_stencil.training_info)
+        a = Evaluator(
+            compiled_stencil, env_factory, seed=0,
+            result_cache=ResultCache(cache_dir),
+        )
+        a.evaluate(config, 256)
+        b = Evaluator(
+            compiled_stencil, env_factory, seed=1,
+            result_cache=ResultCache(cache_dir),
+        )
+        b.evaluate(config, 256)
+        assert b.computed_evaluations == 1
+
+    def test_round_trip_preserves_payload(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = {"version": 1, "config": "{}", "size": 8}
+        payload = {"time_s": 0.25, "accuracy": None,
+                   "compile_events": [["abc", "gpu"]]}
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1

@@ -13,7 +13,7 @@ from repro.hardware.machines import DESKTOP, SERVER
 from tests.conftest import make_stencil_program, scale_env
 
 
-@pytest.fixture
+@pytest.fixture(scope="module")
 def compiled():
     return compile_program(make_stencil_program(5), DESKTOP)
 
@@ -113,6 +113,53 @@ class TestTuner:
             skip_small_sizes_for_opencl=True,
         )
         assert min(tuner.sizes) >= 2**20 // 64
+
+    def test_min_size_at_max_size_yields_single_final_size(self, compiled):
+        """min_size == max_size must not duplicate the final size."""
+        tuner = EvolutionaryTuner(
+            compiled, env_factory, max_size=4096, min_size=4096,
+            skip_small_sizes_for_opencl=False,
+        )
+        assert tuner.sizes == [4096]
+
+    def test_min_size_above_max_size_yields_single_final_size(self, compiled):
+        """min_size > max_size collapses the ramp (no duplicates, no
+        sizes beyond max_size)."""
+        tuner = EvolutionaryTuner(
+            compiled, env_factory, max_size=1024, min_size=999_999,
+            skip_small_sizes_for_opencl=False,
+        )
+        assert tuner.sizes == [1024]
+
+    def test_sizes_never_contain_duplicates(self, compiled):
+        for min_size, max_size in ((64, 64), (64, 65), (1024, 64), (1, 4096)):
+            tuner = EvolutionaryTuner(
+                compiled, env_factory, max_size=max_size, min_size=min_size,
+                skip_small_sizes_for_opencl=False,
+            )
+            assert len(tuner.sizes) == len(set(tuner.sizes)), (
+                f"duplicate sizes for min={min_size} max={max_size}: "
+                f"{tuner.sizes}"
+            )
+
+    def test_growth_of_one_rejected(self, compiled):
+        """growth == 1 used to loop forever; it must be a TuningError."""
+        with pytest.raises(TuningError):
+            EvolutionaryTuner(
+                compiled, env_factory, max_size=1024, size_growth=1
+            )
+        with pytest.raises(TuningError):
+            EvolutionaryTuner(
+                compiled, env_factory, max_size=1024, size_growth=0
+            )
+
+    def test_tuning_still_works_at_degenerate_single_size(self, compiled):
+        report = autotune(
+            compiled, env_factory, max_size=2048, min_size=2048, seed=3,
+            skip_small_sizes_for_opencl=False,
+        )
+        assert report.sizes == [2048]
+        assert len(report.history) == 1
 
     def test_label_applied(self, compiled):
         report = autotune(compiled, env_factory, max_size=10_000, seed=1,

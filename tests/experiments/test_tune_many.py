@@ -1,0 +1,106 @@
+"""Batch tuning (`tune_many`): concurrency must be invisible in the
+results, and the session cache must be thread-safe."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.apps.registry import benchmark
+from repro.compiler.compile import compile_program
+from repro.core.search import autotune
+from repro.experiments import runner
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    clear_sessions,
+    tune_many,
+    tuned_session,
+)
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
+
+#: Four cheap (benchmark, machine) pairs spanning machines and apps.
+PAIRS = [
+    ("Strassen", DESKTOP),
+    ("Strassen", SERVER),
+    ("Poisson2D SOR", LAPTOP),
+    ("SVD", DESKTOP),
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache():
+    clear_sessions()
+    yield
+    clear_sessions()
+
+
+def sequential_best(name: str, machine, seed: int) -> str:
+    """Reference: a plain sequential autotune call for one pair."""
+    spec = benchmark(name)
+    compiled = compile_program(spec.build_program(), machine)
+    report = autotune(
+        compiled,
+        lambda size: spec.make_env(size, seed=0),
+        max_size=spec.tuning_size,
+        seed=seed,
+        label=f"{machine.codename} Config",
+        accuracy_fn=spec.accuracy_fn,
+        accuracy_target=spec.accuracy_target,
+    )
+    return report.best.to_json()
+
+
+def test_tune_many_matches_sequential_autotune():
+    """Acceptance: 4 pairs, 4 workers — byte-identical winners."""
+    sessions = tune_many(PAIRS, seed=DEFAULT_SEED, workers=4)
+    assert len(sessions) == len(PAIRS)
+    for name, machine in PAIRS:
+        concurrent = sessions[(name, machine.codename)].report.best.to_json()
+        reference = sequential_best(name, machine, DEFAULT_SEED)
+        assert concurrent == reference, f"{name} on {machine.codename} diverged"
+
+
+def test_tune_many_populates_the_session_cache():
+    sessions = tune_many(PAIRS[:2], workers=2)
+    for name, machine in PAIRS[:2]:
+        cached = tuned_session(name, machine)  # must be a cache hit
+        assert cached is sessions[(name, machine.codename)]
+
+
+def test_tune_many_deduplicates_pairs():
+    sessions = tune_many([PAIRS[0], PAIRS[0], ("Strassen", "Desktop")],
+                         workers=2)
+    assert len(sessions) == 1
+
+
+def test_tune_many_accepts_machine_codenames():
+    sessions = tune_many([("Strassen", "Desktop")], workers=1)
+    assert ("Strassen", "Desktop") in sessions
+
+
+def test_tuned_session_is_single_flight_under_contention():
+    """Concurrent callers for one key share a single tuning run."""
+    results = []
+    barrier = threading.Barrier(4)
+
+    def worker():
+        barrier.wait()
+        results.append(tuned_session("Strassen", DESKTOP))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(results) == 4
+    assert all(session is results[0] for session in results)
+
+
+def test_workers_env_knob(monkeypatch):
+    monkeypatch.setenv(runner.TUNE_MANY_WORKERS_ENV, "7")
+    assert runner.default_tune_many_workers() == 7
+    monkeypatch.setenv(runner.TUNE_MANY_WORKERS_ENV, "bogus")
+    assert runner.default_tune_many_workers() == 4
+    monkeypatch.delenv(runner.TUNE_MANY_WORKERS_ENV)
+    assert runner.default_tune_many_workers() == 4
