@@ -138,6 +138,60 @@ def benchmark(name: str) -> BenchmarkSpec:
     return _BENCHMARKS[name]
 
 
+#: Lazily built reverse index from *program* names (which differ from
+#: the Figure 8 row labels for some benchmarks) to registry names.
+_PROGRAM_INDEX: Optional[Dict[str, str]] = None
+
+
+def benchmark_for_program(program_name: str) -> Optional[BenchmarkSpec]:
+    """The registry entry whose built program carries ``program_name``.
+
+    Program names are not always the Figure 8 labels (e.g. the program
+    behind ``"SeparableConv."`` is named ``"SeparableConvolution"``),
+    so process-backend workers and other by-name rebuilders resolve
+    through this index.  Returns None for programs that are not
+    registered benchmarks (hand-built test programs).
+    """
+    global _PROGRAM_INDEX
+    if _PROGRAM_INDEX is None:
+        _PROGRAM_INDEX = {
+            spec.build_program().name: name
+            for name, spec in _BENCHMARKS.items()
+        }
+    registry_name = _PROGRAM_INDEX.get(program_name)
+    return None if registry_name is None else _BENCHMARKS[registry_name]
+
+
+def canonical_env_factory(name: str) -> Callable[[int], Dict[str, np.ndarray]]:
+    """The registry-standard test-environment builder for a benchmark.
+
+    Every evaluation of a registered benchmark — in-process tuning, the
+    batch runner, and process-backend workers rebuilding the evaluation
+    from its name — must construct test inputs through this one
+    definition site: the evaluator's disk-cache key embeds a token of
+    the environment factory, so sessions that build inputs through
+    different closures never share cache entries even when the inputs
+    are identical.
+
+    Args:
+        name: Figure 8 benchmark name.
+
+    Raises:
+        ExperimentError: For unknown names.
+    """
+    spec = benchmark(name)
+
+    def make_env(size: int) -> Dict[str, np.ndarray]:
+        return spec.make_env(size, 0)
+
+    # Explicit identity for the process backend's availability check:
+    # closure tokens cannot distinguish which spec a factory captured
+    # (all BenchmarkSpec cells tokenise alike), but the wrong
+    # benchmark's factory must never pass for another's.
+    make_env.benchmark_name = name
+    return make_env
+
+
 def all_benchmarks() -> Tuple[BenchmarkSpec, ...]:
     """All seven benchmarks in the paper's Figure 8 order."""
     order = (

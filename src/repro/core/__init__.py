@@ -8,13 +8,30 @@ information and keeps children only when they outperform their parent
 (paper Section 5).
 """
 
+from repro.core.backends import (
+    ProcessBackendUnavailable,
+    ProcessEvaluator,
+    create_evaluator,
+    default_backend,
+    resolve_backend,
+)
 from repro.core.configuration import Configuration, default_configuration
 from repro.core.fitness import Evaluation, Evaluator, PureEvaluation
 from repro.core.mutators import Mutator, mutators_for
-from repro.core.parallel import ParallelEvaluator, default_worker_count
+from repro.core.parallel import (
+    ParallelEvaluator,
+    default_worker_count,
+    parse_worker_count,
+)
 from repro.core.population import Candidate, Population
 from repro.core.result_cache import ResultCache
-from repro.core.search import EvolutionaryTuner, TuningReport, autotune
+from repro.core.search import (
+    EvolutionaryTuner,
+    TuningReport,
+    autotune,
+    report_from_payload,
+    report_to_payload,
+)
 from repro.core.selector import Selector
 
 __all__ = [
@@ -26,12 +43,20 @@ __all__ = [
     "Mutator",
     "ParallelEvaluator",
     "Population",
+    "ProcessBackendUnavailable",
+    "ProcessEvaluator",
     "PureEvaluation",
     "ResultCache",
     "Selector",
     "TuningReport",
     "autotune",
+    "create_evaluator",
+    "default_backend",
     "default_configuration",
     "default_worker_count",
     "mutators_for",
+    "parse_worker_count",
+    "report_from_payload",
+    "report_to_payload",
+    "resolve_backend",
 ]

@@ -1,0 +1,562 @@
+"""Pluggable candidate-evaluation backends for the autotuner.
+
+The tuner's compute/commit split (:mod:`repro.core.fitness`) makes the
+expensive half of candidate evaluation a pure function of
+``(program, machine, configuration, size, seed)``.  This module turns
+"where that pure half runs" into a selectable backend:
+
+``serial``
+    The plain in-process :class:`~repro.core.fitness.Evaluator`; no
+    speculation, no pool.
+``thread``
+    The speculative thread-pool
+    :class:`~repro.core.parallel.ParallelEvaluator`.  Works for any
+    program (rule closures stay in-process) and shares the pure memo
+    between workers for free.
+``process``
+    :class:`ProcessEvaluator`: ships *picklable* evaluation requests —
+    benchmark name, machine codename, configuration JSON, size, seed
+    and content fingerprints — to a ``ProcessPoolExecutor``.  Each
+    worker process lazily rebuilds the compiled program from
+    :mod:`repro.apps.registry` + :mod:`repro.hardware.machines`; rule
+    closures never cross the pipe.  Only *canonical* evaluations of
+    registered benchmarks qualify (see :func:`resolve_process_target`);
+    anything else falls back to ``thread`` when the backend was chosen
+    by environment, or raises when it was requested explicitly.
+
+All three backends commit results through the same ordered-commit /
+compile-event-replay machinery, so a tuner's
+:class:`~repro.core.search.TuningReport` is bit-for-bit identical no
+matter which backend ran the simulations — the determinism matrix test
+in ``tests/core/test_parallel_determinism.py`` locks this down per
+registered benchmark.
+
+Selection: the ``backend=`` argument of
+:class:`~repro.core.search.EvolutionaryTuner` /
+:func:`create_evaluator` wins; when absent the
+``REPRO_TUNER_BACKEND`` environment variable is consulted; when that
+is unset (or ``"auto"``) the historical behaviour applies — ``thread``
+with more than one worker, ``serial`` otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.compiler.compile import CompiledProgram
+from repro.core.configuration import Configuration
+from repro.core.fitness import (
+    AccuracyFn,
+    EnvFactory,
+    Evaluator,
+    PureEvaluation,
+    _callable_token,
+    program_fingerprint,
+)
+from repro.core.parallel import ParallelEvaluator, default_worker_count
+from repro.core.result_cache import ResultCache, execution_model_hash
+from repro.errors import TuningError
+
+#: Environment variable selecting the default evaluation backend.
+BACKEND_ENV = "REPRO_TUNER_BACKEND"
+
+#: The selectable backends (``"auto"`` additionally means "decide from
+#: the worker count", which is the default).
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+class ProcessBackendUnavailable(TuningError):
+    """This evaluation cannot be shipped to worker processes.
+
+    Raised when the compiled program is not a registered benchmark, the
+    machine is not one of the standard rebuildable machines, or the
+    environment/accuracy callables differ from the registry-canonical
+    ones (a worker rebuilding by name would silently evaluate different
+    inputs).  :func:`create_evaluator` converts this into a ``thread``
+    fallback unless the process backend was requested explicitly.
+    """
+
+
+def default_backend() -> str:
+    """Backend from ``REPRO_TUNER_BACKEND`` (``"auto"`` when unset/bad)."""
+    raw = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if raw in BACKEND_NAMES:
+        return raw
+    return "auto"
+
+
+def resolve_backend(backend: Optional[str]) -> Tuple[str, bool]:
+    """Resolve a backend request to ``(name, forced)``.
+
+    Args:
+        backend: Explicit backend name, ``"auto"``, or None to consult
+            the environment.
+
+    Returns:
+        The backend name (one of :data:`BACKEND_NAMES` or ``"auto"``)
+        and whether it was *forced* — explicitly requested, so
+        unavailability must raise rather than fall back.
+
+    Raises:
+        TuningError: For explicit names that are not backends.
+    """
+    if backend is None:
+        return default_backend(), False
+    name = backend.strip().lower()
+    if name == "auto":
+        return "auto", False
+    if name not in BACKEND_NAMES:
+        raise TuningError(
+            f"unknown evaluation backend {backend!r}; "
+            f"available: {('auto',) + BACKEND_NAMES}"
+        )
+    return name, True
+
+
+@dataclass(frozen=True)
+class ProcessTarget:
+    """By-name coordinates of a canonically rebuildable evaluation.
+
+    Attributes:
+        app: Registry (Figure 8) benchmark name.
+        machine: Standard machine codename.
+    """
+
+    app: str
+    machine: str
+
+
+#: Canonical-rebuild fingerprints, memoised per (app, machine): the
+#: availability check compiles the registry program once, not per tuner.
+_CANONICAL_FINGERPRINTS: Dict[Tuple[str, str], str] = {}
+_CANONICAL_LOCK = threading.Lock()
+
+
+def _canonical_fingerprint(app: str, machine_name: str) -> str:
+    with _CANONICAL_LOCK:
+        cached = _CANONICAL_FINGERPRINTS.get((app, machine_name))
+    if cached is not None:
+        return cached
+    # Local imports: the registry imports the app/lang layers, which
+    # must stay importable without the core package.
+    from repro.apps.registry import benchmark
+    from repro.compiler.compile import compile_program
+    from repro.hardware.machines import machine_by_name
+
+    compiled = compile_program(
+        benchmark(app).build_program(), machine_by_name(machine_name)
+    )
+    fingerprint = program_fingerprint(compiled)
+    with _CANONICAL_LOCK:
+        return _CANONICAL_FINGERPRINTS.setdefault((app, machine_name), fingerprint)
+
+
+def resolve_process_target(
+    compiled: CompiledProgram,
+    env_factory: EnvFactory,
+    accuracy_fn: Optional[AccuracyFn],
+) -> ProcessTarget:
+    """Check that worker processes can rebuild this exact evaluation.
+
+    A worker only receives names, so everything behind the names must
+    match what the caller is actually evaluating: the program must be a
+    registered benchmark, the machine a standard one, a by-name rebuild
+    must reproduce the caller's program fingerprint, and the
+    environment/accuracy callables must be the registry-canonical ones
+    (:func:`repro.apps.registry.canonical_env_factory` and the spec's
+    ``accuracy_fn``) — otherwise workers would evaluate different test
+    inputs and the backend would no longer be result-invisible.
+
+    Raises:
+        ProcessBackendUnavailable: When any of those checks fails.
+    """
+    from repro.apps.registry import benchmark_for_program, canonical_env_factory
+
+    spec = benchmark_for_program(compiled.program.name)
+    if spec is None:
+        raise ProcessBackendUnavailable(
+            f"program {compiled.program.name!r} is not a registered "
+            "benchmark; worker processes rebuild programs by registry name"
+        )
+    codename = compiled.machine.codename
+    try:
+        from repro.hardware.machines import machine_by_name
+
+        machine_by_name(codename)
+    except KeyError as exc:
+        raise ProcessBackendUnavailable(
+            f"machine {codename!r} is not a standard rebuildable machine"
+        ) from exc
+    if _canonical_fingerprint(spec.name, codename) != program_fingerprint(compiled):
+        raise ProcessBackendUnavailable(
+            f"compiled program for {spec.name!r} on {codename!r} differs "
+            "from its registry rebuild (customised program or machine)"
+        )
+    # The factory declares which benchmark it builds inputs for (see
+    # canonical_env_factory); a closure-token comparison alone cannot
+    # tell two benchmarks' canonical factories apart, so the explicit
+    # identity is required, then the token guards against lookalikes.
+    if getattr(env_factory, "benchmark_name", None) != spec.name:
+        raise ProcessBackendUnavailable(
+            f"environment factory is not canonical_env_factory({spec.name!r}); "
+            "workers would build different test inputs"
+        )
+    if _callable_token(env_factory, "none") != _callable_token(
+        canonical_env_factory(spec.name), "none"
+    ):
+        raise ProcessBackendUnavailable(
+            f"environment factory is not canonical_env_factory({spec.name!r}); "
+            "workers would build different test inputs"
+        )
+    if _callable_token(accuracy_fn, "none") != _callable_token(
+        spec.accuracy_fn, "none"
+    ):
+        raise ProcessBackendUnavailable(
+            f"accuracy function differs from the registry one for {spec.name!r}"
+        )
+    return ProcessTarget(app=spec.name, machine=codename)
+
+
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """One pure evaluation, as it crosses the process boundary.
+
+    Everything is a primitive: rule closures, compiled programs and
+    machine models never pickle — workers rebuild them from the names.
+
+    Attributes:
+        app: Registry benchmark name.
+        machine: Standard machine codename.
+        config_json: ``Configuration.to_json()`` of the candidate.
+        size: Test input size.
+        seed: Runtime scheduler seed.
+        fingerprint: The requester's program fingerprint; the worker's
+            rebuild must match or the request fails loudly.
+        model_hash: The requester's execution-model source hash; guards
+            against mismatched source trees (multi-host later).
+        cache_dir: Disk-cache directory shared with the requester
+            (None when the disk layer is disabled).
+    """
+
+    app: str
+    machine: str
+    config_json: str
+    size: int
+    seed: int
+    fingerprint: str
+    model_hash: str
+    cache_dir: Optional[str]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Picklable pure outcome returned by a worker process.
+
+    Attributes:
+        time_s: Virtual execution time.
+        accuracy: Error metric (None without an accuracy function).
+        compile_events: Ordered ``(source_hash, device_name)`` pairs.
+        computed: Whether the worker physically simulated (False on a
+            disk-cache or memo hit) — feeds the requester's
+            wall-clock-work gauge, not its deterministic counters.
+    """
+
+    time_s: float
+    accuracy: Optional[float]
+    compile_events: Tuple[Tuple[str, str], ...]
+    computed: bool
+
+
+#: Per-worker-process evaluator memo: one rebuild per distinct
+#: (app, machine, seed, cache_dir) over the worker's lifetime.
+_WORKER_EVALUATORS: Dict[Tuple[str, str, int, Optional[str]], Evaluator] = {}
+
+
+def _worker_evaluator(request: EvaluationRequest) -> Evaluator:
+    key = (request.app, request.machine, request.seed, request.cache_dir)
+    evaluator = _WORKER_EVALUATORS.get(key)
+    if evaluator is None:
+        from repro.apps.registry import benchmark, canonical_env_factory
+        from repro.compiler.compile import compile_program
+        from repro.hardware.machines import machine_by_name
+
+        spec = benchmark(request.app)
+        compiled = compile_program(
+            spec.build_program(), machine_by_name(request.machine)
+        )
+        evaluator = Evaluator(
+            compiled,
+            canonical_env_factory(request.app),
+            accuracy_fn=spec.accuracy_fn,
+            accuracy_target=spec.accuracy_target,
+            seed=request.seed,
+            result_cache=ResultCache(request.cache_dir),
+        )
+        _WORKER_EVALUATORS[key] = evaluator
+    return evaluator
+
+
+def evaluate_request(request: EvaluationRequest) -> EvaluationResult:
+    """Process-pool entry point: serve one pure evaluation by name.
+
+    Importable at module top level so it pickles by reference under
+    every multiprocessing start method.
+
+    Raises:
+        TuningError: On fingerprint/model-hash mismatch between the
+            requesting tuner and this worker's rebuild, or when the
+            simulated run itself fails.
+    """
+    if execution_model_hash() != request.model_hash:
+        raise TuningError(
+            "execution-model hash mismatch between tuner and worker "
+            "processes (different source trees?)"
+        )
+    evaluator = _worker_evaluator(request)
+    if evaluator.fingerprint != request.fingerprint:
+        raise TuningError(
+            f"registry rebuild of {request.app!r} on {request.machine!r} "
+            "does not match the tuner's program fingerprint"
+        )
+    config = Configuration.from_json(request.config_json)
+    before = evaluator.computed_evaluations
+    pure = evaluator.compute(config, request.size)
+    return EvaluationResult(
+        time_s=pure.time_s,
+        accuracy=pure.accuracy,
+        compile_events=pure.compile_events,
+        computed=evaluator.computed_evaluations > before,
+    )
+
+
+class ProcessEvaluator(Evaluator):
+    """Evaluator that fans pure computation out over worker processes.
+
+    Speaks the same speculative protocol as
+    :class:`~repro.core.parallel.ParallelEvaluator` — ``prefetch``
+    starts background work, ``evaluate`` joins it in the caller's
+    commit order — but the pure half runs in a ``ProcessPoolExecutor``
+    whose workers rebuild the program by name (see
+    :func:`evaluate_request`).  The inherited commit path is untouched,
+    so reports are bit-for-bit identical to the serial evaluator's.
+
+    Args:
+        compiled: Compiler output for the target machine.
+        env_factory: Deterministic test-environment builder; must be
+            the registry-canonical one (validated by
+            :func:`resolve_process_target` before construction).
+        target: By-name coordinates workers rebuild from.
+        workers: Worker processes; ``None`` reads
+            ``REPRO_TUNER_WORKERS``.  With 1 worker no pool is created
+            and evaluation stays in-process.
+        accuracy_fn: Error metric for variable-accuracy programs.
+        accuracy_target: Largest acceptable error.
+        seed: Seed forwarded to the runtime scheduler.
+        result_cache: Cross-session disk cache; its directory is shared
+            with the workers, whose atomic writes merge straight into
+            it.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        env_factory: EnvFactory,
+        target: ProcessTarget,
+        workers: Optional[int] = None,
+        accuracy_fn: Optional[AccuracyFn] = None,
+        accuracy_target: Optional[float] = None,
+        seed: int = 0,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
+        super().__init__(
+            compiled,
+            env_factory,
+            accuracy_fn=accuracy_fn,
+            accuracy_target=accuracy_target,
+            seed=seed,
+            result_cache=result_cache,
+        )
+        self.workers = max(1, workers if workers is not None else default_worker_count())
+        self.target = target
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._inflight: Dict[Tuple[str, int], Future] = {}
+
+    def __enter__(self) -> "ProcessEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def _request(self, config_json: str, size: int) -> EvaluationRequest:
+        return EvaluationRequest(
+            app=self.target.app,
+            machine=self.target.machine,
+            config_json=config_json,
+            size=size,
+            seed=self._seed,
+            fingerprint=self.fingerprint,
+            model_hash=execution_model_hash(),
+            cache_dir=self.result_cache.directory,
+        )
+
+    def prefetch(self, configs: Sequence[Configuration], size: int) -> None:
+        """Start speculative evaluation of ``configs`` in the pool.
+
+        Same contract as the thread backend: pure computation only,
+        discarded speculation costs wall-clock work but cannot perturb
+        results.
+        """
+        if self.workers <= 1:
+            return
+        for config in configs:
+            key = self.key_for(config, size)
+            if key in self._committed or key in self._inflight:
+                continue
+            with self._pure_lock:
+                memoised = key in self._pure
+            if memoised:
+                continue
+            self._inflight[key] = self._pool().submit(
+                evaluate_request, self._request(key[0], size)
+            )
+
+    def _join(self, key: Tuple[str, int], future: Future) -> PureEvaluation:
+        result: EvaluationResult = future.result()
+        pure = PureEvaluation(
+            time_s=result.time_s,
+            accuracy=result.accuracy,
+            compile_events=tuple(
+                (str(source_hash), str(device))
+                for source_hash, device in result.compile_events
+            ),
+        )
+        with self._pure_lock:
+            if result.computed:
+                self.computed_evaluations += 1
+            self._pure.setdefault(key, pure)
+            return self._pure[key]
+
+    def evaluate(self, config: Configuration, size: int) -> "Evaluation":
+        """Commit-ordered evaluation (see base class).
+
+        Joins the in-flight worker request for this key when one
+        exists; otherwise computes in-process (which still consults the
+        shared disk cache the workers write through).
+        """
+        key = self.key_for(config, size)
+        committed = self._committed.get(key)
+        if committed is not None:
+            return committed
+        future = self._inflight.pop(key, None)
+        if future is not None:
+            pure = self._join(key, future)
+        else:
+            pure = self.compute(config, size)
+        return self._commit(key, pure)
+
+    def drop_speculation(self) -> None:
+        """Forget queued speculative work whose premise was invalidated.
+
+        Finished workers' results are harvested into the pure memo
+        first (matching the thread backend, where workers write the
+        memo directly), so completed speculation stays reusable even
+        with the disk layer disabled; speculative failures stay
+        swallowed — they surface only if that configuration is later
+        actually evaluated.
+        """
+        for key, future in self._inflight.items():
+            if future.cancel() or not future.done():
+                continue
+            if future.exception() is not None:
+                continue
+            self._join(key, future)
+        self._inflight.clear()
+
+    def close(self) -> None:
+        """Shut the worker pool down, discarding pending speculation."""
+        self.drop_speculation()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+def create_evaluator(
+    compiled: CompiledProgram,
+    env_factory: EnvFactory,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    accuracy_fn: Optional[AccuracyFn] = None,
+    accuracy_target: Optional[float] = None,
+    seed: int = 0,
+    result_cache: Optional[ResultCache] = None,
+) -> Evaluator:
+    """Build the evaluator for the selected backend.
+
+    Args:
+        compiled: Compiler output for the target machine.
+        env_factory: Deterministic test-environment builder.
+        backend: ``"serial"``, ``"thread"``, ``"process"``, ``"auto"``
+            or None (consult ``REPRO_TUNER_BACKEND``, then auto).
+        workers: Pool width; ``None`` reads ``REPRO_TUNER_WORKERS``.
+        accuracy_fn: Error metric for variable-accuracy programs.
+        accuracy_target: Largest acceptable error.
+        seed: Seed forwarded to the runtime scheduler.
+        result_cache: Cross-session disk cache.
+
+    Raises:
+        TuningError: For unknown explicit backend names, and (as
+            :class:`ProcessBackendUnavailable`) when an explicitly
+            requested process backend cannot rebuild the evaluation by
+            name.  An environment-selected process backend falls back
+            to ``thread``/``serial`` instead — the environment knob is
+            global and must not break tuning of unregistered programs.
+    """
+    name, forced = resolve_backend(backend)
+    worker_count = max(1, workers if workers is not None else default_worker_count())
+    if name == "auto":
+        name = "thread" if worker_count > 1 else "serial"
+    if name == "process":
+        try:
+            target = resolve_process_target(compiled, env_factory, accuracy_fn)
+        except ProcessBackendUnavailable:
+            if forced:
+                raise
+            name = "thread" if worker_count > 1 else "serial"
+        else:
+            return ProcessEvaluator(
+                compiled,
+                env_factory,
+                target,
+                workers=worker_count,
+                accuracy_fn=accuracy_fn,
+                accuracy_target=accuracy_target,
+                seed=seed,
+                result_cache=result_cache,
+            )
+    if name == "thread":
+        return ParallelEvaluator(
+            compiled,
+            env_factory,
+            workers=worker_count,
+            accuracy_fn=accuracy_fn,
+            accuracy_target=accuracy_target,
+            seed=seed,
+            result_cache=result_cache,
+        )
+    return Evaluator(
+        compiled,
+        env_factory,
+        accuracy_fn=accuracy_fn,
+        accuracy_target=accuracy_target,
+        seed=seed,
+        result_cache=result_cache,
+    )

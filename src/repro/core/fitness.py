@@ -254,6 +254,17 @@ class Evaluator:
         return self._result_cache
 
     @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the bound program + machine.
+
+        Process-backend workers compare this against the fingerprint of
+        their by-name registry rebuild before serving any evaluation,
+        so a drifted registry can never silently answer for a different
+        program.
+        """
+        return self._fingerprint
+
+    @property
     def jit(self) -> OpenCLRuntimeModel:
         """The session JIT accounting model (Section 5.4).
 

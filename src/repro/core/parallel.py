@@ -9,12 +9,15 @@ replaying kernel-compile events against the session JIT model.  The
 result — best configuration, history, evaluation count, tuning time —
 is bit-for-bit identical to the serial tuner's.
 
-A thread pool (not a process pool) is used deliberately: programs are
-built from rule closures that do not pickle, the simulation releases
-the GIL inside its NumPy kernels, and threads share the in-memory
-memo and the disk-cache handle for free.  The worker count comes from
-the constructor, the ``REPRO_TUNER_WORKERS`` environment variable, or
-defaults to 1 (serial commit path, no pool).
+This evaluator uses a thread pool: programs are built from rule
+closures that do not pickle, the simulation releases the GIL inside
+its NumPy kernels, and threads share the in-memory memo and the
+disk-cache handle for free.  For registered benchmarks — which *can*
+be rebuilt by name inside another interpreter —
+:mod:`repro.core.backends` adds a process-pool sibling with the same
+speculative protocol.  The worker count comes from the constructor,
+the ``REPRO_TUNER_WORKERS`` environment variable, or defaults to 1
+(serial commit path, no pool).
 """
 
 from __future__ import annotations
@@ -39,13 +42,35 @@ from repro.errors import TuningError
 WORKERS_ENV = "REPRO_TUNER_WORKERS"
 
 
+def parse_worker_count(raw: Optional[str], default: int) -> int:
+    """Strict shared parser for worker-count environment knobs.
+
+    Every knob tolerates surrounding whitespace and rejects everything
+    that is not a plain base-10 integer the same way: ``" 2 "`` is 2,
+    while ``"2.0"``, ``""`` and ``"many"`` all fall back to
+    ``default`` (previously ``int``'s own whitespace tolerance made
+    ``"2 "`` parse but ``"2.0"`` silently fall back, an inconsistency
+    between the two behaviours).  Valid values clamp to at least 1.
+
+    Args:
+        raw: The raw environment value (None when unset).
+        default: Fallback when the value is unset or unparsable.
+    """
+    if raw is None:
+        return default
+    text = raw.strip()
+    if not text:
+        return default
+    try:
+        value = int(text)
+    except ValueError:
+        return default
+    return max(1, value)
+
+
 def default_worker_count() -> int:
     """Worker count from ``REPRO_TUNER_WORKERS`` (1 when unset/bad)."""
-    raw = os.environ.get(WORKERS_ENV, "")
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return 1
+    return parse_worker_count(os.environ.get(WORKERS_ENV), 1)
 
 
 class ParallelEvaluator(Evaluator):

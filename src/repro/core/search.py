@@ -20,8 +20,10 @@ Parallel evaluation
 ===================
 
 With ``workers > 1`` the tuner evaluates candidates speculatively on a
-:class:`~repro.core.parallel.ParallelEvaluator` while committing
-results in the exact order the serial loop would: the generation loop
+pooled evaluator — threads by default, worker processes with
+``backend="process"`` (see :mod:`repro.core.backends`) — while
+committing results in the exact order the serial loop would: the
+generation loop
 draws a *window* of mutations ahead of time (checkpointing the RNG
 after every draw), fans their evaluations out, then commits one by
 one.  As soon as a committed child is admitted — which changes the
@@ -37,10 +39,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.compile import CompiledProgram
+from repro.core.backends import create_evaluator
 from repro.core.configuration import Configuration, default_configuration
 from repro.core.fitness import AccuracyFn, EnvFactory, Evaluator
 from repro.core.mutators import Mutator, mutators_for
-from repro.core.parallel import ParallelEvaluator, default_worker_count
+from repro.core.parallel import default_worker_count
 from repro.core.population import Candidate, Population
 from repro.core.result_cache import ResultCache
 from repro.core.selector import Selector
@@ -94,6 +97,7 @@ class EvolutionaryTuner:
         mutators: Optional[List[Mutator]] = None,
         workers: Optional[int] = None,
         result_cache: Optional[ResultCache] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Configure a tuning session.
 
@@ -115,36 +119,31 @@ class EvolutionaryTuner:
                 has OpenCL kernels.
             mutators: Override the auto-generated mutator set (used by
                 the autotuner ablation benchmarks).
-            workers: Speculative evaluation threads; ``None`` reads the
+            workers: Speculative evaluation workers; ``None`` reads the
                 ``REPRO_TUNER_WORKERS`` environment variable (1 when
                 unset).  Results are identical for every value.
             result_cache: Cross-session disk cache; ``None`` uses the
                 ``REPRO_CACHE_DIR``-configured default.
+            backend: Evaluation backend — ``"serial"``, ``"thread"``,
+                ``"process"`` or ``"auto"``; ``None`` reads the
+                ``REPRO_TUNER_BACKEND`` environment variable.  Reports
+                are bit-for-bit identical across all backends.
         """
         self._compiled = compiled
         self._rng = random.Random(seed)
         self._workers = max(
             1, workers if workers is not None else default_worker_count()
         )
-        if self._workers > 1:
-            self._evaluator: Evaluator = ParallelEvaluator(
-                compiled,
-                env_factory,
-                workers=self._workers,
-                accuracy_fn=accuracy_fn,
-                accuracy_target=accuracy_target,
-                seed=seed,
-                result_cache=result_cache,
-            )
-        else:
-            self._evaluator = Evaluator(
-                compiled,
-                env_factory,
-                accuracy_fn=accuracy_fn,
-                accuracy_target=accuracy_target,
-                seed=seed,
-                result_cache=result_cache,
-            )
+        self._evaluator: Evaluator = create_evaluator(
+            compiled,
+            env_factory,
+            backend=backend,
+            workers=self._workers,
+            accuracy_fn=accuracy_fn,
+            accuracy_target=accuracy_target,
+            seed=seed,
+            result_cache=result_cache,
+        )
         self._population_size = population_size
         self._mutators: List[Mutator] = (
             mutators if mutators is not None else mutators_for(compiled.training_info)
@@ -400,3 +399,35 @@ def autotune(
         return tuner.tune(label=label)
     finally:
         tuner.close()
+
+
+def report_to_payload(report: TuningReport) -> Dict[str, object]:
+    """Serialise a report to a picklable/JSON-safe dict of primitives.
+
+    Used by process-sharded batch tuning to ship finished reports back
+    from worker processes: :class:`TuningReport` itself holds a
+    :class:`~repro.core.configuration.Configuration`, which crosses the
+    pipe as its canonical JSON instead.
+    """
+    return {
+        "best": report.best.to_json(),
+        "best_time_s": report.best_time_s,
+        "tuning_time_s": report.tuning_time_s,
+        "evaluations": report.evaluations,
+        "sizes": list(report.sizes),
+        "history": list(report.history),
+        "computed_evaluations": report.computed_evaluations,
+    }
+
+
+def report_from_payload(payload: Dict[str, object]) -> TuningReport:
+    """Inverse of :func:`report_to_payload`."""
+    return TuningReport(
+        best=Configuration.from_json(str(payload["best"])),
+        best_time_s=float(payload["best_time_s"]),
+        tuning_time_s=float(payload["tuning_time_s"]),
+        evaluations=int(payload["evaluations"]),
+        sizes=[int(size) for size in payload["sizes"]],
+        history=[float(time) for time in payload["history"]],
+        computed_evaluations=int(payload["computed_evaluations"]),
+    )

@@ -2,8 +2,19 @@
 
 Usage::
 
-    python -m repro.experiments            # all figures/tables
-    python -m repro.experiments fig2 fig9  # a subset
+    python -m repro.experiments                      # all figures/tables
+    python -m repro.experiments fig2 fig9            # a subset
+    python -m repro.experiments --backend=process    # shard across processes
+
+Flags:
+    --backend=<name>              evaluation backend: ``serial``,
+                                  ``thread``, ``process`` or ``auto``.
+                                  Sets ``REPRO_TUNER_BACKEND`` for the
+                                  whole run, so both per-tuner
+                                  evaluation and ``tune_many`` batch
+                                  scheduling follow it.  Results are
+                                  bit-for-bit identical on every
+                                  backend.
 
 Environment:
     REPRO_FULL_SCALE=1            the paper's exact input sizes.
@@ -11,15 +22,19 @@ Environment:
     REPRO_CACHE_DIR=<dir>         cross-session evaluation cache; a
                                   warm cache regenerates the tuning
                                   figures without re-simulating.
-    REPRO_TUNE_MANY_WORKERS=<n>   concurrent tuning sessions (default 4).
-    REPRO_TUNER_WORKERS=<n>       speculative evaluation threads per
+    REPRO_TUNER_BACKEND=<name>    same as --backend (the flag wins).
+    REPRO_TUNE_MANY_WORKERS=<n>   concurrent tuning sessions or shard
+                                  processes (default 4).
+    REPRO_TUNER_WORKERS=<n>       speculative evaluation workers per
                                   tuner (default 1; results identical).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
+from repro.core.backends import BACKEND_ENV, BACKEND_NAMES
 from repro.experiments.fig2_convolution import run_fig2
 from repro.experiments.fig6_configs import render_fig6, run_fig6
 from repro.experiments.fig7_migration import run_fig7
@@ -66,8 +81,23 @@ _ARTEFACTS = {
 
 
 def main(argv: list) -> int:
+    requested = []
+    for arg in argv:
+        if arg.startswith("--backend="):
+            backend = arg.split("=", 1)[1].strip().lower()
+            if backend not in ("auto",) + BACKEND_NAMES:
+                print(
+                    f"unknown backend {backend!r}; "
+                    f"available: {['auto', *BACKEND_NAMES]}"
+                )
+                return 2
+            # Exported to the environment so every tuner and tune_many
+            # call in this run (and in shard children) follows it.
+            os.environ[BACKEND_ENV] = backend
+        else:
+            requested.append(arg)
     settings = ExperimentSettings.from_environment()
-    requested = argv or list(_ARTEFACTS)
+    requested = requested or list(_ARTEFACTS)
     unknown = [name for name in requested if name not in _ARTEFACTS]
     if unknown:
         print(f"unknown artefact(s): {unknown}; available: {sorted(_ARTEFACTS)}")

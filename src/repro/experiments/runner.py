@@ -9,19 +9,46 @@ concurrency: each pair's search is seeded separately, evaluations are
 pure, and the cross-session disk cache (``REPRO_CACHE_DIR``) is
 content-addressed, so ``tune_many`` produces byte-identical winning
 configurations to sequential :func:`tuned_session` calls.
+
+Batch backends
+==============
+
+``tune_many`` schedules whole sessions on a backend of its own:
+``thread`` (the default) runs sessions on a thread pool, ``serial``
+runs them one by one, and ``process`` *shards* the batch across worker
+processes — each shard tunes its pairs in a child interpreter that
+rebuilds programs from the registry (only benchmark names and machine
+codenames cross the pipe) and ships finished reports back as
+primitives.  Every shard opens its own :class:`ResultCache` handle on
+the shared cache directory; the cache's atomic temp-file +
+``os.replace`` writes merge the shards' entries without coordination.
+Reports are bit-for-bit identical on every backend.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.apps.registry import BenchmarkSpec, all_benchmarks, benchmark
+from repro.apps.registry import (
+    BenchmarkSpec,
+    all_benchmarks,
+    benchmark,
+    canonical_env_factory,
+)
 from repro.compiler.compile import CompiledProgram, compile_program
-from repro.core.search import EvolutionaryTuner, TuningReport
+from repro.core.backends import resolve_backend
+from repro.core.parallel import default_worker_count, parse_worker_count
+from repro.core.result_cache import ResultCache
+from repro.core.search import (
+    EvolutionaryTuner,
+    TuningReport,
+    report_from_payload,
+    report_to_payload,
+)
 from repro.hardware.machines import MachineSpec, machine_by_name, standard_machines
 
 #: Default seed for every experiment (results are deterministic).
@@ -36,11 +63,7 @@ TunePair = Tuple[str, Union[MachineSpec, str]]
 
 def default_tune_many_workers() -> int:
     """Worker count from ``REPRO_TUNE_MANY_WORKERS`` (4 when unset)."""
-    raw = os.environ.get(TUNE_MANY_WORKERS_ENV, "")
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return 4
+    return parse_worker_count(os.environ.get(TUNE_MANY_WORKERS_ENV), 4)
 
 
 @dataclass(frozen=True)
@@ -94,17 +117,23 @@ _KEY_LOCKS: Dict[Tuple[str, str, int], threading.Lock] = {}
 
 
 def _tune_one(
-    benchmark_name: str, machine: MachineSpec, seed: int
+    benchmark_name: str,
+    machine: MachineSpec,
+    seed: int,
+    backend: Optional[str] = None,
+    result_cache: Optional[ResultCache] = None,
 ) -> TunedSession:
     spec = benchmark(benchmark_name)
     compiled = compile_program(spec.build_program(), machine)
     tuner = EvolutionaryTuner(
         compiled,
-        lambda size: spec.make_env(size, seed=0),
+        canonical_env_factory(benchmark_name),
         max_size=spec.tuning_size,
         seed=seed,
         accuracy_fn=spec.accuracy_fn,
         accuracy_target=spec.accuracy_target,
+        backend=backend,
+        result_cache=result_cache,
     )
     try:
         report = tuner.tune(label=f"{machine.codename} Config")
@@ -119,6 +148,7 @@ def tuned_session(
     benchmark_name: str,
     machine: MachineSpec,
     seed: int = DEFAULT_SEED,
+    backend: Optional[str] = None,
 ) -> TunedSession:
     """Autotune (or fetch the cached session for) one combination.
 
@@ -129,6 +159,8 @@ def tuned_session(
         benchmark_name: Figure 8 benchmark name.
         machine: Target machine.
         seed: Tuning seed.
+        backend: Evaluation backend for a cache-miss tuning run (the
+            session key ignores it — reports are backend-invariant).
 
     Returns:
         The cached :class:`TunedSession`.
@@ -144,7 +176,7 @@ def tuned_session(
             session = _SESSIONS.get(key)
         if session is not None:
             return session
-        session = _tune_one(benchmark_name, machine, seed)
+        session = _tune_one(benchmark_name, machine, seed, backend=backend)
         with _SESSIONS_LOCK:
             _SESSIONS[key] = session
     return session
@@ -156,10 +188,167 @@ def _resolve_machine(machine: Union[MachineSpec, str]) -> MachineSpec:
     return machine_by_name(machine)
 
 
+def _no_fork_backend() -> str:
+    """Evaluator backend for tuners that must not fork new processes.
+
+    Used inside shard children (a shard is already a worker process;
+    nesting pools would fork uncontrollably) and for sessions scheduled
+    on ``tune_many``'s live worker threads (forking a pool from a
+    multithreaded process can inherit locks held mid-simulation by
+    sibling threads and hang the child).  An explicit environment
+    choice of ``serial``/``thread`` is honoured; ``process`` and
+    ``auto`` demote to the worker-count auto rule.
+    """
+    name, _ = resolve_backend(None)
+    if name in ("serial", "thread"):
+        return name
+    return "thread" if default_worker_count() > 1 else "serial"
+
+
+def _tune_shard(
+    pairs: Sequence[Tuple[str, str]], seed: int, cache_dir: Optional[str]
+) -> List[Tuple[str, str, Dict[str, object]]]:
+    """Process-pool entry point: tune one shard of (name, codename)
+    pairs and return their reports as primitive payloads.
+
+    Opens this shard's own :class:`ResultCache` handle on the shared
+    directory — concurrent shards merge through the cache's atomic
+    writes, never through shared state.
+    """
+    cache = ResultCache(cache_dir)
+    backend = _no_fork_backend()
+    results: List[Tuple[str, str, Dict[str, object]]] = []
+    for name, codename in pairs:
+        session = _tune_one(
+            name,
+            machine_by_name(codename),
+            seed,
+            backend=backend,
+            result_cache=cache,
+        )
+        results.append((name, codename, report_to_payload(session.report)))
+    return results
+
+
+def _shardable(machine: MachineSpec) -> bool:
+    """Whether a shard child can rebuild this machine from its codename."""
+    try:
+        return machine_by_name(machine.codename) is machine
+    except KeyError:
+        return False
+
+
+def _claim_missing(
+    resolved: Sequence[Tuple[str, MachineSpec]], seed: int
+) -> Tuple[List[Tuple[str, MachineSpec]], List[threading.Lock]]:
+    """Claim untuned, shardable pairs under the single-flight key locks.
+
+    Sharding must honour the same single-flight contract as
+    :func:`tuned_session`: a key another caller is already tuning (its
+    lock is held) is skipped here — the final collection pass waits on
+    it instead — and a claimed key's lock is held until the shard
+    result is installed, so no concurrent caller duplicates the run.
+
+    Returns:
+        The claimed pairs and the (already acquired) locks to release
+        once their sessions are installed.
+    """
+    claimed: List[Tuple[str, MachineSpec]] = []
+    held: List[threading.Lock] = []
+    for name, machine in resolved:
+        if not _shardable(machine):
+            continue
+        key = (name, machine.codename, seed)
+        with _SESSIONS_LOCK:
+            if key in _SESSIONS:
+                continue
+            key_lock = _KEY_LOCKS.setdefault(key, threading.Lock())
+        if not key_lock.acquire(blocking=False):
+            continue  # in flight elsewhere; collected via tuned_session
+        with _SESSIONS_LOCK:
+            tuned = key in _SESSIONS
+        if tuned:
+            key_lock.release()
+            continue
+        claimed.append((name, machine))
+        held.append(key_lock)
+    return claimed, held
+
+
+def _install_session(
+    name: str, machine: MachineSpec, seed: int, report: TuningReport
+) -> None:
+    """Rebuild a shipped report into a full session and cache it."""
+    spec = benchmark(name)
+    session = TunedSession(
+        spec=spec,
+        machine=machine,
+        compiled=compile_program(spec.build_program(), machine),
+        report=report,
+    )
+    with _SESSIONS_LOCK:
+        _SESSIONS.setdefault((name, machine.codename, seed), session)
+
+
+def _tune_many_process(
+    resolved: Sequence[Tuple[str, MachineSpec]],
+    seed: int,
+    worker_count: int,
+) -> List[TunedSession]:
+    """Shard a batch across worker processes and collect the sessions.
+
+    Pairs already tuned (or in flight on another caller, or whose
+    machines a child cannot rebuild by codename) skip the pipe; the
+    claimed rest are partitioned round-robin over up to
+    ``worker_count`` shards.  The parent rebuilds each shipped report
+    into a full :class:`TunedSession` (recompiling the program locally
+    — cheap next to tuning) and installs it in the process-wide
+    session cache before releasing the claim.
+    """
+    claimed, held = _claim_missing(resolved, seed)
+    try:
+        # Callers reach this only with worker_count > 1, so a shard
+        # pool is worthless solely for a single claimed pair.
+        shard_count = min(worker_count, len(claimed))
+        if len(claimed) == 1:
+            name, machine = claimed[0]
+            session = _tune_one(name, machine, seed)
+            with _SESSIONS_LOCK:
+                _SESSIONS.setdefault((name, machine.codename, seed), session)
+        elif claimed:
+            shards: List[List[Tuple[str, str]]] = [[] for _ in range(shard_count)]
+            for index, (name, machine) in enumerate(claimed):
+                shards[index % shard_count].append((name, machine.codename))
+            cache_dir = ResultCache.from_environment().directory
+            machines = {machine.codename: machine for _, machine in claimed}
+            with ProcessPoolExecutor(max_workers=shard_count) as pool:
+                futures = [
+                    pool.submit(_tune_shard, shard, seed, cache_dir)
+                    for shard in shards
+                ]
+                for future in futures:
+                    for name, codename, payload in future.result():
+                        _install_session(
+                            name,
+                            machines[codename],
+                            seed,
+                            report_from_payload(payload),
+                        )
+    finally:
+        for key_lock in held:
+            key_lock.release()
+    # Everything claimed is now a cache hit; the rest either was
+    # already cached, is being tuned by a concurrent caller (the
+    # single-flight lock inside tuned_session waits for it), or has an
+    # unshardable machine and tunes locally here.
+    return [tuned_session(name, machine, seed) for name, machine in resolved]
+
+
 def tune_many(
     pairs: Iterable[TunePair],
     seed: int = DEFAULT_SEED,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[Tuple[str, str], TunedSession]:
     """Tune a batch of (benchmark, machine) pairs concurrently.
 
@@ -173,9 +362,14 @@ def tune_many(
         pairs: (benchmark name, machine or machine codename) pairs;
             duplicates are tuned once.
         seed: Tuning seed used for every pair.
-        workers: Concurrent sessions; ``None`` reads the
+        workers: Concurrent sessions (thread backend) or shard
+            processes (process backend); ``None`` reads the
             ``REPRO_TUNE_MANY_WORKERS`` environment variable
             (default 4).  ``1`` tunes sequentially.
+        backend: Session scheduling backend — ``"thread"`` (default),
+            ``"serial"``, or ``"process"`` to shard the batch across
+            worker processes; ``None`` reads ``REPRO_TUNER_BACKEND``.
+            Results are identical on every backend.
 
     Returns:
         ``{(benchmark name, machine codename): session}`` for every
@@ -191,21 +385,35 @@ def tune_many(
         seen.add(dedupe_key)
         resolved.append((name, spec))
 
+    backend_name, _ = resolve_backend(backend)
     worker_count = (
         workers if workers is not None else default_tune_many_workers()
     )
     worker_count = max(1, min(worker_count, len(resolved) or 1))
+    if backend_name == "serial":
+        worker_count = 1
 
-    if worker_count == 1 or len(resolved) <= 1:
+    if backend_name == "process" and worker_count > 1 and len(resolved) > 1:
+        sessions = _tune_many_process(resolved, seed, worker_count)
+    elif worker_count == 1 or len(resolved) <= 1:
+        # Forward the caller's backend: an explicit "serial" must stay
+        # serial even under a process-backend environment, and an
+        # explicit "process" that cannot shard (one pair, one worker)
+        # still gets in-tuner process evaluation.
         sessions = [
-            tuned_session(name, machine, seed) for name, machine in resolved
+            tuned_session(name, machine, seed, backend=backend)
+            for name, machine in resolved
         ]
     else:
+        # Sessions tuned on live worker threads pin a non-forking
+        # evaluator backend: a process pool forked here could inherit
+        # locks held mid-simulation by sibling threads.
+        inner_backend = _no_fork_backend()
         with ThreadPoolExecutor(
             max_workers=worker_count, thread_name_prefix="repro-tune"
         ) as pool:
             futures = [
-                pool.submit(tuned_session, name, machine, seed)
+                pool.submit(tuned_session, name, machine, seed, inner_backend)
                 for name, machine in resolved
             ]
             sessions = [future.result() for future in futures]
@@ -227,10 +435,12 @@ def standard_pairs() -> List[Tuple[str, MachineSpec]]:
 
 
 def tune_all_standard(
-    seed: int = DEFAULT_SEED, workers: Optional[int] = None
+    seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[Tuple[str, str], TunedSession]:
     """Batch-tune the full standard grid (see :func:`tune_many`)."""
-    return tune_many(standard_pairs(), seed=seed, workers=workers)
+    return tune_many(standard_pairs(), seed=seed, workers=workers, backend=backend)
 
 
 def clear_sessions() -> None:

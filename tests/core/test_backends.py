@@ -1,0 +1,332 @@
+"""Unit tests for the pluggable evaluation-backend layer."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.apps.registry import benchmark, canonical_env_factory
+from repro.compiler.compile import compile_program
+from repro.core.backends import (
+    BACKEND_ENV,
+    EvaluationRequest,
+    ProcessBackendUnavailable,
+    ProcessEvaluator,
+    create_evaluator,
+    default_backend,
+    evaluate_request,
+    resolve_backend,
+    resolve_process_target,
+)
+from repro.core.configuration import Configuration
+from repro.core.fitness import Evaluator
+from repro.core.parallel import ParallelEvaluator
+from repro.core.result_cache import ResultCache, execution_model_hash
+from repro.core.search import TuningReport, report_from_payload, report_to_payload
+from repro.core.selector import Selector
+from repro.errors import TuningError
+from repro.hardware.machines import DESKTOP
+
+from tests.conftest import scale_env
+
+
+@pytest.fixture()
+def strassen_desktop():
+    spec = benchmark("Strassen")
+    return compile_program(spec.build_program(), DESKTOP)
+
+
+class TestBackendSelection:
+    def test_default_backend_unset_is_auto(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert default_backend() == "auto"
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("serial", "serial"),
+        ("thread", "thread"),
+        ("process", "process"),
+        ("  Process \n", "process"),
+        ("THREAD", "thread"),
+        ("auto", "auto"),
+        ("bogus", "auto"),
+        ("", "auto"),
+    ])
+    def test_default_backend_env_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(BACKEND_ENV, raw)
+        assert default_backend() == expected
+
+    def test_resolve_explicit_is_forced(self):
+        assert resolve_backend("process") == ("process", True)
+        assert resolve_backend(" Serial ") == ("serial", True)
+        assert resolve_backend("auto") == ("auto", False)
+
+    def test_resolve_none_reads_environment(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        assert resolve_backend(None) == ("thread", False)
+
+    def test_resolve_rejects_unknown_explicit_names(self):
+        with pytest.raises(TuningError, match="unknown evaluation backend"):
+            resolve_backend("fleet")
+
+
+class TestCreateEvaluator:
+    def test_auto_picks_serial_then_thread(self, monkeypatch, compiled_stencil):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        env = lambda n: scale_env(n, seed=1)
+        serial = create_evaluator(compiled_stencil, env, workers=1)
+        pooled = create_evaluator(compiled_stencil, env, workers=3)
+        try:
+            assert type(serial) is Evaluator
+            assert isinstance(pooled, ParallelEvaluator)
+        finally:
+            serial.close()
+            pooled.close()
+
+    def test_forced_serial_ignores_worker_count(self, compiled_stencil):
+        evaluator = create_evaluator(
+            compiled_stencil, lambda n: scale_env(n, seed=1),
+            backend="serial", workers=8,
+        )
+        assert type(evaluator) is Evaluator
+
+    def test_forced_process_on_registry_app(self, strassen_desktop):
+        with create_evaluator(
+            strassen_desktop, canonical_env_factory("Strassen"),
+            backend="process", workers=2, result_cache=ResultCache(None),
+        ) as evaluator:
+            assert isinstance(evaluator, ProcessEvaluator)
+            assert evaluator.target.app == "Strassen"
+            assert evaluator.target.machine == "Desktop"
+
+    def test_forced_process_on_unregistered_program_raises(self, compiled_stencil):
+        with pytest.raises(ProcessBackendUnavailable, match="not a registered"):
+            create_evaluator(
+                compiled_stencil, lambda n: scale_env(n, seed=1),
+                backend="process", workers=2,
+            )
+
+    def test_forced_process_with_noncanonical_env_raises(self, strassen_desktop):
+        spec = benchmark("Strassen")
+        with pytest.raises(ProcessBackendUnavailable, match="canonical_env_factory"):
+            create_evaluator(
+                strassen_desktop, lambda n: spec.make_env(n, 0),
+                backend="process", workers=2,
+            )
+
+    def test_forced_process_with_wrong_benchmarks_canonical_env_raises(
+        self, strassen_desktop
+    ):
+        """Another benchmark's canonical factory must not pass: workers
+        would rebuild Strassen inputs while the requester's local
+        fallback path evaluates SVD inputs."""
+        with pytest.raises(ProcessBackendUnavailable, match="canonical_env_factory"):
+            create_evaluator(
+                strassen_desktop, canonical_env_factory("SVD"),
+                backend="process", workers=2,
+            )
+
+    def test_env_selected_process_falls_back_for_unregistered_programs(
+        self, monkeypatch, compiled_stencil
+    ):
+        """The env knob is global: it must degrade, not break, tuning of
+        hand-built programs."""
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        env = lambda n: scale_env(n, seed=1)
+        pooled = create_evaluator(compiled_stencil, env, workers=3)
+        single = create_evaluator(compiled_stencil, env, workers=1)
+        try:
+            assert isinstance(pooled, ParallelEvaluator)
+            assert type(single) is Evaluator
+        finally:
+            pooled.close()
+            single.close()
+
+
+class TestProcessTarget:
+    def test_resolves_canonical_evaluation(self, strassen_desktop):
+        target = resolve_process_target(
+            strassen_desktop, canonical_env_factory("Strassen"), None
+        )
+        assert (target.app, target.machine) == ("Strassen", "Desktop")
+
+    def test_rejects_wrong_accuracy_function(self, strassen_desktop):
+        with pytest.raises(ProcessBackendUnavailable, match="accuracy"):
+            resolve_process_target(
+                strassen_desktop, canonical_env_factory("Strassen"),
+                lambda env: 0.0,
+            )
+
+
+class TestEvaluateRequest:
+    """The worker entry point, exercised in-process."""
+
+    def _request(self, compiled, config, size=64, **overrides):
+        from repro.core.fitness import program_fingerprint
+
+        fields = dict(
+            app="Strassen",
+            machine="Desktop",
+            config_json=config.to_json(),
+            size=size,
+            seed=1,
+            fingerprint=program_fingerprint(compiled),
+            model_hash=execution_model_hash(),
+            cache_dir=None,
+        )
+        fields.update(overrides)
+        return EvaluationRequest(**fields)
+
+    def test_matches_local_compute(self, strassen_desktop):
+        from repro.core.configuration import default_configuration
+
+        config = default_configuration(strassen_desktop.training_info)
+        local = Evaluator(
+            strassen_desktop, canonical_env_factory("Strassen"),
+            seed=1, result_cache=ResultCache(None),
+        ).compute(config, 64)
+        result = evaluate_request(self._request(strassen_desktop, config))
+        assert result.time_s == local.time_s
+        assert result.compile_events == local.compile_events
+        assert result.accuracy == local.accuracy
+
+    def test_fingerprint_mismatch_fails_loudly(self, strassen_desktop):
+        from repro.core.configuration import default_configuration
+
+        config = default_configuration(strassen_desktop.training_info)
+        request = self._request(
+            strassen_desktop, config, fingerprint="deadbeef" * 3
+        )
+        with pytest.raises(TuningError, match="fingerprint"):
+            evaluate_request(request)
+
+    def test_model_hash_mismatch_fails_loudly(self, strassen_desktop):
+        from repro.core.configuration import default_configuration
+
+        config = default_configuration(strassen_desktop.training_info)
+        request = self._request(
+            strassen_desktop, config, model_hash="0" * 16
+        )
+        with pytest.raises(TuningError, match="model"):
+            evaluate_request(request)
+
+    def test_request_is_a_frozen_primitive_bundle(self, strassen_desktop):
+        """Everything crossing the pipe must be picklable primitives."""
+        from repro.core.configuration import default_configuration
+        import pickle
+
+        config = default_configuration(strassen_desktop.training_info)
+        request = self._request(strassen_desktop, config)
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone == request
+        for value in dataclasses.asdict(request).values():
+            assert value is None or isinstance(value, (str, int))
+
+
+class TestProcessEvaluatorProtocol:
+    def test_prefetch_then_evaluate_joins_worker_results(self, strassen_desktop):
+        from repro.core.configuration import default_configuration
+
+        with create_evaluator(
+            strassen_desktop, canonical_env_factory("Strassen"),
+            backend="process", workers=2, seed=1,
+            result_cache=ResultCache(None),
+        ) as evaluator:
+            config = default_configuration(strassen_desktop.training_info)
+            evaluator.prefetch([config], 64)
+            assert len(evaluator._inflight) == 1
+            joined = evaluator.evaluate(config, 64)
+            reference = Evaluator(
+                strassen_desktop, canonical_env_factory("Strassen"),
+                seed=1, result_cache=ResultCache(None),
+            ).evaluate(config, 64)
+            assert joined == reference
+            assert evaluator.evaluations == 1
+            assert not evaluator._inflight
+
+    def test_drop_speculation_harvests_finished_results(self, strassen_desktop):
+        """Completed speculative work survives a drop via the pure memo
+        (parity with the thread backend, whose workers write the memo
+        directly)."""
+        from repro.core.configuration import default_configuration
+
+        with create_evaluator(
+            strassen_desktop, canonical_env_factory("Strassen"),
+            backend="process", workers=2, seed=1,
+            result_cache=ResultCache(None),
+        ) as evaluator:
+            config = default_configuration(strassen_desktop.training_info)
+            evaluator.prefetch([config], 64)
+            key = evaluator.key_for(config, 64)
+            evaluator._inflight[key].result()  # let the worker finish
+            evaluator.drop_speculation()
+            assert not evaluator._inflight
+            assert key in evaluator._pure
+
+    def test_drop_speculation_discards_queued_work(self, strassen_desktop):
+        from repro.core.configuration import default_configuration
+
+        with create_evaluator(
+            strassen_desktop, canonical_env_factory("Strassen"),
+            backend="process", workers=2, seed=1,
+            result_cache=ResultCache(None),
+        ) as evaluator:
+            config = default_configuration(strassen_desktop.training_info)
+            evaluator.prefetch([config], 64)
+            evaluator.drop_speculation()
+            assert not evaluator._inflight
+            # A later evaluate still works (local compute path).
+            assert evaluator.evaluate(config, 64).time_s > 0
+            assert evaluator.evaluations == 1
+
+    def test_single_worker_never_spawns_a_pool(self, strassen_desktop):
+        with create_evaluator(
+            strassen_desktop, canonical_env_factory("Strassen"),
+            backend="process", workers=1, result_cache=ResultCache(None),
+        ) as evaluator:
+            from repro.core.configuration import default_configuration
+
+            config = default_configuration(strassen_desktop.training_info)
+            evaluator.prefetch([config], 64)
+            assert evaluator._executor is None
+            assert evaluator.evaluate(config, 64).time_s > 0
+
+
+class TestReportPayloadRoundTrip:
+    def test_round_trip(self):
+        report = TuningReport(
+            best=Configuration(
+                program_name="Strassen",
+                selectors={"MatMul": Selector.constant(2)},
+                tunables={"cutoff": 128},
+                label="Desktop Config",
+            ),
+            best_time_s=1.5e-3,
+            tuning_time_s=12.25,
+            evaluations=42,
+            sizes=[64, 256, 512],
+            history=[2e-3, 1.7e-3, 1.5e-3],
+            computed_evaluations=40,
+        )
+        clone = report_from_payload(report_to_payload(report))
+        assert clone.best.to_json() == report.best.to_json()
+        assert clone.best_time_s == report.best_time_s
+        assert clone.tuning_time_s == report.tuning_time_s
+        assert clone.evaluations == report.evaluations
+        assert clone.sizes == report.sizes
+        assert clone.history == report.history
+        assert clone.computed_evaluations == report.computed_evaluations
+
+    def test_payload_is_primitive(self):
+        report = TuningReport(
+            best=Configuration(program_name="X"),
+            best_time_s=1.0,
+            tuning_time_s=2.0,
+            evaluations=3,
+            sizes=[4],
+            history=[1.0],
+        )
+        payload = report_to_payload(report)
+        import json
+
+        json.dumps(payload)  # JSON-safe, hence picklable primitives

@@ -1,21 +1,23 @@
 """Determinism lockdown for the parallel tuning engine.
 
 The contract under test: ``EvolutionaryTuner`` with N speculative
-workers produces a :class:`TuningReport` *identical* to the serial
-tuner — same winning configuration (byte-for-byte JSON), same history,
-same evaluation count, same virtual tuning time — for every registered
-benchmark at small sizes; and a warm disk cache replays a cold session
-exactly (while physically simulating nothing).
+workers — on *any* evaluation backend (``serial``, ``thread``,
+``process``) — produces a :class:`TuningReport` *identical* to the
+serial tuner: same winning configuration (byte-for-byte JSON), same
+history, same evaluation count, same virtual tuning time — for every
+registered benchmark at small sizes; and a warm disk cache replays a
+cold session exactly (while physically simulating nothing).
 """
 
 from __future__ import annotations
 
-import dataclasses
+from typing import Dict
 
 import pytest
 
-from repro.apps.registry import all_benchmarks, benchmark
+from repro.apps.registry import all_benchmarks, benchmark, canonical_env_factory
 from repro.compiler.compile import compile_program
+from repro.core.backends import BACKEND_NAMES
 from repro.core.parallel import ParallelEvaluator
 from repro.core.result_cache import ResultCache
 from repro.core.search import EvolutionaryTuner, TuningReport, autotune
@@ -36,6 +38,24 @@ SMALL_SIZES = {
 
 APP_NAMES = [spec.name for spec in all_benchmarks()]
 
+#: Process-backend legs kept in the fast tier; spawning a pool per app
+#: is the expensive part, so the rest of the matrix runs as `slow`.
+FAST_PROCESS_APPS = {"Strassen", "Poisson2D SOR"}
+
+#: The full (app x backend) determinism matrix.
+BACKEND_MATRIX = [
+    pytest.param(
+        name,
+        backend,
+        marks=[pytest.mark.slow]
+        if backend == "process" and name not in FAST_PROCESS_APPS
+        else [],
+        id=f"{name}-{backend}",
+    )
+    for name in APP_NAMES
+    for backend in BACKEND_NAMES
+]
+
 
 def report_key(report: TuningReport):
     """Everything a TuningReport observable promises (sans the
@@ -52,33 +72,48 @@ def report_key(report: TuningReport):
 
 
 def tune_app(name: str, workers: int, machine=DESKTOP, seed: int = 1,
-             result_cache=None) -> TuningReport:
+             result_cache=None, backend=None) -> TuningReport:
     spec = benchmark(name)
     compiled = compile_program(spec.build_program(), machine)
     return autotune(
         compiled,
-        lambda n: spec.make_env(n, 0),
+        canonical_env_factory(name),
         max_size=min(spec.tuning_size, SMALL_SIZES[name]),
         seed=seed,
         accuracy_fn=spec.accuracy_fn,
         accuracy_target=spec.accuracy_target,
         workers=workers,
         result_cache=result_cache,
+        backend=backend,
     )
 
 
-@pytest.mark.parametrize("name", APP_NAMES)
-def test_parallel_report_identical_to_serial(name):
-    """N-worker speculation must be invisible in the report.
+#: Serial baselines, tuned once per app and shared by every matrix leg.
+_BASELINES: Dict[str, TuningReport] = {}
 
-    Both sides run with the disk layer disabled so the parallel tuner
-    genuinely simulates on its worker threads instead of replaying the
-    serial run's cache entries — this is the test that exercises
-    concurrent speculation for real.
+
+def baseline_report(name: str) -> TuningReport:
+    if name not in _BASELINES:
+        _BASELINES[name] = tune_app(
+            name, workers=1, backend="serial", result_cache=ResultCache(None)
+        )
+    return _BASELINES[name]
+
+
+@pytest.mark.parametrize("name,backend", BACKEND_MATRIX)
+def test_backend_matrix_report_identical_to_serial(name, backend):
+    """The acceptance matrix: every backend, every registered app.
+
+    All legs run with the disk layer disabled so the pooled backends
+    genuinely evaluate on their workers (threads or processes) instead
+    of replaying the baseline's cache entries.
     """
-    serial = tune_app(name, workers=1, result_cache=ResultCache(None))
-    parallel = tune_app(name, workers=4, result_cache=ResultCache(None))
-    assert report_key(parallel) == report_key(serial)
+    tuned = tune_app(
+        name, workers=4, backend=backend, result_cache=ResultCache(None)
+    )
+    assert report_key(tuned) == report_key(baseline_report(name)), (
+        f"backend={backend} diverged from serial on {name}"
+    )
 
 
 @pytest.mark.parametrize("workers", [2, 3, 8])
@@ -89,11 +124,11 @@ def test_worker_count_never_changes_the_report(workers):
         compiled = compile_program(make_stencil_program(5), machine)
         serial = autotune(
             compiled, lambda n: scale_env(n, seed=1), max_size=50_000, seed=9,
-            result_cache=ResultCache(None),
+            backend="serial", result_cache=ResultCache(None),
         )
         parallel = autotune(
             compiled, lambda n: scale_env(n, seed=1), max_size=50_000, seed=9,
-            workers=workers, result_cache=ResultCache(None),
+            workers=workers, backend="thread", result_cache=ResultCache(None),
         )
         assert report_key(parallel) == report_key(serial), (
             f"workers={workers} diverged on {machine.codename}"
@@ -126,9 +161,9 @@ def test_parallel_evaluator_prefetch_does_not_change_accounting(compiled_stencil
 def test_cold_vs_warm_disk_cache_equivalence(tmp_path):
     """A warm cache must replay the cold session bit-for-bit while
     simulating nothing."""
-    cold = tune_app("SeparableConv.", workers=1,
+    cold = tune_app("SeparableConv.", workers=1, backend="serial",
                     result_cache=ResultCache(str(tmp_path)))
-    warm = tune_app("SeparableConv.", workers=1,
+    warm = tune_app("SeparableConv.", workers=1, backend="serial",
                     result_cache=ResultCache(str(tmp_path)))
     assert report_key(warm) == report_key(cold)
     assert cold.computed_evaluations == cold.evaluations
@@ -136,16 +171,32 @@ def test_cold_vs_warm_disk_cache_equivalence(tmp_path):
 
 
 def test_cold_parallel_vs_warm_serial_equivalence(tmp_path):
-    """Cache written by a parallel session must satisfy a serial one."""
-    cold = tune_app("Tridiagonal Solver", workers=4,
+    """Cache written by a thread-pool session must satisfy a serial one."""
+    cold = tune_app("Tridiagonal Solver", workers=4, backend="thread",
                     result_cache=ResultCache(str(tmp_path)))
-    warm = tune_app("Tridiagonal Solver", workers=1,
+    warm = tune_app("Tridiagonal Solver", workers=1, backend="serial",
                     result_cache=ResultCache(str(tmp_path)))
     assert report_key(warm) == report_key(cold)
     assert warm.computed_evaluations == 0
 
 
-def test_tuner_exposes_parallel_evaluator_only_when_asked(compiled_stencil):
+def test_cold_process_vs_warm_serial_equivalence(tmp_path):
+    """Worker *processes* write through the shared disk cache with
+    requester-compatible keys: a serial session on the same directory
+    must replay a cold process-backend session without simulating."""
+    cold = tune_app("Strassen", workers=2, backend="process",
+                    result_cache=ResultCache(str(tmp_path)))
+    warm = tune_app("Strassen", workers=1, backend="serial",
+                    result_cache=ResultCache(str(tmp_path)))
+    assert report_key(warm) == report_key(cold)
+    assert warm.computed_evaluations == 0
+
+
+def test_tuner_exposes_parallel_evaluator_only_when_asked(
+    monkeypatch, compiled_stencil
+):
+    monkeypatch.delenv("REPRO_TUNER_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_TUNER_BACKEND", raising=False)
     serial = EvolutionaryTuner(
         compiled_stencil, lambda n: scale_env(n, seed=1), max_size=1024
     )
@@ -164,6 +215,7 @@ def test_tuner_exposes_parallel_evaluator_only_when_asked(compiled_stencil):
 
 def test_workers_env_knob(monkeypatch, compiled_stencil):
     monkeypatch.setenv("REPRO_TUNER_WORKERS", "3")
+    monkeypatch.delenv("REPRO_TUNER_BACKEND", raising=False)
     tuner = EvolutionaryTuner(
         compiled_stencil, lambda n: scale_env(n, seed=1), max_size=1024
     )

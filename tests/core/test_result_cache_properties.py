@@ -1,0 +1,151 @@
+"""Property-based tests for the cross-session result cache.
+
+The fixed-fixture suite in ``test_result_cache.py`` checks specific
+scenarios; these properties sweep the input space: arbitrary pure
+outcomes must round-trip exactly, entry addressing must not depend on
+dict insertion order (keys are canonicalised with sorted JSON), and
+arbitrarily corrupted entry files must read as misses — never crash,
+never serve wrong payloads.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+
+import pytest
+
+pytest.importorskip("hypothesis")  # optional test-only dependency
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result_cache import ResultCache
+
+#: JSON-safe scalars (floats restricted to finite: the cache stores
+#: simulated times/accuracies, and NaN would break == comparison).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=24),
+)
+
+#: Cache keys as the evaluator builds them: flat string-keyed dicts of
+#: scalars (program/machine/fingerprint/config/size/seed fields).
+_keys = st.dictionaries(
+    st.text(min_size=1, max_size=12), _scalars, min_size=1, max_size=8
+)
+
+#: Payloads shaped like pure evaluation outcomes.
+_payloads = st.fixed_dictionaries(
+    {
+        "time_s": st.floats(
+            min_value=0, allow_nan=False, allow_infinity=False
+        ),
+        "accuracy": st.one_of(
+            st.none(),
+            st.floats(allow_nan=False, allow_infinity=False),
+        ),
+        "compile_events": st.lists(
+            st.tuples(st.text(max_size=16), st.text(max_size=16)).map(list),
+            max_size=6,
+        ),
+    }
+)
+
+
+@given(key=_keys, payload=_payloads)
+@settings(max_examples=60, deadline=None)
+def test_round_trip_of_arbitrary_pure_outcomes(key, payload):
+    """put then get returns the exact payload for any key/payload."""
+    with tempfile.TemporaryDirectory() as directory:
+        cache = ResultCache(directory)
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1
+
+
+@given(key=_keys, order_seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_key_stability_under_dict_ordering_permutations(key, order_seed):
+    """A key dict built in any insertion order addresses one entry."""
+    items = list(key.items())
+    random.Random(order_seed).shuffle(items)
+    permuted = dict(items)
+    assert permuted == key  # same mapping, possibly different order
+    with tempfile.TemporaryDirectory() as directory:
+        cache = ResultCache(directory)
+        assert cache._path_for(permuted) == cache._path_for(key)
+        cache.put(key, {"time_s": 1.0})
+        assert cache.get(permuted) == {"time_s": 1.0}
+
+
+@given(key=_keys, corruption=st.binary(max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_corrupt_entry_files_read_as_misses(key, corruption):
+    """Arbitrary bytes in an entry file: a miss, counted, not a crash."""
+    with tempfile.TemporaryDirectory() as directory:
+        cache = ResultCache(directory)
+        cache.put(key, {"time_s": 2.0})
+        path = cache._path_for(key)
+        original = open(path, "rb").read()
+        if corruption == original:  # the one content that stays valid
+            return
+        with open(path, "wb") as handle:
+            handle.write(corruption)
+        fresh = ResultCache(directory)
+        assert fresh.get(key) is None
+        assert fresh.stats.misses == 1
+        assert fresh.stats.invalid == 1
+        # The slot is overwritable afterwards (self-healing).
+        fresh.put(key, {"time_s": 3.0})
+        assert fresh.get(key) == {"time_s": 3.0}
+
+
+@given(key=_keys, other=_keys)
+@settings(max_examples=60, deadline=None)
+def test_distinct_keys_never_alias(key, other):
+    """Two different key dicts must never serve each other's payloads."""
+    if key == other:
+        return
+    with tempfile.TemporaryDirectory() as directory:
+        cache = ResultCache(directory)
+        cache.put(key, {"time_s": 1.0})
+        looked_up = cache.get(other)
+        # Either a clean miss, or (on the astronomically unlikely
+        # 128-bit prefix collision) the key-mismatch check rejects it.
+        assert looked_up is None
+
+
+@given(key=_keys, payload=_payloads)
+@settings(max_examples=30, deadline=None)
+def test_disabled_cache_ignores_everything(key, payload):
+    cache = ResultCache(None)
+    cache.put(key, payload)
+    assert cache.get(key) is None
+    assert cache.stats.stores == 0
+    assert cache.stats.hits == 0
+
+
+@given(key=_keys)
+@settings(max_examples=30, deadline=None)
+def test_truncated_entries_are_tolerated(key):
+    """Every prefix truncation of a valid entry file reads as a miss."""
+    with tempfile.TemporaryDirectory() as directory:
+        cache = ResultCache(directory)
+        cache.put(key, {"time_s": 4.0, "accuracy": None})
+        path = cache._path_for(key)
+        content = open(path, "rb").read()
+        for cut in (0, 1, len(content) // 2, len(content) - 1):
+            with open(path, "wb") as handle:
+                handle.write(content[:cut])
+            assert ResultCache(directory).get(key) is None
+        # Restoring the full content restores the hit.
+        with open(path, "wb") as handle:
+            handle.write(content)
+        assert ResultCache(directory).get(key) == {
+            "time_s": 4.0, "accuracy": None,
+        }

@@ -1,0 +1,92 @@
+"""Strict, consistent parsing of the worker-count environment knobs.
+
+Historically ``int("2 ")`` parsed (``int`` tolerates surrounding
+whitespace) while ``int("2.0")`` fell back, so the two knobs' docs and
+behaviour drifted.  Both now share one parser: whitespace is stripped
+explicitly, anything that is not a plain base-10 integer — floats like
+``"2.0"`` included — falls back to the knob's default, and valid
+values clamp to at least 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parallel import (
+    WORKERS_ENV,
+    default_worker_count,
+    parse_worker_count,
+)
+from repro.experiments.runner import (
+    TUNE_MANY_WORKERS_ENV,
+    default_tune_many_workers,
+)
+
+#: (raw value, parsed-with-default-D) cases shared by both knobs;
+#: "default" marks fall-back to the knob's own default.
+CASES = [
+    ("2", 2),
+    (" 2 ", 2),
+    ("\t3\n", 3),
+    ("+4", 4),
+    ("0", 1),
+    ("-3", 1),
+    (" -3 ", 1),
+    ("2.0", "default"),
+    (" 2.0 ", "default"),
+    ("2.5", "default"),
+    ("1e2", "default"),
+    ("", "default"),
+    ("   ", "default"),
+    ("many", "default"),
+    ("2 workers", "default"),
+]
+
+
+@pytest.mark.parametrize("raw,expected", CASES)
+def test_parse_worker_count(raw, expected):
+    default = 7
+    want = default if expected == "default" else expected
+    assert parse_worker_count(raw, default) == want
+
+
+def test_parse_worker_count_unset():
+    assert parse_worker_count(None, 5) == 5
+
+
+@pytest.mark.parametrize("raw,expected", CASES)
+def test_tuner_workers_env_knob(monkeypatch, raw, expected):
+    monkeypatch.setenv(WORKERS_ENV, raw)
+    want = 1 if expected == "default" else expected
+    assert default_worker_count() == want
+
+
+def test_tuner_workers_env_unset(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert default_worker_count() == 1
+
+
+@pytest.mark.parametrize("raw,expected", CASES)
+def test_tune_many_workers_env_knob(monkeypatch, raw, expected):
+    monkeypatch.setenv(TUNE_MANY_WORKERS_ENV, raw)
+    want = 4 if expected == "default" else expected
+    assert default_tune_many_workers() == want
+
+
+def test_tune_many_workers_env_unset(monkeypatch):
+    monkeypatch.delenv(TUNE_MANY_WORKERS_ENV, raising=False)
+    assert default_tune_many_workers() == 4
+
+
+def test_both_knobs_agree_on_every_case(monkeypatch):
+    """The consistency property itself: for any raw value, the two
+    knobs differ only in their fall-back default."""
+    for raw, expected in CASES:
+        monkeypatch.setenv(WORKERS_ENV, raw)
+        monkeypatch.setenv(TUNE_MANY_WORKERS_ENV, raw)
+        if expected == "default":
+            assert default_worker_count() == 1
+            assert default_tune_many_workers() == 4
+        else:
+            assert default_worker_count() == expected
+            assert default_tune_many_workers() == expected

@@ -1,0 +1,160 @@
+"""The runner's session cache under concurrent ``tune_many`` callers.
+
+Multiple overlapping ``tune_many`` batches may race on the same
+(benchmark, machine, seed) keys; the per-key single-flight locks must
+collapse all of them onto exactly one ``_tune_one`` run per key, with
+every caller receiving the same session object.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.runner import clear_sessions, tune_many, tuned_session
+from repro.hardware.machines import DESKTOP, SERVER
+
+PAIRS = [("Strassen", DESKTOP), ("Strassen", SERVER)]
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache(monkeypatch):
+    # Pin the in-tuner backend: these tests measure session-cache
+    # behaviour, not evaluator choice, and must not fork process pools
+    # from tune_many's worker threads under a process-backend env.
+    monkeypatch.delenv("REPRO_TUNER_BACKEND", raising=False)
+    clear_sessions()
+    yield
+    clear_sessions()
+
+
+@pytest.fixture()
+def counted_tune_one(monkeypatch):
+    """Wrap ``_tune_one`` with a per-key call counter."""
+    counts: Counter = Counter()
+    lock = threading.Lock()
+    real = runner._tune_one
+
+    def counting(name, machine, seed, **kwargs):
+        with lock:
+            counts[(name, machine.codename, seed)] += 1
+        return real(name, machine, seed, **kwargs)
+
+    monkeypatch.setattr(runner, "_tune_one", counting)
+    return counts
+
+
+def test_concurrent_tune_many_callers_single_flight(counted_tune_one):
+    """Three racing tune_many batches over the same pairs: exactly one
+    _tune_one per key, identical session objects everywhere."""
+    caller_results = []
+    results_lock = threading.Lock()
+    barrier = threading.Barrier(3)
+
+    def caller():
+        barrier.wait()
+        sessions = tune_many(PAIRS, workers=2, backend="thread")
+        with results_lock:
+            caller_results.append(sessions)
+
+    threads = [threading.Thread(target=caller) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(caller_results) == 3
+    for name, machine in PAIRS:
+        key = (name, machine.codename, runner.DEFAULT_SEED)
+        assert counted_tune_one[key] == 1, (
+            f"{key} tuned {counted_tune_one[key]} times; single-flight "
+            "must collapse concurrent callers onto one run"
+        )
+        first = caller_results[0][(name, machine.codename)]
+        assert all(
+            sessions[(name, machine.codename)] is first
+            for sessions in caller_results
+        )
+
+
+def test_tune_many_then_tuned_session_reuses_the_run(counted_tune_one):
+    """A direct tuned_session call after tune_many is a pure cache hit."""
+    sessions = tune_many(PAIRS, workers=2, backend="thread")
+    for name, machine in PAIRS:
+        assert tuned_session(name, machine) is sessions[(name, machine.codename)]
+        assert counted_tune_one[(name, machine.codename, runner.DEFAULT_SEED)] == 1
+
+
+def test_concurrent_process_batches_single_flight(
+    monkeypatch, counted_tune_one
+):
+    """Two racing process-sharded batches over the same pairs must
+    partition the keys between themselves: each key is shipped to (or
+    tuned for) exactly one caller, never both."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    submitted = []
+    submitted_lock = threading.Lock()
+
+    class RecordingPool(ProcessPoolExecutor):
+        def submit(self, fn, *args, **kwargs):
+            if fn is runner._tune_shard:
+                with submitted_lock:
+                    submitted.extend(args[0])
+            return super().submit(fn, *args, **kwargs)
+
+    monkeypatch.setattr(runner, "ProcessPoolExecutor", RecordingPool)
+
+    outcome = {}
+    outcome_lock = threading.Lock()
+    barrier = threading.Barrier(2)
+
+    def caller(tag):
+        barrier.wait()
+        sessions = tune_many(PAIRS, workers=2, backend="process")
+        with outcome_lock:
+            outcome[tag] = sessions
+
+    threads = [threading.Thread(target=caller, args=(tag,)) for tag in "ab"]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for name, machine in PAIRS:
+        key = (name, machine.codename)
+        shipped = submitted.count(key)
+        tuned_locally = counted_tune_one[(*key, runner.DEFAULT_SEED)]
+        assert shipped + tuned_locally == 1, (
+            f"{key}: shipped to {shipped} shard(s), tuned locally "
+            f"{tuned_locally} time(s); single-flight requires exactly one"
+        )
+        assert outcome["a"][key] is outcome["b"][key]
+
+
+def test_mixed_batches_share_overlapping_keys(counted_tune_one):
+    """Two concurrent batches overlapping on one pair tune it once."""
+    batch_a = PAIRS
+    batch_b = [PAIRS[0]]  # overlaps on (Strassen, Desktop)
+    outcome = {}
+    barrier = threading.Barrier(2)
+
+    def run(tag, batch):
+        barrier.wait()
+        outcome[tag] = tune_many(batch, workers=2, backend="thread")
+
+    threads = [
+        threading.Thread(target=run, args=("a", batch_a)),
+        threading.Thread(target=run, args=("b", batch_b)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    shared_key = ("Strassen", "Desktop")
+    assert counted_tune_one[(*shared_key, runner.DEFAULT_SEED)] == 1
+    assert outcome["a"][shared_key] is outcome["b"][shared_key]

@@ -97,6 +97,83 @@ def test_tuned_session_is_single_flight_under_contention():
     assert all(session is results[0] for session in results)
 
 
+def report_fields(session):
+    report = session.report
+    return (
+        report.best.to_json(),
+        report.best_time_s,
+        report.tuning_time_s,
+        report.evaluations,
+        report.sizes,
+        report.history,
+    )
+
+
+def test_tune_many_process_backend_matches_serial():
+    """Process-sharded batches: byte-identical reports, full sessions."""
+    sharded = tune_many(PAIRS, seed=DEFAULT_SEED, workers=4, backend="process")
+    clear_sessions()
+    serial = tune_many(PAIRS, seed=DEFAULT_SEED, workers=1, backend="serial")
+    assert len(sharded) == len(PAIRS)
+    for name, machine in PAIRS:
+        key = (name, machine.codename)
+        assert report_fields(sharded[key]) == report_fields(serial[key]), (
+            f"process shard diverged on {key}"
+        )
+        # Rebuilt sessions must be complete (compiled program included).
+        assert sharded[key].compiled.program.name == serial[key].compiled.program.name
+
+
+def test_tune_many_process_backend_populates_the_session_cache():
+    sessions = tune_many(PAIRS[:2], workers=2, backend="process")
+    for name, machine in PAIRS[:2]:
+        assert tuned_session(name, machine) is sessions[(name, machine.codename)]
+
+
+def test_tune_many_serial_backend_tunes_sequentially():
+    sessions = tune_many(PAIRS[:2], workers=4, backend="serial")
+    assert len(sessions) == 2
+
+
+def test_tune_many_forwards_backend_on_the_sequential_path(monkeypatch):
+    """An explicit backend must reach the tuner even when the batch
+    degenerates to the sequential path (e.g. `serial` must stay serial
+    under a process-backend environment)."""
+    captured = []
+    real = runner._tune_one
+
+    def spy(name, machine, seed, **kwargs):
+        captured.append(kwargs.get("backend"))
+        return real(name, machine, seed, **kwargs)
+
+    monkeypatch.setattr(runner, "_tune_one", spy)
+    tune_many(PAIRS[:1], workers=1, backend="serial")
+    assert captured == ["serial"]
+
+
+def test_no_fork_backend_never_returns_process(monkeypatch):
+    """Sessions tuned on worker threads or inside shard children must
+    never fork evaluation pools, whatever the environment says."""
+    cases = [
+        # (REPRO_TUNER_BACKEND, REPRO_TUNER_WORKERS, expected)
+        ("process", "2", "thread"),
+        ("process", "1", "serial"),
+        (None, "2", "thread"),
+        (None, None, "serial"),
+        ("serial", "2", "serial"),
+        ("thread", None, "thread"),
+        ("auto", "3", "thread"),
+    ]
+    for backend_env, workers_env, expected in cases:
+        for var, value in (("REPRO_TUNER_BACKEND", backend_env),
+                           ("REPRO_TUNER_WORKERS", workers_env)):
+            if value is None:
+                monkeypatch.delenv(var, raising=False)
+            else:
+                monkeypatch.setenv(var, value)
+        assert runner._no_fork_backend() == expected, (backend_env, workers_env)
+
+
 def test_workers_env_knob(monkeypatch):
     monkeypatch.setenv(runner.TUNE_MANY_WORKERS_ENV, "7")
     assert runner.default_tune_many_workers() == 7
