@@ -1,0 +1,70 @@
+"""Benchmark-smoke leg: the hot-path harness runs, emits, and gates.
+
+Runs the tiny tier of the perf harness (seconds of wall-clock), checks
+the emitted ``BENCH_runtime.json`` payload shape, and fails when any
+app's per-evaluation time regresses more than the committed factor
+over ``benchmarks/perf/BENCH_baseline.json`` — the same gate the CI
+benchmark-smoke leg applies via ``python -m repro.experiments bench``.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.bench import (
+    BENCH_SCHEMA,
+    TIER_SIZES,
+    bench_runtime,
+    check_regressions,
+    render_bench,
+    write_bench,
+)
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+
+def test_tiny_tier_emits_and_does_not_regress(tmp_path):
+    payload = bench_runtime(tier="tiny", repeats=2)
+
+    assert payload["schema"] == BENCH_SCHEMA
+    assert set(payload["apps"]) == set(TIER_SIZES["tiny"])
+    for name, entry in payload["apps"].items():
+        assert entry["first_eval_s"] > 0.0, name
+        assert entry["cold_eval_s"] > 0.0, name
+        assert entry["virtual_time_s"] > 0.0, name
+    tuning = payload["tuning"]
+    assert tuning["computed_evaluations"] > 0
+    assert tuning["s_per_computed_evaluation"] > 0.0
+
+    out = tmp_path / "BENCH_runtime.json"
+    write_bench(str(out), payload)
+    emitted = json.loads(out.read_text())
+    assert emitted["apps"].keys() == payload["apps"].keys()
+    assert render_bench(payload)  # renders without error
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    regressions = check_regressions(payload, baseline)
+    assert not regressions, "\n".join(regressions)
+
+
+class TestRegressionGate:
+    def _payload(self, cold_s, first_s=0.001):
+        return {
+            "apps": {"App": {"first_eval_s": first_s, "cold_eval_s": cold_s}}
+        }
+
+    def test_flags_large_regressions(self):
+        problems = check_regressions(self._payload(1.0), self._payload(0.1))
+        assert len(problems) == 1 and "cold_eval_s" in problems[0]
+
+    def test_absolute_slack_shields_micro_entries(self):
+        # 10x relative growth, but only 90us absolute: timer noise.
+        assert not check_regressions(
+            self._payload(1e-4), self._payload(1e-5)
+        )
+
+    def test_within_factor_passes(self):
+        assert not check_regressions(self._payload(0.2), self._payload(0.1))
+
+    def test_missing_apps_are_skipped(self):
+        fresh = {"apps": {"New": {"first_eval_s": 9.0, "cold_eval_s": 9.0}}}
+        assert not check_regressions(fresh, self._payload(0.1))

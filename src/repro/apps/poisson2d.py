@@ -27,6 +27,7 @@ the paper).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Mapping, Tuple
 
 import numpy as np
@@ -59,27 +60,56 @@ def _half_width(width: int) -> int:
 
 
 def _split_body(ctx) -> None:
-    """Interleave In into the Red and Black half-buffers."""
+    """Interleave In into the Red and Black half-buffers.
+
+    Vectorised over the row range by parity class; bit-identical to
+    the per-row loop it replaced (pure strided copies).
+    """
     full = ctx.input("In")
     red = ctx.array("Red")
     black = ctx.array("Black")
     r0, r1 = ctx.rows
-    for i in range(r0, r1):
-        offset = i % 2
-        red[i, :] = full[i, offset::2]
-        black[i, :] = full[i, 1 - offset :: 2]
+    even = r0 + (r0 & 1)  # first even row index >= r0
+    odd = r0 + 1 - (r0 & 1)  # first odd row index >= r0
+    red[even:r1:2] = full[even:r1:2, 0::2]
+    red[odd:r1:2] = full[odd:r1:2, 1::2]
+    black[even:r1:2] = full[even:r1:2, 1::2]
+    black[odd:r1:2] = full[odd:r1:2, 0::2]
 
 
 def _merge_body(ctx) -> None:
-    """Interleave Red and Black back into Out."""
+    """Interleave Red and Black back into Out (vectorised by parity)."""
     red = ctx.input("Red")
     black = ctx.input("Black")
     out = ctx.array("Out")
     r0, r1 = ctx.rows
-    for i in range(r0, r1):
-        offset = i % 2
-        out[i, offset::2] = red[i, :]
-        out[i, 1 - offset :: 2] = black[i, :]
+    even = r0 + (r0 & 1)
+    odd = r0 + 1 - (r0 & 1)
+    out[even:r1:2, 0::2] = red[even:r1:2]
+    out[odd:r1:2, 1::2] = red[odd:r1:2]
+    out[even:r1:2, 1::2] = black[even:r1:2]
+    out[odd:r1:2, 0::2] = black[odd:r1:2]
+
+
+#: Per-thread scratch buffers for the half-sweep.  The sweep needs
+#: three neighbour planes plus an accumulator; allocating them fresh
+#: each call made the kernel page-fault bound (each plane is
+#: fresh-mmapped memory at realistic sizes).  Thread-local because the
+#: thread evaluation backend simulates runs concurrently; only the
+#: most recent shape is kept — a run sweeps one shape at a time, and
+#: retaining every size tier of a figure sweep would pin hundreds of
+#: MB per thread.
+_SCRATCH = threading.local()
+
+
+def _scratch(shape: Tuple[int, int]):
+    cached = getattr(_SCRATCH, "buffers", None)
+    if cached is None or cached[0] != shape:
+        cached = _SCRATCH.buffers = (
+            shape,
+            tuple(np.empty(shape) for _ in range(4)),
+        )
+    return cached[1]
 
 
 def _sor_halfsweep(
@@ -90,25 +120,40 @@ def _sor_halfsweep(
     Operates on the half-width packed layout: the four neighbours of a
     packed cell live in the *other* colour's buffer at the same and
     adjacent rows/columns (offset depending on row parity).
+
+    Vectorised over whole-matrix slices into reusable scratch buffers.
+    The arithmetic keeps the exact operation order of the historical
+    per-row loop (``left + right + up + down``, then the relaxation
+    update), so the results are bit-for-bit identical — within one
+    colour every cell update is independent, which is the point of the
+    red-black ordering.
     """
-    h, hw = update.shape
-    neighbour_sum = np.zeros_like(update)
-    for i in range(h):
-        offset = i % 2 if update_is_red else 1 - (i % 2)
-        row = other[i, :]
-        # Left/right neighbours within the row (packed layout).
-        if offset == 0:
-            left = np.concatenate(([0.0], row[:-1]))
-            right = row
-        else:
-            left = row
-            right = np.concatenate((row[1:], [0.0]))
-        up = other[i - 1, :] if i > 0 else np.zeros(hw)
-        down = other[i + 1, :] if i < h - 1 else np.zeros(hw)
-        neighbour_sum[i, :] = left + right + up + down
-    gauss = 0.25 * (neighbour_sum - rhs)
+    # Row parity classes: rows whose packed offset is 0 take their
+    # left neighbour from the previous packed column; offset-1 rows
+    # from the next.
+    if update_is_red:
+        off0, off1 = slice(0, None, 2), slice(1, None, 2)
+    else:
+        off0, off1 = slice(1, None, 2), slice(0, None, 2)
+    left, right, shifted, acc = _scratch(other.shape)
+    left[off0, 0] = 0.0
+    left[off0, 1:] = other[off0, :-1]
+    right[off0] = other[off0]
+    left[off1] = other[off1]
+    right[off1, :-1] = other[off1, 1:]
+    right[off1, -1] = 0.0
+    np.add(left, right, out=acc)  # left + right
+    shifted[0] = 0.0
+    shifted[1:] = other[:-1]
+    np.add(acc, shifted, out=acc)  # ... + up
+    shifted[:-1] = other[1:]
+    shifted[-1] = 0.0
+    np.add(acc, shifted, out=acc)  # ... + down
+    np.subtract(acc, rhs, out=acc)
+    np.multiply(acc, 0.25, out=acc)  # gauss = 0.25 * (sum - rhs)
     update *= 1.0 - OMEGA
-    update += OMEGA * gauss
+    np.multiply(acc, OMEGA, out=acc)
+    update += acc
 
 
 def _iteration_body(ctx) -> None:

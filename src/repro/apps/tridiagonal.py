@@ -24,10 +24,25 @@ machines here; see :mod:`repro.hardware.device`.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict
 
 import numpy as np
 from scipy.linalg import solve_banded
+
+#: Per-thread band-matrix scratch; LAPACK's ``gtsv`` leaves ``ab``
+#: untouched (``overwrite_ab`` is off), so reuse is safe, and at
+#: 1024^2 unknowns the fresh 24 MB allocation per solve was page-fault
+#: bound.  Only the most recent system length is kept, so size sweeps
+#: don't accumulate every tier's buffer.
+_AB_SCRATCH = threading.local()
+
+
+def _ab_buffer(n: int) -> np.ndarray:
+    cached = getattr(_AB_SCRATCH, "buffer", None)
+    if cached is None or cached.shape[1] != n:
+        cached = _AB_SCRATCH.buffer = np.empty((3, n))
+    return cached
 
 from repro.lang import Choice, CostSpec, Pattern, Rule, Transform, make_program
 from repro.lang.program import Program
@@ -40,13 +55,24 @@ TESTING_SIZE = 1024
 def _solve(
     lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
 ) -> np.ndarray:
-    """Solve the tridiagonal system via banded LAPACK."""
+    """Solve the tridiagonal system via banded LAPACK.
+
+    ``ab`` is assembled into reusable per-thread storage (the two band
+    corners LAPACK never reads are zeroed explicitly) and finiteness
+    validation is skipped — the benchmark's systems are finite by
+    construction, and at the paper's 1024^2 unknowns the redundant
+    allocation, memset and validation passes cost more than the
+    solve's overhead.  Results are bit-identical to the previous
+    zero-filled, validated call.
+    """
     n = len(diag)
-    ab = np.zeros((3, n))
+    ab = _ab_buffer(n)
+    ab[0, 0] = 0.0
     ab[0, 1:] = upper[:-1]
     ab[1, :] = diag
     ab[2, :-1] = lower[1:]
-    return solve_banded((1, 1), ab, rhs)
+    ab[2, -1] = 0.0
+    return solve_banded((1, 1), ab, rhs, check_finite=False)
 
 
 def _solver_body(ctx) -> None:

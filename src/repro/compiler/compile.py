@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.compiler.cdg import step_order
 from repro.compiler.choices import ChoiceKind, ExecChoice, expand_transform
 from repro.compiler.kernelgen import GeneratedKernel, KernelGenReport
+from repro.compiler.prepared import PreparedPlans
 from repro.compiler.training_info import (
     SELECTOR_LEVELS,
     SelectorSpec,
@@ -87,6 +88,21 @@ class CompiledProgram:
     kernels: Dict[str, GeneratedKernel]
     reports: List[KernelGenReport]
     training_info: TrainingInfo
+    _plans: Optional[PreparedPlans] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def plans(self) -> PreparedPlans:
+        """Prepared (config-independent) invocation plans, built lazily.
+
+        Cached on the compiled program so every run — any
+        configuration, size, or evaluator worker thread — shares one
+        lowering of each transform.
+        """
+        if self._plans is None:
+            self._plans = PreparedPlans(self)
+        return self._plans
 
     @property
     def kernel_count(self) -> int:

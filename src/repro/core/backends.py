@@ -231,7 +231,9 @@ class EvaluationRequest:
     Attributes:
         app: Registry benchmark name.
         machine: Standard machine codename.
-        config_json: ``Configuration.to_json()`` of the candidate.
+        config_json: Canonical JSON of the candidate
+            (``Configuration.canonical_key()``; parseable by
+            ``Configuration.from_json``).
         size: Test input size.
         seed: Runtime scheduler seed.
         fingerprint: The requester's program fingerprint; the worker's

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -193,6 +194,33 @@ def _callable_token(fn, none_token: str) -> str:
     )
 
 
+#: Process-wide memo of pristine test environments, keyed by
+#: ``(env-factory token, program fingerprint, size, seed)``.
+#: Environment factories are deterministic for a given size (see
+#: :data:`EnvFactory`); the factory token covers the definition site,
+#: bytecode and captured primitive values, and the program fingerprint
+#: disambiguates factories whose captures tokenise alike (every
+#: ``canonical_env_factory`` closure differs only by its captured
+#: ``BenchmarkSpec``), so two evaluators sharing a key build identical
+#: inputs.
+#: Entries hold *master* envs that are never handed to a simulation:
+#: every evaluation receives fresh copies (see
+#: :meth:`Evaluator._fresh_env`), so runs can never alias each other's
+#: arrays or corrupt the memo.  LRU-bounded — full-scale environments
+#: reach tens of MB each.
+_ENV_MEMO: "OrderedDict[Tuple[str, str, int, int], Dict[str, np.ndarray]]" = (
+    OrderedDict()
+)
+_ENV_MEMO_LOCK = threading.Lock()
+_ENV_MEMO_CAPACITY = 8
+
+
+def clear_env_memo() -> None:
+    """Drop all memoised test environments (tests use this)."""
+    with _ENV_MEMO_LOCK:
+        _ENV_MEMO.clear()
+
+
 class Evaluator:
     """Runs candidate configurations and accounts tuning time.
 
@@ -238,6 +266,15 @@ class Evaluator:
             result_cache if result_cache is not None else ResultCache.from_environment()
         )
         self._fingerprint = program_fingerprint(compiled)
+        # Matrices a run may write: the entry transform's outputs.
+        # Everything else in a handed-out environment is read-only for
+        # the whole run, so the copy-on-write handout shares it.
+        self._entry_outputs = frozenset(compiled.program.entry_transform.outputs)
+        # Callable tokens are content hashes of bytecode + captured
+        # values; computing them per cache lookup put hashing on the
+        # per-evaluation path, so they are derived once here.
+        self._env_token = _callable_token(env_factory, "none")
+        self._accuracy_token = _callable_token(accuracy_fn, "none")
         # Session JIT model used only for commit-order replay of
         # compile events (the accounting model of Section 5.4).
         self._commit_jit = compiled.machine.fresh_jit()
@@ -277,7 +314,7 @@ class Evaluator:
 
     def key_for(self, config: Configuration, size: int) -> Tuple[str, int]:
         """Memoisation key of one (configuration, size) pair."""
-        return (config.to_json(), size)
+        return (config.canonical_key(), size)
 
     def _cache_key(self, config_json: str, size: int) -> Dict[str, object]:
         return {
@@ -290,8 +327,8 @@ class Evaluator:
             # must use disjoint entries: cached times/accuracies feed
             # admission and feasibility decisions, and a cache must
             # never change tuning results.
-            "env": _callable_token(self._env_factory, "none"),
-            "accuracy": _callable_token(self._accuracy_fn, "none"),
+            "env": self._env_token,
+            "accuracy": self._accuracy_token,
             "config": config_json,
             "size": size,
             "seed": self._seed,
@@ -314,11 +351,41 @@ class Evaluator:
             return None
         return PureEvaluation(time_s=time_s, accuracy=accuracy, compile_events=events)
 
+    def _fresh_env(self, size: int) -> Dict[str, np.ndarray]:
+        """A private test environment for one simulated run.
+
+        Input generation is hoisted into a process-wide memo keyed by
+        ``(factory token, program fingerprint, size, seed)``; each call
+        hands the memoised master out copy-on-write: matrices the run
+        can write (the entry transform's outputs) are fresh copies per
+        evaluation, everything else — inputs, which the runtime never
+        writes — is shared read-only with the master.  Concurrent and
+        successive evaluations therefore never alias each other's
+        writable arrays, and the master is never mutated.
+        """
+        key = (self._env_token, self._fingerprint, size, self._seed)
+        with _ENV_MEMO_LOCK:
+            master = _ENV_MEMO.get(key)
+            if master is not None:
+                _ENV_MEMO.move_to_end(key)
+        if master is None:
+            master = self._env_factory(size)
+            with _ENV_MEMO_LOCK:
+                master = _ENV_MEMO.setdefault(key, master)
+                _ENV_MEMO.move_to_end(key)
+                while len(_ENV_MEMO) > _ENV_MEMO_CAPACITY:
+                    _ENV_MEMO.popitem(last=False)
+        outputs = self._entry_outputs
+        return {
+            name: array.copy() if name in outputs else array
+            for name, array in master.items()
+        }
+
     def _simulate(self, config: Configuration, size: int) -> PureEvaluation:
         """Physically run the simulation (the expensive pure step)."""
         from repro.runtime.executor import run_program  # local: avoids cycle
 
-        env = self._env_factory(size)
+        env = self._fresh_env(size)
         recorder = _RecordingJit(self._compiled.machine.fresh_jit())
         try:
             result = run_program(

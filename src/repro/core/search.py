@@ -338,9 +338,9 @@ class EvolutionaryTuner:
             # launch and transfer overheads) must still be considered
             # at the sizes where it wins.  Evaluations are memoised, so
             # re-seeding costs one run per seed per size at most.
-            present = {c.config.to_json() for c in population.members}
+            present = {c.config.canonical_key() for c in population.members}
             for config in seeds:
-                if config.to_json() not in present:
+                if config.canonical_key() not in present:
                     population.add(Candidate(config=config.copy()))
             self._evaluator.prefetch(
                 [candidate.config for candidate in population.members], size

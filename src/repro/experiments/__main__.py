@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments                      # all figures/tables
     python -m repro.experiments fig2 fig9            # a subset
     python -m repro.experiments --backend=process    # shard across processes
+    python -m repro.experiments bench                # hot-path benchmark
+    python -m repro.experiments bench --tier=tiny --check=benchmarks/perf/BENCH_baseline.json
 
 Flags:
     --backend=<name>              evaluation backend: ``serial``,
@@ -81,6 +83,13 @@ _ARTEFACTS = {
 
 
 def main(argv: list) -> int:
+    if argv and argv[0] == "bench":
+        # The benchmark harness has its own flags (--tier, --repeats,
+        # --out, --check); `bench` must come first and everything after
+        # it is forwarded.
+        from repro.experiments.bench import main as bench_main
+
+        return bench_main(argv[1:])
     requested = []
     for arg in argv:
         if arg.startswith("--backend="):

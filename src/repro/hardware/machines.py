@@ -28,6 +28,7 @@ Calibration anchors taken from the paper's own observations:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Optional, Tuple
 
 from repro.errors import DeviceError
@@ -81,13 +82,14 @@ class MachineSpec:
             and self.opencl_device.kind is DeviceKind.GPU
         )
 
-    @property
+    @cached_property
     def worker_count(self) -> int:
         """Number of CPU worker threads the runtime uses.
 
         The paper fixes thread count to the processor count when
         migrating configurations (Section 6.1), except Server where 16
-        threads performed best on every benchmark.
+        threads performed best on every benchmark.  Cached: the value
+        is consulted on per-run and per-dispatch paths.
         """
         if self.codename == "Server":
             return 16

@@ -24,6 +24,8 @@ class WorkDeque:
         owner_id: Worker index owning this deque (for diagnostics).
     """
 
+    __slots__ = ("owner_id", "_items", "pushes", "steals_suffered")
+
     def __init__(self, owner_id: int) -> None:
         self.owner_id = owner_id
         self._items: _deque = _deque()

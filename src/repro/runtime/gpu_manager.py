@@ -22,7 +22,7 @@ from repro.hardware.device import GPUDevice
 from repro.runtime.task import Task, TaskKind, TaskState
 
 
-@dataclass
+@dataclass(slots=True)
 class GpuInvocationRecord:
     """Bookkeeping shared by one kernel execution's task quartet.
 
@@ -48,6 +48,15 @@ class GpuState:
         compute_free_at: Virtual time the compute engine frees up.
         copy_free_at: Virtual time the copy (DMA) engine frees up.
     """
+
+    __slots__ = (
+        "device",
+        "fifo",
+        "dormant",
+        "busy",
+        "compute_free_at",
+        "copy_free_at",
+    )
 
     def __init__(self, device: GPUDevice) -> None:
         self.device = device

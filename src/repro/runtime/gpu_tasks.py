@@ -47,7 +47,7 @@ _PREPARE_PER_BUFFER_S = 1.5e-6
 _POLL_COST_S = 5.0e-7
 
 
-@dataclass
+@dataclass(slots=True)
 class PreparePayload:
     """Allocate device buffers for a kernel's outputs.
 
@@ -70,7 +70,7 @@ class PreparePayload:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class CopyInPayload:
     """Copy one input to the device (non-blocking, deduplicated).
 
@@ -100,7 +100,7 @@ class CopyInPayload:
         return PayloadResult(duration=_CALL_COST_S)
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutePayload:
     """Launch the kernel asynchronously and start copy-outs.
 
@@ -182,7 +182,7 @@ class ExecutePayload:
         return PayloadResult(duration=call_s + _CALL_COST_S * reads_started)
 
 
-@dataclass
+@dataclass(slots=True)
 class CopyOutPayload:
     """Check the status of one non-blocking read.
 

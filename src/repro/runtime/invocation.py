@@ -14,23 +14,31 @@ strategy:
 * **Composite** — intermediates are allocated, steps become child
   invocations (sequential or task-parallel), and the data-movement
   classification decides each step's copy-out strategy.
+
+Hot-path layout: the config/size-independent half of lowering (merged
+parameter defaults, static cost resolution, composite step templates)
+comes pre-computed from the compiled program's
+:class:`~repro.compiler.prepared.PreparedPlans`; the config-dependent
+residue (selector indices, composite copy-out classification under the
+run's configuration) is memoised per run on the
+:class:`~repro.runtime.scheduler.RuntimeState`.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+from dataclasses import dataclass
+from math import prod
+from typing import Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from repro.compiler.choices import ChoiceKind, ExecChoice
 from repro.compiler.data_movement import (
     Backend,
     CopyOutClass,
     ScheduledProducer,
     classify_copyouts,
 )
+from repro.compiler.prepared import ChoicePlan, TransformPlan, row_chunks
 from repro.errors import RuntimeFault
 from repro.hardware.costmodel import cpu_task_time
 from repro.lang.rule import Pattern, ResolvedCost, Rule, RuleContext
@@ -58,9 +66,7 @@ def merged_params(
     rt: "RuntimeState", transform_name: str, passed: Mapping[str, float]
 ) -> Dict[str, float]:
     """Merge program defaults, transform defaults and passed params."""
-    transform = rt.compiled.transform(transform_name).transform
-    params: Dict[str, float] = dict(rt.compiled.program.default_params)
-    params.update(transform.params)
+    params = dict(rt.plans.transform_plan(transform_name).base_params)
     params.update(passed)
     return params
 
@@ -90,23 +96,43 @@ def peek_backend(rt: "RuntimeState", transform_name: str, size: int) -> Backend:
     child invocations actually expand.  Composite children count as
     CPU (their own steps re-classify internally).
     """
-    compiled = rt.compiled.transform(transform_name)
-    index = min(rt.config.select_index(transform_name, size), compiled.num_choices - 1)
-    choice = compiled.exec_choices[index]
+    plan = rt.plans.transform_plan(transform_name)
+    choice = plan.choices[rt.select_index(transform_name, size, plan.num_choices)]
     if not choice.uses_opencl:
         return Backend.CPU
-    ratio = rt.config.tunable(f"gpu_ratio_{transform_name}", 8)
+    ratio = rt.config.tunable(plan.gpu_ratio_key, 8)
     return Backend.GPU if ratio > 0 else Backend.CPU
 
 
-def _row_chunks(height: int, chunk_count: int) -> List[Tuple[int, int]]:
-    """Split ``[0, height)`` into up to ``chunk_count`` near-even ranges."""
-    count = max(1, min(chunk_count, height))
-    edges = [round(i * height / count) for i in range(count + 1)]
-    return [(edges[i], edges[i + 1]) for i in range(count) if edges[i] < edges[i + 1]]
+def _row_chunks(height: int, chunk_count: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``[0, height)`` into up to ``chunk_count`` near-even ranges.
+
+    Delegates to the memoised :func:`repro.compiler.prepared.row_chunks`.
+    """
+    return row_chunks(height, chunk_count)
 
 
-@dataclass
+class _LoweredComposite:
+    """Config-resolved composite lowering, memoised per run.
+
+    Attributes:
+        inter_shapes: ``(name, shape)`` pairs of the scratch matrices.
+        step_classes: Per step, the callee-side copy-out classes its
+            child invocation receives.
+    """
+
+    __slots__ = ("inter_shapes", "step_classes")
+
+    def __init__(
+        self,
+        inter_shapes: Tuple[Tuple[str, Tuple[int, ...]], ...],
+        step_classes: Tuple[Dict[str, CopyOutClass], ...],
+    ) -> None:
+        self.inter_shapes = inter_shapes
+        self.step_classes = step_classes
+
+
+@dataclass(slots=True)
 class InvocationPayload:
     """Expands one transform invocation according to the configuration.
 
@@ -128,87 +154,99 @@ class InvocationPayload:
 
     def run(self, rt: "RuntimeState", now: float) -> PayloadResult:
         rt.stats.spawned_invocations += 1
-        compiled = rt.compiled.transform(self.transform_name)
-        transform = compiled.transform
-        params = merged_params(rt, self.transform_name, self.params)
+        plan = rt.plans.transform_plan(self.transform_name)
+        params = dict(plan.base_params)
+        if self.params:
+            params.update(self.params)
 
         shapes = {name: arr.shape for name, arr in self.env.items()}
-        size = self.size_hint if self.size_hint is not None else transform.default_size(shapes)
-        params.setdefault("_size", float(size))
-        for tunable_name, (_lo, _hi, default, _scale) in transform.user_tunables.items():
-            params.setdefault(
-                tunable_name, float(rt.config.tunable(tunable_name, default))
-            )
-
-        index = min(
-            rt.config.select_index(self.transform_name, size), compiled.num_choices - 1
+        size = (
+            self.size_hint
+            if self.size_hint is not None
+            else plan.transform.default_size(shapes)
         )
-        choice = compiled.exec_choices[index]
+        params.setdefault("_size", float(size))
+        config = rt.config
+        for tunable_name, default in plan.user_tunables:
+            if tunable_name not in params:
+                params[tunable_name] = float(config.tunable(tunable_name, default))
 
-        if choice.kind is ChoiceKind.COMPOSITE:
-            return self._dispatch_composite(rt, choice, params, shapes)
+        choice = plan.choices[
+            rt.select_index(self.transform_name, size, plan.num_choices)
+        ]
+
+        if choice.is_composite:
+            return self._dispatch_composite(rt, plan, choice, params, shapes)
         if choice.uses_opencl:
-            ratio = rt.config.tunable(f"gpu_ratio_{self.transform_name}", 8)
+            ratio = config.tunable(plan.gpu_ratio_key, 8)
             if ratio > 0 and rt.gpu is not None:
-                return self._dispatch_opencl(rt, choice, params, ratio)
-        return self._dispatch_cpu_rule(rt, choice, params, now)
+                return self._dispatch_opencl(rt, plan, choice, params, ratio)
+        return self._dispatch_cpu_rule(rt, plan, choice, params, now)
 
     # ------------------------------------------------------------------
     # CPU rule dispatch
     # ------------------------------------------------------------------
 
     def _dispatch_cpu_rule(
-        self, rt: "RuntimeState", choice: ExecChoice, params: Dict[str, float], now: float
+        self,
+        rt: "RuntimeState",
+        plan: TransformPlan,
+        choice: ChoicePlan,
+        params: Dict[str, float],
+        now: float,
     ) -> PayloadResult:
         rule = choice.rule
         if rule is None:
-            raise RuntimeFault(f"choice {choice.name!r} has no rule")
+            raise RuntimeFault(f"choice {choice.exec_choice.name!r} has no rule")
         if rule.pattern is Pattern.RECURSIVE or not rule.divisible:
-            return self._run_inline(rt, rule, params, now)
+            return self._run_inline(rt, rule, choice, params, now)
 
         out = self.env[rule.writes[0]]
-        height = int(out.shape[0])
-        total_items = int(np.prod(out.shape, dtype=np.int64))
-        seq_cutoff = rt.config.tunable("seq_par_cutoff", 1024)
-        split = rt.config.tunable(
-            f"split_{self.transform_name}", rt.machine.worker_count
-        )
+        shape = out.shape
+        height = shape[0]
+        total_items = prod(shape)
+        config = rt.config
+        seq_cutoff = config.tunable("seq_par_cutoff", 1024)
+        split = config.tunable(plan.split_key, rt.worker_count)
         if total_items <= seq_cutoff:
             split = 1
-        chunks = _row_chunks(height, split)
+        chunks = row_chunks(height, split)
 
-        cost = rule.cost.resolve(params)
+        cost = choice.cost_for(params)
+        env = self.env
+        name = self.transform_name
         children = tuple(
             Task(
-                name=f"{self.transform_name}[{r0}:{r1}]",
+                name=f"{name}[{r0}:{r1}]",
                 kind=TaskKind.CPU,
                 payload=CpuChunkPayload(
                     rule=rule,
-                    env=self.env,
+                    env=env,
                     params=params,
                     rows=(r0, r1),
                     cost=cost,
-                    items=max(1, total_items * (r1 - r0) // max(1, height)),
+                    items=max(1, total_items * (r1 - r0) // height),
                 ),
             )
             for r0, r1 in chunks
         )
         duration = DISPATCH_COST_S + TASK_CREATE_COST_S * len(children)
-        if len(children) == 1:
-            # No point paying spawn overhead for a single chunk; run it
-            # as the continuation directly.
-            return PayloadResult(duration=duration, children=children)
         return PayloadResult(duration=duration, children=children)
 
     def _run_inline(
-        self, rt: "RuntimeState", rule: Rule, params: Dict[str, float], now: float
+        self,
+        rt: "RuntimeState",
+        rule: Rule,
+        choice: ChoicePlan,
+        params: Dict[str, float],
+        now: float,
     ) -> PayloadResult:
         lazy_s = 0.0
         if rule.touches_data:
             for name in rule.reads:
                 lazy_s += rt.memory.ensure_host(self.env[name], now)
         out = self.env[rule.writes[0]]
-        ctx = RuleContext(self.env, params, (0, int(out.shape[0])), rt.config.tunables)
+        ctx = RuleContext(self.env, params, (0, out.shape[0]), rt.config.tunables)
         spawn = rule.body(ctx)
         if rule.touches_data:
             for name in rule.writes:
@@ -218,8 +256,8 @@ class InvocationPayload:
             # Indivisible leaf rules are costed by their CostSpec (the
             # same model the OpenCL variants use); recursive drivers
             # account their split/combine work via ctx.charge instead.
-            cost = rule.cost.resolve(params)
-            items = int(np.prod(out.shape, dtype=np.int64))
+            cost = choice.cost_for(params)
+            items = prod(out.shape)
             flops += items * cost.effective_cpu_flops_per_item
             read_bytes = cost.bytes_read_per_item
             if cost.strided_access:
@@ -244,7 +282,8 @@ class InvocationPayload:
     def _dispatch_opencl(
         self,
         rt: "RuntimeState",
-        choice: ExecChoice,
+        plan: TransformPlan,
+        choice: ChoicePlan,
         params: Dict[str, float],
         ratio: int,
     ) -> PayloadResult:
@@ -252,17 +291,18 @@ class InvocationPayload:
         kernel = choice.kernel
         assert rule is not None and kernel is not None
         out = self.env[rule.writes[0]]
-        height = int(out.shape[0])
-        total_items = int(np.prod(out.shape, dtype=np.int64))
+        shape = out.shape
+        height = shape[0]
+        total_items = prod(shape)
         ratio = max(0, min(8, ratio))
         gpu_rows = height * ratio // 8 if rule.divisible else height
         if gpu_rows == 0:
-            return self._dispatch_cpu_rule(rt, choice, params, 0.0)
+            return self._dispatch_cpu_rule(rt, plan, choice, params, 0.0)
 
-        cost = rule.cost.resolve(params)
-        gpu_items = max(1, total_items * gpu_rows // max(1, height))
+        cost = choice.cost_for(params)
+        gpu_items = max(1, total_items * gpu_rows // height)
         lws = rt.config.tunable(
-            f"lws_{self.transform_name}",
+            plan.lws_key,
             rt.gpu.device.preferred_local_size if rt.gpu else 128,
         )
         launch = kernel.launch(gpu_items, cost, lws)
@@ -321,10 +361,8 @@ class InvocationPayload:
         if gpu_rows < height:
             # CPU portion of the work-balanced split: the remaining
             # rows become ordinary work-stealing chunks.
-            split = rt.config.tunable(
-                f"split_{self.transform_name}", rt.machine.worker_count
-            )
-            cpu_chunks = _row_chunks(height - gpu_rows, split)
+            split = rt.config.tunable(plan.split_key, rt.worker_count)
+            cpu_chunks = row_chunks(height - gpu_rows, split)
             for c0, c1 in cpu_chunks:
                 r0, r1 = gpu_rows + c0, gpu_rows + c1
                 children.append(
@@ -337,7 +375,7 @@ class InvocationPayload:
                             params=params,
                             rows=(r0, r1),
                             cost=cost,
-                            items=max(1, total_items * (r1 - r0) // max(1, height)),
+                            items=max(1, total_items * (r1 - r0) // height),
                         ),
                     )
                 )
@@ -349,58 +387,52 @@ class InvocationPayload:
     # Composite dispatch (steps)
     # ------------------------------------------------------------------
 
-    def _dispatch_composite(
+    def _lower_composite(
         self,
         rt: "RuntimeState",
-        choice: ExecChoice,
+        plan: TransformPlan,
+        choice: ChoicePlan,
         params: Dict[str, float],
         shapes: Mapping[str, Tuple[int, ...]],
-    ) -> PayloadResult:
-        authored = choice.choice
-        env: Dict[str, np.ndarray] = dict(self.env)
-        all_shapes = dict(shapes)
-        for name, shape_fn in authored.intermediates.items():
-            shape = tuple(int(d) for d in shape_fn(all_shapes, params))
-            env[name] = np.zeros(shape)
-            all_shapes[name] = shape
+    ) -> _LoweredComposite:
+        """Resolve a composite's copy-out classification for this run.
 
-        program = rt.compiled.program
-        child_envs: List[Dict[str, np.ndarray]] = []
-        child_params: List[Dict[str, float]] = []
+        Pure with respect to (plan, configuration, shapes, params) —
+        the caller memoises the result per run.
+        """
+        all_shapes = dict(shapes)
+        inter_shapes: List[Tuple[str, Tuple[int, ...]]] = []
+        for name, shape_fn in choice.intermediates:
+            shape = tuple(int(d) for d in shape_fn(all_shapes, params))
+            all_shapes[name] = shape
+            inter_shapes.append((name, shape))
+
         producers: List[ScheduledProducer] = []
-        for step in authored.steps:
-            callee = program.transform(step.transform)
-            bindings = dict(step.bindings)
-            child_env = {}
-            for matrix in tuple(callee.inputs) + tuple(callee.outputs):
-                caller_name = bindings.get(matrix, matrix)
-                if caller_name not in env:
+        for step_plan in choice.steps:
+            child_shapes: Dict[str, Tuple[int, ...]] = {}
+            for matrix, caller_name in zip(
+                step_plan.matrices, step_plan.caller_matrices
+            ):
+                shape = all_shapes.get(caller_name)
+                if shape is None:
                     raise RuntimeFault(
-                        f"step into {step.transform!r}: caller matrix "
+                        f"step into {step_plan.transform_name!r}: caller matrix "
                         f"{caller_name!r} is not bound"
                     )
-                child_env[matrix] = env[caller_name]
-            child_envs.append(child_env)
-            cparams = {
-                k: v for k, v in params.items() if k != "_size"
-            }
-            cparams.update(step.param_overrides)
-            child_params.append(cparams)
-
-            child_shapes = {m: a.shape for m, a in child_env.items()}
-            child_size = callee.default_size(child_shapes)
+                child_shapes[matrix] = shape
+            child_size = step_plan.callee.default_size(child_shapes)
             producers.append(
                 ScheduledProducer(
-                    backend=peek_backend(rt, step.transform, child_size),
-                    produces=tuple(bindings.get(m, m) for m in callee.outputs),
-                    consumes=tuple(bindings.get(m, m) for m in callee.inputs),
-                    dynamic_consumer=step.dynamic_consumer,
+                    backend=peek_backend(rt, step_plan.transform_name, child_size),
+                    produces=step_plan.caller_produces,
+                    consumes=step_plan.caller_consumes,
+                    dynamic_consumer=step_plan.dynamic_consumer,
                 )
             )
 
         own_classes = {
             name: self.copy_classes.get(name, CopyOutClass.MUST_COPY_OUT)
-            for name in rt.compiled.transform(self.transform_name).transform.outputs
+            for name in plan.outputs
         }
         final_dynamic = any(c is CopyOutClass.MAY_COPY_OUT for c in own_classes.values())
         final_consumer = (
@@ -412,21 +444,66 @@ class InvocationPayload:
             producers, final_consumer=final_consumer, final_dynamic=final_dynamic
         )
 
-        children: List[Task] = []
-        for i, step in enumerate(authored.steps):
-            callee = program.transform(step.transform)
-            bindings = dict(step.bindings)
-            step_classes: Dict[str, CopyOutClass] = {}
+        step_classes: List[Dict[str, CopyOutClass]] = []
+        for i, step_plan in enumerate(choice.steps):
+            resolved: Dict[str, CopyOutClass] = {}
             if i in classes:
-                for matrix in callee.outputs:
-                    caller_name = bindings.get(matrix, matrix)
-                    if caller_name in classes[i]:
-                        step_classes[matrix] = classes[i][caller_name]
+                step_map = classes[i]
+                for matrix, caller_name in zip(
+                    step_plan.outputs, step_plan.caller_produces
+                ):
+                    if caller_name in step_map:
+                        resolved[matrix] = step_map[caller_name]
+            step_classes.append(resolved)
+        return _LoweredComposite(tuple(inter_shapes), tuple(step_classes))
+
+    def _dispatch_composite(
+        self,
+        rt: "RuntimeState",
+        plan: TransformPlan,
+        choice: ChoicePlan,
+        params: Dict[str, float],
+        shapes: Dict[str, Tuple[int, ...]],
+    ) -> PayloadResult:
+        memo = rt.composite_memo
+        key = (
+            self.transform_name,
+            tuple(sorted(shapes.items())),
+            tuple(sorted(params.items())),
+            tuple(sorted(self.copy_classes.items(), key=lambda kv: kv[0])),
+        )
+        lowered = memo.get(key)
+        if lowered is None:
+            lowered = self._lower_composite(rt, plan, choice, params, shapes)
+            memo[key] = lowered
+
+        env: Dict[str, np.ndarray] = dict(self.env)
+        for name, shape in lowered.inter_shapes:
+            env[name] = np.zeros(shape)
+
+        child_params = {k: v for k, v in params.items() if k != "_size"}
+        children: List[Task] = []
+        for step_plan, step_classes in zip(choice.steps, lowered.step_classes):
+            child_env: Dict[str, np.ndarray] = {}
+            for matrix, caller_name in zip(
+                step_plan.matrices, step_plan.caller_matrices
+            ):
+                array = env.get(caller_name)
+                if array is None:
+                    raise RuntimeFault(
+                        f"step into {step_plan.transform_name!r}: caller matrix "
+                        f"{caller_name!r} is not bound"
+                    )
+                child_env[matrix] = array
+            cparams = child_params
+            if step_plan.param_overrides:
+                cparams = dict(child_params)
+                cparams.update(step_plan.param_overrides)
             children.append(
                 make_invocation_task(
-                    step.transform,
-                    child_envs[i],
-                    child_params[i],
+                    step_plan.transform_name,
+                    child_env,
+                    cparams,
                     copy_classes=step_classes,
                 )
             )
@@ -434,11 +511,11 @@ class InvocationPayload:
         return PayloadResult(
             duration=duration,
             children=tuple(children),
-            sequential=not authored.parallel_steps,
+            sequential=choice.sequential_steps,
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuChunkPayload:
     """One row-range of a data-parallel rule on the CPU backend."""
 
@@ -451,23 +528,26 @@ class CpuChunkPayload:
 
     def run(self, rt: "RuntimeState", now: float) -> PayloadResult:
         lazy_s = 0.0
+        memory = rt.memory
+        env = self.env
         for name in self.rule.reads:
-            lazy_s += rt.memory.ensure_host(self.env[name], now)
-        ctx = RuleContext(self.env, self.params, self.rows, rt.config.tunables)
+            lazy_s += memory.ensure_host(env[name], now)
+        ctx = RuleContext(env, self.params, self.rows, rt.config.tunables)
         spawn = self.rule.body(ctx)
         if spawn is not None:
             raise RuntimeFault(
                 f"data-parallel rule {self.rule.name!r} attempted to spawn"
             )
         for name in self.rule.writes:
-            rt.memory.invalidate_device(self.env[name])
+            memory.invalidate_device(env[name])
         extra_flops, extra_bytes, _ = ctx.charged
-        flops = self.items * self.cost.effective_cpu_flops_per_item + extra_flops
-        read_bytes = self.cost.bytes_read_per_item
-        if self.cost.strided_access:
+        cost = self.cost
+        flops = self.items * cost.effective_cpu_flops_per_item + extra_flops
+        read_bytes = cost.bytes_read_per_item
+        if cost.strided_access:
             read_bytes *= rt.machine.cpu.strided_penalty
         mem_bytes = (
-            self.items * (read_bytes + self.cost.bytes_written_per_item)
+            self.items * (read_bytes + cost.bytes_written_per_item)
             + extra_bytes
         )
         duration = lazy_s + cpu_task_time(
@@ -475,14 +555,14 @@ class CpuChunkPayload:
             mem_bytes,
             rt.machine.cpu,
             active_cores=rt.active_workers(),
-            sequential=self.cost.sequential_fraction >= 1.0,
+            sequential=cost.sequential_fraction >= 1.0,
         )
         rt.stats.cpu_seconds += duration
         rt.stats.tasks_executed += 1
         return PayloadResult(duration=duration)
 
 
-@dataclass
+@dataclass(slots=True)
 class CombinePayload:
     """Continuation body of a recursive rule (runs after its children)."""
 
@@ -526,9 +606,9 @@ def _spawn_to_result(
     for sub in spawn.children:
         if not isinstance(sub, SubInvoke):
             raise RuntimeFault("Spawn children must be SubInvoke descriptors")
-        callee = rt.compiled.program.transform(sub.transform)
+        callee_outputs = rt.plans.transform_plan(sub.transform).outputs
         classes = {
-            name: CopyOutClass.MAY_COPY_OUT for name in callee.outputs
+            name: CopyOutClass.MAY_COPY_OUT for name in callee_outputs
         }
         children.append(
             make_invocation_task(
@@ -539,7 +619,7 @@ def _spawn_to_result(
                 size_hint=sub.size_hint,
             )
         )
-        for name in callee.outputs:
+        for name in callee_outputs:
             ensure.append(sub.env[name])
 
     continuation: Optional[Task] = None

@@ -31,7 +31,7 @@ from repro.errors import RuntimeFault
 from repro.hardware.transfer import TransferModel
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceBuffer:
     """Device-side shadow of one host array.
 

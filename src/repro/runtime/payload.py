@@ -15,7 +15,7 @@ returns a :class:`PayloadResult` telling the scheduler
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Protocol, Tuple, TYPE_CHECKING
 
 from repro.runtime.task import Task
@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.scheduler import RuntimeState
 
 
-@dataclass
+@dataclass(slots=True)
 class PayloadResult:
     """Outcome of executing one payload.
 
@@ -46,6 +46,12 @@ class PayloadResult:
     continuation: Optional[Task] = None
     sequential: bool = False
     requeue_at: Optional[float] = None
+
+
+#: Shared zero-duration result for payload-less barrier tasks — the
+#: scheduler used to allocate a fresh ``PayloadResult()`` per barrier
+#: execution.  Treated as immutable by every consumer.
+EMPTY_RESULT = PayloadResult()
 
 
 class Payload(Protocol):

@@ -15,13 +15,30 @@ paper's scheduling disciplines:
 
 Determinism: the only randomness (victim selection, worker choice for
 GPU-caused pushes) comes from one seeded ``random.Random``.
+
+Hot-path layout (this loop runs once per simulated event, hundreds of
+thousands of times per tuning session):
+
+* agenda entries are flat ``(time, seq, kind, a, b, c)`` tuples — the
+  heap only ever compares ``(time, seq)``, and flattening avoids one
+  nested payload tuple per event;
+* event kinds are small ints dispatched by an ``if`` chain instead of
+  a dict of closures;
+* per-worker victim tuples are precomputed (the steal path used to
+  rebuild the victim list on every attempt);
+* busy/dormant worker counts are maintained incrementally so
+  ``active_workers`` and the thief-wakeup scan are O(1) when nothing
+  is parked;
+* the seeded ``random.Random`` instances are pooled and re-seeded
+  instead of constructed per run (bit-identical streams — ``seed()``
+  re-derives the exact state ``Random(seed)`` would build).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import random
+from collections import deque as _deque
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.configuration import Configuration
@@ -31,20 +48,62 @@ from repro.hardware.machines import MachineSpec
 from repro.hardware.opencl import OpenCLRuntimeModel
 from repro.runtime.gpu_manager import GpuState
 from repro.runtime.memory_manager import GpuMemoryManager
-from repro.runtime.payload import PayloadResult
+from repro.runtime.payload import EMPTY_RESULT, PayloadResult
 from repro.runtime.stats import RunStats
 from repro.runtime.task import Task, TaskKind, TaskState, make_barrier
 from repro.runtime.worker import STEAL_COST_S, Worker
 
-#: Event kinds in the agenda.
-_WAKE_WORKER = "wake_worker"
-_DONE_WORKER = "done_worker"
-_WAKE_GPU = "wake_gpu"
-_DONE_GPU = "done_gpu"
+#: Event kinds in the agenda (ints: compared never, dispatched often).
+_WAKE_WORKER = 0
+_DONE_WORKER = 1
+_WAKE_GPU = 2
+_DONE_GPU = 3
+
+#: Pool of seeded RNGs recycled across runs.  ``Random.seed(n)``
+#: rebuilds the exact state ``Random(n)`` constructs, so reuse cannot
+#: perturb any stream; the pool only saves the per-run allocation of
+#: the 2.5 KB Mersenne state.  Thread-safe via deque's atomic ops.
+_RNG_POOL: "_deque[random.Random]" = _deque()
+_RNG_POOL_CAP = 32
+
+
+def _acquire_rng(seed: int) -> random.Random:
+    try:
+        rng = _RNG_POOL.pop()
+    except IndexError:
+        return random.Random(seed)
+    rng.seed(seed)
+    return rng
 
 
 class RuntimeState:
     """All mutable state of one simulated program run."""
+
+    __slots__ = (
+        "compiled",
+        "config",
+        "charge_compile_in_run",
+        "dedup_copy_ins",
+        "machine",
+        "memory",
+        "stats",
+        "rng",
+        "jit",
+        "workers",
+        "worker_count",
+        "gpu",
+        "plans",
+        "composite_memo",
+        "now",
+        "_victims",
+        "_select_memo",
+        "_agenda",
+        "_seq",
+        "_live_tasks",
+        "_busy_workers",
+        "_dormant_workers",
+        "_rng_pooled",
+    )
 
     def __init__(
         self,
@@ -65,30 +124,50 @@ class RuntimeState:
             self.machine.transfer, dedup_copy_ins=dedup_copy_ins
         )
         self.stats = RunStats()
-        self.rng = random.Random(seed)
+        self.rng = _acquire_rng(seed)
+        self._rng_pooled = False
         self.jit = jit if jit is not None else self.machine.fresh_jit()
         count = worker_count if worker_count is not None else self.machine.worker_count
-        self.workers: List[Worker] = [Worker(index=i) for i in range(max(1, count))]
+        count = max(1, count)
+        self.worker_count = count
+        self.workers: List[Worker] = [Worker(index=i) for i in range(count)]
+        self._victims: Tuple[Tuple[Worker, ...], ...] = tuple(
+            tuple(w for w in self.workers if w.index != i) for i in range(count)
+        )
         self.gpu: Optional[GpuState] = (
             GpuState(self.machine.opencl_device)
             if self.machine.opencl_device is not None
             else None
         )
-        self._agenda: List[Tuple[float, int, str, Tuple]] = []
-        self._seq = itertools.count()
+        self.plans = compiled.plans
+        self.composite_memo: Dict[tuple, object] = {}
+        self._select_memo: Dict[Tuple[str, int], int] = {}
+        self._agenda: List[tuple] = []
+        self._seq = 0
         self._live_tasks = 0
+        self._busy_workers = 0
+        self._dormant_workers = count  # workers start parked
         self.now = 0.0
 
     # ------------------------------------------------------------------
     # Agenda
     # ------------------------------------------------------------------
 
-    def _post(self, time: float, kind: str, payload: Tuple = ()) -> None:
-        heapq.heappush(self._agenda, (time, next(self._seq), kind, payload))
-
     def active_workers(self) -> int:
         """Number of busy CPU workers (for the shared-bandwidth model)."""
-        return max(1, sum(1 for w in self.workers if w.busy))
+        busy = self._busy_workers
+        return busy if busy > 0 else 1
+
+    def select_index(self, transform_name: str, size: int, num_choices: int) -> int:
+        """Memoised selector resolution for this run's configuration."""
+        key = (transform_name, size)
+        index = self._select_memo.get(key)
+        if index is None:
+            index = self.config.select_index(transform_name, size)
+            if index >= num_choices:
+                index = num_choices - 1
+            self._select_memo[key] = index
+        return index
 
     # ------------------------------------------------------------------
     # Task admission and the push rules of Figure 5
@@ -123,20 +202,28 @@ class RuntimeState:
     def _wake_worker(self, worker: Worker, now: float) -> None:
         if worker.dormant and not worker.busy:
             worker.dormant = False
-            self._post(now, _WAKE_WORKER, (worker.index,))
+            self._dormant_workers -= 1
+            self._seq += 1
+            heappush(self._agenda, (now, self._seq, _WAKE_WORKER, worker.index, None, None))
 
     def _wake_idle_thieves(self, now: float) -> None:
         """Wake dormant workers so they can attempt steals."""
+        if self._dormant_workers == 0:
+            return
+        agenda = self._agenda
         for worker in self.workers:
             if worker.dormant and not worker.busy:
                 worker.dormant = False
-                self._post(now, _WAKE_WORKER, (worker.index,))
+                self._dormant_workers -= 1
+                self._seq += 1
+                heappush(agenda, (now, self._seq, _WAKE_WORKER, worker.index, None, None))
 
     def _wake_gpu(self, now: float) -> None:
         gpu = self.gpu
         if gpu is not None and gpu.dormant and not gpu.busy:
             gpu.dormant = False
-            self._post(now, _WAKE_GPU)
+            self._seq += 1
+            heappush(self._agenda, (now, self._seq, _WAKE_GPU, None, None, None))
 
     # ------------------------------------------------------------------
     # Spawning and completion plumbing
@@ -162,22 +249,25 @@ class RuntimeState:
                 continuation.depend_on(child)
                 previous = child
             task.continue_with(continuation)
-            self._live_tasks += 1  # continuation enters the system
-            ready_children: List[Task] = []
+            live = 1  # continuation enters the system
+            ready_gpu: List[Task] = []
+            ready_cpu: List[Task] = []
             for child in result.children:
-                self._live_tasks += 1
+                live += 1
                 if child.finish_dependency_creation():
-                    ready_children.append(child)
+                    if child.kind is TaskKind.GPU:
+                        ready_gpu.append(child)
+                    else:
+                        ready_cpu.append(child)
+            self._live_tasks += live
             if continuation.finish_dependency_creation():
                 self.admit(continuation, actor, now)
             # Push CPU children in reverse so the first spawned child
             # sits on top of the deque and runs first (Cilk order);
             # GPU children keep quartet order in the FIFO.
-            gpu_children = [c for c in ready_children if c.kind is TaskKind.GPU]
-            cpu_children = [c for c in ready_children if c.kind is TaskKind.CPU]
-            for child in gpu_children:
+            for child in ready_gpu:
                 self.admit(child, actor, now)
-            for child in reversed(cpu_children):
+            for child in reversed(ready_cpu):
                 self.admit(child, actor, now)
             self._live_tasks -= 1  # the continued task leaves the system
             return
@@ -202,23 +292,34 @@ class RuntimeState:
             if task is None:
                 return
         worker.busy = True
-        result = (
-            task.payload.run(self, start) if task.payload is not None else PayloadResult()
+        self._busy_workers += 1
+        payload = task.payload
+        result = payload.run(self, start) if payload is not None else EMPTY_RESULT
+        self._seq += 1
+        heappush(
+            self._agenda,
+            (start + result.duration, self._seq, _DONE_WORKER, index, task, result),
         )
-        self._post(start + result.duration, _DONE_WORKER, (index, task, result))
 
     def _try_steal(self, worker: Worker, now: float) -> Tuple[Optional[Task], float]:
         """One steal attempt; returns (task, time-after-attempt)."""
-        victims = [w for w in self.workers if w.index != worker.index]
-        if not victims or not any(len(v.deque) for v in victims):
+        victims = self._victims[worker.index]
+        for victim in victims:
+            if len(victim.deque):
+                break
+        else:
             worker.dormant = True
+            self._dormant_workers += 1
             return None, now
         victim = self.rng.choice(victims)
         after = now + STEAL_COST_S
         task = victim.deque.steal_bottom()
         if task is None:
             self.stats.failed_steals += 1
-            self._post(after, _WAKE_WORKER, (worker.index,))
+            self._seq += 1
+            heappush(
+                self._agenda, (after, self._seq, _WAKE_WORKER, worker.index, None, None)
+            )
             return None, now
         self.stats.steals += 1
         return task, after
@@ -228,8 +329,10 @@ class RuntimeState:
     ) -> None:
         worker = self.workers[index]
         worker.busy = False
+        self._busy_workers -= 1
         self._handle_result(task, result, ("worker", index), now)
-        self._post(now, _WAKE_WORKER, (index,))
+        self._seq += 1
+        heappush(self._agenda, (now, self._seq, _WAKE_WORKER, index, None, None))
 
     def _on_wake_gpu(self, now: float) -> None:
         gpu = self.gpu
@@ -239,10 +342,12 @@ class RuntimeState:
         if task is None:
             gpu.dormant = True
             return
-        result = (
-            task.payload.run(self, now) if task.payload is not None else PayloadResult()
+        payload = task.payload
+        result = payload.run(self, now) if payload is not None else EMPTY_RESULT
+        self._seq += 1
+        heappush(
+            self._agenda, (now + result.duration, self._seq, _DONE_GPU, task, result, None)
         )
-        self._post(now + result.duration, _DONE_GPU, (task, result))
         gpu.busy = True
 
     def _on_done_gpu(self, task: Task, result: PayloadResult, now: float) -> None:
@@ -252,9 +357,14 @@ class RuntimeState:
         self._handle_result(task, result, ("gpu", 0), now)
         if result.requeue_at is not None and len(gpu.fifo) == 1:
             # Nothing else to do until the read lands: sleep till then.
-            self._post(max(now, result.requeue_at), _WAKE_GPU)
+            self._seq += 1
+            heappush(
+                self._agenda,
+                (max(now, result.requeue_at), self._seq, _WAKE_GPU, None, None, None),
+            )
         else:
-            self._post(now, _WAKE_GPU)
+            self._seq += 1
+            heappush(self._agenda, (now, self._seq, _WAKE_GPU, None, None, None))
 
     # ------------------------------------------------------------------
     # Main loop
@@ -265,9 +375,13 @@ class RuntimeState:
         if root.state is TaskState.NEW:
             root.finish_dependency_creation()
         self._live_tasks += 1
-        self.workers[0].deque.push_top(root)
-        self.workers[0].dormant = False
-        self._post(0.0, _WAKE_WORKER, (0,))
+        worker = self.workers[0]
+        worker.deque.push_top(root)
+        if worker.dormant:
+            worker.dormant = False
+            self._dormant_workers -= 1
+        self._seq += 1
+        heappush(self._agenda, (0.0, self._seq, _WAKE_WORKER, 0, None, None))
 
     def run_to_completion(self) -> float:
         """Drain the agenda; returns the final virtual time.
@@ -276,20 +390,35 @@ class RuntimeState:
             RuntimeFault: On deadlock (events exhausted while tasks
                 remain incomplete).
         """
-        handlers = {
-            _WAKE_WORKER: lambda p, t: self._on_wake_worker(p[0], t),
-            _DONE_WORKER: lambda p, t: self._on_done_worker(p[0], p[1], p[2], t),
-            _WAKE_GPU: lambda p, t: self._on_wake_gpu(t),
-            _DONE_GPU: lambda p, t: self._on_done_gpu(p[0], p[1], t),
-        }
-        while self._agenda:
-            time, _, kind, payload = heapq.heappop(self._agenda)
-            if time < self.now - 1e-12:
+        agenda = self._agenda
+        on_wake_worker = self._on_wake_worker
+        on_done_worker = self._on_done_worker
+        on_wake_gpu = self._on_wake_gpu
+        on_done_gpu = self._on_done_gpu
+        now = self.now
+        while agenda:
+            time, _, kind, a, b, c = heappop(agenda)
+            if time < now - 1e-12:
                 raise RuntimeFault("agenda time went backwards")
-            self.now = max(self.now, time)
-            handlers[kind](payload, time)
+            if time > now:
+                now = time
+            self.now = now
+            if kind == _WAKE_WORKER:
+                on_wake_worker(a, time)
+            elif kind == _DONE_WORKER:
+                on_done_worker(a, b, c, time)
+            elif kind == _WAKE_GPU:
+                on_wake_gpu(time)
+            else:
+                on_done_gpu(a, b, time)
         if self._live_tasks != 0:
             raise RuntimeFault(
                 f"deadlock: {self._live_tasks} task(s) incomplete at time {self.now}"
             )
+        if not self._rng_pooled:
+            # Recycle the RNG for the next run's RuntimeState; this
+            # state's stream is fully consumed (agenda drained).
+            self._rng_pooled = True
+            if len(_RNG_POOL) < _RNG_POOL_CAP:
+                _RNG_POOL.append(self.rng)
         return self.now

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class RunStats:
     """Counters and virtual-time aggregates for one program run.
 

@@ -17,7 +17,7 @@ from repro.runtime.deque import WorkDeque
 STEAL_COST_S = 5.0e-7
 
 
-@dataclass
+@dataclass(slots=True)
 class Worker:
     """One CPU worker thread.
 

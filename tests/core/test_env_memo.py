@@ -1,0 +1,114 @@
+"""The evaluator's memoised test-environment handout.
+
+Input generation is hoisted into a process-wide memo; these tests pin
+the safety contract: the factory runs once per (factory, program,
+size, seed), handed-out environments never alias each other's writable
+arrays, and the memoised master is never mutated by evaluations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import compile_program
+from repro.core.configuration import default_configuration
+from repro.core.fitness import (
+    _ENV_MEMO,
+    _ENV_MEMO_CAPACITY,
+    Evaluator,
+    clear_env_memo,
+)
+from repro.core.result_cache import ResultCache
+from repro.hardware.machines import DESKTOP
+
+from tests.conftest import make_scale_program
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_env_memo()
+    yield
+    clear_env_memo()
+
+
+def _make_factory(calls):
+    def factory(size):
+        calls.append(size)
+        rng = np.random.default_rng(size)
+        return {"In": rng.random(size), "Out": np.zeros(size)}
+
+    return factory
+
+
+def _evaluator(factory, seed=0):
+    compiled = compile_program(make_scale_program(3.0), DESKTOP)
+    return compiled, Evaluator(
+        compiled, factory, seed=seed, result_cache=ResultCache(None)
+    )
+
+
+class TestEnvMemo:
+    def test_factory_runs_once_per_size(self):
+        calls = []
+        compiled, evaluator = _evaluator(_make_factory(calls))
+        config = default_configuration(compiled.training_info)
+        for cutoff in (16, 17, 18):
+            variant = config.copy()
+            variant.tunables["seq_par_cutoff"] = cutoff
+            evaluator.evaluate(variant, 64)
+        assert calls == [64]
+        evaluator.evaluate(config, 128)
+        assert calls == [64, 128]
+
+    def test_envs_not_aliased_across_evaluations(self):
+        calls = []
+        compiled, evaluator = _evaluator(_make_factory(calls))
+        env_a = evaluator._fresh_env(64)
+        env_b = evaluator._fresh_env(64)
+        # Writable (output) arrays are private per evaluation.
+        assert env_a["Out"] is not env_b["Out"]
+        env_a["Out"][:] = 123.0
+        assert not np.any(env_b["Out"])
+        # Read-only inputs are shared copy-on-write with the master.
+        assert env_a["In"] is env_b["In"]
+        assert calls == [64]
+
+    def test_master_never_mutated_by_evaluations(self):
+        calls = []
+        factory = _make_factory(calls)
+        compiled, evaluator = _evaluator(factory)
+        config = default_configuration(compiled.training_info)
+        evaluator.evaluate(config, 64)
+        splitty = config.copy()
+        splitty.tunables["split_Scale"] = 7
+        splitty.tunables["seq_par_cutoff"] = 16
+        evaluator.evaluate(splitty, 64)
+        # A third handout must still equal a from-scratch build.
+        pristine = factory(64)
+        handout = evaluator._fresh_env(64)
+        for name in pristine:
+            assert np.array_equal(handout[name], pristine[name]), name
+
+    def test_same_factory_results_identical_to_unmemoised(self):
+        calls = []
+        compiled, evaluator = _evaluator(_make_factory(calls))
+        config = default_configuration(compiled.training_info)
+        first = evaluator.evaluate(config, 64)
+        # A separate evaluator (cold pure memo, warm env memo) agrees.
+        _, other = _evaluator(_make_factory([]))
+        assert other.evaluate(config, 64).time_s == first.time_s
+
+    def test_distinct_seeds_use_distinct_entries(self):
+        calls = []
+        factory = _make_factory(calls)
+        _, evaluator_a = _evaluator(factory, seed=0)
+        _, evaluator_b = _evaluator(factory, seed=1)
+        evaluator_a._fresh_env(64)
+        evaluator_b._fresh_env(64)
+        assert calls == [64, 64]
+
+    def test_memo_is_lru_bounded(self):
+        calls = []
+        compiled, evaluator = _evaluator(_make_factory(calls))
+        for size in range(32, 32 + 2 * _ENV_MEMO_CAPACITY):
+            evaluator._fresh_env(size)
+        assert len(_ENV_MEMO) <= _ENV_MEMO_CAPACITY

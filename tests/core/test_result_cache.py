@@ -82,7 +82,8 @@ class TestAccounting:
 class TestCorruption:
     def _entry_path(self, evaluator, config, size):
         cache = evaluator.result_cache
-        key = evaluator._cache_key(config.to_json(), size)
+        config_json, _ = evaluator.key_for(config, size)
+        key = evaluator._cache_key(config_json, size)
         return cache._path_for(key)
 
     @pytest.mark.parametrize(
