@@ -35,6 +35,20 @@ def test_tiny_tier_emits_and_does_not_regress(tmp_path):
     assert tuning["computed_evaluations"] > 0
     assert tuning["s_per_computed_evaluation"] > 0.0
 
+    # Every registered strategy lands a generation-throughput entry.
+    from repro.core.strategies import strategy_names
+
+    strategies = payload["strategies"]
+    assert set(strategies) == set(strategy_names())
+    for name, entry in strategies.items():
+        assert entry["strategy"] == name
+        assert entry["evaluations"] > 0, name
+        assert entry["evaluations_per_s"] > 0.0, name
+        assert entry["rounds"] > 0, name
+    # The evolutionary entry is the tuning measurement itself, so the
+    # pre-strategy baseline comparison stays apples to apples.
+    assert strategies["evolutionary"] is tuning
+
     out = tmp_path / "BENCH_runtime.json"
     write_bench(str(out), payload)
     emitted = json.loads(out.read_text())

@@ -16,6 +16,7 @@ from repro.core.backends import (
     resolve_backend,
 )
 from repro.core.configuration import Configuration, default_configuration
+from repro.core.driver import CheckpointStore, DriverStats, TuningDriver
 from repro.core.fitness import Evaluation, Evaluator, PureEvaluation
 from repro.core.mutators import Mutator, mutators_for
 from repro.core.parallel import (
@@ -24,19 +25,25 @@ from repro.core.parallel import (
     parse_worker_count,
 )
 from repro.core.population import Candidate, Population
+from repro.core.report import TuningReport, report_from_payload, report_to_payload
 from repro.core.result_cache import ResultCache
-from repro.core.search import (
-    EvolutionaryTuner,
-    TuningReport,
-    autotune,
-    report_from_payload,
-    report_to_payload,
-)
+from repro.core.search import EvolutionaryTuner, autotune
 from repro.core.selector import Selector
+from repro.core.strategies import (
+    SearchPlan,
+    SearchStrategy,
+    create_strategy,
+    default_strategy,
+    register_strategy,
+    resolve_strategy,
+    strategy_names,
+)
 
 __all__ = [
     "Candidate",
+    "CheckpointStore",
     "Configuration",
+    "DriverStats",
     "Evaluation",
     "Evaluator",
     "EvolutionaryTuner",
@@ -47,16 +54,24 @@ __all__ = [
     "ProcessEvaluator",
     "PureEvaluation",
     "ResultCache",
+    "SearchPlan",
+    "SearchStrategy",
     "Selector",
+    "TuningDriver",
     "TuningReport",
     "autotune",
     "create_evaluator",
+    "create_strategy",
     "default_backend",
     "default_configuration",
+    "default_strategy",
     "default_worker_count",
     "mutators_for",
     "parse_worker_count",
+    "register_strategy",
     "report_from_payload",
     "report_to_payload",
     "resolve_backend",
+    "resolve_strategy",
+    "strategy_names",
 ]

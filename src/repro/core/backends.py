@@ -465,6 +465,11 @@ class ProcessEvaluator(Evaluator):
             pure = self.compute(config, size)
         return self._commit(key, pure)
 
+    def inflight(self) -> int:
+        """Speculative evaluations currently shipped to worker
+        processes."""
+        return len(self._inflight)
+
     def drop_speculation(self) -> None:
         """Forget queued speculative work whose premise was invalidated.
 

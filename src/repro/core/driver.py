@@ -1,0 +1,517 @@
+"""The strategy-agnostic asynchronous tuning driver.
+
+Historically the tune loop lived inside ``EvolutionaryTuner`` and ran
+one generation at a time: draw a window, evaluate it, commit, repeat —
+every generation a barrier where the pooled backends (threads,
+processes) sat idle.  :class:`TuningDriver` replaces that loop with a
+streaming pipeline over any :class:`~repro.core.strategies.base.SearchStrategy`:
+
+* it keeps a queue of speculative proposals topped up to
+  ``inflight_per_worker x workers`` candidates, prefetched on the
+  evaluation backend, so every worker always has a next simulation;
+* it commits results one at a time **in proposal order** through the
+  ordered-commit layer of :mod:`repro.core.fitness`, so accounting
+  (evaluation counts, virtual tuning time, JIT replay) is bit-for-bit
+  identical to a serial driver no matter the backend or queue depth;
+* when an observation invalidates the speculative tail (the strategy
+  returns True from ``observe``), the queue is discarded exactly like
+  the historical window discard.
+
+Checkpoint / resume
+===================
+
+Long batch runs survive interruption: at quiescent points the driver
+serialises *(commit journal, strategy state)* to a checkpoint file
+under ``REPRO_CACHE_DIR`` (``checkpoints/`` subdirectory), and writes
+the finished report there when the session completes.  Resuming
+replays the journal through a fresh evaluator — pure outcomes come
+from the shared disk cache, while the replay rebuilds the session JIT
+model and the deterministic counters commit by commit — then restores
+the strategy state and continues.  A resumed session's report is
+byte-identical to an uninterrupted run (only the
+``computed_evaluations`` wall-clock gauge may differ).  Checkpoints
+are keyed by program fingerprint, machine, strategy, seed and plan, so
+a stale file from a different session can never be (mis)used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.compiler.compile import CompiledProgram
+from repro.core.configuration import Configuration
+from repro.core.fitness import Evaluator
+from repro.core.report import TuningReport, report_from_payload, report_to_payload
+from repro.core.result_cache import (
+    DISABLED_VALUES,
+    ResultCache,
+    execution_model_hash,
+)
+from repro.core.strategies.base import Proposal, SearchPlan, SearchStrategy
+from repro.errors import TuningError
+
+#: Bump when the checkpoint layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: Environment variable enabling checkpoint resume by default.
+RESUME_ENV = "REPRO_TUNER_RESUME"
+
+#: Environment variable enabling per-round progress lines by default.
+PROGRESS_ENV = "REPRO_TUNER_PROGRESS"
+
+#: Default commits between checkpoints.
+DEFAULT_CHECKPOINT_EVERY = 64
+
+#: Default speculative queue depth per evaluation worker.
+DEFAULT_INFLIGHT_PER_WORKER = 2
+
+
+def default_resume() -> bool:
+    """Resume default from ``REPRO_TUNER_RESUME`` (off when unset)."""
+    return os.environ.get(RESUME_ENV, "").strip().lower() not in DISABLED_VALUES
+
+
+def default_progress() -> Optional[Callable[[str], None]]:
+    """Progress sink from ``REPRO_TUNER_PROGRESS`` (silent when unset)."""
+    if os.environ.get(PROGRESS_ENV, "").strip().lower() in DISABLED_VALUES:
+        return None
+
+    def emit(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    return emit
+
+
+_RESUME_WARNED = False
+
+
+def _warn_resume_without_store() -> None:
+    """One warning per process when resume is requested but no
+    checkpoint store exists — otherwise ``--resume`` without a
+    ``REPRO_CACHE_DIR`` silently restarts hours of tuning."""
+    global _RESUME_WARNED
+    if _RESUME_WARNED:
+        return
+    _RESUME_WARNED = True
+    print(
+        "[tune] warning: resume requested but checkpointing is disabled "
+        "(set REPRO_CACHE_DIR to enable checkpoints); starting from scratch",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+@dataclass
+class DriverStats:
+    """Wall-clock-side counters for one driver run (not part of the
+    deterministic report).
+
+    Attributes:
+        proposed: Proposals handed out by the strategy.
+        committed: Evaluations committed (== the report's journal).
+        discarded: Proposals invalidated before commit.
+        invalidations: Times the speculative tail was discarded.
+        max_pending: Peak speculative queue depth.
+        checkpoints_written: Periodic checkpoints persisted.
+        replayed: Journal entries replayed during a resume.
+    """
+
+    proposed: int = 0
+    committed: int = 0
+    discarded: int = 0
+    invalidations: int = 0
+    max_pending: int = 0
+    checkpoints_written: int = 0
+    replayed: int = 0
+
+
+class CheckpointStore:
+    """Atomic JSON checkpoint files, one per session identity.
+
+    Args:
+        directory: Checkpoint directory (created on first write).
+            ``None`` disables checkpointing entirely.
+    """
+
+    def __init__(self, directory: Optional[str]) -> None:
+        self._directory = directory
+
+    @staticmethod
+    def from_environment() -> "CheckpointStore":
+        """Store under ``$REPRO_CACHE_DIR/checkpoints`` (disabled when
+        the result cache is disabled)."""
+        cache_dir = ResultCache.from_environment().directory
+        if cache_dir is None:
+            return CheckpointStore(None)
+        return CheckpointStore(os.path.join(cache_dir, "checkpoints"))
+
+    @property
+    def enabled(self) -> bool:
+        return self._directory is not None
+
+    @property
+    def directory(self) -> Optional[str]:
+        return self._directory
+
+    def path_for(self, identity: Dict[str, object]) -> str:
+        digest = hashlib.sha256(
+            json.dumps(identity, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:32]
+        assert self._directory is not None
+        return os.path.join(self._directory, f"tune_{digest}.json")
+
+    def load(self, identity: Dict[str, object]) -> Optional[Dict[str, object]]:
+        """The stored state for this identity (None on miss/corruption)."""
+        if self._directory is None:
+            return None
+        try:
+            with open(self.path_for(identity), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("identity") != identity:
+            return None
+        return entry
+
+    def save(self, identity: Dict[str, object], state: Dict[str, object]) -> None:
+        """Persist a checkpoint atomically (failures are swallowed —
+        checkpoints accelerate recovery, they are never a correctness
+        dependency)."""
+        if self._directory is None:
+            return
+        entry = dict(state)
+        entry["identity"] = identity
+        entry["version"] = CHECKPOINT_VERSION
+        try:
+            os.makedirs(self._directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp_path, self.path_for(identity))
+            finally:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+        except OSError:
+            return
+
+    def clear(self, identity: Dict[str, object]) -> None:
+        """Drop the checkpoint for this identity (no-op when absent)."""
+        if self._directory is None:
+            return
+        try:
+            os.unlink(self.path_for(identity))
+        except OSError:
+            return
+
+
+class TuningDriver:
+    """Streams one strategy's proposals through an evaluation backend.
+
+    Usable as a context manager: the evaluator's worker pools are
+    released on exit even when the search raises.
+
+    Args:
+        compiled: Compiler output for the target machine.
+        evaluator: The (possibly pooled) candidate evaluator.  The
+            driver owns it: :meth:`close` shuts it down.
+        strategy: The search strategy to drive.
+        plan: The session plan the strategy was built from.
+        inflight_per_worker: Speculative queue depth per evaluation
+            worker (>= 2 keeps pooled backends saturated while results
+            commit).
+        checkpoint_every: Commits between periodic checkpoints
+            (0 disables periodic checkpointing).
+        checkpoint_store: Where checkpoints live; ``None`` uses the
+            ``REPRO_CACHE_DIR``-derived default.
+        resume: Resume from a matching checkpoint when one exists;
+            ``None`` reads ``REPRO_TUNER_RESUME`` (off by default).
+        progress: Per-round progress sink (one line per completed
+            search round); ``None`` reads ``REPRO_TUNER_PROGRESS``
+            (silent by default; the experiments CLI turns it on).
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        evaluator: Evaluator,
+        strategy: SearchStrategy,
+        plan: SearchPlan,
+        inflight_per_worker: int = DEFAULT_INFLIGHT_PER_WORKER,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        resume: Optional[bool] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._compiled = compiled
+        self._evaluator = evaluator
+        self._strategy = strategy
+        self._plan = plan
+        self._inflight_target = max(
+            1, inflight_per_worker * max(1, getattr(evaluator, "workers", 1))
+        )
+        self._checkpoint_every = max(0, checkpoint_every)
+        self._store = (
+            checkpoint_store
+            if checkpoint_store is not None
+            else CheckpointStore.from_environment()
+        )
+        self._resume = resume if resume is not None else default_resume()
+        self._progress = progress if progress is not None else default_progress()
+        self._journal: List[Tuple[str, int]] = []
+        self._commits_since_checkpoint = 0
+        self._rounds_reported = 0
+        self._report: Optional[TuningReport] = None
+        self._closed = False
+        self.stats = DriverStats()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "TuningDriver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the evaluator's worker pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._evaluator.close()
+
+    @property
+    def evaluator(self) -> Evaluator:
+        """The evaluation backend in use."""
+        return self._evaluator
+
+    @property
+    def strategy(self) -> SearchStrategy:
+        """The strategy being driven."""
+        return self._strategy
+
+    # -- the tune loop -------------------------------------------------
+
+    def run(self, label: str = "") -> TuningReport:
+        """Drive the strategy to completion and return the report.
+
+        Args:
+            label: Provenance label stored on the winning configuration
+                (defaults to ``"<machine> Config"``).
+
+        Raises:
+            TuningError: If the driver was closed, the strategy stalls
+                (protocol violation), or an evaluation fails.
+        """
+        if self._report is not None:
+            return self._report
+        if self._closed:
+            raise TuningError("driver is closed")
+        label = label or f"{self._compiled.machine.codename} Config"
+        identity = self._identity()
+        if self._resume:
+            if not self._store.enabled:
+                _warn_resume_without_store()
+            else:
+                restored = self._try_resume(identity, label)
+                if restored is not None:
+                    return restored
+        pending: Deque[Proposal] = deque()
+        strategy = self._strategy
+        while True:
+            if not strategy.finished:
+                deficit = self._inflight_target - len(pending)
+                if deficit > 0:
+                    fresh = strategy.propose(deficit)
+                    if fresh:
+                        self._prefetch(fresh)
+                        pending.extend(fresh)
+                        self.stats.proposed += len(fresh)
+                        if len(pending) > self.stats.max_pending:
+                            self.stats.max_pending = len(pending)
+            if not pending:
+                if strategy.finished:
+                    break
+                raise TuningError(
+                    f"strategy {strategy.name!r} stalled: not finished but "
+                    "proposed nothing with no evaluations outstanding"
+                )
+            self._commit(pending.popleft(), pending)
+            if (
+                self._checkpoint_every
+                and self._store.enabled
+                and self._commits_since_checkpoint >= self._checkpoint_every
+            ):
+                while pending:  # drain to a quiescent point
+                    self._commit(pending.popleft(), pending)
+                self._write_checkpoint(identity)
+        return self._finish(identity, label)
+
+    def _commit(self, proposal: Proposal, pending: Deque[Proposal]) -> None:
+        evaluation = self._evaluator.evaluate(proposal.config, proposal.size)
+        self._journal.append((proposal.config.canonical_key(), proposal.size))
+        self.stats.committed += 1
+        self._commits_since_checkpoint += 1
+        if self._strategy.observe(proposal, evaluation):
+            self.stats.discarded += len(pending)
+            self.stats.invalidations += 1
+            pending.clear()
+            self._evaluator.drop_speculation()
+        self._report_rounds()
+
+    def _prefetch(self, proposals: List[Proposal]) -> None:
+        by_size: Dict[int, List[Configuration]] = {}
+        for proposal in proposals:
+            by_size.setdefault(proposal.size, []).append(proposal.config)
+        for size, configs in by_size.items():
+            self._evaluator.prefetch(configs, size)
+
+    def _finish(self, identity: Dict[str, object], label: str) -> TuningReport:
+        result = self._strategy.result()
+        evaluator = self._evaluator
+        self._report = TuningReport(
+            best=result.best.config.copy(label=label),
+            best_time_s=result.best_time_s,
+            tuning_time_s=evaluator.tuning_time_s,
+            evaluations=evaluator.evaluations,
+            sizes=list(self._plan.sizes),
+            history=list(result.history),
+            computed_evaluations=evaluator.computed_evaluations,
+            strategy=self._strategy.name,
+            seed=self._plan.seed,
+        )
+        if self._store.enabled:
+            self._store.save(
+                identity,
+                {"complete": True, "report": report_to_payload(self._report)},
+            )
+        self._emit(
+            f"[tune] {self._session_tag()} finished: "
+            f"evaluations={self._report.evaluations} "
+            f"computed={self._report.computed_evaluations} "
+            f"best={self._report.best_time_s:.4g}s"
+        )
+        return self._report
+
+    # -- checkpoint / resume -------------------------------------------
+
+    def _identity(self) -> Dict[str, object]:
+        evaluator = self._evaluator
+        return {
+            "version": CHECKPOINT_VERSION,
+            "model": execution_model_hash(),
+            "program": self._compiled.program.name,
+            "machine": self._compiled.machine.codename,
+            "fingerprint": evaluator.fingerprint,
+            "env": evaluator.env_token,
+            "accuracy": evaluator.accuracy_token,
+            "strategy": self._strategy.name,
+            "seed": self._plan.seed,
+            "sizes": list(self._plan.sizes),
+            "generations": self._plan.generations,
+            "population_size": self._plan.population_size,
+        }
+
+    def _write_checkpoint(self, identity: Dict[str, object]) -> None:
+        self._store.save(
+            identity,
+            {
+                "complete": False,
+                "journal": [list(entry) for entry in self._journal],
+                "strategy_state": self._strategy.state_payload(),
+            },
+        )
+        self._commits_since_checkpoint = 0
+        self.stats.checkpoints_written += 1
+
+    def _try_resume(
+        self, identity: Dict[str, object], label: str
+    ) -> Optional[TuningReport]:
+        """Restore from a matching checkpoint.
+
+        Returns the finished report for complete checkpoints; for
+        partial ones, replays the commit journal (rebuilding the
+        deterministic accounting) and restores the strategy, then
+        returns None so ``run`` continues the search.
+        """
+        entry = self._store.load(identity)
+        if entry is None:
+            return None
+        if entry.get("complete"):
+            try:
+                report = report_from_payload(entry["report"])  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError):
+                return None
+            report.best = report.best.copy(label=label)
+            self._report = report
+            self._emit(
+                f"[tune] {self._session_tag()} resumed finished session "
+                f"(evaluations={report.evaluations})"
+            )
+            return report
+        try:
+            journal = [
+                (str(config_json), int(size))
+                for config_json, size in entry["journal"]  # type: ignore[union-attr]
+            ]
+            state = entry["strategy_state"]
+        except (KeyError, TypeError, ValueError):
+            return None
+        try:
+            self._strategy.restore_state(state)  # type: ignore[arg-type]
+        except Exception:
+            # Incompatible state (older layout, custom strategy that
+            # rejects the payload): restore_state may have mutated the
+            # strategy field by field before raising, so rebuild a
+            # pristine one and start the session over.
+            self._strategy = type(self._strategy)(self._plan)
+            return None
+        for config_json, size in journal:
+            self._evaluator.evaluate(Configuration.from_json(config_json), size)
+        self._journal = list(journal)
+        self.stats.replayed = len(journal)
+        self._rounds_reported = len(self._strategy.history)
+        self._emit(
+            f"[tune] {self._session_tag()} resumed at "
+            f"{len(journal)} committed evaluations "
+            f"({self._rounds_reported} rounds done)"
+        )
+        return None
+
+    # -- progress ------------------------------------------------------
+
+    def _session_tag(self) -> str:
+        return (
+            f"{self._compiled.program.name}@{self._compiled.machine.codename} "
+            f"strategy={self._strategy.name}"
+        )
+
+    def _report_rounds(self) -> None:
+        history = self._strategy.history
+        while self._rounds_reported < len(history):
+            index = self._rounds_reported
+            self._rounds_reported += 1
+            if self._progress is None:
+                continue
+            evaluator = self._evaluator
+            size = self._plan.sizes[min(index, len(self._plan.sizes) - 1)]
+            self._emit(
+                f"[tune] {self._session_tag()} "
+                f"round {self._rounds_reported}/{len(self._plan.sizes)} "
+                f"size={size} proposed={self.stats.proposed} "
+                f"committed={self.stats.committed} "
+                f"computed={evaluator.computed_evaluations} "
+                f"disk_hits={evaluator.result_cache.stats.hits} "
+                f"best={history[index]:.4g}s"
+            )
+
+    def _emit(self, line: str) -> None:
+        if self._progress is not None:
+            self._progress(line)

@@ -248,6 +248,11 @@ class Evaluator:
             simulates) and vary between runs.
     """
 
+    #: Evaluation-slot width of this backend (pooled subclasses
+    #: override with their pool size); the tuning driver sizes its
+    #: speculative queue as a multiple of this.
+    workers: int = 1
+
     def __init__(
         self,
         compiled: CompiledProgram,
@@ -300,6 +305,22 @@ class Evaluator:
         program.
         """
         return self._fingerprint
+
+    @property
+    def env_token(self) -> str:
+        """Content token of the environment factory (cache identity)."""
+        return self._env_token
+
+    @property
+    def accuracy_token(self) -> str:
+        """Content token of the accuracy function (cache identity)."""
+        return self._accuracy_token
+
+    def inflight(self) -> int:
+        """Speculative evaluations currently in flight (0 without a
+        pool; pooled subclasses override).  A wall-clock gauge for
+        scheduling tests and progress reporting."""
+        return 0
 
     @property
     def jit(self) -> OpenCLRuntimeModel:

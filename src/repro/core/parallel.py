@@ -162,6 +162,10 @@ class ParallelEvaluator(Evaluator):
             pure = self.compute(config, size)
         return self._commit(key, pure)
 
+    def inflight(self) -> int:
+        """Speculative evaluations currently submitted to the pool."""
+        return len(self._inflight)
+
     def drop_speculation(self) -> None:
         """Forget queued speculative work whose premise was invalidated.
 

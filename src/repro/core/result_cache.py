@@ -96,8 +96,11 @@ def execution_model_hash() -> str:
 #: Environment variable naming the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
-#: Values of ``REPRO_CACHE_DIR`` that mean "disabled".
-_DISABLED_VALUES = ("", "0", "off", "none")
+#: Values that mean "disabled"/"off" for the repo's on-off environment
+#: knobs (``REPRO_CACHE_DIR``, ``REPRO_TUNER_RESUME``,
+#: ``REPRO_TUNER_PROGRESS`` share this grammar).
+DISABLED_VALUES = ("", "0", "off", "none", "false")
+_DISABLED_VALUES = DISABLED_VALUES
 
 
 @dataclass

@@ -1,8 +1,13 @@
-"""The evolutionary autotuning algorithm (paper Section 5.2).
+"""The autotuner front door (paper Section 5.2).
 
-The tuner maintains a population of candidate configurations which it
-continually expands with mutators and prunes by performance.  Key
-properties taken from the paper:
+:class:`EvolutionaryTuner` plans one tuning session — test-size ramp,
+mutator set, seed configurations, evaluation backend — and hands the
+search itself to a pluggable strategy
+(:mod:`repro.core.strategies`; ``evolutionary`` by default, which
+reproduces the paper's bottom-up evolutionary algorithm bit for bit)
+driven by the asynchronous :class:`~repro.core.driver.TuningDriver`.
+
+Key properties taken from the paper:
 
 * mutation is **asexual** — each child has a single parent;
 * a child joins the population **only if it outperforms its parent**;
@@ -19,63 +24,49 @@ target are rejected outright.
 Parallel evaluation
 ===================
 
-With ``workers > 1`` the tuner evaluates candidates speculatively on a
-pooled evaluator — threads by default, worker processes with
-``backend="process"`` (see :mod:`repro.core.backends`) — while
-committing results in the exact order the serial loop would: the
-generation loop
-draws a *window* of mutations ahead of time (checkpointing the RNG
-after every draw), fans their evaluations out, then commits one by
-one.  As soon as a committed child is admitted — which changes the
-parent pool the serial tuner would draw from — the remaining window is
-discarded and the RNG rewound to the checkpoint, so the committed
-decision sequence is bit-for-bit identical to ``workers=1``.
+With ``workers > 1`` candidates evaluate speculatively on a pooled
+evaluator — threads by default, worker processes with
+``backend="process"`` (see :mod:`repro.core.backends`) — while the
+driver commits results in the exact order a serial loop would, so the
+committed decision sequence (and therefore the
+:class:`~repro.core.report.TuningReport`) is bit-for-bit identical for
+every backend, worker count and speculation depth.  The driver keeps
+``inflight_per_worker`` speculative candidates queued per worker, so
+pooled backends stay saturated instead of idling at generation
+barriers.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional
 
 from repro.compiler.compile import CompiledProgram
 from repro.core.backends import create_evaluator
-from repro.core.configuration import Configuration, default_configuration
+from repro.core.driver import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_INFLIGHT_PER_WORKER,
+    CheckpointStore,
+    TuningDriver,
+)
 from repro.core.fitness import AccuracyFn, EnvFactory, Evaluator
 from repro.core.mutators import Mutator, mutators_for
 from repro.core.parallel import default_worker_count
-from repro.core.population import Candidate, Population
+from repro.core.report import (  # re-exported for compatibility
+    TuningReport,
+    report_from_payload,
+    report_to_payload,
+)
 from repro.core.result_cache import ResultCache
-from repro.core.selector import Selector
+from repro.core.strategies import SearchPlan, create_strategy, seed_configurations
 from repro.errors import TuningError
 
-
-@dataclass
-class TuningReport:
-    """Outcome of one autotuning session.
-
-    Attributes:
-        best: The winning configuration (labelled with the machine).
-        best_time_s: Its virtual execution time at the final size.
-        tuning_time_s: Total virtual time spent testing candidates and
-            JIT-compiling kernels (the Figure 8 "autotuning time").
-        evaluations: Number of candidate test runs executed.
-        sizes: The exponentially growing test sizes used.
-        history: Best time per size, in tuning order.
-        computed_evaluations: Simulations physically executed this
-            session — zero on a fully warm disk cache.  A wall-clock
-            work gauge, not part of the deterministic result: with
-            ``workers > 1`` discarded speculation still simulates, so
-            it may exceed ``evaluations`` and vary between runs.
-    """
-
-    best: Configuration
-    best_time_s: float
-    tuning_time_s: float
-    evaluations: int
-    sizes: List[int]
-    history: List[float] = field(default_factory=list)
-    computed_evaluations: int = 0
+__all__ = [
+    "EvolutionaryTuner",
+    "TuningReport",
+    "autotune",
+    "report_from_payload",
+    "report_to_payload",
+]
 
 
 class EvolutionaryTuner:
@@ -98,6 +89,12 @@ class EvolutionaryTuner:
         workers: Optional[int] = None,
         result_cache: Optional[ResultCache] = None,
         backend: Optional[str] = None,
+        strategy: Optional[str] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        resume: Optional[bool] = None,
+        inflight_per_worker: int = DEFAULT_INFLIGHT_PER_WORKER,
+        progress: Optional[Callable[[str], None]] = None,
     ) -> None:
         """Configure a tuning session.
 
@@ -128,9 +125,21 @@ class EvolutionaryTuner:
                 ``"process"`` or ``"auto"``; ``None`` reads the
                 ``REPRO_TUNER_BACKEND`` environment variable.  Reports
                 are bit-for-bit identical across all backends.
+            strategy: Search strategy name (see
+                :mod:`repro.core.strategies`); ``None`` reads the
+                ``REPRO_TUNER_STRATEGY`` environment variable
+                (``"evolutionary"`` when unset).
+            checkpoint_store: Where session checkpoints live; ``None``
+                uses the ``REPRO_CACHE_DIR``-derived default.
+            checkpoint_every: Commits between periodic checkpoints
+                (0 disables periodic checkpointing).
+            resume: Resume a matching checkpointed session; ``None``
+                reads ``REPRO_TUNER_RESUME`` (off when unset).
+            inflight_per_worker: Speculative queue depth per worker.
+            progress: Per-round progress sink; ``None`` reads
+                ``REPRO_TUNER_PROGRESS`` (silent by default).
         """
         self._compiled = compiled
-        self._rng = random.Random(seed)
         self._workers = max(
             1, workers if workers is not None else default_worker_count()
         )
@@ -144,18 +153,38 @@ class EvolutionaryTuner:
             seed=seed,
             result_cache=result_cache,
         )
-        self._population_size = population_size
-        self._mutators: List[Mutator] = (
+        mutator_set = (
             mutators if mutators is not None else mutators_for(compiled.training_info)
         )
         # Scale the per-size budget with the size of the mutator set so
         # programs with rich choice spaces (Sort's 9 algorithms, SVD's
         # nested transforms) still get enough algorithm-changing draws.
-        self._generations = max(generations_per_size, 2 * len(self._mutators))
-        self._sizes = self._plan_sizes(
+        generations = max(generations_per_size, 2 * len(mutator_set))
+        sizes = self._plan_sizes(
             min_size, max_size, size_growth, skip_small_sizes_for_opencl
         )
-        self._max_size = max_size
+        self._plan = SearchPlan(
+            training=compiled.training_info,
+            mutators=tuple(mutator_set),
+            seeds=tuple(seed_configurations(compiled.training_info)),
+            sizes=tuple(sizes),
+            max_size=max_size,
+            kernel_count=compiled.kernel_count,
+            population_size=population_size,
+            generations=generations,
+            seed=seed,
+        )
+        self._driver = TuningDriver(
+            compiled,
+            self._evaluator,
+            create_strategy(strategy, self._plan),
+            self._plan,
+            inflight_per_worker=inflight_per_worker,
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=checkpoint_store,
+            resume=resume,
+            progress=progress,
+        )
 
     def _plan_sizes(
         self, min_size: int, max_size: int, growth: int, skip_small: bool
@@ -181,143 +210,28 @@ class EvolutionaryTuner:
     @property
     def sizes(self) -> List[int]:
         """The planned test sizes (smallest to largest)."""
-        return list(self._sizes)
+        return list(self._plan.sizes)
 
     @property
     def evaluator(self) -> Evaluator:
         """The (possibly parallel) candidate evaluator."""
         return self._evaluator
 
-    def _seed_configs(self) -> List[Configuration]:
-        """Initial population: the default plus one constant-selector
-        configuration per (transform, algorithm).
+    @property
+    def driver(self) -> TuningDriver:
+        """The asynchronous tuning driver owning the search loop."""
+        return self._driver
 
-        The paper's tuner runs large numbers of tests on small inputs
-        to quickly explore the choice space; seeding every algorithm
-        guarantees that coverage before mutation refines cutoffs and
-        tunables.  The seeds are evaluated at the smallest test size,
-        where bad algorithms are cheap to reject.
-        """
-        training = self._compiled.training_info
-        seeds = [default_configuration(training)]
-        for name, spec in sorted(training.selectors.items()):
-            for algorithm in range(1, spec.num_algorithms):
-                config = default_configuration(training)
-                config.selectors[name] = Selector.constant(algorithm)
-                seeds.append(config)
-        return seeds
+    @property
+    def strategy_name(self) -> str:
+        """Name of the search strategy this session runs."""
+        return self._driver.strategy.name
 
-    def _evaluate_candidate(self, candidate: Candidate, size: int) -> float:
-        evaluation = self._evaluator.evaluate(candidate.config, size)
-        time = evaluation.time_s if evaluation.feasible else float("inf")
-        candidate.times[size] = time
-        return time
+    def __enter__(self) -> "EvolutionaryTuner":
+        return self
 
-    def _draw_child(
-        self, population: Population, size: int
-    ) -> Optional[Tuple[Candidate, Candidate]]:
-        """One serial-order mutation draw (may produce no child).
-
-        Returns:
-            ``(parent, child)`` or None when the drawn mutator could
-            not produce a legal child.
-        """
-        parent = self._rng.choice(population.members)
-        mutator = self._rng.choice(self._mutators)
-        child_config = mutator.mutate(parent.config, self._rng, size)
-        if child_config is None:
-            return None
-        try:
-            child_config.validate(self._compiled.training_info)
-        except Exception:
-            return None
-        return parent, Candidate(config=child_config)
-
-    def _run_generations(
-        self, population: Population, size: int, generations: int
-    ) -> None:
-        """The mutation loop, with speculative parallel evaluation.
-
-        Mutations are drawn in windows of up to ``workers`` with an RNG
-        checkpoint after each draw; window members are evaluated
-        concurrently and committed in draw order.  An admission
-        invalidates the rest of the window (the serial tuner would have
-        drawn from the enlarged population), so it is discarded and the
-        RNG rewound — making every commit identical to the serial run.
-        """
-        remaining = generations
-        while remaining > 0:
-            window = min(self._workers, remaining)
-            draws: List[Tuple[Optional[Tuple[Candidate, Candidate]], object]] = []
-            for _ in range(window):
-                draw = self._draw_child(population, size)
-                draws.append((draw, self._rng.getstate()))
-            self._evaluator.prefetch(
-                [draw[1].config for draw, _ in draws if draw is not None], size
-            )
-            admitted = False
-            for draw, rng_state in draws:
-                remaining -= 1
-                if draw is None:
-                    continue
-                parent, child = draw
-                child_time = self._evaluate_candidate(child, size)
-                # Paper: children are admitted only when they
-                # outperform the parent they were created from.
-                if child_time < parent.time_at(size):
-                    population.add(child)
-                    admitted = True
-                    self._rng.setstate(rng_state)
-                    break
-            if admitted:
-                self._evaluator.drop_speculation()
-
-    def _refine(self, best: Candidate, size: int) -> Candidate:
-        """Greedy local refinement of the winner's tunables.
-
-        After the evolutionary phase, hill-climb each tunable (one
-        step through its range for categorical values, one doubling /
-        halving for size-like values) and keep improvements.  This is
-        the deterministic final polish that makes the natively tuned
-        configuration robustly at least as good as any migrated one on
-        its own machine.
-        """
-        training = self._compiled.training_info
-        current = best
-        for _ in range(2):
-            improved = False
-            for name, spec in sorted(training.tunables.items()):
-                value = current.config.tunable(name, spec.default)
-                if spec.scale == "lognormal":
-                    neighbours = (value * 2, max(1, value // 2))
-                else:
-                    neighbours = (value + 1, value - 1)
-                # Speculate on both neighbours of the entry config; if
-                # the first one wins, the second commit below rebuilds
-                # from the new base (the speculative result is simply
-                # unused).
-                speculative: List[Configuration] = []
-                for neighbour in neighbours:
-                    clamped = spec.clamp(neighbour)
-                    if clamped == value:
-                        continue
-                    config = current.config.copy()
-                    config.tunables[name] = clamped
-                    speculative.append(config)
-                self._evaluator.prefetch(speculative, size)
-                for neighbour in neighbours:
-                    clamped = spec.clamp(neighbour)
-                    if clamped == value:
-                        continue
-                    config = current.config.copy()
-                    config.tunables[name] = clamped
-                    candidate = Candidate(config=config)
-                    if self._evaluate_candidate(candidate, size) < current.time_at(size):
-                        current = candidate
-                        improved = True
-            if not improved:
-                break
-        return current
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def tune(self, label: str = "") -> TuningReport:
         """Run the search and return the winning configuration.
@@ -326,55 +240,11 @@ class EvolutionaryTuner:
             label: Provenance label stored on the result (e.g.
                 ``"Desktop Config"``).
         """
-        population = Population(self._population_size)
-        seeds = self._seed_configs()
-        for config in seeds:
-            population.add(Candidate(config=config))
-
-        history: List[float] = []
-        for size in self._sizes:
-            # Re-inject the per-algorithm seeds at every size level: an
-            # algorithm that loses at small sizes (a GPU kernel paying
-            # launch and transfer overheads) must still be considered
-            # at the sizes where it wins.  Evaluations are memoised, so
-            # re-seeding costs one run per seed per size at most.
-            present = {c.config.canonical_key() for c in population.members}
-            for config in seeds:
-                if config.canonical_key() not in present:
-                    population.add(Candidate(config=config.copy()))
-            self._evaluator.prefetch(
-                [candidate.config for candidate in population.members], size
-            )
-            for candidate in population.members:
-                self._evaluate_candidate(candidate, size)
-            generations = self._generations
-            if size < self._max_size // 16 and self._compiled.kernel_count > 0:
-                # Fewer tests at small sizes (Section 5.4 mitigation).
-                generations = max(2, generations // 2)
-            elif size == self._max_size:
-                # Spend extra effort at the final (testing) size, where
-                # fine-grained tunables such as the GPU/CPU ratio pay off.
-                generations *= 2
-            self._run_generations(population, size, generations)
-            population.prune(size)
-            history.append(population.best(size).time_at(size))
-
-        final_size = self._sizes[-1]
-        best = self._refine(population.best(final_size), final_size)
-        best_config = best.config.copy(label=label or f"{self._compiled.machine.codename} Config")
-        return TuningReport(
-            best=best_config,
-            best_time_s=best.time_at(final_size),
-            tuning_time_s=self._evaluator.tuning_time_s,
-            evaluations=self._evaluator.evaluations,
-            sizes=list(self._sizes),
-            history=history,
-            computed_evaluations=self._evaluator.computed_evaluations,
-        )
+        return self._driver.run(label=label)
 
     def close(self) -> None:
-        """Release the evaluator's worker pool (if any)."""
-        self._evaluator.close()
+        """Release the evaluator's worker pool (idempotent)."""
+        self._driver.close()
 
 
 def autotune(
@@ -392,42 +262,7 @@ def autotune(
         max_size: Final testing input size.
         label: Label for the winning configuration.
         **tuner_kwargs: Forwarded to :class:`EvolutionaryTuner`
-            (including ``workers`` and ``result_cache``).
+            (including ``workers``, ``strategy`` and ``result_cache``).
     """
-    tuner = EvolutionaryTuner(compiled, env_factory, max_size, **tuner_kwargs)
-    try:
+    with EvolutionaryTuner(compiled, env_factory, max_size, **tuner_kwargs) as tuner:
         return tuner.tune(label=label)
-    finally:
-        tuner.close()
-
-
-def report_to_payload(report: TuningReport) -> Dict[str, object]:
-    """Serialise a report to a picklable/JSON-safe dict of primitives.
-
-    Used by process-sharded batch tuning to ship finished reports back
-    from worker processes: :class:`TuningReport` itself holds a
-    :class:`~repro.core.configuration.Configuration`, which crosses the
-    pipe as its canonical JSON instead.
-    """
-    return {
-        "best": report.best.to_json(),
-        "best_time_s": report.best_time_s,
-        "tuning_time_s": report.tuning_time_s,
-        "evaluations": report.evaluations,
-        "sizes": list(report.sizes),
-        "history": list(report.history),
-        "computed_evaluations": report.computed_evaluations,
-    }
-
-
-def report_from_payload(payload: Dict[str, object]) -> TuningReport:
-    """Inverse of :func:`report_to_payload`."""
-    return TuningReport(
-        best=Configuration.from_json(str(payload["best"])),
-        best_time_s=float(payload["best_time_s"]),
-        tuning_time_s=float(payload["tuning_time_s"]),
-        evaluations=int(payload["evaluations"]),
-        sizes=[int(size) for size in payload["sizes"]],
-        history=[float(time) for time in payload["history"]],
-        computed_evaluations=int(payload["computed_evaluations"]),
-    )

@@ -1,0 +1,52 @@
+"""Greedy hill-climbing search strategy.
+
+A single-state walk through the configuration space: the incumbent is
+always the fastest configuration seen at the current size; every draw
+mutates the incumbent, and an improving child replaces it immediately.
+The seed ramp (per-algorithm seeds re-injected at every size, sizes
+growing exponentially) and the final greedy tunable refinement are
+shared with the evolutionary strategy — only the parent pool differs:
+capacity one, no random parent choice.
+
+Hill climbing commits faster than the evolutionary search (no
+population bookkeeping, fewer survivors to re-evaluate per size) at the
+cost of exploration: it is the cheap comparative-evaluation baseline
+the strategy subsystem exists to make swappable.
+
+Determinism: draws read the incumbent's *fitness* (the population best
+at the current size), so draws stall until the member evaluations of
+the size have settled (:meth:`_ready_to_draw`); admissions rewind the
+RNG exactly like the evolutionary strategy, so reports are bit-for-bit
+identical across backends and in-flight depths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.population import Candidate
+from repro.core.strategies.base import SearchPlan
+from repro.core.strategies.evolutionary import EvolutionaryStrategy
+
+
+class HillClimbStrategy(EvolutionaryStrategy):
+    """Evolutionary machinery specialised to a population of one."""
+
+    name = "hillclimb"
+
+    def __init__(self, plan: SearchPlan) -> None:
+        super().__init__(dataclasses.replace(plan, population_size=1))
+
+    def _ready_to_draw(self) -> bool:
+        # The incumbent is defined by measured fitness; wait for the
+        # seed/member evaluations of this size before drawing from it.
+        return self._members_outstanding == 0
+
+    def _pick_parent(self, size: int) -> Candidate:
+        return self._population.best(size)
+
+    def _on_admitted(self, child: Candidate, size: int, extra: object) -> None:
+        self._population.add(child)
+        # The child beat the incumbent: collapse the pool to it now so
+        # the next draw climbs from the new best.
+        self._population.prune(size)

@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments                      # all figures/tables
     python -m repro.experiments fig2 fig9            # a subset
     python -m repro.experiments --backend=process    # shard across processes
+    python -m repro.experiments --strategy=hillclimb # swap the search
+    python -m repro.experiments --resume fig6        # continue a killed run
     python -m repro.experiments bench                # hot-path benchmark
     python -m repro.experiments bench --tier=tiny --check=benchmarks/perf/BENCH_baseline.json
 
@@ -17,6 +19,20 @@ Flags:
                                   scheduling follow it.  Results are
                                   bit-for-bit identical on every
                                   backend.
+    --strategy=<name>             search strategy: ``evolutionary``
+                                  (default), ``hillclimb``, ``random``
+                                  or ``bandit``.  Sets
+                                  ``REPRO_TUNER_STRATEGY`` for the
+                                  whole run (tuners and shard
+                                  children).
+    --resume                      resume checkpointed tuning sessions
+                                  from ``REPRO_CACHE_DIR`` (sets
+                                  ``REPRO_TUNER_RESUME=1``); resumed
+                                  reports are byte-identical to
+                                  uninterrupted runs.
+    --quiet                       suppress the per-round tuning
+                                  progress lines (on by default on
+                                  this CLI).
 
 Environment:
     REPRO_FULL_SCALE=1            the paper's exact input sizes.
@@ -24,7 +40,12 @@ Environment:
     REPRO_CACHE_DIR=<dir>         cross-session evaluation cache; a
                                   warm cache regenerates the tuning
                                   figures without re-simulating.
+                                  Session checkpoints live in its
+                                  ``checkpoints/`` subdirectory.
     REPRO_TUNER_BACKEND=<name>    same as --backend (the flag wins).
+    REPRO_TUNER_STRATEGY=<name>   same as --strategy (the flag wins).
+    REPRO_TUNER_RESUME=1          same as --resume.
+    REPRO_TUNER_PROGRESS=0        same as --quiet.
     REPRO_TUNE_MANY_WORKERS=<n>   concurrent tuning sessions or shard
                                   processes (default 4).
     REPRO_TUNER_WORKERS=<n>       speculative evaluation workers per
@@ -37,6 +58,8 @@ import os
 import sys
 
 from repro.core.backends import BACKEND_ENV, BACKEND_NAMES
+from repro.core.driver import PROGRESS_ENV, RESUME_ENV
+from repro.core.strategies import STRATEGIES, STRATEGY_ENV, strategy_names
 from repro.experiments.fig2_convolution import run_fig2
 from repro.experiments.fig6_configs import render_fig6, run_fig6
 from repro.experiments.fig7_migration import run_fig7
@@ -91,6 +114,7 @@ def main(argv: list) -> int:
 
         return bench_main(argv[1:])
     requested = []
+    quiet = False
     for arg in argv:
         if arg.startswith("--backend="):
             backend = arg.split("=", 1)[1].strip().lower()
@@ -103,8 +127,27 @@ def main(argv: list) -> int:
             # Exported to the environment so every tuner and tune_many
             # call in this run (and in shard children) follows it.
             os.environ[BACKEND_ENV] = backend
+        elif arg.startswith("--strategy="):
+            strategy = arg.split("=", 1)[1].strip().lower()
+            if strategy not in STRATEGIES:
+                print(
+                    f"unknown strategy {strategy!r}; "
+                    f"available: {list(strategy_names())}"
+                )
+                return 2
+            os.environ[STRATEGY_ENV] = strategy
+        elif arg == "--resume":
+            os.environ[RESUME_ENV] = "1"
+        elif arg == "--quiet":
+            quiet = True
         else:
             requested.append(arg)
+    # Long tunes report one line per strategy round on stderr instead
+    # of running silently; an explicit environment choice wins.
+    if not quiet:
+        os.environ.setdefault(PROGRESS_ENV, "1")
+    else:
+        os.environ[PROGRESS_ENV] = "0"
     settings = ExperimentSettings.from_environment()
     requested = requested or list(_ARTEFACTS)
     unknown = [name for name in requested if name not in _ARTEFACTS]

@@ -22,7 +22,11 @@ machine model, which exercises the GPU quartet path):
 
 Plus one end-to-end tuning-generation benchmark: a small tuning
 session with the disk cache disabled, reported as wall-clock per
-physically computed evaluation.
+physically computed evaluation — run once per registered search
+strategy (``strategies`` section), so every PR lands with a measured
+per-strategy tuning throughput trajectory.  The ``tuning`` entry
+remains the evolutionary strategy's end-to-end session, directly
+comparable against pre-strategy baselines.
 
 Usage::
 
@@ -140,7 +144,9 @@ def _bench_app(name: str, size: int, machine_name: str, repeats: int) -> Dict[st
     }
 
 
-def _bench_tuning(name: str, max_size: int, seed: int = 3) -> Dict[str, float]:
+def _bench_tuning(
+    name: str, max_size: int, seed: int = 3, strategy: str = "evolutionary"
+) -> Dict[str, float]:
     """One small tuning session, disk cache off, serial backend."""
     spec = benchmark(name)
     machine = machine_by_name(BENCH_MACHINE)
@@ -152,6 +158,8 @@ def _bench_tuning(name: str, max_size: int, seed: int = 3) -> Dict[str, float]:
         seed=seed,
         backend="serial",
         result_cache=ResultCache(None),
+        strategy=strategy,
+        resume=False,
     )
     start = time.perf_counter()
     try:
@@ -162,11 +170,16 @@ def _bench_tuning(name: str, max_size: int, seed: int = 3) -> Dict[str, float]:
     computed = max(1, report.computed_evaluations)
     return {
         "app": name,
+        "strategy": strategy,
         "max_size": max_size,
         "wall_s": wall,
         "evaluations": report.evaluations,
         "computed_evaluations": report.computed_evaluations,
         "s_per_computed_evaluation": wall / computed,
+        # Generation throughput: committed candidate tests per second
+        # of wall clock, the number the strategy bench tracks per PR.
+        "evaluations_per_s": report.evaluations / wall if wall > 0 else 0.0,
+        "rounds": len(report.history),
     }
 
 
@@ -192,8 +205,21 @@ def bench_runtime(
         "apps": apps,
     }
     if include_tuning:
+        from repro.core.strategies import strategy_names
+
         tuning_app, tuning_size = TIER_TUNING[tier]
         payload["tuning"] = _bench_tuning(tuning_app, tuning_size)
+        # Per-strategy generation throughput (the evolutionary entry
+        # reuses the measurement above rather than tuning twice).
+        strategies: Dict[str, Dict[str, float]] = {
+            "evolutionary": payload["tuning"]  # type: ignore[dict-item]
+        }
+        for name in strategy_names():
+            if name not in strategies:
+                strategies[name] = _bench_tuning(
+                    tuning_app, tuning_size, strategy=name
+                )
+        payload["strategies"] = strategies
     return payload
 
 
@@ -252,6 +278,14 @@ def render_bench(payload: Dict[str, object]) -> str:
             f"computed={tuning['computed_evaluations']} "
             f"({tuning['s_per_computed_evaluation'] * 1e3:.2f} ms/eval)"
         )
+    strategies = payload.get("strategies")
+    if strategies:
+        for name, entry in strategies.items():
+            lines.append(
+                f"strategy {name:13s} wall={entry['wall_s']:.2f}s "
+                f"evals={entry['evaluations']} "
+                f"({entry['evaluations_per_s']:.1f} evals/s)"
+            )
     return "\n".join(lines)
 
 

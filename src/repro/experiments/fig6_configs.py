@@ -17,7 +17,7 @@ from repro.compiler.compile import CompiledProgram
 from repro.core.configuration import Configuration
 from repro.experiments.runner import DEFAULT_SEED, tune_all_standard, tuned_session
 from repro.hardware.machines import MachineSpec, standard_machines
-from repro.reporting.tables import render_table
+from repro.reporting.tables import provenance_footer, render_table
 
 #: Transforms whose choices the summary highlights, per benchmark.
 _FOCUS_TRANSFORMS: Dict[str, Tuple[str, ...]] = {
@@ -91,6 +91,8 @@ class Fig6Row:
     machine: str
     summary: Dict[str, str]
     best_time_s: float
+    strategy: str = "evolutionary"
+    seed: int = 0
 
     def as_text(self) -> str:
         """Single-line rendering of the summary."""
@@ -138,6 +140,8 @@ def run_fig6(
                     machine=machine.codename,
                     summary=summary,
                     best_time_s=session.report.best_time_s,
+                    strategy=session.report.strategy,
+                    seed=session.report.seed,
                 )
             )
     return rows
@@ -146,7 +150,11 @@ def run_fig6(
 def render_fig6(rows: List[Fig6Row]) -> str:
     """ASCII rendering of the Figure 6 table."""
     return render_table(
-        ["Benchmark", "Machine", "Autotuned configuration"],
-        [[row.benchmark, row.machine, row.as_text()] for row in rows],
+        ["Benchmark", "Machine", "Strategy", "Autotuned configuration"],
+        [[row.benchmark, row.machine, row.strategy, row.as_text()] for row in rows],
         title="Figure 6: autotuned configuration summary",
+        footer=provenance_footer(
+            (row.strategy for row in rows),
+            rows[0].seed if rows else DEFAULT_SEED,
+        ),
     )

@@ -49,6 +49,7 @@ from repro.core.search import (
     report_from_payload,
     report_to_payload,
 )
+from repro.core.strategies import resolve_strategy
 from repro.hardware.machines import MachineSpec, machine_by_name, standard_machines
 
 #: Default seed for every experiment (results are deterministic).
@@ -111,9 +112,12 @@ class TunedSession:
     report: TuningReport
 
 
-_SESSIONS: Dict[Tuple[str, str, int], TunedSession] = {}
+#: Session-cache key: (benchmark, machine codename, seed, strategy).
+SessionKey = Tuple[str, str, int, str]
+
+_SESSIONS: Dict[SessionKey, TunedSession] = {}
 _SESSIONS_LOCK = threading.Lock()
-_KEY_LOCKS: Dict[Tuple[str, str, int], threading.Lock] = {}
+_KEY_LOCKS: Dict[SessionKey, threading.Lock] = {}
 
 
 def _tune_one(
@@ -122,10 +126,12 @@ def _tune_one(
     seed: int,
     backend: Optional[str] = None,
     result_cache: Optional[ResultCache] = None,
+    strategy: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> TunedSession:
     spec = benchmark(benchmark_name)
     compiled = compile_program(spec.build_program(), machine)
-    tuner = EvolutionaryTuner(
+    with EvolutionaryTuner(
         compiled,
         canonical_env_factory(benchmark_name),
         max_size=spec.tuning_size,
@@ -134,11 +140,10 @@ def _tune_one(
         accuracy_target=spec.accuracy_target,
         backend=backend,
         result_cache=result_cache,
-    )
-    try:
+        strategy=strategy,
+        resume=resume,
+    ) as tuner:
         report = tuner.tune(label=f"{machine.codename} Config")
-    finally:
-        tuner.close()
     return TunedSession(
         spec=spec, machine=machine, compiled=compiled, report=report
     )
@@ -149,6 +154,8 @@ def tuned_session(
     machine: MachineSpec,
     seed: int = DEFAULT_SEED,
     backend: Optional[str] = None,
+    strategy: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> TunedSession:
     """Autotune (or fetch the cached session for) one combination.
 
@@ -161,11 +168,16 @@ def tuned_session(
         seed: Tuning seed.
         backend: Evaluation backend for a cache-miss tuning run (the
             session key ignores it — reports are backend-invariant).
+        strategy: Search strategy; ``None`` reads
+            ``REPRO_TUNER_STRATEGY``.  Part of the session key —
+            different strategies produce different reports.
+        resume: Resume a checkpointed session on a cache miss;
+            ``None`` reads ``REPRO_TUNER_RESUME``.
 
     Returns:
         The cached :class:`TunedSession`.
     """
-    key = (benchmark_name, machine.codename, seed)
+    key = (benchmark_name, machine.codename, seed, resolve_strategy(strategy))
     with _SESSIONS_LOCK:
         session = _SESSIONS.get(key)
         if session is not None:
@@ -176,7 +188,10 @@ def tuned_session(
             session = _SESSIONS.get(key)
         if session is not None:
             return session
-        session = _tune_one(benchmark_name, machine, seed, backend=backend)
+        session = _tune_one(
+            benchmark_name, machine, seed, backend=backend,
+            strategy=strategy, resume=resume,
+        )
         with _SESSIONS_LOCK:
             _SESSIONS[key] = session
     return session
@@ -206,14 +221,21 @@ def _no_fork_backend() -> str:
 
 
 def _tune_shard(
-    pairs: Sequence[Tuple[str, str]], seed: int, cache_dir: Optional[str]
+    pairs: Sequence[Tuple[str, str]],
+    seed: int,
+    cache_dir: Optional[str],
+    strategy: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> List[Tuple[str, str, Dict[str, object]]]:
     """Process-pool entry point: tune one shard of (name, codename)
     pairs and return their reports as primitive payloads.
 
     Opens this shard's own :class:`ResultCache` handle on the shared
     directory — concurrent shards merge through the cache's atomic
-    writes, never through shared state.
+    writes, never through shared state.  Checkpoints written by the
+    shard land in the shared ``REPRO_CACHE_DIR``-derived store, so a
+    killed batch resumes no matter which shard a session lands on next
+    time.
     """
     cache = ResultCache(cache_dir)
     backend = _no_fork_backend()
@@ -225,6 +247,8 @@ def _tune_shard(
             seed,
             backend=backend,
             result_cache=cache,
+            strategy=strategy,
+            resume=resume,
         )
         results.append((name, codename, report_to_payload(session.report)))
     return results
@@ -239,7 +263,7 @@ def _shardable(machine: MachineSpec) -> bool:
 
 
 def _claim_missing(
-    resolved: Sequence[Tuple[str, MachineSpec]], seed: int
+    resolved: Sequence[Tuple[str, MachineSpec]], seed: int, strategy_name: str
 ) -> Tuple[List[Tuple[str, MachineSpec]], List[threading.Lock]]:
     """Claim untuned, shardable pairs under the single-flight key locks.
 
@@ -258,7 +282,7 @@ def _claim_missing(
     for name, machine in resolved:
         if not _shardable(machine):
             continue
-        key = (name, machine.codename, seed)
+        key = (name, machine.codename, seed, strategy_name)
         with _SESSIONS_LOCK:
             if key in _SESSIONS:
                 continue
@@ -276,7 +300,8 @@ def _claim_missing(
 
 
 def _install_session(
-    name: str, machine: MachineSpec, seed: int, report: TuningReport
+    name: str, machine: MachineSpec, seed: int, strategy_name: str,
+    report: TuningReport,
 ) -> None:
     """Rebuild a shipped report into a full session and cache it."""
     spec = benchmark(name)
@@ -287,13 +312,17 @@ def _install_session(
         report=report,
     )
     with _SESSIONS_LOCK:
-        _SESSIONS.setdefault((name, machine.codename, seed), session)
+        _SESSIONS.setdefault(
+            (name, machine.codename, seed, strategy_name), session
+        )
 
 
 def _tune_many_process(
     resolved: Sequence[Tuple[str, MachineSpec]],
     seed: int,
     worker_count: int,
+    strategy: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> List[TunedSession]:
     """Shard a batch across worker processes and collect the sessions.
 
@@ -305,16 +334,21 @@ def _tune_many_process(
     — cheap next to tuning) and installs it in the process-wide
     session cache before releasing the claim.
     """
-    claimed, held = _claim_missing(resolved, seed)
+    strategy_name = resolve_strategy(strategy)
+    claimed, held = _claim_missing(resolved, seed, strategy_name)
     try:
         # Callers reach this only with worker_count > 1, so a shard
         # pool is worthless solely for a single claimed pair.
         shard_count = min(worker_count, len(claimed))
         if len(claimed) == 1:
             name, machine = claimed[0]
-            session = _tune_one(name, machine, seed)
+            session = _tune_one(
+                name, machine, seed, strategy=strategy, resume=resume
+            )
             with _SESSIONS_LOCK:
-                _SESSIONS.setdefault((name, machine.codename, seed), session)
+                _SESSIONS.setdefault(
+                    (name, machine.codename, seed, strategy_name), session
+                )
         elif claimed:
             shards: List[List[Tuple[str, str]]] = [[] for _ in range(shard_count)]
             for index, (name, machine) in enumerate(claimed):
@@ -323,7 +357,9 @@ def _tune_many_process(
             machines = {machine.codename: machine for _, machine in claimed}
             with ProcessPoolExecutor(max_workers=shard_count) as pool:
                 futures = [
-                    pool.submit(_tune_shard, shard, seed, cache_dir)
+                    pool.submit(
+                        _tune_shard, shard, seed, cache_dir, strategy, resume
+                    )
                     for shard in shards
                 ]
                 for future in futures:
@@ -332,6 +368,7 @@ def _tune_many_process(
                             name,
                             machines[codename],
                             seed,
+                            strategy_name,
                             report_from_payload(payload),
                         )
     finally:
@@ -341,7 +378,10 @@ def _tune_many_process(
     # already cached, is being tuned by a concurrent caller (the
     # single-flight lock inside tuned_session waits for it), or has an
     # unshardable machine and tunes locally here.
-    return [tuned_session(name, machine, seed) for name, machine in resolved]
+    return [
+        tuned_session(name, machine, seed, strategy=strategy, resume=resume)
+        for name, machine in resolved
+    ]
 
 
 def tune_many(
@@ -349,6 +389,8 @@ def tune_many(
     seed: int = DEFAULT_SEED,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    strategy: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> Dict[Tuple[str, str], TunedSession]:
     """Tune a batch of (benchmark, machine) pairs concurrently.
 
@@ -357,6 +399,12 @@ def tune_many(
     by one with sequential ``autotune``/:func:`tuned_session` calls —
     concurrency changes wall-clock time only.  Sessions land in the
     same process-wide cache :func:`tuned_session` uses.
+
+    With ``resume`` enabled (or ``REPRO_TUNER_RESUME`` set) and a
+    ``REPRO_CACHE_DIR`` configured, each session checkpoints its
+    search state periodically and on completion; a killed batch picks
+    up where it left off on the next call, with byte-identical final
+    reports.
 
     Args:
         pairs: (benchmark name, machine or machine codename) pairs;
@@ -370,6 +418,11 @@ def tune_many(
             ``"serial"``, or ``"process"`` to shard the batch across
             worker processes; ``None`` reads ``REPRO_TUNER_BACKEND``.
             Results are identical on every backend.
+        strategy: Search strategy for every pair; ``None`` reads
+            ``REPRO_TUNER_STRATEGY``.  Results are deterministic per
+            (strategy, seed) and identical on every backend.
+        resume: Resume checkpointed sessions; ``None`` reads
+            ``REPRO_TUNER_RESUME``.
 
     Returns:
         ``{(benchmark name, machine codename): session}`` for every
@@ -394,14 +447,19 @@ def tune_many(
         worker_count = 1
 
     if backend_name == "process" and worker_count > 1 and len(resolved) > 1:
-        sessions = _tune_many_process(resolved, seed, worker_count)
+        sessions = _tune_many_process(
+            resolved, seed, worker_count, strategy=strategy, resume=resume
+        )
     elif worker_count == 1 or len(resolved) <= 1:
         # Forward the caller's backend: an explicit "serial" must stay
         # serial even under a process-backend environment, and an
         # explicit "process" that cannot shard (one pair, one worker)
         # still gets in-tuner process evaluation.
         sessions = [
-            tuned_session(name, machine, seed, backend=backend)
+            tuned_session(
+                name, machine, seed, backend=backend,
+                strategy=strategy, resume=resume,
+            )
             for name, machine in resolved
         ]
     else:
@@ -413,7 +471,10 @@ def tune_many(
             max_workers=worker_count, thread_name_prefix="repro-tune"
         ) as pool:
             futures = [
-                pool.submit(tuned_session, name, machine, seed, inner_backend)
+                pool.submit(
+                    tuned_session, name, machine, seed, inner_backend,
+                    strategy, resume,
+                )
                 for name, machine in resolved
             ]
             sessions = [future.result() for future in futures]
@@ -438,9 +499,14 @@ def tune_all_standard(
     seed: int = DEFAULT_SEED,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    strategy: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> Dict[Tuple[str, str], TunedSession]:
     """Batch-tune the full standard grid (see :func:`tune_many`)."""
-    return tune_many(standard_pairs(), seed=seed, workers=workers, backend=backend)
+    return tune_many(
+        standard_pairs(), seed=seed, workers=workers, backend=backend,
+        strategy=strategy, resume=resume,
+    )
 
 
 def clear_sessions() -> None:

@@ -20,7 +20,10 @@ def _stringify(value) -> str:
 
 
 def render_table(
-    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    footer: str = "",
 ) -> str:
     """Render a fixed-width table.
 
@@ -28,6 +31,9 @@ def render_table(
         headers: Column headers.
         rows: Row value sequences (stringified automatically).
         title: Optional title line printed above the table.
+        footer: Optional provenance line printed below the table (the
+            tuning tables use it to record the search strategy and
+            seed their sessions ran with).
 
     Returns:
         The table as a multi-line string.
@@ -49,7 +55,25 @@ def render_table(
     lines.append(fmt(["-" * w for w in widths]))
     for row in string_rows:
         lines.append(fmt(row))
+    if footer:
+        lines.append(footer)
     return "\n".join(lines)
+
+
+def provenance_footer(strategies: Iterable[str], seed) -> str:
+    """One-line provenance note for tables built from tuning reports.
+
+    Args:
+        strategies: Strategy names of the contributing reports
+            (deduplicated, order-preserving).
+        seed: The tuning seed the sessions ran with.
+    """
+    seen: List[str] = []
+    for name in strategies:
+        if name not in seen:
+            seen.append(name)
+    label = ", ".join(seen) if seen else "unknown"
+    return f"(tuned with strategy: {label}; seed {seed})"
 
 
 def render_series(

@@ -72,7 +72,7 @@ def report_key(report: TuningReport):
 
 
 def tune_app(name: str, workers: int, machine=DESKTOP, seed: int = 1,
-             result_cache=None, backend=None) -> TuningReport:
+             result_cache=None, backend=None, strategy=None) -> TuningReport:
     spec = benchmark(name)
     compiled = compile_program(spec.build_program(), machine)
     return autotune(
@@ -85,6 +85,7 @@ def tune_app(name: str, workers: int, machine=DESKTOP, seed: int = 1,
         workers=workers,
         result_cache=result_cache,
         backend=backend,
+        strategy=strategy,
     )
 
 
@@ -113,6 +114,39 @@ def test_backend_matrix_report_identical_to_serial(name, backend):
     )
     assert report_key(tuned) == report_key(baseline_report(name)), (
         f"backend={backend} diverged from serial on {name}"
+    )
+
+
+#: Non-default strategies in the backend matrix: two apps, every
+#: backend, against that strategy's own serial baseline.
+STRATEGY_MATRIX_APPS = ("Strassen", "SeparableConv.")
+
+_STRATEGY_BASELINES: Dict[str, TuningReport] = {}
+
+
+def strategy_baseline(name: str, strategy: str) -> TuningReport:
+    key = f"{name}:{strategy}"
+    if key not in _STRATEGY_BASELINES:
+        _STRATEGY_BASELINES[key] = tune_app(
+            name, workers=1, backend="serial",
+            result_cache=ResultCache(None), strategy=strategy,
+        )
+    return _STRATEGY_BASELINES[key]
+
+
+@pytest.mark.parametrize("name", STRATEGY_MATRIX_APPS)
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_nondefault_strategy_backend_invariance(name, backend):
+    """The ordered-commit layer preserves per-strategy determinism: a
+    non-default strategy's report is identical on every backend too."""
+    tuned = tune_app(
+        name, workers=4, backend=backend,
+        result_cache=ResultCache(None), strategy="hillclimb",
+    )
+    baseline = strategy_baseline(name, "hillclimb")
+    assert tuned.strategy == "hillclimb"
+    assert report_key(tuned) == report_key(baseline), (
+        f"backend={backend} diverged from serial on {name} (hillclimb)"
     )
 
 

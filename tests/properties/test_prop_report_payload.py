@@ -1,0 +1,102 @@
+"""Property tests: the TuningReport payload round-trip is exact.
+
+Resumed sessions and process shards rebuild reports from primitive
+payloads; a lossy round-trip would silently change provenance (or
+results) on resume.  Hypothesis drives the full field space — including
+the strategy/seed metadata, negative/subnormal floats and infinities —
+and asserts equality field by field.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.report import TuningReport, report_from_payload, report_to_payload
+from repro.core.selector import Selector
+
+_names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    min_size=1,
+    max_size=12,
+)
+
+_floats = st.floats(allow_nan=False, width=64)
+
+_selectors = st.builds(
+    Selector.constant, st.integers(min_value=0, max_value=7)
+)
+
+_configurations = st.builds(
+    Configuration,
+    program_name=_names,
+    selectors=st.dictionaries(_names, _selectors, max_size=3),
+    tunables=st.dictionaries(
+        _names, st.integers(min_value=-(2**31), max_value=2**31), max_size=4
+    ),
+    label=st.text(max_size=16),
+)
+
+_reports = st.builds(
+    TuningReport,
+    best=_configurations,
+    best_time_s=_floats,
+    tuning_time_s=_floats,
+    evaluations=st.integers(min_value=0, max_value=2**40),
+    sizes=st.lists(st.integers(min_value=1, max_value=2**40), max_size=8),
+    history=st.lists(_floats, max_size=8),
+    computed_evaluations=st.integers(min_value=0, max_value=2**40),
+    strategy=st.sampled_from(["evolutionary", "hillclimb", "random", "bandit"]),
+    seed=st.integers(min_value=-(2**31), max_value=2**31),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(report=_reports)
+def test_report_payload_round_trip_is_exact(report):
+    restored = report_from_payload(report_to_payload(report))
+    assert restored.best.to_json() == report.best.to_json()
+    assert restored.best_time_s == report.best_time_s
+    assert restored.tuning_time_s == report.tuning_time_s
+    assert restored.evaluations == report.evaluations
+    assert restored.sizes == report.sizes
+    assert restored.history == report.history
+    assert restored.computed_evaluations == report.computed_evaluations
+    assert restored.strategy == report.strategy
+    assert restored.seed == report.seed
+
+
+@settings(max_examples=50, deadline=None)
+@given(report=_reports)
+def test_report_payload_survives_json_transport(report):
+    """Payloads cross process pipes and checkpoint files as JSON; a
+    dumps/loads cycle must not perturb any field (floats serialise as
+    shortest round-trip reprs)."""
+    import json
+
+    payload = json.loads(json.dumps(report_to_payload(report)))
+    restored = report_from_payload(payload)
+    assert restored.best_time_s == report.best_time_s
+    assert restored.history == report.history
+    assert restored.strategy == report.strategy
+    assert restored.seed == report.seed
+
+
+def test_legacy_payload_without_provenance_restores_defaults():
+    """Payloads written before reports carried strategy/seed metadata
+    must restore with the historical defaults instead of crashing."""
+    report = TuningReport(
+        best=Configuration(program_name="p"),
+        best_time_s=1.0,
+        tuning_time_s=2.0,
+        evaluations=3,
+        sizes=[64],
+        history=[1.0],
+    )
+    payload = report_to_payload(report)
+    del payload["strategy"]
+    del payload["seed"]
+    restored = report_from_payload(payload)
+    assert restored.strategy == "evolutionary"
+    assert restored.seed == 0
