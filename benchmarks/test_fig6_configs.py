@@ -14,7 +14,7 @@ Paper claims checked:
 import pytest
 from benchmarks.conftest import once
 from repro.experiments.fig6_configs import Fig6Row, render_fig6, run_fig6
-from repro.experiments.runner import DEFAULT_SEED, tuned_session
+from repro.experiments.runner import DEFAULT_SEED
 from repro.hardware.machines import DESKTOP, LAPTOP, SERVER, standard_machines
 
 #: End-to-end tuning sweeps: excluded from the default (fast) tier;
@@ -113,7 +113,7 @@ def test_warm_cache_rerun_performs_zero_new_evaluations(rows, benchmark):
     tuned everything), regenerating Figure 6 from scratch must replay
     every session without a single new simulation."""
     from repro.core.result_cache import ResultCache
-    from repro.experiments.runner import clear_sessions, tune_all_standard
+    from repro.experiments.runner import clear_sessions, default_session
 
     if not ResultCache.from_environment().enabled:
         pytest.skip("REPRO_CACHE_DIR disabled; no cross-session cache")
@@ -121,10 +121,9 @@ def test_warm_cache_rerun_performs_zero_new_evaluations(rows, benchmark):
     def rerun():
         clear_sessions()
         run_fig6(seed=DEFAULT_SEED)
-        return [
-            session.report
-            for session in tune_all_standard(DEFAULT_SEED).values()
-        ]
+        with default_session() as api_session:
+            grid = api_session.run_standard_grid(seed=DEFAULT_SEED)
+        return [tuned.report for tuned in grid.values()]
 
     reports = once(benchmark, rerun)
     assert sum(report.computed_evaluations for report in reports) == 0

@@ -12,7 +12,7 @@ import pytest
 from benchmarks.conftest import once
 from repro.apps.registry import all_benchmarks
 from repro.apps.registry import benchmark as benchmark_spec
-from repro.experiments.runner import DEFAULT_SEED, tuned_session
+from repro.experiments.runner import DEFAULT_SEED, default_session
 from repro.hardware.machines import DESKTOP
 from repro.runtime.executor import run_program
 
@@ -26,7 +26,8 @@ NAMES = [spec.name for spec in all_benchmarks()]
 @pytest.mark.parametrize("name", NAMES)
 def test_full_scale_run(name, benchmark):
     spec = benchmark_spec(name)
-    session = tuned_session(name, DESKTOP, DEFAULT_SEED)
+    with default_session() as api_session:
+        session = api_session.tune(name, DESKTOP, seed=DEFAULT_SEED)
 
     def run():
         env = spec.make_env(spec.testing_size, seed=0)

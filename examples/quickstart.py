@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import DESKTOP, compile_program, default_configuration, run_program
+from repro.api import TunerConfig
 from repro.apps import separable_convolution as conv
 from repro.core import autotune
 
@@ -42,8 +43,9 @@ def main() -> None:
 
     # 4. Autotune (evolutionary search over selectors + tunables).
     #    workers=4 evaluates candidates speculatively on a thread pool;
-    #    results are bit-for-bit identical to workers=1.  Set
-    #    REPRO_CACHE_DIR to also persist evaluations across runs (a
+    #    results are bit-for-bit identical to workers=1.  TunerConfig
+    #    layers the environment under explicit choices, so setting
+    #    REPRO_CACHE_DIR also persists evaluations across runs (a
     #    second quickstart run then re-tunes without re-simulating).
     report = autotune(
         compiled,
@@ -51,7 +53,7 @@ def main() -> None:
         max_size=IMAGE_SIZE,
         seed=0,
         label="Desktop Config",
-        workers=4,
+        config=TunerConfig.from_env(workers=4),
     )
     print(f"autotuned configuration  : {report.best_time_s * 1e3:8.3f} ms "
           f"({base.time_s / report.best_time_s:.1f}x faster, "

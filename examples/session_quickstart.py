@@ -1,0 +1,61 @@
+"""Session quickstart: the public API for driving the autotuner.
+
+Shows the three verbs of :class:`repro.api.Session` — blocking
+``tune``, non-blocking ``submit`` (with streaming progress callbacks),
+and concurrent ``run_batch`` — plus the layered ``TunerConfig`` that
+feeds them.
+
+Run:  python examples/session_quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.api import Session, TunerConfig
+
+APP = "SeparableConv."
+MACHINES = ("Desktop", "Server", "Laptop")
+
+
+def main() -> None:
+    # 1. Resolve the configuration.  Layering is always
+    #    defaults < REPRO_* environment < repro.toml < arguments,
+    #    and every field remembers where its value came from.
+    config = TunerConfig.resolve(backend="thread", workers=2)
+    print("resolved configuration:")
+    for name, value, source in config.provenance_rows():
+        print(f"  {name:<18} {value:<16} ({source})")
+    print()
+
+    with Session(config) as session:
+        # 2. Non-blocking: submit a job and stream its progress.
+        #    status()/result()/cancel() follow concurrent.futures
+        #    conventions; on_round fires once per search round.
+        job = session.submit(
+            APP,
+            "Desktop",
+            on_round=lambda event: print(
+                f"  [{event.program}@{event.machine}] round "
+                f"{event.index + 1}/{event.rounds} size={event.size} "
+                f"best={event.best_time_s * 1e3:.3f} ms"
+            ),
+        )
+        print(f"submitted {job.app} on {job.machine}: {job.status().value}")
+        report = job.report()  # blocks until done
+        print(f"job finished: best {report.best_time_s * 1e3:.3f} ms "
+              f"after {report.evaluations} candidate tests\n")
+
+        # 3. Blocking batch: tune one benchmark for all three machines
+        #    concurrently.  Reports are bit-for-bit identical to tuning
+        #    one by one — scheduling only changes wall-clock time.
+        batch = session.run_batch([(APP, machine) for machine in MACHINES])
+        for (name, codename), tuned in batch.items():
+            print(f"{codename:<8} best {tuned.report.best_time_s * 1e3:8.3f} ms "
+                  f"(strategy={tuned.report.strategy}, "
+                  f"seed={tuned.report.seed})")
+
+        # 4. The cached sessions are shared process-wide: this is free.
+        assert session.tune(APP, "Desktop") is batch[(APP, "Desktop")]
+
+
+if __name__ == "__main__":
+    main()

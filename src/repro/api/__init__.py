@@ -1,0 +1,68 @@
+"""The public API for driving the autotuner.
+
+This package is the supported way to run tuning sessions:
+
+* :class:`TunerConfig` — every knob as one typed, layered value
+  (defaults < ``REPRO_*`` environment < ``repro.toml`` < arguments),
+  with per-field provenance and fail-fast validation
+  (:mod:`repro.api.config`).
+* :class:`Session` — a context-managed facade owning the evaluation
+  backend pool, result cache and checkpoint store.  ``submit`` returns
+  a non-blocking :class:`TuningJob` handle; ``run_batch`` tunes many
+  (benchmark, machine) pairs concurrently (:mod:`repro.api.session`).
+* :func:`tune_program` — one-shot tuning of an arbitrary compiled
+  program (the config-first replacement for the legacy ``autotune``
+  keyword soup).
+
+The legacy entrypoints (``tuned_session``, ``tune_many``,
+``tune_all_standard`` and the ``workers=``/``backend=``/``strategy=``/
+``resume=`` keyword arguments of ``EvolutionaryTuner``/``autotune``)
+keep working as thin shims that emit :class:`DeprecationWarning` and
+produce byte-identical reports.
+
+Submodules import lazily (PEP 562) so that engine modules can import
+:mod:`repro.api.config` without dragging the whole stack in.
+"""
+
+from __future__ import annotations
+
+from repro.api.config import TunerConfig
+from repro.errors import ConfigError
+
+__all__ = [
+    "ConfigError",
+    "JobStatus",
+    "Session",
+    "TunedSession",
+    "TunerConfig",
+    "TuningJob",
+    "TuningReport",
+    "tune_program",
+]
+
+#: Lazily imported names -> defining module (everything below pulls in
+#: the compiler/runtime stack, which must stay importable *after*
+#: repro.api.config).
+_LAZY = {
+    "JobStatus": "repro.api.session",
+    "Session": "repro.api.session",
+    "TunedSession": "repro.api.session",
+    "TuningJob": "repro.api.session",
+    "TuningReport": "repro.api.session",
+    "tune_program": "repro.api.session",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

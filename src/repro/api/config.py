@@ -1,0 +1,693 @@
+"""Layered tuner configuration: the single home of every knob.
+
+Historically each subsystem read its own ``REPRO_*`` environment
+variable at the point of use (``search.py``, ``parallel.py``,
+``backends.py``, ``driver.py``, ``result_cache.py``, ``runner.py``),
+and callers re-threaded ``backend=`` / ``strategy=`` / ``workers=`` /
+``resume=`` keyword arguments through every layer by hand.  This
+module replaces that with one typed value object:
+
+:class:`TunerConfig`
+    A frozen dataclass holding every tuner knob.  Two constructors
+    matter:
+
+    * :meth:`TunerConfig.resolve` — the **strict, layered** resolution
+      used by the public API (:class:`repro.api.Session`, the
+      experiments CLI).  Sources are layered ``built-in defaults <
+      REPRO_* environment < repro.toml config file < explicit
+      arguments``; every field records its provenance (``default``,
+      ``env:VAR``, ``file:PATH`` or ``arg``), and malformed values
+      fail fast with a :class:`~repro.errors.ConfigError` naming the
+      field, the bad value and where it came from.
+    * :meth:`TunerConfig.from_env` — the **lenient, env-only** bridge
+      the legacy entrypoints resolve through: each knob keeps its
+      historical per-module reader's semantics (malformed values fall
+      back to the default with ``"default"`` provenance; see the
+      method docstring for the two deliberate exceptions, ``seed``
+      and ``full_scale``), so shimmed callers keep byte-identical
+      behaviour.
+
+Precedence is encoded exactly once, here: an explicit argument always
+beats the config file, which beats the environment, which beats the
+built-in default.  (That is why ``--quiet`` on the experiments CLI
+wins over ``REPRO_TUNER_PROGRESS=1`` — the flag arrives as an
+argument-layer override.)
+
+Every ``os.environ`` read of a ``REPRO_*`` knob in the library goes
+through :func:`env_raw` below; other modules keep their historical
+constants (``BACKEND_ENV``, ``WORKERS_ENV``, ...) as aliases of the
+``ENV_*`` names defined here.
+
+The config file
+===============
+
+``repro.toml`` is looked up as: the explicit ``config_file`` argument,
+else the ``REPRO_CONFIG_FILE`` environment variable, else a
+``repro.toml`` in the current directory.  Keys are the
+:class:`TunerConfig` field names, either at the top level or inside a
+``[tuner]`` table::
+
+    # repro.toml
+    backend = "process"
+    workers = 4
+
+    [tuner]
+    strategy = "bandit"     # the [tuner] table wins over top level
+
+Unknown keys and mistyped values are errors — a config file is always
+explicit intent.  Parsing uses :mod:`tomllib` when available (Python
+3.11+) and falls back to a built-in reader for the flat
+string/int/bool subset above on older interpreters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_SEED",
+    "DEFAULT_TUNE_MANY_WORKERS",
+    "DEFAULT_WORKERS",
+    "ENV_BACKEND",
+    "ENV_CACHE_DIR",
+    "ENV_CHECKPOINT_EVERY",
+    "ENV_CONFIG_FILE",
+    "ENV_FULL_SCALE",
+    "ENV_PROGRESS",
+    "ENV_RESUME",
+    "ENV_SEED",
+    "ENV_STRATEGY",
+    "ENV_TUNE_MANY_WORKERS",
+    "ENV_WORKERS",
+    "FALSY_VALUES",
+    "TunerConfig",
+    "env_raw",
+    "parse_worker_count",
+]
+
+#: Environment variable names, one per :class:`TunerConfig` field (the
+#: historical names; other modules alias these).
+ENV_BACKEND = "REPRO_TUNER_BACKEND"
+ENV_WORKERS = "REPRO_TUNER_WORKERS"
+ENV_TUNE_MANY_WORKERS = "REPRO_TUNE_MANY_WORKERS"
+ENV_STRATEGY = "REPRO_TUNER_STRATEGY"
+ENV_SEED = "REPRO_SEED"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CHECKPOINT_EVERY = "REPRO_TUNER_CHECKPOINT_EVERY"
+ENV_RESUME = "REPRO_TUNER_RESUME"
+ENV_PROGRESS = "REPRO_TUNER_PROGRESS"
+ENV_FULL_SCALE = "REPRO_FULL_SCALE"
+
+#: Environment variable naming the config file (overrides the
+#: ``./repro.toml`` default lookup).
+ENV_CONFIG_FILE = "REPRO_CONFIG_FILE"
+
+#: Values that mean "disabled"/"off" for the repo's on-off knobs
+#: (``REPRO_CACHE_DIR``, ``REPRO_TUNER_RESUME``,
+#: ``REPRO_TUNER_PROGRESS``, ``REPRO_FULL_SCALE`` share this grammar).
+FALSY_VALUES = ("", "0", "off", "none", "false")
+
+#: Built-in defaults shared with the engine modules (which alias them).
+DEFAULT_WORKERS = 1
+DEFAULT_TUNE_MANY_WORKERS = 4
+DEFAULT_SEED = 3
+DEFAULT_CHECKPOINT_EVERY = 64
+
+#: Field name -> environment variable.
+ENV_BY_FIELD: Dict[str, str] = {
+    "backend": ENV_BACKEND,
+    "workers": ENV_WORKERS,
+    "tune_many_workers": ENV_TUNE_MANY_WORKERS,
+    "strategy": ENV_STRATEGY,
+    "seed": ENV_SEED,
+    "cache_dir": ENV_CACHE_DIR,
+    "checkpoint_every": ENV_CHECKPOINT_EVERY,
+    "resume": ENV_RESUME,
+    "progress": ENV_PROGRESS,
+    "full_scale": ENV_FULL_SCALE,
+}
+
+
+def env_raw(name: str) -> Optional[str]:
+    """The raw value of one ``REPRO_*`` environment knob (None when
+    unset).  Every environment read of a tuner knob in the library
+    funnels through here."""
+    return os.environ.get(name)
+
+
+def parse_worker_count(raw: Optional[str], default: int) -> int:
+    """Strict shared parser for worker-count environment knobs.
+
+    Every knob tolerates surrounding whitespace and rejects everything
+    that is not a plain base-10 integer the same way: ``" 2 "`` is 2,
+    while ``"2.0"``, ``""`` and ``"many"`` all fall back to
+    ``default``.  Valid values clamp to at least 1.
+
+    Args:
+        raw: The raw environment value (None when unset).
+        default: Fallback when the value is unset or unparsable.
+    """
+    if raw is None:
+        return default
+    text = raw.strip()
+    if not text:
+        return default
+    try:
+        value = int(text)
+    except ValueError:
+        return default
+    return max(1, value)
+
+
+def _flag(raw: str) -> bool:
+    """The on-off knob grammar: anything not falsy means on."""
+    return raw.strip().lower() not in FALSY_VALUES
+
+
+def _backend_names() -> Tuple[str, ...]:
+    # Function-local import: core.backends imports this module.
+    from repro.core.backends import BACKEND_NAMES
+
+    return ("auto",) + BACKEND_NAMES
+
+
+def _strategy_names() -> Tuple[str, ...]:
+    # Function-local import: core.strategies imports this module.
+    from repro.core.strategies import STRATEGIES, strategy_names
+
+    del STRATEGIES  # imported for the side effect of registration
+    return tuple(strategy_names())
+
+
+def _is_registered_strategy(name: str) -> bool:
+    from repro.core.strategies import STRATEGIES
+
+    return name in STRATEGIES
+
+
+@dataclass(frozen=True)
+class TunerConfig:
+    """Every tuner knob, as one typed, immutable, picklable value.
+
+    Construct it directly for fully explicit settings
+    (``TunerConfig(backend="thread", workers=4)``), with
+    :meth:`resolve` for the strict layered resolution the public API
+    uses, or with :meth:`from_env` for the lenient env-only layering
+    the legacy entrypoints keep.  Values are validated on
+    construction; invalid ones raise :class:`~repro.errors.ConfigError`
+    with the field, value and provenance in the message.
+
+    Attributes:
+        backend: Evaluation backend — ``"auto"``, ``"serial"``,
+            ``"thread"`` or ``"process"``.  Reports are bit-for-bit
+            identical on every backend.
+        workers: Speculative evaluation workers per tuning session.
+        tune_many_workers: Concurrent sessions (thread scheduling) or
+            shard processes (process scheduling) for batch tuning.
+        strategy: Search strategy name (see
+            :mod:`repro.core.strategies`).
+        seed: Experiment seed (tuning and scheduling randomness).
+        cache_dir: Cross-session evaluation cache directory (None
+            disables the disk layer; checkpoints live in its
+            ``checkpoints/`` subdirectory).
+        checkpoint_every: Commits between periodic session checkpoints
+            (0 disables periodic checkpointing).
+        resume: Resume checkpointed sessions.
+        progress: Emit per-round tuning progress lines on stderr.
+        full_scale: Run experiments at the paper's exact input sizes.
+        provenance: Field name -> source (``"default"``,
+            ``"env:VAR"``, ``"file:PATH"`` or ``"arg"``).  Excluded
+            from equality; filled in automatically when omitted.
+    """
+
+    backend: str = "auto"
+    workers: int = DEFAULT_WORKERS
+    tune_many_workers: int = DEFAULT_TUNE_MANY_WORKERS
+    strategy: str = "evolutionary"
+    seed: int = DEFAULT_SEED
+    cache_dir: Optional[str] = None
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+    resume: bool = False
+    progress: bool = False
+    full_scale: bool = False
+    provenance: Mapping[str, str] = field(
+        default_factory=dict, compare=False, repr=False, hash=False
+    )
+
+    # -- validation ----------------------------------------------------
+
+    def __post_init__(self) -> None:
+        set_attr = object.__setattr__
+        if isinstance(self.backend, str):
+            set_attr(self, "backend", self.backend.strip().lower())
+        if isinstance(self.strategy, str):
+            set_attr(self, "strategy", self.strategy.strip().lower())
+        if isinstance(self.cache_dir, str) and (
+            self.cache_dir.strip().lower() in FALSY_VALUES
+        ):
+            set_attr(self, "cache_dir", None)
+        if not self.provenance:
+            defaults = {
+                f.name: f.default
+                for f in dataclasses.fields(self)
+                if f.name != "provenance"
+            }
+            set_attr(
+                self,
+                "provenance",
+                {
+                    name: ("default" if getattr(self, name) == default else "arg")
+                    for name, default in defaults.items()
+                },
+            )
+        self._validate()
+
+    def _fail(self, field_name: str, message: str) -> None:
+        source = self.provenance.get(field_name, "arg")
+        origin = {
+            "default": "the built-in default",
+            "arg": f"the explicit {field_name}= argument",
+        }.get(source)
+        if origin is None:
+            kind, _, where = source.partition(":")
+            origin = (
+                f"the {where} environment variable"
+                if kind == "env"
+                else f"the config file {where}"
+            )
+        raise ConfigError(f"invalid TunerConfig.{field_name} (from {origin}): {message}")
+
+    def _require_int(self, field_name: str, minimum: int) -> None:
+        value = getattr(self, field_name)
+        if isinstance(value, bool) or not isinstance(value, int):
+            self._fail(field_name, f"expected an integer, got {value!r}")
+        if value < minimum:
+            self._fail(field_name, f"must be >= {minimum}, got {value}")
+
+    def _require_bool(self, field_name: str) -> None:
+        value = getattr(self, field_name)
+        if not isinstance(value, bool):
+            self._fail(
+                field_name,
+                f"expected true/false, got {value!r}",
+            )
+
+    def _validate(self) -> None:
+        if not isinstance(self.backend, str) or self.backend not in _backend_names():
+            self._fail(
+                "backend",
+                f"unknown backend {self.backend!r}; "
+                f"available: {list(_backend_names())}",
+            )
+        if not isinstance(self.strategy, str) or not _is_registered_strategy(
+            self.strategy
+        ):
+            self._fail(
+                "strategy",
+                f"unknown search strategy {self.strategy!r}; "
+                f"available: {list(_strategy_names())}",
+            )
+        self._require_int("workers", 1)
+        self._require_int("tune_many_workers", 1)
+        self._require_int("seed", -sys.maxsize)
+        self._require_int("checkpoint_every", 0)
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            self._fail(
+                "cache_dir", f"expected a directory path or None, got {self.cache_dir!r}"
+            )
+        for name in ("resume", "progress", "full_scale"):
+            self._require_bool(name)
+
+    # -- layered resolution --------------------------------------------
+
+    @classmethod
+    def resolve(
+        cls,
+        config_file: Optional[str] = None,
+        environ: Optional[Mapping[str, str]] = None,
+        **overrides: object,
+    ) -> "TunerConfig":
+        """Strict layered resolution: defaults < env < file < args.
+
+        Args:
+            config_file: Explicit config-file path (must exist);
+                ``None`` consults ``REPRO_CONFIG_FILE`` and then a
+                ``repro.toml`` in the current directory.
+            environ: Environment mapping (``os.environ`` when None;
+                injectable for tests).
+            **overrides: Explicit per-field values.  ``None`` means
+                "not set here" so optional keyword arguments thread
+                through unchanged; everything else lands in the
+                argument layer, which beats every other source.
+
+        Raises:
+            ConfigError: For unknown fields/keys or malformed values,
+                with the offending source named in the message.
+        """
+        environ = os.environ if environ is None else environ
+        cls._check_field_names(overrides, "argument")
+        values: Dict[str, object] = {}
+        prov: Dict[str, str] = {
+            name: "default" for name in ENV_BY_FIELD
+        }
+        for field_name, env_name in ENV_BY_FIELD.items():
+            raw = environ.get(env_name)
+            if raw is None:
+                continue
+            parsed, present = cls._parse_env_value(field_name, env_name, raw)
+            if not present:
+                continue
+            values[field_name] = parsed
+            prov[field_name] = f"env:{env_name}"
+        path = cls._find_config_file(config_file, environ)
+        if path is not None:
+            for field_name, value in _load_config_file(path).items():
+                values[field_name] = value
+                prov[field_name] = f"file:{path}"
+        for field_name, value in overrides.items():
+            if value is None:
+                continue
+            values[field_name] = value
+            prov[field_name] = "arg"
+        return cls(provenance=prov, **values)
+
+    @classmethod
+    def from_env(
+        cls,
+        environ: Optional[Mapping[str, str]] = None,
+        **overrides: object,
+    ) -> "TunerConfig":
+        """Lenient env-only layering (the legacy-compatibility bridge).
+
+        Each knob keeps its historical per-module reader's semantics:
+        malformed backend/strategy/worker-count/checkpoint values fall
+        back to the built-in default (and report ``"default"``
+        provenance — an ignored value is never credited to the
+        environment), ``REPRO_FULL_SCALE`` keeps its historical
+        anything-but-``""``/``"0"`` grammar (``"off"`` means *on*,
+        unlike the strict :meth:`resolve` path), and a malformed
+        ``REPRO_SEED`` raises :class:`ConfigError` — the historical
+        reader (``int(os.environ[...])``) crashed on it too, and a
+        silent wrong seed is worse than a crash in a reproducibility
+        project.  No config file is consulted.  Explicit ``overrides``
+        are strict (they are arguments) and beat the environment;
+        ``None`` overrides mean "not set".
+        """
+        environ = os.environ if environ is None else environ
+        values: Dict[str, object] = {}
+        prov: Dict[str, str] = {name: "default" for name in ENV_BY_FIELD}
+
+        def _env(field_name: str, parse: Callable[[str], object]) -> None:
+            raw = environ.get(ENV_BY_FIELD[field_name])
+            if raw is None:
+                return
+            parsed = parse(raw)
+            if parsed is _IGNORED:
+                return
+            values[field_name] = parsed
+            prov[field_name] = f"env:{ENV_BY_FIELD[field_name]}"
+
+        def _lenient_count(raw: str, minimum: int) -> object:
+            text = raw.strip()
+            if not text:
+                return _IGNORED
+            try:
+                return max(minimum, int(text))
+            except ValueError:
+                return _IGNORED
+
+        def _strict_seed(raw: str) -> object:
+            text = raw.strip()
+            if not text:
+                return _IGNORED
+            try:
+                return int(text)
+            except ValueError:
+                raise ConfigError(
+                    f"invalid {ENV_SEED}={raw!r}: expected an integer"
+                ) from None
+
+        _env(
+            "backend",
+            lambda raw: raw.strip().lower()
+            if raw.strip().lower() in _backend_names()
+            else _IGNORED,
+        )
+        _env(
+            "strategy",
+            lambda raw: raw.strip().lower()
+            if _is_registered_strategy(raw.strip().lower())
+            else _IGNORED,
+        )
+        _env("workers", lambda raw: _lenient_count(raw, 1))
+        _env("tune_many_workers", lambda raw: _lenient_count(raw, 1))
+        _env("seed", _strict_seed)
+        _env("checkpoint_every", lambda raw: _lenient_count(raw, 0))
+        _env("cache_dir", lambda raw: None if raw.strip().lower() in FALSY_VALUES else raw)
+        for flag_name in ("resume", "progress"):
+            _env(flag_name, _flag)
+        # REPRO_FULL_SCALE's historical grammar differs from the other
+        # flags: anything except ""/"0" enabled it.
+        _env("full_scale", lambda raw: raw not in ("", "0"))
+        config = cls(provenance=prov, **values)
+        explicit = {k: v for k, v in overrides.items() if v is not None}
+        return config.with_overrides(**explicit) if explicit else config
+
+    # -- derived views --------------------------------------------------
+
+    def with_overrides(self, **overrides: object) -> "TunerConfig":
+        """A copy with ``overrides`` applied at the argument layer
+        (their provenance becomes ``"arg"``)."""
+        self._check_field_names(overrides, "argument")
+        if not overrides:
+            return self
+        prov = dict(self.provenance)
+        for field_name in overrides:
+            prov[field_name] = "arg"
+        return dataclasses.replace(self, provenance=prov, **overrides)
+
+    def with_defaults(self, **defaults: object) -> "TunerConfig":
+        """A copy whose still-at-default fields take new default values
+        (provenance stays ``"default"``).  The experiments CLI uses
+        this to default ``progress`` on without beating an explicit
+        environment or flag choice."""
+        self._check_field_names(defaults, "argument")
+        updates = {
+            field_name: value
+            for field_name, value in defaults.items()
+            if self.provenance.get(field_name, "default") == "default"
+        }
+        if not updates:
+            return self
+        return dataclasses.replace(self, **updates)
+
+    def is_explicit(self, field_name: str) -> bool:
+        """Whether a field was set by an argument or the config file
+        (the sources that *force* a choice rather than suggest it —
+        e.g. a forced ``backend="process"`` raises when unavailable
+        instead of falling back)."""
+        source = self.provenance.get(field_name, "arg")
+        return source == "arg" or source.startswith("file:")
+
+    def provenance_rows(self) -> List[Tuple[str, str, str]]:
+        """(field, rendered value, source) rows for every field, in
+        declaration order — the ``repro.experiments config``
+        subcommand prints exactly this."""
+        rows: List[Tuple[str, str, str]] = []
+        for spec in dataclasses.fields(self):
+            if spec.name == "provenance":
+                continue
+            value = getattr(self, spec.name)
+            rendered = "-" if value is None else str(value)
+            rows.append(
+                (spec.name, rendered, self.provenance.get(spec.name, "default"))
+            )
+        return rows
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _check_field_names(mapping: Mapping[str, object], kind: str) -> None:
+        unknown = sorted(set(mapping) - set(ENV_BY_FIELD))
+        if unknown:
+            raise ConfigError(
+                f"unknown TunerConfig {kind}(s) {unknown}; "
+                f"valid fields: {sorted(ENV_BY_FIELD)}"
+            )
+
+    @classmethod
+    def _parse_env_value(
+        cls, field_name: str, env_name: str, raw: str
+    ) -> Tuple[object, bool]:
+        """Strict parse of one environment value.
+
+        Returns ``(value, present)``; ``present`` is False when the
+        value is set-but-empty (treated as unset, matching the
+        historical knobs).  Malformed values raise :class:`ConfigError`
+        naming the variable.
+        """
+        text = raw.strip()
+        if field_name in ("resume", "progress", "full_scale"):
+            return _flag(raw), text != ""
+        if field_name == "cache_dir":
+            if text.lower() in FALSY_VALUES:
+                return None, raw != ""
+            return raw, True
+        if not text:
+            return None, False
+        if field_name in ("workers", "tune_many_workers", "seed", "checkpoint_every"):
+            try:
+                value = int(text)
+            except ValueError:
+                raise ConfigError(
+                    f"invalid {env_name}={raw!r}: expected an integer"
+                ) from None
+            minimum = {"seed": -sys.maxsize, "checkpoint_every": 0}.get(field_name, 1)
+            if value < minimum:
+                raise ConfigError(
+                    f"invalid {env_name}={raw!r}: must be >= {minimum}"
+                )
+            return value, True
+        # backend / strategy: validated (with provenance) in __post_init__.
+        return text.lower(), True
+
+    @staticmethod
+    def _find_config_file(
+        explicit: Optional[str], environ: Mapping[str, str]
+    ) -> Optional[str]:
+        if explicit is not None:
+            if not pathlib.Path(explicit).is_file():
+                raise ConfigError(f"config file not found: {explicit!r}")
+            return explicit
+        raw = environ.get(ENV_CONFIG_FILE)
+        if raw is not None and raw.strip() and raw.strip().lower() not in FALSY_VALUES:
+            path = raw.strip()
+            if not pathlib.Path(path).is_file():
+                raise ConfigError(
+                    f"config file named by {ENV_CONFIG_FILE} not found: {path!r}"
+                )
+            return path
+        default = pathlib.Path("repro.toml")
+        if default.is_file():
+            return str(default)
+        return None
+
+
+#: Sentinel: a lenient env parse that should be ignored entirely.
+_IGNORED = object()
+
+
+def _coerce_file_value(field_name: str, value: object, path: str) -> object:
+    """Type-check one config-file value (TOML carries real types, so
+    mistyped values are errors, not coercions)."""
+    if field_name in ("resume", "progress", "full_scale"):
+        if not isinstance(value, bool):
+            raise ConfigError(
+                f"invalid {field_name!r} in config file {path}: "
+                f"expected true/false, got {value!r}"
+            )
+        return value
+    if field_name in ("workers", "tune_many_workers", "seed", "checkpoint_every"):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(
+                f"invalid {field_name!r} in config file {path}: "
+                f"expected an integer, got {value!r}"
+            )
+        return value
+    if not isinstance(value, str):
+        raise ConfigError(
+            f"invalid {field_name!r} in config file {path}: "
+            f"expected a string, got {value!r}"
+        )
+    return value
+
+
+def _load_config_file(path: str) -> Dict[str, object]:
+    """Load and validate a ``repro.toml`` into a field -> value map."""
+    try:
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read config file {path}: {exc}") from exc
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python < 3.11
+        data = _parse_mini_toml(text, path)
+    else:
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"malformed config file {path}: {exc}") from exc
+    table: Dict[str, object] = {}
+    for key, value in data.items():
+        if key == "tuner" and isinstance(value, dict):
+            continue  # merged after top-level keys so it wins
+        if isinstance(value, dict):
+            raise ConfigError(
+                f"unexpected table [{key}] in config file {path}; "
+                "tuner knobs live at the top level or under [tuner]"
+            )
+        table[key] = value
+    tuner_table = data.get("tuner")
+    if isinstance(tuner_table, dict):
+        table.update(tuner_table)
+    TunerConfig._check_field_names(table, f"config-file key in {path}")
+    return {
+        field_name: _coerce_file_value(field_name, value, path)
+        for field_name, value in table.items()
+    }
+
+
+def _parse_mini_toml(text: str, path: str) -> Dict[str, object]:
+    """Minimal TOML-subset reader for interpreters without tomllib.
+
+    Supports exactly what a ``repro.toml`` needs: ``key = value``
+    lines with string (double-quoted), integer and boolean values,
+    ``#`` comment lines, and ``[section]`` headers.
+    """
+    data: Dict[str, object] = {}
+    current: Dict[str, object] = data
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section: Dict[str, object] = {}
+            data[line[1:-1].strip()] = section
+            current = section
+            continue
+        key, sep, value_text = line.partition("=")
+        if not sep:
+            raise ConfigError(
+                f"malformed config file {path}, line {line_number}: {raw_line!r}"
+            )
+        key = key.strip()
+        value_text = value_text.strip()
+        if value_text.startswith('"'):
+            end = value_text.find('"', 1)
+            if end < 0:
+                raise ConfigError(
+                    f"malformed config file {path}, line {line_number}: "
+                    "unterminated string"
+                )
+            current[key] = value_text[1:end]
+            continue
+        value_text = value_text.split("#", 1)[0].strip()
+        if value_text in ("true", "false"):
+            current[key] = value_text == "true"
+            continue
+        try:
+            current[key] = int(value_text)
+        except ValueError:
+            raise ConfigError(
+                f"malformed config file {path}, line {line_number}: "
+                f"unsupported value {value_text!r} (string/int/bool only)"
+            ) from None
+    return data

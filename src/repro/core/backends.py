@@ -41,12 +41,12 @@ with more than one worker, ``serial`` otherwise.
 
 from __future__ import annotations
 
-import os
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.api.config import ENV_BACKEND, env_raw
 from repro.compiler.compile import CompiledProgram
 from repro.core.configuration import Configuration
 from repro.core.fitness import (
@@ -61,8 +61,9 @@ from repro.core.parallel import ParallelEvaluator, default_worker_count
 from repro.core.result_cache import ResultCache, execution_model_hash
 from repro.errors import TuningError
 
-#: Environment variable selecting the default evaluation backend.
-BACKEND_ENV = "REPRO_TUNER_BACKEND"
+#: Environment variable selecting the default evaluation backend
+#: (historical alias of :data:`repro.api.config.ENV_BACKEND`).
+BACKEND_ENV = ENV_BACKEND
 
 #: The selectable backends (``"auto"`` additionally means "decide from
 #: the worker count", which is the default).
@@ -83,7 +84,7 @@ class ProcessBackendUnavailable(TuningError):
 
 def default_backend() -> str:
     """Backend from ``REPRO_TUNER_BACKEND`` (``"auto"`` when unset/bad)."""
-    raw = os.environ.get(BACKEND_ENV, "").strip().lower()
+    raw = (env_raw(BACKEND_ENV) or "").strip().lower()
     if raw in BACKEND_NAMES:
         return raw
     return "auto"
@@ -505,6 +506,7 @@ def create_evaluator(
     accuracy_target: Optional[float] = None,
     seed: int = 0,
     result_cache: Optional[ResultCache] = None,
+    forced: Optional[bool] = None,
 ) -> Evaluator:
     """Build the evaluator for the selected backend.
 
@@ -518,16 +520,23 @@ def create_evaluator(
         accuracy_target: Largest acceptable error.
         seed: Seed forwarded to the runtime scheduler.
         result_cache: Cross-session disk cache.
+        forced: Whether an unavailable ``process`` backend must raise
+            (True) or may silently fall back to ``thread``/``serial``
+            (False).  ``None`` keeps the historical rule: an explicit
+            ``backend`` argument forces, an environment-selected one
+            does not.  :class:`~repro.api.TunerConfig` callers pass
+            ``config.is_explicit("backend")`` so a backend chosen by
+            environment variable keeps its global, non-breaking
+            semantics even though it arrives here as a string.
 
     Raises:
         TuningError: For unknown explicit backend names, and (as
-            :class:`ProcessBackendUnavailable`) when an explicitly
-            requested process backend cannot rebuild the evaluation by
-            name.  An environment-selected process backend falls back
-            to ``thread``/``serial`` instead — the environment knob is
-            global and must not break tuning of unregistered programs.
+            :class:`ProcessBackendUnavailable`) when a forced process
+            backend cannot rebuild the evaluation by name.
     """
-    name, forced = resolve_backend(backend)
+    name, explicit = resolve_backend(backend)
+    if forced is None:
+        forced = explicit
     worker_count = max(1, workers if workers is not None else default_worker_count())
     if name == "auto":
         name = "thread" if worker_count > 1 else "serial"

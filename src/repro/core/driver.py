@@ -45,6 +45,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.api.config import (
+    DEFAULT_CHECKPOINT_EVERY,
+    ENV_PROGRESS,
+    ENV_RESUME,
+    env_raw,
+)
 from repro.compiler.compile import CompiledProgram
 from repro.core.configuration import Configuration
 from repro.core.fitness import Evaluator
@@ -60,14 +66,13 @@ from repro.errors import TuningError
 #: Bump when the checkpoint layout changes incompatibly.
 CHECKPOINT_VERSION = 1
 
-#: Environment variable enabling checkpoint resume by default.
-RESUME_ENV = "REPRO_TUNER_RESUME"
+#: Environment variable enabling checkpoint resume by default
+#: (historical alias of :data:`repro.api.config.ENV_RESUME`).
+RESUME_ENV = ENV_RESUME
 
-#: Environment variable enabling per-round progress lines by default.
-PROGRESS_ENV = "REPRO_TUNER_PROGRESS"
-
-#: Default commits between checkpoints.
-DEFAULT_CHECKPOINT_EVERY = 64
+#: Environment variable enabling per-round progress lines by default
+#: (historical alias of :data:`repro.api.config.ENV_PROGRESS`).
+PROGRESS_ENV = ENV_PROGRESS
 
 #: Default speculative queue depth per evaluation worker.
 DEFAULT_INFLIGHT_PER_WORKER = 2
@@ -75,18 +80,23 @@ DEFAULT_INFLIGHT_PER_WORKER = 2
 
 def default_resume() -> bool:
     """Resume default from ``REPRO_TUNER_RESUME`` (off when unset)."""
-    return os.environ.get(RESUME_ENV, "").strip().lower() not in DISABLED_VALUES
+    return (env_raw(RESUME_ENV) or "").strip().lower() not in DISABLED_VALUES
 
 
-def default_progress() -> Optional[Callable[[str], None]]:
-    """Progress sink from ``REPRO_TUNER_PROGRESS`` (silent when unset)."""
-    if os.environ.get(PROGRESS_ENV, "").strip().lower() in DISABLED_VALUES:
-        return None
+def progress_printer() -> Callable[[str], None]:
+    """The default progress sink: one line per round on stderr."""
 
     def emit(line: str) -> None:
         print(line, file=sys.stderr, flush=True)
 
     return emit
+
+
+def default_progress() -> Optional[Callable[[str], None]]:
+    """Progress sink from ``REPRO_TUNER_PROGRESS`` (silent when unset)."""
+    if (env_raw(PROGRESS_ENV) or "").strip().lower() in DISABLED_VALUES:
+        return None
+    return progress_printer()
 
 
 _RESUME_WARNED = False
@@ -106,6 +116,61 @@ def _warn_resume_without_store() -> None:
         file=sys.stderr,
         flush=True,
     )
+
+
+@dataclass(frozen=True)
+class CandidateEvent:
+    """One committed candidate evaluation, as streamed to observers.
+
+    Attributes:
+        program: Program name.
+        machine: Machine codename.
+        strategy: Search-strategy name.
+        config_key: Canonical JSON of the evaluated configuration.
+        size: Test input size.
+        time_s: Virtual execution time (the fitness).
+        accuracy: Error metric (None without an accuracy function).
+        feasible: Whether the candidate met its accuracy target.
+        committed: Total evaluations committed so far (this one
+            included).
+    """
+
+    program: str
+    machine: str
+    strategy: str
+    config_key: str
+    size: int
+    time_s: float
+    accuracy: Optional[float]
+    feasible: bool
+    committed: int
+
+
+@dataclass(frozen=True)
+class RoundEvent:
+    """One completed search round, as streamed to observers.
+
+    Attributes:
+        program: Program name.
+        machine: Machine codename.
+        strategy: Search-strategy name.
+        index: Zero-based round index.
+        rounds: Total planned rounds (== planned test sizes).
+        size: Input size the round tuned at.
+        best_time_s: Best virtual time at the end of the round.
+        committed: Evaluations committed so far.
+        proposed: Proposals handed out so far.
+    """
+
+    program: str
+    machine: str
+    strategy: str
+    index: int
+    rounds: int
+    size: int
+    best_time_s: float
+    committed: int
+    proposed: int
 
 
 @dataclass
@@ -147,7 +212,14 @@ class CheckpointStore:
     def from_environment() -> "CheckpointStore":
         """Store under ``$REPRO_CACHE_DIR/checkpoints`` (disabled when
         the result cache is disabled)."""
-        cache_dir = ResultCache.from_environment().directory
+        return CheckpointStore.for_cache_dir(
+            ResultCache.from_environment().directory
+        )
+
+    @staticmethod
+    def for_cache_dir(cache_dir: Optional[str]) -> "CheckpointStore":
+        """Store in a cache directory's ``checkpoints/`` subdirectory
+        (disabled when the cache directory is None)."""
         if cache_dir is None:
             return CheckpointStore(None)
         return CheckpointStore(os.path.join(cache_dir, "checkpoints"))
@@ -234,9 +306,19 @@ class TuningDriver:
         resume: Resume from a matching checkpoint when one exists;
             ``None`` reads ``REPRO_TUNER_RESUME`` (off by default).
         progress: Per-round progress sink (one line per completed
-            search round); ``None`` reads ``REPRO_TUNER_PROGRESS``
-            (silent by default; the experiments CLI turns it on).
+            search round).  Leaving the parameter unset reads
+            ``REPRO_TUNER_PROGRESS`` (silent by default; the
+            experiments CLI turns it on); an explicit ``None`` is
+            silent regardless of the environment.
+        on_candidate: Observer called with a :class:`CandidateEvent`
+            after every committed evaluation.  Purely informational —
+            observers cannot perturb the deterministic report.
+        on_round: Observer called with a :class:`RoundEvent` after
+            every completed search round.
     """
+
+    #: Sentinel: "progress not specified — consult the environment".
+    _PROGRESS_FROM_ENV: Callable[[str], None] = object()  # type: ignore[assignment]
 
     def __init__(
         self,
@@ -248,7 +330,9 @@ class TuningDriver:
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         checkpoint_store: Optional[CheckpointStore] = None,
         resume: Optional[bool] = None,
-        progress: Optional[Callable[[str], None]] = None,
+        progress: Optional[Callable[[str], None]] = _PROGRESS_FROM_ENV,
+        on_candidate: Optional[Callable[[CandidateEvent], None]] = None,
+        on_round: Optional[Callable[[RoundEvent], None]] = None,
     ) -> None:
         self._compiled = compiled
         self._evaluator = evaluator
@@ -264,7 +348,13 @@ class TuningDriver:
             else CheckpointStore.from_environment()
         )
         self._resume = resume if resume is not None else default_resume()
-        self._progress = progress if progress is not None else default_progress()
+        self._progress = (
+            default_progress()
+            if progress is TuningDriver._PROGRESS_FROM_ENV
+            else progress
+        )
+        self._on_candidate = on_candidate
+        self._on_round = on_round
         self._journal: List[Tuple[str, int]] = []
         self._commits_since_checkpoint = 0
         self._rounds_reported = 0
@@ -359,6 +449,20 @@ class TuningDriver:
         self._journal.append((proposal.config.canonical_key(), proposal.size))
         self.stats.committed += 1
         self._commits_since_checkpoint += 1
+        if self._on_candidate is not None:
+            self._on_candidate(
+                CandidateEvent(
+                    program=self._compiled.program.name,
+                    machine=self._compiled.machine.codename,
+                    strategy=self._strategy.name,
+                    config_key=self._journal[-1][0],
+                    size=proposal.size,
+                    time_s=evaluation.time_s,
+                    accuracy=evaluation.accuracy,
+                    feasible=evaluation.feasible,
+                    committed=self.stats.committed,
+                )
+            )
         if self._strategy.observe(proposal, evaluation):
             self.stats.discarded += len(pending)
             self.stats.invalidations += 1
@@ -498,10 +602,24 @@ class TuningDriver:
         while self._rounds_reported < len(history):
             index = self._rounds_reported
             self._rounds_reported += 1
+            size = self._plan.sizes[min(index, len(self._plan.sizes) - 1)]
+            if self._on_round is not None:
+                self._on_round(
+                    RoundEvent(
+                        program=self._compiled.program.name,
+                        machine=self._compiled.machine.codename,
+                        strategy=self._strategy.name,
+                        index=index,
+                        rounds=len(self._plan.sizes),
+                        size=size,
+                        best_time_s=history[index],
+                        committed=self.stats.committed,
+                        proposed=self.stats.proposed,
+                    )
+                )
             if self._progress is None:
                 continue
             evaluator = self._evaluator
-            size = self._plan.sizes[min(index, len(self._plan.sizes) - 1)]
             self._emit(
                 f"[tune] {self._session_tag()} "
                 f"round {self._rounds_reported}/{len(self._plan.sizes)} "

@@ -22,10 +22,15 @@ the ``REPRO_TUNER_WORKERS`` environment variable, or defaults to 1
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.config import (
+    DEFAULT_WORKERS,
+    ENV_WORKERS,
+    env_raw,
+    parse_worker_count,  # noqa: F401  (canonical home moved; re-exported)
+)
 from repro.compiler.compile import CompiledProgram
 from repro.core.configuration import Configuration
 from repro.core.fitness import (
@@ -38,39 +43,14 @@ from repro.core.fitness import (
 from repro.core.result_cache import ResultCache
 from repro.errors import TuningError
 
-#: Environment variable selecting the default worker count.
-WORKERS_ENV = "REPRO_TUNER_WORKERS"
-
-
-def parse_worker_count(raw: Optional[str], default: int) -> int:
-    """Strict shared parser for worker-count environment knobs.
-
-    Every knob tolerates surrounding whitespace and rejects everything
-    that is not a plain base-10 integer the same way: ``" 2 "`` is 2,
-    while ``"2.0"``, ``""`` and ``"many"`` all fall back to
-    ``default`` (previously ``int``'s own whitespace tolerance made
-    ``"2 "`` parse but ``"2.0"`` silently fall back, an inconsistency
-    between the two behaviours).  Valid values clamp to at least 1.
-
-    Args:
-        raw: The raw environment value (None when unset).
-        default: Fallback when the value is unset or unparsable.
-    """
-    if raw is None:
-        return default
-    text = raw.strip()
-    if not text:
-        return default
-    try:
-        value = int(text)
-    except ValueError:
-        return default
-    return max(1, value)
+#: Environment variable selecting the default worker count
+#: (historical alias of :data:`repro.api.config.ENV_WORKERS`).
+WORKERS_ENV = ENV_WORKERS
 
 
 def default_worker_count() -> int:
     """Worker count from ``REPRO_TUNER_WORKERS`` (1 when unset/bad)."""
-    return parse_worker_count(os.environ.get(WORKERS_ENV), 1)
+    return parse_worker_count(env_raw(WORKERS_ENV), DEFAULT_WORKERS)
 
 
 class ParallelEvaluator(Evaluator):

@@ -54,6 +54,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.api.config import ENV_CACHE_DIR, FALSY_VALUES, env_raw
+
 #: Bump when the cache entry layout changes incompatibly.
 CACHE_VERSION = 1
 
@@ -93,13 +95,15 @@ def execution_model_hash() -> str:
         _MODEL_HASH = digest.hexdigest()[:16]
     return _MODEL_HASH
 
-#: Environment variable naming the cache directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable naming the cache directory (historical alias
+#: of :data:`repro.api.config.ENV_CACHE_DIR`).
+CACHE_DIR_ENV = ENV_CACHE_DIR
 
 #: Values that mean "disabled"/"off" for the repo's on-off environment
 #: knobs (``REPRO_CACHE_DIR``, ``REPRO_TUNER_RESUME``,
-#: ``REPRO_TUNER_PROGRESS`` share this grammar).
-DISABLED_VALUES = ("", "0", "off", "none", "false")
+#: ``REPRO_TUNER_PROGRESS`` share this grammar; the canonical
+#: definition lives in :mod:`repro.api.config`).
+DISABLED_VALUES = FALSY_VALUES
 _DISABLED_VALUES = DISABLED_VALUES
 
 
@@ -139,7 +143,7 @@ class ResultCache:
     @staticmethod
     def from_environment() -> "ResultCache":
         """Cache configured by ``REPRO_CACHE_DIR`` (disabled if unset)."""
-        raw = os.environ.get(CACHE_DIR_ENV, "")
+        raw = env_raw(CACHE_DIR_ENV) or ""
         if raw.strip().lower() in _DISABLED_VALUES:
             return ResultCache(None)
         return ResultCache(raw)

@@ -21,11 +21,26 @@ Key properties taken from the paper:
 For variable-accuracy programs (SVD) candidates that miss the accuracy
 target are rejected outright.
 
+Configuration
+=============
+
+Every service-level knob — evaluation backend, worker count, search
+strategy, cache directory, checkpoint cadence, resume, progress —
+arrives as one :class:`repro.api.TunerConfig` via the ``config=``
+parameter.  When ``config`` is omitted the tuner resolves the
+historical lenient environment layering
+(:meth:`~repro.api.config.TunerConfig.from_env`), so environment-only
+callers behave exactly as before.  The per-knob keyword arguments
+(``workers=``, ``backend=``, ``strategy=``, ``resume=``,
+``checkpoint_every=``) still work but are **deprecated**: they emit a
+:class:`DeprecationWarning` and fold into the config as
+argument-layer overrides, producing byte-identical reports.
+
 Parallel evaluation
 ===================
 
-With ``workers > 1`` candidates evaluate speculatively on a pooled
-evaluator — threads by default, worker processes with
+With ``config.workers > 1`` candidates evaluate speculatively on a
+pooled evaluator — threads by default, worker processes with
 ``backend="process"`` (see :mod:`repro.core.backends`) — while the
 driver commits results in the exact order a serial loop would, so the
 committed decision sequence (and therefore the
@@ -38,19 +53,23 @@ barriers.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Optional
 
+from repro.api.config import TunerConfig
 from repro.compiler.compile import CompiledProgram
 from repro.core.backends import create_evaluator
 from repro.core.driver import (
     DEFAULT_CHECKPOINT_EVERY,
     DEFAULT_INFLIGHT_PER_WORKER,
+    CandidateEvent,
     CheckpointStore,
+    RoundEvent,
     TuningDriver,
+    progress_printer,
 )
 from repro.core.fitness import AccuracyFn, EnvFactory, Evaluator
 from repro.core.mutators import Mutator, mutators_for
-from repro.core.parallel import default_worker_count
 from repro.core.report import (  # re-exported for compatibility
     TuningReport,
     report_from_payload,
@@ -67,6 +86,17 @@ __all__ = [
     "report_from_payload",
     "report_to_payload",
 ]
+
+
+def _warn_legacy_knobs(supplied: List[str], stacklevel: int) -> None:
+    knobs = ", ".join(f"{name}=" for name in supplied)
+    warnings.warn(
+        f"the {knobs} keyword(s) of EvolutionaryTuner/autotune are "
+        "deprecated; pass a repro.api.TunerConfig via config= instead "
+        "(see repro.api)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
 
 
 class EvolutionaryTuner:
@@ -86,15 +116,18 @@ class EvolutionaryTuner:
         accuracy_target: Optional[float] = None,
         skip_small_sizes_for_opencl: bool = True,
         mutators: Optional[List[Mutator]] = None,
-        workers: Optional[int] = None,
+        config: Optional[TunerConfig] = None,
         result_cache: Optional[ResultCache] = None,
-        backend: Optional[str] = None,
-        strategy: Optional[str] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
-        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
-        resume: Optional[bool] = None,
         inflight_per_worker: int = DEFAULT_INFLIGHT_PER_WORKER,
         progress: Optional[Callable[[str], None]] = None,
+        on_candidate: Optional[Callable[[CandidateEvent], None]] = None,
+        on_round: Optional[Callable[[RoundEvent], None]] = None,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        strategy: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        resume: Optional[bool] = None,
     ) -> None:
         """Configure a tuning session.
 
@@ -107,7 +140,9 @@ class EvolutionaryTuner:
             generations_per_size: Mutation attempts per input size.
             min_size: Smallest test size (before OpenCL adjustment).
             size_growth: Factor between consecutive test sizes (>= 2).
-            seed: Randomness seed (the whole search is deterministic).
+            seed: Randomness seed for *this search* (the whole search
+                is deterministic).  Deliberately separate from
+                ``config.seed``, which is the experiment-suite seed.
             accuracy_fn: Error metric for variable-accuracy programs.
             accuracy_target: Largest acceptable error.
             skip_small_sizes_for_opencl: Apply the Section 5.4
@@ -116,42 +151,64 @@ class EvolutionaryTuner:
                 has OpenCL kernels.
             mutators: Override the auto-generated mutator set (used by
                 the autotuner ablation benchmarks).
-            workers: Speculative evaluation workers; ``None`` reads the
-                ``REPRO_TUNER_WORKERS`` environment variable (1 when
-                unset).  Results are identical for every value.
-            result_cache: Cross-session disk cache; ``None`` uses the
-                ``REPRO_CACHE_DIR``-configured default.
-            backend: Evaluation backend — ``"serial"``, ``"thread"``,
-                ``"process"`` or ``"auto"``; ``None`` reads the
-                ``REPRO_TUNER_BACKEND`` environment variable.  Reports
-                are bit-for-bit identical across all backends.
-            strategy: Search strategy name (see
-                :mod:`repro.core.strategies`); ``None`` reads the
-                ``REPRO_TUNER_STRATEGY`` environment variable
-                (``"evolutionary"`` when unset).
+            config: Every service-level knob (backend, workers,
+                strategy, cache directory, checkpoint cadence, resume,
+                progress) as one :class:`repro.api.TunerConfig`.
+                ``None`` resolves the lenient environment layering the
+                legacy entrypoints used.  Reports are bit-for-bit
+                identical across backends and worker counts.
+            result_cache: Cross-session disk cache handle; ``None``
+                opens one on ``config.cache_dir``.
             checkpoint_store: Where session checkpoints live; ``None``
-                uses the ``REPRO_CACHE_DIR``-derived default.
-            checkpoint_every: Commits between periodic checkpoints
-                (0 disables periodic checkpointing).
-            resume: Resume a matching checkpointed session; ``None``
-                reads ``REPRO_TUNER_RESUME`` (off when unset).
+                derives the store from ``config.cache_dir``.
             inflight_per_worker: Speculative queue depth per worker.
-            progress: Per-round progress sink; ``None`` reads
-                ``REPRO_TUNER_PROGRESS`` (silent by default).
+            progress: Per-round progress sink override; ``None``
+                follows ``config.progress`` (stderr lines when on).
+            on_candidate: Streaming observer for every committed
+                candidate evaluation (see
+                :class:`~repro.core.driver.CandidateEvent`).
+            on_round: Streaming observer for every completed search
+                round (see :class:`~repro.core.driver.RoundEvent`).
+            workers: Deprecated — use ``config.workers``.
+            backend: Deprecated — use ``config.backend``.
+            strategy: Deprecated — use ``config.strategy``.
+            checkpoint_every: Deprecated — use
+                ``config.checkpoint_every``.
+            resume: Deprecated — use ``config.resume``.
         """
+        legacy = {
+            "workers": max(1, workers) if workers is not None else None,
+            "backend": backend,
+            "strategy": strategy,
+            "checkpoint_every": (
+                max(0, checkpoint_every) if checkpoint_every is not None else None
+            ),
+            "resume": resume,
+        }
+        supplied = {name: value for name, value in legacy.items() if value is not None}
+        if supplied:
+            _warn_legacy_knobs(sorted(supplied), stacklevel=3)
+        if config is None:
+            config = TunerConfig.from_env()
+        if supplied:
+            config = config.with_overrides(**supplied)
+        self._config = config
         self._compiled = compiled
-        self._workers = max(
-            1, workers if workers is not None else default_worker_count()
-        )
+        self._workers = config.workers
         self._evaluator: Evaluator = create_evaluator(
             compiled,
             env_factory,
-            backend=backend,
+            backend=config.backend,
             workers=self._workers,
             accuracy_fn=accuracy_fn,
             accuracy_target=accuracy_target,
             seed=seed,
-            result_cache=result_cache,
+            result_cache=(
+                result_cache
+                if result_cache is not None
+                else ResultCache(config.cache_dir)
+            ),
+            forced=config.is_explicit("backend"),
         )
         mutator_set = (
             mutators if mutators is not None else mutators_for(compiled.training_info)
@@ -177,13 +234,23 @@ class EvolutionaryTuner:
         self._driver = TuningDriver(
             compiled,
             self._evaluator,
-            create_strategy(strategy, self._plan),
+            create_strategy(config.strategy, self._plan),
             self._plan,
             inflight_per_worker=inflight_per_worker,
-            checkpoint_every=checkpoint_every,
-            checkpoint_store=checkpoint_store,
-            resume=resume,
-            progress=progress,
+            checkpoint_every=config.checkpoint_every,
+            checkpoint_store=(
+                checkpoint_store
+                if checkpoint_store is not None
+                else CheckpointStore.for_cache_dir(config.cache_dir)
+            ),
+            resume=config.resume,
+            progress=(
+                progress
+                if progress is not None
+                else (progress_printer() if config.progress else None)
+            ),
+            on_candidate=on_candidate,
+            on_round=on_round,
         )
 
     def _plan_sizes(
@@ -206,6 +273,11 @@ class EvolutionaryTuner:
             size *= growth
         sizes.append(max_size)
         return sizes
+
+    @property
+    def config(self) -> TunerConfig:
+        """The resolved service-level configuration of this session."""
+        return self._config
 
     @property
     def sizes(self) -> List[int]:
@@ -252,6 +324,7 @@ def autotune(
     env_factory: EnvFactory,
     max_size: int,
     label: str = "",
+    config: Optional[TunerConfig] = None,
     **tuner_kwargs,
 ) -> TuningReport:
     """Convenience wrapper: build a tuner, run it once, clean up.
@@ -261,8 +334,15 @@ def autotune(
         env_factory: Deterministic test-environment builder.
         max_size: Final testing input size.
         label: Label for the winning configuration.
+        config: Service-level knobs as one
+            :class:`repro.api.TunerConfig` (see
+            :class:`EvolutionaryTuner`).
         **tuner_kwargs: Forwarded to :class:`EvolutionaryTuner`
-            (including ``workers``, ``strategy`` and ``result_cache``).
+            (including the search-plan parameters; the per-knob
+            ``workers=``/``backend=``/``strategy=``/``resume=``
+            keywords still work but are deprecated).
     """
-    with EvolutionaryTuner(compiled, env_factory, max_size, **tuner_kwargs) as tuner:
+    with EvolutionaryTuner(
+        compiled, env_factory, max_size, config=config, **tuner_kwargs
+    ) as tuner:
         return tuner.tune(label=label)

@@ -29,9 +29,9 @@ caches and checkpoints.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Optional, Type
 
+from repro.api.config import ENV_STRATEGY, env_raw
 from repro.core.strategies.bandit import BanditStrategy
 from repro.core.strategies.base import (
     Proposal,
@@ -45,8 +45,9 @@ from repro.core.strategies.hillclimb import HillClimbStrategy
 from repro.core.strategies.random_search import RandomSearchStrategy
 from repro.errors import TuningError
 
-#: Environment variable selecting the default search strategy.
-STRATEGY_ENV = "REPRO_TUNER_STRATEGY"
+#: Environment variable selecting the default search strategy
+#: (historical alias of :data:`repro.api.config.ENV_STRATEGY`).
+STRATEGY_ENV = ENV_STRATEGY
 
 #: The built-in strategy registry (name -> class).
 STRATEGIES: Dict[str, Type[SearchStrategy]] = {
@@ -78,7 +79,7 @@ def register_strategy(cls: Type[SearchStrategy]) -> Type[SearchStrategy]:
 
 def default_strategy() -> str:
     """Strategy from ``REPRO_TUNER_STRATEGY`` (default when unset/bad)."""
-    raw = os.environ.get(STRATEGY_ENV, "").strip().lower()
+    raw = (env_raw(STRATEGY_ENV) or "").strip().lower()
     if raw in STRATEGIES:
         return raw
     return DEFAULT_STRATEGY

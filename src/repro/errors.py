@@ -44,5 +44,13 @@ class TuningError(ReproError):
     """The autotuner could not make progress."""
 
 
+class ConfigError(TuningError):
+    """A tuner-configuration knob has an invalid value.
+
+    Raised by :class:`repro.api.TunerConfig` with a message naming the
+    offending field, the bad value, and where it came from (argument,
+    ``repro.toml`` key, or ``REPRO_*`` environment variable)."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness was invoked with inconsistent parameters."""

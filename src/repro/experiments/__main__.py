@@ -7,34 +7,40 @@ Usage::
     python -m repro.experiments --backend=process    # shard across processes
     python -m repro.experiments --strategy=hillclimb # swap the search
     python -m repro.experiments --resume fig6        # continue a killed run
+    python -m repro.experiments config               # resolved TunerConfig
     python -m repro.experiments bench                # hot-path benchmark
     python -m repro.experiments bench --tier=tiny --check=benchmarks/perf/BENCH_baseline.json
+
+The run is driven by one :class:`repro.api.TunerConfig`, resolved as
+``built-in defaults < REPRO_* environment < repro.toml < flags`` —
+flags always win (``--quiet`` beats ``REPRO_TUNER_PROGRESS=1``).  The
+``config`` subcommand prints the fully resolved configuration with
+each field's provenance, which is the debugging story for mis-set
+environment variables.
 
 Flags:
     --backend=<name>              evaluation backend: ``serial``,
                                   ``thread``, ``process`` or ``auto``.
-                                  Sets ``REPRO_TUNER_BACKEND`` for the
-                                  whole run, so both per-tuner
-                                  evaluation and ``tune_many`` batch
-                                  scheduling follow it.  Results are
-                                  bit-for-bit identical on every
-                                  backend.
+                                  Applies to per-tuner evaluation and
+                                  batch scheduling (including shard
+                                  children).  Results are bit-for-bit
+                                  identical on every backend.
     --strategy=<name>             search strategy: ``evolutionary``
                                   (default), ``hillclimb``, ``random``
-                                  or ``bandit``.  Sets
-                                  ``REPRO_TUNER_STRATEGY`` for the
-                                  whole run (tuners and shard
-                                  children).
+                                  or ``bandit``.
     --resume                      resume checkpointed tuning sessions
-                                  from ``REPRO_CACHE_DIR`` (sets
-                                  ``REPRO_TUNER_RESUME=1``); resumed
+                                  from the cache directory; resumed
                                   reports are byte-identical to
                                   uninterrupted runs.
     --quiet                       suppress the per-round tuning
                                   progress lines (on by default on
                                   this CLI).
+    --config-file=<path>          read knobs from this TOML file
+                                  instead of auto-discovering
+                                  ``./repro.toml``.
 
-Environment:
+Environment (see ``repro.api.config``; the ``config`` subcommand
+shows what actually resolved):
     REPRO_FULL_SCALE=1            the paper's exact input sizes.
     REPRO_SEED=<int>              deterministic experiment seed.
     REPRO_CACHE_DIR=<dir>         cross-session evaluation cache; a
@@ -45,21 +51,22 @@ Environment:
     REPRO_TUNER_BACKEND=<name>    same as --backend (the flag wins).
     REPRO_TUNER_STRATEGY=<name>   same as --strategy (the flag wins).
     REPRO_TUNER_RESUME=1          same as --resume.
-    REPRO_TUNER_PROGRESS=0        same as --quiet.
+    REPRO_TUNER_PROGRESS=0        same as --quiet (the flag wins).
     REPRO_TUNE_MANY_WORKERS=<n>   concurrent tuning sessions or shard
                                   processes (default 4).
     REPRO_TUNER_WORKERS=<n>       speculative evaluation workers per
                                   tuner (default 1; results identical).
+    REPRO_TUNER_CHECKPOINT_EVERY=<n>  commits between checkpoints.
+    REPRO_CONFIG_FILE=<path>      same as --config-file.
 """
 
 from __future__ import annotations
 
-import os
 import sys
+from typing import Optional
 
-from repro.core.backends import BACKEND_ENV, BACKEND_NAMES
-from repro.core.driver import PROGRESS_ENV, RESUME_ENV
-from repro.core.strategies import STRATEGIES, STRATEGY_ENV, strategy_names
+from repro.api.config import TunerConfig
+from repro.errors import ConfigError
 from repro.experiments.fig2_convolution import run_fig2
 from repro.experiments.fig6_configs import render_fig6, run_fig6
 from repro.experiments.fig7_migration import run_fig7
@@ -68,30 +75,31 @@ from repro.experiments.fig9_machines import render_fig9
 from repro.experiments.runner import ExperimentSettings
 
 
-def _fig2(settings: ExperimentSettings) -> None:
+def _fig2(settings: ExperimentSettings, session) -> None:
     size = 3520 if settings.full_scale else 704
-    for panel in run_fig2(size=size, seed=settings.seed).values():
+    panels = run_fig2(size=size, seed=settings.seed, config=session.config)
+    for panel in panels.values():
         print(panel.render())
         print()
 
 
-def _fig6(settings: ExperimentSettings) -> None:
-    print(render_fig6(run_fig6(seed=settings.seed)))
+def _fig6(settings: ExperimentSettings, session) -> None:
+    print(render_fig6(run_fig6(seed=settings.seed, session=session)))
     print()
 
 
-def _fig7(settings: ExperimentSettings) -> None:
-    for panel in run_fig7(settings).values():
+def _fig7(settings: ExperimentSettings, session) -> None:
+    for panel in run_fig7(settings, session=session).values():
         print(panel.render())
         print()
 
 
-def _fig8(settings: ExperimentSettings) -> None:
-    print(render_fig8(run_fig8(seed=settings.seed)))
+def _fig8(settings: ExperimentSettings, session) -> None:
+    print(render_fig8(run_fig8(seed=settings.seed, session=session)))
     print()
 
 
-def _fig9(settings: ExperimentSettings) -> None:
+def _fig9(settings: ExperimentSettings, session) -> None:
     print(render_fig9())
     print()
 
@@ -104,6 +112,32 @@ _ARTEFACTS = {
     "fig9": _fig9,
 }
 
+#: Source labels for the `config` subcommand's provenance column.
+_SOURCE_LABELS = {
+    "default": "built-in default",
+    "arg": "command-line flag",
+}
+
+
+def _render_config(config: TunerConfig) -> str:
+    """The ``config`` subcommand: resolved fields with provenance."""
+    rows = config.provenance_rows()
+    name_width = max(len(name) for name, _, _ in rows)
+    value_width = max(len(value) for _, value, _ in rows)
+    lines = [
+        "Resolved TunerConfig "
+        "(defaults < REPRO_* environment < repro.toml < flags):",
+        "",
+    ]
+    for name, value, source in rows:
+        kind, _, detail = source.partition(":")
+        label = _SOURCE_LABELS.get(source) or {
+            "env": f"environment ({detail})",
+            "file": f"config file ({detail})",
+        }.get(kind, source)
+        lines.append(f"  {name:<{name_width}}  {value:<{value_width}}  {label}")
+    return "\n".join(lines)
+
 
 def main(argv: list) -> int:
     if argv and argv[0] == "bench":
@@ -114,51 +148,55 @@ def main(argv: list) -> int:
 
         return bench_main(argv[1:])
     requested = []
-    quiet = False
+    overrides = {}
+    config_file: Optional[str] = None
     for arg in argv:
         if arg.startswith("--backend="):
-            backend = arg.split("=", 1)[1].strip().lower()
-            if backend not in ("auto",) + BACKEND_NAMES:
-                print(
-                    f"unknown backend {backend!r}; "
-                    f"available: {['auto', *BACKEND_NAMES]}"
-                )
-                return 2
-            # Exported to the environment so every tuner and tune_many
-            # call in this run (and in shard children) follows it.
-            os.environ[BACKEND_ENV] = backend
+            overrides["backend"] = arg.split("=", 1)[1]
         elif arg.startswith("--strategy="):
-            strategy = arg.split("=", 1)[1].strip().lower()
-            if strategy not in STRATEGIES:
-                print(
-                    f"unknown strategy {strategy!r}; "
-                    f"available: {list(strategy_names())}"
-                )
-                return 2
-            os.environ[STRATEGY_ENV] = strategy
+            overrides["strategy"] = arg.split("=", 1)[1]
         elif arg == "--resume":
-            os.environ[RESUME_ENV] = "1"
+            overrides["resume"] = True
         elif arg == "--quiet":
-            quiet = True
+            # Explicit flags land in the argument layer, so --quiet
+            # wins over REPRO_TUNER_PROGRESS=1 by construction.
+            overrides["progress"] = False
+        elif arg.startswith("--config-file="):
+            config_file = arg.split("=", 1)[1]
         else:
             requested.append(arg)
+    try:
+        config = TunerConfig.resolve(config_file=config_file, **overrides)
+    except ConfigError as error:
+        print(error)
+        return 2
     # Long tunes report one line per strategy round on stderr instead
-    # of running silently; an explicit environment choice wins.
-    if not quiet:
-        os.environ.setdefault(PROGRESS_ENV, "1")
-    else:
-        os.environ[PROGRESS_ENV] = "0"
-    settings = ExperimentSettings.from_environment()
+    # of running silently; an explicit environment/file/flag choice
+    # wins over this CLI-only default.
+    config = config.with_defaults(progress=True)
+    if "config" in requested:
+        print(_render_config(config))
+        requested = [name for name in requested if name != "config"]
+        if not requested:
+            return 0
+        print()
+    settings = ExperimentSettings.from_config(config)
     requested = requested or list(_ARTEFACTS)
     unknown = [name for name in requested if name not in _ARTEFACTS]
     if unknown:
-        print(f"unknown artefact(s): {unknown}; available: {sorted(_ARTEFACTS)}")
+        print(
+            f"unknown artefact(s): {unknown}; "
+            f"available: {sorted(_ARTEFACTS) + ['bench', 'config']}"
+        )
         return 2
-    # The tuning harnesses (fig6/7/8) each batch-tune their sessions
-    # concurrently via tune_many and share one session cache, so no
-    # extra warm-up pass is needed here.
-    for name in requested:
-        _ARTEFACTS[name](settings)
+    # One Session drives the whole run: the tuning harnesses (fig6/7/8)
+    # each batch-tune through it and share one process-wide session
+    # cache, so no extra warm-up pass is needed here.
+    from repro.api.session import Session
+
+    with Session(config) as session:
+        for name in requested:
+            _ARTEFACTS[name](settings, session)
     return 0
 
 

@@ -50,6 +50,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from repro.api.config import TunerConfig
 from repro.apps.registry import benchmark, canonical_env_factory
 from repro.compiler.compile import compile_program
 from repro.core.configuration import Configuration, default_configuration
@@ -151,15 +152,21 @@ def _bench_tuning(
     spec = benchmark(name)
     machine = machine_by_name(BENCH_MACHINE)
     compiled = compile_program(spec.build_program(), machine)
+    # A fully explicit config: serial backend, disk cache and
+    # checkpointing off, silent — the measurement must not depend on
+    # the caller's environment.
     tuner = EvolutionaryTuner(
         compiled,
         canonical_env_factory(name),
         max_size=max_size,
         seed=seed,
-        backend="serial",
-        result_cache=ResultCache(None),
-        strategy=strategy,
-        resume=False,
+        config=TunerConfig(
+            backend="serial",
+            strategy=strategy,
+            cache_dir=None,
+            resume=False,
+            progress=False,
+        ),
     )
     start = time.perf_counter()
     try:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.config import TunerConfig
 from repro.apps import separable_convolution as conv
 from repro.compiler.compile import CompiledProgram, compile_program
 from repro.core.configuration import Configuration, default_configuration
@@ -120,6 +121,7 @@ def run_fig2_machine(
     size: int = DEFAULT_SIZE,
     seed: int = 3,
     include_autotuner: bool = True,
+    config: Optional[TunerConfig] = None,
 ) -> Fig2Result:
     """Measure the Figure 2 panel for one machine.
 
@@ -130,6 +132,8 @@ def run_fig2_machine(
         seed: Scheduling/tuning seed.
         include_autotuner: Also tune per width and report the
             autotuner series (slower).
+        config: Tuner knobs for the autotuner series; ``None``
+            resolves the environment-layered default.
     """
     result = Fig2Result(machine=machine.codename, size=size, widths=tuple(widths))
     for name in MAPPINGS:
@@ -156,6 +160,7 @@ def run_fig2_machine(
                 lambda n, w=width: conv.make_env(n, kernel_width=w, seed=0),
                 max_size=size,
                 seed=seed,
+                config=config,
             )
             report = tuner.tune(label=f"autotuned kw={width}")
             env = {
@@ -173,11 +178,12 @@ def run_fig2(
     size: int = DEFAULT_SIZE,
     seed: int = 3,
     include_autotuner: bool = True,
+    config: Optional[TunerConfig] = None,
 ) -> Dict[str, Fig2Result]:
     """Run Figure 2 on all three standard machines."""
     return {
         machine.codename: run_fig2_machine(
-            machine, widths, size, seed, include_autotuner
+            machine, widths, size, seed, include_autotuner, config=config
         )
         for machine in standard_machines()
     }

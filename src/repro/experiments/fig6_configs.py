@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.apps.registry import BenchmarkSpec, all_benchmarks
 from repro.compiler.compile import CompiledProgram
 from repro.core.configuration import Configuration
-from repro.experiments.runner import DEFAULT_SEED, tune_all_standard, tuned_session
+from repro.experiments.runner import DEFAULT_SEED, default_session
 from repro.hardware.machines import MachineSpec, standard_machines
 from repro.reporting.tables import provenance_footer, render_table
 
@@ -100,7 +100,9 @@ class Fig6Row:
 
 
 def run_fig6(
-    seed: int = DEFAULT_SEED, workers: Optional[int] = None
+    seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+    session=None,
 ) -> List[Fig6Row]:
     """Autotune every benchmark on every machine and summarise.
 
@@ -108,16 +110,22 @@ def run_fig6(
         seed: Tuning seed.
         workers: Concurrent tuning sessions for the warm-up batch
             (``None`` reads ``REPRO_TUNE_MANY_WORKERS``).
+        session: The :class:`repro.api.Session` to tune through;
+            ``None`` builds one on the environment-layered config.
     """
+    if session is None:
+        session = default_session(
+            tune_many_workers=max(1, workers) if workers is not None else None
+        )
     # Tune all (benchmark, machine) pairs concurrently up front; the
     # summary loop below then hits the warm session cache only.
-    tune_all_standard(seed=seed, workers=workers)
+    session.run_standard_grid(seed=seed)
     rows: List[Fig6Row] = []
     for spec in all_benchmarks():
         for machine in standard_machines():
-            session = tuned_session(spec.name, machine, seed)
-            config = session.report.best
-            compiled = session.compiled
+            tuned = session.tune(spec.name, machine, seed=seed)
+            config = tuned.report.best
+            compiled = tuned.compiled
             env = spec.make_env(spec.tuning_size, seed=0)
             summary: Dict[str, str] = {}
             for transform_name in _FOCUS_TRANSFORMS.get(spec.name, ()):
@@ -139,9 +147,9 @@ def run_fig6(
                     benchmark=spec.name,
                     machine=machine.codename,
                     summary=summary,
-                    best_time_s=session.report.best_time_s,
-                    strategy=session.report.strategy,
-                    seed=session.report.seed,
+                    best_time_s=tuned.report.best_time_s,
+                    strategy=tuned.report.strategy,
+                    seed=tuned.report.seed,
                 )
             )
     return rows

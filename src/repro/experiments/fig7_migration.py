@@ -22,9 +22,7 @@ from repro.experiments import baselines
 from repro.experiments.runner import (
     DEFAULT_SEED,
     ExperimentSettings,
-    tune_all_standard,
-    tune_many,
-    tuned_session,
+    default_session,
 )
 from repro.hardware.machines import DESKTOP, MachineSpec, standard_machines
 from repro.reporting.tables import render_table
@@ -97,6 +95,7 @@ class Fig7Panel:
 
 
 def _evaluate(
+    session,
     spec: BenchmarkSpec,
     machine: MachineSpec,
     config: Configuration,
@@ -104,23 +103,28 @@ def _evaluate(
     seed: int,
 ) -> float:
     """Run one configuration on one machine at the evaluation size."""
-    session = tuned_session(spec.name, machine, seed)
+    tuned = session.tune(spec.name, machine, seed=seed)
     env = spec.make_env(size, seed=0)
-    result = run_program(session.compiled, config, env, seed=seed)
+    result = run_program(tuned.compiled, config, env, seed=seed)
     return result.time_s
 
 
 def run_fig7_panel(
     benchmark_name: str,
     settings: Optional[ExperimentSettings] = None,
+    session=None,
 ) -> Fig7Panel:
     """Run one Figure 7 sub-figure.
 
     Args:
         benchmark_name: Figure 8 benchmark name.
         settings: Experiment settings (size scaling, seed).
+        session: The :class:`repro.api.Session` to tune through;
+            ``None`` builds one on the environment-layered config.
     """
-    settings = settings or ExperimentSettings.from_environment()
+    if session is None:
+        session = default_session()
+    settings = settings or ExperimentSettings.from_config(session.config)
     seed = settings.seed
     spec = benchmark(benchmark_name)
     size = settings.eval_size(spec)
@@ -131,29 +135,31 @@ def run_fig7_panel(
     )
 
     # Tune this benchmark for all three machines concurrently.
-    tune_many([(benchmark_name, machine) for machine in machines], seed=seed)
+    session.run_batch(
+        [(benchmark_name, machine) for machine in machines], seed=seed
+    )
 
     configs: Dict[str, Configuration] = {}
     for machine in machines:
-        session = tuned_session(benchmark_name, machine, seed)
-        configs[f"{machine.codename} Config"] = session.report.best
+        tuned = session.tune(benchmark_name, machine, seed=seed)
+        configs[f"{machine.codename} Config"] = tuned.report.best
 
     if benchmark_name in ("Black-Sholes", "Poisson2D SOR"):
-        desktop_session = tuned_session(benchmark_name, DESKTOP, seed)
+        desktop_tuned = session.tune(benchmark_name, DESKTOP, seed=seed)
         configs["CPU-only Config"] = baselines.cpu_only_config(
-            desktop_session.compiled
+            desktop_tuned.compiled
         )
     if benchmark_name == "Sort":
-        desktop_session = tuned_session(benchmark_name, DESKTOP, seed)
+        desktop_tuned = session.tune(benchmark_name, DESKTOP, seed=seed)
         configs["GPU-only Config"] = baselines.gpu_only_sort_config(
-            desktop_session.compiled
+            desktop_tuned.compiled
         )
 
     for label, config in configs.items():
         panel.times[label] = {}
         for machine in machines:
             panel.times[label][machine.codename] = _evaluate(
-                spec, machine, config, size, seed
+                session, spec, machine, config, size, seed
             )
 
     for label, per_machine in panel.times.items():
@@ -180,12 +186,15 @@ def run_fig7_panel(
 
 def run_fig7(
     settings: Optional[ExperimentSettings] = None,
+    session=None,
 ) -> Dict[str, Fig7Panel]:
     """Run all seven Figure 7 sub-figures."""
-    settings = settings or ExperimentSettings.from_environment()
+    if session is None:
+        session = default_session()
+    settings = settings or ExperimentSettings.from_config(session.config)
     # Batch-tune every (benchmark, machine) pair before rendering the
     # panels, so the expensive sessions overlap across benchmarks too.
-    tune_all_standard(seed=settings.seed)
+    session.run_standard_grid(seed=settings.seed)
     return {
-        name: run_fig7_panel(name, settings) for name in PANELS
+        name: run_fig7_panel(name, settings, session=session) for name in PANELS
     }

@@ -20,7 +20,7 @@ from typing import List, Optional
 
 from repro.apps.registry import all_benchmarks
 from repro.compiler.compile import compile_program
-from repro.experiments.runner import DEFAULT_SEED, tune_all_standard, tuned_session
+from repro.experiments.runner import DEFAULT_SEED, default_session
 from repro.hardware.machines import DESKTOP, standard_machines
 from repro.reporting.tables import render_table
 
@@ -49,16 +49,22 @@ class Fig8Row:
     evaluations: float
 
 
-def run_fig8(seed: int = DEFAULT_SEED, tune: bool = True) -> List[Fig8Row]:
+def run_fig8(
+    seed: int = DEFAULT_SEED, tune: bool = True, session=None
+) -> List[Fig8Row]:
     """Compute the Figure 8 table.
 
     Args:
         seed: Tuning seed.
         tune: When False, skip the tuning columns (fast static table).
+        session: The :class:`repro.api.Session` to tune through;
+            ``None`` builds one on the environment-layered config.
     """
+    if session is None:
+        session = default_session()
     if tune:
         # Warm every (benchmark, machine) session concurrently.
-        tune_all_standard(seed=seed)
+        session.run_standard_grid(seed=seed)
     rows: List[Fig8Row] = []
     for spec in all_benchmarks():
         compiled = compile_program(spec.build_program(), DESKTOP)
@@ -66,9 +72,9 @@ def run_fig8(seed: int = DEFAULT_SEED, tune: bool = True) -> List[Fig8Row]:
         evaluations: List[float] = []
         if tune:
             for machine in standard_machines():
-                session = tuned_session(spec.name, machine, seed)
-                tuning_times.append(session.report.tuning_time_s)
-                evaluations.append(float(session.report.evaluations))
+                tuned = session.tune(spec.name, machine, seed=seed)
+                tuning_times.append(tuned.report.tuning_time_s)
+                evaluations.append(float(tuned.report.evaluations))
         mean_tuning = sum(tuning_times) / len(tuning_times) if tuning_times else 0.0
         mean_evals = sum(evaluations) / len(evaluations) if evaluations else 0.0
         # Estimate JIT share: compile every kernel once per machine.

@@ -1,38 +1,56 @@
 """Shared experiment infrastructure: tuned-configuration sessions.
 
 Autotuning a benchmark for a machine is the expensive step shared by
-Figures 6, 7 and 8; this module caches one session per (benchmark,
-machine, seed) so the experiment suite tunes each combination exactly
-once per process, and provides :func:`tune_many` to tune a batch of
-(benchmark, machine) pairs concurrently.  Results are independent of
-concurrency: each pair's search is seeded separately, evaluations are
-pure, and the cross-session disk cache (``REPRO_CACHE_DIR``) is
-content-addressed, so ``tune_many`` produces byte-identical winning
-configurations to sequential :func:`tuned_session` calls.
+Figures 6, 7 and 8; this module owns the process-wide, single-flight
+session cache behind :class:`repro.api.Session` so the experiment
+suite tunes each (benchmark, machine, seed, strategy) combination
+exactly once per process, and implements batch tuning over it.
+Results are independent of concurrency: each pair's search is seeded
+separately, evaluations are pure, and the cross-session disk cache
+(``config.cache_dir`` / ``REPRO_CACHE_DIR``) is content-addressed, so
+batches produce byte-identical winning configurations to sequential
+single-session calls.
+
+The public way in is :class:`repro.api.Session` (``session.tune``,
+``session.submit``, ``session.run_batch``); the historical
+module-level entrypoints — :func:`tuned_session`, :func:`tune_many`,
+:func:`tune_all_standard` — remain as thin shims that emit
+:class:`DeprecationWarning` and delegate to the same implementation,
+producing byte-identical reports.
 
 Batch backends
 ==============
 
-``tune_many`` schedules whole sessions on a backend of its own:
-``thread`` (the default) runs sessions on a thread pool, ``serial``
-runs them one by one, and ``process`` *shards* the batch across worker
+Batches schedule whole sessions on ``config.backend``: ``thread``
+(the default) runs sessions on a thread pool, ``serial`` runs them
+one by one, and ``process`` *shards* the batch across worker
 processes — each shard tunes its pairs in a child interpreter that
-rebuilds programs from the registry (only benchmark names and machine
-codenames cross the pipe) and ships finished reports back as
-primitives.  Every shard opens its own :class:`ResultCache` handle on
-the shared cache directory; the cache's atomic temp-file +
-``os.replace`` writes merge the shards' entries without coordination.
-Reports are bit-for-bit identical on every backend.
+rebuilds programs from the registry (only benchmark names, machine
+codenames and the picklable :class:`~repro.api.TunerConfig` cross the
+pipe) and ships finished reports back as primitives.  Every shard
+opens its own :class:`ResultCache` handle on the shared cache
+directory; the cache's atomic temp-file + ``os.replace`` writes merge
+the shards' entries without coordination.  Reports are bit-for-bit
+identical on every backend.
 """
 
 from __future__ import annotations
 
-import os
+import dataclasses
 import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.api.config import (
+    DEFAULT_SEED,
+    DEFAULT_TUNE_MANY_WORKERS,
+    ENV_TUNE_MANY_WORKERS,
+    TunerConfig,
+    env_raw,
+    parse_worker_count,
+)
 from repro.apps.registry import (
     BenchmarkSpec,
     all_benchmarks,
@@ -40,8 +58,7 @@ from repro.apps.registry import (
     canonical_env_factory,
 )
 from repro.compiler.compile import CompiledProgram, compile_program
-from repro.core.backends import resolve_backend
-from repro.core.parallel import default_worker_count, parse_worker_count
+from repro.core.driver import CandidateEvent, RoundEvent
 from repro.core.result_cache import ResultCache
 from repro.core.search import (
     EvolutionaryTuner,
@@ -49,14 +66,11 @@ from repro.core.search import (
     report_from_payload,
     report_to_payload,
 )
-from repro.core.strategies import resolve_strategy
 from repro.hardware.machines import MachineSpec, machine_by_name, standard_machines
 
-#: Default seed for every experiment (results are deterministic).
-DEFAULT_SEED = 3
-
-#: Environment variable: concurrent tuning sessions in tune_many.
-TUNE_MANY_WORKERS_ENV = "REPRO_TUNE_MANY_WORKERS"
+#: Environment variable: concurrent tuning sessions in batch tuning
+#: (historical alias of :data:`repro.api.config.ENV_TUNE_MANY_WORKERS`).
+TUNE_MANY_WORKERS_ENV = ENV_TUNE_MANY_WORKERS
 
 #: A (benchmark, machine) pair; the machine may be given by codename.
 TunePair = Tuple[str, Union[MachineSpec, str]]
@@ -64,7 +78,17 @@ TunePair = Tuple[str, Union[MachineSpec, str]]
 
 def default_tune_many_workers() -> int:
     """Worker count from ``REPRO_TUNE_MANY_WORKERS`` (4 when unset)."""
-    return parse_worker_count(os.environ.get(TUNE_MANY_WORKERS_ENV), 4)
+    return parse_worker_count(
+        env_raw(TUNE_MANY_WORKERS_ENV), DEFAULT_TUNE_MANY_WORKERS
+    )
+
+
+def _warn_shim(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -73,7 +97,8 @@ class ExperimentSettings:
 
     Attributes:
         full_scale: Run at the paper's exact input sizes.  Controlled
-            by the ``REPRO_FULL_SCALE`` environment variable.
+            by ``TunerConfig.full_scale`` (the ``REPRO_FULL_SCALE``
+            environment variable).
         seed: Seed for tuning and scheduling randomness.
     """
 
@@ -82,10 +107,15 @@ class ExperimentSettings:
 
     @staticmethod
     def from_environment() -> "ExperimentSettings":
-        """Read settings from the process environment."""
+        """Read settings from the process environment (lenient legacy
+        layering; see :meth:`TunerConfig.from_env`)."""
+        return ExperimentSettings.from_config(TunerConfig.from_env())
+
+    @staticmethod
+    def from_config(config: TunerConfig) -> "ExperimentSettings":
+        """The experiment-scale view of a resolved tuner config."""
         return ExperimentSettings(
-            full_scale=os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0"),
-            seed=int(os.environ.get("REPRO_SEED", DEFAULT_SEED)),
+            full_scale=config.full_scale, seed=config.seed
         )
 
     def eval_size(self, spec: BenchmarkSpec) -> int:
@@ -120,14 +150,34 @@ _SESSIONS_LOCK = threading.Lock()
 _KEY_LOCKS: Dict[SessionKey, threading.Lock] = {}
 
 
+def _legacy_config(
+    backend: Optional[str] = None,
+    strategy: Optional[str] = None,
+    resume: Optional[bool] = None,
+    tune_many_workers: Optional[int] = None,
+) -> TunerConfig:
+    """The lenient environment layering plus the shim's explicit
+    keyword overrides — exactly what the historical entrypoints
+    resolved, as one config value."""
+    return TunerConfig.from_env(
+        backend=backend,
+        strategy=strategy,
+        resume=resume,
+        tune_many_workers=(
+            max(1, tune_many_workers) if tune_many_workers is not None else None
+        ),
+    )
+
+
 def _tune_one(
     benchmark_name: str,
     machine: MachineSpec,
     seed: int,
-    backend: Optional[str] = None,
+    config: TunerConfig,
     result_cache: Optional[ResultCache] = None,
-    strategy: Optional[str] = None,
-    resume: Optional[bool] = None,
+    checkpoint_store=None,
+    on_candidate: Optional[Callable[[CandidateEvent], None]] = None,
+    on_round: Optional[Callable[[RoundEvent], None]] = None,
 ) -> TunedSession:
     spec = benchmark(benchmark_name)
     compiled = compile_program(spec.build_program(), machine)
@@ -138,10 +188,11 @@ def _tune_one(
         seed=seed,
         accuracy_fn=spec.accuracy_fn,
         accuracy_target=spec.accuracy_target,
-        backend=backend,
+        config=config,
         result_cache=result_cache,
-        strategy=strategy,
-        resume=resume,
+        checkpoint_store=checkpoint_store,
+        on_candidate=on_candidate,
+        on_round=on_round,
     ) as tuner:
         report = tuner.tune(label=f"{machine.codename} Config")
     return TunedSession(
@@ -149,35 +200,30 @@ def _tune_one(
     )
 
 
-def tuned_session(
+def session_for(
     benchmark_name: str,
     machine: MachineSpec,
-    seed: int = DEFAULT_SEED,
-    backend: Optional[str] = None,
-    strategy: Optional[str] = None,
-    resume: Optional[bool] = None,
+    seed: int,
+    config: TunerConfig,
+    result_cache: Optional[ResultCache] = None,
+    checkpoint_store=None,
+    on_candidate: Optional[Callable[[CandidateEvent], None]] = None,
+    on_round: Optional[Callable[[RoundEvent], None]] = None,
 ) -> TunedSession:
     """Autotune (or fetch the cached session for) one combination.
 
-    Thread-safe and single-flight: concurrent callers for the same key
-    (as spawned by :func:`tune_many`) share one tuning run.
-
-    Args:
-        benchmark_name: Figure 8 benchmark name.
-        machine: Target machine.
-        seed: Tuning seed.
-        backend: Evaluation backend for a cache-miss tuning run (the
-            session key ignores it — reports are backend-invariant).
-        strategy: Search strategy; ``None`` reads
-            ``REPRO_TUNER_STRATEGY``.  Part of the session key —
-            different strategies produce different reports.
-        resume: Resume a checkpointed session on a cache miss;
-            ``None`` reads ``REPRO_TUNER_RESUME``.
-
-    Returns:
-        The cached :class:`TunedSession`.
+    The implementation behind :meth:`repro.api.Session.tune` /
+    ``submit``.  Thread-safe and single-flight: concurrent callers for
+    the same key share one tuning run.  The cache key is
+    ``(benchmark, machine codename, seed, config.strategy)`` — the
+    evaluation backend is deliberately not part of it, because reports
+    are backend-invariant.  ``result_cache``/``checkpoint_store`` let
+    a :class:`repro.api.Session` share its own handles across runs
+    (both thread-safe); ``None`` opens fresh ones on
+    ``config.cache_dir``.  Streaming observers only fire for a
+    cache-miss run (a cached session has nothing left to stream).
     """
-    key = (benchmark_name, machine.codename, seed, resolve_strategy(strategy))
+    key = (benchmark_name, machine.codename, seed, config.strategy)
     with _SESSIONS_LOCK:
         session = _SESSIONS.get(key)
         if session is not None:
@@ -189,8 +235,9 @@ def tuned_session(
         if session is not None:
             return session
         session = _tune_one(
-            benchmark_name, machine, seed, backend=backend,
-            strategy=strategy, resume=resume,
+            benchmark_name, machine, seed, config,
+            result_cache=result_cache, checkpoint_store=checkpoint_store,
+            on_candidate=on_candidate, on_round=on_round,
         )
         with _SESSIONS_LOCK:
             _SESSIONS[key] = session
@@ -203,52 +250,52 @@ def _resolve_machine(machine: Union[MachineSpec, str]) -> MachineSpec:
     return machine_by_name(machine)
 
 
-def _no_fork_backend() -> str:
-    """Evaluator backend for tuners that must not fork new processes.
+def _no_fork_config(config: TunerConfig) -> TunerConfig:
+    """The evaluator config for tuners that must not fork new
+    processes.
 
     Used inside shard children (a shard is already a worker process;
     nesting pools would fork uncontrollably) and for sessions scheduled
-    on ``tune_many``'s live worker threads (forking a pool from a
-    multithreaded process can inherit locks held mid-simulation by
-    sibling threads and hang the child).  An explicit environment
-    choice of ``serial``/``thread`` is honoured; ``process`` and
-    ``auto`` demote to the worker-count auto rule.
+    on the batch thread pool (forking a pool from a multithreaded
+    process can inherit locks held mid-simulation by sibling threads
+    and hang the child).  A ``serial``/``thread`` choice is honoured;
+    ``process`` and ``auto`` demote to the worker-count auto rule.
     """
-    name, _ = resolve_backend(None)
-    if name in ("serial", "thread"):
-        return name
-    return "thread" if default_worker_count() > 1 else "serial"
+    if config.backend in ("serial", "thread"):
+        return config
+    demoted = "thread" if config.workers > 1 else "serial"
+    prov = dict(config.provenance)
+    prov["backend"] = "default"  # demotions are never "forced"
+    return dataclasses.replace(config, backend=demoted, provenance=prov)
 
 
 def _tune_shard(
     pairs: Sequence[Tuple[str, str]],
     seed: int,
-    cache_dir: Optional[str],
-    strategy: Optional[str] = None,
-    resume: Optional[bool] = None,
+    config: TunerConfig,
 ) -> List[Tuple[str, str, Dict[str, object]]]:
     """Process-pool entry point: tune one shard of (name, codename)
     pairs and return their reports as primitive payloads.
 
-    Opens this shard's own :class:`ResultCache` handle on the shared
-    directory — concurrent shards merge through the cache's atomic
-    writes, never through shared state.  Checkpoints written by the
-    shard land in the shared ``REPRO_CACHE_DIR``-derived store, so a
-    killed batch resumes no matter which shard a session lands on next
-    time.
+    Receives the parent's full (picklable) :class:`TunerConfig`, so
+    shard children follow the batch's strategy/resume/cache/progress
+    choices without consulting their own environment.  Opens this
+    shard's own :class:`ResultCache` handle on the shared directory —
+    concurrent shards merge through the cache's atomic writes, never
+    through shared state.  Checkpoints written by the shard land in
+    the shared ``config.cache_dir``-derived store, so a killed batch
+    resumes no matter which shard a session lands on next time.
     """
-    cache = ResultCache(cache_dir)
-    backend = _no_fork_backend()
+    shard_config = _no_fork_config(config)
+    cache = ResultCache(shard_config.cache_dir)
     results: List[Tuple[str, str, Dict[str, object]]] = []
     for name, codename in pairs:
         session = _tune_one(
             name,
             machine_by_name(codename),
             seed,
-            backend=backend,
+            shard_config,
             result_cache=cache,
-            strategy=strategy,
-            resume=resume,
         )
         results.append((name, codename, report_to_payload(session.report)))
     return results
@@ -268,7 +315,7 @@ def _claim_missing(
     """Claim untuned, shardable pairs under the single-flight key locks.
 
     Sharding must honour the same single-flight contract as
-    :func:`tuned_session`: a key another caller is already tuning (its
+    :func:`session_for`: a key another caller is already tuning (its
     lock is held) is skipped here — the final collection pass waits on
     it instead — and a claimed key's lock is held until the shard
     result is installed, so no concurrent caller duplicates the run.
@@ -288,7 +335,7 @@ def _claim_missing(
                 continue
             key_lock = _KEY_LOCKS.setdefault(key, threading.Lock())
         if not key_lock.acquire(blocking=False):
-            continue  # in flight elsewhere; collected via tuned_session
+            continue  # in flight elsewhere; collected via session_for
         with _SESSIONS_LOCK:
             tuned = key in _SESSIONS
         if tuned:
@@ -321,8 +368,7 @@ def _tune_many_process(
     resolved: Sequence[Tuple[str, MachineSpec]],
     seed: int,
     worker_count: int,
-    strategy: Optional[str] = None,
-    resume: Optional[bool] = None,
+    config: TunerConfig,
 ) -> List[TunedSession]:
     """Shard a batch across worker processes and collect the sessions.
 
@@ -334,7 +380,7 @@ def _tune_many_process(
     — cheap next to tuning) and installs it in the process-wide
     session cache before releasing the claim.
     """
-    strategy_name = resolve_strategy(strategy)
+    strategy_name = config.strategy
     claimed, held = _claim_missing(resolved, seed, strategy_name)
     try:
         # Callers reach this only with worker_count > 1, so a shard
@@ -342,9 +388,7 @@ def _tune_many_process(
         shard_count = min(worker_count, len(claimed))
         if len(claimed) == 1:
             name, machine = claimed[0]
-            session = _tune_one(
-                name, machine, seed, strategy=strategy, resume=resume
-            )
+            session = _tune_one(name, machine, seed, config)
             with _SESSIONS_LOCK:
                 _SESSIONS.setdefault(
                     (name, machine.codename, seed, strategy_name), session
@@ -353,13 +397,10 @@ def _tune_many_process(
             shards: List[List[Tuple[str, str]]] = [[] for _ in range(shard_count)]
             for index, (name, machine) in enumerate(claimed):
                 shards[index % shard_count].append((name, machine.codename))
-            cache_dir = ResultCache.from_environment().directory
             machines = {machine.codename: machine for _, machine in claimed}
             with ProcessPoolExecutor(max_workers=shard_count) as pool:
                 futures = [
-                    pool.submit(
-                        _tune_shard, shard, seed, cache_dir, strategy, resume
-                    )
+                    pool.submit(_tune_shard, shard, seed, config)
                     for shard in shards
                 ]
                 for future in futures:
@@ -376,53 +417,51 @@ def _tune_many_process(
             key_lock.release()
     # Everything claimed is now a cache hit; the rest either was
     # already cached, is being tuned by a concurrent caller (the
-    # single-flight lock inside tuned_session waits for it), or has an
+    # single-flight lock inside session_for waits for it), or has an
     # unshardable machine and tunes locally here.
     return [
-        tuned_session(name, machine, seed, strategy=strategy, resume=resume)
+        session_for(name, machine, seed, config)
         for name, machine in resolved
     ]
 
 
-def tune_many(
+def run_batch(
     pairs: Iterable[TunePair],
-    seed: int = DEFAULT_SEED,
-    workers: Optional[int] = None,
-    backend: Optional[str] = None,
-    strategy: Optional[str] = None,
-    resume: Optional[bool] = None,
+    seed: int,
+    config: TunerConfig,
+    result_cache: Optional[ResultCache] = None,
+    checkpoint_store=None,
 ) -> Dict[Tuple[str, str], TunedSession]:
     """Tune a batch of (benchmark, machine) pairs concurrently.
 
-    Each pair runs an independent, separately seeded search, so the
-    winning configurations are byte-identical to tuning the pairs one
-    by one with sequential ``autotune``/:func:`tuned_session` calls —
+    The implementation behind :meth:`repro.api.Session.run_batch` and
+    the deprecated :func:`tune_many` shim.  Each pair runs an
+    independent, separately seeded search, so the winning
+    configurations are byte-identical to tuning the pairs one by one —
     concurrency changes wall-clock time only.  Sessions land in the
-    same process-wide cache :func:`tuned_session` uses.
+    same process-wide cache :func:`session_for` uses.
 
-    With ``resume`` enabled (or ``REPRO_TUNER_RESUME`` set) and a
-    ``REPRO_CACHE_DIR`` configured, each session checkpoints its
-    search state periodically and on completion; a killed batch picks
-    up where it left off on the next call, with byte-identical final
-    reports.
+    With ``config.resume`` and a ``config.cache_dir`` set, each
+    session checkpoints its search state periodically and on
+    completion; a killed batch picks up where it left off on the next
+    call, with byte-identical final reports.
 
     Args:
         pairs: (benchmark name, machine or machine codename) pairs;
             duplicates are tuned once.
         seed: Tuning seed used for every pair.
-        workers: Concurrent sessions (thread backend) or shard
-            processes (process backend); ``None`` reads the
-            ``REPRO_TUNE_MANY_WORKERS`` environment variable
-            (default 4).  ``1`` tunes sequentially.
-        backend: Session scheduling backend — ``"thread"`` (default),
-            ``"serial"``, or ``"process"`` to shard the batch across
-            worker processes; ``None`` reads ``REPRO_TUNER_BACKEND``.
-            Results are identical on every backend.
-        strategy: Search strategy for every pair; ``None`` reads
-            ``REPRO_TUNER_STRATEGY``.  Results are deterministic per
-            (strategy, seed) and identical on every backend.
-        resume: Resume checkpointed sessions; ``None`` reads
-            ``REPRO_TUNER_RESUME``.
+        config: Batch scheduling follows ``config.backend``
+            (``thread`` schedules sessions on a thread pool,
+            ``process`` shards the batch across worker processes,
+            ``serial`` tunes one by one) and ``config.tune_many_workers``
+            (concurrent sessions / shard processes).  Results are
+            identical for every choice.
+        result_cache: Shared disk-cache handle for locally tuned
+            sessions (thread-safe); ``None`` opens fresh handles on
+            ``config.cache_dir``.  Process shards always open their
+            own handle in the child — handles cannot cross the pipe.
+        checkpoint_store: Shared checkpoint store for locally tuned
+            sessions, same caveats.
 
     Returns:
         ``{(benchmark name, machine codename): session}`` for every
@@ -438,27 +477,22 @@ def tune_many(
         seen.add(dedupe_key)
         resolved.append((name, spec))
 
-    backend_name, _ = resolve_backend(backend)
-    worker_count = (
-        workers if workers is not None else default_tune_many_workers()
-    )
-    worker_count = max(1, min(worker_count, len(resolved) or 1))
+    backend_name = config.backend
+    worker_count = max(1, min(config.tune_many_workers, len(resolved) or 1))
     if backend_name == "serial":
         worker_count = 1
 
     if backend_name == "process" and worker_count > 1 and len(resolved) > 1:
-        sessions = _tune_many_process(
-            resolved, seed, worker_count, strategy=strategy, resume=resume
-        )
+        sessions = _tune_many_process(resolved, seed, worker_count, config)
     elif worker_count == 1 or len(resolved) <= 1:
-        # Forward the caller's backend: an explicit "serial" must stay
-        # serial even under a process-backend environment, and an
-        # explicit "process" that cannot shard (one pair, one worker)
-        # still gets in-tuner process evaluation.
+        # Forward the caller's backend choice: an explicit "serial"
+        # must stay serial even when the environment says process, and
+        # an explicit "process" that cannot shard (one pair, one
+        # worker) still gets in-tuner process evaluation.
         sessions = [
-            tuned_session(
-                name, machine, seed, backend=backend,
-                strategy=strategy, resume=resume,
+            session_for(
+                name, machine, seed, config,
+                result_cache=result_cache, checkpoint_store=checkpoint_store,
             )
             for name, machine in resolved
         ]
@@ -466,14 +500,14 @@ def tune_many(
         # Sessions tuned on live worker threads pin a non-forking
         # evaluator backend: a process pool forked here could inherit
         # locks held mid-simulation by sibling threads.
-        inner_backend = _no_fork_backend()
+        inner_config = _no_fork_config(config)
         with ThreadPoolExecutor(
             max_workers=worker_count, thread_name_prefix="repro-tune"
         ) as pool:
             futures = [
                 pool.submit(
-                    tuned_session, name, machine, seed, inner_backend,
-                    strategy, resume,
+                    session_for, name, machine, seed, inner_config,
+                    result_cache, checkpoint_store,
                 )
                 for name, machine in resolved
             ]
@@ -483,6 +517,16 @@ def tune_many(
         (name, machine.codename): session
         for (name, machine), session in zip(resolved, sessions)
     }
+
+
+def default_session(**overrides):
+    """A :class:`repro.api.Session` on the lenient environment-layered
+    config (the default the figure harnesses use when no session is
+    passed in).  ``None``-valued overrides mean "not set"."""
+    # Local import: repro.api.session imports this module.
+    from repro.api.session import Session
+
+    return Session(TunerConfig.from_env(**overrides))
 
 
 def standard_pairs() -> List[Tuple[str, MachineSpec]]:
@@ -495,6 +539,65 @@ def standard_pairs() -> List[Tuple[str, MachineSpec]]:
     ]
 
 
+def clear_sessions() -> None:
+    """Drop all cached tuning sessions (tests use this)."""
+    with _SESSIONS_LOCK:
+        _SESSIONS.clear()
+        _KEY_LOCKS.clear()
+
+
+# -- deprecated module-level entrypoints (shims over the impl) ---------
+
+
+def tuned_session(
+    benchmark_name: str,
+    machine: MachineSpec,
+    seed: int = DEFAULT_SEED,
+    backend: Optional[str] = None,
+    strategy: Optional[str] = None,
+    resume: Optional[bool] = None,
+) -> TunedSession:
+    """Deprecated: use :meth:`repro.api.Session.tune`.
+
+    Autotune (or fetch the cached session for) one combination with
+    the historical environment-layered defaults.  Behaviour and
+    reports are byte-identical to the pre-``repro.api`` entrypoint.
+    """
+    _warn_shim("tuned_session()", "repro.api.Session.tune()")
+    return session_for(
+        benchmark_name,
+        machine,
+        seed,
+        _legacy_config(backend=backend, strategy=strategy, resume=resume),
+    )
+
+
+def tune_many(
+    pairs: Iterable[TunePair],
+    seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    strategy: Optional[str] = None,
+    resume: Optional[bool] = None,
+) -> Dict[Tuple[str, str], TunedSession]:
+    """Deprecated: use :meth:`repro.api.Session.run_batch`.
+
+    Tune a batch of (benchmark, machine) pairs concurrently with the
+    historical environment-layered defaults (``workers`` maps to
+    ``TunerConfig.tune_many_workers``).  Reports are byte-identical to
+    the pre-``repro.api`` entrypoint on every backend.
+    """
+    _warn_shim("tune_many()", "repro.api.Session.run_batch()")
+    return run_batch(
+        pairs,
+        seed,
+        _legacy_config(
+            backend=backend, strategy=strategy, resume=resume,
+            tune_many_workers=workers,
+        ),
+    )
+
+
 def tune_all_standard(
     seed: int = DEFAULT_SEED,
     workers: Optional[int] = None,
@@ -502,15 +605,14 @@ def tune_all_standard(
     strategy: Optional[str] = None,
     resume: Optional[bool] = None,
 ) -> Dict[Tuple[str, str], TunedSession]:
-    """Batch-tune the full standard grid (see :func:`tune_many`)."""
-    return tune_many(
-        standard_pairs(), seed=seed, workers=workers, backend=backend,
-        strategy=strategy, resume=resume,
+    """Deprecated: use
+    ``repro.api.Session.run_batch(standard_pairs())``."""
+    _warn_shim("tune_all_standard()", "repro.api.Session.run_batch()")
+    return run_batch(
+        standard_pairs(),
+        seed,
+        _legacy_config(
+            backend=backend, strategy=strategy, resume=resume,
+            tune_many_workers=workers,
+        ),
     )
-
-
-def clear_sessions() -> None:
-    """Drop all cached tuning sessions (tests use this)."""
-    with _SESSIONS_LOCK:
-        _SESSIONS.clear()
-        _KEY_LOCKS.clear()

@@ -1,0 +1,323 @@
+"""Layered TunerConfig resolution: precedence, provenance, errors.
+
+The precedence rule lives in exactly one place
+(``TunerConfig.resolve``): built-in defaults < ``REPRO_*`` environment
+< ``repro.toml`` < explicit arguments.  These tests pin each layer
+beating the previous one, the per-field provenance report, the
+fail-fast error messages, and the lenient ``from_env`` bridge the
+deprecation shims resolve through.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.config import TunerConfig, _parse_mini_toml
+from repro.errors import ConfigError
+
+
+class TestPrecedence:
+    def test_defaults_when_nothing_is_set(self):
+        config = TunerConfig.resolve(environ={})
+        assert config == TunerConfig()
+        assert all(
+            source == "default" for _, _, source in config.provenance_rows()
+        )
+
+    def test_env_beats_default(self):
+        config = TunerConfig.resolve(
+            environ={"REPRO_TUNER_BACKEND": "process", "REPRO_TUNER_WORKERS": "3"}
+        )
+        assert config.backend == "process"
+        assert config.workers == 3
+        assert config.provenance["backend"] == "env:REPRO_TUNER_BACKEND"
+        assert config.provenance["strategy"] == "default"
+
+    def test_file_beats_env(self, tmp_path):
+        path = tmp_path / "repro.toml"
+        path.write_text('backend = "thread"\nworkers = 5\n')
+        config = TunerConfig.resolve(
+            config_file=str(path),
+            environ={"REPRO_TUNER_BACKEND": "process", "REPRO_TUNER_WORKERS": "3"},
+        )
+        assert config.backend == "thread"
+        assert config.workers == 5
+        assert config.provenance["backend"] == f"file:{path}"
+
+    def test_arg_beats_file_and_env(self, tmp_path):
+        path = tmp_path / "repro.toml"
+        path.write_text('backend = "thread"\n')
+        config = TunerConfig.resolve(
+            config_file=str(path),
+            environ={"REPRO_TUNER_BACKEND": "process"},
+            backend="serial",
+        )
+        assert config.backend == "serial"
+        assert config.provenance["backend"] == "arg"
+
+    def test_none_overrides_mean_not_set(self):
+        config = TunerConfig.resolve(
+            environ={"REPRO_TUNER_STRATEGY": "bandit"}, strategy=None
+        )
+        assert config.strategy == "bandit"
+
+    def test_quiet_beats_progress_env(self):
+        """The regression the redesign exists for: an explicit
+        progress choice (the CLI's --quiet) must beat
+        REPRO_TUNER_PROGRESS=1."""
+        config = TunerConfig.resolve(
+            environ={"REPRO_TUNER_PROGRESS": "1"}, progress=False
+        )
+        assert config.progress is False
+        assert config.provenance["progress"] == "arg"
+
+    def test_every_field_resolves_from_env(self):
+        environ = {
+            "REPRO_TUNER_BACKEND": "thread",
+            "REPRO_TUNER_WORKERS": "2",
+            "REPRO_TUNE_MANY_WORKERS": "8",
+            "REPRO_TUNER_STRATEGY": "hillclimb",
+            "REPRO_SEED": "17",
+            "REPRO_CACHE_DIR": "/tmp/some-cache",
+            "REPRO_TUNER_CHECKPOINT_EVERY": "16",
+            "REPRO_TUNER_RESUME": "1",
+            "REPRO_TUNER_PROGRESS": "yes",
+            "REPRO_FULL_SCALE": "1",
+        }
+        config = TunerConfig.resolve(environ=environ)
+        assert config == TunerConfig(
+            backend="thread",
+            workers=2,
+            tune_many_workers=8,
+            strategy="hillclimb",
+            seed=17,
+            cache_dir="/tmp/some-cache",
+            checkpoint_every=16,
+            resume=True,
+            progress=True,
+            full_scale=True,
+        )
+
+    def test_empty_int_env_values_are_unset(self):
+        config = TunerConfig.resolve(
+            environ={"REPRO_TUNER_WORKERS": "", "REPRO_SEED": "  "}
+        )
+        assert config.workers == 1
+        assert config.seed == 3
+        assert config.provenance["workers"] == "default"
+
+    def test_falsy_cache_dir_disables(self):
+        for raw in ("0", "off", "none"):
+            config = TunerConfig.resolve(environ={"REPRO_CACHE_DIR": raw})
+            assert config.cache_dir is None
+
+    def test_empty_flag_env_values_are_unset(self):
+        config = TunerConfig.resolve(environ={"REPRO_TUNER_RESUME": ""})
+        assert config.resume is False
+        assert config.provenance["resume"] == "default"
+
+
+class TestConfigFile:
+    def test_tuner_table_wins_over_top_level(self, tmp_path):
+        path = tmp_path / "repro.toml"
+        path.write_text(
+            'workers = 2\n\n[tuner]\nworkers = 6\nstrategy = "random"\n'
+        )
+        config = TunerConfig.resolve(config_file=str(path), environ={})
+        assert config.workers == 6
+        assert config.strategy == "random"
+
+    def test_discovered_via_env_variable(self, tmp_path):
+        path = tmp_path / "custom.toml"
+        path.write_text('backend = "serial"\n')
+        config = TunerConfig.resolve(
+            environ={"REPRO_CONFIG_FILE": str(path)}
+        )
+        assert config.backend == "serial"
+
+    def test_discovered_in_cwd(self, tmp_path, monkeypatch):
+        (tmp_path / "repro.toml").write_text("seed = 11\n")
+        monkeypatch.chdir(tmp_path)
+        assert TunerConfig.resolve(environ={}).seed == 11
+
+    def test_missing_explicit_file_fails(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            TunerConfig.resolve(
+                config_file=str(tmp_path / "absent.toml"), environ={}
+            )
+
+    def test_unknown_key_fails(self, tmp_path):
+        path = tmp_path / "repro.toml"
+        path.write_text("sneed = 3\n")
+        with pytest.raises(ConfigError, match="sneed"):
+            TunerConfig.resolve(config_file=str(path), environ={})
+
+    def test_mistyped_value_fails(self, tmp_path):
+        path = tmp_path / "repro.toml"
+        path.write_text('workers = "four"\n')
+        with pytest.raises(ConfigError, match="expected an integer"):
+            TunerConfig.resolve(config_file=str(path), environ={})
+
+    def test_mini_toml_parser_matches_needs(self):
+        data = _parse_mini_toml(
+            "# comment\n"
+            'backend = "thread"\n'
+            "workers = 4  # inline comment\n"
+            "resume = true\n"
+            "[tuner]\n"
+            'strategy = "bandit"\n',
+            "test.toml",
+        )
+        assert data == {
+            "backend": "thread",
+            "workers": 4,
+            "resume": True,
+            "tuner": {"strategy": "bandit"},
+        }
+
+    def test_mini_toml_rejects_unsupported_values(self):
+        with pytest.raises(ConfigError, match="unsupported value"):
+            _parse_mini_toml("workers = 4.5\n", "test.toml")
+
+
+class TestErrors:
+    def test_bad_env_backend_names_the_variable(self):
+        with pytest.raises(ConfigError, match="REPRO_TUNER_BACKEND"):
+            TunerConfig.resolve(environ={"REPRO_TUNER_BACKEND": "bogus"})
+
+    def test_bad_env_worker_count_fails_fast(self):
+        with pytest.raises(ConfigError, match="expected an integer"):
+            TunerConfig.resolve(environ={"REPRO_TUNER_WORKERS": "2.0"})
+
+    def test_bad_arg_strategy_lists_alternatives(self):
+        with pytest.raises(ConfigError, match="evolutionary"):
+            TunerConfig.resolve(environ={}, strategy="simulated-annealing")
+
+    def test_unknown_override_name(self):
+        with pytest.raises(ConfigError, match="wokers"):
+            TunerConfig.resolve(environ={}, wokers=2)
+
+    def test_direct_construction_validates(self):
+        with pytest.raises(ConfigError, match="workers"):
+            TunerConfig(workers=0)
+        with pytest.raises(ConfigError, match="checkpoint_every"):
+            TunerConfig(checkpoint_every=-1)
+        with pytest.raises(ConfigError, match="resume"):
+            TunerConfig(resume="yes")
+
+
+class TestLenientBridge:
+    """`from_env` must keep the historical per-module leniency so the
+    deprecation shims behave byte-identically."""
+
+    def test_bad_values_fall_back_like_the_legacy_knobs(self):
+        config = TunerConfig.from_env(
+            environ={
+                "REPRO_TUNER_BACKEND": "bogus",
+                "REPRO_TUNER_STRATEGY": "bogus",
+                "REPRO_TUNER_WORKERS": "2.0",
+                "REPRO_TUNE_MANY_WORKERS": "many",
+            }
+        )
+        assert config.backend == "auto"
+        assert config.strategy == "evolutionary"
+        assert config.workers == 1
+        assert config.tune_many_workers == 4
+        # An ignored value is never credited to the environment.
+        for field in ("backend", "strategy", "workers", "tune_many_workers"):
+            assert config.provenance[field] == "default", field
+
+    def test_bad_seed_still_fails_like_the_legacy_reader(self):
+        """The historical reader (`int(os.environ["REPRO_SEED"])`)
+        crashed on garbage; a silent wrong seed would be worse."""
+        with pytest.raises(ConfigError, match="REPRO_SEED"):
+            TunerConfig.from_env(environ={"REPRO_SEED": "not-a-number"})
+
+    def test_full_scale_keeps_its_historical_grammar(self):
+        """Legacy REPRO_FULL_SCALE enabled on anything but ""/"0" —
+        including "off" — and the lenient bridge must reproduce that.
+        The strict resolve() path uses the sane flag grammar."""
+        assert TunerConfig.from_env(
+            environ={"REPRO_FULL_SCALE": "off"}
+        ).full_scale is True
+        assert TunerConfig.from_env(
+            environ={"REPRO_FULL_SCALE": "0"}
+        ).full_scale is False
+        assert TunerConfig.resolve(
+            environ={"REPRO_FULL_SCALE": "off"}
+        ).full_scale is False
+
+    def test_valid_env_values_resolve(self):
+        config = TunerConfig.from_env(
+            environ={
+                "REPRO_TUNER_BACKEND": "process",
+                "REPRO_TUNER_PROGRESS": "1",
+                "REPRO_CACHE_DIR": "/tmp/x",
+            }
+        )
+        assert config.backend == "process"
+        assert config.progress is True
+        assert config.cache_dir == "/tmp/x"
+        # Environment-selected backends must never be "forced".
+        assert not config.is_explicit("backend")
+
+    def test_overrides_are_strict_and_explicit(self):
+        with pytest.raises(ConfigError):
+            TunerConfig.from_env(environ={}, backend="bogus")
+        config = TunerConfig.from_env(environ={}, backend="process")
+        assert config.is_explicit("backend")
+
+
+class TestDerivedViews:
+    def test_with_overrides_reprovenances(self):
+        config = TunerConfig.resolve(environ={"REPRO_TUNER_WORKERS": "2"})
+        updated = config.with_overrides(workers=7)
+        assert updated.workers == 7
+        assert updated.provenance["workers"] == "arg"
+        assert config.workers == 2  # immutable
+
+    def test_with_defaults_only_touches_default_fields(self):
+        config = TunerConfig.resolve(
+            environ={"REPRO_TUNER_PROGRESS": "0"}
+        ).with_defaults(progress=True, workers=9)
+        # progress came from the environment: untouched.
+        assert config.progress is False
+        # workers was still default: takes the new default, keeps
+        # "default" provenance so later layers may still beat it.
+        assert config.workers == 9
+        assert config.provenance["workers"] == "default"
+
+    def test_file_choices_are_explicit_env_choices_are_not(self, tmp_path):
+        path = tmp_path / "repro.toml"
+        path.write_text('backend = "process"\n')
+        from_file = TunerConfig.resolve(config_file=str(path), environ={})
+        from_env = TunerConfig.resolve(
+            environ={"REPRO_TUNER_BACKEND": "process"}
+        )
+        assert from_file.is_explicit("backend")
+        assert not from_env.is_explicit("backend")
+
+    def test_picklable_across_process_boundaries(self):
+        import pickle
+
+        config = TunerConfig.resolve(
+            environ={"REPRO_TUNER_STRATEGY": "hillclimb"}, workers=2
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.provenance == config.provenance
+
+    def test_provenance_rows_cover_every_field(self):
+        rows = TunerConfig().provenance_rows()
+        assert [name for name, _, _ in rows] == [
+            "backend",
+            "workers",
+            "tune_many_workers",
+            "strategy",
+            "seed",
+            "cache_dir",
+            "checkpoint_every",
+            "resume",
+            "progress",
+            "full_scale",
+        ]

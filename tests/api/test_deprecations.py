@@ -1,0 +1,125 @@
+"""Deprecation shims: warn loudly, behave byte-identically.
+
+Every legacy entrypoint must emit :class:`DeprecationWarning` and
+produce reports byte-identical to its ``repro.api`` replacement — the
+shims are a migration path, never a behaviour fork.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import Session, TunerConfig
+from repro.apps.registry import benchmark, canonical_env_factory
+from repro.compiler.compile import compile_program
+from repro.core.report import report_to_payload
+from repro.core.search import EvolutionaryTuner, autotune
+from repro.experiments import runner
+from repro.experiments.runner import (
+    clear_sessions,
+    tune_all_standard,
+    tune_many,
+    tuned_session,
+)
+from repro.hardware.machines import DESKTOP
+
+APP = "Strassen"
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache():
+    clear_sessions()
+    yield
+    clear_sessions()
+
+
+def _api_report(**config_overrides):
+    with Session(
+        TunerConfig.from_env(progress=False, **config_overrides)
+    ) as session:
+        return report_to_payload(session.tune(APP, DESKTOP).report)
+
+
+class TestShimsWarnAndMatch:
+    def test_tuned_session(self):
+        reference = _api_report(backend="serial")
+        clear_sessions()
+        with pytest.warns(DeprecationWarning, match="Session.tune"):
+            legacy = tuned_session(APP, DESKTOP, backend="serial")
+        assert report_to_payload(legacy.report) == reference
+
+    def test_tune_many(self):
+        reference = _api_report(backend="serial")
+        clear_sessions()
+        with pytest.warns(DeprecationWarning, match="run_batch"):
+            legacy = tune_many([(APP, "Desktop")], backend="serial", workers=1)
+        assert report_to_payload(legacy[(APP, "Desktop")].report) == reference
+
+    def test_tune_all_standard(self, monkeypatch):
+        monkeypatch.setattr(
+            runner, "standard_pairs", lambda: [(APP, DESKTOP)]
+        )
+        reference = _api_report(backend="serial")
+        clear_sessions()
+        with pytest.warns(DeprecationWarning, match="run_batch"):
+            legacy = tune_all_standard(backend="serial", workers=1)
+        assert report_to_payload(legacy[(APP, "Desktop")].report) == reference
+
+    def test_evolutionary_tuner_legacy_kwargs(self):
+        spec = benchmark(APP)
+        compiled = compile_program(spec.build_program(), DESKTOP)
+        with pytest.warns(DeprecationWarning, match="TunerConfig"):
+            tuner = EvolutionaryTuner(
+                compiled,
+                canonical_env_factory(APP),
+                max_size=spec.tuning_size,
+                seed=3,
+                backend="serial",
+                workers=1,
+                strategy="evolutionary",
+            )
+        with tuner:
+            legacy = tuner.tune(label="Desktop Config")
+        assert report_to_payload(legacy) == _api_report(backend="serial")
+
+    def test_autotune_legacy_kwargs_warn(self):
+        spec = benchmark(APP)
+        compiled = compile_program(spec.build_program(), DESKTOP)
+        with pytest.warns(DeprecationWarning):
+            autotune(
+                compiled,
+                canonical_env_factory(APP),
+                max_size=spec.tuning_size,
+                seed=3,
+                backend="serial",
+            )
+
+
+class TestModernPathsAreWarningClean:
+    """Internal code migrated off the shims must stay clean — this is
+    what the CI -W error::DeprecationWarning leg enforces end to end."""
+
+    def test_config_construction_does_not_warn(self):
+        spec = benchmark(APP)
+        compiled = compile_program(spec.build_program(), DESKTOP)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with EvolutionaryTuner(
+                compiled,
+                canonical_env_factory(APP),
+                max_size=spec.tuning_size,
+                seed=3,
+                config=TunerConfig.from_env(backend="serial", progress=False),
+            ) as tuner:
+                tuner.tune()
+
+    def test_session_paths_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Session(
+                TunerConfig.from_env(backend="serial", progress=False)
+            ) as session:
+                session.tune(APP, DESKTOP)
+                session.run_batch([(APP, "Desktop")])

@@ -1,0 +1,65 @@
+"""The public API surface, locked against a committed snapshot.
+
+``repro.api`` is the compatibility contract of the project: names may
+be *added* (update the snapshot in the same PR, deliberately), but a
+rename or removal of anything here is a breaking change and must fail
+CI until the snapshot is consciously regenerated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import repro.api
+from repro.api import Session, TunerConfig, TuningJob
+
+SNAPSHOT = json.loads(
+    (pathlib.Path(__file__).resolve().parent / "public_api_snapshot.json").read_text()
+)
+
+
+def test_api_all_matches_snapshot():
+    assert sorted(repro.api.__all__) == SNAPSHOT["api_all"]
+
+
+def test_every_exported_name_resolves():
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None
+
+
+def test_tuner_config_fields_match_snapshot():
+    fields = [spec.name for spec in dataclasses.fields(TunerConfig)]
+    assert fields == SNAPSHOT["tuner_config_fields"]
+
+
+def test_session_verbs_match_snapshot():
+    public = sorted(
+        name
+        for name in vars(Session)
+        if not name.startswith("_") and callable(getattr(Session, name))
+    )
+    assert public == SNAPSHOT["session_methods"]
+
+
+def test_tuning_job_verbs_match_snapshot():
+    public = sorted(
+        name
+        for name in vars(TuningJob)
+        if not name.startswith("_") and callable(getattr(TuningJob, name))
+    )
+    assert public == SNAPSHOT["tuning_job_methods"]
+
+
+def test_config_env_mapping_is_total():
+    """Every TunerConfig field (bar provenance) has exactly one
+    environment variable, so no knob can regrow an ad-hoc reader."""
+    from repro.api.config import ENV_BY_FIELD
+
+    fields = {
+        spec.name
+        for spec in dataclasses.fields(TunerConfig)
+        if spec.name != "provenance"
+    }
+    assert set(ENV_BY_FIELD) == fields

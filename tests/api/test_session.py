@@ -1,0 +1,179 @@
+"""The Session facade: blocking/async tuning, job handles, streaming.
+
+Everything here runs against tiny registry benchmarks with the shared
+conftest disk cache, so cache-miss sessions stay cheap and repeated
+runs replay from disk.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import JobStatus, Session, TunerConfig
+from repro.core.driver import CandidateEvent, RoundEvent
+from repro.errors import TuningError
+from repro.experiments.runner import clear_sessions
+from repro.hardware.machines import DESKTOP
+
+#: A cheap benchmark for single-session tests.
+APP = "Strassen"
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache():
+    clear_sessions()
+    yield
+    clear_sessions()
+
+
+def _session(**overrides) -> Session:
+    """A Session on the test environment's config (conftest cache dir)
+    with serial, silent defaults unless overridden."""
+    return Session(
+        TunerConfig.from_env(backend="serial", progress=False, **overrides)
+    )
+
+
+class TestBlockingTune:
+    def test_tune_returns_cached_singleton(self):
+        with _session() as session:
+            first = session.tune(APP, DESKTOP)
+            second = session.tune(APP, "Desktop")
+        assert first is second
+        assert first.report.best.label == "Desktop Config"
+
+    def test_seed_defaults_to_config_seed(self):
+        with _session() as session:
+            tuned = session.tune(APP, DESKTOP)
+            assert tuned.report.seed == session.config.seed
+
+    def test_sessions_share_the_process_cache(self):
+        with _session() as one, _session() as two:
+            assert one.tune(APP, DESKTOP) is two.tune(APP, DESKTOP)
+
+    def test_session_owns_the_cache_handle_it_tunes_through(self, tmp_path):
+        """The session's result_cache property is the live handle: a
+        cache-miss tuning run moves its counters."""
+        with Session(
+            TunerConfig.from_env(
+                backend="serial", progress=False, cache_dir=str(tmp_path)
+            )
+        ) as session:
+            assert session.result_cache.enabled
+            session.tune(APP, DESKTOP)
+            stats = session.result_cache.stats
+            assert stats.misses + stats.hits > 0
+            assert stats.stores > 0  # fresh directory: entries written
+
+
+class TestSubmit:
+    def test_job_completes_with_result_and_report(self):
+        with _session() as session:
+            job = session.submit(APP, DESKTOP)
+            tuned = job.result(timeout=120)
+            assert job.status() is JobStatus.DONE
+            assert job.done()
+            assert job.report(timeout=1) is tuned.report
+            assert (job.app, job.machine) == (APP, "Desktop")
+            assert session.jobs == [job]
+
+    def test_submit_matches_blocking_tune(self):
+        with _session() as session:
+            via_job = session.submit(APP, DESKTOP).result(timeout=120)
+            blocking = session.tune(APP, DESKTOP)
+        assert via_job is blocking
+
+    def test_streaming_callbacks_fire_in_order(self):
+        candidates = []
+        rounds = []
+        with _session() as session:
+            job = session.submit(
+                APP,
+                DESKTOP,
+                on_candidate=candidates.append,
+                on_round=rounds.append,
+            )
+            report = job.report(timeout=120)
+        assert [type(e) for e in candidates] == [CandidateEvent] * len(candidates)
+        assert [type(e) for e in rounds] == [RoundEvent] * len(rounds)
+        assert [e.committed for e in candidates] == list(
+            range(1, len(candidates) + 1)
+        )
+        # Every *committed proposal* streams one event; re-proposals of
+        # an already-committed (config, size) stream again while the
+        # report's logical evaluation counter does not re-count them.
+        assert len(candidates) >= report.evaluations
+        assert [e.index for e in rounds] == list(range(len(rounds)))
+        assert len(rounds) == len(report.history)
+        assert rounds[-1].best_time_s == report.history[-1]
+        assert all(e.strategy == report.strategy for e in rounds)
+
+    def test_cached_sessions_stream_nothing(self):
+        events = []
+        with _session() as session:
+            session.tune(APP, DESKTOP)
+            job = session.submit(APP, DESKTOP, on_candidate=events.append)
+            job.result(timeout=120)
+        assert events == []
+
+    def test_queued_job_can_be_cancelled(self):
+        release = threading.Event()
+        first_commit = threading.Event()
+        blocked = {"done": False}
+
+        def block_once(event):
+            if not blocked["done"]:
+                blocked["done"] = True
+                first_commit.set()
+                release.wait(timeout=60)
+
+        with _session(tune_many_workers=1) as session:
+            running = session.submit(APP, DESKTOP, on_candidate=block_once)
+            assert first_commit.wait(timeout=120)
+            queued = session.submit("Sort", DESKTOP)
+            assert queued.status() is JobStatus.PENDING
+            assert queued.cancel()
+            assert queued.status() is JobStatus.CANCELLED
+            release.set()
+            assert running.result(timeout=120) is not None
+            assert not running.cancel()  # finished jobs cannot cancel
+
+    def test_submit_after_close_raises(self):
+        session = _session()
+        session.close()
+        with pytest.raises(TuningError, match="closed"):
+            session.submit(APP, DESKTOP)
+
+
+class TestBatch:
+    PAIRS = [("Strassen", "Desktop"), ("Sort", "Desktop")]
+
+    def test_run_batch_matches_individual_tunes(self):
+        with _session() as session:
+            batch = session.run_batch(self.PAIRS)
+            for (name, codename), tuned in batch.items():
+                assert session.tune(name, codename) is tuned
+
+    def test_run_batch_thread_scheduling_is_deterministic(self):
+        with _session() as serial_session:
+            serial = serial_session.run_batch(self.PAIRS)
+        clear_sessions()
+        with Session(
+            TunerConfig.from_env(
+                backend="thread", tune_many_workers=2, progress=False
+            )
+        ) as threaded_session:
+            threaded = threaded_session.run_batch(self.PAIRS)
+        for key in serial:
+            assert (
+                serial[key].report.best.to_json()
+                == threaded[key].report.best.to_json()
+            )
+            assert serial[key].report.history == threaded[key].report.history
+
+    def test_config_overrides_at_construction(self):
+        session = Session(backend="serial", workers=1, progress=False)
+        assert session.config.backend == "serial"
+        assert session.config.is_explicit("backend")

@@ -7,6 +7,7 @@ import os
 
 import pytest
 
+from repro.api.config import TunerConfig
 from repro.apps.registry import benchmark, canonical_env_factory
 from repro.compiler.compile import compile_program
 from repro.core.driver import CheckpointStore, TuningDriver
@@ -26,11 +27,10 @@ def env_factory(n):
     return scale_env(n, seed=1)
 
 
-def make_tuner(**kwargs):
+def make_tuner(checkpoint_store=None, result_cache=None, **config_overrides):
     spec = benchmark(APP)
     compiled = compile_program(spec.build_program(), DESKTOP)
-    kwargs.setdefault("result_cache", ResultCache(None))
-    kwargs.setdefault("resume", False)
+    config_overrides.setdefault("resume", False)
     return EvolutionaryTuner(
         compiled,
         canonical_env_factory(APP),
@@ -38,7 +38,9 @@ def make_tuner(**kwargs):
         seed=1,
         accuracy_fn=spec.accuracy_fn,
         accuracy_target=spec.accuracy_target,
-        **kwargs,
+        config=TunerConfig.from_env(**config_overrides),
+        result_cache=result_cache if result_cache is not None else ResultCache(None),
+        checkpoint_store=checkpoint_store,
     )
 
 
@@ -241,9 +243,8 @@ class TestCheckpointResume:
             seed=1,
             accuracy_fn=benchmark(APP).accuracy_fn,
             accuracy_target=benchmark(APP).accuracy_target,
-            backend="serial",
+            config=TunerConfig.from_env(backend="serial", resume=False),
             result_cache=ResultCache(None),
-            resume=False,
         )
 
     @pytest.mark.parametrize("resume_backend", ["serial", "thread", "process"])
@@ -390,9 +391,8 @@ class TestProgress:
             seed=1,
             accuracy_fn=spec.accuracy_fn,
             accuracy_target=spec.accuracy_target,
-            backend="serial",
+            config=TunerConfig.from_env(backend="serial", resume=False),
             result_cache=ResultCache(None),
-            resume=False,
             progress=lines.append,
         )
         rounds = [line for line in lines if " round " in line]
@@ -409,8 +409,7 @@ class TestProgress:
             env_factory,
             max_size=2048,
             seed=1,
-            backend="serial",
+            config=TunerConfig.from_env(backend="serial", resume=False),
             result_cache=ResultCache(None),
-            resume=False,
         )
         assert "[tune]" not in capsys.readouterr().err

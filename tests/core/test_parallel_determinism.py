@@ -15,6 +15,7 @@ from typing import Dict
 
 import pytest
 
+from repro.api.config import TunerConfig
 from repro.apps.registry import all_benchmarks, benchmark, canonical_env_factory
 from repro.compiler.compile import compile_program
 from repro.core.backends import BACKEND_NAMES
@@ -82,10 +83,10 @@ def tune_app(name: str, workers: int, machine=DESKTOP, seed: int = 1,
         seed=seed,
         accuracy_fn=spec.accuracy_fn,
         accuracy_target=spec.accuracy_target,
-        workers=workers,
+        config=TunerConfig.from_env(
+            workers=workers, backend=backend, strategy=strategy
+        ),
         result_cache=result_cache,
-        backend=backend,
-        strategy=strategy,
     )
 
 
@@ -158,11 +159,13 @@ def test_worker_count_never_changes_the_report(workers):
         compiled = compile_program(make_stencil_program(5), machine)
         serial = autotune(
             compiled, lambda n: scale_env(n, seed=1), max_size=50_000, seed=9,
-            backend="serial", result_cache=ResultCache(None),
+            config=TunerConfig.from_env(backend="serial"),
+            result_cache=ResultCache(None),
         )
         parallel = autotune(
             compiled, lambda n: scale_env(n, seed=1), max_size=50_000, seed=9,
-            workers=workers, backend="thread", result_cache=ResultCache(None),
+            config=TunerConfig.from_env(workers=workers, backend="thread"),
+            result_cache=ResultCache(None),
         )
         assert report_key(parallel) == report_key(serial), (
             f"workers={workers} diverged on {machine.codename}"
@@ -236,7 +239,7 @@ def test_tuner_exposes_parallel_evaluator_only_when_asked(
     )
     parallel = EvolutionaryTuner(
         compiled_stencil, lambda n: scale_env(n, seed=1), max_size=1024,
-        workers=4,
+        config=TunerConfig.from_env(workers=4),
     )
     try:
         assert not isinstance(serial.evaluator, ParallelEvaluator)

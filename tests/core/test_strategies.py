@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api.config import TunerConfig
 from repro.apps.registry import benchmark, canonical_env_factory
 from repro.compiler.compile import compile_program
 from repro.core.result_cache import ResultCache
@@ -36,11 +37,10 @@ def tune_stencil(strategy, seed=7, workers=1, backend="serial", max_size=50_000)
         env_factory,
         max_size=max_size,
         seed=seed,
-        strategy=strategy,
-        workers=workers,
-        backend=backend,
+        config=TunerConfig.from_env(
+            strategy=strategy, workers=workers, backend=backend, resume=False
+        ),
         result_cache=ResultCache(None),
-        resume=False,
     )
 
 
@@ -101,7 +101,8 @@ class TestRegistry:
         compiled = compile_program(make_stencil_program(5), DESKTOP)
         with EvolutionaryTuner(
             compiled, env_factory, max_size=1024,
-            result_cache=ResultCache(None), resume=False,
+            config=TunerConfig.from_env(resume=False),
+            result_cache=ResultCache(None),
         ) as tuner:
             assert tuner.strategy_name == "random"
 
@@ -159,7 +160,8 @@ class TestAllStrategies:
         compiled = compile_program(make_stencil_program(5), DESKTOP)
         with EvolutionaryTuner(
             compiled, env_factory, max_size=2048, seed=3,
-            strategy=strategy, result_cache=ResultCache(None), resume=False,
+            config=TunerConfig.from_env(strategy=strategy, resume=False),
+            result_cache=ResultCache(None),
         ) as tuner:
             plan = tuner._plan
             original = tuner._driver.strategy
@@ -187,7 +189,8 @@ class TestStrategyBehaviour:
         compiled = compile_program(make_stencil_program(5), DESKTOP)
         with EvolutionaryTuner(
             compiled, env_factory, max_size=2048, seed=3,
-            strategy="hillclimb", result_cache=ResultCache(None), resume=False,
+            config=TunerConfig.from_env(strategy="hillclimb", resume=False),
+            result_cache=ResultCache(None),
         ) as tuner:
             tuner.tune()
             strategy = tuner._driver.strategy
@@ -197,7 +200,8 @@ class TestStrategyBehaviour:
         compiled = compile_program(make_stencil_program(5), DESKTOP)
         with EvolutionaryTuner(
             compiled, env_factory, max_size=50_000, seed=3,
-            strategy="bandit", result_cache=ResultCache(None), resume=False,
+            config=TunerConfig.from_env(strategy="bandit", resume=False),
+            result_cache=ResultCache(None),
         ) as tuner:
             tuner.tune()
             strategy = tuner._driver.strategy
@@ -214,7 +218,8 @@ class TestStrategyBehaviour:
         compiled = compile_program(make_stencil_program(5), DESKTOP)
         with EvolutionaryTuner(
             compiled, env_factory, max_size=2048, seed=3,
-            strategy="random", result_cache=ResultCache(None), resume=False,
+            config=TunerConfig.from_env(strategy="random", resume=False),
+            result_cache=ResultCache(None),
         ) as tuner:
             strategy = tuner._driver.strategy
             training = compiled.training_info
@@ -227,5 +232,6 @@ class TestStrategyBehaviour:
         with pytest.raises(TuningError, match="unknown search strategy"):
             EvolutionaryTuner(
                 compiled, env_factory, max_size=1024,
-                strategy="annealing", result_cache=ResultCache(None),
+                config=TunerConfig.from_env(strategy="annealing"),
+                result_cache=ResultCache(None),
             )

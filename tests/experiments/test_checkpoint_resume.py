@@ -1,5 +1,5 @@
-"""Batch-level checkpoint/resume: a killed ``tune_many`` run must
-resume to byte-identical reports on every backend.
+"""Batch-level checkpoint/resume: a killed ``Session.run_batch``
+must resume to byte-identical reports on every backend.
 
 The kill is simulated by making candidate evaluation raise after a
 fixed number of commits — past the driver's checkpoint interval, so a
@@ -16,9 +16,10 @@ import os
 
 import pytest
 
+from repro.api import Session, TunerConfig
 from repro.core.fitness import Evaluator
 from repro.core.report import TuningReport
-from repro.experiments.runner import clear_sessions, tune_many
+from repro.experiments.runner import clear_sessions
 
 PAIRS = [("Strassen", "Desktop"), ("Poisson2D SOR", "Desktop")]
 
@@ -53,7 +54,12 @@ def baseline(tmp_path_factory):
     os.environ["REPRO_CACHE_DIR"] = str(cache)
     clear_sessions()
     try:
-        sessions = tune_many(PAIRS, workers=1, backend="serial", resume=False)
+        with Session(
+            TunerConfig.from_env(
+                tune_many_workers=1, backend="serial", resume=False
+            )
+        ) as api_session:
+            sessions = api_session.run_batch(PAIRS)
         return {key: _report_key(s.report) for key, s in sessions.items()}
     finally:
         clear_sessions()
@@ -78,7 +84,12 @@ def _kill_then_resume(monkeypatch, tmp_path, resume_backend, workers):
 
     monkeypatch.setattr(Evaluator, "evaluate", bomb)
     with pytest.raises(_Killed):
-        tune_many(PAIRS, workers=1, backend="serial", resume=True)
+        with Session(
+            TunerConfig.from_env(
+                tune_many_workers=1, backend="serial", resume=True
+            )
+        ) as api_session:
+            api_session.run_batch(PAIRS)
     monkeypatch.setattr(Evaluator, "evaluate", real)
     checkpoints = os.path.join(str(tmp_path), "checkpoints")
     assert os.path.isdir(checkpoints) and os.listdir(checkpoints), (
@@ -86,9 +97,12 @@ def _kill_then_resume(monkeypatch, tmp_path, resume_backend, workers):
     )
 
     clear_sessions()
-    sessions = tune_many(
-        PAIRS, workers=workers, backend=resume_backend, resume=True
-    )
+    with Session(
+        TunerConfig.from_env(
+            tune_many_workers=workers, backend=resume_backend, resume=True
+        )
+    ) as api_session:
+        sessions = api_session.run_batch(PAIRS)
     clear_sessions()
     return {key: _report_key(s.report) for key, s in sessions.items()}
 

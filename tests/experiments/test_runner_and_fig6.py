@@ -10,11 +10,8 @@ from repro.experiments.fig6_configs import (
     describe_choice_at,
     describe_polyalgorithm,
 )
-from repro.experiments.runner import (
-    ExperimentSettings,
-    clear_sessions,
-    tuned_session,
-)
+from repro.api import Session, TunerConfig
+from repro.experiments.runner import ExperimentSettings, clear_sessions
 from repro.hardware.machines import DESKTOP
 
 from tests.conftest import make_stencil_program
@@ -45,18 +42,20 @@ class TestSettings:
 class TestSessionCache:
     def test_sessions_cached_per_key(self):
         clear_sessions()
-        first = tuned_session("Black-Sholes", DESKTOP, seed=41)
-        second = tuned_session("Black-Sholes", DESKTOP, seed=41)
-        assert first is second
-        different = tuned_session("Black-Sholes", DESKTOP, seed=42)
-        assert different is not first
+        with Session(TunerConfig.from_env()) as api_session:
+            first = api_session.tune("Black-Sholes", DESKTOP, seed=41)
+            second = api_session.tune("Black-Sholes", DESKTOP, seed=41)
+            assert first is second
+            different = api_session.tune("Black-Sholes", DESKTOP, seed=42)
+            assert different is not first
         clear_sessions()
 
     def test_session_carries_compiled_program(self):
         clear_sessions()
-        session = tuned_session("Black-Sholes", DESKTOP, seed=41)
-        assert session.compiled.machine is DESKTOP
-        assert session.report.best.label == "Desktop Config"
+        with Session(TunerConfig.from_env()) as api_session:
+            tuned = api_session.tune("Black-Sholes", DESKTOP, seed=41)
+        assert tuned.compiled.machine is DESKTOP
+        assert tuned.report.best.label == "Desktop Config"
         clear_sessions()
 
 
@@ -107,3 +106,32 @@ class TestCli:
     def test_unknown_artefact(self, capsys):
         from repro.experiments.__main__ import main
         assert main(["fig99"]) == 2
+
+    def test_bad_backend_flag_is_a_usage_error(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["--backend=bogus", "fig9"]) == 2
+        assert "unknown backend" in capsys.readouterr().out
+
+    def test_config_subcommand_reports_provenance(self, monkeypatch, capsys):
+        from repro.experiments.__main__ import main
+        monkeypatch.setenv("REPRO_TUNER_STRATEGY", "bandit")
+        assert main(["config", "--backend=process"]) == 0
+        out = capsys.readouterr().out
+        assert "bandit" in out
+        assert "environment (REPRO_TUNER_STRATEGY)" in out
+        assert "command-line flag" in out
+        # The CLI defaults progress on without claiming a source.
+        assert "progress" in out
+
+    def test_quiet_flag_beats_progress_env(self, monkeypatch, capsys):
+        """Regression: explicit CLI choice wins over the environment."""
+        from repro.experiments.__main__ import main
+        monkeypatch.setenv("REPRO_TUNER_PROGRESS", "1")
+        assert main(["config", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        progress_line = next(
+            line for line in out.splitlines()
+            if line.strip().startswith("progress")
+        )
+        assert "False" in progress_line
+        assert "command-line flag" in progress_line

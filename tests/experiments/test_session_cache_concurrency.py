@@ -1,6 +1,6 @@
-"""The runner's session cache under concurrent ``tune_many`` callers.
+"""The runner's session cache under concurrent batch callers.
 
-Multiple overlapping ``tune_many`` batches may race on the same
+Multiple overlapping ``Session.run_batch`` calls may race on the same
 (benchmark, machine, seed) keys; the per-key single-flight locks must
 collapse all of them onto exactly one ``_tune_one`` run per key, with
 every caller receiving the same session object.
@@ -13,8 +13,9 @@ from collections import Counter
 
 import pytest
 
+from repro.api import Session, TunerConfig
 from repro.experiments import runner
-from repro.experiments.runner import clear_sessions, tune_many, tuned_session
+from repro.experiments.runner import clear_sessions
 from repro.hardware.machines import DESKTOP, SERVER
 
 PAIRS = [("Strassen", DESKTOP), ("Strassen", SERVER)]
@@ -38,10 +39,10 @@ def counted_tune_one(monkeypatch):
     lock = threading.Lock()
     real = runner._tune_one
 
-    def counting(name, machine, seed, **kwargs):
+    def counting(name, machine, seed, config, **kwargs):
         with lock:
             counts[(name, machine.codename, seed)] += 1
-        return real(name, machine, seed, **kwargs)
+        return real(name, machine, seed, config, **kwargs)
 
     monkeypatch.setattr(runner, "_tune_one", counting)
     return counts
@@ -56,7 +57,10 @@ def test_concurrent_tune_many_callers_single_flight(counted_tune_one):
 
     def caller():
         barrier.wait()
-        sessions = tune_many(PAIRS, workers=2, backend="thread")
+        with Session(
+            TunerConfig.from_env(tune_many_workers=2, backend="thread")
+        ) as api_session:
+            sessions = api_session.run_batch(PAIRS)
         with results_lock:
             caller_results.append(sessions)
 
@@ -80,12 +84,20 @@ def test_concurrent_tune_many_callers_single_flight(counted_tune_one):
         )
 
 
-def test_tune_many_then_tuned_session_reuses_the_run(counted_tune_one):
-    """A direct tuned_session call after tune_many is a pure cache hit."""
-    sessions = tune_many(PAIRS, workers=2, backend="thread")
-    for name, machine in PAIRS:
-        assert tuned_session(name, machine) is sessions[(name, machine.codename)]
-        assert counted_tune_one[(name, machine.codename, runner.DEFAULT_SEED)] == 1
+def test_run_batch_then_tune_reuses_the_run(counted_tune_one):
+    """A direct Session.tune call after run_batch is a pure cache hit."""
+    with Session(
+        TunerConfig.from_env(tune_many_workers=2, backend="thread")
+    ) as api_session:
+        sessions = api_session.run_batch(PAIRS)
+        for name, machine in PAIRS:
+            assert (
+                api_session.tune(name, machine)
+                is sessions[(name, machine.codename)]
+            )
+            assert counted_tune_one[
+                (name, machine.codename, runner.DEFAULT_SEED)
+            ] == 1
 
 
 def test_concurrent_process_batches_single_flight(
@@ -114,7 +126,10 @@ def test_concurrent_process_batches_single_flight(
 
     def caller(tag):
         barrier.wait()
-        sessions = tune_many(PAIRS, workers=2, backend="process")
+        with Session(
+            TunerConfig.from_env(tune_many_workers=2, backend="process")
+        ) as api_session:
+            sessions = api_session.run_batch(PAIRS)
         with outcome_lock:
             outcome[tag] = sessions
 
@@ -144,7 +159,10 @@ def test_mixed_batches_share_overlapping_keys(counted_tune_one):
 
     def run(tag, batch):
         barrier.wait()
-        outcome[tag] = tune_many(batch, workers=2, backend="thread")
+        with Session(
+            TunerConfig.from_env(tune_many_workers=2, backend="thread")
+        ) as api_session:
+            outcome[tag] = api_session.run_batch(batch)
 
     threads = [
         threading.Thread(target=run, args=("a", batch_a)),

@@ -1,5 +1,5 @@
-"""Batch tuning (`tune_many`): concurrency must be invisible in the
-results, and the session cache must be thread-safe."""
+"""Batch tuning (`Session.run_batch`): concurrency must be invisible
+in the results, and the session cache must be thread-safe."""
 
 from __future__ import annotations
 
@@ -7,16 +7,12 @@ import threading
 
 import pytest
 
+from repro.api import Session, TunerConfig
 from repro.apps.registry import benchmark
 from repro.compiler.compile import compile_program
 from repro.core.search import autotune
 from repro.experiments import runner
-from repro.experiments.runner import (
-    DEFAULT_SEED,
-    clear_sessions,
-    tune_many,
-    tuned_session,
-)
+from repro.experiments.runner import DEFAULT_SEED, clear_sessions
 from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
 
 #: Four cheap (benchmark, machine) pairs spanning machines and apps.
@@ -35,6 +31,13 @@ def fresh_session_cache():
     clear_sessions()
 
 
+def batch(pairs, **config_overrides):
+    """Run one batch through a fresh Session on the environment config
+    plus explicit overrides (`workers` = concurrent sessions)."""
+    with Session(TunerConfig.from_env(**config_overrides)) as session:
+        return session.run_batch(pairs, seed=DEFAULT_SEED)
+
+
 def sequential_best(name: str, machine, seed: int) -> str:
     """Reference: a plain sequential autotune call for one pair."""
     spec = benchmark(name)
@@ -51,9 +54,9 @@ def sequential_best(name: str, machine, seed: int) -> str:
     return report.best.to_json()
 
 
-def test_tune_many_matches_sequential_autotune():
+def test_run_batch_matches_sequential_autotune():
     """Acceptance: 4 pairs, 4 workers — byte-identical winners."""
-    sessions = tune_many(PAIRS, seed=DEFAULT_SEED, workers=4)
+    sessions = batch(PAIRS, tune_many_workers=4)
     assert len(sessions) == len(PAIRS)
     for name, machine in PAIRS:
         concurrent = sessions[(name, machine.codename)].report.best.to_json()
@@ -61,32 +64,37 @@ def test_tune_many_matches_sequential_autotune():
         assert concurrent == reference, f"{name} on {machine.codename} diverged"
 
 
-def test_tune_many_populates_the_session_cache():
-    sessions = tune_many(PAIRS[:2], workers=2)
-    for name, machine in PAIRS[:2]:
-        cached = tuned_session(name, machine)  # must be a cache hit
-        assert cached is sessions[(name, machine.codename)]
+def test_run_batch_populates_the_session_cache():
+    with Session(TunerConfig.from_env(tune_many_workers=2)) as session:
+        sessions = session.run_batch(PAIRS[:2], seed=DEFAULT_SEED)
+        for name, machine in PAIRS[:2]:
+            cached = session.tune(name, machine, seed=DEFAULT_SEED)
+            assert cached is sessions[(name, machine.codename)]
 
 
-def test_tune_many_deduplicates_pairs():
-    sessions = tune_many([PAIRS[0], PAIRS[0], ("Strassen", "Desktop")],
-                         workers=2)
+def test_run_batch_deduplicates_pairs():
+    sessions = batch(
+        [PAIRS[0], PAIRS[0], ("Strassen", "Desktop")], tune_many_workers=2
+    )
     assert len(sessions) == 1
 
 
-def test_tune_many_accepts_machine_codenames():
-    sessions = tune_many([("Strassen", "Desktop")], workers=1)
+def test_run_batch_accepts_machine_codenames():
+    sessions = batch([("Strassen", "Desktop")], tune_many_workers=1)
     assert ("Strassen", "Desktop") in sessions
 
 
-def test_tuned_session_is_single_flight_under_contention():
+def test_session_for_is_single_flight_under_contention():
     """Concurrent callers for one key share a single tuning run."""
     results = []
     barrier = threading.Barrier(4)
+    config = TunerConfig.from_env()
 
     def worker():
         barrier.wait()
-        results.append(tuned_session("Strassen", DESKTOP))
+        results.append(
+            runner.session_for("Strassen", DESKTOP, DEFAULT_SEED, config)
+        )
 
     threads = [threading.Thread(target=worker) for _ in range(4)]
     for thread in threads:
@@ -109,11 +117,11 @@ def report_fields(session):
     )
 
 
-def test_tune_many_process_backend_matches_serial():
+def test_run_batch_process_backend_matches_serial():
     """Process-sharded batches: byte-identical reports, full sessions."""
-    sharded = tune_many(PAIRS, seed=DEFAULT_SEED, workers=4, backend="process")
+    sharded = batch(PAIRS, tune_many_workers=4, backend="process")
     clear_sessions()
-    serial = tune_many(PAIRS, seed=DEFAULT_SEED, workers=1, backend="serial")
+    serial = batch(PAIRS, tune_many_workers=1, backend="serial")
     assert len(sharded) == len(PAIRS)
     for name, machine in PAIRS:
         key = (name, machine.codename)
@@ -124,34 +132,38 @@ def test_tune_many_process_backend_matches_serial():
         assert sharded[key].compiled.program.name == serial[key].compiled.program.name
 
 
-def test_tune_many_process_backend_populates_the_session_cache():
-    sessions = tune_many(PAIRS[:2], workers=2, backend="process")
-    for name, machine in PAIRS[:2]:
-        assert tuned_session(name, machine) is sessions[(name, machine.codename)]
+def test_run_batch_process_backend_populates_the_session_cache():
+    with Session(
+        TunerConfig.from_env(tune_many_workers=2, backend="process")
+    ) as session:
+        sessions = session.run_batch(PAIRS[:2], seed=DEFAULT_SEED)
+        for name, machine in PAIRS[:2]:
+            cached = session.tune(name, machine, seed=DEFAULT_SEED)
+            assert cached is sessions[(name, machine.codename)]
 
 
-def test_tune_many_serial_backend_tunes_sequentially():
-    sessions = tune_many(PAIRS[:2], workers=4, backend="serial")
+def test_run_batch_serial_backend_tunes_sequentially():
+    sessions = batch(PAIRS[:2], tune_many_workers=4, backend="serial")
     assert len(sessions) == 2
 
 
-def test_tune_many_forwards_backend_on_the_sequential_path(monkeypatch):
+def test_run_batch_forwards_backend_on_the_sequential_path(monkeypatch):
     """An explicit backend must reach the tuner even when the batch
     degenerates to the sequential path (e.g. `serial` must stay serial
     under a process-backend environment)."""
     captured = []
     real = runner._tune_one
 
-    def spy(name, machine, seed, **kwargs):
-        captured.append(kwargs.get("backend"))
-        return real(name, machine, seed, **kwargs)
+    def spy(name, machine, seed, config, **kwargs):
+        captured.append(config.backend)
+        return real(name, machine, seed, config, **kwargs)
 
     monkeypatch.setattr(runner, "_tune_one", spy)
-    tune_many(PAIRS[:1], workers=1, backend="serial")
+    batch(PAIRS[:1], tune_many_workers=1, backend="serial")
     assert captured == ["serial"]
 
 
-def test_no_fork_backend_never_returns_process(monkeypatch):
+def test_no_fork_config_never_returns_process(monkeypatch):
     """Sessions tuned on worker threads or inside shard children must
     never fork evaluation pools, whatever the environment says."""
     cases = [
@@ -165,13 +177,16 @@ def test_no_fork_backend_never_returns_process(monkeypatch):
         ("auto", "3", "thread"),
     ]
     for backend_env, workers_env, expected in cases:
-        for var, value in (("REPRO_TUNER_BACKEND", backend_env),
-                           ("REPRO_TUNER_WORKERS", workers_env)):
-            if value is None:
-                monkeypatch.delenv(var, raising=False)
-            else:
-                monkeypatch.setenv(var, value)
-        assert runner._no_fork_backend() == expected, (backend_env, workers_env)
+        environ = {}
+        if backend_env is not None:
+            environ["REPRO_TUNER_BACKEND"] = backend_env
+        if workers_env is not None:
+            environ["REPRO_TUNER_WORKERS"] = workers_env
+        demoted = runner._no_fork_config(TunerConfig.from_env(environ=environ))
+        assert demoted.backend == expected, (backend_env, workers_env)
+        # A demotion must never read as a user-forced choice.
+        if demoted.backend != backend_env:
+            assert not demoted.is_explicit("backend")
 
 
 def test_workers_env_knob(monkeypatch):
