@@ -73,12 +73,19 @@ from repro.errors import ConfigError
 
 __all__ = [
     "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_CLUSTER_HEARTBEAT_S",
+    "DEFAULT_CLUSTER_TIMEOUT_S",
+    "DEFAULT_CLUSTER_WORKERS",
     "DEFAULT_SEED",
     "DEFAULT_TUNE_MANY_WORKERS",
     "DEFAULT_WORKERS",
     "ENV_BACKEND",
     "ENV_CACHE_DIR",
     "ENV_CHECKPOINT_EVERY",
+    "ENV_CLUSTER_ADDRESS",
+    "ENV_CLUSTER_HEARTBEAT_S",
+    "ENV_CLUSTER_TIMEOUT_S",
+    "ENV_CLUSTER_WORKERS",
     "ENV_CONFIG_FILE",
     "ENV_FULL_SCALE",
     "ENV_PROGRESS",
@@ -105,6 +112,10 @@ ENV_CHECKPOINT_EVERY = "REPRO_TUNER_CHECKPOINT_EVERY"
 ENV_RESUME = "REPRO_TUNER_RESUME"
 ENV_PROGRESS = "REPRO_TUNER_PROGRESS"
 ENV_FULL_SCALE = "REPRO_FULL_SCALE"
+ENV_CLUSTER_ADDRESS = "REPRO_CLUSTER_ADDRESS"
+ENV_CLUSTER_WORKERS = "REPRO_CLUSTER_WORKERS"
+ENV_CLUSTER_HEARTBEAT_S = "REPRO_CLUSTER_HEARTBEAT_S"
+ENV_CLUSTER_TIMEOUT_S = "REPRO_CLUSTER_TIMEOUT_S"
 
 #: Environment variable naming the config file (overrides the
 #: ``./repro.toml`` default lookup).
@@ -120,6 +131,9 @@ DEFAULT_WORKERS = 1
 DEFAULT_TUNE_MANY_WORKERS = 4
 DEFAULT_SEED = 3
 DEFAULT_CHECKPOINT_EVERY = 64
+DEFAULT_CLUSTER_WORKERS = 2
+DEFAULT_CLUSTER_HEARTBEAT_S = 2.0
+DEFAULT_CLUSTER_TIMEOUT_S = 10.0
 
 #: Field name -> environment variable.
 ENV_BY_FIELD: Dict[str, str] = {
@@ -133,6 +147,10 @@ ENV_BY_FIELD: Dict[str, str] = {
     "resume": ENV_RESUME,
     "progress": ENV_PROGRESS,
     "full_scale": ENV_FULL_SCALE,
+    "cluster_address": ENV_CLUSTER_ADDRESS,
+    "cluster_workers": ENV_CLUSTER_WORKERS,
+    "cluster_heartbeat_s": ENV_CLUSTER_HEARTBEAT_S,
+    "cluster_timeout_s": ENV_CLUSTER_TIMEOUT_S,
 }
 
 
@@ -207,8 +225,8 @@ class TunerConfig:
 
     Attributes:
         backend: Evaluation backend — ``"auto"``, ``"serial"``,
-            ``"thread"`` or ``"process"``.  Reports are bit-for-bit
-            identical on every backend.
+            ``"thread"``, ``"process"`` or ``"cluster"``.  Reports are
+            bit-for-bit identical on every backend.
         workers: Speculative evaluation workers per tuning session.
         tune_many_workers: Concurrent sessions (thread scheduling) or
             shard processes (process scheduling) for batch tuning.
@@ -223,6 +241,16 @@ class TunerConfig:
         resume: Resume checkpointed sessions.
         progress: Emit per-round tuning progress lines on stderr.
         full_scale: Run experiments at the paper's exact input sizes.
+        cluster_address: ``host:port`` of a running cluster
+            coordinator for ``backend="cluster"``; ``None`` self-hosts
+            a loopback fleet.
+        cluster_workers: Size of the self-hosted loopback fleet
+            (ignored when ``cluster_address`` is set — a real fleet's
+            width is whatever has joined it).
+        cluster_heartbeat_s: Cluster worker heartbeat interval,
+            seconds.
+        cluster_timeout_s: Cluster connect timeout and dead-worker
+            heartbeat threshold, seconds.
         provenance: Field name -> source (``"default"``,
             ``"env:VAR"``, ``"file:PATH"`` or ``"arg"``).  Excluded
             from equality; filled in automatically when omitted.
@@ -238,6 +266,10 @@ class TunerConfig:
     resume: bool = False
     progress: bool = False
     full_scale: bool = False
+    cluster_address: Optional[str] = None
+    cluster_workers: int = DEFAULT_CLUSTER_WORKERS
+    cluster_heartbeat_s: float = DEFAULT_CLUSTER_HEARTBEAT_S
+    cluster_timeout_s: float = DEFAULT_CLUSTER_TIMEOUT_S
     provenance: Mapping[str, str] = field(
         default_factory=dict, compare=False, repr=False, hash=False
     )
@@ -250,10 +282,18 @@ class TunerConfig:
             set_attr(self, "backend", self.backend.strip().lower())
         if isinstance(self.strategy, str):
             set_attr(self, "strategy", self.strategy.strip().lower())
-        if isinstance(self.cache_dir, str) and (
-            self.cache_dir.strip().lower() in FALSY_VALUES
-        ):
-            set_attr(self, "cache_dir", None)
+        if isinstance(self.cache_dir, str):
+            # Strip before use: " /tmp/c " must not create a
+            # whitespace-prefixed directory.
+            if self.cache_dir.strip().lower() in FALSY_VALUES:
+                set_attr(self, "cache_dir", None)
+            else:
+                set_attr(self, "cache_dir", self.cache_dir.strip())
+        if isinstance(self.cluster_address, str):
+            if self.cluster_address.strip().lower() in FALSY_VALUES:
+                set_attr(self, "cluster_address", None)
+            else:
+                set_attr(self, "cluster_address", self.cluster_address.strip())
         if not self.provenance:
             defaults = {
                 f.name: f.default
@@ -300,6 +340,14 @@ class TunerConfig:
                 f"expected true/false, got {value!r}",
             )
 
+    def _require_positive_float(self, field_name: str) -> None:
+        value = getattr(self, field_name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            self._fail(field_name, f"expected a number of seconds, got {value!r}")
+        if not value > 0:
+            self._fail(field_name, f"must be > 0, got {value}")
+        object.__setattr__(self, field_name, float(value))
+
     def _validate(self) -> None:
         if not isinstance(self.backend, str) or self.backend not in _backend_names():
             self._fail(
@@ -325,6 +373,16 @@ class TunerConfig:
             )
         for name in ("resume", "progress", "full_scale"):
             self._require_bool(name)
+        if self.cluster_address is not None and not isinstance(
+            self.cluster_address, str
+        ):
+            self._fail(
+                "cluster_address",
+                f"expected a 'host:port' string or None, got {self.cluster_address!r}",
+            )
+        self._require_int("cluster_workers", 1)
+        self._require_positive_float("cluster_heartbeat_s")
+        self._require_positive_float("cluster_timeout_s")
 
     # -- layered resolution --------------------------------------------
 
@@ -447,11 +505,28 @@ class TunerConfig:
             if _is_registered_strategy(raw.strip().lower())
             else _IGNORED,
         )
+        def _lenient_seconds(raw: str) -> object:
+            text = raw.strip()
+            if not text:
+                return _IGNORED
+            try:
+                seconds = float(text)
+            except ValueError:
+                return _IGNORED
+            return seconds if seconds > 0 else _IGNORED
+
+        def _dir_or_none(raw: str) -> object:
+            return None if raw.strip().lower() in FALSY_VALUES else raw.strip()
+
         _env("workers", lambda raw: _lenient_count(raw, 1))
         _env("tune_many_workers", lambda raw: _lenient_count(raw, 1))
         _env("seed", _strict_seed)
         _env("checkpoint_every", lambda raw: _lenient_count(raw, 0))
-        _env("cache_dir", lambda raw: None if raw.strip().lower() in FALSY_VALUES else raw)
+        _env("cache_dir", _dir_or_none)
+        _env("cluster_address", _dir_or_none)
+        _env("cluster_workers", lambda raw: _lenient_count(raw, 1))
+        _env("cluster_heartbeat_s", _lenient_seconds)
+        _env("cluster_timeout_s", _lenient_seconds)
         for flag_name in ("resume", "progress"):
             _env(flag_name, _flag)
         # REPRO_FULL_SCALE's historical grammar differs from the other
@@ -537,13 +612,19 @@ class TunerConfig:
         text = raw.strip()
         if field_name in ("resume", "progress", "full_scale"):
             return _flag(raw), text != ""
-        if field_name == "cache_dir":
+        if field_name in ("cache_dir", "cluster_address"):
             if text.lower() in FALSY_VALUES:
                 return None, raw != ""
-            return raw, True
+            return text, True
         if not text:
             return None, False
-        if field_name in ("workers", "tune_many_workers", "seed", "checkpoint_every"):
+        if field_name in (
+            "workers",
+            "tune_many_workers",
+            "seed",
+            "checkpoint_every",
+            "cluster_workers",
+        ):
             try:
                 value = int(text)
             except ValueError:
@@ -556,6 +637,16 @@ class TunerConfig:
                     f"invalid {env_name}={raw!r}: must be >= {minimum}"
                 )
             return value, True
+        if field_name in ("cluster_heartbeat_s", "cluster_timeout_s"):
+            try:
+                seconds = float(text)
+            except ValueError:
+                raise ConfigError(
+                    f"invalid {env_name}={raw!r}: expected a number of seconds"
+                ) from None
+            if not seconds > 0:
+                raise ConfigError(f"invalid {env_name}={raw!r}: must be > 0")
+            return seconds, True
         # backend / strategy: validated (with provenance) in __post_init__.
         return text.lower(), True
 
@@ -595,13 +686,26 @@ def _coerce_file_value(field_name: str, value: object, path: str) -> object:
                 f"expected true/false, got {value!r}"
             )
         return value
-    if field_name in ("workers", "tune_many_workers", "seed", "checkpoint_every"):
+    if field_name in (
+        "workers",
+        "tune_many_workers",
+        "seed",
+        "checkpoint_every",
+        "cluster_workers",
+    ):
         if isinstance(value, bool) or not isinstance(value, int):
             raise ConfigError(
                 f"invalid {field_name!r} in config file {path}: "
                 f"expected an integer, got {value!r}"
             )
         return value
+    if field_name in ("cluster_heartbeat_s", "cluster_timeout_s"):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(
+                f"invalid {field_name!r} in config file {path}: "
+                f"expected a number of seconds, got {value!r}"
+            )
+        return float(value)
     if not isinstance(value, str):
         raise ConfigError(
             f"invalid {field_name!r} in config file {path}: "
@@ -649,8 +753,8 @@ def _parse_mini_toml(text: str, path: str) -> Dict[str, object]:
     """Minimal TOML-subset reader for interpreters without tomllib.
 
     Supports exactly what a ``repro.toml`` needs: ``key = value``
-    lines with string (double-quoted), integer and boolean values,
-    ``#`` comment lines, and ``[section]`` headers.
+    lines with string (double-quoted), integer, float and boolean
+    values, ``#`` comment lines, and ``[section]`` headers.
     """
     data: Dict[str, object] = {}
     current: Dict[str, object] = data
@@ -685,9 +789,14 @@ def _parse_mini_toml(text: str, path: str) -> Dict[str, object]:
             continue
         try:
             current[key] = int(value_text)
+            continue
+        except ValueError:
+            pass
+        try:
+            current[key] = float(value_text)
         except ValueError:
             raise ConfigError(
                 f"malformed config file {path}, line {line_number}: "
-                f"unsupported value {value_text!r} (string/int/bool only)"
+                f"unsupported value {value_text!r} (string/int/float/bool only)"
             ) from None
     return data

@@ -319,7 +319,9 @@ class Session:
         Supersedes the deprecated ``tune_many``: scheduling follows
         ``config.backend`` (``thread`` pools whole sessions,
         ``process`` shards the batch across worker processes,
-        ``serial`` tunes one by one) and ``config.tune_many_workers``;
+        ``serial`` tunes one by one, ``cluster`` pools whole sessions
+        whose candidate evaluations all go to the shared fleet) and
+        ``config.tune_many_workers``;
         the winning configurations are byte-identical to tuning the
         pairs one by one.
 

@@ -1,0 +1,118 @@
+"""Command-line entry points for running a cluster fleet.
+
+Start a coordinator::
+
+    python -m repro.cluster coordinator --bind 0.0.0.0:7733
+
+Attach workers (same or other hosts)::
+
+    python -m repro.cluster worker --connect coordinator-host:7733 --slots 2
+
+Then point any tuner at the fleet with ``backend="cluster"`` and
+``cluster_address="coordinator-host:7733"`` (or set
+``REPRO_CLUSTER_ADDRESS``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import sys
+from typing import List, Optional
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.protocol import parse_address
+from repro.cluster.worker import Worker
+from repro.errors import ClusterError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Run a distributed-evaluation coordinator or worker.",
+    )
+    sub = parser.add_subparsers(dest="role", required=True)
+
+    coord = sub.add_parser("coordinator", help="serve a task queue over TCP")
+    coord.add_argument(
+        "--bind", default="127.0.0.1:7733", metavar="HOST:PORT",
+        help="interface and port to listen on (default %(default)s)",
+    )
+    coord.add_argument("--heartbeat-interval", type=float, default=2.0)
+    coord.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0,
+        help="seconds of silence before a worker is declared dead",
+    )
+    coord.add_argument(
+        "--straggler-after", type=float, default=30.0,
+        help="age in seconds before an in-flight task is speculatively "
+             "duplicated; 0 disables",
+    )
+
+    worker = sub.add_parser("worker", help="evaluate requests for a coordinator")
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of the coordinator",
+    )
+    worker.add_argument(
+        "--slots", type=int, default=1,
+        help="concurrent evaluations this worker offers (default %(default)s)",
+    )
+    worker.add_argument("--heartbeat-interval", type=float, default=2.0)
+    worker.add_argument("--name", default=None, help="advertised worker name")
+
+    for p in (coord, worker):
+        p.add_argument("--quiet", action="store_true", help="warnings only")
+    return parser
+
+
+async def _run_coordinator(args: argparse.Namespace) -> None:
+    host, port = parse_address(args.bind)
+    coordinator = Coordinator(
+        host,
+        port,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        straggler_after=args.straggler_after or None,
+    )
+    await coordinator.start()
+    print(f"coordinator listening on {coordinator.address}", flush=True)
+    try:
+        await coordinator.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await coordinator.stop()
+
+
+async def _run_worker(args: argparse.Namespace) -> None:
+    worker = Worker(
+        args.connect,
+        slots=args.slots,
+        heartbeat_interval=args.heartbeat_interval,
+        name=args.name,
+    )
+    print(f"worker serving {args.connect} with {worker.slots} slot(s)", flush=True)
+    await worker.run()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.WARNING if args.quiet else logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    runner = _run_coordinator if args.role == "coordinator" else _run_worker
+    try:
+        asyncio.run(runner(args))
+    except KeyboardInterrupt:
+        pass
+    except ClusterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,288 @@
+"""The synchronous client facade over a cluster coordinator.
+
+:class:`ClusterClient` is what :class:`~repro.core.backends.ClusterEvaluator`
+holds: a tiny asyncio loop on a daemon thread keeps one TCP connection
+to the coordinator, and synchronous callers interact through
+:class:`concurrent.futures.Future` objects — the exact shape the
+process backend already hands its callers, so the evaluator protocol
+code is shared.
+
+Failure semantics match the :class:`~repro.errors.ClusterError` split:
+
+* the coordinator vanishing fails every outstanding future with
+  :class:`~repro.errors.ClusterUnavailable` — the evaluator catches
+  that and recomputes locally, so tuning survives a dead fleet;
+* a *remote evaluation* error (the simulation itself raised on the
+  worker) fails only that task's future with
+  :class:`~repro.errors.TuningError` — wrong answers must never be
+  papered over by a local retry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
+from typing import Any, Dict, Optional
+
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    check_version,
+    parse_address,
+    recv_message,
+    send_message,
+    send_nowait,
+)
+from repro.errors import ClusterProtocolError, ClusterUnavailable, TuningError
+
+log = logging.getLogger(__name__)
+
+
+class ClusterClient:
+    """One connection to a cluster coordinator, usable from any thread.
+
+    Args:
+        address: Coordinator ``host:port``.
+        connect_timeout: Seconds to wait for the TCP connect plus
+            hello/welcome handshake before declaring the cluster
+            unavailable.
+
+    Raises:
+        ClusterUnavailable: When the coordinator cannot be reached.
+        ClusterProtocolError: When it answers with garbage.
+    """
+
+    def __init__(self, address: str, *, connect_timeout: float = 10.0) -> None:
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self._task_ids = itertools.count(1)
+        self._pending: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._workers = 0
+        self._closed = False
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._loop = asyncio.new_event_loop()
+        ready: "Future[None]" = Future()
+        self._thread = threading.Thread(
+            target=self._run, args=(ready,), name="repro-cluster-client",
+            daemon=True,
+        )
+        self._thread.start()
+        try:
+            ready.result(timeout=connect_timeout)
+        except _FutureTimeout:
+            self.close()
+            raise ClusterUnavailable(
+                f"timed out connecting to cluster coordinator at {address}"
+            ) from None
+        except (ClusterUnavailable, ClusterProtocolError):
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Public, thread-safe surface
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Current fleet width as last broadcast by the coordinator."""
+        return self._workers
+
+    def submit(self, request: Any) -> Future:
+        """Queue one evaluation; the future resolves to its result.
+
+        The returned future carries the coordinator-facing id as
+        ``future.task_id`` for use with :meth:`cancel`.
+        """
+        task_id = str(next(self._task_ids))
+        future: Future = Future()
+        future.task_id = task_id  # type: ignore[attr-defined]
+        with self._lock:
+            if self._closed:
+                future.set_exception(
+                    ClusterUnavailable(
+                        f"cluster client for {self.address} is closed"
+                    )
+                )
+                return future
+            self._pending[task_id] = future
+        try:
+            self._loop.call_soon_threadsafe(
+                self._send,
+                {"type": "submit", "task_id": task_id, "request": request},
+            )
+        except RuntimeError:  # loop died with the connection
+            self._fail_all(
+                ClusterUnavailable(
+                    f"lost connection to cluster coordinator at {self.address}"
+                )
+            )
+        return future
+
+    def cancel(self, task_id: str) -> None:
+        """Tell the coordinator to drop a queued task.
+
+        The local future is failed too (unless already resolved); a
+        result that was already in flight is simply discarded.
+        """
+        with self._lock:
+            future = self._pending.pop(task_id, None)
+        if future is not None:
+            future.cancel()
+        if not self._closed:
+            try:
+                self._loop.call_soon_threadsafe(
+                    self._send, {"type": "cancel", "task_id": task_id}
+                )
+            except RuntimeError:
+                pass
+
+    def close(self) -> None:
+        """Disconnect; outstanding futures fail with ClusterUnavailable."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._loop.call_soon_threadsafe(self._shutdown)
+        except RuntimeError:
+            pass  # loop already stopped
+        self._thread.join(timeout=self.connect_timeout)
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Event-loop side
+    # ------------------------------------------------------------------
+
+    def _run(self, ready: "Future[None]") -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main(ready))
+        finally:
+            self._loop.close()
+
+    async def _main(self, ready: "Future[None]") -> None:
+        try:
+            reader = await self._connect(ready)
+        except Exception as exc:
+            if not ready.done():
+                ready.set_exception(exc)
+            return
+        ready.set_result(None)
+        try:
+            await self._read_loop(reader)
+        finally:
+            self._fail_all(
+                ClusterUnavailable(
+                    f"lost connection to cluster coordinator at {self.address}"
+                )
+            )
+            if self._writer is not None:
+                self._writer.close()
+
+    async def _connect(self, ready: "Future[None]") -> asyncio.StreamReader:
+        host, port = parse_address(self.address)
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=self.connect_timeout
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ClusterUnavailable(
+                f"cannot reach cluster coordinator at {self.address}: {exc}"
+            ) from exc
+        self._writer = writer
+        await send_message(
+            writer,
+            {
+                "type": "hello",
+                "role": "client",
+                "version": PROTOCOL_VERSION,
+                "name": "client",
+            },
+        )
+        welcome = await recv_message(reader)
+        if welcome is None or welcome.get("type") != "welcome":
+            raise ClusterProtocolError(
+                f"coordinator at {self.address} did not answer the hello"
+            )
+        check_version(welcome, "coordinator")
+        self._workers = int(welcome.get("workers", 0))
+        return reader
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            try:
+                message = await recv_message(reader)
+            except ClusterProtocolError as exc:
+                log.warning("cluster client protocol error: %s", exc)
+                return
+            if message is None:
+                if not self._closed:
+                    log.warning(
+                        "cluster coordinator at %s went away", self.address
+                    )
+                return
+            kind = message.get("type")
+            if kind == "result":
+                self._resolve(message["task_id"], result=message.get("result"))
+            elif kind == "error":
+                self._resolve(
+                    message["task_id"],
+                    error=str(message.get("message")),
+                    dispatch=message.get("kind") == "dispatch",
+                )
+            elif kind == "fleet":
+                self._workers = int(message.get("workers", 0))
+            else:
+                log.warning("coordinator sent unexpected %r", kind)
+
+    def _resolve(
+        self,
+        task_id: str,
+        *,
+        result: Any = None,
+        error: Optional[str] = None,
+        dispatch: bool = False,
+    ) -> None:
+        with self._lock:
+            future = self._pending.pop(task_id, None)
+        if future is None or future.done():
+            return
+        if error is None:
+            future.set_result(result)
+        elif dispatch:
+            future.set_exception(
+                ClusterUnavailable(
+                    f"cluster gave up dispatching task {task_id}: {error}"
+                )
+            )
+        else:
+            future.set_exception(
+                TuningError(f"remote evaluation failed: {error}")
+            )
+
+    def _fail_all(self, exc: Exception) -> None:
+        with self._lock:
+            pending, self._pending = self._pending, {}
+            self._closed = True
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        writer = self._writer
+        if writer is not None:
+            send_nowait(writer, message)
+
+    def _shutdown(self) -> None:
+        writer = self._writer
+        if writer is not None:
+            writer.close()

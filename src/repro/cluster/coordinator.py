@@ -1,0 +1,537 @@
+"""The cluster coordinator: one asyncio TCP server owning the task queue.
+
+The coordinator is deliberately dumb about *what* it schedules — tasks
+are opaque :class:`~repro.core.backends.EvaluationRequest` pickles — and
+smart only about *liveness*:
+
+* a worker whose connection drops has its in-flight tasks requeued at
+  the **front** of the queue immediately (they are the oldest work);
+* a worker whose heartbeat goes silent past ``heartbeat_timeout`` is
+  disconnected, which triggers the same requeue path;
+* a task older than ``straggler_after`` seconds that has idle capacity
+  available is speculatively duplicated onto a second worker — the
+  first result wins and later copies are ignored (evaluations are
+  pure, so duplicates cannot disagree);
+* a task that has been (re)assigned ``max_attempts`` times without a
+  result is failed back to its client as a dispatch error rather than
+  looping forever.
+
+Everything runs on a single event loop; the only cross-thread surface
+is :meth:`Coordinator.start_in_thread`, which runs the loop on a daemon
+thread and returns a :class:`CoordinatorHandle` for synchronous
+callers (tests, the CLI, :class:`~repro.cluster.local.LocalCluster`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Set
+
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    check_version,
+    format_address,
+    recv_message,
+    send_nowait,
+)
+from repro.errors import ClusterProtocolError
+
+log = logging.getLogger(__name__)
+
+
+class _Worker:
+    """Coordinator-side view of one connected worker."""
+
+    def __init__(self, name: str, writer: asyncio.StreamWriter, slots: int) -> None:
+        self.name = name
+        self.writer = writer
+        self.slots = max(1, slots)
+        self.inflight: Set[str] = set()
+        self.last_seen = 0.0
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - len(self.inflight)
+
+
+class _Client:
+    """Coordinator-side view of one connected client."""
+
+    def __init__(self, name: str, writer: asyncio.StreamWriter) -> None:
+        self.name = name
+        self.writer = writer
+        self.tasks: Set[str] = set()
+
+
+class _Task:
+    """One queued or in-flight evaluation."""
+
+    def __init__(self, task_id: str, request: Any, client: _Client) -> None:
+        self.task_id = task_id
+        self.request = request
+        self.client = client
+        self.attempts = 0
+        self.assigned: Set[str] = set()  # worker names currently running it
+        self.duplicated = False
+        self.enqueued_at = 0.0
+        self.done = False
+
+
+class Coordinator:
+    """Asyncio TCP coordinator; see the module docstring for semantics.
+
+    Args:
+        host: Interface to bind.
+        port: TCP port; ``0`` picks a free one (read it back from
+            :attr:`address` after :meth:`start`).
+        heartbeat_interval: How often workers are told to beat, seconds.
+        heartbeat_timeout: Silence past this declares a worker dead.
+        straggler_after: Age past which an in-flight task is duplicated
+            onto an idle worker.  ``None`` disables speculation.
+        max_attempts: Assignments before a task is failed to its client.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        heartbeat_interval: float = 2.0,
+        heartbeat_timeout: float = 10.0,
+        straggler_after: Optional[float] = 30.0,
+        max_attempts: int = 5,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.straggler_after = straggler_after
+        self.max_attempts = max(1, max_attempts)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._workers: Dict[str, _Worker] = {}
+        self._clients: Dict[str, _Client] = {}
+        self._tasks: Dict[str, _Task] = {}
+        self._queue: Deque[str] = deque()
+        self._peer_ids = itertools.count(1)
+        self._monitor: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._monitor = self._loop.create_task(self._monitor_loop())
+        log.info("cluster coordinator listening on %s", self.address)
+
+    @property
+    def address(self) -> str:
+        return format_address(self.host, self.port)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    async def stop(self) -> None:
+        if self._monitor is not None:
+            self._monitor.cancel()
+            self._monitor = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for peer in list(self._workers.values()) + list(self._clients.values()):
+            peer.writer.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    def start_in_thread(self) -> "CoordinatorHandle":
+        """Run this coordinator on a daemon thread; returns its handle."""
+        return CoordinatorHandle(self)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await recv_message(reader)
+        except ClusterProtocolError as exc:
+            log.warning("rejecting peer: %s", exc)
+            writer.close()
+            return
+        if hello is None or hello.get("type") != "hello":
+            writer.close()
+            return
+        try:
+            check_version(hello, "peer")
+        except ClusterProtocolError as exc:
+            log.warning("rejecting peer: %s", exc)
+            writer.close()
+            return
+        role = hello.get("role")
+        name = f"{hello.get('name') or role}-{next(self._peer_ids)}"
+        send_nowait(
+            writer,
+            {
+                "type": "welcome",
+                "version": PROTOCOL_VERSION,
+                "workers": self.worker_count,
+            },
+        )
+        if role == "worker":
+            await self._serve_worker(name, reader, writer, int(hello.get("slots", 1)))
+        elif role == "client":
+            await self._serve_client(name, reader, writer)
+        else:
+            log.warning("peer %s announced unknown role %r", name, role)
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    async def _serve_worker(
+        self,
+        name: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        slots: int,
+    ) -> None:
+        worker = _Worker(name, writer, slots)
+        worker.last_seen = self._now()
+        self._workers[name] = worker
+        log.info("worker %s joined (%d slots); fleet=%d",
+                 name, worker.slots, self.worker_count)
+        self._broadcast_fleet()
+        self._dispatch()
+        try:
+            while True:
+                try:
+                    message = await recv_message(reader)
+                except ClusterProtocolError as exc:
+                    log.warning("worker %s protocol error: %s", name, exc)
+                    break
+                if message is None:
+                    break
+                worker.last_seen = self._now()
+                kind = message.get("type")
+                if kind == "heartbeat":
+                    continue
+                if kind == "result":
+                    self._finish_task(
+                        message["task_id"], worker,
+                        result=message.get("result"),
+                    )
+                elif kind == "error":
+                    self._finish_task(
+                        message["task_id"], worker,
+                        error=str(message.get("message")),
+                    )
+                else:
+                    log.warning("worker %s sent unexpected %r", name, kind)
+        finally:
+            self._drop_worker(worker)
+            writer.close()
+
+    def _drop_worker(self, worker: _Worker) -> None:
+        if self._workers.pop(worker.name, None) is None:
+            return
+        requeue = sorted(worker.inflight)
+        worker.inflight.clear()
+        log.info(
+            "worker %s left; fleet=%d; requeueing %d in-flight task(s)",
+            worker.name, self.worker_count, len(requeue),
+        )
+        for task_id in requeue:
+            task = self._tasks.get(task_id)
+            if task is None or task.done:
+                continue
+            task.assigned.discard(worker.name)
+            if task.assigned:
+                continue  # a speculative copy is still running elsewhere
+            if task.attempts >= self.max_attempts:
+                self._fail_task(
+                    task,
+                    f"task {task_id} failed after {task.attempts} dispatch "
+                    f"attempts (workers kept dying)",
+                )
+            else:
+                # Oldest work goes back to the front of the queue.
+                self._queue.appendleft(task_id)
+        worker.writer.close()
+        self._broadcast_fleet()
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    async def _serve_client(
+        self, name: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        client = _Client(name, writer)
+        self._clients[name] = client
+        log.info("client %s connected", name)
+        try:
+            while True:
+                try:
+                    message = await recv_message(reader)
+                except ClusterProtocolError as exc:
+                    log.warning("client %s protocol error: %s", name, exc)
+                    break
+                if message is None:
+                    break
+                kind = message.get("type")
+                if kind == "submit":
+                    self._submit(client, message["task_id"], message["request"])
+                elif kind == "cancel":
+                    self._cancel(client, message["task_id"])
+                else:
+                    log.warning("client %s sent unexpected %r", name, kind)
+        finally:
+            self._drop_client(client)
+            writer.close()
+
+    def _drop_client(self, client: _Client) -> None:
+        if self._clients.pop(client.name, None) is None:
+            return
+        # Abandon the departed client's tasks; workers may finish copies
+        # already running, and _finish_task will find them done.
+        for task_id in sorted(client.tasks):
+            task = self._tasks.get(task_id)
+            if task is not None:
+                task.done = True
+        client.tasks.clear()
+        self._queue = deque(
+            task_id for task_id in self._queue
+            if not self._tasks.get(task_id, _DONE).done
+        )
+        for task_id in [tid for tid, task in self._tasks.items() if task.done]:
+            task = self._tasks[task_id]
+            if not task.assigned:
+                del self._tasks[task_id]
+        log.info("client %s disconnected", client.name)
+
+    def _submit(self, client: _Client, task_id: str, request: Any) -> None:
+        scoped = f"{client.name}/{task_id}"
+        task = _Task(scoped, request, client)
+        task.enqueued_at = self._now()
+        self._tasks[scoped] = task
+        client.tasks.add(scoped)
+        self._queue.append(scoped)
+        self._dispatch()
+
+    def _cancel(self, client: _Client, task_id: str) -> None:
+        scoped = f"{client.name}/{task_id}"
+        task = self._tasks.get(scoped)
+        if task is None or task.done:
+            return
+        task.done = True
+        client.tasks.discard(scoped)
+        if not task.assigned:
+            try:
+                self._queue.remove(scoped)
+            except ValueError:
+                pass
+            del self._tasks[scoped]
+        # Assigned copies are left to finish; their results are dropped.
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Hand queued tasks to the least-loaded workers with free slots."""
+        while self._queue:
+            workers = [w for w in self._workers.values() if w.free_slots > 0]
+            if not workers:
+                return
+            task_id = self._queue.popleft()
+            task = self._tasks.get(task_id)
+            if task is None or task.done:
+                continue
+            worker = min(workers, key=lambda w: (len(w.inflight), w.name))
+            self._assign(task, worker)
+
+    def _assign(self, task: _Task, worker: _Worker) -> None:
+        task.attempts += 1
+        task.assigned.add(worker.name)
+        worker.inflight.add(task.task_id)
+        send_nowait(
+            worker.writer,
+            {"type": "task", "task_id": task.task_id, "request": task.request},
+        )
+
+    def _finish_task(
+        self,
+        task_id: str,
+        worker: _Worker,
+        *,
+        result: Any = None,
+        error: Optional[str] = None,
+    ) -> None:
+        worker.inflight.discard(task_id)
+        task = self._tasks.get(task_id)
+        if task is not None:
+            task.assigned.discard(worker.name)
+        if task is None or task.done:
+            # Cancelled, abandoned, or a speculative duplicate losing
+            # the race — either way, drop it and maybe reap the record.
+            if task is not None and not task.assigned:
+                self._tasks.pop(task_id, None)
+            self._dispatch()
+            return
+        task.done = True
+        task.client.tasks.discard(task_id)
+        if not task.assigned:
+            self._tasks.pop(task_id, None)
+        bare_id = task_id.split("/", 1)[1]
+        if error is None:
+            send_nowait(
+                task.client.writer,
+                {"type": "result", "task_id": bare_id, "result": result},
+            )
+        else:
+            send_nowait(
+                task.client.writer,
+                {
+                    "type": "error",
+                    "task_id": bare_id,
+                    "kind": "evaluation",
+                    "message": error,
+                },
+            )
+        self._dispatch()
+
+    def _fail_task(self, task: _Task, message: str) -> None:
+        task.done = True
+        task.client.tasks.discard(task.task_id)
+        if not task.assigned:
+            self._tasks.pop(task.task_id, None)
+        bare_id = task.task_id.split("/", 1)[1]
+        send_nowait(
+            task.client.writer,
+            {
+                "type": "error",
+                "task_id": bare_id,
+                "kind": "dispatch",
+                "message": message,
+            },
+        )
+
+    def _broadcast_fleet(self) -> None:
+        message = {"type": "fleet", "workers": self.worker_count}
+        for client in self._clients.values():
+            send_nowait(client.writer, message)
+
+    # ------------------------------------------------------------------
+    # Liveness monitor
+    # ------------------------------------------------------------------
+
+    async def _monitor_loop(self) -> None:
+        period = max(0.05, min(self.heartbeat_interval, 1.0))
+        while True:
+            await asyncio.sleep(period)
+            self._reap_silent_workers()
+            self._duplicate_stragglers()
+
+    def _reap_silent_workers(self) -> None:
+        now = self._now()
+        for worker in list(self._workers.values()):
+            if now - worker.last_seen > self.heartbeat_timeout:
+                log.warning(
+                    "worker %s silent for %.1fs (> %.1fs); declaring dead",
+                    worker.name, now - worker.last_seen, self.heartbeat_timeout,
+                )
+                self._drop_worker(worker)
+
+    def _duplicate_stragglers(self) -> None:
+        if self.straggler_after is None:
+            return
+        now = self._now()
+        for task in list(self._tasks.values()):
+            if task.done or task.duplicated or not task.assigned:
+                continue
+            if now - task.enqueued_at < self.straggler_after:
+                continue
+            idle = [
+                w for w in self._workers.values()
+                if w.free_slots > 0 and w.name not in task.assigned
+            ]
+            if not idle:
+                continue
+            worker = min(idle, key=lambda w: (len(w.inflight), w.name))
+            task.duplicated = True
+            log.info(
+                "task %s is a straggler (%.1fs); duplicating onto %s",
+                task.task_id, now - task.enqueued_at, worker.name,
+            )
+            self._assign(task, worker)
+
+    def _now(self) -> float:
+        loop = self._loop or asyncio.get_event_loop()
+        return loop.time()
+
+
+#: Sentinel for dict lookups in queue compaction.
+_DONE = _Task("", None, _Client("", None))  # type: ignore[arg-type]
+_DONE.done = True
+
+
+class CoordinatorHandle:
+    """A coordinator running its own event loop on a daemon thread."""
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        self.coordinator = coordinator
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def _run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(coordinator.start())
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-cluster-coordinator", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=10.0):
+            raise ClusterProtocolError("cluster coordinator failed to start")
+
+    @property
+    def address(self) -> str:
+        return self.coordinator.address
+
+    @property
+    def worker_count(self) -> int:
+        return self.coordinator.worker_count
+
+    def stop(self) -> None:
+        if not self._loop.is_closed():
+            asyncio.run_coroutine_threadsafe(
+                self.coordinator.stop(), self._loop
+            ).result(timeout=10.0)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop.close()
+
+    def __enter__(self) -> "CoordinatorHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,87 @@
+"""A self-hosted loopback fleet: coordinator plus workers in one process.
+
+:class:`LocalCluster` is what ``backend="cluster"`` builds when no
+``cluster_address`` is configured, and what the determinism matrix and
+robustness tests drive: the full TCP wire protocol over ``127.0.0.1``,
+with handles to kill individual workers mid-run (dead-worker
+re-dispatch) or add workers late (elastic join).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.cluster.coordinator import Coordinator, CoordinatorHandle
+from repro.cluster.worker import WorkerHandle, start_worker_thread
+
+
+class LocalCluster:
+    """Coordinator and ``workers`` loopback workers on daemon threads.
+
+    Args:
+        workers: Initial fleet size.
+        slots: Concurrent evaluations per worker.
+        heartbeat_interval / heartbeat_timeout / straggler_after:
+            Liveness knobs, passed to :class:`Coordinator` (and the
+            interval to each worker).
+        handler: Test override for the workers' evaluation function.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        slots: int = 1,
+        heartbeat_interval: float = 0.2,
+        heartbeat_timeout: float = 2.0,
+        straggler_after: Optional[float] = 30.0,
+        handler: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self._slots = slots
+        self._heartbeat_interval = heartbeat_interval
+        self._handler = handler
+        self.coordinator: CoordinatorHandle = Coordinator(
+            "127.0.0.1",
+            0,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            straggler_after=straggler_after,
+        ).start_in_thread()
+        self.workers: List[WorkerHandle] = []
+        try:
+            for _ in range(max(1, workers)):
+                self.add_worker()
+        except Exception:
+            self.close()
+            raise
+
+    @property
+    def address(self) -> str:
+        return self.coordinator.address
+
+    def add_worker(self) -> WorkerHandle:
+        """Elastically grow the fleet by one loopback worker."""
+        handle = start_worker_thread(
+            self.address,
+            slots=self._slots,
+            heartbeat_interval=self._heartbeat_interval,
+            handler=self._handler,
+        )
+        self.workers.append(handle)
+        return handle
+
+    def kill_worker(self, index: int = 0) -> None:
+        """Abort one worker's transport, as if its host died mid-task."""
+        self.workers[index].kill()
+
+    def close(self) -> None:
+        for handle in self.workers:
+            handle.stop()
+        self.workers.clear()
+        self.coordinator.stop()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

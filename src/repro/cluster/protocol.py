@@ -1,0 +1,157 @@
+"""Wire protocol shared by the cluster coordinator, workers and clients.
+
+Messages are plain dicts with a ``"type"`` key, framed as a 4-byte
+big-endian length prefix followed by a pickle of the dict.  Pickle is
+the right tool here because the only non-primitive payloads are the
+:class:`~repro.core.backends.EvaluationRequest` /
+:class:`~repro.core.backends.EvaluationResult` dataclasses — frozen
+bundles of primitives that PR 2 deliberately made picklable — and the
+fleet is trusted (the same trust model as a ``ProcessPoolExecutor``;
+do not expose a coordinator to untrusted networks).
+
+Message vocabulary (all senders include nothing else):
+
+========== =========== ==================================================
+type       direction   fields
+========== =========== ==================================================
+hello      peer → coor ``role`` ("worker"/"client"), ``version``,
+                       ``name``, ``slots`` (workers only)
+welcome    coor → peer ``version``, ``workers`` (current fleet width)
+task       coor → wkr  ``task_id``, ``request``
+result     wkr → coor  ``task_id``, ``result``
+error      wkr → coor  ``task_id``, ``message``
+heartbeat  wkr → coor  —
+submit     cli → coor  ``task_id``, ``request``
+cancel     cli → coor  ``task_id``
+result     coor → cli  ``task_id``, ``result``
+error      coor → cli  ``task_id``, ``kind`` ("evaluation"/"dispatch"),
+                       ``message``
+fleet      coor → peer ``workers`` (broadcast on join/leave)
+========== =========== ==================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ClusterProtocolError
+
+#: Bump when the message vocabulary changes incompatibly; peers with
+#: mismatched versions refuse to talk rather than mis-parse.
+PROTOCOL_VERSION = 1
+
+#: Frame header: payload length, 4-byte big-endian unsigned.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame; a request/result is a few KB, so anything
+#: near this is a corrupted stream, not a legitimate message.
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split a ``"host:port"`` string into its parts.
+
+    Raises:
+        ClusterProtocolError: When the string is not ``host:port`` with
+            an integer port.
+    """
+    host, sep, port_text = address.strip().rpartition(":")
+    if not sep or not host:
+        raise ClusterProtocolError(
+            f"cluster address must be 'host:port', got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ClusterProtocolError(
+            f"cluster address has a non-integer port: {address!r}"
+        ) from None
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    """The canonical ``host:port`` rendering of an address."""
+    return f"{host}:{port}"
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One framed message, ready to write to a transport."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ClusterProtocolError(
+            f"refusing to send a {len(payload)}-byte cluster message "
+            f"(limit {MAX_MESSAGE_BYTES})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def send_nowait(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+    """Queue one message on a stream without awaiting flow control.
+
+    The header and payload are written in a single call, so concurrent
+    senders on the same writer can never interleave partial frames.
+    Dead transports are ignored — connection loss is detected (and
+    handled) by the peer's read loop, not its writes.
+    """
+    if writer.is_closing():
+        return
+    try:
+        writer.write(encode_message(message))
+    except (ConnectionError, RuntimeError, OSError):
+        return
+
+
+async def send_message(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+    """Send one message and honour transport flow control."""
+    writer.write(encode_message(message))
+    await writer.drain()
+
+
+async def recv_message(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one framed message; ``None`` when the peer closed the
+    connection (cleanly or not).
+
+    Raises:
+        ClusterProtocolError: On an oversized or unparseable frame —
+            the stream cannot be resynchronised after either.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ClusterProtocolError(
+            f"cluster frame of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit (corrupted stream?)"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise ClusterProtocolError(f"unparseable cluster frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ClusterProtocolError(
+            f"cluster frame is not a typed message: {message!r}"
+        )
+    return message
+
+
+def check_version(message: Dict[str, Any], who: str) -> None:
+    """Refuse to talk across protocol versions.
+
+    Raises:
+        ClusterProtocolError: On a version mismatch.
+    """
+    version = message.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ClusterProtocolError(
+            f"{who} speaks cluster protocol {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )

@@ -23,8 +23,18 @@ expensive half of candidate evaluation a pure function of
     registered benchmarks qualify (see :func:`resolve_process_target`);
     anything else falls back to ``thread`` when the backend was chosen
     by environment, or raises when it was requested explicitly.
+``cluster``
+    :class:`ClusterEvaluator`: ships the same requests over TCP to a
+    fleet of :mod:`repro.cluster` workers — local threads, other
+    processes, or other hosts.  The same canonical-rebuild rules as
+    ``process`` apply (workers only ever see names), and the same
+    fallback-vs-forced semantics.  Without a configured coordinator
+    address the evaluator self-hosts a loopback
+    :class:`~repro.cluster.local.LocalCluster`; a coordinator that
+    dies mid-tune degrades to local computation rather than failing
+    the tune.
 
-All three backends commit results through the same ordered-commit /
+All four backends commit results through the same ordered-commit /
 compile-event-replay machinery, so a tuner's
 :class:`~repro.core.search.TuningReport` is bit-for-bit identical no
 matter which backend ran the simulations — the determinism matrix test
@@ -41,10 +51,12 @@ with more than one worker, ``serial`` otherwise.
 
 from __future__ import annotations
 
+import logging
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor
+import warnings
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.api.config import ENV_BACKEND, env_raw
 from repro.compiler.compile import CompiledProgram
@@ -59,7 +71,9 @@ from repro.core.fitness import (
 )
 from repro.core.parallel import ParallelEvaluator, default_worker_count
 from repro.core.result_cache import ResultCache, execution_model_hash
-from repro.errors import TuningError
+from repro.errors import ClusterUnavailable, TuningError
+
+log = logging.getLogger(__name__)
 
 #: Environment variable selecting the default evaluation backend
 #: (historical alias of :data:`repro.api.config.ENV_BACKEND`).
@@ -67,7 +81,7 @@ BACKEND_ENV = ENV_BACKEND
 
 #: The selectable backends (``"auto"`` additionally means "decide from
 #: the worker count", which is the default).
-BACKEND_NAMES = ("serial", "thread", "process")
+BACKEND_NAMES = ("serial", "thread", "process", "cluster")
 
 
 class ProcessBackendUnavailable(TuningError):
@@ -82,11 +96,31 @@ class ProcessBackendUnavailable(TuningError):
     """
 
 
+#: Unrecognised ``REPRO_TUNER_BACKEND`` values already warned about, so
+#: a long tuning session complains once per bad value, not per tuner.
+_WARNED_BACKEND_VALUES: Set[str] = set()
+
+
 def default_backend() -> str:
-    """Backend from ``REPRO_TUNER_BACKEND`` (``"auto"`` when unset/bad)."""
+    """Backend from ``REPRO_TUNER_BACKEND`` (``"auto"`` when unset/bad).
+
+    An unrecognised value (say a typo like ``proces``) still resolves
+    to ``"auto"`` — the env knob is global and must degrade rather than
+    break unrelated runs — but emits a one-shot :class:`UserWarning`
+    naming the bad value and the valid names, so the typo does not
+    silently cost the user their chosen backend.
+    """
     raw = (env_raw(BACKEND_ENV) or "").strip().lower()
-    if raw in BACKEND_NAMES:
-        return raw
+    if raw in BACKEND_NAMES or raw in ("", "auto"):
+        return raw or "auto"
+    if raw not in _WARNED_BACKEND_VALUES:
+        _WARNED_BACKEND_VALUES.add(raw)
+        warnings.warn(
+            f"ignoring unrecognised {BACKEND_ENV}={raw!r}; valid values: "
+            f"{('auto',) + BACKEND_NAMES}; tuning with backend='auto'",
+            UserWarning,
+            stacklevel=2,
+        )
     return "auto"
 
 
@@ -497,6 +531,239 @@ class ProcessEvaluator(Evaluator):
             self._executor = None
 
 
+class ClusterEvaluator(Evaluator):
+    """Evaluator that farms pure computation out over a cluster fleet.
+
+    Same speculative prefetch/evaluate protocol as
+    :class:`ProcessEvaluator`, but requests travel over TCP to a
+    :mod:`repro.cluster` coordinator instead of a local process pool,
+    so the fleet can span hosts and grow or shrink mid-tune.  The
+    inherited ordered-commit path is untouched; reports stay
+    bit-for-bit identical to serial.
+
+    Transport failures are *degradations*, never errors: if the
+    coordinator is unreachable (or dies mid-tune), affected
+    evaluations are recomputed locally and a warning is logged once.
+    Remote *evaluation* failures — the simulation itself raised on a
+    worker — are re-raised, exactly as a local failure would be.
+
+    Args:
+        compiled: Compiler output for the target machine.
+        env_factory: Registry-canonical environment builder (validated
+            by :func:`resolve_process_target` before construction).
+        target: By-name coordinates workers rebuild from.
+        cluster_address: Coordinator ``host:port``; ``None`` self-hosts
+            an in-process loopback :class:`~repro.cluster.local.LocalCluster`
+            of ``cluster_workers`` workers.
+        cluster_workers: Fleet size for the self-hosted case (ignored
+            when ``cluster_address`` names an external coordinator).
+        heartbeat_s: Worker heartbeat interval, seconds.
+        timeout_s: Connect timeout, and the silence after which the
+            coordinator declares a worker dead.
+        accuracy_fn / accuracy_target / seed / result_cache: As for
+            :class:`ProcessEvaluator`.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        env_factory: EnvFactory,
+        target: ProcessTarget,
+        cluster_address: Optional[str] = None,
+        cluster_workers: int = 2,
+        heartbeat_s: float = 2.0,
+        timeout_s: float = 10.0,
+        accuracy_fn: Optional[AccuracyFn] = None,
+        accuracy_target: Optional[float] = None,
+        seed: int = 0,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
+        super().__init__(
+            compiled,
+            env_factory,
+            accuracy_fn=accuracy_fn,
+            accuracy_target=accuracy_target,
+            seed=seed,
+            result_cache=result_cache,
+        )
+        self.target = target
+        self.cluster_address = cluster_address
+        self.cluster_workers = max(1, cluster_workers)
+        self.heartbeat_s = heartbeat_s
+        self.timeout_s = timeout_s
+        self._client = None  # repro.cluster.client.ClusterClient
+        self._local_cluster = None  # repro.cluster.local.LocalCluster
+        self._degraded = False
+        self._inflight: Dict[Tuple[str, int], Future] = {}
+
+    def __enter__(self) -> "ClusterEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def workers(self) -> int:
+        """Current fleet width (grows and shrinks with worker joins).
+
+        The tuning driver re-reads this every scheduling round, so an
+        elastically growing fleet deepens speculation on the fly.
+        Before the first connection — and after a degradation — this
+        reports the configured self-hosted size so the driver still
+        prefetches enough to fill the fleet once it is up.
+        """
+        client = self._client
+        if client is not None and not self._degraded:
+            return max(1, client.workers)
+        return self.cluster_workers
+
+    def _ensure_client(self):
+        """Connect lazily; a dead coordinator degrades instead of raising."""
+        if self._degraded:
+            return None
+        if self._client is None:
+            from repro.cluster.client import ClusterClient
+            from repro.cluster.local import LocalCluster
+
+            try:
+                if self.cluster_address is None:
+                    self._local_cluster = LocalCluster(
+                        workers=self.cluster_workers,
+                        heartbeat_interval=self.heartbeat_s,
+                        heartbeat_timeout=self.timeout_s,
+                    )
+                    address = self._local_cluster.address
+                else:
+                    address = self.cluster_address
+                self._client = ClusterClient(
+                    address, connect_timeout=self.timeout_s
+                )
+            except ClusterUnavailable as exc:
+                self._degrade(exc)
+                return None
+        return self._client
+
+    def _degrade(self, exc: Exception) -> None:
+        if not self._degraded:
+            self._degraded = True
+            log.warning(
+                "cluster backend degraded to local computation: %s "
+                "(results are unaffected; only wall-clock time suffers)",
+                exc,
+            )
+
+    def _request(self, config_json: str, size: int) -> EvaluationRequest:
+        return EvaluationRequest(
+            app=self.target.app,
+            machine=self.target.machine,
+            config_json=config_json,
+            size=size,
+            seed=self._seed,
+            fingerprint=self.fingerprint,
+            model_hash=execution_model_hash(),
+            cache_dir=self.result_cache.directory,
+        )
+
+    def prefetch(self, configs: Sequence[Configuration], size: int) -> None:
+        """Ship speculative evaluations to the fleet.
+
+        Same contract as the other pooled backends: pure computation
+        only, so discarded or duplicated speculation costs wall-clock
+        work but cannot perturb results.
+        """
+        client = self._ensure_client()
+        if client is None:
+            return
+        for config in configs:
+            key = self.key_for(config, size)
+            if key in self._committed or key in self._inflight:
+                continue
+            with self._pure_lock:
+                memoised = key in self._pure
+            if memoised:
+                continue
+            self._inflight[key] = client.submit(self._request(key[0], size))
+
+    def _join(
+        self, key: Tuple[str, int], future: Future
+    ) -> Optional[PureEvaluation]:
+        """Harvest one remote result; ``None`` when the fleet lost it.
+
+        ``ClusterUnavailable`` (coordinator died, task abandoned after
+        repeated worker deaths, cancelled futures) means nobody
+        computed an answer — the caller recomputes locally.  A remote
+        evaluation error propagates: it would have failed locally too.
+        """
+        try:
+            result: EvaluationResult = future.result()
+        except (ClusterUnavailable, CancelledError) as exc:
+            self._degrade(exc)
+            return None
+        pure = PureEvaluation(
+            time_s=result.time_s,
+            accuracy=result.accuracy,
+            compile_events=tuple(
+                (str(source_hash), str(device))
+                for source_hash, device in result.compile_events
+            ),
+        )
+        with self._pure_lock:
+            if result.computed:
+                self.computed_evaluations += 1
+            self._pure.setdefault(key, pure)
+            return self._pure[key]
+
+    def evaluate(self, config: Configuration, size: int) -> "Evaluation":
+        """Commit-ordered evaluation (see base class).
+
+        Joins the in-flight remote request for this key when one
+        exists; a lost or never-shipped request computes in-process
+        (which still consults the shared disk cache).
+        """
+        key = self.key_for(config, size)
+        committed = self._committed.get(key)
+        if committed is not None:
+            return committed
+        pure = None
+        future = self._inflight.pop(key, None)
+        if future is not None:
+            pure = self._join(key, future)
+        if pure is None:
+            pure = self.compute(config, size)
+        return self._commit(key, pure)
+
+    def inflight(self) -> int:
+        """Speculative evaluations currently shipped to the fleet."""
+        return len(self._inflight)
+
+    def drop_speculation(self) -> None:
+        """Forget queued speculative work whose premise was invalidated.
+
+        Finished results are harvested into the pure memo first (parity
+        with the other pooled backends); unfinished ones are cancelled
+        coordinator-side so dead speculation does not occupy the fleet.
+        """
+        client = self._client
+        for key, future in self._inflight.items():
+            if future.done():
+                if future.cancelled() or future.exception() is not None:
+                    continue
+                self._join(key, future)
+            elif client is not None:
+                client.cancel(getattr(future, "task_id", ""))
+        self._inflight.clear()
+
+    def close(self) -> None:
+        """Disconnect, tearing down a self-hosted fleet."""
+        self.drop_speculation()
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        if self._local_cluster is not None:
+            self._local_cluster.close()
+            self._local_cluster = None
+
+
 def create_evaluator(
     compiled: CompiledProgram,
     env_factory: EnvFactory,
@@ -507,32 +774,44 @@ def create_evaluator(
     seed: int = 0,
     result_cache: Optional[ResultCache] = None,
     forced: Optional[bool] = None,
+    cluster_address: Optional[str] = None,
+    cluster_workers: int = 2,
+    cluster_heartbeat_s: float = 2.0,
+    cluster_timeout_s: float = 10.0,
 ) -> Evaluator:
     """Build the evaluator for the selected backend.
 
     Args:
         compiled: Compiler output for the target machine.
         env_factory: Deterministic test-environment builder.
-        backend: ``"serial"``, ``"thread"``, ``"process"``, ``"auto"``
-            or None (consult ``REPRO_TUNER_BACKEND``, then auto).
+        backend: ``"serial"``, ``"thread"``, ``"process"``,
+            ``"cluster"``, ``"auto"`` or None (consult
+            ``REPRO_TUNER_BACKEND``, then auto).
         workers: Pool width; ``None`` reads ``REPRO_TUNER_WORKERS``.
         accuracy_fn: Error metric for variable-accuracy programs.
         accuracy_target: Largest acceptable error.
         seed: Seed forwarded to the runtime scheduler.
         result_cache: Cross-session disk cache.
-        forced: Whether an unavailable ``process`` backend must raise
-            (True) or may silently fall back to ``thread``/``serial``
-            (False).  ``None`` keeps the historical rule: an explicit
-            ``backend`` argument forces, an environment-selected one
-            does not.  :class:`~repro.api.TunerConfig` callers pass
+        forced: Whether an unavailable ``process``/``cluster`` backend
+            must raise (True) or may silently fall back to
+            ``thread``/``serial`` (False).  ``None`` keeps the
+            historical rule: an explicit ``backend`` argument forces,
+            an environment-selected one does not.
+            :class:`~repro.api.TunerConfig` callers pass
             ``config.is_explicit("backend")`` so a backend chosen by
             environment variable keeps its global, non-breaking
             semantics even though it arrives here as a string.
+        cluster_address: Coordinator ``host:port`` for the cluster
+            backend; ``None`` self-hosts a loopback fleet.
+        cluster_workers: Self-hosted fleet size.
+        cluster_heartbeat_s: Worker heartbeat interval.
+        cluster_timeout_s: Connect timeout / dead-worker threshold.
 
     Raises:
         TuningError: For unknown explicit backend names, and (as
-            :class:`ProcessBackendUnavailable`) when a forced process
-            backend cannot rebuild the evaluation by name.
+            :class:`ProcessBackendUnavailable`) when a forced
+            process/cluster backend cannot rebuild the evaluation by
+            name.
     """
     name, explicit = resolve_backend(backend)
     if forced is None:
@@ -540,6 +819,29 @@ def create_evaluator(
     worker_count = max(1, workers if workers is not None else default_worker_count())
     if name == "auto":
         name = "thread" if worker_count > 1 else "serial"
+    if name == "cluster":
+        # Cluster workers rebuild by name exactly like process workers,
+        # so availability is the same canonical-rebuild check.
+        try:
+            target = resolve_process_target(compiled, env_factory, accuracy_fn)
+        except ProcessBackendUnavailable:
+            if forced:
+                raise
+            name = "thread" if worker_count > 1 else "serial"
+        else:
+            return ClusterEvaluator(
+                compiled,
+                env_factory,
+                target,
+                cluster_address=cluster_address,
+                cluster_workers=cluster_workers,
+                heartbeat_s=cluster_heartbeat_s,
+                timeout_s=cluster_timeout_s,
+                accuracy_fn=accuracy_fn,
+                accuracy_target=accuracy_target,
+                seed=seed,
+                result_cache=result_cache,
+            )
     if name == "process":
         try:
             target = resolve_process_target(compiled, env_factory, accuracy_fn)

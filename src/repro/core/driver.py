@@ -338,9 +338,7 @@ class TuningDriver:
         self._evaluator = evaluator
         self._strategy = strategy
         self._plan = plan
-        self._inflight_target = max(
-            1, inflight_per_worker * max(1, getattr(evaluator, "workers", 1))
-        )
+        self._inflight_per_worker = max(1, inflight_per_worker)
         self._checkpoint_every = max(0, checkpoint_every)
         self._store = (
             checkpoint_store
@@ -389,6 +387,20 @@ class TuningDriver:
 
     # -- the tune loop -------------------------------------------------
 
+    def _inflight_target(self) -> int:
+        """Speculation depth for this scheduling round.
+
+        Recomputed every round rather than frozen at construction: the
+        cluster backend's ``workers`` is the *current* fleet width, so
+        a worker joining mid-tune immediately deepens speculation (and
+        a shrinking fleet stops over-queueing it).
+        """
+        return max(
+            1,
+            self._inflight_per_worker
+            * max(1, getattr(self._evaluator, "workers", 1)),
+        )
+
     def run(self, label: str = "") -> TuningReport:
         """Drive the strategy to completion and return the report.
 
@@ -417,7 +429,7 @@ class TuningDriver:
         strategy = self._strategy
         while True:
             if not strategy.finished:
-                deficit = self._inflight_target - len(pending)
+                deficit = self._inflight_target() - len(pending)
                 if deficit > 0:
                     fresh = strategy.propose(deficit)
                     if fresh:

@@ -16,12 +16,19 @@ One JSON file per entry, inside the cache directory::
     <cache_dir>/<sha256(key)[:32]>.json
 
     {
-      "key": {"version": ..., "program": ..., "machine": ...,
-              "fingerprint": ..., "config": ..., "size": ..., "seed": ...},
-      "time_s": <float>,
-      "accuracy": <float or null>,
-      "compile_events": [["<source-hash>", "<device>"], ...]
+      "key": {"version": ..., "model": ..., "program": ..., "machine": ...,
+              "fingerprint": ..., "env": ..., "accuracy": ...,
+              "config": ..., "size": ..., "seed": ...},
+      "payload": {
+        "time_s": <float>,
+        "accuracy": <float or null>,
+        "compile_events": [["<source-hash>", "<device>"], ...]
+      }
     }
+
+The stored ``key`` is compared verbatim on lookup (a hash collision or
+stale file can never serve a wrong result), and the opaque ``payload``
+dict is returned as-is — the cache never interprets it.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent tuners
 can share one directory; colliding writers produce identical content.
@@ -142,9 +149,14 @@ class ResultCache:
 
     @staticmethod
     def from_environment() -> "ResultCache":
-        """Cache configured by ``REPRO_CACHE_DIR`` (disabled if unset)."""
-        raw = env_raw(CACHE_DIR_ENV) or ""
-        if raw.strip().lower() in _DISABLED_VALUES:
+        """Cache configured by ``REPRO_CACHE_DIR`` (disabled if unset).
+
+        The value is stripped before use, so ``REPRO_CACHE_DIR=" /tmp/c "``
+        means ``/tmp/c`` — not a whitespace-prefixed sibling directory
+        that silently never matches the one other tools use.
+        """
+        raw = (env_raw(CACHE_DIR_ENV) or "").strip()
+        if raw.lower() in _DISABLED_VALUES:
             return ResultCache(None)
         return ResultCache(raw)
 
@@ -181,10 +193,16 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except FileNotFoundError:
+            # A pure miss.  Checking os.path.exists() after the failed
+            # open would race concurrent writers (the entry can appear
+            # in between) and miscount a miss as invalid.
+            with self._stats_lock:
+                self.stats.misses += 1
+            return None
         except (OSError, ValueError):
             with self._stats_lock:
-                if os.path.exists(path):
-                    self.stats.invalid += 1
+                self.stats.invalid += 1
                 self.stats.misses += 1
             return None
         if (
@@ -203,8 +221,12 @@ class ResultCache:
     def put(self, key: Dict[str, Any], payload: Dict[str, Any]) -> None:
         """Store an entry atomically (no-op when disabled).
 
-        Write failures (read-only or full disk) are swallowed: the
-        cache is an accelerator, never a correctness dependency.
+        Failures never crash the tuner — the cache is an accelerator,
+        never a correctness dependency.  Write failures (read-only or
+        full disk, ``OSError``) are swallowed silently; an entry that
+        cannot be serialised (``TypeError``/``ValueError`` from a
+        non-JSON payload) is swallowed too but counted under
+        ``stats.invalid``.  The temp file is cleaned up on every path.
         """
         if self._directory is None:
             return
@@ -221,6 +243,10 @@ class ResultCache:
             finally:
                 if os.path.exists(tmp_path):
                     os.unlink(tmp_path)
+        except (TypeError, ValueError):
+            with self._stats_lock:
+                self.stats.invalid += 1
+            return
         except OSError:
             return
         with self._stats_lock:

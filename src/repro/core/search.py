@@ -209,6 +209,10 @@ class EvolutionaryTuner:
                 else ResultCache(config.cache_dir)
             ),
             forced=config.is_explicit("backend"),
+            cluster_address=config.cluster_address,
+            cluster_workers=config.cluster_workers,
+            cluster_heartbeat_s=config.cluster_heartbeat_s,
+            cluster_timeout_s=config.cluster_timeout_s,
         )
         mutator_set = (
             mutators if mutators is not None else mutators_for(compiled.training_info)

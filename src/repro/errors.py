@@ -52,5 +52,28 @@ class ConfigError(TuningError):
     ``repro.toml`` key, or ``REPRO_*`` environment variable)."""
 
 
+class ClusterError(TuningError):
+    """A distributed-evaluation (``backend="cluster"``) failure.
+
+    Base class for everything that can go wrong between a tuner and a
+    cluster coordinator.  Subclasses distinguish *transport* failures
+    (the fleet is unreachable — the evaluator falls back to computing
+    locally, preserving results) from *protocol* failures (a peer spoke
+    garbage — always raised)."""
+
+
+class ClusterUnavailable(ClusterError):
+    """The cluster coordinator cannot be reached (or died mid-session).
+
+    The cluster evaluator treats this as a degradation signal, not an
+    error: affected evaluations recompute locally, so the tuning report
+    stays byte-identical — only wall-clock time suffers."""
+
+
+class ClusterProtocolError(ClusterError):
+    """A cluster peer violated the wire protocol (bad hello, oversized
+    or unparseable frame, version mismatch)."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness was invoked with inconsistent parameters."""

@@ -20,11 +20,19 @@ environment variables.
 
 Flags:
     --backend=<name>              evaluation backend: ``serial``,
-                                  ``thread``, ``process`` or ``auto``.
-                                  Applies to per-tuner evaluation and
-                                  batch scheduling (including shard
-                                  children).  Results are bit-for-bit
-                                  identical on every backend.
+                                  ``thread``, ``process``, ``cluster``
+                                  or ``auto``.  Applies to per-tuner
+                                  evaluation and batch scheduling
+                                  (including shard children).  Results
+                                  are bit-for-bit identical on every
+                                  backend.
+    --cluster-address=<host:port> coordinator for ``--backend=cluster``
+                                  (start one with ``python -m
+                                  repro.cluster coordinator``); absent,
+                                  the cluster backend self-hosts a
+                                  loopback fleet.
+    --cluster-workers=<n>         size of the self-hosted loopback
+                                  fleet (default 2).
     --strategy=<name>             search strategy: ``evolutionary``
                                   (default), ``hillclimb``, ``random``
                                   or ``bandit``.
@@ -58,6 +66,11 @@ shows what actually resolved):
                                   tuner (default 1; results identical).
     REPRO_TUNER_CHECKPOINT_EVERY=<n>  commits between checkpoints.
     REPRO_CONFIG_FILE=<path>      same as --config-file.
+    REPRO_CLUSTER_ADDRESS=<a>     same as --cluster-address.
+    REPRO_CLUSTER_WORKERS=<n>     same as --cluster-workers.
+    REPRO_CLUSTER_HEARTBEAT_S=<s> cluster worker heartbeat interval.
+    REPRO_CLUSTER_TIMEOUT_S=<s>   cluster connect timeout / dead-worker
+                                  threshold.
 """
 
 from __future__ import annotations
@@ -153,6 +166,14 @@ def main(argv: list) -> int:
     for arg in argv:
         if arg.startswith("--backend="):
             overrides["backend"] = arg.split("=", 1)[1]
+        elif arg.startswith("--cluster-address="):
+            overrides["cluster_address"] = arg.split("=", 1)[1]
+        elif arg.startswith("--cluster-workers="):
+            try:
+                overrides["cluster_workers"] = int(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"invalid {arg}: expected an integer")
+                return 2
         elif arg.startswith("--strategy="):
             overrides["strategy"] = arg.split("=", 1)[1]
         elif arg == "--resume":

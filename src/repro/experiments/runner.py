@@ -258,10 +258,12 @@ def _no_fork_config(config: TunerConfig) -> TunerConfig:
     nesting pools would fork uncontrollably) and for sessions scheduled
     on the batch thread pool (forking a pool from a multithreaded
     process can inherit locks held mid-simulation by sibling threads
-    and hang the child).  A ``serial``/``thread`` choice is honoured;
-    ``process`` and ``auto`` demote to the worker-count auto rule.
+    and hang the child).  A ``serial``/``thread`` choice is honoured,
+    and so is ``cluster`` — its client is a TCP socket plus daemon
+    threads, not a fork; ``process`` and ``auto`` demote to the
+    worker-count auto rule.
     """
-    if config.backend in ("serial", "thread"):
+    if config.backend in ("serial", "thread", "cluster"):
         return config
     demoted = "thread" if config.workers > 1 else "serial"
     prov = dict(config.provenance)

@@ -175,9 +175,23 @@ class TestConfigFile:
             "tuner": {"strategy": "bandit"},
         }
 
+    def test_mini_toml_parses_floats(self):
+        # Floats became first-class when the cluster heartbeat/timeout
+        # knobs landed; a float where an int belongs is still rejected,
+        # but at field coercion rather than in the parser.
+        assert _parse_mini_toml(
+            "cluster_heartbeat_s = 0.5\n", "test.toml"
+        ) == {"cluster_heartbeat_s": 0.5}
+
     def test_mini_toml_rejects_unsupported_values(self):
         with pytest.raises(ConfigError, match="unsupported value"):
-            _parse_mini_toml("workers = 4.5\n", "test.toml")
+            _parse_mini_toml("workers = [4, 5]\n", "test.toml")
+
+    def test_float_where_int_expected_fails_at_coercion(self, tmp_path):
+        path = tmp_path / "repro.toml"
+        path.write_text("workers = 4.5\n")
+        with pytest.raises(ConfigError, match="expected an integer"):
+            TunerConfig.resolve(environ={}, config_file=str(path))
 
 
 class TestErrors:
@@ -320,4 +334,8 @@ class TestDerivedViews:
             "resume",
             "progress",
             "full_scale",
+            "cluster_address",
+            "cluster_workers",
+            "cluster_heartbeat_s",
+            "cluster_timeout_s",
         ]

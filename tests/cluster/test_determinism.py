@@ -1,0 +1,133 @@
+"""Tuning determinism under a degraded or elastic cluster fleet.
+
+The headline guarantee of the ordered-commit protocol: the
+:class:`TuningReport` produced with ``backend="cluster"`` is identical
+to the serial tuner's even while the fleet is misbehaving — a worker
+killed mid-run (dead-worker detection + re-dispatch) or a worker
+joining late (elastic join).  The happy-path (app x backend) matrix
+lives in ``tests/core/test_parallel_determinism.py``; these legs cover
+the failure modes that matrix cannot express.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.config import TunerConfig
+from repro.apps.registry import benchmark, canonical_env_factory
+from repro.cluster import LocalCluster
+from repro.compiler.compile import compile_program
+from repro.core.result_cache import ResultCache
+from repro.core.search import TuningReport, autotune
+from repro.hardware.machines import DESKTOP
+
+from tests.core.test_parallel_determinism import (
+    SMALL_SIZES,
+    baseline_report,
+    report_key,
+)
+
+APP = "Strassen"
+
+
+def tune_on_fleet(fleet: LocalCluster, *, workers: int = 2,
+                  on_candidate=None) -> TuningReport:
+    spec = benchmark(APP)
+    compiled = compile_program(spec.build_program(), DESKTOP)
+    return autotune(
+        compiled,
+        canonical_env_factory(APP),
+        max_size=min(spec.tuning_size, SMALL_SIZES[APP]),
+        seed=1,
+        accuracy_fn=spec.accuracy_fn,
+        accuracy_target=spec.accuracy_target,
+        config=TunerConfig.from_env(
+            workers=workers, backend="cluster", cluster_address=fleet.address
+        ),
+        result_cache=ResultCache(None),
+        on_candidate=on_candidate,
+    )
+
+
+def test_external_fleet_report_identical_to_serial():
+    """Baseline for the failure legs: a tuner pointed at an external
+    coordinator (rather than an owned loopback fleet) matches serial."""
+    with LocalCluster(workers=2) as fleet:
+        tuned = tune_on_fleet(fleet)
+    assert report_key(tuned) == report_key(baseline_report(APP))
+
+
+def test_worker_killed_mid_run_report_identical_to_serial():
+    """Kill a worker after a few commits: its in-flight evaluations are
+    re-dispatched to the survivor and the report is unchanged."""
+    events = []
+
+    with LocalCluster(
+        workers=2, heartbeat_interval=0.1, heartbeat_timeout=2.0
+    ) as fleet:
+        def on_candidate(event):
+            events.append(event)
+            if len(events) == 3:
+                fleet.kill_worker(0)
+
+        tuned = tune_on_fleet(fleet, on_candidate=on_candidate)
+        assert len(fleet.workers) > 1, "kill never happened"
+        assert sum(1 for h in fleet.workers if h.alive) == 1
+    assert len(events) >= tuned.evaluations
+    assert report_key(tuned) == report_key(baseline_report(APP))
+
+
+def test_worker_joining_late_report_identical_to_serial():
+    """Start with a single worker and add a second mid-run: the wider
+    fleet deepens speculation but never changes the report."""
+    events = []
+
+    with LocalCluster(workers=1) as fleet:
+        def on_candidate(event):
+            events.append(event)
+            if len(events) == 3:
+                fleet.add_worker()
+
+        tuned = tune_on_fleet(fleet, workers=2, on_candidate=on_candidate)
+        assert len(fleet.workers) == 2, "join never happened"
+    assert report_key(tuned) == report_key(baseline_report(APP))
+
+
+def test_chaotic_fleet_report_identical_to_serial():
+    """Kill *and* join during one tuning run, with a tight straggler
+    threshold so duplication also fires — the worst realistic storm."""
+    events = []
+
+    with LocalCluster(
+        workers=2, heartbeat_interval=0.1, heartbeat_timeout=2.0,
+        straggler_after=0.5,
+    ) as fleet:
+        def on_candidate(event):
+            events.append(event)
+            if len(events) == 2:
+                fleet.kill_worker(1)
+            elif len(events) == 5:
+                fleet.add_worker()
+
+        tuned = tune_on_fleet(fleet, on_candidate=on_candidate)
+    assert report_key(tuned) == report_key(baseline_report(APP))
+
+
+def test_degraded_fleet_falls_back_to_local_compute():
+    """An unreachable coordinator degrades the evaluator to local
+    compute — slower, but byte-identical and never crashing."""
+    spec = benchmark(APP)
+    compiled = compile_program(spec.build_program(), DESKTOP)
+    tuned = autotune(
+        compiled,
+        canonical_env_factory(APP),
+        max_size=min(spec.tuning_size, SMALL_SIZES[APP]),
+        seed=1,
+        accuracy_fn=spec.accuracy_fn,
+        accuracy_target=spec.accuracy_target,
+        config=TunerConfig.from_env(
+            workers=2, backend="cluster", cluster_address="127.0.0.1:1"
+        ),
+        result_cache=ResultCache(None),
+    )
+    assert report_key(tuned) == report_key(baseline_report(APP))

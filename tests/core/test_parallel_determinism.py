@@ -2,11 +2,14 @@
 
 The contract under test: ``EvolutionaryTuner`` with N speculative
 workers — on *any* evaluation backend (``serial``, ``thread``,
-``process``) — produces a :class:`TuningReport` *identical* to the
-serial tuner: same winning configuration (byte-for-byte JSON), same
-history, same evaluation count, same virtual tuning time — for every
-registered benchmark at small sizes; and a warm disk cache replays a
-cold session exactly (while physically simulating nothing).
+``process``, ``cluster``) — produces a :class:`TuningReport`
+*identical* to the serial tuner: same winning configuration
+(byte-for-byte JSON), same history, same evaluation count, same
+virtual tuning time — for every registered benchmark at small sizes;
+and a warm disk cache replays a cold session exactly (while physically
+simulating nothing).  Cluster legs run the full TCP wire protocol
+against an in-process loopback fleet; robustness variants (a worker
+killed mid-run, a worker joining late) live in ``tests/cluster``.
 """
 
 from __future__ import annotations
@@ -39,9 +42,10 @@ SMALL_SIZES = {
 
 APP_NAMES = [spec.name for spec in all_benchmarks()]
 
-#: Process-backend legs kept in the fast tier; spawning a pool per app
-#: is the expensive part, so the rest of the matrix runs as `slow`.
-FAST_PROCESS_APPS = {"Strassen", "Poisson2D SOR"}
+#: Process/cluster-backend legs kept in the fast tier; spawning a pool
+#: (or loopback fleet) per app is the expensive part, so the rest of
+#: the matrix runs as `slow`.
+FAST_POOLED_APPS = {"Strassen", "Poisson2D SOR"}
 
 #: The full (app x backend) determinism matrix.
 BACKEND_MATRIX = [
@@ -49,7 +53,7 @@ BACKEND_MATRIX = [
         name,
         backend,
         marks=[pytest.mark.slow]
-        if backend == "process" and name not in FAST_PROCESS_APPS
+        if backend in ("process", "cluster") and name not in FAST_POOLED_APPS
         else [],
         id=f"{name}-{backend}",
     )
@@ -222,6 +226,19 @@ def test_cold_process_vs_warm_serial_equivalence(tmp_path):
     requester-compatible keys: a serial session on the same directory
     must replay a cold process-backend session without simulating."""
     cold = tune_app("Strassen", workers=2, backend="process",
+                    result_cache=ResultCache(str(tmp_path)))
+    warm = tune_app("Strassen", workers=1, backend="serial",
+                    result_cache=ResultCache(str(tmp_path)))
+    assert report_key(warm) == report_key(cold)
+    assert warm.computed_evaluations == 0
+
+
+def test_cold_cluster_vs_warm_serial_equivalence(tmp_path):
+    """Loopback cluster workers run in-process but write through the
+    same shared disk cache with requester-compatible keys: a serial
+    session on the same directory must replay a cold cluster-backend
+    session without simulating."""
+    cold = tune_app("Strassen", workers=2, backend="cluster",
                     result_cache=ResultCache(str(tmp_path)))
     warm = tune_app("Strassen", workers=1, backend="serial",
                     result_cache=ResultCache(str(tmp_path)))

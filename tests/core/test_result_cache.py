@@ -256,3 +256,124 @@ class TestIsolation:
         assert cache.get(key) == payload
         assert cache.stats.stores == 1
         assert cache.stats.hits == 1
+
+    def test_from_environment_strips_whitespace(self, monkeypatch, tmp_path):
+        """``REPRO_CACHE_DIR=" /dir "`` must mean ``/dir`` — not a
+        whitespace-prefixed sibling that silently never matches the
+        directory every other tool uses."""
+        monkeypatch.setenv(CACHE_DIR_ENV, f"  {tmp_path} \n")
+        cache = ResultCache.from_environment()
+        assert cache.directory == str(tmp_path)
+        key = {"version": 1, "config": "{}", "size": 1}
+        cache.put(key, {"time_s": 1.0})
+        assert ResultCache(str(tmp_path)).get(key) == {"time_s": 1.0}
+
+    def test_from_environment_whitespace_only_is_disabled(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "   ")
+        assert not ResultCache.from_environment().enabled
+
+
+class TestPutFailures:
+    def test_unserialisable_payload_counts_invalid_and_cleans_temp(
+        self, tmp_path
+    ):
+        """A payload json can't encode must be swallowed (the cache is
+        an accelerator, never a correctness dependency) but *counted*,
+        and must not leave a temp file behind."""
+        cache = ResultCache(str(tmp_path))
+        key = {"version": 1, "config": "{}", "size": 8}
+        cache.put(key, {"time_s": object()})
+        assert cache.stats.invalid == 1
+        assert cache.stats.stores == 0
+        assert cache.get(key) is None
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_circular_payload_counts_invalid_and_cleans_temp(self, tmp_path):
+        """The ValueError branch: a circular payload fails json
+        serialisation after the temp file already exists — it must
+        still be counted and the temp file removed."""
+        cache = ResultCache(str(tmp_path))
+        circular = {"time_s": 1.0}
+        circular["self"] = circular
+        cache.put({"version": 1, "size": 8}, circular)
+        assert cache.stats.invalid == 1
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_unwritable_directory_is_silent(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        cache = ResultCache(str(blocker / "sub"))
+        cache.put({"version": 1}, {"time_s": 1.0})
+        assert cache.stats.stores == 0
+        assert cache.stats.invalid == 0
+
+
+class TestConcurrency:
+    def test_many_threads_share_one_directory(self, tmp_path):
+        """Hammer one directory from many threads mixing writers and
+        readers: every get returns either a miss or the exact payload,
+        the accounting adds up, and no temp files leak."""
+        import threading
+
+        cache = ResultCache(str(tmp_path))
+        keys = [{"version": 1, "config": "{}", "size": n} for n in range(8)]
+        payloads = [{"time_s": float(n), "accuracy": None} for n in range(8)]
+        errors = []
+        barrier = threading.Barrier(16)
+
+        def worker(thread_id):
+            try:
+                barrier.wait(timeout=30)
+                for round_no in range(25):
+                    n = (thread_id + round_no) % len(keys)
+                    if thread_id % 2 == 0:
+                        cache.put(keys[n], payloads[n])
+                    got = cache.get(keys[n])
+                    if got is not None and got != payloads[n]:
+                        errors.append((thread_id, n, got))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append((thread_id, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+        # Exact accounting: every operation landed in exactly one bucket.
+        stats = cache.stats
+        assert stats.stores == 8 * 25  # every put succeeded
+        assert stats.invalid == 0
+        assert stats.hits + stats.misses == 16 * 25  # one lookup each
+        # After the dust settles every entry is served from disk.
+        fresh = ResultCache(str(tmp_path))
+        for key, payload in zip(keys, payloads):
+            assert fresh.get(key) == payload
+
+    def test_corrupt_file_under_concurrency_counts_invalid(self, tmp_path):
+        """A half-written/garbage entry is a miss+invalid for every
+        reader and never crashes."""
+        import threading
+
+        cache = ResultCache(str(tmp_path))
+        key = {"version": 1, "config": "{}", "size": 99}
+        cache.put(key, {"time_s": 1.0})
+        path = cache._path_for(key)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ truncated")
+        results = []
+
+        def reader():
+            results.append(cache.get(key))
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert results == [None] * 8
+        assert cache.stats.invalid == 8
+        assert cache.stats.misses == 8
