@@ -1,0 +1,81 @@
+"""Tuning-as-a-service quickstart: a daemon plus a blocking client.
+
+Boots the tuning service in-process (production deployments run
+``python -m repro.service`` instead), then walks the wire verbs with
+:class:`repro.service.ServiceClient`:
+
+  * ``lookup`` — the hot read path.  A cold daemon misses, hands back
+    the compiler-default configuration immediately, and enqueues a
+    warming job in the background so the next caller hits.
+  * ``submit``/``status``/``result`` — enqueue a tuning job under
+    admission control and block for its report.  Reports fetched
+    through the daemon are byte-identical to a local ``Session.tune``.
+  * ``metrics`` — queue depth, job states, cache counters and the
+    evaluations/s gauge.
+
+Run:  python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import TunerConfig
+from repro.service import ServiceClient, ServiceHandle
+
+APP = "Strassen"
+MACHINE = "Desktop"
+
+
+def main() -> None:
+    # 1. Boot the daemon on an ephemeral port.  Outside an example you
+    #    would run `python -m repro.service --address=127.0.0.1:7734`
+    #    and point clients at that address.
+    config = TunerConfig.from_env(
+        backend="serial",
+        progress=False,
+        service_address="127.0.0.1:0",
+    )
+    with ServiceHandle.start_in_thread(config) as daemon:
+        print(f"daemon listening on {daemon.address}\n")
+
+        with ServiceClient(daemon.address, name="quickstart") as client:
+            # 2. The hot read path.  Nothing is tuned yet, so this
+            #    misses: we get the safe compiler-default configuration
+            #    *now* and the daemon quietly starts tuning behind it.
+            hit, fallback = client.lookup(APP, MACHINE)
+            print(f"lookup({APP}, {MACHINE}) hit={hit}")
+            if not hit:
+                default = json.loads(fallback)
+                print(f"  miss -> default config {default['label']!r}; "
+                      "a warming job was enqueued\n")
+
+            # 3. Submit-and-wait.  This dedups onto the warming job the
+            #    lookup miss just enqueued — one tuning run, any number
+            #    of interested clients.
+            job_id = client.submit(APP, MACHINE)
+            print(f"submitted {APP}@{MACHINE} as {job_id} "
+                  f"(status={client.status(job_id)})")
+            report = client.result(job_id, timeout=600)
+            print(f"tuned: best {report.best_time_s * 1e3:.3f} ms "
+                  f"after {report.evaluations} candidate tests\n")
+
+            # 4. The same lookup is now answered from the in-memory
+            #    index — microseconds, no tuning pool involved.
+            hit, warm = client.lookup(APP, MACHINE)
+            assert hit and warm.best_time_s == report.best_time_s
+            print(f"lookup({APP}, {MACHINE}) hit={hit} "
+                  f"best={warm.best_time_s * 1e3:.3f} ms")
+
+            # 5. Operational visibility.
+            metrics = client.metrics()
+            print("\nmetrics:")
+            print(f"  queue depth    {metrics['queue_depth']}")
+            print(f"  running        {metrics['running']}")
+            print(f"  job states     {metrics['jobs']}")
+            print(f"  index          {metrics['index']}")
+            print(f"  evaluations/s  {metrics['evaluations_per_s']:.1f}")
+
+
+if __name__ == "__main__":
+    main()

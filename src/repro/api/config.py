@@ -77,6 +77,9 @@ __all__ = [
     "DEFAULT_CLUSTER_TIMEOUT_S",
     "DEFAULT_CLUSTER_WORKERS",
     "DEFAULT_SEED",
+    "DEFAULT_SERVICE_ADDRESS",
+    "DEFAULT_SERVICE_MAX_JOBS",
+    "DEFAULT_SERVICE_RATE_LIMIT",
     "DEFAULT_TUNE_MANY_WORKERS",
     "DEFAULT_WORKERS",
     "ENV_BACKEND",
@@ -91,6 +94,9 @@ __all__ = [
     "ENV_PROGRESS",
     "ENV_RESUME",
     "ENV_SEED",
+    "ENV_SERVICE_ADDRESS",
+    "ENV_SERVICE_MAX_JOBS",
+    "ENV_SERVICE_RATE_LIMIT",
     "ENV_STRATEGY",
     "ENV_TUNE_MANY_WORKERS",
     "ENV_WORKERS",
@@ -116,6 +122,9 @@ ENV_CLUSTER_ADDRESS = "REPRO_CLUSTER_ADDRESS"
 ENV_CLUSTER_WORKERS = "REPRO_CLUSTER_WORKERS"
 ENV_CLUSTER_HEARTBEAT_S = "REPRO_CLUSTER_HEARTBEAT_S"
 ENV_CLUSTER_TIMEOUT_S = "REPRO_CLUSTER_TIMEOUT_S"
+ENV_SERVICE_ADDRESS = "REPRO_SERVICE_ADDRESS"
+ENV_SERVICE_MAX_JOBS = "REPRO_SERVICE_MAX_JOBS"
+ENV_SERVICE_RATE_LIMIT = "REPRO_SERVICE_RATE_LIMIT"
 
 #: Environment variable naming the config file (overrides the
 #: ``./repro.toml`` default lookup).
@@ -134,6 +143,9 @@ DEFAULT_CHECKPOINT_EVERY = 64
 DEFAULT_CLUSTER_WORKERS = 2
 DEFAULT_CLUSTER_HEARTBEAT_S = 2.0
 DEFAULT_CLUSTER_TIMEOUT_S = 10.0
+DEFAULT_SERVICE_ADDRESS = "127.0.0.1:7734"
+DEFAULT_SERVICE_MAX_JOBS = 0  # 0 means "= tune_many_workers"
+DEFAULT_SERVICE_RATE_LIMIT = 0  # 0 means "unlimited"
 
 #: Field name -> environment variable.
 ENV_BY_FIELD: Dict[str, str] = {
@@ -151,6 +163,9 @@ ENV_BY_FIELD: Dict[str, str] = {
     "cluster_workers": ENV_CLUSTER_WORKERS,
     "cluster_heartbeat_s": ENV_CLUSTER_HEARTBEAT_S,
     "cluster_timeout_s": ENV_CLUSTER_TIMEOUT_S,
+    "service_address": ENV_SERVICE_ADDRESS,
+    "service_max_jobs": ENV_SERVICE_MAX_JOBS,
+    "service_rate_limit": ENV_SERVICE_RATE_LIMIT,
 }
 
 
@@ -251,6 +266,15 @@ class TunerConfig:
             seconds.
         cluster_timeout_s: Cluster connect timeout and dead-worker
             heartbeat threshold, seconds.
+        service_address: ``host:port`` the tuning-service daemon binds
+            (``python -m repro.service``) and service clients connect
+            to; ``None`` uses :data:`DEFAULT_SERVICE_ADDRESS`.
+        service_max_jobs: Concurrent tuning jobs the service admits
+            (queue the rest); 0 means "as many as
+            ``tune_many_workers``" — admission can never exceed the
+            session pool's slots either way.
+        service_rate_limit: Per-client job admissions per minute on
+            the service (0 disables rate limiting).
         provenance: Field name -> source (``"default"``,
             ``"env:VAR"``, ``"file:PATH"`` or ``"arg"``).  Excluded
             from equality; filled in automatically when omitted.
@@ -270,6 +294,9 @@ class TunerConfig:
     cluster_workers: int = DEFAULT_CLUSTER_WORKERS
     cluster_heartbeat_s: float = DEFAULT_CLUSTER_HEARTBEAT_S
     cluster_timeout_s: float = DEFAULT_CLUSTER_TIMEOUT_S
+    service_address: Optional[str] = None
+    service_max_jobs: int = DEFAULT_SERVICE_MAX_JOBS
+    service_rate_limit: int = DEFAULT_SERVICE_RATE_LIMIT
     provenance: Mapping[str, str] = field(
         default_factory=dict, compare=False, repr=False, hash=False
     )
@@ -294,6 +321,11 @@ class TunerConfig:
                 set_attr(self, "cluster_address", None)
             else:
                 set_attr(self, "cluster_address", self.cluster_address.strip())
+        if isinstance(self.service_address, str):
+            if self.service_address.strip().lower() in FALSY_VALUES:
+                set_attr(self, "service_address", None)
+            else:
+                set_attr(self, "service_address", self.service_address.strip())
         if not self.provenance:
             defaults = {
                 f.name: f.default
@@ -383,6 +415,15 @@ class TunerConfig:
         self._require_int("cluster_workers", 1)
         self._require_positive_float("cluster_heartbeat_s")
         self._require_positive_float("cluster_timeout_s")
+        if self.service_address is not None and not isinstance(
+            self.service_address, str
+        ):
+            self._fail(
+                "service_address",
+                f"expected a 'host:port' string or None, got {self.service_address!r}",
+            )
+        self._require_int("service_max_jobs", 0)
+        self._require_int("service_rate_limit", 0)
 
     # -- layered resolution --------------------------------------------
 
@@ -527,6 +568,9 @@ class TunerConfig:
         _env("cluster_workers", lambda raw: _lenient_count(raw, 1))
         _env("cluster_heartbeat_s", _lenient_seconds)
         _env("cluster_timeout_s", _lenient_seconds)
+        _env("service_address", _dir_or_none)
+        _env("service_max_jobs", lambda raw: _lenient_count(raw, 0))
+        _env("service_rate_limit", lambda raw: _lenient_count(raw, 0))
         for flag_name in ("resume", "progress"):
             _env(flag_name, _flag)
         # REPRO_FULL_SCALE's historical grammar differs from the other
@@ -612,7 +656,7 @@ class TunerConfig:
         text = raw.strip()
         if field_name in ("resume", "progress", "full_scale"):
             return _flag(raw), text != ""
-        if field_name in ("cache_dir", "cluster_address"):
+        if field_name in ("cache_dir", "cluster_address", "service_address"):
             if text.lower() in FALSY_VALUES:
                 return None, raw != ""
             return text, True
@@ -624,6 +668,8 @@ class TunerConfig:
             "seed",
             "checkpoint_every",
             "cluster_workers",
+            "service_max_jobs",
+            "service_rate_limit",
         ):
             try:
                 value = int(text)
@@ -631,7 +677,12 @@ class TunerConfig:
                 raise ConfigError(
                     f"invalid {env_name}={raw!r}: expected an integer"
                 ) from None
-            minimum = {"seed": -sys.maxsize, "checkpoint_every": 0}.get(field_name, 1)
+            minimum = {
+                "seed": -sys.maxsize,
+                "checkpoint_every": 0,
+                "service_max_jobs": 0,
+                "service_rate_limit": 0,
+            }.get(field_name, 1)
             if value < minimum:
                 raise ConfigError(
                     f"invalid {env_name}={raw!r}: must be >= {minimum}"
@@ -692,6 +743,8 @@ def _coerce_file_value(field_name: str, value: object, path: str) -> object:
         "seed",
         "checkpoint_every",
         "cluster_workers",
+        "service_max_jobs",
+        "service_rate_limit",
     ):
         if isinstance(value, bool) or not isinstance(value, int):
             raise ConfigError(

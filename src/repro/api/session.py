@@ -122,6 +122,18 @@ class TuningJob:
         """Block until the job finishes and return its tuning report."""
         return self.result(timeout).report
 
+    def add_done_callback(self, fn: Callable[["TuningJob"], None]) -> None:
+        """Call ``fn(job)`` when the job finishes (any terminal state).
+
+        The callback runs on the pool thread that finished the job (or
+        immediately, on the calling thread, if the job is already
+        done).  Exceptions it raises are logged and swallowed, matching
+        :meth:`concurrent.futures.Future.add_done_callback` — this is
+        how the tuning service daemon observes completions without
+        polling.
+        """
+        self._future.add_done_callback(lambda _future: fn(self))
+
     def cancel(self) -> bool:
         """Cancel the job if it has not started running yet.
 
@@ -303,7 +315,16 @@ class Session:
                 on_candidate=on_candidate, on_round=on_round,
             )
 
-        future = self._pool().submit(_run)
+        try:
+            future = self._pool().submit(_run)
+        except RuntimeError:
+            # _pool() checked _closed under the lock, but a concurrent
+            # close() can shut the executor down between that check and
+            # this submit; the executor then raises a bare
+            # RuntimeError("cannot schedule new futures...").  Surface
+            # the same TuningError as a submit on an already-closed
+            # session.
+            raise TuningError("session is closed") from None
         job = TuningJob(app, spec.codename, resolved_seed, future, started)
         with self._lock:
             self._jobs.append(job)

@@ -63,6 +63,7 @@ class ClusterClient:
         self._lock = threading.Lock()
         self._workers = 0
         self._closed = False
+        self._wedged = False
         self._writer: Optional[asyncio.StreamWriter] = None
         self._loop = asyncio.new_event_loop()
         ready: "Future[None]" = Future()
@@ -90,6 +91,14 @@ class ClusterClient:
     def workers(self) -> int:
         """Current fleet width as last broadcast by the coordinator."""
         return self._workers
+
+    @property
+    def wedged(self) -> bool:
+        """Whether :meth:`close` timed out waiting for the loop thread.
+
+        A wedged client has leaked its daemon thread; it is already
+        closed (every submit fails fast) and must not be reused."""
+        return self._wedged
 
     def submit(self, request: Any) -> Future:
         """Queue one evaluation; the future resolves to its result.
@@ -141,7 +150,13 @@ class ClusterClient:
                 pass
 
     def close(self) -> None:
-        """Disconnect; outstanding futures fail with ClusterUnavailable."""
+        """Disconnect; outstanding futures fail with ClusterUnavailable.
+
+        If the loop thread does not exit within ``connect_timeout``
+        the client logs a warning and marks itself wedged — in a
+        long-lived process a silently leaked loop thread would
+        accumulate; the flag lets owners notice and never reuse the
+        client."""
         with self._lock:
             if self._closed:
                 return
@@ -151,6 +166,15 @@ class ClusterClient:
         except RuntimeError:
             pass  # loop already stopped
         self._thread.join(timeout=self.connect_timeout)
+        if self._thread.is_alive():
+            self._wedged = True
+            log.warning(
+                "cluster client loop thread for %s did not exit within "
+                "%.1fs; leaking the thread and marking the client "
+                "unusable",
+                self.address,
+                self.connect_timeout,
+            )
 
     def __enter__(self) -> "ClusterClient":
         return self

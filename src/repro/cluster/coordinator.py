@@ -258,9 +258,17 @@ class Coordinator:
         )
         for task_id in requeue:
             task = self._tasks.get(task_id)
-            if task is None or task.done:
+            if task is None:
                 continue
             task.assigned.discard(worker.name)
+            if task.done:
+                # Cancelled (or abandoned) while assigned here: the
+                # record only lingered for this assignment, so reap it
+                # once no other worker still runs a copy — otherwise
+                # the entry leaks until the client disconnects.
+                if not task.assigned:
+                    self._tasks.pop(task_id, None)
+                continue
             if task.assigned:
                 continue  # a speculative copy is still running elsewhere
             if task.attempts >= self.max_attempts:

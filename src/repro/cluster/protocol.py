@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import pickle
+import socket
 import struct
 from typing import Any, Dict, Optional, Tuple
 
@@ -141,6 +142,63 @@ async def recv_message(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]
             f"cluster frame is not a typed message: {message!r}"
         )
     return message
+
+
+def send_frame(sock: "socket.socket", message: Dict[str, Any]) -> None:
+    """Blocking-socket twin of :func:`send_message`.
+
+    The tuning service's synchronous :class:`~repro.service.ServiceClient`
+    talks the same frames as the asyncio peers but from a plain
+    ``socket`` — sharing :func:`encode_message` keeps the two sides
+    incapable of drifting apart.
+    """
+    sock.sendall(encode_message(message))
+
+
+def recv_frame(sock: "socket.socket") -> Optional[Dict[str, Any]]:
+    """Blocking-socket twin of :func:`recv_message`.
+
+    Returns ``None`` when the peer closed the connection.
+
+    Raises:
+        ClusterProtocolError: On an oversized or unparseable frame.
+    """
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ClusterProtocolError(
+            f"cluster frame of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit (corrupted stream?)"
+        )
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        return None
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise ClusterProtocolError(f"unparseable cluster frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ClusterProtocolError(
+            f"cluster frame is not a typed message: {message!r}"
+        )
+    return message
+
+
+def _recv_exactly(sock: "socket.socket", count: int) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except (ConnectionError, OSError):
+            return None
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
 
 
 def check_version(message: Dict[str, Any], who: str) -> None:

@@ -43,7 +43,7 @@ import sys
 import tempfile
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.api.config import (
     DEFAULT_CHECKPOINT_EVERY,
@@ -282,6 +282,49 @@ class CheckpointStore:
             os.unlink(self.path_for(identity))
         except OSError:
             return
+
+    def finished_reports(
+        self,
+    ) -> Iterator[Tuple[Dict[str, object], Dict[str, object]]]:
+        """Scan the store for completed sessions.
+
+        Yields ``(identity, report_payload)`` pairs for every complete
+        checkpoint of the current :data:`CHECKPOINT_VERSION` whose
+        execution-model hash still matches the running code — the same
+        staleness rules :meth:`load` applies on the single-identity
+        path, so a consumer can trust every yielded payload to
+        round-trip through
+        :func:`~repro.core.report.report_from_payload`.  Corrupt or
+        partial files are skipped silently; the scan never raises.
+        """
+        if self._directory is None:
+            return
+        model = execution_model_hash()
+        try:
+            names = sorted(os.listdir(self._directory))
+        except OSError:
+            return
+        for name in names:
+            if not name.startswith("tune_") or not name.endswith(".json"):
+                continue
+            try:
+                with open(
+                    os.path.join(self._directory, name), "r", encoding="utf-8"
+                ) as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(entry, dict) or not entry.get("complete"):
+                continue
+            identity = entry.get("identity")
+            report = entry.get("report")
+            if not isinstance(identity, dict) or not isinstance(report, dict):
+                continue
+            if identity.get("version") != CHECKPOINT_VERSION:
+                continue
+            if identity.get("model") != model:
+                continue
+            yield identity, report
 
 
 class TuningDriver:

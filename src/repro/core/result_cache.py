@@ -67,6 +67,7 @@ from repro.api.config import ENV_CACHE_DIR, FALSY_VALUES, env_raw
 CACHE_VERSION = 1
 
 _MODEL_HASH: Optional[str] = None
+_MODEL_HASH_LOCK = threading.Lock()
 
 
 def execution_model_hash() -> str:
@@ -79,9 +80,18 @@ def execution_model_hash() -> str:
     layers plus the selector / configuration semantics).  Editing any
     of them invalidates the cache automatically — no manual
     ``CACHE_VERSION`` bump needed for day-to-day model changes.
+
+    Thread-safe with double-checked locking: the first call walks and
+    hashes the whole source tree, and in a long-lived daemon the first
+    requests arrive concurrently — without the lock each of them would
+    redo the full walk.
     """
     global _MODEL_HASH
-    if _MODEL_HASH is None:
+    if _MODEL_HASH is not None:
+        return _MODEL_HASH
+    with _MODEL_HASH_LOCK:
+        if _MODEL_HASH is not None:
+            return _MODEL_HASH
         import pathlib
 
         import repro
@@ -122,13 +132,21 @@ class CacheStats:
         hits: Entries served from disk.
         misses: Lookups that found no (usable) entry.
         stores: Entries written to disk.
-        invalid: Files that existed but were corrupt or mismatched.
+        invalid: Files that existed but were corrupt (unreadable,
+            unparseable, or structurally not a cache entry).  This is
+            the operator-facing corruption signal — it never counts
+            benign truncated-hash collisions.
+        collisions: Well-formed entries whose stored key differed from
+            the looked-up key (two keys sharing a truncated hash).
+            Counted separately from ``invalid`` because a collision is
+            expected cache behaviour, not corruption.
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     invalid: int = 0
+    collisions: int = 0
 
 
 class ResultCache:
@@ -205,13 +223,20 @@ class ResultCache:
                 self.stats.invalid += 1
                 self.stats.misses += 1
             return None
-        if (
-            not isinstance(entry, dict)
-            or entry.get("key") != key
-            or not isinstance(entry.get("payload"), dict)
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("payload"), dict
         ):
             with self._stats_lock:
                 self.stats.invalid += 1
+                self.stats.misses += 1
+            return None
+        if entry.get("key") != key:
+            # A well-formed entry for a *different* key: two keys share
+            # a truncated hash.  That is a plain miss, not corruption —
+            # counting it under ``invalid`` would mislead operators
+            # watching the corruption signal.
+            with self._stats_lock:
+                self.stats.collisions += 1
                 self.stats.misses += 1
             return None
         with self._stats_lock:

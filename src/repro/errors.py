@@ -75,5 +75,23 @@ class ClusterProtocolError(ClusterError):
     or unparseable frame, version mismatch)."""
 
 
+class ServiceError(TuningError):
+    """A tuning-service (``python -m repro.service``) failure.
+
+    Base class for everything that can go wrong between a
+    :class:`repro.service.ServiceClient` and a tuning daemon."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The tuning daemon cannot be reached (or died mid-request)."""
+
+
+class ServiceRejected(ServiceError):
+    """The daemon refused a request (rate limit, unknown benchmark or
+    machine, unknown job id).  The daemon itself is healthy — retrying
+    the same request later may succeed for rate limits, never for
+    unknown names."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness was invoked with inconsistent parameters."""

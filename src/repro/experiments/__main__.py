@@ -36,6 +36,16 @@ Flags:
     --strategy=<name>             search strategy: ``evolutionary``
                                   (default), ``hillclimb``, ``random``
                                   or ``bandit``.
+    --service-address=<host:port> bind address used by ``python -m
+                                  repro.service`` (and recorded by the
+                                  ``config`` subcommand); defaults to
+                                  ``127.0.0.1:7734``.
+    --service-max-jobs=<n>        admission-control ceiling on jobs
+                                  tuning at once inside the service
+                                  daemon (0 = the tune_many_workers
+                                  pool width).
+    --service-rate-limit=<n>      per-client submissions per minute
+                                  inside the daemon (0 = unlimited).
     --resume                      resume checkpointed tuning sessions
                                   from the cache directory; resumed
                                   reports are byte-identical to
@@ -71,6 +81,9 @@ shows what actually resolved):
     REPRO_CLUSTER_HEARTBEAT_S=<s> cluster worker heartbeat interval.
     REPRO_CLUSTER_TIMEOUT_S=<s>   cluster connect timeout / dead-worker
                                   threshold.
+    REPRO_SERVICE_ADDRESS=<a>     same as --service-address.
+    REPRO_SERVICE_MAX_JOBS=<n>    same as --service-max-jobs.
+    REPRO_SERVICE_RATE_LIMIT=<n>  same as --service-rate-limit.
 """
 
 from __future__ import annotations
@@ -176,6 +189,20 @@ def main(argv: list) -> int:
                 return 2
         elif arg.startswith("--strategy="):
             overrides["strategy"] = arg.split("=", 1)[1]
+        elif arg.startswith("--service-address="):
+            overrides["service_address"] = arg.split("=", 1)[1]
+        elif arg.startswith("--service-max-jobs="):
+            try:
+                overrides["service_max_jobs"] = int(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"invalid {arg}: expected an integer")
+                return 2
+        elif arg.startswith("--service-rate-limit="):
+            try:
+                overrides["service_rate_limit"] = int(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"invalid {arg}: expected an integer")
+                return 2
         elif arg == "--resume":
             overrides["resume"] = True
         elif arg == "--quiet":

@@ -1,0 +1,28 @@
+"""Tuning-as-a-service: a long-lived daemon over the :class:`Session` facade.
+
+The paper's autotuner is a batch tool; the service turns it into the
+ROADMAP's long-running shape — one process that stays warm, serves
+finished configurations from memory in microseconds, and schedules new
+tuning work behind load-aware admission control:
+
+``python -m repro.service``
+    Start the daemon (address/limits from ``TunerConfig``:
+    ``service_address``, ``service_max_jobs``, ``service_rate_limit``,
+    each with ``REPRO_SERVICE_*`` / ``repro.toml`` / CLI spellings).
+
+:class:`ServiceClient`
+    Blocking client: ``submit`` / ``status`` / ``result`` / ``cancel``
+    map onto the daemon's :class:`~repro.api.session.TuningJob`
+    handles; ``lookup`` is the hot read path; ``metrics`` exports the
+    daemon's counters.
+
+Determinism carries over wholesale: a report fetched through the
+daemon is byte-identical to one computed by a local
+:meth:`~repro.api.Session.tune`, so warm answers can be shared across
+clients — and across cache namespaces — by construction.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceHandle, TuningService
+
+__all__ = ["ServiceClient", "ServiceHandle", "TuningService"]

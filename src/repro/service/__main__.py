@@ -1,0 +1,104 @@
+"""Start a tuning daemon from the command line.
+
+Usage::
+
+    python -m repro.service                                # defaults
+    python -m repro.service --address=0.0.0.0:7734
+    python -m repro.service --max-jobs=2 --rate-limit=60
+    python -m repro.service --backend=cluster \\
+        --cluster-address=host:5555      # share one worker fleet
+
+Every knob is a :class:`~repro.api.TunerConfig` field and resolves
+through the usual layering (defaults < ``REPRO_SERVICE_*`` /
+``REPRO_*`` environment < ``repro.toml`` < these flags):
+
+    --address=<host:port>   service_address  (REPRO_SERVICE_ADDRESS;
+                            port 0 binds an ephemeral port)
+    --max-jobs=<n>          service_max_jobs (REPRO_SERVICE_MAX_JOBS;
+                            0 = one per tune_many_workers slot)
+    --rate-limit=<n>        service_rate_limit
+                            (REPRO_SERVICE_RATE_LIMIT; job creations
+                            per client per minute, 0 = unlimited)
+
+plus the shared tuning flags (``--backend``, ``--cluster-address``,
+``--strategy``, ``--cache-dir``, ``--config-file``) — a daemon without
+a cache directory still serves, but its hot index starts empty on
+every boot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import sys
+
+from repro.api.config import TunerConfig
+from repro.errors import ConfigError
+from repro.service.daemon import TuningService
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Long-lived tuning daemon over the Session facade.",
+    )
+    parser.add_argument("--address", help="host:port to listen on")
+    parser.add_argument(
+        "--max-jobs", type=int, help="max concurrently running jobs"
+    )
+    parser.add_argument(
+        "--rate-limit", type=int, help="job creations per client per minute"
+    )
+    parser.add_argument("--backend", help="evaluation backend")
+    parser.add_argument(
+        "--cluster-address", help="coordinator for --backend=cluster"
+    )
+    parser.add_argument("--strategy", help="search strategy")
+    parser.add_argument("--cache-dir", help="cache/checkpoint directory")
+    parser.add_argument("--config-file", help="explicit repro.toml path")
+    parser.add_argument(
+        "--verbose", action="store_true", help="debug-level logging"
+    )
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    overrides = {
+        "service_address": args.address,
+        "service_max_jobs": args.max_jobs,
+        "service_rate_limit": args.rate_limit,
+        "backend": args.backend,
+        "cluster_address": args.cluster_address,
+        "strategy": args.strategy,
+        "cache_dir": args.cache_dir,
+    }
+    overrides = {key: value for key, value in overrides.items() if value is not None}
+    try:
+        config = TunerConfig.resolve(config_file=args.config_file, **overrides)
+    except ConfigError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    service = TuningService(config)
+
+    async def _run() -> None:
+        await service.start()
+        # Flushed promptly so wrappers (CI smoke legs, supervisors)
+        # can scrape the bound address even with port 0.
+        print(f"repro tuning service listening on {service.address}", flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close_sessions()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

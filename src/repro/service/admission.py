@@ -1,0 +1,161 @@
+"""Admission control for the tuning daemon.
+
+Two gates, same shape as a GPU scheduler's "is it safe to start this
+right now?" check:
+
+:class:`AdmissionController`
+    The load gate.  At most ``capacity`` jobs run concurrently — a job
+    is handed to the session pool only when a slot is free, so the
+    pool never queues invisibly and ``metrics`` can report the true
+    queue depth.  Waiting jobs are ordered by ``(-priority, arrival)``:
+    higher priority first, FIFO within a priority.
+
+:class:`RateLimiter`
+    The per-client gate.  A sliding 60-second window caps how many
+    jobs any one client may *create* (submissions and lookup-miss
+    warm-ups); refused requests are rejected immediately rather than
+    queued, so one chatty tenant cannot grow the queue unboundedly for
+    everyone else.
+
+Both classes are called exclusively from the daemon's event-loop
+thread (completions are marshalled onto the loop with
+``call_soon_threadsafe``), so neither needs internal locking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+
+class AdmissionController:
+    """Priority queue plus a concurrency cap.
+
+    Args:
+        capacity: Maximum concurrently running jobs (>= 1).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"admission capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.running = 0
+        self._heap: List[Tuple[int, int, str]] = []
+        self._withdrawn: set = set()
+        self._arrivals = itertools.count()
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting for a slot (withdrawn entries excluded)."""
+        return len(self._heap) - len(self._withdrawn)
+
+    def enqueue(self, job_id: str, priority: int = 0) -> None:
+        """Add a job to the wait queue."""
+        heapq.heappush(self._heap, (-priority, next(self._arrivals), job_id))
+
+    def withdraw(self, job_id: str) -> None:
+        """Remove a queued job (lazy: the heap entry is tombstoned and
+        skipped when it surfaces)."""
+        self._withdrawn.add(job_id)
+
+    def admit(self) -> Optional[str]:
+        """Claim a slot for the best waiting job.
+
+        Returns its job id (the caller must eventually call
+        :meth:`release`), or None when every slot is busy or nothing
+        waits.
+        """
+        if self.running >= self.capacity:
+            return None
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            if job_id in self._withdrawn:
+                self._withdrawn.discard(job_id)
+                continue
+            self.running += 1
+            return job_id
+        return None
+
+    def release(self) -> None:
+        """Return a slot claimed by :meth:`admit`."""
+        assert self.running > 0, "release() without a matching admit()"
+        self.running -= 1
+
+
+class RateLimiter:
+    """Sliding-window per-client limiter.
+
+    Args:
+        limit: Admissions allowed per client per window; <= 0 means
+            unlimited.
+        window_s: Window length in seconds.
+        clock: Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        limit: int,
+        window_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.limit = limit
+        self.window_s = window_s
+        self._clock = clock
+        self._events: Dict[str, Deque[float]] = {}
+        self.rejected = 0
+
+    def allow(self, client: str) -> bool:
+        """Whether this client may create a job right now (and if so,
+        charge the window for it)."""
+        if self.limit <= 0:
+            return True
+        now = self._clock()
+        events = self._events.setdefault(client, deque())
+        horizon = now - self.window_s
+        while events and events[0] <= horizon:
+            events.popleft()
+        if len(events) >= self.limit:
+            self.rejected += 1
+            return False
+        events.append(now)
+        return True
+
+
+class EventRate:
+    """Events-per-second over a sliding window of 1-second buckets.
+
+    Cheap enough to tick from every committed evaluation: one modulo
+    and one add.  Unlike the limiter this *is* ticked from pool
+    threads, so the caller (the daemon) guards it with its own lock.
+    """
+
+    def __init__(
+        self, window_s: int = 60, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.window_s = window_s
+        self._clock = clock
+        self._buckets = [0] * window_s
+        self._stamps = [0] * window_s
+        self.total = 0
+
+    def tick(self, count: int = 1) -> None:
+        second = int(self._clock())
+        slot = second % self.window_s
+        if self._stamps[slot] != second:
+            self._stamps[slot] = second
+            self._buckets[slot] = 0
+        self._buckets[slot] += count
+        self.total += count
+
+    def per_second(self) -> float:
+        second = int(self._clock())
+        horizon = second - self.window_s
+        window_total = sum(
+            count
+            for stamp, count in zip(self._stamps, self._buckets)
+            if stamp > horizon
+        )
+        return window_total / float(self.window_s)

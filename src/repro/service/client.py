@@ -1,0 +1,249 @@
+"""The blocking client for the tuning daemon.
+
+:class:`ServiceClient` opens one TCP connection, performs the
+hello/welcome handshake, and then speaks strictly sequential
+request/response pairs — the synchronous twin of the daemon's asyncio
+side, built on the same frames via
+:func:`repro.cluster.protocol.send_frame` / ``recv_frame``.  A lock
+serialises calls, so one client instance may be shared across threads;
+for concurrent traffic open one client per thread instead (connections
+are cheap and the daemon is built for many).
+
+Usage::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1:7734", namespace="team-a") as client:
+        hit, answer = client.lookup("Strassen", "Desktop")
+        if not hit:                       # answer is the seed config;
+            job_id = client.submit("Strassen", "Desktop")   # warm it
+            report = client.result(job_id)                  # block
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.cluster.protocol import (
+    check_version,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.core.report import TuningReport, report_from_payload
+from repro.errors import (
+    ClusterProtocolError,
+    ServiceError,
+    ServiceRejected,
+    ServiceUnavailable,
+)
+from repro.service import protocol as verbs
+
+
+class ServiceClient:
+    """One connection to a tuning daemon.
+
+    Args:
+        address: Daemon ``host:port``.
+        name: Client name the daemon rate-limits by.
+        namespace: Cache namespace; clients sharing a namespace share
+            job visibility and tenant cache files.  Defaults to the
+            client name.
+        connect_timeout: Seconds for the TCP connect + handshake.
+
+    Raises:
+        ServiceUnavailable: When the daemon cannot be reached.
+        ClusterProtocolError: When the peer talks garbage (e.g. the
+            address points at a cluster coordinator instead).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        name: str = "client",
+        namespace: Optional[str] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.address = address
+        self.name = name
+        self.namespace = namespace if namespace is not None else name
+        self._req_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closed = False
+        host, port = parse_address(address)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"cannot reach tuning service at {address}: {exc}"
+            ) from exc
+        # Requests may legitimately block for minutes (a parked
+        # ``result``); only the handshake gets the short timeout.
+        try:
+            send_frame(self._sock, verbs.hello(self.name, self.namespace))
+            welcome = recv_frame(self._sock)
+        except OSError as exc:
+            self._sock.close()
+            raise ServiceUnavailable(
+                f"tuning service at {address} hung up mid-handshake: {exc}"
+            ) from exc
+        if welcome is None or welcome.get("type") != "welcome":
+            self._sock.close()
+            raise ClusterProtocolError(
+                f"tuning service at {address} did not answer the hello"
+            )
+        check_version(welcome, "tuning service")
+        self.capacity = int(welcome.get("capacity", 0))
+        self._sock.settimeout(None)
+
+    # -- verbs ----------------------------------------------------------
+
+    def submit(
+        self,
+        app: str,
+        machine: str,
+        seed: Optional[int] = None,
+        priority: int = 0,
+    ) -> str:
+        """Enqueue one tuning job; returns its job id immediately.
+
+        Re-submitting an identical live target returns the existing
+        job's id (server-side single-flight).
+
+        Raises:
+            ServiceRejected: On rate limit or unknown app/machine.
+        """
+        response = self._call(
+            {
+                "type": "submit",
+                "app": app,
+                "machine": machine,
+                "seed": seed,
+                "priority": priority,
+            },
+            expect="submitted",
+        )
+        return str(response["job_id"])
+
+    def status(self, job_id: str) -> str:
+        """The job's lifecycle state: ``queued`` / ``running`` /
+        ``done`` / ``failed`` / ``cancelled``."""
+        response = self._call(
+            {"type": "status", "job_id": job_id}, expect="job-status"
+        )
+        return str(response["state"])
+
+    def result(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> TuningReport:
+        """Block until the job finishes and return its report.
+
+        Raises:
+            TimeoutError: When ``timeout`` seconds pass first.
+            ServiceError: When the job failed or was cancelled.
+        """
+        response = self._call(
+            {"type": "result", "job_id": job_id, "timeout": timeout},
+            expect="job-result",
+        )
+        state = response.get("state")
+        if state == verbs.DONE:
+            return report_from_payload(response["report"])
+        if state == verbs.CANCELLED:
+            raise ServiceError(f"job {job_id} was cancelled")
+        raise ServiceError(
+            f"job {job_id} failed: {response.get('message', 'unknown error')}"
+        )
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; True when it was withdrawn in time."""
+        response = self._call(
+            {"type": "cancel", "job_id": job_id}, expect="cancelled"
+        )
+        return bool(response["ok"])
+
+    def lookup(
+        self, app: str, machine: str, size: Optional[int] = None
+    ) -> Tuple[bool, Union[TuningReport, str]]:
+        """The hot read path.
+
+        Returns:
+            ``(True, report)`` on a warm hit — the full deterministic
+            :class:`TuningReport`, served from the daemon's in-memory
+            index without touching the tuning pool; or ``(False,
+            config_json)`` on a miss — the seed configuration to run
+            with right now, while the daemon warms the index in the
+            background (unless this client is rate-limited).
+        """
+        response = self._call(
+            {"type": "lookup", "app": app, "machine": machine, "size": size},
+            expect="config",
+        )
+        if response["hit"]:
+            return True, report_from_payload(response["report"])
+        return False, str(response["config"])
+
+    def metrics(self) -> Dict[str, Any]:
+        """The daemon's counters (queue depth, job states, cache and
+        index stats, evaluations/s)."""
+        response = self._call({"type": "metrics"}, expect="metrics-report")
+        return dict(response["metrics"])
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- plumbing -------------------------------------------------------
+
+    def _call(self, request: Dict[str, Any], expect: str) -> Dict[str, Any]:
+        with self._lock:
+            if self._closed:
+                raise ServiceUnavailable(
+                    f"client for tuning service at {self.address} is closed"
+                )
+            req_id = next(self._req_ids)
+            request = dict(request, req_id=req_id)
+            try:
+                send_frame(self._sock, request)
+                response = recv_frame(self._sock)
+            except OSError as exc:
+                raise ServiceUnavailable(
+                    f"lost connection to tuning service at {self.address}: {exc}"
+                ) from exc
+        if response is None:
+            raise ServiceUnavailable(
+                f"tuning service at {self.address} went away"
+            )
+        if response.get("req_id") != req_id:
+            raise ClusterProtocolError(
+                f"tuning service answered request {response.get('req_id')!r} "
+                f"while {req_id!r} was pending"
+            )
+        kind = response.get("type")
+        if kind == "error":
+            error_kind = response.get("kind")
+            message = str(response.get("message"))
+            if error_kind == verbs.TIMEOUT:
+                raise TimeoutError(message)
+            if error_kind in (verbs.RATE_LIMIT, verbs.BAD_REQUEST, verbs.UNKNOWN_JOB):
+                raise ServiceRejected(message)
+            raise ServiceError(message)
+        if kind != expect:
+            raise ClusterProtocolError(
+                f"tuning service answered {kind!r} where {expect!r} was expected"
+            )
+        return response

@@ -1,0 +1,702 @@
+"""The tuning daemon: an asyncio TCP server over the Session facade.
+
+One :class:`TuningService` owns everything long-lived: per-namespace
+:class:`~repro.api.Session` objects (each bound to its own tenant
+cache directory), the :class:`~repro.service.index.ReportIndex` hot
+read path, and the :class:`~repro.service.admission.AdmissionController`
+that decides when queued jobs may reach a session pool.  The wire
+vocabulary lives in :mod:`repro.service.protocol`; framing is the
+cluster plane's (:mod:`repro.cluster.protocol`).
+
+Threading model — the same event-driven split the cluster coordinator
+uses: every piece of daemon state is owned by the event-loop thread.
+Tuning itself runs on session pool threads; completions are marshalled
+back onto the loop with ``call_soon_threadsafe``.  A client vanishing
+mid-request (crash, SIGKILL) just ends that connection's read loop —
+its submitted jobs keep running and stay fetchable by job id from any
+later connection in the same namespace.
+
+Configuration: ``service_address`` (default ``127.0.0.1:7734``; port 0
+binds an ephemeral port), ``service_max_jobs`` (0 means "as many as
+``tune_many_workers``"; the effective cap never exceeds the pool
+width, so an admitted job always starts immediately) and
+``service_rate_limit`` (job creations per client per minute; 0 means
+unlimited).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.config import DEFAULT_SERVICE_ADDRESS, TunerConfig
+from repro.api.session import Session, TuningJob
+from repro.apps.registry import benchmark
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    check_version,
+    format_address,
+    parse_address,
+    recv_message,
+    send_message,
+    send_nowait,
+)
+from repro.compiler.compile import compile_program
+from repro.core.configuration import default_configuration
+from repro.core.driver import CheckpointStore
+from repro.core.report import report_to_payload
+from repro.errors import ClusterProtocolError, ExperimentError, ServiceError
+from repro.hardware.machines import machine_by_name
+from repro.service import protocol as verbs
+from repro.service.admission import AdmissionController, EventRate, RateLimiter
+from repro.service.index import ReportIndex
+
+log = logging.getLogger(__name__)
+
+#: Tenant directory names: whatever the client sent, reduced to a safe
+#: path component.
+_SAFE_NAMESPACE = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def sanitize_namespace(namespace: str) -> str:
+    """A client-supplied namespace as a safe tenant directory name.
+
+    Separators become underscores and the dots-only names that would
+    escape the tenants directory ("." / "..") collapse to the default,
+    so a hostile namespace can never name a path outside it."""
+    cleaned = _SAFE_NAMESPACE.sub("_", namespace.strip())[:64]
+    if cleaned in ("", ".", ".."):
+        return "default"
+    return cleaned
+
+
+@dataclass
+class ServiceJob:
+    """Daemon-side record of one submitted tuning job."""
+
+    job_id: str
+    namespace: str
+    app: str
+    machine: str
+    seed: int
+    priority: int
+    state: str = verbs.QUEUED
+    tuning_job: Optional[TuningJob] = None
+    report_payload: Optional[Dict[str, object]] = None
+    message: Optional[str] = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+
+class TuningService:
+    """The daemon.  Construct, then :meth:`start` inside a running
+    event loop (or use :meth:`ServiceHandle.start_in_thread` /
+    ``python -m repro.service``).
+
+    Args:
+        config: Resolved knobs; ``None`` resolves the strict layered
+            default.  ``backend="cluster"`` plus ``cluster_address``
+            points every tenant's evaluations at one shared worker
+            fleet.
+        **overrides: Explicit per-field config overrides.
+    """
+
+    def __init__(
+        self, config: Optional[TunerConfig] = None, **overrides: object
+    ) -> None:
+        if config is None:
+            config = TunerConfig.resolve(**overrides)
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self._config = config
+        address = config.service_address or DEFAULT_SERVICE_ADDRESS
+        self.host, self.port = parse_address(address)
+        pool_width = config.tune_many_workers
+        cap = config.service_max_jobs
+        self.capacity = min(cap, pool_width) if cap > 0 else pool_width
+        self._admission = AdmissionController(self.capacity)
+        self._limiter = RateLimiter(config.service_rate_limit)
+        self._index = ReportIndex()
+        self._sessions: Dict[str, Session] = {}
+        self._jobs: Dict[str, ServiceJob] = {}
+        self._dedup: Dict[Tuple[str, str, str, int], str] = {}
+        self._job_ids = 0
+        self._evals = EventRate()
+        self._evals_lock = threading.Lock()
+        self._defaults: Dict[Tuple[str, str], str] = {}
+        self._defaults_lock = threading.Lock()
+        self._misc = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-service-misc"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_at = time.monotonic()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return format_address(self.host, self.port)
+
+    async def start(self) -> None:
+        """Bind the listener and seed the hot index from disk."""
+        self._loop = asyncio.get_running_loop()
+        loaded = await self._loop.run_in_executor(self._misc, self._load_index)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(
+            "tuning service on %s: %d finished reports indexed, "
+            "capacity %d, rate limit %s/min",
+            self.address,
+            loaded,
+            self.capacity,
+            self._config.service_rate_limit or "unlimited",
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and release parked waiters.
+
+        Session pools (and any still-running jobs) are shut down by
+        :meth:`close_sessions`, which blocks and therefore must run
+        off the event loop."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for job in self._jobs.values():
+            job.done_event.set()
+
+    def close_sessions(self) -> None:
+        """Blocking: wait for running jobs and release every pool."""
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
+        self._misc.shutdown(wait=True)
+
+    def _load_index(self) -> int:
+        """Boot scan: the base checkpoint store plus every tenant's."""
+        cache_dir = self._config.cache_dir
+        loaded = self._index.load_store(CheckpointStore.for_cache_dir(cache_dir))
+        if cache_dir is not None:
+            import glob
+            import os
+
+            pattern = os.path.join(cache_dir, "tenants", "*")
+            for tenant_dir in sorted(glob.glob(pattern)):
+                if os.path.isdir(tenant_dir):
+                    loaded += self._index.load_store(
+                        CheckpointStore.for_cache_dir(tenant_dir)
+                    )
+        return loaded
+
+    def _session(self, namespace: str) -> Session:
+        """The (lazily created) Session bound to one tenant namespace.
+
+        Each namespace gets its own cache directory under
+        ``<cache_dir>/tenants/``, so a tenant corrupting (or flooding)
+        its cache can never poison a sibling's; when caching is off
+        entirely, isolation is vacuous and all tenants share the one
+        config."""
+        session = self._sessions.get(namespace)
+        if session is None:
+            cache_dir = self._config.cache_dir
+            if cache_dir is not None:
+                import os
+
+                cache_dir = os.path.join(cache_dir, "tenants", namespace)
+            session = Session(self._config.with_overrides(cache_dir=cache_dir))
+            self._sessions[namespace] = session
+        return session
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await asyncio.wait_for(recv_message(reader), timeout=30.0)
+        except (ClusterProtocolError, asyncio.TimeoutError):
+            writer.close()
+            return
+        if (
+            hello is None
+            or hello.get("type") != "hello"
+            or hello.get("role") != verbs.SERVICE_ROLE
+        ):
+            writer.close()
+            return
+        try:
+            check_version(hello, "service client")
+        except ClusterProtocolError as exc:
+            send_nowait(writer, verbs.error_response(None, verbs.BAD_REQUEST, str(exc)))
+            writer.close()
+            return
+        client = str(hello.get("name") or "anonymous")
+        namespace = sanitize_namespace(str(hello.get("namespace") or client))
+        await send_message(
+            writer,
+            {
+                "type": "welcome",
+                "version": PROTOCOL_VERSION,
+                "capacity": self.capacity,
+            },
+        )
+        try:
+            await self._serve_client(reader, writer, client, namespace)
+        finally:
+            writer.close()
+
+    async def _serve_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        client: str,
+        namespace: str,
+    ) -> None:
+        while True:
+            try:
+                message = await recv_message(reader)
+            except ClusterProtocolError as exc:
+                log.warning("service client %s protocol error: %s", client, exc)
+                return
+            if message is None:
+                return
+            req_id = message.get("req_id")
+            kind = message.get("type")
+            try:
+                if kind == "submit":
+                    response = self._handle_submit(message, client, namespace)
+                elif kind == "status":
+                    response = self._handle_status(message, namespace)
+                elif kind == "result":
+                    response = await self._handle_result(message, namespace)
+                elif kind == "cancel":
+                    response = self._handle_cancel(message, namespace)
+                elif kind == "lookup":
+                    response = await self._handle_lookup(
+                        message, client, namespace
+                    )
+                elif kind == "metrics":
+                    response = {
+                        "type": "metrics-report",
+                        "req_id": req_id,
+                        "metrics": self.metrics_snapshot(),
+                    }
+                else:
+                    response = verbs.error_response(
+                        req_id, verbs.BAD_REQUEST, f"unknown verb {kind!r}"
+                    )
+            except ServiceError as exc:
+                response = verbs.error_response(
+                    req_id, verbs.BAD_REQUEST, str(exc)
+                )
+            except Exception:
+                # One request must never take the daemon (or even the
+                # connection) down with it.
+                log.exception("service request %r failed", kind)
+                response = verbs.error_response(
+                    req_id, verbs.INTERNAL, "internal service error"
+                )
+            send_nowait(writer, response)
+
+    # -- verbs ----------------------------------------------------------
+
+    def _handle_submit(
+        self, message: Dict[str, Any], client: str, namespace: str
+    ) -> Dict[str, Any]:
+        req_id = message.get("req_id")
+        try:
+            app, machine, seed = self._validate_target(message)
+        except ServiceError as exc:
+            return verbs.error_response(req_id, verbs.BAD_REQUEST, str(exc))
+        priority = int(message.get("priority") or 0)
+        job, created = self._submit_job(client, namespace, app, machine, seed, priority)
+        if job is None:
+            return verbs.error_response(
+                req_id,
+                verbs.RATE_LIMIT,
+                f"client {client!r} exceeded "
+                f"{self._limiter.limit} jobs/{self._limiter.window_s:.0f}s",
+            )
+        return {
+            "type": "submitted",
+            "req_id": req_id,
+            "job_id": job.job_id,
+            "state": job.state,
+            "deduplicated": not created,
+        }
+
+    def _handle_status(
+        self, message: Dict[str, Any], namespace: str
+    ) -> Dict[str, Any]:
+        req_id = message.get("req_id")
+        job = self._job_for(message, namespace)
+        if job is None:
+            return verbs.error_response(
+                req_id, verbs.UNKNOWN_JOB, f"unknown job {message.get('job_id')!r}"
+            )
+        return {
+            "type": "job-status",
+            "req_id": req_id,
+            "job_id": job.job_id,
+            "state": job.state,
+        }
+
+    async def _handle_result(
+        self, message: Dict[str, Any], namespace: str
+    ) -> Dict[str, Any]:
+        req_id = message.get("req_id")
+        job = self._job_for(message, namespace)
+        if job is None:
+            return verbs.error_response(
+                req_id, verbs.UNKNOWN_JOB, f"unknown job {message.get('job_id')!r}"
+            )
+        timeout = message.get("timeout")
+        if job.state not in verbs.TERMINAL_STATES:
+            try:
+                await asyncio.wait_for(
+                    job.done_event.wait(),
+                    None if timeout is None else float(timeout),
+                )
+            except asyncio.TimeoutError:
+                return verbs.error_response(
+                    req_id,
+                    verbs.TIMEOUT,
+                    f"job {job.job_id} still {job.state} after {timeout}s",
+                )
+        response: Dict[str, Any] = {
+            "type": "job-result",
+            "req_id": req_id,
+            "job_id": job.job_id,
+            "state": job.state,
+        }
+        if job.report_payload is not None:
+            response["report"] = job.report_payload
+        if job.message is not None:
+            response["message"] = job.message
+        return response
+
+    def _handle_cancel(
+        self, message: Dict[str, Any], namespace: str
+    ) -> Dict[str, Any]:
+        req_id = message.get("req_id")
+        job = self._job_for(message, namespace)
+        if job is None:
+            return verbs.error_response(
+                req_id, verbs.UNKNOWN_JOB, f"unknown job {message.get('job_id')!r}"
+            )
+        ok = False
+        if job.state == verbs.QUEUED:
+            self._admission.withdraw(job.job_id)
+            self._finalize(job, verbs.CANCELLED)
+            ok = True
+        elif job.state == verbs.RUNNING and job.tuning_job is not None:
+            # Almost always refused — an admitted job starts on its
+            # pool immediately — but a pending future can still lose
+            # the race and be cancellable.
+            ok = job.tuning_job.cancel()
+        return {
+            "type": "cancelled",
+            "req_id": req_id,
+            "job_id": job.job_id,
+            "ok": ok,
+            "state": job.state,
+        }
+
+    async def _handle_lookup(
+        self, message: Dict[str, Any], client: str, namespace: str
+    ) -> Dict[str, Any]:
+        req_id = message.get("req_id")
+        try:
+            app, machine, seed = self._validate_target(message)
+        except ServiceError as exc:
+            return verbs.error_response(req_id, verbs.BAD_REQUEST, str(exc))
+        size = message.get("size")
+        if size is None:
+            size = benchmark(app).tuning_size
+        payload = self._index.get(
+            app, machine, self._config.strategy, seed, int(size)
+        )
+        if payload is not None:
+            return {
+                "type": "config",
+                "req_id": req_id,
+                "hit": True,
+                "report": payload,
+            }
+        # Miss: warm the index in the background (subject to this
+        # client's rate limit) and answer immediately with the seed
+        # configuration every tuning session starts from.
+        job, _ = self._submit_job(client, namespace, app, machine, seed, 0)
+        assert self._loop is not None
+        config_json = await self._loop.run_in_executor(
+            self._misc, self._default_config_json, app, machine
+        )
+        return {
+            "type": "config",
+            "req_id": req_id,
+            "hit": False,
+            "config": config_json,
+            "enqueued": job is not None,
+            "job_id": None if job is None else job.job_id,
+        }
+
+    # -- job machinery --------------------------------------------------
+
+    def _validate_target(
+        self, message: Dict[str, Any]
+    ) -> Tuple[str, str, int]:
+        app = str(message.get("app") or "")
+        machine_name = str(message.get("machine") or "")
+        try:
+            benchmark(app)
+        except ExperimentError as exc:
+            raise ServiceError(str(exc)) from None
+        try:
+            spec = machine_by_name(machine_name)
+        except KeyError as exc:
+            raise ServiceError(str(exc.args[0])) from None
+        seed = message.get("seed")
+        seed = self._config.seed if seed is None else int(seed)
+        return app, spec.codename, seed
+
+    def _job_for(
+        self, message: Dict[str, Any], namespace: str
+    ) -> Optional[ServiceJob]:
+        job = self._jobs.get(str(message.get("job_id")))
+        if job is None or job.namespace != namespace:
+            return None
+        return job
+
+    def _submit_job(
+        self,
+        client: str,
+        namespace: str,
+        app: str,
+        machine: str,
+        seed: int,
+        priority: int,
+    ) -> Tuple[Optional[ServiceJob], bool]:
+        """Create (or dedup onto) a job; None means rate-limited."""
+        dedup_key = (namespace, app, machine, seed)
+        existing_id = self._dedup.get(dedup_key)
+        if existing_id is not None:
+            existing = self._jobs[existing_id]
+            # Single-flight per (namespace, target): re-submitting an
+            # identical live or finished job returns the same handle;
+            # only cancelled/failed jobs may be retried as new ones.
+            if existing.state not in (verbs.CANCELLED, verbs.FAILED):
+                return existing, False
+        if not self._limiter.allow(client):
+            return None, False
+        self._job_ids += 1
+        job = ServiceJob(
+            job_id=f"job-{self._job_ids}",
+            namespace=namespace,
+            app=app,
+            machine=machine,
+            seed=seed,
+            priority=priority,
+        )
+        self._jobs[job.job_id] = job
+        self._dedup[dedup_key] = job.job_id
+        self._admission.enqueue(job.job_id, priority)
+        self._pump()
+        return job, True
+
+    def _pump(self) -> None:
+        """Start queued jobs while slots are free (event-loop thread)."""
+        while True:
+            job_id = self._admission.admit()
+            if job_id is None:
+                return
+            job = self._jobs[job_id]
+            try:
+                self._start_job(job)
+            except Exception as exc:  # registry/compile errors surface here
+                log.exception("failed to start job %s", job.job_id)
+                self._admission.release()
+                job.message = str(exc)
+                self._finalize(job, verbs.FAILED)
+
+    def _start_job(self, job: ServiceJob) -> None:
+        session = self._session(job.namespace)
+        job.state = verbs.RUNNING
+        job.tuning_job = session.submit(
+            job.app, job.machine, seed=job.seed, on_candidate=self._on_candidate
+        )
+        job.tuning_job.add_done_callback(
+            lambda tj, job=job: self._job_done(job, tj)
+        )
+
+    def _job_done(self, job: ServiceJob, tuning_job: TuningJob) -> None:
+        """Pool-thread side of completion: extract the result, then
+        marshal the state change onto the event loop."""
+        state = verbs.DONE
+        payload: Optional[Dict[str, object]] = None
+        message: Optional[str] = None
+        try:
+            payload = report_to_payload(tuning_job.report())
+        except Exception as exc:
+            cancelled = tuning_job.status().value == verbs.CANCELLED
+            state = verbs.CANCELLED if cancelled else verbs.FAILED
+            message = None if cancelled else str(exc)
+        if payload is not None:
+            self._index.put(
+                job.app,
+                job.machine,
+                self._config.strategy,
+                job.seed,
+                payload["sizes"][-1],  # type: ignore[index]
+                payload,
+            )
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(
+            self._job_settled, job, state, payload, message
+        )
+
+    def _job_settled(
+        self,
+        job: ServiceJob,
+        state: str,
+        payload: Optional[Dict[str, object]],
+        message: Optional[str],
+    ) -> None:
+        self._admission.release()
+        job.report_payload = payload
+        job.message = message
+        self._finalize(job, state)
+        self._pump()
+
+    def _finalize(self, job: ServiceJob, state: str) -> None:
+        job.state = state
+        job.done_event.set()
+
+    def _on_candidate(self, _event: object) -> None:
+        with self._evals_lock:
+            self._evals.tick()
+
+    def _default_config_json(self, app: str, machine: str) -> str:
+        """The seed configuration for one (app, machine), memoised —
+        runs on the misc executor, never the event loop."""
+        key = (app, machine)
+        with self._defaults_lock:
+            cached = self._defaults.get(key)
+        if cached is not None:
+            return cached
+        spec = benchmark(app)
+        compiled = compile_program(
+            spec.build_program(), machine_by_name(machine)
+        )
+        config_json = default_configuration(
+            compiled.training_info, label=f"{machine} default"
+        ).to_json()
+        with self._defaults_lock:
+            self._defaults[key] = config_json
+        return config_json
+
+    # -- metrics --------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Everything the ``metrics`` verb exports, as one JSON-safe dict."""
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        caches: Dict[str, Dict[str, int]] = {}
+        for namespace, session in self._sessions.items():
+            stats = session.result_cache.stats
+            caches[namespace] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "invalid": stats.invalid,
+                "collisions": stats.collisions,
+            }
+        with self._evals_lock:
+            evaluations = self._evals.total
+            evaluations_per_s = self._evals.per_second()
+        return {
+            "uptime_s": time.monotonic() - self._started_at,
+            "capacity": self.capacity,
+            "queue_depth": self._admission.depth,
+            "running": self._admission.running,
+            "jobs": states,
+            "index": self._index.stats(),
+            "caches": caches,
+            "evaluations": evaluations,
+            "evaluations_per_s": evaluations_per_s,
+            "rate_limited": self._limiter.rejected,
+        }
+
+
+class ServiceHandle:
+    """A daemon running its own event loop on a background thread.
+
+    The in-process twin of ``python -m repro.service`` — what tests
+    and notebooks use.  Context-manageable; :meth:`stop` waits for
+    running jobs."""
+
+    def __init__(self, service: TuningService) -> None:
+        self.service = service
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+        failure: List[BaseException] = []
+
+        def _run() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(service.start())
+            except BaseException as exc:  # surface bind errors to the caller
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=30.0):
+            raise ServiceError("tuning service failed to start")
+        if failure:
+            raise ServiceError(
+                f"tuning service failed to start: {failure[0]}"
+            ) from failure[0]
+
+    @staticmethod
+    def start_in_thread(
+        config: Optional[TunerConfig] = None, **overrides: object
+    ) -> "ServiceHandle":
+        return ServiceHandle(TuningService(config, **overrides))
+
+    @property
+    def address(self) -> str:
+        return self.service.address
+
+    def stop(self) -> None:
+        if not self._loop.is_closed():
+            asyncio.run_coroutine_threadsafe(
+                self.service.stop(), self._loop
+            ).result(timeout=10.0)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop.close()
+        self.service.close_sessions()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

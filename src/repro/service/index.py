@@ -1,0 +1,120 @@
+"""The daemon's hot read path: an in-memory index of finished reports.
+
+A warm ``lookup`` must answer in microseconds without touching the
+tuning pool, so finished :class:`~repro.core.report.TuningReport`
+payloads live in one flat dict keyed by what a client can name —
+``(app, machine, strategy, seed, size)`` — rather than the checkpoint
+store's full identity hash.  The index is seeded at daemon boot from
+the checkpoint store's finished-report files
+(:meth:`~repro.core.driver.CheckpointStore.finished_reports`) and
+updated in memory whenever a service job completes.
+
+Sharing one index across client namespaces is safe by construction:
+reports are deterministic (bit-identical for the same key no matter
+which backend, worker count or tenant produced them), so a hit can
+never leak tenant-specific state — only the answer every tenant would
+have computed anyway.
+
+Checkpoint identities key on *program* names, which differ from the
+registry's Figure 8 labels for some benchmarks; loading resolves them
+through :func:`~repro.apps.registry.benchmark_for_program` and skips
+non-registry programs (the service only speaks registry names).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.apps.registry import benchmark_for_program
+from repro.core.driver import CheckpointStore
+
+#: ``(app, machine codename, strategy, seed, final size)``.
+IndexKey = Tuple[str, str, str, int, int]
+
+
+class ReportIndex:
+    """Thread-safe map from lookup keys to finished report payloads.
+
+    Reads and writes come from the daemon's event loop *and* from pool
+    threads finishing jobs, so a lock guards the dict; a lookup is
+    still just one dict probe under an uncontended mutex.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[IndexKey, Dict[str, object]] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(
+        self, app: str, machine: str, strategy: str, seed: int, size: int
+    ) -> Optional[Dict[str, object]]:
+        """The finished report payload for this key, or None."""
+        key = (app, machine, strategy, int(seed), int(size))
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return payload
+
+    def put(
+        self,
+        app: str,
+        machine: str,
+        strategy: str,
+        seed: int,
+        size: int,
+        report_payload: Dict[str, object],
+    ) -> None:
+        """Record one finished report (last writer wins; determinism
+        makes every writer's value identical for the same key)."""
+        key = (app, machine, strategy, int(seed), int(size))
+        with self._lock:
+            self._entries[key] = dict(report_payload)
+
+    def load_store(self, store: CheckpointStore) -> int:
+        """Seed the index from a checkpoint store's finished sessions.
+
+        Returns the number of entries loaded.  Identities whose
+        program is not a registered benchmark, or whose shape predates
+        the current checkpoint layout, are skipped silently.
+        """
+        loaded = 0
+        for identity, report in store.finished_reports():
+            spec = benchmark_for_program(str(identity.get("program", "")))
+            if spec is None:
+                continue
+            sizes = identity.get("sizes")
+            if not isinstance(sizes, list) or not sizes:
+                continue
+            try:
+                seed = int(identity["seed"])  # type: ignore[arg-type]
+                size = int(sizes[-1])
+            except (KeyError, TypeError, ValueError):
+                continue
+            self.put(
+                spec.name,
+                str(identity.get("machine", "")),
+                str(identity.get("strategy", "")),
+                seed,
+                size,
+                report,
+            )
+            loaded += 1
+        return loaded
+
+    def stats(self) -> Dict[str, int]:
+        """Lookup counters for the ``metrics`` verb."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+            }

@@ -1,0 +1,98 @@
+"""Verb vocabulary of the tuning service.
+
+The service reuses the cluster plane's framing
+(:mod:`repro.cluster.protocol`: 4-byte length prefix + pickled dict,
+same :data:`~repro.cluster.protocol.PROTOCOL_VERSION` handshake) and
+adds its own message vocabulary on top.  Every request carries a
+client-chosen ``req_id`` which the daemon echoes on the response, so a
+client may pipeline requests on one connection and still correlate
+answers.
+
+Message vocabulary:
+
+=========== =========== ==================================================
+type        direction   fields
+=========== =========== ==================================================
+hello       cli → dmn   ``role`` ("service-client"), ``version``,
+                        ``name``, ``namespace``
+welcome     dmn → cli   ``version``, ``capacity``
+submit      cli → dmn   ``req_id``, ``app``, ``machine``, ``seed``
+                        (optional), ``priority`` (optional, higher
+                        starts sooner)
+submitted   dmn → cli   ``req_id``, ``job_id``, ``state``
+status      cli → dmn   ``req_id``, ``job_id``
+job-status  dmn → cli   ``req_id``, ``job_id``, ``state``
+result      cli → dmn   ``req_id``, ``job_id``, ``timeout`` (optional
+                        seconds; parks the request server-side until
+                        the job finishes)
+job-result  dmn → cli   ``req_id``, ``job_id``, ``state``, ``report``
+                        (payload, terminal success only), ``message``
+                        (failure reason, terminal failure only)
+cancel      cli → dmn   ``req_id``, ``job_id``
+cancelled   dmn → cli   ``req_id``, ``job_id``, ``ok``, ``state``
+lookup      cli → dmn   ``req_id``, ``app``, ``machine``, ``size``
+                        (optional; defaults to the registry tuning
+                        size)
+config      dmn → cli   ``req_id``, ``hit``; on a hit: ``report``
+                        (payload); on a miss: ``config`` (default
+                        configuration JSON), ``job_id`` (the enqueued
+                        warming job, absent when rate-limited),
+                        ``enqueued``
+metrics     cli → dmn   ``req_id``
+metrics-    dmn → cli   ``req_id``, ``metrics`` (one JSON-safe dict,
+report                  see :meth:`TuningService.metrics_snapshot`)
+error       dmn → cli   ``req_id``, ``kind``, ``message``
+=========== =========== ==================================================
+
+Error ``kind`` values: ``bad-request`` (malformed verb, unknown
+benchmark/machine), ``rate-limit`` (per-client admission refused),
+``unknown-job`` (job id not found in the caller's namespace),
+``timeout`` (a ``result`` wait expired), ``internal`` (daemon-side
+bug; the daemon stays up).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.cluster.protocol import PROTOCOL_VERSION
+
+#: The role a service client announces in its hello (distinct from the
+#: cluster plane's "worker"/"client" so a service client that dials a
+#: cluster coordinator by mistake is refused instead of mis-served).
+SERVICE_ROLE = "service-client"
+
+#: Job lifecycle states as spelled on the wire (mirrors
+#: :class:`repro.api.session.JobStatus` plus the daemon-side "queued"
+#: state that exists before a job reaches the session pool).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States from which a job can never move again.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Error kinds (see module docstring).
+BAD_REQUEST = "bad-request"
+RATE_LIMIT = "rate-limit"
+UNKNOWN_JOB = "unknown-job"
+TIMEOUT = "timeout"
+INTERNAL = "internal"
+
+
+def hello(name: str, namespace: str) -> Dict[str, Any]:
+    """The client side of the handshake."""
+    return {
+        "type": "hello",
+        "role": SERVICE_ROLE,
+        "version": PROTOCOL_VERSION,
+        "name": name,
+        "namespace": namespace,
+    }
+
+
+def error_response(req_id: Any, kind: str, message: str) -> Dict[str, Any]:
+    """One error frame, ``req_id`` echoed for correlation."""
+    return {"type": "error", "req_id": req_id, "kind": kind, "message": message}

@@ -338,4 +338,7 @@ class TestDerivedViews:
             "cluster_workers",
             "cluster_heartbeat_s",
             "cluster_timeout_s",
+            "service_address",
+            "service_max_jobs",
+            "service_rate_limit",
         ]

@@ -177,3 +177,155 @@ class TestBatch:
         session = Session(backend="serial", workers=1, progress=False)
         assert session.config.backend == "serial"
         assert session.config.is_explicit("backend")
+
+
+def _fake_tuned(app: str, codename: str, seed: int) -> object:
+    """A stand-in TunedSession: a real report, no tuning."""
+    from types import SimpleNamespace
+
+    from repro.core.configuration import Configuration
+    from repro.core.report import TuningReport
+
+    return SimpleNamespace(
+        report=TuningReport(
+            best=Configuration(program_name=app, label=f"{codename} Config"),
+            best_time_s=1.0,
+            tuning_time_s=2.0,
+            evaluations=1,
+            sizes=[16],
+            history=[1.0],
+            computed_evaluations=1,
+            seed=seed,
+        )
+    )
+
+
+class TestConcurrentLifecycle:
+    """Long-lived-process hygiene: submit/cancel/close racing each
+    other must never leak a bare RuntimeError or corrupt the session's
+    bookkeeping.  The tuning itself is faked out (instant or gated), so
+    these loops hammer the lifecycle paths, not the engine."""
+
+    def test_submit_vs_close_races_surface_only_tuning_error(self, monkeypatch):
+        """The closed-check in _pool() and the executor's own shutdown
+        flag race a concurrent close(); the loser must see the same
+        TuningError an ordinary submit-after-close sees, never the
+        executor's bare RuntimeError."""
+        monkeypatch.setattr(
+            "repro.experiments.runner.session_for",
+            lambda app, machine, seed, config, **kwargs: _fake_tuned(
+                app, machine.codename, seed
+            ),
+        )
+        unexpected = []
+        for _ in range(30):
+            session = _session(tune_many_workers=2)
+            barrier = threading.Barrier(3)
+
+            def _submitter():
+                barrier.wait()
+                try:
+                    session.submit(APP, DESKTOP)
+                except TuningError:
+                    pass  # lost the race to close(): the designed outcome
+                except BaseException as exc:  # pragma: no cover - the bug
+                    unexpected.append(exc)
+
+            threads = [threading.Thread(target=_submitter) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            session.close()
+            for thread in threads:
+                thread.join()
+        assert unexpected == []
+
+    def test_pending_vs_running_cancel_races(self, monkeypatch):
+        """With one pool slot, one job runs and the rest are pending;
+        concurrent cancels must land in exactly one consistent state
+        per job: cancelled jobs never produce a result, uncancellable
+        jobs always do."""
+        gate = threading.Event()
+
+        def _gated(app, machine, seed, config, **kwargs):
+            assert gate.wait(timeout=30.0)
+            return _fake_tuned(app, machine.codename, seed)
+
+        monkeypatch.setattr("repro.experiments.runner.session_for", _gated)
+        session = _session(tune_many_workers=1)
+        try:
+            jobs = [session.submit(APP, DESKTOP) for _ in range(6)]
+            outcomes = [None] * len(jobs)
+
+            def _cancel(index):
+                outcomes[index] = jobs[index].cancel()
+
+            threads = [
+                threading.Thread(target=_cancel, args=(i,))
+                for i in range(len(jobs))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            gate.set()
+            for job, cancelled in zip(jobs, outcomes):
+                if cancelled:
+                    assert job.status() is JobStatus.CANCELLED
+                    with pytest.raises(Exception):
+                        job.result(timeout=10)
+                else:
+                    assert job.result(timeout=30).report is not None
+                    assert job.status() is JobStatus.DONE
+            # At most one job (the running one) was uncancellable; with
+            # one slot the pending five always cancel cleanly.
+            assert outcomes.count(False) <= 1
+        finally:
+            gate.set()
+            session.close()
+
+    def test_jobs_snapshot_is_consistent_under_concurrent_submit(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.experiments.runner.session_for",
+            lambda app, machine, seed, config, **kwargs: _fake_tuned(
+                app, machine.codename, seed
+            ),
+        )
+        session = _session(tune_many_workers=4)
+        per_thread = 25
+        try:
+
+            def _spam():
+                for _ in range(per_thread):
+                    session.submit(APP, DESKTOP)
+
+            threads = [threading.Thread(target=_spam) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            jobs = session.jobs
+            assert len(jobs) == 4 * per_thread
+            assert len({id(job) for job in jobs}) == len(jobs)
+            for job in jobs:
+                job.result(timeout=30)
+        finally:
+            session.close()
+
+    def test_add_done_callback_fires_once_per_job(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.runner.session_for",
+            lambda app, machine, seed, config, **kwargs: _fake_tuned(
+                app, machine.codename, seed
+            ),
+        )
+        seen = []
+        with _session(tune_many_workers=2) as session:
+            jobs = [session.submit(APP, DESKTOP) for _ in range(5)]
+            for job in jobs:
+                job.add_done_callback(seen.append)
+            for job in jobs:
+                job.result(timeout=30)
+        assert sorted(map(id, seen)) == sorted(map(id, jobs))

@@ -211,3 +211,130 @@ class TestCommandLine:
 
         with pytest.raises(SystemExit):
             _build_parser().parse_args(["worker"])
+
+
+class TestLongLivedProcessHygiene:
+    """Regression tests for leaks that only matter in a daemon."""
+
+    def test_close_with_wedged_loop_thread_warns_and_marks_unusable(
+        self, caplog
+    ):
+        """A loop thread that never exits must not leak silently:
+        close() logs a warning and flips ``wedged`` so a long-lived
+        owner can notice and discard the client."""
+        import logging
+
+        with LocalCluster(workers=1, handler=echo) as fleet:
+            client = ClusterClient(fleet.address, connect_timeout=0.5)
+            # Simulate a wedged loop thread: swap in a thread that
+            # outlives any join timeout.
+            parked = threading.Event()
+            wedged = threading.Thread(
+                target=parked.wait, name="wedged-loop", daemon=True
+            )
+            wedged.start()
+            real_thread = client._thread
+            client._thread = wedged
+            try:
+                with caplog.at_level(logging.WARNING, logger="repro.cluster.client"):
+                    client.close()
+                assert client.wedged
+                assert any(
+                    "did not exit" in record.message for record in caplog.records
+                )
+                # Unusable: submits fail fast instead of queueing.
+                with pytest.raises(ClusterUnavailable):
+                    raise client.submit("x").exception()
+            finally:
+                parked.set()
+                real_thread.join(timeout=10)
+
+    def test_clean_close_is_not_wedged(self):
+        with LocalCluster(workers=1, handler=echo) as fleet:
+            client = ClusterClient(fleet.address)
+            client.close()
+            assert not client.wedged
+
+    def test_cancelled_task_record_reaped_when_its_worker_dies(self):
+        """A task cancelled while assigned, whose worker then dies,
+        must be popped from the coordinator's task table during the
+        worker-drop requeue — not leak until the client disconnects."""
+        import asyncio
+
+        from repro.cluster.coordinator import Coordinator, _Client, _Task, _Worker
+
+        class FakeWriter:
+            def is_closing(self):
+                return False
+
+            def write(self, data):
+                pass
+
+            def close(self):
+                pass
+
+        loop = asyncio.new_event_loop()
+        try:
+            coordinator = Coordinator()
+            coordinator._loop = loop
+            client = _Client("client-1", FakeWriter())
+            coordinator._clients[client.name] = client
+            worker = _Worker("worker-1", FakeWriter(), slots=1)
+            coordinator._workers[worker.name] = worker
+
+            coordinator._submit(client, "7", request="payload")
+            scoped = "client-1/7"
+            assert worker.inflight == {scoped}  # dispatched immediately
+            coordinator._cancel(client, "7")
+            task = coordinator._tasks[scoped]
+            assert task.done and task.assigned == {"worker-1"}
+
+            coordinator._drop_worker(worker)
+            assert scoped not in coordinator._tasks
+            assert not coordinator._queue
+        finally:
+            loop.close()
+
+    def test_speculative_copy_keeps_cancelled_record_until_last_worker(self):
+        """With a duplicate still running elsewhere, dropping one
+        worker must keep the done record (the other worker's finish
+        reaps it) — then dropping the second worker reaps it."""
+        import asyncio
+
+        from repro.cluster.coordinator import Coordinator, _Client, _Worker
+
+        class FakeWriter:
+            def is_closing(self):
+                return False
+
+            def write(self, data):
+                pass
+
+            def close(self):
+                pass
+
+        loop = asyncio.new_event_loop()
+        try:
+            coordinator = Coordinator()
+            coordinator._loop = loop
+            client = _Client("client-1", FakeWriter())
+            coordinator._clients[client.name] = client
+            first = _Worker("worker-1", FakeWriter(), slots=1)
+            second = _Worker("worker-2", FakeWriter(), slots=1)
+            coordinator._workers[first.name] = first
+
+            coordinator._submit(client, "9", request="payload")
+            scoped = "client-1/9"
+            task = coordinator._tasks[scoped]
+            # Speculatively duplicate onto the second worker by hand.
+            coordinator._workers[second.name] = second
+            coordinator._assign(task, second)
+            coordinator._cancel(client, "9")
+            assert task.done and task.assigned == {"worker-1", "worker-2"}
+
+            coordinator._drop_worker(first)
+            assert scoped in coordinator._tasks  # copy still running
+            coordinator._drop_worker(second)
+            assert scoped not in coordinator._tasks
+        finally:
+            loop.close()

@@ -92,7 +92,6 @@ class TestCorruption:
             b"",  # empty file (interrupted write)
             b"{\"key\": ",  # truncated JSON
             b"\x00\xff\x13 not json at all",
-            json.dumps({"key": "wrong", "payload": {}}).encode(),
             json.dumps({"key": None}).encode(),
             json.dumps([1, 2, 3]).encode(),
         ],
@@ -116,6 +115,32 @@ class TestCorruption:
         assert fresh.computed_evaluations == 1  # recomputed
         if garbage:
             assert fresh.result_cache.stats.invalid >= 1
+            assert fresh.result_cache.stats.collisions == 0
+
+    def test_truncated_hash_collision_is_a_miss_not_invalid(
+        self, compiled_stencil, tmp_path
+    ):
+        """A well-formed entry whose stored key differs (two keys
+        sharing a truncated file hash) must count under ``collisions``
+        + ``misses`` — never ``invalid``, which operators watch as a
+        corruption signal."""
+        cache = ResultCache(str(tmp_path))
+        evaluator = fresh_evaluator(compiled_stencil, cache)
+        config = default_configuration(compiled_stencil.training_info)
+        evaluator.evaluate(config, 128)
+
+        path = self._entry_path(evaluator, config, 128)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"key": {"other": "key"}, "payload": {"time_s": 1.0}}, handle)
+
+        fresh_cache = ResultCache(str(tmp_path))
+        fresh = fresh_evaluator(compiled_stencil, fresh_cache)
+        evaluation = fresh.evaluate(config, 128)  # recomputes, no crash
+        assert evaluation.time_s > 0
+        assert fresh.computed_evaluations == 1
+        assert fresh_cache.stats.collisions == 1
+        assert fresh_cache.stats.misses >= 1
+        assert fresh_cache.stats.invalid == 0
 
     def test_bad_payload_fields_force_recompute(self, compiled_stencil, tmp_path):
         cache = ResultCache(str(tmp_path))
@@ -377,3 +402,50 @@ class TestConcurrency:
         assert results == [None] * 8
         assert cache.stats.invalid == 8
         assert cache.stats.misses == 8
+
+
+class TestModelHashConcurrency:
+    def test_concurrent_first_calls_hash_the_tree_once(self, monkeypatch):
+        """Concurrent first requests in a long-lived daemon must not
+        each walk and hash the whole source tree: the double-checked
+        lock lets exactly one thread compute while the rest wait."""
+        import hashlib
+        import threading
+
+        from repro.core import result_cache as module
+
+        original = module._MODEL_HASH
+        monkeypatch.setattr(module, "_MODEL_HASH", None)
+        computations = []
+        real_sha256 = hashlib.sha256
+
+        def counting_sha256(*args, **kwargs):
+            computations.append(threading.current_thread().name)
+            return real_sha256(*args, **kwargs)
+
+        monkeypatch.setattr(module.hashlib, "sha256", counting_sha256)
+        barrier = threading.Barrier(8)
+        results = []
+        results_lock = threading.Lock()
+
+        def worker():
+            barrier.wait(timeout=30)
+            value = module.execution_model_hash()
+            with results_lock:
+                results.append(value)
+
+        threads = [
+            threading.Thread(target=worker, name=f"hash-{i}") for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert len(results) == 8
+        assert len(set(results)) == 1
+        # One digest per tree walk: exactly one thread did the work.
+        assert len(computations) == 1
+        if original is not None:
+            assert results[0] == original
+        monkeypatch.setattr(module, "_MODEL_HASH", original)

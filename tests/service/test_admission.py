@@ -1,0 +1,113 @@
+"""Admission control primitives: load gate, rate limiter, event rate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.admission import AdmissionController, EventRate, RateLimiter
+
+
+class TestAdmissionController:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+    def test_admits_up_to_capacity_then_queues(self):
+        gate = AdmissionController(2)
+        for job in ("a", "b", "c"):
+            gate.enqueue(job)
+        assert gate.admit() == "a"
+        assert gate.admit() == "b"
+        assert gate.admit() is None  # both slots busy
+        assert gate.depth == 1
+        gate.release()
+        assert gate.admit() == "c"
+        assert gate.depth == 0
+
+    def test_priority_beats_arrival_order(self):
+        gate = AdmissionController(1)
+        gate.enqueue("low", priority=0)
+        gate.enqueue("high", priority=5)
+        gate.enqueue("mid", priority=2)
+        order = []
+        while True:
+            job = gate.admit()
+            if job is None:
+                break
+            order.append(job)
+            gate.release()
+        assert order == ["high", "mid", "low"]
+
+    def test_fifo_within_a_priority(self):
+        gate = AdmissionController(1)
+        for job in ("first", "second", "third"):
+            gate.enqueue(job, priority=1)
+        assert gate.admit() == "first"
+        gate.release()
+        assert gate.admit() == "second"
+
+    def test_withdrawn_jobs_are_skipped_and_leave_the_depth(self):
+        gate = AdmissionController(1)
+        gate.enqueue("doomed")
+        gate.enqueue("kept")
+        gate.withdraw("doomed")
+        assert gate.depth == 1
+        assert gate.admit() == "kept"
+        gate.release()
+        assert gate.admit() is None
+
+    def test_release_without_admit_asserts(self):
+        gate = AdmissionController(1)
+        with pytest.raises(AssertionError):
+            gate.release()
+
+
+class TestRateLimiter:
+    def test_zero_limit_means_unlimited(self):
+        limiter = RateLimiter(0)
+        assert all(limiter.allow("c") for _ in range(1000))
+        assert limiter.rejected == 0
+
+    def test_window_caps_and_then_slides(self):
+        clock = [0.0]
+        limiter = RateLimiter(2, window_s=60.0, clock=lambda: clock[0])
+        assert limiter.allow("c")
+        assert limiter.allow("c")
+        assert not limiter.allow("c")
+        assert limiter.rejected == 1
+        clock[0] = 61.0  # the first two admissions age out
+        assert limiter.allow("c")
+
+    def test_clients_are_limited_independently(self):
+        clock = [0.0]
+        limiter = RateLimiter(1, clock=lambda: clock[0])
+        assert limiter.allow("alice")
+        assert limiter.allow("bob")
+        assert not limiter.allow("alice")
+        assert not limiter.allow("bob")
+
+
+class TestEventRate:
+    def test_rate_over_the_window(self):
+        clock = [100.0]
+        rate = EventRate(window_s=10, clock=lambda: clock[0])
+        for _ in range(20):
+            rate.tick()
+        assert rate.total == 20
+        assert rate.per_second() == pytest.approx(2.0)
+
+    def test_old_buckets_age_out(self):
+        clock = [100.0]
+        rate = EventRate(window_s=10, clock=lambda: clock[0])
+        rate.tick(10)
+        clock[0] = 150.0  # far past the window
+        assert rate.per_second() == 0.0
+        assert rate.total == 10  # the lifetime counter never decays
+
+    def test_bucket_reuse_resets_stale_counts(self):
+        clock = [100.0]
+        rate = EventRate(window_s=10, clock=lambda: clock[0])
+        rate.tick(5)
+        clock[0] = 110.0  # same slot (110 % 10 == 100 % 10), new second
+        rate.tick(1)
+        assert rate.per_second() == pytest.approx(0.1)

@@ -1,0 +1,153 @@
+"""The hot read path's in-memory index and its checkpoint-store boot scan."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.driver import CHECKPOINT_VERSION, CheckpointStore
+from repro.core.result_cache import execution_model_hash
+from repro.service.index import ReportIndex
+
+#: A registry program whose program name equals its Figure 8 label.
+APP = "Strassen"
+MACHINE = "Desktop"
+
+
+def _report_payload(best_time: float = 0.5) -> dict:
+    return {
+        "best": json.dumps(
+            {
+                "label": "x",
+                "program": APP,
+                "selectors": {},
+                "tunables": {},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ),
+        "best_time_s": best_time,
+        "tuning_time_s": 1.0,
+        "evaluations": 3,
+        "sizes": [16, 64],
+        "history": [1.0, 0.5],
+        "computed_evaluations": 3,
+        "strategy": "evolutionary",
+        "seed": 7,
+    }
+
+
+def _identity(**overrides) -> dict:
+    identity = {
+        "version": CHECKPOINT_VERSION,
+        "model": execution_model_hash(),
+        "program": APP,
+        "machine": MACHINE,
+        "fingerprint": "fp",
+        "env": "env",
+        "accuracy": None,
+        "strategy": "evolutionary",
+        "seed": 7,
+        "sizes": [16, 64],
+        "generations": 3,
+        "population_size": 8,
+    }
+    identity.update(overrides)
+    return identity
+
+
+class TestReportIndex:
+    def test_get_put_roundtrip_and_counters(self):
+        index = ReportIndex()
+        assert index.get(APP, MACHINE, "evolutionary", 7, 64) is None
+        index.put(APP, MACHINE, "evolutionary", 7, 64, _report_payload())
+        hit = index.get(APP, MACHINE, "evolutionary", 7, 64)
+        assert hit is not None and hit["best_time_s"] == 0.5
+        stats = index.stats()
+        assert stats == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_every_key_component_discriminates(self):
+        index = ReportIndex()
+        index.put(APP, MACHINE, "evolutionary", 7, 64, _report_payload())
+        assert index.get(APP, "Server", "evolutionary", 7, 64) is None
+        assert index.get(APP, MACHINE, "hillclimb", 7, 64) is None
+        assert index.get(APP, MACHINE, "evolutionary", 8, 64) is None
+        assert index.get(APP, MACHINE, "evolutionary", 7, 16) is None
+
+    def test_put_copies_the_payload(self):
+        index = ReportIndex()
+        payload = _report_payload()
+        index.put(APP, MACHINE, "evolutionary", 7, 64, payload)
+        payload["best_time_s"] = 999.0
+        assert index.get(APP, MACHINE, "evolutionary", 7, 64)["best_time_s"] == 0.5
+
+
+class TestBootScan:
+    def test_loads_complete_checkpoints(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        identity = _identity()
+        store.save(identity, {"complete": True, "report": _report_payload()})
+        index = ReportIndex()
+        assert index.load_store(store) == 1
+        assert index.get(APP, MACHINE, "evolutionary", 7, 64) is not None
+
+    def test_skips_partials_foreign_programs_and_stale_models(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(
+            _identity(seed=1), {"complete": False, "journal": [], "strategy_state": {}}
+        )
+        store.save(
+            _identity(seed=2, program="NotARegisteredBenchmark"),
+            {"complete": True, "report": _report_payload()},
+        )
+        store.save(
+            _identity(seed=3, model="0000000000000000"),
+            {"complete": True, "report": _report_payload()},
+        )
+        index = ReportIndex()
+        assert index.load_store(store) == 0
+        assert len(index) == 0
+
+    def test_scan_survives_garbage_files(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(_identity(), {"complete": True, "report": _report_payload()})
+        (tmp_path / "tune_garbage.json").write_text("{not json")
+        (tmp_path / "tune_notadict.json").write_text("[1, 2]")
+        (tmp_path / "unrelated.txt").write_text("ignored")
+        index = ReportIndex()
+        assert index.load_store(store) == 1
+
+    def test_disabled_store_loads_nothing(self):
+        index = ReportIndex()
+        assert index.load_store(CheckpointStore(None)) == 0
+
+    def test_program_names_resolve_to_registry_labels(self, tmp_path):
+        """Checkpoint identities carry *program* names; the index keys
+        on Figure 8 registry labels (they differ for some benchmarks)."""
+        store = CheckpointStore(str(tmp_path))
+        identity = _identity(program="SeparableConvolution")
+        store.save(identity, {"complete": True, "report": _report_payload()})
+        index = ReportIndex()
+        assert index.load_store(store) == 1
+        assert index.get("SeparableConv.", MACHINE, "evolutionary", 7, 64) is not None
+        assert index.get("SeparableConvolution", MACHINE, "evolutionary", 7, 64) is None
+
+
+def test_finished_reports_is_sorted_and_lazy(tmp_path):
+    """CheckpointStore.finished_reports yields deterministically (sorted
+    file names) and tolerates a vanishing directory."""
+    store = CheckpointStore(str(tmp_path / "never_created"))
+    assert list(store.finished_reports()) == []
+    store = CheckpointStore(str(tmp_path))
+    for seed in (3, 1, 2):
+        store.save(
+            _identity(seed=seed), {"complete": True, "report": _report_payload()}
+        )
+    names = sorted(os.listdir(tmp_path))
+    yielded = [identity["seed"] for identity, _ in store.finished_reports()]
+    assert len(yielded) == 3
+    # Order follows the sorted file names, independent of save order.
+    by_name = [
+        json.load(open(tmp_path / name))["identity"]["seed"] for name in names
+    ]
+    assert yielded == by_name

@@ -1,0 +1,359 @@
+"""Daemon end-to-end: verbs, admission, rate limits, namespaces, wire.
+
+Two gears:
+
+* *Real* tests tune a cheap registry benchmark through the daemon and
+  compare against a local serial ``Session.tune`` — the byte-identical
+  acceptance check.
+* *Fake-pool* tests monkeypatch ``repro.experiments.runner.session_for``
+  with a gate that blocks until the test releases it, making admission
+  ordering, queue depths and cancellation deterministic instead of
+  timing-dependent.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import Session, TunerConfig
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+from repro.core.configuration import Configuration
+from repro.core.report import TuningReport, report_to_payload
+from repro.errors import ServiceError, ServiceRejected
+from repro.experiments.runner import clear_sessions
+from repro.service import ServiceClient, ServiceHandle
+from repro.service.daemon import sanitize_namespace
+
+APP = "Strassen"
+MACHINE = "Desktop"
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache():
+    clear_sessions()
+    yield
+    clear_sessions()
+
+
+def _daemon(**overrides) -> ServiceHandle:
+    """A daemon on an ephemeral port, serial evaluation, silent."""
+    config = TunerConfig.from_env(
+        backend="serial",
+        progress=False,
+        service_address="127.0.0.1:0",
+        **overrides,
+    )
+    return ServiceHandle.start_in_thread(config)
+
+
+class _FakePool:
+    """A gated stand-in for ``runner.session_for``: records calls and
+    blocks each one until :meth:`release` fires."""
+
+    def __init__(self):
+        self.calls = []
+        self.gate = threading.Event()
+        self.lock = threading.Lock()
+
+    def __call__(self, app, machine, seed, config, **kwargs):
+        with self.lock:
+            self.calls.append((app, machine.codename, seed))
+        assert self.gate.wait(timeout=30.0), "test forgot to release the gate"
+        report = TuningReport(
+            best=Configuration(program_name=app, label=f"{machine.codename} Config"),
+            best_time_s=1.0,
+            tuning_time_s=2.0,
+            evaluations=1,
+            sizes=[16],
+            history=[1.0],
+            computed_evaluations=1,
+            strategy=config.strategy,
+            seed=seed,
+        )
+        return SimpleNamespace(report=report)
+
+    def release(self):
+        self.gate.set()
+
+
+@pytest.fixture
+def fake_pool(monkeypatch):
+    pool = _FakePool()
+    monkeypatch.setattr("repro.experiments.runner.session_for", pool)
+    yield pool
+    pool.release()  # never leave daemon jobs blocked at teardown
+
+
+class TestEndToEnd:
+    def test_submit_status_result_matches_local_tune(self, tmp_path):
+        """The acceptance check: a report fetched through the daemon is
+        byte-identical to a local serial Session.tune.
+
+        Both sides get equally cold private caches: the deterministic
+        report fields are cache-invariant, but ``computed_evaluations``
+        is a wall-clock work gauge that legitimately differs between a
+        warm and a cold run — byte-identity is only meaningful when the
+        two runs do the same physical work."""
+        with _daemon(cache_dir=str(tmp_path / "daemon")) as daemon:
+            with ServiceClient(daemon.address, name="e2e") as client:
+                job_id = client.submit(APP, MACHINE)
+                assert client.status(job_id) in ("queued", "running", "done")
+                remote = client.result(job_id, timeout=300)
+                assert client.status(job_id) == "done"
+        clear_sessions()  # force the local run to recompute
+        with Session(
+            TunerConfig.from_env(
+                backend="serial", progress=False, cache_dir=str(tmp_path / "local")
+            )
+        ) as session:
+            local = session.tune(APP, MACHINE).report
+        assert report_to_payload(remote) == report_to_payload(local)
+
+    def test_lookup_miss_returns_seed_config_and_warms_the_index(self, tmp_path):
+        # A private cache directory keeps the first lookup a guaranteed
+        # miss: the shared test cache may hold finished checkpoints the
+        # daemon's boot scan would otherwise serve as hits.
+        with _daemon(cache_dir=str(tmp_path)) as daemon:
+            with ServiceClient(daemon.address, name="warmup") as client:
+                hit, config_json = client.lookup(APP, MACHINE)
+                assert not hit
+                seeded = Configuration.from_json(config_json)
+                assert seeded.program_name == APP
+                # The miss enqueued a warming job; once it lands, the
+                # same lookup is a hit served from memory.
+                job_id = client.submit(APP, MACHINE)  # dedups onto it
+                client.result(job_id, timeout=300)
+                hit, report = client.lookup(APP, MACHINE)
+                assert hit
+                assert isinstance(report, TuningReport)
+
+    def test_resubmitting_a_live_target_is_single_flight(self, fake_pool):
+        with _daemon() as daemon:
+            with ServiceClient(daemon.address, name="dedup") as client:
+                first = client.submit(APP, MACHINE)
+                second = client.submit(APP, MACHINE)
+                assert first == second
+                fake_pool.release()
+                client.result(first, timeout=30)
+                # Finished jobs still dedup: the answer exists already.
+                assert client.submit(APP, MACHINE) == first
+                assert len(fake_pool.calls) == 1
+
+
+class TestAdmission:
+    def test_queue_depth_and_capacity_are_visible(self, fake_pool):
+        with _daemon(tune_many_workers=4, service_max_jobs=1) as daemon:
+            with ServiceClient(daemon.address, name="load") as client:
+                assert client.capacity == 1
+                running = client.submit(APP, "Desktop")
+                queued_1 = client.submit(APP, "Server")
+                queued_2 = client.submit(APP, "Laptop")
+                metrics = client.metrics()
+                assert metrics["capacity"] == 1
+                assert metrics["running"] == 1
+                assert metrics["queue_depth"] == 2
+                assert client.status(running) == "running"
+                assert client.status(queued_1) == "queued"
+                # Only one job ever reached the pool.
+                assert len(fake_pool.calls) == 1
+                fake_pool.release()
+                for job_id in (running, queued_1, queued_2):
+                    client.result(job_id, timeout=30)
+                assert client.metrics()["queue_depth"] == 0
+
+    def test_priority_orders_the_queue(self, fake_pool):
+        with _daemon(tune_many_workers=4, service_max_jobs=1) as daemon:
+            with ServiceClient(daemon.address, name="prio") as client:
+                blocker = client.submit(APP, "Desktop")
+                low = client.submit(APP, "Server", priority=0)
+                high = client.submit(APP, "Laptop", priority=9)
+                fake_pool.release()
+                for job_id in (blocker, low, high):
+                    client.result(job_id, timeout=30)
+                machines = [machine for _, machine, _ in fake_pool.calls]
+                assert machines == ["Desktop", "Laptop", "Server"]
+
+    def test_cancel_withdraws_a_queued_job(self, fake_pool):
+        with _daemon(tune_many_workers=4, service_max_jobs=1) as daemon:
+            with ServiceClient(daemon.address, name="cancel") as client:
+                blocker = client.submit(APP, "Desktop")
+                doomed = client.submit(APP, "Server")
+                assert client.cancel(doomed)
+                assert client.status(doomed) == "cancelled"
+                assert client.metrics()["queue_depth"] == 0
+                with pytest.raises(ServiceError, match="cancelled"):
+                    client.result(doomed, timeout=5)
+                fake_pool.release()
+                client.result(blocker, timeout=30)
+                # The cancelled job never reached the pool.
+                machines = [machine for _, machine, _ in fake_pool.calls]
+                assert machines == ["Desktop"]
+
+    def test_result_wait_times_out(self, fake_pool):
+        with _daemon() as daemon:
+            with ServiceClient(daemon.address, name="waiter") as client:
+                job_id = client.submit(APP, MACHINE)
+                with pytest.raises(TimeoutError):
+                    client.result(job_id, timeout=0.05)
+                fake_pool.release()
+                client.result(job_id, timeout=30)
+
+    def test_warm_lookup_never_touches_the_pool(self, fake_pool):
+        with _daemon() as daemon:
+            with ServiceClient(daemon.address, name="hot") as client:
+                fake_pool.release()
+                job_id = client.submit(APP, MACHINE)
+                client.result(job_id, timeout=30)
+                calls_before = len(fake_pool.calls)
+                for _ in range(5):
+                    hit, _report = client.lookup(APP, MACHINE, size=16)
+                    assert hit
+                metrics = client.metrics()
+                assert len(fake_pool.calls) == calls_before
+                assert metrics["running"] == 0
+                assert metrics["index"]["hits"] >= 5
+
+
+class TestTenancy:
+    def test_rate_limit_rejects_the_third_job(self, fake_pool):
+        with _daemon(service_rate_limit=2) as daemon:
+            with ServiceClient(daemon.address, name="greedy") as client:
+                client.submit(APP, "Desktop")
+                client.submit(APP, "Server")
+                with pytest.raises(ServiceRejected, match="exceeded"):
+                    client.submit(APP, "Laptop")
+                assert client.metrics()["rate_limited"] == 1
+            # A different client still gets in.
+            with ServiceClient(daemon.address, name="patient") as other:
+                other.submit(APP, "Laptop")
+            fake_pool.release()
+
+    def test_job_ids_are_namespace_scoped(self, fake_pool):
+        with _daemon() as daemon:
+            with ServiceClient(
+                daemon.address, name="alice", namespace="team-a"
+            ) as alice, ServiceClient(
+                daemon.address, name="bob", namespace="team-b"
+            ) as bob:
+                job_id = alice.submit(APP, MACHINE)
+                with pytest.raises(ServiceRejected, match="unknown job"):
+                    bob.status(job_id)
+                assert alice.status(job_id) in ("queued", "running")
+                fake_pool.release()
+                alice.result(job_id, timeout=30)
+
+    def test_namespaces_reach_isolated_cache_directories(self, tmp_path):
+        with _daemon(cache_dir=str(tmp_path)) as daemon:
+            with ServiceClient(
+                daemon.address, name="c", namespace="team-a/../evil"
+            ) as client:
+                job_id = client.submit(APP, MACHINE)
+                client.result(job_id, timeout=300)
+            tenants = sorted(p.name for p in (tmp_path / "tenants").iterdir())
+        # The namespace was sanitised into one flat directory name:
+        # no separators survive, so `..` inside the name is inert text.
+        assert tenants == [sanitize_namespace("team-a/../evil")]
+        assert "/" not in tenants[0] and "\\" not in tenants[0]
+        assert tenants[0] not in (".", "..")
+
+    def test_sanitize_namespace(self):
+        assert sanitize_namespace("team-a") == "team-a"
+        assert sanitize_namespace("  ") == "default"
+        assert sanitize_namespace("a/b\\c:d") == "a_b_c_d"
+        assert len(sanitize_namespace("x" * 200)) == 64
+        assert sanitize_namespace("..") == "default"
+        assert sanitize_namespace(".") == "default"
+
+
+class TestWire:
+    def test_bad_verbs_and_unknown_names_are_rejected(self):
+        with _daemon() as daemon:
+            with ServiceClient(daemon.address, name="fuzzer") as client:
+                with pytest.raises(ServiceRejected, match="unknown benchmark"):
+                    client.submit("NotABenchmark", MACHINE)
+                with pytest.raises(ServiceRejected, match="unknown machine"):
+                    client.submit(APP, "Mainframe")
+                with pytest.raises(ServiceRejected, match="unknown job"):
+                    client.status("job-999")
+
+    def test_daemon_survives_a_client_that_skips_the_hello(self):
+        with _daemon() as daemon:
+            host, port = daemon.address.rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=5) as sock:
+                send_frame(sock, {"type": "metrics", "req_id": 1})
+                assert recv_frame(sock) is None  # hung up on us
+            # ... and still serves the next well-behaved client.
+            with ServiceClient(daemon.address, name="ok") as client:
+                assert "capacity" in client.metrics()
+
+    def test_version_mismatch_is_refused(self):
+        with _daemon() as daemon:
+            host, port = daemon.address.rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=5) as sock:
+                send_frame(
+                    sock,
+                    {
+                        "type": "hello",
+                        "role": "service-client",
+                        "version": PROTOCOL_VERSION + 1,
+                        "name": "old",
+                        "namespace": "old",
+                    },
+                )
+                answer = recv_frame(sock)
+                assert answer is not None and answer["type"] == "error"
+
+    def test_unknown_verb_gets_a_typed_error(self):
+        with _daemon() as daemon:
+            host, port = daemon.address.rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=5) as sock:
+                send_frame(
+                    sock,
+                    {
+                        "type": "hello",
+                        "role": "service-client",
+                        "version": PROTOCOL_VERSION,
+                        "name": "x",
+                        "namespace": "x",
+                    },
+                )
+                assert recv_frame(sock)["type"] == "welcome"
+                send_frame(sock, {"type": "frobnicate", "req_id": 42})
+                answer = recv_frame(sock)
+                assert answer["type"] == "error"
+                assert answer["req_id"] == 42
+                assert answer["kind"] == "bad-request"
+
+
+class TestMetrics:
+    def test_snapshot_covers_the_advertised_surface(self, fake_pool):
+        with _daemon() as daemon:
+            with ServiceClient(daemon.address, name="meter") as client:
+                fake_pool.release()
+                job_id = client.submit(APP, MACHINE)
+                client.result(job_id, timeout=30)
+                metrics = client.metrics()
+        for key in (
+            "uptime_s",
+            "capacity",
+            "queue_depth",
+            "running",
+            "jobs",
+            "index",
+            "caches",
+            "evaluations",
+            "evaluations_per_s",
+            "rate_limited",
+        ):
+            assert key in metrics, key
+        assert metrics["jobs"] == {"done": 1}
+        assert metrics["uptime_s"] > 0

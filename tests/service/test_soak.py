@@ -1,0 +1,130 @@
+"""Daemon soak: concurrent clients, one SIGKILLed mid-request.
+
+The daemon runs in-process; clients are real subprocesses speaking the
+real wire protocol.  One client is SIGKILLed while it (very likely)
+has a parked ``result`` request outstanding — the daemon must shrug
+off the dead connection, keep the orphaned job running, and keep
+serving the surviving clients.  Every report fetched through the
+daemon is then byte-compared against a serial ``Session.tune`` golden
+recomputed cold in the parent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import Session, TunerConfig
+from repro.core.report import report_to_payload
+from repro.errors import ServiceRejected
+from repro.experiments.runner import clear_sessions
+from repro.service import ServiceClient, ServiceHandle
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent.parent / "src")
+
+#: The script each client subprocess runs: submit, fetch, print payload.
+_FETCH_CLIENT = """
+import json, sys
+from repro.service import ServiceClient
+address, name, app, machine = sys.argv[1:5]
+from repro.core.report import report_to_payload
+with ServiceClient(address, name=name, namespace="soak") as client:
+    job_id = client.submit(app, machine)
+    report = client.result(job_id, timeout=300)
+    print(json.dumps(report_to_payload(report), sort_keys=True))
+"""
+
+#: The victim: submits, then parks a ``result`` wait it never returns
+#: from (the parent SIGKILLs it).  The marker line confirms the submit
+#: landed before the kill.
+_VICTIM_CLIENT = """
+import sys
+from repro.service import ServiceClient
+address = sys.argv[1]
+client = ServiceClient(address, name="victim", namespace="soak")
+job_id = client.submit("Strassen", "Desktop")
+print("submitted", flush=True)
+client.result(job_id, timeout=300)
+print("never reached")
+"""
+
+
+def _spawn(script: str, *args: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("REPRO_CACHE_DIR", None)  # subprocess caches stay off
+    return subprocess.Popen(
+        [sys.executable, "-c", script, *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache():
+    clear_sessions()
+    yield
+    clear_sessions()
+
+
+def test_daemon_survives_a_sigkilled_client_and_stays_byte_identical(tmp_path):
+    pairs = [("Strassen", "Desktop"), ("Strassen", "Server")]
+    config = TunerConfig.from_env(
+        backend="serial",
+        progress=False,
+        service_address="127.0.0.1:0",
+        cache_dir=str(tmp_path / "daemon"),
+    )
+    with ServiceHandle.start_in_thread(config) as daemon:
+        victim = _spawn(_VICTIM_CLIENT, daemon.address)
+        assert victim.stdout.readline().strip() == "submitted"
+        # The victim now has a parked `result` outstanding (its job is
+        # tuning cold).  Kill it mid-request.
+        time.sleep(0.1)
+        victim.kill()
+        victim.wait(timeout=10)
+
+        # Surviving clients keep submitting and fetching concurrently.
+        fetchers = [
+            _spawn(_FETCH_CLIENT, daemon.address, f"client-{i}", app, machine)
+            for i, (app, machine) in enumerate(pairs)
+        ]
+        outputs = []
+        for fetcher in fetchers:
+            stdout, stderr = fetcher.communicate(timeout=300)
+            assert fetcher.returncode == 0, stderr
+            outputs.append(json.loads(stdout.strip()))
+
+        # The daemon itself still answers; the victim's orphaned job
+        # either finished (it shares a target with client-0's fetch and
+        # dedups onto the same record) or is still running — never lost.
+        with ServiceClient(daemon.address, name="auditor", namespace="soak") as audit:
+            metrics = audit.metrics()
+            assert metrics["jobs"].get("failed", 0) == 0
+            # Cancelling an unknown job still gets a clean rejection,
+            # not a wedged daemon.
+            with pytest.raises(ServiceRejected):
+                audit.cancel("job-999")
+            warm_hit, warm = audit.lookup("Strassen", "Desktop")
+            assert warm_hit and report_to_payload(warm) == outputs[0]
+
+    # Byte-identity: recompute each pair serially, cold, in-process.
+    goldens = []
+    for index, (app, machine) in enumerate(pairs):
+        clear_sessions()
+        with Session(
+            TunerConfig.from_env(
+                backend="serial",
+                progress=False,
+                cache_dir=str(tmp_path / f"golden-{index}"),
+            )
+        ) as session:
+            goldens.append(report_to_payload(session.tune(app, machine).report))
+    assert outputs == goldens
