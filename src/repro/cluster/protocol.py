@@ -1,13 +1,23 @@
 """Wire protocol shared by the cluster coordinator, workers and clients.
 
 Messages are plain dicts with a ``"type"`` key, framed as a 4-byte
-big-endian length prefix followed by a pickle of the dict.  Pickle is
-the right tool here because the only non-primitive payloads are the
-:class:`~repro.core.backends.EvaluationRequest` /
-:class:`~repro.core.backends.EvaluationResult` dataclasses — frozen
-bundles of primitives that PR 2 deliberately made picklable — and the
-fleet is trusted (the same trust model as a ``ProcessPoolExecutor``;
-do not expose a coordinator to untrusted networks).
+big-endian length prefix followed by an encoding of the dict.  Two
+codecs share the framing:
+
+* :data:`PICKLE` (the default) — the cluster plane's codec.  Pickle is
+  the right tool there because the only non-primitive payloads are the
+  :class:`~repro.core.backends.EvaluationRequest` /
+  :class:`~repro.core.backends.EvaluationResult` dataclasses — frozen
+  bundles of primitives that PR 2 deliberately made picklable — and
+  the fleet is trusted (the same trust model as a
+  ``ProcessPoolExecutor``; do not expose a coordinator to untrusted
+  networks).
+* :data:`JSON` — the tuning service's codec
+  (:mod:`repro.service.protocol`).  Service clients are *untrusted*
+  (the daemon rate-limits and namespace-isolates them), so their bytes
+  must never reach ``pickle.loads``: a JSON frame can carry data but
+  not code.  The service vocabulary is primitives-only, so nothing is
+  lost.
 
 Message vocabulary (all senders include nothing else):
 
@@ -33,6 +43,7 @@ fleet      coor → peer ``workers`` (broadcast on join/leave)
 from __future__ import annotations
 
 import asyncio
+import json
 import pickle
 import socket
 import struct
@@ -43,6 +54,10 @@ from repro.errors import ClusterProtocolError
 #: Bump when the message vocabulary changes incompatibly; peers with
 #: mismatched versions refuse to talk rather than mis-parse.
 PROTOCOL_VERSION = 1
+
+#: Frame codecs (see module docstring for when each applies).
+PICKLE = "pickle"
+JSON = "json"
 
 #: Frame header: payload length, 4-byte big-endian unsigned.
 _HEADER = struct.Struct(">I")
@@ -78,9 +93,41 @@ def format_address(host: str, port: int) -> str:
     return f"{host}:{port}"
 
 
-def encode_message(message: Dict[str, Any]) -> bytes:
+def _encode_payload(message: Dict[str, Any], codec: str) -> bytes:
+    if codec == JSON:
+        try:
+            return json.dumps(message, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise ClusterProtocolError(
+                f"message is not JSON-serialisable: {exc}"
+            ) from exc
+    return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_payload(payload: bytes, codec: str) -> Dict[str, Any]:
+    """Decode and validate one frame body.
+
+    The codec is the *receiver's* choice, never the sender's: a JSON
+    peer decodes with ``json.loads`` only, so hostile bytes on a JSON
+    port can never reach ``pickle.loads``.
+    """
+    try:
+        if codec == JSON:
+            message = json.loads(payload.decode("utf-8"))
+        else:
+            message = pickle.loads(payload)
+    except Exception as exc:
+        raise ClusterProtocolError(f"unparseable cluster frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ClusterProtocolError(
+            f"cluster frame is not a typed message: {message!r}"
+        )
+    return message
+
+
+def encode_message(message: Dict[str, Any], *, codec: str = PICKLE) -> bytes:
     """One framed message, ready to write to a transport."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = _encode_payload(message, codec)
     if len(payload) > MAX_MESSAGE_BYTES:
         raise ClusterProtocolError(
             f"refusing to send a {len(payload)}-byte cluster message "
@@ -89,7 +136,9 @@ def encode_message(message: Dict[str, Any]) -> bytes:
     return _HEADER.pack(len(payload)) + payload
 
 
-def send_nowait(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+def send_nowait(
+    writer: asyncio.StreamWriter, message: Dict[str, Any], *, codec: str = PICKLE
+) -> None:
     """Queue one message on a stream without awaiting flow control.
 
     The header and payload are written in a single call, so concurrent
@@ -100,18 +149,22 @@ def send_nowait(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
     if writer.is_closing():
         return
     try:
-        writer.write(encode_message(message))
+        writer.write(encode_message(message, codec=codec))
     except (ConnectionError, RuntimeError, OSError):
         return
 
 
-async def send_message(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+async def send_message(
+    writer: asyncio.StreamWriter, message: Dict[str, Any], *, codec: str = PICKLE
+) -> None:
     """Send one message and honour transport flow control."""
-    writer.write(encode_message(message))
+    writer.write(encode_message(message, codec=codec))
     await writer.drain()
 
 
-async def recv_message(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+async def recv_message(
+    reader: asyncio.StreamReader, *, codec: str = PICKLE
+) -> Optional[Dict[str, Any]]:
     """Read one framed message; ``None`` when the peer closed the
     connection (cleanly or not).
 
@@ -133,18 +186,12 @@ async def recv_message(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]
         payload = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionError, OSError):
         return None
-    try:
-        message = pickle.loads(payload)
-    except Exception as exc:
-        raise ClusterProtocolError(f"unparseable cluster frame: {exc}") from exc
-    if not isinstance(message, dict) or "type" not in message:
-        raise ClusterProtocolError(
-            f"cluster frame is not a typed message: {message!r}"
-        )
-    return message
+    return _decode_payload(payload, codec)
 
 
-def send_frame(sock: "socket.socket", message: Dict[str, Any]) -> None:
+def send_frame(
+    sock: "socket.socket", message: Dict[str, Any], *, codec: str = PICKLE
+) -> None:
     """Blocking-socket twin of :func:`send_message`.
 
     The tuning service's synchronous :class:`~repro.service.ServiceClient`
@@ -152,10 +199,12 @@ def send_frame(sock: "socket.socket", message: Dict[str, Any]) -> None:
     ``socket`` — sharing :func:`encode_message` keeps the two sides
     incapable of drifting apart.
     """
-    sock.sendall(encode_message(message))
+    sock.sendall(encode_message(message, codec=codec))
 
 
-def recv_frame(sock: "socket.socket") -> Optional[Dict[str, Any]]:
+def recv_frame(
+    sock: "socket.socket", *, codec: str = PICKLE
+) -> Optional[Dict[str, Any]]:
     """Blocking-socket twin of :func:`recv_message`.
 
     Returns ``None`` when the peer closed the connection.
@@ -175,15 +224,7 @@ def recv_frame(sock: "socket.socket") -> Optional[Dict[str, Any]]:
     payload = _recv_exactly(sock, length)
     if payload is None:
         return None
-    try:
-        message = pickle.loads(payload)
-    except Exception as exc:
-        raise ClusterProtocolError(f"unparseable cluster frame: {exc}") from exc
-    if not isinstance(message, dict) or "type" not in message:
-        raise ClusterProtocolError(
-            f"cluster frame is not a typed message: {message!r}"
-        )
-    return message
+    return _decode_payload(payload, codec)
 
 
 def _recv_exactly(sock: "socket.socket", count: int) -> Optional[bytes]:

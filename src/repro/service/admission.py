@@ -105,6 +105,7 @@ class RateLimiter:
         self.window_s = window_s
         self._clock = clock
         self._events: Dict[str, Deque[float]] = {}
+        self._last_prune = clock()
         self.rejected = 0
 
     def allow(self, client: str) -> bool:
@@ -113,6 +114,7 @@ class RateLimiter:
         if self.limit <= 0:
             return True
         now = self._clock()
+        self._prune(now)
         events = self._events.setdefault(client, deque())
         horizon = now - self.window_s
         while events and events[0] <= horizon:
@@ -122,6 +124,24 @@ class RateLimiter:
             return False
         events.append(now)
         return True
+
+    def _prune(self, now: float) -> None:
+        """Drop the deques of clients idle past the window.
+
+        Client names are caller-chosen, so without this a churn of
+        unique names grows ``_events`` without bound in a long-lived
+        daemon.  Amortised: a full sweep at most once per window."""
+        if now - self._last_prune < self.window_s:
+            return
+        self._last_prune = now
+        horizon = now - self.window_s
+        stale = [
+            name
+            for name, events in self._events.items()
+            if not events or events[-1] <= horizon
+        ]
+        for name in stale:
+            del self._events[name]
 
 
 class EventRate:

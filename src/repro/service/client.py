@@ -3,8 +3,8 @@
 :class:`ServiceClient` opens one TCP connection, performs the
 hello/welcome handshake, and then speaks strictly sequential
 request/response pairs — the synchronous twin of the daemon's asyncio
-side, built on the same frames via
-:func:`repro.cluster.protocol.send_frame` / ``recv_frame``.  A lock
+side, built on the same JSON frames via
+:func:`repro.service.protocol.send_frame` / ``recv_frame``.  A lock
 serialises calls, so one client instance may be shared across threads;
 for concurrent traffic open one client per thread instead (connections
 are cheap and the daemon is built for many).
@@ -27,12 +27,7 @@ import socket
 import threading
 from typing import Any, Dict, Optional, Tuple, Union
 
-from repro.cluster.protocol import (
-    check_version,
-    parse_address,
-    recv_frame,
-    send_frame,
-)
+from repro.cluster.protocol import check_version, parse_address
 from repro.core.report import TuningReport, report_from_payload
 from repro.errors import (
     ClusterProtocolError,
@@ -85,8 +80,8 @@ class ServiceClient:
         # Requests may legitimately block for minutes (a parked
         # ``result``); only the handshake gets the short timeout.
         try:
-            send_frame(self._sock, verbs.hello(self.name, self.namespace))
-            welcome = recv_frame(self._sock)
+            verbs.send_frame(self._sock, verbs.hello(self.name, self.namespace))
+            welcome = verbs.recv_frame(self._sock)
         except OSError as exc:
             self._sock.close()
             raise ServiceUnavailable(
@@ -218,8 +213,8 @@ class ServiceClient:
             req_id = next(self._req_ids)
             request = dict(request, req_id=req_id)
             try:
-                send_frame(self._sock, request)
-                response = recv_frame(self._sock)
+                verbs.send_frame(self._sock, request)
+                response = verbs.recv_frame(self._sock)
             except OSError as exc:
                 raise ServiceUnavailable(
                     f"lost connection to tuning service at {self.address}: {exc}"

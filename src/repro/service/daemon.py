@@ -6,15 +6,26 @@ cache directory), the :class:`~repro.service.index.ReportIndex` hot
 read path, and the :class:`~repro.service.admission.AdmissionController`
 that decides when queued jobs may reach a session pool.  The wire
 vocabulary lives in :mod:`repro.service.protocol`; framing is the
-cluster plane's (:mod:`repro.cluster.protocol`).
+cluster plane's (:mod:`repro.cluster.protocol`) but with the JSON
+codec — service clients are untrusted, so their bytes never reach
+``pickle.loads``.
 
 Threading model — the same event-driven split the cluster coordinator
 uses: every piece of daemon state is owned by the event-loop thread.
 Tuning itself runs on session pool threads; completions are marshalled
-back onto the loop with ``call_soon_threadsafe``.  A client vanishing
-mid-request (crash, SIGKILL) just ends that connection's read loop —
-its submitted jobs keep running and stay fetchable by job id from any
-later connection in the same namespace.
+back onto the loop with ``call_soon_threadsafe``.  Each request on a
+connection is served as its own asyncio task, so a parked ``result``
+never blocks the frames behind it (a pipelined ``cancel`` can settle
+the very job the ``result`` waits on).  A client vanishing mid-request
+(crash, SIGKILL) just ends that connection's read loop and cancels its
+in-flight request tasks — its submitted jobs keep running and stay
+fetchable by job id from any later connection in the same namespace.
+
+Terminal jobs are kept (with their report payloads) for
+``terminal_history`` records and then evicted oldest-first — the
+daemon is long-lived, and the hot answers live on in the
+:class:`ReportIndex` anyway; only ``status``/``result`` by the evicted
+job id forgets.
 
 Configuration: ``service_address`` (default ``127.0.0.1:7734``; port 0
 binds an ephemeral port), ``service_max_jobs`` (0 means "as many as
@@ -27,13 +38,15 @@ unlimited).
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import logging
 import re
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.api.config import DEFAULT_SERVICE_ADDRESS, TunerConfig
 from repro.api.session import Session, TuningJob
@@ -43,9 +56,6 @@ from repro.cluster.protocol import (
     check_version,
     format_address,
     parse_address,
-    recv_message,
-    send_message,
-    send_nowait,
 )
 from repro.compiler.compile import compile_program
 from repro.core.configuration import default_configuration
@@ -67,13 +77,23 @@ _SAFE_NAMESPACE = re.compile(r"[^A-Za-z0-9_.-]")
 def sanitize_namespace(namespace: str) -> str:
     """A client-supplied namespace as a safe tenant directory name.
 
-    Separators become underscores and the dots-only names that would
-    escape the tenants directory ("." / "..") collapse to the default,
-    so a hostile namespace can never name a path outside it."""
-    cleaned = _SAFE_NAMESPACE.sub("_", namespace.strip())[:64]
+    A namespace that is already a safe path component (only
+    ``[A-Za-z0-9_.-]``, at most 64 characters, not "." / "..") passes
+    through unchanged.  Anything else is cleaned — separators become
+    underscores, over-long names are truncated, the dots-only names
+    that would escape the tenants directory collapse to ``default`` —
+    and then suffixed with a short hash of the *raw* namespace, so two
+    distinct client namespaces can never silently merge onto one
+    tenant identity (``"team a"`` and ``"team_a"`` stay separate
+    tenants; so do two long names sharing a 64-character prefix)."""
+    raw = namespace.strip()
+    cleaned = _SAFE_NAMESPACE.sub("_", raw)[:64]
+    if cleaned == raw and cleaned not in ("", ".", ".."):
+        return cleaned
     if cleaned in ("", ".", ".."):
-        return "default"
-    return cleaned
+        cleaned = "default"
+    digest = hashlib.sha256(raw.encode("utf-8")).hexdigest()[:8]
+    return f"{cleaned[:55]}-{digest}"
 
 
 @dataclass
@@ -106,6 +126,12 @@ class TuningService:
         **overrides: Explicit per-field config overrides.
     """
 
+    #: Terminal :class:`ServiceJob` records retained for `status` /
+    #: `result` by job id.  Oldest-settled evict first — a long-lived
+    #: daemon must not hold every report payload it ever produced (the
+    #: hot answers are served by the :class:`ReportIndex` regardless).
+    terminal_history: int = 512
+
     def __init__(
         self, config: Optional[TunerConfig] = None, **overrides: object
     ) -> None:
@@ -125,6 +151,7 @@ class TuningService:
         self._sessions: Dict[str, Session] = {}
         self._jobs: Dict[str, ServiceJob] = {}
         self._dedup: Dict[Tuple[str, str, str, int], str] = {}
+        self._terminal: "OrderedDict[str, None]" = OrderedDict()
         self._job_ids = 0
         self._evals = EventRate()
         self._evals_lock = threading.Lock()
@@ -225,7 +252,9 @@ class TuningService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            hello = await asyncio.wait_for(recv_message(reader), timeout=30.0)
+            hello = await asyncio.wait_for(
+                verbs.recv_message(reader), timeout=30.0
+            )
         except (ClusterProtocolError, asyncio.TimeoutError):
             writer.close()
             return
@@ -239,12 +268,14 @@ class TuningService:
         try:
             check_version(hello, "service client")
         except ClusterProtocolError as exc:
-            send_nowait(writer, verbs.error_response(None, verbs.BAD_REQUEST, str(exc)))
+            verbs.send_nowait(
+                writer, verbs.error_response(None, verbs.BAD_REQUEST, str(exc))
+            )
             writer.close()
             return
         client = str(hello.get("name") or "anonymous")
         namespace = sanitize_namespace(str(hello.get("namespace") or client))
-        await send_message(
+        await verbs.send_message(
             writer,
             {
                 "type": "welcome",
@@ -264,51 +295,74 @@ class TuningService:
         client: str,
         namespace: str,
     ) -> None:
-        while True:
-            try:
-                message = await recv_message(reader)
-            except ClusterProtocolError as exc:
-                log.warning("service client %s protocol error: %s", client, exc)
-                return
-            if message is None:
-                return
-            req_id = message.get("req_id")
-            kind = message.get("type")
-            try:
-                if kind == "submit":
-                    response = self._handle_submit(message, client, namespace)
-                elif kind == "status":
-                    response = self._handle_status(message, namespace)
-                elif kind == "result":
-                    response = await self._handle_result(message, namespace)
-                elif kind == "cancel":
-                    response = self._handle_cancel(message, namespace)
-                elif kind == "lookup":
-                    response = await self._handle_lookup(
-                        message, client, namespace
+        # Each request runs as its own task so a parked `result`
+        # (timeout=None) never stops this loop from reading the next
+        # frame — a pipelined `cancel` for that same job must get
+        # through, else the connection deadlocks on itself.  Responses
+        # correlate by req_id, so completion order is free to differ
+        # from arrival order.
+        pending: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    message = await verbs.recv_message(reader)
+                except ClusterProtocolError as exc:
+                    log.warning(
+                        "service client %s protocol error: %s", client, exc
                     )
-                elif kind == "metrics":
-                    response = {
-                        "type": "metrics-report",
-                        "req_id": req_id,
-                        "metrics": self.metrics_snapshot(),
-                    }
-                else:
-                    response = verbs.error_response(
-                        req_id, verbs.BAD_REQUEST, f"unknown verb {kind!r}"
-                    )
-            except ServiceError as exc:
-                response = verbs.error_response(
-                    req_id, verbs.BAD_REQUEST, str(exc)
+                    return
+                if message is None:
+                    return
+                task = asyncio.ensure_future(
+                    self._serve_request(message, writer, client, namespace)
                 )
-            except Exception:
-                # One request must never take the daemon (or even the
-                # connection) down with it.
-                log.exception("service request %r failed", kind)
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            # Connection gone: parked waiters have nobody to answer.
+            for task in pending:
+                task.cancel()
+
+    async def _serve_request(
+        self,
+        message: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        client: str,
+        namespace: str,
+    ) -> None:
+        req_id = message.get("req_id")
+        kind = message.get("type")
+        try:
+            if kind == "submit":
+                response = self._handle_submit(message, client, namespace)
+            elif kind == "status":
+                response = self._handle_status(message, namespace)
+            elif kind == "result":
+                response = await self._handle_result(message, namespace)
+            elif kind == "cancel":
+                response = self._handle_cancel(message, namespace)
+            elif kind == "lookup":
+                response = await self._handle_lookup(message, client, namespace)
+            elif kind == "metrics":
+                response = {
+                    "type": "metrics-report",
+                    "req_id": req_id,
+                    "metrics": self.metrics_snapshot(),
+                }
+            else:
                 response = verbs.error_response(
-                    req_id, verbs.INTERNAL, "internal service error"
+                    req_id, verbs.BAD_REQUEST, f"unknown verb {kind!r}"
                 )
-            send_nowait(writer, response)
+        except ServiceError as exc:
+            response = verbs.error_response(req_id, verbs.BAD_REQUEST, str(exc))
+        except Exception:
+            # One request must never take the daemon (or even the
+            # connection) down with it.
+            log.exception("service request %r failed", kind)
+            response = verbs.error_response(
+                req_id, verbs.INTERNAL, "internal service error"
+            )
+        verbs.send_nowait(writer, response)
 
     # -- verbs ----------------------------------------------------------
 
@@ -542,29 +596,44 @@ class TuningService:
 
     def _job_done(self, job: ServiceJob, tuning_job: TuningJob) -> None:
         """Pool-thread side of completion: extract the result, then
-        marshal the state change onto the event loop."""
+        marshal the state change onto the event loop.
+
+        The settle is in a ``finally``: whatever goes wrong up here, a
+        completed job *must* release its admission slot, or parked
+        ``result`` waiters hang and the daemon's capacity leaks away
+        one job at a time."""
         state = verbs.DONE
         payload: Optional[Dict[str, object]] = None
         message: Optional[str] = None
         try:
-            payload = report_to_payload(tuning_job.report())
-        except Exception as exc:
-            cancelled = tuning_job.status().value == verbs.CANCELLED
-            state = verbs.CANCELLED if cancelled else verbs.FAILED
-            message = None if cancelled else str(exc)
-        if payload is not None:
-            self._index.put(
-                job.app,
-                job.machine,
-                self._config.strategy,
-                job.seed,
-                payload["sizes"][-1],  # type: ignore[index]
-                payload,
+            try:
+                payload = report_to_payload(tuning_job.report())
+            except Exception as exc:
+                cancelled = tuning_job.status().value == verbs.CANCELLED
+                state = verbs.CANCELLED if cancelled else verbs.FAILED
+                message = None if cancelled else str(exc)
+            if payload is not None:
+                try:
+                    self._index.put(
+                        job.app,
+                        job.machine,
+                        self._config.strategy,
+                        job.seed,
+                        payload["sizes"][-1],  # type: ignore[index]
+                        payload,
+                    )
+                except Exception:
+                    # A malformed payload must not eat the completion;
+                    # the job still settles, the index just stays cold
+                    # for this key.
+                    log.exception(
+                        "failed to index report for job %s", job.job_id
+                    )
+        finally:
+            assert self._loop is not None
+            self._loop.call_soon_threadsafe(
+                self._job_settled, job, state, payload, message
             )
-        assert self._loop is not None
-        self._loop.call_soon_threadsafe(
-            self._job_settled, job, state, payload, message
-        )
 
     def _job_settled(
         self,
@@ -582,6 +651,22 @@ class TuningService:
     def _finalize(self, job: ServiceJob, state: str) -> None:
         job.state = state
         job.done_event.set()
+        self._terminal[job.job_id] = None
+        while len(self._terminal) > self.terminal_history:
+            evicted_id, _ = self._terminal.popitem(last=False)
+            evicted = self._jobs.pop(evicted_id, None)
+            if evicted is None:
+                continue
+            dedup_key = (
+                evicted.namespace,
+                evicted.app,
+                evicted.machine,
+                evicted.seed,
+            )
+            # A retry after a failure/cancel may already have re-pointed
+            # the dedup slot at a newer job; only drop our own mapping.
+            if self._dedup.get(dedup_key) == evicted_id:
+                del self._dedup[dedup_key]
 
     def _on_candidate(self, _event: object) -> None:
         with self._evals_lock:

@@ -1,12 +1,24 @@
 """Verb vocabulary of the tuning service.
 
 The service reuses the cluster plane's framing
-(:mod:`repro.cluster.protocol`: 4-byte length prefix + pickled dict,
-same :data:`~repro.cluster.protocol.PROTOCOL_VERSION` handshake) and
-adds its own message vocabulary on top.  Every request carries a
-client-chosen ``req_id`` which the daemon echoes on the response, so a
-client may pipeline requests on one connection and still correlate
-answers.
+(:mod:`repro.cluster.protocol`: 4-byte length prefix, same
+:data:`~repro.cluster.protocol.PROTOCOL_VERSION` handshake) but with
+the :data:`~repro.cluster.protocol.JSON` codec instead of the fleet's
+pickle: service clients are untrusted, and a JSON frame can carry data
+but never code, so a hostile client cannot reach ``pickle.loads`` in
+the daemon.  The framing wrappers below bind the codec once so the
+daemon, :class:`~repro.service.ServiceClient` and the tests all speak
+the same bytes.  (The service vocabulary is primitives-only —
+:func:`~repro.core.report.report_to_payload` dicts, strings, numbers —
+so JSON loses nothing, and floats still round-trip bit for bit.)
+
+Every request carries a client-chosen ``req_id`` which the daemon
+echoes on the response, so a client may pipeline requests on one
+connection and still correlate answers: the daemon serves each request
+as its own task, which means a pipelined ``cancel`` overtakes a parked
+``result`` for the same job instead of queueing behind it.  Responses
+may therefore arrive in any order — correlate by ``req_id``, not
+arrival.
 
 Message vocabulary:
 
@@ -53,8 +65,11 @@ bug; the daemon stays up).
 
 from __future__ import annotations
 
-from typing import Any, Dict
+import asyncio
+import socket
+from typing import Any, Dict, Optional
 
+from repro.cluster import protocol as _wire
 from repro.cluster.protocol import PROTOCOL_VERSION
 
 #: The role a service client announces in its hello (distinct from the
@@ -96,3 +111,31 @@ def hello(name: str, namespace: str) -> Dict[str, Any]:
 def error_response(req_id: Any, kind: str, message: str) -> Dict[str, Any]:
     """One error frame, ``req_id`` echoed for correlation."""
     return {"type": "error", "req_id": req_id, "kind": kind, "message": message}
+
+
+# -- framing, bound to the service codec --------------------------------
+
+
+async def recv_message(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """One service frame off an asyncio stream (JSON codec)."""
+    return await _wire.recv_message(reader, codec=_wire.JSON)
+
+
+async def send_message(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+    """Send one service frame and honour flow control (JSON codec)."""
+    await _wire.send_message(writer, message, codec=_wire.JSON)
+
+
+def send_nowait(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+    """Queue one service frame without awaiting flow control."""
+    _wire.send_nowait(writer, message, codec=_wire.JSON)
+
+
+def send_frame(sock: "socket.socket", message: Dict[str, Any]) -> None:
+    """Blocking-socket twin of :func:`send_message` (JSON codec)."""
+    _wire.send_frame(sock, message, codec=_wire.JSON)
+
+
+def recv_frame(sock: "socket.socket") -> Optional[Dict[str, Any]]:
+    """Blocking-socket twin of :func:`recv_message` (JSON codec)."""
+    return _wire.recv_frame(sock, codec=_wire.JSON)

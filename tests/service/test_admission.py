@@ -86,6 +86,32 @@ class TestRateLimiter:
         assert not limiter.allow("alice")
         assert not limiter.allow("bob")
 
+    def test_idle_clients_are_pruned(self):
+        """Client names are caller-chosen, so a churn of unique names
+        must not grow the limiter's per-client state without bound in
+        a long-lived daemon: deques idle past the window are dropped."""
+        clock = [0.0]
+        limiter = RateLimiter(5, window_s=60.0, clock=lambda: clock[0])
+        for i in range(100):
+            assert limiter.allow(f"drive-by-{i}")
+        assert len(limiter._events) == 100
+        clock[0] = 121.0  # every deque idle for > one full window
+        assert limiter.allow("fresh")
+        assert len(limiter._events) == 1  # just "fresh"
+
+    def test_active_clients_survive_a_prune(self):
+        clock = [0.0]
+        limiter = RateLimiter(2, window_s=60.0, clock=lambda: clock[0])
+        assert limiter.allow("steady")
+        clock[0] = 59.0
+        assert limiter.allow("steady")  # still inside the window
+        clock[0] = 100.0  # prune fires; steady's last event is recent
+        assert limiter.allow("newcomer")
+        assert "steady" in limiter._events
+        # ...and steady's own window still counts the surviving event.
+        assert limiter.allow("steady")
+        assert not limiter.allow("steady")
+
 
 class TestEventRate:
     def test_rate_over_the_window(self):

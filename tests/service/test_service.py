@@ -13,6 +13,7 @@ Two gears:
 
 from __future__ import annotations
 
+import re
 import socket
 import threading
 import time
@@ -21,17 +22,16 @@ from types import SimpleNamespace
 import pytest
 
 from repro.api import Session, TunerConfig
-from repro.cluster.protocol import (
-    PROTOCOL_VERSION,
-    recv_frame,
-    send_frame,
-)
+from repro.cluster import protocol as cluster_protocol
+from repro.cluster.protocol import PROTOCOL_VERSION
 from repro.core.configuration import Configuration
 from repro.core.report import TuningReport, report_to_payload
 from repro.errors import ServiceError, ServiceRejected
 from repro.experiments.runner import clear_sessions
 from repro.service import ServiceClient, ServiceHandle
+from repro.service import protocol as verbs
 from repro.service.daemon import sanitize_namespace
+from repro.service.protocol import recv_frame, send_frame
 
 APP = "Strassen"
 MACHINE = "Desktop"
@@ -266,15 +266,97 @@ class TestTenancy:
         assert tenants[0] not in (".", "..")
 
     def test_sanitize_namespace(self):
+        # Already-safe names pass through untouched...
         assert sanitize_namespace("team-a") == "team-a"
-        assert sanitize_namespace("  ") == "default"
-        assert sanitize_namespace("a/b\\c:d") == "a_b_c_d"
-        assert len(sanitize_namespace("x" * 200)) == 64
-        assert sanitize_namespace("..") == "default"
-        assert sanitize_namespace(".") == "default"
+        assert sanitize_namespace("Team_1.prod") == "Team_1.prod"
+        # ...everything else is cleaned and hash-suffixed so the result
+        # is still one flat, safe path component.
+        for raw in ("  ", "a/b\\c:d", "x" * 200, ".", "..", "team a"):
+            cleaned = sanitize_namespace(raw)
+            assert re.fullmatch(r"[A-Za-z0-9_.\-]{1,64}", cleaned), cleaned
+            assert cleaned not in (".", "..")
+        assert sanitize_namespace("a/b\\c:d").startswith("a_b_c_d-")
+        assert sanitize_namespace("..").startswith("default-")
+
+    def test_sanitize_namespace_keeps_distinct_tenants_distinct(self):
+        """Lossy cleaning must not merge two tenants onto one identity:
+        'team a' and 'team_a' are different namespaces and must land in
+        different tenant directories (same for dots-only names and long
+        names sharing a 64-character prefix)."""
+        assert sanitize_namespace("team a") != sanitize_namespace("team_a")
+        assert sanitize_namespace("team a") != sanitize_namespace("team-a")
+        assert sanitize_namespace(".") != sanitize_namespace("..")
+        long_a, long_b = "x" * 100 + "a", "x" * 100 + "b"
+        assert sanitize_namespace(long_a) != sanitize_namespace(long_b)
+        # Deterministic: the same raw namespace always lands in the
+        # same tenant directory across connections and daemon restarts.
+        assert sanitize_namespace("team a") == sanitize_namespace("team a")
 
 
 class TestWire:
+    def test_pickle_frames_are_rejected_without_unpickling(self):
+        """Security regression: service clients are untrusted, so their
+        bytes must never reach ``pickle.loads`` — a pickle that executes
+        code on load has to bounce off the JSON decoder instead."""
+        executed = []
+
+        class Exploit:
+            def __reduce__(self):
+                return (executed.append, ("pwned",))
+
+        with _daemon() as daemon:
+            host, port = daemon.address.rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=10) as sock:
+                sock.sendall(
+                    cluster_protocol.encode_message(
+                        {"type": "hello", "payload": Exploit()},
+                        codec=cluster_protocol.PICKLE,
+                    )
+                )
+                assert recv_frame(sock) is None  # hung up, nothing ran
+            assert executed == []
+            # ...and the daemon still serves honest clients.
+            with ServiceClient(daemon.address, name="honest") as client:
+                assert "capacity" in client.metrics()
+
+    def test_pipelined_cancel_overtakes_a_parked_result(self, fake_pool):
+        """Regression: requests on one connection are served as
+        independent tasks, so a ``cancel`` pipelined behind a parked
+        ``result`` (timeout=None) for the same job settles that job
+        instead of deadlocking the connection behind it."""
+        with _daemon(tune_many_workers=4, service_max_jobs=1) as daemon:
+            host, port = daemon.address.rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=30) as sock:
+                send_frame(sock, verbs.hello("pipeliner", "pipeliner"))
+                assert recv_frame(sock)["type"] == "welcome"
+                send_frame(
+                    sock,
+                    {"type": "submit", "req_id": 1, "app": APP, "machine": "Desktop"},
+                )
+                send_frame(
+                    sock,
+                    {"type": "submit", "req_id": 2, "app": APP, "machine": "Server"},
+                )
+                responses = {}
+                for _ in range(2):
+                    answer = recv_frame(sock)
+                    responses[answer["req_id"]] = answer
+                doomed = responses[2]["job_id"]  # queued behind Desktop
+                # Park an indefinite result wait, then pipeline the
+                # cancel for the very job it waits on.
+                send_frame(
+                    sock,
+                    {"type": "result", "req_id": 3, "job_id": doomed, "timeout": None},
+                )
+                send_frame(sock, {"type": "cancel", "req_id": 4, "job_id": doomed})
+                for _ in range(2):
+                    answer = recv_frame(sock)
+                    responses[answer["req_id"]] = answer
+            assert responses[4]["type"] == "cancelled" and responses[4]["ok"]
+            assert responses[3]["type"] == "job-result"
+            assert responses[3]["state"] == "cancelled"
+            fake_pool.release()
+
     def test_bad_verbs_and_unknown_names_are_rejected(self):
         with _daemon() as daemon:
             with ServiceClient(daemon.address, name="fuzzer") as client:
@@ -332,6 +414,55 @@ class TestWire:
                 assert answer["type"] == "error"
                 assert answer["req_id"] == 42
                 assert answer["kind"] == "bad-request"
+
+
+class TestLongevity:
+    """The leaks that only matter in a daemon that never exits."""
+
+    def test_terminal_job_records_are_evicted(self, fake_pool):
+        """Regression: terminal jobs (with full report payloads) must
+        not accumulate in ``_jobs``/``_dedup`` forever — past the
+        history cap the oldest-settled records evict, and the evicted
+        target simply becomes submittable again."""
+        with _daemon(tune_many_workers=4) as daemon:
+            daemon.service.terminal_history = 2
+            fake_pool.release()
+            with ServiceClient(daemon.address, name="churn") as client:
+                job_ids = []
+                for seed in range(5):
+                    job_id = client.submit(APP, MACHINE, seed=seed)
+                    client.result(job_id, timeout=30)
+                    job_ids.append(job_id)
+                with pytest.raises(ServiceRejected, match="unknown job"):
+                    client.status(job_ids[0])
+                assert client.status(job_ids[-1]) == "done"
+                assert len(daemon.service._jobs) <= 2
+                assert len(daemon.service._dedup) <= 2
+                # Re-submitting an evicted target makes a fresh job
+                # rather than resurrecting the forgotten id.
+                assert client.submit(APP, MACHINE, seed=0) not in job_ids
+
+    def test_index_failure_still_settles_the_job_and_frees_the_slot(
+        self, fake_pool
+    ):
+        """Regression: an exception while indexing a finished report
+        (malformed payload, index bug) must not swallow the completion
+        — the job settles, parked waiters wake, and the admission slot
+        is released for the next job."""
+        with _daemon(tune_many_workers=4, service_max_jobs=1) as daemon:
+            def boom(*args, **kwargs):
+                raise RuntimeError("index exploded")
+
+            daemon.service._index.put = boom
+            fake_pool.release()
+            with ServiceClient(daemon.address, name="idx") as client:
+                first = client.submit(APP, "Desktop")
+                report = client.result(first, timeout=30)
+                assert isinstance(report, TuningReport)
+                # Capacity is 1: this only runs if the slot came back.
+                second = client.submit(APP, "Server")
+                client.result(second, timeout=30)
+                assert client.metrics()["running"] == 0
 
 
 class TestMetrics:
