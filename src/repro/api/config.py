@@ -90,6 +90,7 @@ __all__ = [
     "ENV_CLUSTER_TIMEOUT_S",
     "ENV_CLUSTER_WORKERS",
     "ENV_CONFIG_FILE",
+    "ENV_FAULTS",
     "ENV_FULL_SCALE",
     "ENV_PROGRESS",
     "ENV_RESUME",
@@ -125,6 +126,7 @@ ENV_CLUSTER_TIMEOUT_S = "REPRO_CLUSTER_TIMEOUT_S"
 ENV_SERVICE_ADDRESS = "REPRO_SERVICE_ADDRESS"
 ENV_SERVICE_MAX_JOBS = "REPRO_SERVICE_MAX_JOBS"
 ENV_SERVICE_RATE_LIMIT = "REPRO_SERVICE_RATE_LIMIT"
+ENV_FAULTS = "REPRO_FAULTS"
 
 #: Environment variable naming the config file (overrides the
 #: ``./repro.toml`` default lookup).
@@ -166,6 +168,7 @@ ENV_BY_FIELD: Dict[str, str] = {
     "service_address": ENV_SERVICE_ADDRESS,
     "service_max_jobs": ENV_SERVICE_MAX_JOBS,
     "service_rate_limit": ENV_SERVICE_RATE_LIMIT,
+    "fault_spec": ENV_FAULTS,
 }
 
 
@@ -275,6 +278,10 @@ class TunerConfig:
             session pool's slots either way.
         service_rate_limit: Per-client job admissions per minute on
             the service (0 disables rate limiting).
+        fault_spec: Deterministic fault-injection spec for chaos runs
+            (see :mod:`repro.faults` for the grammar, e.g.
+            ``"seed=42;cluster.send_frame=drop@0.2#3"``); ``None``
+            (the default) keeps every injection point a no-op.
         provenance: Field name -> source (``"default"``,
             ``"env:VAR"``, ``"file:PATH"`` or ``"arg"``).  Excluded
             from equality; filled in automatically when omitted.
@@ -297,6 +304,7 @@ class TunerConfig:
     service_address: Optional[str] = None
     service_max_jobs: int = DEFAULT_SERVICE_MAX_JOBS
     service_rate_limit: int = DEFAULT_SERVICE_RATE_LIMIT
+    fault_spec: Optional[str] = None
     provenance: Mapping[str, str] = field(
         default_factory=dict, compare=False, repr=False, hash=False
     )
@@ -326,6 +334,11 @@ class TunerConfig:
                 set_attr(self, "service_address", None)
             else:
                 set_attr(self, "service_address", self.service_address.strip())
+        if isinstance(self.fault_spec, str):
+            if self.fault_spec.strip().lower() in FALSY_VALUES:
+                set_attr(self, "fault_spec", None)
+            else:
+                set_attr(self, "fault_spec", self.fault_spec.strip())
         if not self.provenance:
             defaults = {
                 f.name: f.default
@@ -424,6 +437,21 @@ class TunerConfig:
             )
         self._require_int("service_max_jobs", 0)
         self._require_int("service_rate_limit", 0)
+        if self.fault_spec is not None:
+            if not isinstance(self.fault_spec, str):
+                self._fail(
+                    "fault_spec",
+                    f"expected a fault-spec string or None, got {self.fault_spec!r}",
+                )
+            # Validate the grammar here so a typo'd chaos spec fails at
+            # config time (with provenance) instead of silently
+            # injecting nothing mid-run.
+            from repro.faults import parse_fault_plan
+
+            try:
+                parse_fault_plan(self.fault_spec)
+            except ConfigError as exc:
+                self._fail("fault_spec", str(exc))
 
     # -- layered resolution --------------------------------------------
 
@@ -571,6 +599,7 @@ class TunerConfig:
         _env("service_address", _dir_or_none)
         _env("service_max_jobs", lambda raw: _lenient_count(raw, 0))
         _env("service_rate_limit", lambda raw: _lenient_count(raw, 0))
+        _env("fault_spec", _dir_or_none)
         for flag_name in ("resume", "progress"):
             _env(flag_name, _flag)
         # REPRO_FULL_SCALE's historical grammar differs from the other
@@ -656,7 +685,12 @@ class TunerConfig:
         text = raw.strip()
         if field_name in ("resume", "progress", "full_scale"):
             return _flag(raw), text != ""
-        if field_name in ("cache_dir", "cluster_address", "service_address"):
+        if field_name in (
+            "cache_dir",
+            "cluster_address",
+            "service_address",
+            "fault_spec",
+        ):
             if text.lower() in FALSY_VALUES:
                 return None, raw != ""
             return text, True

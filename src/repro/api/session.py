@@ -38,6 +38,7 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro import faults
 from repro.api.config import TunerConfig
 from repro.compiler.compile import CompiledProgram
 from repro.core.driver import CandidateEvent, CheckpointStore, RoundEvent
@@ -176,6 +177,8 @@ class Session:
         elif overrides:
             config = config.with_overrides(**overrides)
         self._config = config
+        if config.fault_spec is not None:
+            faults.install(config.fault_spec)
         self._result_cache = ResultCache(config.cache_dir)
         self._checkpoints = CheckpointStore.for_cache_dir(config.cache_dir)
         self._executor: Optional[ThreadPoolExecutor] = None

@@ -233,7 +233,14 @@ class ClusterClient:
             },
         )
         welcome = await recv_message(reader)
-        if welcome is None or welcome.get("type") != "welcome":
+        if welcome is None:
+            # The coordinator accepted and then the connection died
+            # before the welcome arrived — an availability failure
+            # (callers may degrade/retry), not a protocol violation.
+            raise ClusterUnavailable(
+                f"coordinator at {self.address} hung up during the handshake"
+            )
+        if welcome.get("type") != "welcome":
             raise ClusterProtocolError(
                 f"coordinator at {self.address} did not answer the hello"
             )

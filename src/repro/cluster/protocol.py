@@ -47,9 +47,11 @@ import json
 import pickle
 import socket
 import struct
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ClusterProtocolError
+from repro.faults import fault_point
 
 #: Bump when the message vocabulary changes incompatibly; peers with
 #: mismatched versions refuse to talk rather than mis-parse.
@@ -148,8 +150,31 @@ def send_nowait(
     """
     if writer.is_closing():
         return
+    frame = encode_message(message, codec=codec)
+    fault = fault_point("cluster.send_frame")
+    if fault is not None:
+        if fault.kind == "drop":
+            # The frame vanishes on the wire; the connection survives.
+            # Recovery relies on the protocol's liveness machinery
+            # (heartbeat reaping, straggler duplication, re-dispatch).
+            return
+        if fault.kind == "truncate":
+            # Half a frame, then the link dies mid-send — the peer's
+            # readexactly fails and treats the connection as lost.
+            try:
+                writer.write(frame[: max(1, len(frame) // 2)])
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+            except (ConnectionError, RuntimeError, OSError):
+                pass
+            return
+        if fault.kind in ("delay", "slow"):
+            # A slow link.  Blocking the loop is intentional: frames
+            # must not be reordered, and chaos delays are tiny.
+            time.sleep(fault.seconds)
     try:
-        writer.write(encode_message(message, codec=codec))
+        writer.write(frame)
     except (ConnectionError, RuntimeError, OSError):
         return
 

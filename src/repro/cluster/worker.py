@@ -18,8 +18,11 @@ from __future__ import annotations
 import asyncio
 import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Optional
+
+from repro.faults import fault_point
 
 from repro.cluster.protocol import (
     PROTOCOL_VERSION,
@@ -95,7 +98,11 @@ class Worker:
             },
         )
         welcome = await recv_message(reader)
-        if welcome is None or welcome.get("type") != "welcome":
+        if welcome is None:
+            raise ClusterUnavailable(
+                f"coordinator at {self.address} hung up during the handshake"
+            )
+        if welcome.get("type") != "welcome":
             raise ClusterProtocolError(
                 f"coordinator at {self.address} did not answer the hello"
             )
@@ -147,7 +154,9 @@ class Worker:
         request: Any,
     ) -> None:
         try:
-            result = await loop.run_in_executor(executor, self.handler, request)
+            result = await loop.run_in_executor(
+                executor, self._apply_handler, request
+            )
         except Exception as exc:
             send_nowait(
                 writer,
@@ -155,13 +164,38 @@ class Worker:
                  "message": f"{type(exc).__name__}: {exc}"},
             )
         else:
+            fault = fault_point("worker.result_ack")
+            if fault is not None and fault.kind == "crash":
+                # The host dies after computing but before acking: the
+                # coordinator sees the connection drop and re-dispatches
+                # this very task to a surviving worker.
+                log.warning(
+                    "injected crash before acking task %s", task_id
+                )
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+                self._stopping = True
+                return
             send_nowait(
                 writer, {"type": "result", "task_id": task_id, "result": result}
             )
 
+    def _apply_handler(self, request: Any) -> Any:
+        fault = fault_point("worker.compute")
+        if fault is not None and fault.kind in ("delay", "slow"):
+            time.sleep(fault.seconds)  # a straggler
+        return self.handler(request)
+
     async def _heartbeat_loop(self, writer: asyncio.StreamWriter) -> None:
         while True:
             await asyncio.sleep(self.heartbeat_interval)
+            fault = fault_point("worker.heartbeat")
+            if fault is not None and fault.kind in ("delay", "slow"):
+                # A stalled host: heartbeats arrive late enough for the
+                # coordinator's reaper to (rightly) declare this worker
+                # dead and re-dispatch its tasks.
+                await asyncio.sleep(fault.seconds)
             send_nowait(writer, {"type": "heartbeat"})
 
     def request_stop(self) -> None:

@@ -71,6 +71,7 @@ from repro.core.fitness import (
 )
 from repro.core.parallel import ParallelEvaluator, default_worker_count
 from repro.core.result_cache import ResultCache, execution_model_hash
+from repro.core.retry import CircuitBreaker
 from repro.errors import ClusterUnavailable, TuningError
 
 log = logging.getLogger(__name__)
@@ -543,9 +544,14 @@ class ClusterEvaluator(Evaluator):
 
     Transport failures are *degradations*, never errors: if the
     coordinator is unreachable (or dies mid-tune), affected
-    evaluations are recomputed locally and a warning is logged once.
-    Remote *evaluation* failures — the simulation itself raised on a
-    worker — are re-raised, exactly as a local failure would be.
+    evaluations are recomputed locally and a warning is logged once
+    per outage.  Degradation is no longer permanent: a circuit
+    breaker (:class:`~repro.core.retry.CircuitBreaker`) schedules
+    periodic probes, and when a probe reconnects — the coordinator was
+    restarted, the partition healed — the evaluator *re-attaches* and
+    speculation resumes on the fleet.  Remote *evaluation* failures —
+    the simulation itself raised on a worker — are re-raised, exactly
+    as a local failure would be.
 
     Args:
         compiled: Compiler output for the target machine.
@@ -560,6 +566,9 @@ class ClusterEvaluator(Evaluator):
         heartbeat_s: Worker heartbeat interval, seconds.
         timeout_s: Connect timeout, and the silence after which the
             coordinator declares a worker dead.
+        reattach_after_s: Seconds a degraded evaluator waits before
+            probing the coordinator again; ``None`` derives a default
+            from ``timeout_s``.
         accuracy_fn / accuracy_target / seed / result_cache: As for
             :class:`ProcessEvaluator`.
     """
@@ -573,6 +582,7 @@ class ClusterEvaluator(Evaluator):
         cluster_workers: int = 2,
         heartbeat_s: float = 2.0,
         timeout_s: float = 10.0,
+        reattach_after_s: Optional[float] = None,
         accuracy_fn: Optional[AccuracyFn] = None,
         accuracy_target: Optional[float] = None,
         seed: int = 0,
@@ -593,7 +603,20 @@ class ClusterEvaluator(Evaluator):
         self.timeout_s = timeout_s
         self._client = None  # repro.cluster.client.ClusterClient
         self._local_cluster = None  # repro.cluster.local.LocalCluster
-        self._degraded = False
+        # Transport health.  Closed: use the fleet.  Open: recompute
+        # locally without paying a connect timeout every scheduling
+        # round.  After `reattach_after_s` one prefetch becomes a
+        # probe; success re-attaches, failure re-opens the circuit.
+        self._breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_after_s=(
+                reattach_after_s
+                if reattach_after_s is not None
+                else max(0.5, timeout_s / 2.0)
+            ),
+        )
+        self._warned_outage = False
+        self.reattachments = 0
         self._inflight: Dict[Tuple[str, int], Future] = {}
 
     def __enter__(self) -> "ClusterEvaluator":
@@ -608,7 +631,7 @@ class ClusterEvaluator(Evaluator):
 
         The tuning driver re-reads this every scheduling round, so an
         elastically growing fleet deepens speculation on the fly.
-        Before the first connection — and after a degradation — this
+        Before the first connection — and while degraded — this
         reports the configured self-hosted size so the driver still
         prefetches enough to fill the fleet once it is up.
         """
@@ -617,39 +640,73 @@ class ClusterEvaluator(Evaluator):
             return max(1, client.workers)
         return self.cluster_workers
 
-    def _ensure_client(self):
-        """Connect lazily; a dead coordinator degrades instead of raising."""
-        if self._degraded:
-            return None
-        if self._client is None:
-            from repro.cluster.client import ClusterClient
-            from repro.cluster.local import LocalCluster
+    @property
+    def _degraded(self) -> bool:
+        """Whether evaluations currently recompute locally."""
+        return self._breaker.state != CircuitBreaker.CLOSED
 
-            try:
-                if self.cluster_address is None:
-                    self._local_cluster = LocalCluster(
-                        workers=self.cluster_workers,
-                        heartbeat_interval=self.heartbeat_s,
-                        heartbeat_timeout=self.timeout_s,
-                    )
-                    address = self._local_cluster.address
-                else:
-                    address = self.cluster_address
-                self._client = ClusterClient(
-                    address, connect_timeout=self.timeout_s
+    def _ensure_client(self):
+        """Connect lazily; a dead coordinator degrades instead of raising.
+
+        While the circuit is open this returns ``None`` immediately —
+        no connect timeout is paid per scheduling round.  Once the
+        breaker's reset interval elapses, one call becomes a probe
+        that attempts a fresh connection; success re-attaches the
+        fleet (and speculation resumes), failure re-opens the circuit
+        for another interval.
+        """
+        if self._client is not None and not self._degraded:
+            return self._client
+        if not self._breaker.allow():
+            return None
+        from repro.cluster.client import ClusterClient
+        from repro.cluster.local import LocalCluster
+
+        was_degraded = self._degraded
+        try:
+            if self.cluster_address is None and self._local_cluster is None:
+                self._local_cluster = LocalCluster(
+                    workers=self.cluster_workers,
+                    heartbeat_interval=self.heartbeat_s,
+                    heartbeat_timeout=self.timeout_s,
                 )
-            except ClusterUnavailable as exc:
-                self._degrade(exc)
-                return None
+            address = (
+                self._local_cluster.address
+                if self._local_cluster is not None
+                else self.cluster_address
+            )
+            self._client = ClusterClient(
+                address, connect_timeout=self.timeout_s
+            )
+        except ClusterUnavailable as exc:
+            self._degrade(exc)
+            return None
+        self._breaker.record_success()
+        if was_degraded:
+            self.reattachments += 1
+            self._warned_outage = False
+            log.warning(
+                "cluster backend re-attached to coordinator at %s "
+                "(speculation resumes on a %d-worker fleet)",
+                address,
+                self._client.workers,
+            )
         return self._client
 
     def _degrade(self, exc: Exception) -> None:
-        if not self._degraded:
-            self._degraded = True
+        """Recompute locally for now; the breaker schedules re-probes."""
+        self._breaker.record_failure()
+        client, self._client = self._client, None
+        if client is not None:
+            client.close()
+        if not self._warned_outage:
+            self._warned_outage = True
             log.warning(
                 "cluster backend degraded to local computation: %s "
-                "(results are unaffected; only wall-clock time suffers)",
+                "(results are unaffected; only wall-clock time suffers; "
+                "re-attach probes run every %.1fs)",
                 exc,
+                self._breaker.reset_after_s,
             )
 
     def _request(self, config_json: str, size: int) -> EvaluationRequest:
@@ -682,7 +739,12 @@ class ClusterEvaluator(Evaluator):
                 memoised = key in self._pure
             if memoised:
                 continue
-            self._inflight[key] = client.submit(self._request(key[0], size))
+            future = client.submit(self._request(key[0], size))
+            # Tag the future with its connection so a loss discovered
+            # at join time degrades the right client — never a fresh
+            # one acquired by a re-attach in between.
+            future._repro_client = client  # type: ignore[attr-defined]
+            self._inflight[key] = future
 
     def _join(
         self, key: Tuple[str, int], future: Future
@@ -697,7 +759,8 @@ class ClusterEvaluator(Evaluator):
         try:
             result: EvaluationResult = future.result()
         except (ClusterUnavailable, CancelledError) as exc:
-            self._degrade(exc)
+            if getattr(future, "_repro_client", None) is self._client:
+                self._degrade(exc)
             return None
         pure = PureEvaluation(
             time_s=result.time_s,

@@ -55,9 +55,11 @@ from repro.compiler.compile import CompiledProgram
 from repro.core.configuration import Configuration
 from repro.core.fitness import Evaluator
 from repro.core.report import TuningReport, report_from_payload, report_to_payload
+from repro import faults
 from repro.core.result_cache import (
     DISABLED_VALUES,
     ResultCache,
+    _fsync_dir,
     execution_model_hash,
 )
 from repro.core.strategies.base import Proposal, SearchPlan, SearchStrategy
@@ -197,16 +199,52 @@ class DriverStats:
     replayed: int = 0
 
 
+@dataclass
+class CheckpointScanStats:
+    """What one :meth:`CheckpointStore.finished_reports` scan saw.
+
+    Every skipped file is *counted* (never silently dropped): the
+    daemon's boot scan reports these through ``metrics``, so an
+    operator can tell "empty store" apart from "store full of
+    garbage".
+
+    Attributes:
+        scanned: Candidate ``tune_*.json`` files examined.
+        yielded: Complete, current, model-matched reports yielded.
+        unreadable: Truncated/unparseable/unopenable files.
+        malformed: Parsed but structurally wrong (non-dict entry,
+            missing identity/report dicts).
+        not_complete: Valid in-progress checkpoints (not an anomaly).
+        wrong_version: Complete but from another checkpoint layout.
+        stale_model: Complete but hashed against different
+            execution-model code.
+    """
+
+    scanned: int = 0
+    yielded: int = 0
+    unreadable: int = 0
+    malformed: int = 0
+    not_complete: int = 0
+    wrong_version: int = 0
+    stale_model: int = 0
+
+
 class CheckpointStore:
-    """Atomic JSON checkpoint files, one per session identity.
+    """Atomic, crash-safe JSON checkpoint files, one per session
+    identity.
 
     Args:
         directory: Checkpoint directory (created on first write).
             ``None`` disables checkpointing entirely.
+
+    Attributes:
+        last_scan: The :class:`CheckpointScanStats` of the most recent
+            :meth:`finished_reports` scan (``None`` before the first).
     """
 
     def __init__(self, directory: Optional[str]) -> None:
         self._directory = directory
+        self.last_scan: Optional[CheckpointScanStats] = None
 
     @staticmethod
     def from_environment() -> "CheckpointStore":
@@ -240,36 +278,73 @@ class CheckpointStore:
         return os.path.join(self._directory, f"tune_{digest}.json")
 
     def load(self, identity: Dict[str, object]) -> Optional[Dict[str, object]]:
-        """The stored state for this identity (None on miss/corruption)."""
+        """The stored state for this identity (None on miss/corruption).
+
+        A file that exists but cannot be parsed is moved aside into the
+        store's ``quarantine/`` subdirectory so the next :meth:`save`
+        starts from a clean slot and the broken bytes stay inspectable.
+        """
         if self._directory is None:
             return None
+        path = self.path_for(identity)
         try:
-            with open(self.path_for(identity), "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
+            self._quarantine(path)
             return None
         if not isinstance(entry, dict) or entry.get("identity") != identity:
+            self._quarantine(path)
             return None
         return entry
 
     def save(self, identity: Dict[str, object], state: Dict[str, object]) -> None:
-        """Persist a checkpoint atomically (failures are swallowed —
-        checkpoints accelerate recovery, they are never a correctness
-        dependency)."""
+        """Persist a checkpoint atomically and durably (failures are
+        swallowed — checkpoints accelerate recovery, they are never a
+        correctness dependency).
+
+        Durability matters here even though correctness does not: a
+        checkpoint that ``os.replace``-ed into place but never reached
+        the platter can reappear *truncated* after a power loss, which
+        is strictly worse than no checkpoint at all.  So the temp file
+        is fsynced before the rename and the directory after it, same
+        as :meth:`ResultCache.put`.
+        """
         if self._directory is None:
             return
         entry = dict(state)
         entry["identity"] = identity
         entry["version"] = CHECKPOINT_VERSION
+        text = json.dumps(entry)
+        published = False
+        crashed = False
         try:
             os.makedirs(self._directory, exist_ok=True)
+            fault = faults.fault_point("checkpoint.save")
+            if fault is not None and fault.kind == "oserror":
+                raise faults.injected_oserror(fault)
             fd, tmp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle)
+                    if fault is not None and fault.kind == "torn":
+                        # The process dies mid-write: a partial temp
+                        # file remains, but the published checkpoint is
+                        # untouched.
+                        handle.write(text[: max(1, len(text) // 2)])
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                        crashed = True
+                        return
+                    handle.write(text)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp_path, self.path_for(identity))
+                published = True
+                _fsync_dir(self._directory)
             finally:
-                if os.path.exists(tmp_path):
+                if not published and not crashed and os.path.exists(tmp_path):
                     os.unlink(tmp_path)
         except OSError:
             return
@@ -283,8 +358,19 @@ class CheckpointStore:
         except OSError:
             return
 
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt checkpoint into ``quarantine/`` (best effort)."""
+        assert self._directory is not None
+        try:
+            pen = os.path.join(self._directory, "quarantine")
+            os.makedirs(pen, exist_ok=True)
+            os.replace(path, os.path.join(pen, os.path.basename(path)))
+        except OSError:
+            return
+
     def finished_reports(
         self,
+        stats: Optional[CheckpointScanStats] = None,
     ) -> Iterator[Tuple[Dict[str, object], Dict[str, object]]]:
         """Scan the store for completed sessions.
 
@@ -294,9 +380,21 @@ class CheckpointStore:
         staleness rules :meth:`load` applies on the single-identity
         path, so a consumer can trust every yielded payload to
         round-trip through
-        :func:`~repro.core.report.report_from_payload`.  Corrupt or
-        partial files are skipped silently; the scan never raises.
+        :func:`~repro.core.report.report_from_payload`.  The scan never
+        raises; every file it skips is tallied by class in a
+        :class:`CheckpointScanStats` — pass one in to collect counts,
+        or read :attr:`last_scan` after the generator is exhausted.
+
+        Args:
+            stats: Collector for skip/yield counts.  When ``None`` a
+                fresh one is created.  Either way it is published on
+                :attr:`last_scan` as soon as the scan starts, so
+                callers that abandon the iterator early still see the
+                partial tallies.
         """
+        if stats is None:
+            stats = CheckpointScanStats()
+        self.last_scan = stats
         if self._directory is None:
             return
         model = execution_model_hash()
@@ -307,23 +405,33 @@ class CheckpointStore:
         for name in names:
             if not name.startswith("tune_") or not name.endswith(".json"):
                 continue
+            stats.scanned += 1
             try:
                 with open(
                     os.path.join(self._directory, name), "r", encoding="utf-8"
                 ) as handle:
                     entry = json.load(handle)
             except (OSError, ValueError):
+                stats.unreadable += 1
                 continue
-            if not isinstance(entry, dict) or not entry.get("complete"):
+            if not isinstance(entry, dict):
+                stats.malformed += 1
+                continue
+            if not entry.get("complete"):
+                stats.not_complete += 1
                 continue
             identity = entry.get("identity")
             report = entry.get("report")
             if not isinstance(identity, dict) or not isinstance(report, dict):
+                stats.malformed += 1
                 continue
             if identity.get("version") != CHECKPOINT_VERSION:
+                stats.wrong_version += 1
                 continue
             if identity.get("model") != model:
+                stats.stale_model += 1
                 continue
+            stats.yielded += 1
             yield identity, report
 
 

@@ -30,10 +30,15 @@ The stored ``key`` is compared verbatim on lookup (a hash collision or
 stale file can never serve a wrong result), and the opaque ``payload``
 dict is returned as-is — the cache never interprets it.
 
-Writes are atomic (temp file + ``os.replace``), so concurrent tuners
-can share one directory; colliding writers produce identical content.
-A corrupted or partially written file is treated as a miss and left to
-be overwritten — it never crashes the tuner.
+Writes are atomic *and crash-safe*: the entry is written to a temp
+file, fsynced, ``os.replace``d into place, and the directory entry is
+fsynced too — a crash at any instant can never publish a torn entry.
+Concurrent tuners can share one directory; colliding writers produce
+identical content.  Transient write failures (a momentarily full
+disk) are retried with bounded backoff before being swallowed.  A
+corrupted file found on read is treated as a miss, counted, and moved
+into a ``quarantine/`` subdirectory for operator inspection — it
+never crashes the tuner and never silently disappears.
 
 Invalidation rules
 ==================
@@ -61,7 +66,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.api.config import ENV_CACHE_DIR, FALSY_VALUES, env_raw
+from repro.core.retry import RetryPolicy
 
 #: Bump when the cache entry layout changes incompatibly.
 CACHE_VERSION = 1
@@ -140,6 +147,12 @@ class CacheStats:
             the looked-up key (two keys sharing a truncated hash).
             Counted separately from ``invalid`` because a collision is
             expected cache behaviour, not corruption.
+        quarantined: Corrupt files moved into the ``quarantine/``
+            subdirectory on read (a subset of ``invalid`` events; the
+            move itself is best-effort).
+        write_errors: Store attempts that failed with ``OSError``
+            (each retried attempt counts; a store that eventually
+            succeeds still counts its failed tries here).
     """
 
     hits: int = 0
@@ -147,6 +160,8 @@ class CacheStats:
     stores: int = 0
     invalid: int = 0
     collisions: int = 0
+    quarantined: int = 0
+    write_errors: int = 0
 
 
 class ResultCache:
@@ -164,6 +179,11 @@ class ResultCache:
         # Guards the stats counters: lookups run concurrently on the
         # parallel evaluator's worker threads.
         self._stats_lock = threading.Lock()
+        # Transient write failures (momentarily full disk, EINTR-ish
+        # conditions) get a couple of quick retries before the store
+        # is abandoned; the cache is still never a correctness
+        # dependency.
+        self._retry = RetryPolicy(attempts=3, base_delay_s=0.02, max_delay_s=0.2)
 
     @staticmethod
     def from_environment() -> "ResultCache":
@@ -219,6 +239,7 @@ class ResultCache:
                 self.stats.misses += 1
             return None
         except (OSError, ValueError):
+            self._quarantine(path)
             with self._stats_lock:
                 self.stats.invalid += 1
                 self.stats.misses += 1
@@ -226,6 +247,7 @@ class ResultCache:
         if not isinstance(entry, dict) or not isinstance(
             entry.get("payload"), dict
         ):
+            self._quarantine(path)
             with self._stats_lock:
                 self.stats.invalid += 1
                 self.stats.misses += 1
@@ -244,40 +266,122 @@ class ResultCache:
         return entry["payload"]
 
     def put(self, key: Dict[str, Any], payload: Dict[str, Any]) -> None:
-        """Store an entry atomically (no-op when disabled).
+        """Store an entry atomically and crash-safely (no-op when
+        disabled).
+
+        The entry bytes are fsynced to the temp file *before*
+        ``os.replace`` publishes it, and the directory entry is
+        fsynced after — a crash at any instant leaves either the old
+        state or the complete new entry, never a torn file under the
+        published name.
 
         Failures never crash the tuner — the cache is an accelerator,
         never a correctness dependency.  Write failures (read-only or
-        full disk, ``OSError``) are swallowed silently; an entry that
-        cannot be serialised (``TypeError``/``ValueError`` from a
-        non-JSON payload) is swallowed too but counted under
-        ``stats.invalid``.  The temp file is cleaned up on every path.
+        full disk, ``OSError``) are retried briefly, then swallowed
+        and counted under ``stats.write_errors``; an entry that cannot
+        be serialised (``TypeError``/``ValueError`` from a non-JSON
+        payload) is swallowed too but counted under ``stats.invalid``.
         """
         if self._directory is None:
             return
-        entry = {"key": key, "payload": payload}
         try:
-            os.makedirs(self._directory, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(
-                dir=self._directory, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle)
-                os.replace(tmp_path, self._path_for(key))
-            finally:
-                if os.path.exists(tmp_path):
-                    os.unlink(tmp_path)
+            text = json.dumps({"key": key, "payload": payload})
         except (TypeError, ValueError):
             with self._stats_lock:
                 self.stats.invalid += 1
             return
+        path = self._path_for(key)
+
+        def _count_write_error(_exc: BaseException, _attempt: int) -> None:
+            with self._stats_lock:
+                self.stats.write_errors += 1
+
+        try:
+            published = self._retry.call(
+                lambda: self._write_entry(text, path),
+                retry_on=(OSError,),
+                on_retry=_count_write_error,
+            )
+        except OSError:
+            with self._stats_lock:
+                self.stats.write_errors += 1
+            return
+        if published:
+            with self._stats_lock:
+                self.stats.stores += 1
+
+    def _write_entry(self, text: str, path: str) -> bool:
+        """One atomic write attempt; True when the entry was published.
+
+        Injection point ``cache.put``: ``oserror`` raises a transient
+        write failure (exercising the retry path), ``torn`` simulates
+        a crash between the payload write and the rename — the partial
+        temp file is deliberately left on disk, unpublished, exactly
+        as a real crash would leave it.
+        """
+        assert self._directory is not None
+        os.makedirs(self._directory, exist_ok=True)
+        fault = faults.fault_point("cache.put")
+        if fault is not None and fault.kind == "oserror":
+            raise faults.injected_oserror(fault)
+        fd, tmp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
+        published = False
+        crashed = False
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                if fault is not None and fault.kind == "torn":
+                    handle.write(text[: max(1, len(text) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    crashed = True
+                    return False
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+            published = True
+            _fsync_dir(self._directory)
+            return True
+        finally:
+            if not published and not crashed:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside (best-effort) instead of leaving
+        it to be re-read — and re-counted — forever."""
+        assert self._directory is not None
+        try:
+            quarantine_dir = os.path.join(self._directory, "quarantine")
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(
+                path, os.path.join(quarantine_dir, os.path.basename(path))
+            )
         except OSError:
             return
         with self._stats_lock:
-            self.stats.stores += 1
+            self.stats.quarantined += 1
 
     def record_invalid(self) -> None:
         """Count an entry whose payload failed validation downstream."""
         with self._stats_lock:
             self.stats.invalid += 1
+
+
+def _fsync_dir(directory: str) -> None:
+    """Flush a directory entry so a rename survives power loss.
+
+    Best-effort: some platforms/filesystems refuse O_RDONLY directory
+    fsync — crash-safety degrades gracefully there."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -1,0 +1,175 @@
+"""Retry and circuit-breaker primitives for the long-lived planes.
+
+Two small, clock-injectable classes shared by the cluster evaluator
+(probe-and-re-attach after a coordinator outage) and the persistence
+layer (transient write failures — a momentarily full disk must not
+silently lose a cache entry the next attempt would have stored).
+
+Both are deliberately deterministic-friendly: :class:`RetryPolicy`
+draws its jitter from a private seeded generator, so two runs with the
+same seed sleep the same schedule, and neither class reads wall-clock
+time except through the injected ``clock``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and decorrelated jitter.
+
+    The delay schedule follows the "decorrelated jitter" recipe: each
+    sleep is drawn uniformly from ``[base, prev * 3]`` and capped, so
+    concurrent retriers spread out instead of thundering in lockstep —
+    while the seeded generator keeps any *single* run reproducible.
+
+    Args:
+        attempts: Total call attempts (>= 1); the first try counts.
+        base_delay_s: Lower bound of every sleep.
+        max_delay_s: Upper cap on every sleep.
+        seed: Jitter seed (deterministic schedules for tests/chaos).
+        sleep: Injectable sleep (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base_delay_s: float = 0.05,
+        max_delay_s: float = 2.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if base_delay_s <= 0 or max_delay_s < base_delay_s:
+            raise ValueError(
+                f"need 0 < base_delay_s <= max_delay_s, "
+                f"got {base_delay_s} / {max_delay_s}"
+            )
+        self.attempts = attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.seed = seed
+        self._sleep = sleep
+
+    def delays(self) -> Iterator[float]:
+        """The ``attempts - 1`` sleep durations, freshly seeded — one
+        schedule per call, identical across calls."""
+        rng = random.Random(self.seed)
+        previous = self.base_delay_s
+        for _ in range(self.attempts - 1):
+            previous = min(
+                self.max_delay_s,
+                rng.uniform(self.base_delay_s, previous * 3.0),
+            )
+            yield previous
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+        on_retry: Optional[Callable[[BaseException, int], None]] = None,
+    ) -> T:
+        """Run ``fn`` until it succeeds or attempts are exhausted.
+
+        Args:
+            fn: Zero-argument callable.
+            retry_on: Exception types worth another attempt; anything
+                else propagates immediately.
+            on_retry: Observer called with ``(exception, attempt)``
+                before each sleep (attempt is 1-based).
+
+        Raises:
+            The last ``retry_on`` exception once attempts run out.
+        """
+        delays = self.delays()
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt == self.attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(exc, attempt)
+                self._sleep(next(delays))
+        raise AssertionError("unreachable")
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker with a monotonic-clock probe.
+
+    The cluster evaluator's re-attach loop is the canonical consumer:
+    while the breaker is *open* every scheduling round skips the
+    coordinator outright (no connect timeout paid per round); once
+    ``reset_after_s`` elapses one caller is allowed through as a
+    *half-open* probe, and its success or failure decides whether the
+    circuit closes again or re-opens for another interval.
+
+    Args:
+        failure_threshold: Consecutive failures that open the circuit.
+        reset_after_s: Seconds an open circuit waits before allowing a
+            probe.
+        clock: Injectable monotonic clock.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 1,
+        reset_after_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after_s <= 0:
+            raise ValueError(f"reset_after_s must be > 0, got {reset_after_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        Closed: always.  Open: only once ``reset_after_s`` has elapsed,
+        which transitions to half-open (exactly one probe per interval
+        — a second ``allow()`` during the probe is refused)."""
+        if self._state == self.CLOSED:
+            return True
+        if self._state == self.OPEN:
+            if self._clock() - self._opened_at >= self.reset_after_s:
+                self._state = self.HALF_OPEN
+                return True
+            return False
+        return False  # half-open: the in-flight probe decides
+
+    def record_success(self) -> None:
+        """The guarded call worked; close the circuit."""
+        self._state = self.CLOSED
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        """The guarded call failed; count it, opening past threshold.
+
+        A half-open probe failure re-opens immediately (its own
+        fresh ``reset_after_s`` interval), whatever the threshold."""
+        self._failures += 1
+        if self._state == self.HALF_OPEN or self._failures >= self.failure_threshold:
+            self._state = self.OPEN
+            self._opened_at = self._clock()

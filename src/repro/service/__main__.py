@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import logging
+import signal
 import sys
 
 from repro.api.config import TunerConfig
@@ -85,11 +86,31 @@ def main(argv: list) -> int:
     service = TuningService(config)
 
     async def _run() -> None:
+        # SIGTERM/SIGINT trigger the same graceful path: stop
+        # accepting, persist the queued backlog, then (below, off the
+        # loop) drain running jobs.  A SIGKILL still loses nothing
+        # queued — the backlog is persisted eagerly on every change.
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # e.g. non-main thread or platforms without it
         await service.start()
         # Flushed promptly so wrappers (CI smoke legs, supervisors)
         # can scrape the bound address even with port 0.
         print(f"repro tuning service listening on {service.address}", flush=True)
-        await service.serve_forever()
+        serve = asyncio.ensure_future(service.serve_forever())
+        stop = asyncio.ensure_future(stop_requested.wait())
+        try:
+            await asyncio.wait(
+                {serve, stop}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            serve.cancel()
+            stop.cancel()
+        await service.stop()
 
     try:
         asyncio.run(_run())

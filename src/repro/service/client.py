@@ -48,6 +48,12 @@ class ServiceClient:
             job visibility and tenant cache files.  Defaults to the
             client name.
         connect_timeout: Seconds for the TCP connect + handshake.
+        request_timeout: Seconds any single request/response round trip
+            may take before the client declares the daemon hung and
+            raises :class:`ServiceUnavailable` (``None`` restores the
+            old wait-forever behaviour).  :meth:`result` is exempt: its
+            socket deadline follows the caller's ``timeout`` argument,
+            because parking on a slow job is that verb's whole point.
 
     Raises:
         ServiceUnavailable: When the daemon cannot be reached.
@@ -55,16 +61,23 @@ class ServiceClient:
             address points at a cluster coordinator instead).
     """
 
+    #: Slack added to ``result(timeout=...)``'s socket deadline so the
+    #: server-side timer (which answers with a typed ``timeout`` error)
+    #: always gets to fire first.
+    RESULT_GRACE_S = 10.0
+
     def __init__(
         self,
         address: str,
         name: str = "client",
         namespace: Optional[str] = None,
         connect_timeout: float = 10.0,
+        request_timeout: Optional[float] = 30.0,
     ) -> None:
         self.address = address
         self.name = name
         self.namespace = namespace if namespace is not None else name
+        self.request_timeout = request_timeout
         self._req_ids = itertools.count(1)
         self._lock = threading.Lock()
         self._closed = False
@@ -87,14 +100,25 @@ class ServiceClient:
             raise ServiceUnavailable(
                 f"tuning service at {address} hung up mid-handshake: {exc}"
             ) from exc
-        if welcome is None or welcome.get("type") != "welcome":
+        if welcome is None:
+            # The peer accepted but never answered (a hung daemon, a
+            # listener whose accept loop is stuck) or closed outright —
+            # either way the service is not available, not malformed.
+            self._sock.close()
+            raise ServiceUnavailable(
+                f"tuning service at {address} did not answer the hello "
+                f"within {connect_timeout} s"
+            )
+        if welcome.get("type") != "welcome":
             self._sock.close()
             raise ClusterProtocolError(
                 f"tuning service at {address} did not answer the hello"
             )
         check_version(welcome, "tuning service")
         self.capacity = int(welcome.get("capacity", 0))
-        self._sock.settimeout(None)
+        # Per-request deadlines are set in _call; between calls the
+        # socket is idle, so the lingering value is irrelevant.
+        self._sock.settimeout(self.request_timeout)
 
     # -- verbs ----------------------------------------------------------
 
@@ -142,9 +166,14 @@ class ServiceClient:
             TimeoutError: When ``timeout`` seconds pass first.
             ServiceError: When the job failed or was cancelled.
         """
+        # The daemon answers within the caller's timeout (plus grace
+        # for the round trip); with no caller timeout the call parks
+        # for as long as the job takes.
+        deadline = None if timeout is None else timeout + self.RESULT_GRACE_S
         response = self._call(
             {"type": "result", "job_id": job_id, "timeout": timeout},
             expect="job-result",
+            timeout_s=deadline,
         )
         state = response.get("state")
         if state == verbs.DONE:
@@ -204,7 +233,16 @@ class ServiceClient:
 
     # -- plumbing -------------------------------------------------------
 
-    def _call(self, request: Dict[str, Any], expect: str) -> Dict[str, Any]:
+    _DEFAULT_TIMEOUT = object()
+
+    def _call(
+        self,
+        request: Dict[str, Any],
+        expect: str,
+        timeout_s: Any = _DEFAULT_TIMEOUT,
+    ) -> Dict[str, Any]:
+        if timeout_s is ServiceClient._DEFAULT_TIMEOUT:
+            timeout_s = self.request_timeout
         with self._lock:
             if self._closed:
                 raise ServiceUnavailable(
@@ -213,16 +251,35 @@ class ServiceClient:
             req_id = next(self._req_ids)
             request = dict(request, req_id=req_id)
             try:
+                self._sock.settimeout(timeout_s)
                 verbs.send_frame(self._sock, request)
                 response = verbs.recv_frame(self._sock)
             except OSError as exc:
+                # Includes socket.timeout: either way the stream can no
+                # longer be trusted to be frame-aligned, so the client
+                # is poisoned — callers reconnect with a fresh one.
+                self._closed = True
+                self._sock.close()
                 raise ServiceUnavailable(
                     f"lost connection to tuning service at {self.address}: {exc}"
                 ) from exc
+            if response is None:
+                # recv_frame maps a read timeout (and any other socket
+                # error) to "peer gone"; same poisoning rules apply.
+                self._closed = True
+                self._sock.close()
         if response is None:
             raise ServiceUnavailable(
-                f"tuning service at {self.address} went away"
+                f"tuning service at {self.address} went away "
+                f"(or sent nothing for {timeout_s} s)"
             )
+        if response.get("type") == "error" and response.get("req_id") is None:
+            # A connection-level rejection (e.g. an unparseable or
+            # oversized frame): not tied to our req_id because the
+            # daemon could not read one.
+            self._closed = True
+            self._sock.close()
+            raise ServiceRejected(str(response.get("message")))
         if response.get("req_id") != req_id:
             raise ClusterProtocolError(
                 f"tuning service answered request {response.get('req_id')!r} "

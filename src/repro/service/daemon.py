@@ -39,8 +39,11 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
 import logging
+import os
 import re
+import tempfile
 import threading
 import time
 from collections import OrderedDict
@@ -48,6 +51,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import faults
 from repro.api.config import DEFAULT_SERVICE_ADDRESS, TunerConfig
 from repro.api.session import Session, TuningJob
 from repro.apps.registry import benchmark
@@ -61,6 +65,7 @@ from repro.compiler.compile import compile_program
 from repro.core.configuration import default_configuration
 from repro.core.driver import CheckpointStore
 from repro.core.report import report_to_payload
+from repro.core.result_cache import _fsync_dir
 from repro.errors import ClusterProtocolError, ExperimentError, ServiceError
 from repro.hardware.machines import machine_by_name
 from repro.service import protocol as verbs
@@ -140,6 +145,8 @@ class TuningService:
         elif overrides:
             config = config.with_overrides(**overrides)
         self._config = config
+        if config.fault_spec is not None:
+            faults.install(config.fault_spec)
         address = config.service_address or DEFAULT_SERVICE_ADDRESS
         self.host, self.port = parse_address(address)
         pool_width = config.tune_many_workers
@@ -163,6 +170,7 @@ class TuningService:
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._started_at = time.monotonic()
+        self.backlog_restored = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -171,18 +179,21 @@ class TuningService:
         return format_address(self.host, self.port)
 
     async def start(self) -> None:
-        """Bind the listener and seed the hot index from disk."""
+        """Bind the listener, seed the hot index from disk, and requeue
+        any backlog a previous incarnation left behind."""
         self._loop = asyncio.get_running_loop()
         loaded = await self._loop.run_in_executor(self._misc, self._load_index)
+        self._restore_backlog()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         log.info(
             "tuning service on %s: %d finished reports indexed, "
-            "capacity %d, rate limit %s/min",
+            "%d backlog jobs requeued, capacity %d, rate limit %s/min",
             self.address,
             loaded,
+            self.backlog_restored,
             self.capacity,
             self._config.service_rate_limit or "unlimited",
         )
@@ -194,13 +205,17 @@ class TuningService:
     async def stop(self) -> None:
         """Stop accepting connections and release parked waiters.
 
-        Session pools (and any still-running jobs) are shut down by
+        Queued jobs are persisted one last time (they are also written
+        eagerly on every queue change, so even SIGKILL loses nothing);
+        the next boot requeues them.  Session pools (and any
+        still-running jobs) are shut down — drained, not aborted — by
         :meth:`close_sessions`, which blocks and therefore must run
         off the event loop."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        self._persist_backlog()
         for job in self._jobs.values():
             job.done_event.set()
 
@@ -210,6 +225,101 @@ class TuningService:
             session.close()
         self._sessions.clear()
         self._misc.shutdown(wait=True)
+
+    def _backlog_path(self) -> Optional[str]:
+        if self._config.cache_dir is None:
+            return None
+        return os.path.join(self._config.cache_dir, "service_backlog.json")
+
+    def _persist_backlog(self) -> None:
+        """Write the queued (not yet admitted) jobs to disk, atomically
+        and durably — called on every queue change so a SIGKILLed
+        daemon's backlog survives to its next boot.  Event-loop thread
+        only; the file is tiny, so the write is synchronous.  Disabled
+        (like all persistence) when caching is off."""
+        path = self._backlog_path()
+        if path is None:
+            return
+        queued = [
+            {
+                "namespace": job.namespace,
+                "app": job.app,
+                "machine": job.machine,
+                "seed": job.seed,
+                "priority": job.priority,
+            }
+            for job in self._jobs.values()
+            if job.state == verbs.QUEUED
+        ]
+        try:
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            if not queued:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+                return
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            published = False
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump({"version": 1, "jobs": queued}, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, path)
+                published = True
+                _fsync_dir(directory)
+            finally:
+                if not published and os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+        except OSError:
+            log.warning("could not persist service backlog to %s", path)
+
+    def _restore_backlog(self) -> None:
+        """Requeue the previous incarnation's persisted backlog.
+
+        The file is consumed (deleted) first, so a crash during
+        restore cannot double-enqueue at the boot after that.  Restored
+        jobs bypass the rate limiter — their clients already paid for
+        them before the restart."""
+        path = self._backlog_path()
+        if path is None:
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError):
+            log.warning("ignoring unreadable service backlog at %s", path)
+            entry = None
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        if not isinstance(entry, dict) or entry.get("version") != 1:
+            return
+        jobs = entry.get("jobs")
+        if not isinstance(jobs, list):
+            return
+        for item in jobs:
+            if not isinstance(item, dict):
+                continue
+            try:
+                job, created = self._submit_job(
+                    "backlog-restore",
+                    str(item["namespace"]),
+                    str(item["app"]),
+                    str(item["machine"]),
+                    int(item["seed"]),
+                    int(item.get("priority") or 0),
+                    enforce_limit=False,
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            if job is not None and created:
+                self.backlog_restored += 1
 
     def _load_index(self) -> int:
         """Boot scan: the base checkpoint store plus every tenant's."""
@@ -307,8 +417,18 @@ class TuningService:
                 try:
                     message = await verbs.recv_message(reader)
                 except ClusterProtocolError as exc:
+                    # An oversized or unparseable frame: the stream
+                    # cannot be resynchronised, so tell the client
+                    # *why* (req_id None — no request could be read)
+                    # and hang up, instead of silently vanishing.
                     log.warning(
                         "service client %s protocol error: %s", client, exc
+                    )
+                    verbs.send_nowait(
+                        writer,
+                        verbs.error_response(
+                            None, verbs.BAD_REQUEST, str(exc)
+                        ),
                     )
                     return
                 if message is None:
@@ -332,6 +452,11 @@ class TuningService:
     ) -> None:
         req_id = message.get("req_id")
         kind = message.get("type")
+        fault = faults.fault_point("service.handler")
+        if fault is not None and fault.kind in ("delay", "slow"):
+            # A slow handler; clients with a request_timeout give up
+            # and poison their connection, which is the point.
+            await asyncio.sleep(fault.seconds)
         try:
             if kind == "submit":
                 response = self._handle_submit(message, client, namespace)
@@ -362,6 +487,12 @@ class TuningService:
             response = verbs.error_response(
                 req_id, verbs.INTERNAL, "internal service error"
             )
+        fault = faults.fault_point("service.result_frame")
+        if fault is not None and fault.kind == "drop":
+            # The response is lost on the wire (a client dying or a
+            # half-open connection).  The client's request timeout is
+            # what recovers from this.
+            return
         verbs.send_nowait(writer, response)
 
     # -- verbs ----------------------------------------------------------
@@ -454,6 +585,7 @@ class TuningService:
         if job.state == verbs.QUEUED:
             self._admission.withdraw(job.job_id)
             self._finalize(job, verbs.CANCELLED)
+            self._persist_backlog()
             ok = True
         elif job.state == verbs.RUNNING and job.tuning_job is not None:
             # Almost always refused — an admitted job starts on its
@@ -541,6 +673,7 @@ class TuningService:
         machine: str,
         seed: int,
         priority: int,
+        enforce_limit: bool = True,
     ) -> Tuple[Optional[ServiceJob], bool]:
         """Create (or dedup onto) a job; None means rate-limited."""
         dedup_key = (namespace, app, machine, seed)
@@ -552,7 +685,7 @@ class TuningService:
             # only cancelled/failed jobs may be retried as new ones.
             if existing.state not in (verbs.CANCELLED, verbs.FAILED):
                 return existing, False
-        if not self._limiter.allow(client):
+        if enforce_limit and not self._limiter.allow(client):
             return None, False
         self._job_ids += 1
         job = ServiceJob(
@@ -570,19 +703,27 @@ class TuningService:
         return job, True
 
     def _pump(self) -> None:
-        """Start queued jobs while slots are free (event-loop thread)."""
-        while True:
-            job_id = self._admission.admit()
-            if job_id is None:
-                return
-            job = self._jobs[job_id]
-            try:
-                self._start_job(job)
-            except Exception as exc:  # registry/compile errors surface here
-                log.exception("failed to start job %s", job.job_id)
-                self._admission.release()
-                job.message = str(exc)
-                self._finalize(job, verbs.FAILED)
+        """Start queued jobs while slots are free (event-loop thread).
+
+        Always ends by re-persisting the backlog: every caller has
+        just changed the queued set (enqueued, admitted, or settled),
+        and eager persistence is what makes the backlog survive
+        SIGKILL."""
+        try:
+            while True:
+                job_id = self._admission.admit()
+                if job_id is None:
+                    return
+                job = self._jobs[job_id]
+                try:
+                    self._start_job(job)
+                except Exception as exc:  # registry/compile errors surface here
+                    log.exception("failed to start job %s", job.job_id)
+                    self._admission.release()
+                    job.message = str(exc)
+                    self._finalize(job, verbs.FAILED)
+        finally:
+            self._persist_backlog()
 
     def _start_job(self, job: ServiceJob) -> None:
         session = self._session(job.namespace)
@@ -707,6 +848,8 @@ class TuningService:
                 "stores": stats.stores,
                 "invalid": stats.invalid,
                 "collisions": stats.collisions,
+                "quarantined": stats.quarantined,
+                "write_errors": stats.write_errors,
             }
         with self._evals_lock:
             evaluations = self._evals.total
@@ -722,6 +865,7 @@ class TuningService:
             "evaluations": evaluations,
             "evaluations_per_s": evaluations_per_s,
             "rate_limited": self._limiter.rejected,
+            "backlog_restored": self.backlog_restored,
         }
 
 

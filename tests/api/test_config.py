@@ -341,4 +341,5 @@ class TestDerivedViews:
             "service_address",
             "service_max_jobs",
             "service_rate_limit",
+            "fault_spec",
         ]

@@ -45,6 +45,50 @@ class TestProtocol:
         with pytest.raises(ClusterProtocolError, match="limit"):
             encode_message({"type": "blob", "data": b"x" * (17 * 1024 * 1024)})
 
+    def test_oversized_length_prefix_refused_at_receive(self):
+        """The receiver validates the length prefix *before* allocating
+        anything — a hostile or corrupted 4-GiB header must raise, not
+        reserve memory."""
+        import io
+        import struct
+
+        from repro.cluster.protocol import MAX_MESSAGE_BYTES, recv_frame
+
+        class _FakeSocket:
+            def __init__(self, data):
+                self._buf = io.BytesIO(data)
+
+            def recv(self, count):
+                return self._buf.read(count)
+
+        huge = struct.pack(">I", MAX_MESSAGE_BYTES + 1)
+        with pytest.raises(ClusterProtocolError, match="exceeds"):
+            recv_frame(_FakeSocket(huge + b"xx"))
+
+    def test_coordinator_survives_oversized_length_prefix(self):
+        """A raw peer claiming an oversized frame gets hung up on, and
+        the coordinator keeps serving its real clients."""
+        import socket
+        import struct
+
+        from repro.cluster.protocol import MAX_MESSAGE_BYTES
+
+        with LocalCluster(workers=1, handler=echo) as fleet:
+            host, port = parse_address(fleet.address)
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.settimeout(10)
+                sock.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1) + b"xx")
+                # The coordinator closes the connection cleanly.
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if sock.recv(4096) == b"":
+                        break
+                else:
+                    pytest.fail("coordinator never hung up on the bad peer")
+            # And the fleet still answers honest traffic.
+            with ClusterClient(fleet.address) as client:
+                assert client.submit(21).result(timeout=30) == 21
+
 
 class TestFleetBasics:
     def test_round_trip_through_real_sockets(self):

@@ -1,0 +1,20 @@
+"""Shared hygiene for the chaos suite.
+
+The fault injector is process-global by design (worker threads and the
+daemon's event loop must all see one plan), so every test here gets a
+guaranteed-clean slate before and after — a leaked plan would turn an
+unrelated test red in the most confusing way possible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    faults.uninstall()
+    yield
+    faults.uninstall()

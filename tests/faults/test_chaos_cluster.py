@@ -1,0 +1,195 @@
+"""Cluster plane under injected faults: the byte-identity guarantee.
+
+Every leg tunes the same app over a loopback fleet while a seeded
+fault plan injures the wire or the workers, and asserts the final
+:class:`TuningReport` matches the serial baseline — the ordered-commit
+protocol recomputes anything the fleet loses, so chaos costs
+wall-clock time, never bytes.
+
+Fault-plan design notes: ``drop`` on ``cluster.send_frame`` always
+carries a ``#limit``, and the plan is installed *after* the fleet's
+handshakes finish.  The point fires on *every* async frame send, and
+an unlimited drop would eventually eat a coordinator-to-client result
+frame — which nothing re-sends, so the client future would never
+resolve.  With the plan installed post-handshake, at least three
+sends (client welcome, a task dispatch, a worker result) precede the
+first client-bound result frame, so a ``#2`` drop provably lands only
+on frames the liveness machinery (straggler duplication, heartbeat
+reaping, re-dispatch, degrade-and-recompute) recovers.
+"""
+
+from __future__ import annotations
+
+from repro import faults
+from repro.cluster import LocalCluster
+from repro.core.retry import CircuitBreaker
+from repro.errors import ClusterUnavailable
+
+from tests.cluster.test_determinism import APP, tune_on_fleet
+from tests.core.test_parallel_determinism import baseline_report, report_key
+
+
+def _chaos_fleet(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("heartbeat_interval", 0.1)
+    kwargs.setdefault("heartbeat_timeout", 2.0)
+    kwargs.setdefault("straggler_after", 0.5)
+    return LocalCluster(**kwargs)
+
+
+def test_dropped_frames_report_identical_to_serial():
+    with _chaos_fleet() as fleet:
+        faults.install("seed=7;cluster.send_frame=drop#2")
+        tuned = tune_on_fleet(fleet)
+    snap = faults.snapshot()
+    assert snap["cluster.send_frame"]["fired"] == 2, "drops never happened"
+    faults.uninstall()
+    assert report_key(tuned) == report_key(baseline_report(APP))
+
+
+def test_truncated_frame_report_identical_to_serial():
+    """Half a frame then a dead link: whichever peer was mid-send, the
+    other side sees a lost connection and the protocol re-dispatches
+    (worker or coordinator link) or degrades-and-recomputes (client
+    link)."""
+    with _chaos_fleet() as fleet:
+        faults.install("seed=11;cluster.send_frame=truncate#1")
+        tuned = tune_on_fleet(fleet)
+    snap = faults.snapshot()
+    assert snap["cluster.send_frame"]["fired"] == 1
+    faults.uninstall()
+    assert report_key(tuned) == report_key(baseline_report(APP))
+
+
+def test_worker_crash_before_ack_report_identical_to_serial():
+    """The worker computes a result and dies before acking it — the
+    coordinator sees the connection drop and re-dispatches the task to
+    the survivor."""
+    with _chaos_fleet() as fleet:
+        faults.install("seed=3;worker.result_ack=crash#1")
+        tuned = tune_on_fleet(fleet)
+        assert sum(1 for h in fleet.workers if h.alive) == 1, (
+            "the injected crash never fired"
+        )
+    faults.uninstall()
+    assert report_key(tuned) == report_key(baseline_report(APP))
+
+
+def test_straggling_worker_report_identical_to_serial():
+    """Slow evaluations trip straggler duplication; duplicated work is
+    pure, so the report cannot change."""
+    with _chaos_fleet(straggler_after=0.2) as fleet:
+        faults.install("seed=5;worker.compute=delay:0.7#2")
+        tuned = tune_on_fleet(fleet)
+    snap = faults.snapshot()
+    assert snap["worker.compute"]["fired"] == 2
+    faults.uninstall()
+    assert report_key(tuned) == report_key(baseline_report(APP))
+
+
+def test_slow_heartbeats_report_identical_to_serial():
+    """Heartbeats delayed past the reaper's patience: the coordinator
+    (rightly) declares the worker dead and re-dispatches; the 'dead'
+    worker's later frames are ignored."""
+    with _chaos_fleet(heartbeat_interval=0.1, heartbeat_timeout=0.6) as fleet:
+        faults.install("seed=9;worker.heartbeat=delay:1.5#2")
+        tuned = tune_on_fleet(fleet)
+    faults.uninstall()
+    assert report_key(tuned) == report_key(baseline_report(APP))
+
+
+def test_same_seed_two_runs_identical_reports():
+    """The determinism acceptance criterion: the same pinned fault
+    seed produces byte-identical reports across two full chaos runs."""
+    spec = "seed=7;cluster.send_frame=drop#2;worker.compute=delay:0.3#1"
+
+    def chaos_run():
+        faults.uninstall()  # fresh counters: same plan, same pattern
+        with _chaos_fleet() as fleet:
+            faults.install(spec)
+            return tune_on_fleet(fleet)
+
+    first = chaos_run()
+    second = chaos_run()
+    faults.uninstall()
+    assert report_key(first) == report_key(second)
+    assert report_key(first) == report_key(baseline_report(APP))
+
+
+class TestReattach:
+    """The circuit-breaker re-attach loop on :class:`ClusterEvaluator`:
+    degradation is an outage, not a death sentence."""
+
+    def _evaluator(self, address, reattach_after_s=0.2):
+        from repro.apps.registry import benchmark, canonical_env_factory
+        from repro.compiler.compile import compile_program
+        from repro.core.backends import (
+            ClusterEvaluator,
+            resolve_process_target,
+        )
+        from repro.hardware.machines import DESKTOP
+
+        spec = benchmark(APP)
+        compiled = compile_program(spec.build_program(), DESKTOP)
+        env_factory = canonical_env_factory(APP)
+        target = resolve_process_target(compiled, env_factory, spec.accuracy_fn)
+        return ClusterEvaluator(
+            compiled,
+            env_factory,
+            target,
+            cluster_address=address,
+            timeout_s=2.0,
+            reattach_after_s=reattach_after_s,
+        )
+
+    def test_degraded_evaluator_reattaches_after_coordinator_returns(self):
+        import time
+
+        with LocalCluster(workers=1) as first_fleet:
+            evaluator = self._evaluator(first_fleet.address)
+            try:
+                assert evaluator._ensure_client() is not None
+                assert not evaluator._degraded
+                # The coordinator dies.
+                first_fleet.close()
+                evaluator._degrade(ClusterUnavailable("coordinator died"))
+                assert evaluator._degraded
+                # Inside the breaker interval: no probe, no connect cost.
+                assert evaluator._ensure_client() is None
+                # After the interval: the probe runs, fails (nothing is
+                # listening), and re-opens the circuit.
+                time.sleep(0.25)
+                assert evaluator._ensure_client() is None
+                assert evaluator._breaker.state == CircuitBreaker.OPEN
+                # A new coordinator comes up; the next probe re-attaches.
+                with LocalCluster(workers=1) as second_fleet:
+                    evaluator.cluster_address = second_fleet.address
+                    time.sleep(0.25)
+                    client = evaluator._ensure_client()
+                    assert client is not None
+                    assert not evaluator._degraded
+                    assert evaluator.reattachments == 1
+                    # And the re-attached client actually works.
+                    assert client.workers == 1
+            finally:
+                evaluator.close()
+
+    def test_stale_future_failure_cannot_degrade_a_fresh_client(self):
+        """A future from the *old* connection failing at join time must
+        not trip the breaker on the client a re-attach just built."""
+        with LocalCluster(workers=1) as fleet:
+            evaluator = self._evaluator(fleet.address)
+            try:
+                client = evaluator._ensure_client()
+                assert client is not None
+
+                from concurrent.futures import Future
+
+                stale = Future()
+                stale._repro_client = object()  # some previous connection
+                stale.set_exception(ClusterUnavailable("old link died"))
+                assert evaluator._join(("cfg", 8), stale) is None
+                assert not evaluator._degraded  # breaker untouched
+                assert evaluator._client is client
+            finally:
+                evaluator.close()

@@ -1,0 +1,210 @@
+"""Persistence under injected faults: torn writes, full disks,
+quarantine, and the checkpoint scan's skip accounting."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro import faults
+from repro.core.driver import (
+    CHECKPOINT_VERSION,
+    CheckpointScanStats,
+    CheckpointStore,
+)
+from repro.core.result_cache import ResultCache, execution_model_hash
+
+KEY = {"version": 1, "config": "{}", "size": 8}
+PAYLOAD = {"time_s": 1.5, "accuracy": None, "compile_events": []}
+
+
+class TestResultCachePut:
+    def test_transient_oserror_is_retried_and_the_entry_lands(self, tmp_path):
+        faults.install("cache.put=oserror#2")  # first two attempts fail
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY, PAYLOAD)
+        assert cache.stats.stores == 1
+        assert cache.stats.write_errors == 2
+        assert cache.get(KEY) == PAYLOAD
+
+    def test_persistent_oserror_is_swallowed_but_counted(self, tmp_path):
+        faults.install("cache.put=oserror")  # every attempt fails
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY, PAYLOAD)  # must not raise
+        assert cache.stats.stores == 0
+        assert cache.stats.write_errors == 3  # 2 retries + final failure
+        faults.uninstall()
+        assert cache.get(KEY) is None
+
+    def test_torn_write_never_publishes_a_partial_entry(self, tmp_path):
+        """The regression the fsync-before-replace discipline exists
+        for: a crash mid-write leaves a partial *temp* file, never a
+        partial entry under the published name."""
+        faults.install("cache.put=torn#1")
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY, PAYLOAD)
+        assert cache.stats.stores == 0
+        # The crash artifact is there (unpublished), the entry is not.
+        temps = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+        assert len(temps) == 1
+        entries = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
+        assert entries == []
+        # Every read is a clean miss — no reader can observe torn bytes.
+        assert cache.get(KEY) is None
+        assert cache.stats.invalid == 0
+        # The next process retries the write and succeeds.
+        faults.uninstall()
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+
+    def test_corrupt_entry_is_quarantined_not_reread_forever(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY, PAYLOAD)
+        path = cache._path_for(KEY)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"key": half a json')
+        assert cache.get(KEY) is None
+        assert cache.stats.invalid == 1
+        assert cache.stats.quarantined == 1
+        assert not os.path.exists(path)
+        quarantined = os.path.join(
+            str(tmp_path), "quarantine", os.path.basename(path)
+        )
+        assert os.path.exists(quarantined)  # inspectable, not deleted
+        # Second lookup: a clean miss, not another corruption event.
+        assert cache.get(KEY) is None
+        assert cache.stats.invalid == 1
+
+
+class TestCheckpointSave:
+    def _identity(self, seed=1, version=CHECKPOINT_VERSION, model=None):
+        return {
+            "version": version,
+            "model": execution_model_hash() if model is None else model,
+            "seed": seed,
+        }
+
+    def test_torn_save_preserves_the_previous_checkpoint(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        identity = self._identity()
+        store.save(identity, {"round": 1})
+        faults.install("checkpoint.save=torn#1")
+        store.save(identity, {"round": 2})  # dies mid-temp-write
+        faults.uninstall()
+        loaded = store.load(identity)
+        assert loaded is not None and loaded["round"] == 1
+        # The partial temp file exists but is never scanned or loaded.
+        assert any(p.endswith(".tmp") for p in os.listdir(tmp_path))
+        store.save(identity, {"round": 2})
+        assert store.load(identity)["round"] == 2
+
+    def test_oserror_save_is_swallowed(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        identity = self._identity()
+        faults.install("checkpoint.save=oserror#1")
+        store.save(identity, {"round": 1})  # must not raise
+        faults.uninstall()
+        assert store.load(identity) is None
+        store.save(identity, {"round": 1})
+        assert store.load(identity)["round"] == 1
+
+    def test_corrupt_checkpoint_is_quarantined_on_load(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        identity = self._identity()
+        store.save(identity, {"round": 3})
+        path = store.path_for(identity)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json at all")
+        assert store.load(identity) is None
+        assert not os.path.exists(path)
+        assert os.path.exists(
+            os.path.join(str(tmp_path), "quarantine", os.path.basename(path))
+        )
+        # The slot is clean again: a fresh save round-trips.
+        store.save(identity, {"round": 4})
+        assert store.load(identity)["round"] == 4
+
+
+class TestFinishedReportsScanStats:
+    """Satellite: every skip class is counted, and the scan never
+    raises — a store full of garbage boots the daemon with an empty
+    index and an honest tally, not a crash."""
+
+    def _seed_store(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        model = execution_model_hash()
+
+        def identity(seed, version=CHECKPOINT_VERSION, mod=model):
+            return {"version": version, "model": mod, "seed": seed}
+
+        # One good, complete checkpoint.
+        store.save(
+            identity(1), {"complete": True, "report": {"seed": 1}}
+        )
+        # A valid but in-progress checkpoint.
+        store.save(identity(2), {"complete": False, "partial": True})
+        # Complete but written by another checkpoint layout.
+        store.save(
+            identity(3, version=CHECKPOINT_VERSION + 1),
+            {"complete": True, "report": {"seed": 3}},
+        )
+        # Complete but hashed against different execution-model code.
+        store.save(
+            identity(4, mod="0123456789abcdef"),
+            {"complete": True, "report": {"seed": 4}},
+        )
+        # Malformed: complete, but the report is not a dict.
+        store.save(
+            identity(5), {"complete": True, "report": "not-a-dict"}
+        )
+        # Truncated JSON.
+        with open(
+            os.path.join(str(tmp_path), "tune_truncated.json"),
+            "w",
+            encoding="utf-8",
+        ) as handle:
+            handle.write('{"complete": true, "repo')
+        # A non-dict entry.
+        with open(
+            os.path.join(str(tmp_path), "tune_list.json"),
+            "w",
+            encoding="utf-8",
+        ) as handle:
+            json.dump([1, 2, 3], handle)
+        # Not a checkpoint filename: never even scanned.
+        with open(
+            os.path.join(str(tmp_path), "README.txt"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write("not a checkpoint")
+        return store
+
+    def test_every_skip_class_is_counted_and_nothing_raises(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        yielded = list(store.finished_reports())
+        assert [report["seed"] for _identity, report in yielded] == [1]
+        stats = store.last_scan
+        assert stats is not None
+        assert stats.scanned == 7
+        assert stats.yielded == 1
+        assert stats.unreadable == 1  # the truncated file
+        assert stats.malformed == 2  # the list entry + the str report
+        assert stats.not_complete == 1
+        assert stats.wrong_version == 1
+        assert stats.stale_model == 1
+
+    def test_caller_supplied_collector_is_used_and_published(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        mine = CheckpointScanStats()
+        list(store.finished_reports(mine))
+        assert store.last_scan is mine
+        assert mine.yielded == 1 and mine.scanned == 7
+
+    def test_disabled_store_scans_nothing(self):
+        store = CheckpointStore(None)
+        assert list(store.finished_reports()) == []
+        assert store.last_scan.scanned == 0
+
+    def test_missing_directory_is_an_empty_scan(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "never-created"))
+        assert list(store.finished_reports()) == []
+        assert store.last_scan.scanned == 0

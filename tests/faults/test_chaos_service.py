@@ -1,0 +1,240 @@
+"""Service plane under faults: hung daemons, lost responses, oversized
+frames, and the persisted-backlog restart path."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import struct
+import time
+
+import pytest
+
+from repro import faults
+from repro.api.config import TunerConfig
+from repro.cluster.protocol import MAX_MESSAGE_BYTES
+from repro.errors import ServiceRejected, ServiceUnavailable
+from repro.experiments.runner import clear_sessions
+from repro.service import ServiceClient, ServiceHandle
+from repro.service import protocol as verbs
+
+from tests.service.test_service import APP, MACHINE, _FakePool
+
+_HEADER = struct.Struct(">I")
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache():
+    clear_sessions()
+    yield
+    clear_sessions()
+
+
+@pytest.fixture
+def fake_pool(monkeypatch):
+    pool = _FakePool()
+    monkeypatch.setattr("repro.experiments.runner.session_for", pool)
+    yield pool
+    pool.release()
+
+
+def _daemon(**overrides) -> ServiceHandle:
+    config = TunerConfig.from_env(
+        backend="serial",
+        progress=False,
+        service_address="127.0.0.1:0",
+        **overrides,
+    )
+    return ServiceHandle.start_in_thread(config)
+
+
+class TestClientTimeouts:
+    def test_listener_that_never_accepts_raises_service_unavailable(self):
+        """Satellite regression: a bound-but-never-accepting socket
+        must produce a typed ServiceUnavailable within the connect
+        timeout, not a forever-blocked constructor."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)  # accepts into the backlog, answers never
+            host, port = listener.getsockname()
+            started = time.monotonic()
+            with pytest.raises(ServiceUnavailable):
+                ServiceClient(f"{host}:{port}", connect_timeout=0.5)
+            assert time.monotonic() - started < 5.0
+        finally:
+            listener.close()
+
+    def test_slow_handler_times_out_and_poisons_the_client(self, fake_pool):
+        """A daemon verb stuck past ``request_timeout``: the call
+        raises ServiceUnavailable, the connection is poisoned (a
+        desynced stream must never serve another call), and a fresh
+        client talks to the recovered daemon normally."""
+        with _daemon(fault_spec="service.handler=delay:30#1") as daemon:
+            client = ServiceClient(
+                daemon.address, name="impatient", request_timeout=0.5
+            )
+            started = time.monotonic()
+            with pytest.raises(ServiceUnavailable):
+                client.metrics()
+            assert time.monotonic() - started < 10.0
+            # Poisoned: even instant verbs refuse on this connection.
+            with pytest.raises(ServiceUnavailable, match="closed"):
+                client.metrics()
+            # The daemon itself is fine — the fault's limit is spent.
+            with ServiceClient(daemon.address, name="fresh") as fresh:
+                assert "uptime_s" in fresh.metrics()
+
+    def test_dropped_response_frame_recovers_via_fresh_client(self, fake_pool):
+        """The daemon computes an answer but the response frame is
+        lost (client death / half-open link).  The client's request
+        timeout turns that into ServiceUnavailable instead of an
+        eternal hang."""
+        with _daemon(fault_spec="service.result_frame=drop#1") as daemon:
+            client = ServiceClient(
+                daemon.address, name="lossy", request_timeout=0.5
+            )
+            with pytest.raises(ServiceUnavailable):
+                client.metrics()
+            with ServiceClient(daemon.address, name="retry") as fresh:
+                assert "uptime_s" in fresh.metrics()
+
+
+class TestOversizedFrames:
+    def test_daemon_answers_oversized_frame_with_typed_bad_request(self):
+        """Satellite regression: a length prefix past the frame limit
+        draws a clean ``bad-request`` error (req_id None — no request
+        could be parsed) and a hangup, never an allocation or a silent
+        vanish."""
+        with _daemon() as daemon:
+            host, port = daemon.address.rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=10) as sock:
+                sock.settimeout(10)
+                verbs.send_frame(sock, verbs.hello("attacker", "attacker"))
+                welcome = verbs.recv_frame(sock)
+                assert welcome is not None and welcome["type"] == "welcome"
+                sock.sendall(_HEADER.pack(MAX_MESSAGE_BYTES + 1) + b"xx")
+                answer = verbs.recv_frame(sock)
+                assert answer is not None
+                assert answer["type"] == "error"
+                assert answer["kind"] == verbs.BAD_REQUEST
+                assert answer["req_id"] is None
+                assert "exceeds" in answer["message"]
+                # And the daemon hangs up: the stream is beyond repair.
+                assert verbs.recv_frame(sock) is None
+
+    def test_client_surfaces_connection_level_error_as_typed_failure(self):
+        """A client whose connection went bad mid-stream gets a typed
+        error (rejected or unavailable), never a hang or a mis-matched
+        response."""
+        with _daemon() as daemon:
+            client = ServiceClient(
+                daemon.address, name="bad-wire", request_timeout=5.0
+            )
+            # Corrupt the stream under the client: an impossible
+            # length prefix.
+            client._sock.sendall(_HEADER.pack(MAX_MESSAGE_BYTES + 1))
+            with pytest.raises((ServiceRejected, ServiceUnavailable)):
+                client.metrics()
+            # Either way the client has poisoned itself.
+            with pytest.raises(ServiceUnavailable, match="closed"):
+                client.status("job-1")
+
+
+class TestBacklogPersistence:
+    def test_queued_jobs_are_persisted_eagerly_and_requeued_at_boot(
+        self, fake_pool, tmp_path
+    ):
+        """The acceptance scenario: kill a daemon with queued jobs,
+        boot a fresh one on the same cache directory, and the queued
+        backlog resumes without any client re-submitting."""
+        first_dir = str(tmp_path / "first")
+        with _daemon(cache_dir=first_dir, service_max_jobs=1) as daemon:
+            with ServiceClient(daemon.address, name="chaos") as client:
+                running = client.submit(APP, MACHINE, seed=1)
+                queued = [
+                    client.submit(APP, MACHINE, seed=2),
+                    client.submit(APP, MACHINE, seed=3),
+                ]
+                assert client.status(running) == "running"
+                assert [client.status(j) for j in queued] == ["queued"] * 2
+                # Eager persistence: the backlog is on disk *now*,
+                # while the daemon is alive — that is what a SIGKILL
+                # preserves.
+                backlog_path = os.path.join(first_dir, "service_backlog.json")
+                with open(backlog_path, "r", encoding="utf-8") as handle:
+                    snapshot = json.load(handle)
+                assert snapshot["version"] == 1
+                assert sorted(j["seed"] for j in snapshot["jobs"]) == [2, 3]
+                assert all(j["app"] == APP for j in snapshot["jobs"])
+                # Freeze the on-disk state as the kill instant sees it.
+                second_dir = str(tmp_path / "second")
+                os.makedirs(second_dir)
+                shutil.copy(
+                    backlog_path,
+                    os.path.join(second_dir, "service_backlog.json"),
+                )
+            fake_pool.release()  # let the first daemon drain and die
+
+        # "Reboot" against the frozen disk state.
+        clear_sessions()
+        with _daemon(cache_dir=second_dir, service_max_jobs=1) as daemon:
+            with ServiceClient(daemon.address, name="observer") as client:
+                metrics = client.metrics()
+                assert metrics["backlog_restored"] == 2
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    jobs = client.metrics()["jobs"]
+                    if jobs.get("done", 0) == 2:
+                        break
+                    time.sleep(0.05)
+                assert client.metrics()["jobs"].get("done", 0) == 2
+            # Consumed on restore: a third boot restores nothing.
+            assert not os.path.exists(
+                os.path.join(second_dir, "service_backlog.json")
+            )
+
+    def test_cancel_withdraws_from_the_persisted_backlog(
+        self, fake_pool, tmp_path
+    ):
+        cache_dir = str(tmp_path)
+        backlog_path = os.path.join(cache_dir, "service_backlog.json")
+        with _daemon(cache_dir=cache_dir, service_max_jobs=1) as daemon:
+            with ServiceClient(daemon.address, name="fickle") as client:
+                client.submit(APP, MACHINE, seed=1)  # occupies the slot
+                queued = client.submit(APP, MACHINE, seed=2)
+                with open(backlog_path, "r", encoding="utf-8") as handle:
+                    assert len(json.load(handle)["jobs"]) == 1
+                assert client.cancel(queued)
+                # Withdrawn: the persisted backlog shrank immediately
+                # (the file disappears when nothing is queued).
+                assert not os.path.exists(backlog_path)
+            fake_pool.release()
+
+    def test_unreadable_backlog_is_consumed_not_fatal(self, tmp_path):
+        cache_dir = str(tmp_path)
+        backlog_path = os.path.join(cache_dir, "service_backlog.json")
+        with open(backlog_path, "w", encoding="utf-8") as handle:
+            handle.write("{ torn mid-write")
+        with _daemon(cache_dir=cache_dir) as daemon:
+            with ServiceClient(daemon.address, name="boot") as client:
+                assert client.metrics()["backlog_restored"] == 0
+        assert not os.path.exists(backlog_path)  # consumed either way
+
+
+class TestDaemonFaultSpecWiring:
+    def test_daemon_installs_the_config_plan(self):
+        with _daemon(fault_spec="seed=13;service.handler=delay:0.01"):
+            plan = faults.installed_plan()
+            assert plan is not None and plan.seed == 13
+
+    def test_slow_handler_within_budget_still_answers(self, fake_pool):
+        """A delay smaller than the request timeout degrades latency,
+        never correctness."""
+        with _daemon(fault_spec="service.handler=delay:0.05") as daemon:
+            with ServiceClient(
+                daemon.address, name="patient", request_timeout=10.0
+            ) as client:
+                assert "uptime_s" in client.metrics()

@@ -1,0 +1,149 @@
+"""RetryPolicy and CircuitBreaker units (clock- and sleep-injected)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.retry import CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_first_try_success_never_sleeps(self):
+        slept = []
+        policy = RetryPolicy(attempts=3, sleep=slept.append)
+        assert policy.call(lambda: 42) == 42
+        assert slept == []
+
+    def test_retries_then_succeeds(self):
+        slept = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=3, sleep=slept.append)
+        assert policy.call(flaky) == "ok"
+        assert len(calls) == 3
+        assert len(slept) == 2
+
+    def test_exhaustion_reraises_the_last_error(self):
+        policy = RetryPolicy(attempts=2, sleep=lambda _s: None)
+        with pytest.raises(OSError, match="always"):
+            policy.call(lambda: (_ for _ in ()).throw(OSError("always")))
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        policy = RetryPolicy(attempts=5, sleep=lambda _s: None)
+        with pytest.raises(ValueError):
+            policy.call(boom, retry_on=(OSError,))
+        assert len(calls) == 1
+
+    def test_on_retry_observer_sees_each_failure(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("x")
+            return True
+
+        policy = RetryPolicy(attempts=3, sleep=lambda _s: None)
+        assert policy.call(
+            flaky, on_retry=lambda exc, attempt: seen.append(attempt)
+        )
+        assert seen == [1, 2]
+
+    def test_delay_schedule_is_seeded_and_bounded(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay_s=0.01, max_delay_s=0.5, seed=11
+        )
+        first = list(policy.delays())
+        second = list(policy.delays())
+        assert first == second  # same seed, same schedule
+        assert len(first) == 5
+        assert all(0.01 <= d <= 0.5 for d in first)
+        other = RetryPolicy(
+            attempts=6, base_delay_s=0.01, max_delay_s=0.5, seed=12
+        )
+        assert list(other.delays()) != first
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        self.now = 0.0
+        kwargs.setdefault("clock", lambda: self.now)
+        return CircuitBreaker(**kwargs)
+
+    def test_closed_allows_everything(self):
+        breaker = self._breaker()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert all(breaker.allow() for _ in range(5))
+
+    def test_failure_opens_and_blocks_until_reset_interval(self):
+        breaker = self._breaker(failure_threshold=1, reset_after_s=5.0)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        self.now = 4.9
+        assert not breaker.allow()
+        self.now = 5.0
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # exactly one probe per interval
+
+    def test_probe_success_closes(self):
+        breaker = self._breaker(reset_after_s=1.0)
+        breaker.record_failure()
+        self.now = 1.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_fresh_interval(self):
+        breaker = self._breaker(reset_after_s=1.0)
+        breaker.record_failure()
+        self.now = 1.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        self.now = 1.5
+        assert not breaker.allow()  # interval restarted at t=1.0
+        self.now = 2.0
+        assert breaker.allow()
+
+    def test_threshold_tolerates_failures_below_it(self):
+        breaker = self._breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_success_resets_the_failure_count(self):
+        breaker = self._breaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_after_s=0.0)
