@@ -11,6 +11,7 @@ import json
 import pathlib
 
 from repro.experiments.bench import (
+    BENCH_BATCH_LANES,
     BENCH_SCHEMA,
     TIER_SIZES,
     bench_runtime,
@@ -44,10 +45,31 @@ def test_tiny_tier_emits_and_does_not_regress(tmp_path):
         assert entry["strategy"] == name
         assert entry["evaluations"] > 0, name
         assert entry["evaluations_per_s"] > 0.0, name
+        assert entry["computed_evaluations_per_s"] > 0.0, name
         assert entry["rounds"] > 0, name
+        # Every strategy carries its batched-vs-scalar throughput pair.
+        batched = entry["batched"]
+        assert batched["strategy"] == name
+        assert batched["batch_lanes"] == BENCH_BATCH_LANES
+        assert batched["evaluations_per_s"] > 0.0, name
+        assert batched["computed_evaluations_per_s"] > 0.0, name
     # The evolutionary entry is the tuning measurement itself, so the
     # pre-strategy baseline comparison stays apples to apples.
     assert strategies["evolutionary"] is tuning
+
+    # The batched leg must not lose to scalar overall: the bench tuning
+    # app qualifies for lane elision, so the geomean across strategies
+    # should comfortably clear a noise-tolerant floor.
+    import math
+
+    ratios = [
+        entry["batched"]["evaluations_per_s"] / entry["evaluations_per_s"]
+        for entry in strategies.values()
+    ]
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    assert geomean >= 0.9, (
+        f"batched geomean throughput ratio {geomean:.2f} below scalar"
+    )
 
     out = tmp_path / "BENCH_runtime.json"
     write_bench(str(out), payload)

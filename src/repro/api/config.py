@@ -72,6 +72,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from repro.errors import ConfigError
 
 __all__ = [
+    "DEFAULT_BATCH_LANES",
     "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_CLUSTER_HEARTBEAT_S",
     "DEFAULT_CLUSTER_TIMEOUT_S",
@@ -83,6 +84,7 @@ __all__ = [
     "DEFAULT_TUNE_MANY_WORKERS",
     "DEFAULT_WORKERS",
     "ENV_BACKEND",
+    "ENV_BATCH_LANES",
     "ENV_CACHE_DIR",
     "ENV_CHECKPOINT_EVERY",
     "ENV_CLUSTER_ADDRESS",
@@ -111,6 +113,7 @@ __all__ = [
 #: historical names; other modules alias these).
 ENV_BACKEND = "REPRO_TUNER_BACKEND"
 ENV_WORKERS = "REPRO_TUNER_WORKERS"
+ENV_BATCH_LANES = "REPRO_TUNER_BATCH_LANES"
 ENV_TUNE_MANY_WORKERS = "REPRO_TUNE_MANY_WORKERS"
 ENV_STRATEGY = "REPRO_TUNER_STRATEGY"
 ENV_SEED = "REPRO_SEED"
@@ -139,6 +142,7 @@ FALSY_VALUES = ("", "0", "off", "none", "false")
 
 #: Built-in defaults shared with the engine modules (which alias them).
 DEFAULT_WORKERS = 1
+DEFAULT_BATCH_LANES = 1
 DEFAULT_TUNE_MANY_WORKERS = 4
 DEFAULT_SEED = 3
 DEFAULT_CHECKPOINT_EVERY = 64
@@ -153,6 +157,7 @@ DEFAULT_SERVICE_RATE_LIMIT = 0  # 0 means "unlimited"
 ENV_BY_FIELD: Dict[str, str] = {
     "backend": ENV_BACKEND,
     "workers": ENV_WORKERS,
+    "batch_lanes": ENV_BATCH_LANES,
     "tune_many_workers": ENV_TUNE_MANY_WORKERS,
     "strategy": ENV_STRATEGY,
     "seed": ENV_SEED,
@@ -246,6 +251,12 @@ class TunerConfig:
             ``"thread"``, ``"process"`` or ``"cluster"``.  Reports are
             bit-for-bit identical on every backend.
         workers: Speculative evaluation workers per tuning session.
+        batch_lanes: Candidate configurations evaluated per lane-batch
+            (1 = classic scalar evaluation).  With more than one lane
+            the backends ship whole batches sharing test-input
+            generation and prepared plans, and programs whose rules
+            are all data-independent run with their numeric bodies
+            elided — byte-identical reports, less work per candidate.
         tune_many_workers: Concurrent sessions (thread scheduling) or
             shard processes (process scheduling) for batch tuning.
         strategy: Search strategy name (see
@@ -289,6 +300,7 @@ class TunerConfig:
 
     backend: str = "auto"
     workers: int = DEFAULT_WORKERS
+    batch_lanes: int = DEFAULT_BATCH_LANES
     tune_many_workers: int = DEFAULT_TUNE_MANY_WORKERS
     strategy: str = "evolutionary"
     seed: int = DEFAULT_SEED
@@ -409,6 +421,7 @@ class TunerConfig:
                 f"available: {list(_strategy_names())}",
             )
         self._require_int("workers", 1)
+        self._require_int("batch_lanes", 1)
         self._require_int("tune_many_workers", 1)
         self._require_int("seed", -sys.maxsize)
         self._require_int("checkpoint_every", 0)
@@ -588,6 +601,7 @@ class TunerConfig:
             return None if raw.strip().lower() in FALSY_VALUES else raw.strip()
 
         _env("workers", lambda raw: _lenient_count(raw, 1))
+        _env("batch_lanes", lambda raw: _lenient_count(raw, 1))
         _env("tune_many_workers", lambda raw: _lenient_count(raw, 1))
         _env("seed", _strict_seed)
         _env("checkpoint_every", lambda raw: _lenient_count(raw, 0))
@@ -698,6 +712,7 @@ class TunerConfig:
             return None, False
         if field_name in (
             "workers",
+            "batch_lanes",
             "tune_many_workers",
             "seed",
             "checkpoint_every",
@@ -773,6 +788,7 @@ def _coerce_file_value(field_name: str, value: object, path: str) -> object:
         return value
     if field_name in (
         "workers",
+        "batch_lanes",
         "tune_many_workers",
         "seed",
         "checkpoint_every",

@@ -65,6 +65,9 @@ _BS_RULE = Rule(
     writes=("Out",),
     body=_bs_body,
     pattern=Pattern.DATA_PARALLEL,
+    # Timing depends only on the option count, never the prices, so
+    # batched lanes may elide the formula (ctx.numeric off).
+    data_independent=True,
     cost=CostSpec(
         # ~500 "GPU-normalised" flops per option: the arithmetic plus
         # exp/log/sqrt/CDF evaluated on special-function units.

@@ -188,6 +188,7 @@ _SPLIT_RULE = Rule(
     writes=("Red", "Black"),
     body=_split_body,
     pattern=Pattern.DATA_PARALLEL,
+    data_independent=True,
     cost=CostSpec(
         flops_per_item=1.0, bytes_read_per_item=16.0, bytes_written_per_item=16.0
     ),
@@ -199,6 +200,7 @@ _MERGE_RULE = Rule(
     writes=("Out",),
     body=_merge_body,
     pattern=Pattern.DATA_PARALLEL,
+    data_independent=True,
     cost=CostSpec(
         flops_per_item=1.0, bytes_read_per_item=16.0, bytes_written_per_item=8.0
     ),
@@ -211,6 +213,7 @@ _ITERATION_RULE = Rule(
     body=_iteration_body,
     pattern=Pattern.SEQUENTIAL,
     divisible=False,
+    data_independent=True,
     cost=CostSpec(
         # Per packed cell, both half-sweeps: 6 flops each.
         flops_per_item=12.0,
@@ -228,6 +231,9 @@ _LOOP_RULE = Rule(
     body=_loop_body,
     pattern=Pattern.RECURSIVE,
     divisible=False,
+    # The driver's charge and spawn count depend only on the
+    # ``iterations`` parameter, never on cell values.
+    data_independent=True,
     # Pure driver: spawns the iteration children without touching
     # elements, so GPU-resident buffers survive across iterations.
     touches_data=False,

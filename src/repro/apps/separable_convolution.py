@@ -78,6 +78,7 @@ _CONV2D_RULE = Rule(
     writes=("Out",),
     body=_convolve2d_body,
     pattern=Pattern.DATA_PARALLEL,
+    data_independent=True,
     cost=CostSpec(
         flops_per_item=lambda p: 3.0 * p["kw"] ** 2,
         bytes_read_per_item=lambda p: 8.0 * p["kw"] ** 2,
@@ -92,6 +93,7 @@ _CONV_ROWS_RULE = Rule(
     writes=("Out",),
     body=_convolve_rows_body,
     pattern=Pattern.DATA_PARALLEL,
+    data_independent=True,
     cost=CostSpec(
         flops_per_item=lambda p: 2.0 * p["kw"],
         bytes_read_per_item=lambda p: 8.0 * p["kw"],
@@ -106,6 +108,7 @@ _CONV_COLS_RULE = Rule(
     writes=("Out",),
     body=_convolve_columns_body,
     pattern=Pattern.DATA_PARALLEL,
+    data_independent=True,
     cost=CostSpec(
         flops_per_item=lambda p: 2.0 * p["kw"],
         bytes_read_per_item=lambda p: 8.0 * p["kw"],

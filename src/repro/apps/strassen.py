@@ -92,6 +92,24 @@ def _flops_of(a: np.ndarray, c: np.ndarray) -> float:
     return 2.0 * c.shape[0] * c.shape[1] * a.shape[1]
 
 
+#: Base array behind elided-lane scratch matrices (see ``_scratch``).
+_ELIDED_BASE = np.zeros(1)
+
+
+def _scratch(h: int, numeric: bool) -> np.ndarray:
+    """An ``(h, h)`` scratch matrix for a recursive decomposition.
+
+    On elided lanes (``numeric`` off) the contents are never read or
+    written, so a read-only broadcast view stands in: same shape,
+    dtype and (virtual) nbytes, no allocation, and any accidental
+    write raises.  Each call returns a distinct object, so id-keyed
+    device-buffer bookkeeping behaves exactly as with real arrays.
+    """
+    if numeric:
+        return np.zeros((h, h))
+    return np.broadcast_to(_ELIDED_BASE, (h, h))
+
+
 def _quadrants(m: np.ndarray):
     """The four n/2 quadrant views of a matrix."""
     n = m.shape[0]
@@ -107,12 +125,13 @@ def _rec8_body(ctx):
     n = c.shape[0]
     if n <= _MIN_RECURSE or n % 2 or a.shape[0] != a.shape[1] or c.shape[0] != c.shape[1]:
         ctx.charge(flops=_flops_of(a, c), mem_bytes=24.0 * c.size)
-        c[:, :] = a @ b
+        if ctx.numeric:
+            c[:, :] = a @ b
         return None
     h = n // 2
     a11, a12, a21, a22 = _quadrants(a)
     b11, b12, b21, b22 = _quadrants(b)
-    temps = {name: np.zeros((h, h)) for name in ("t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8")}
+    temps = {name: _scratch(h, ctx.numeric) for name in ("t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8")}
     pairs = [
         ("t1", a11, b11), ("t2", a12, b21),
         ("t3", a11, b12), ("t4", a12, b22),
@@ -126,11 +145,12 @@ def _rec8_body(ctx):
     ]
 
     def combine(cctx):
-        c11, c12, c21, c22 = _quadrants(c)
-        c11[:, :] = temps["t1"] + temps["t2"]
-        c12[:, :] = temps["t3"] + temps["t4"]
-        c21[:, :] = temps["t5"] + temps["t6"]
-        c22[:, :] = temps["t7"] + temps["t8"]
+        if cctx.numeric:
+            c11, c12, c21, c22 = _quadrants(c)
+            c11[:, :] = temps["t1"] + temps["t2"]
+            c12[:, :] = temps["t3"] + temps["t4"]
+            c21[:, :] = temps["t5"] + temps["t6"]
+            c22[:, :] = temps["t7"] + temps["t8"]
         cctx.charge(flops=4.0 * h * h, mem_bytes=8.0 * 12 * h * h)
         return None
 
@@ -145,7 +165,8 @@ def _rec2_body(ctx):
     n = c.shape[0]
     if n <= _MIN_RECURSE or n % 2:
         ctx.charge(flops=_flops_of(a, c), mem_bytes=24.0 * c.size)
-        c[:, :] = a @ b
+        if ctx.numeric:
+            c[:, :] = a @ b
         return None
     h = n // 2
     inner = float(a.shape[1])
@@ -166,24 +187,33 @@ def _strassen_body(ctx):
     n = c.shape[0]
     if n <= _MIN_RECURSE or n % 2 or a.shape[0] != a.shape[1] or c.shape[0] != c.shape[1]:
         ctx.charge(flops=_flops_of(a, c), mem_bytes=24.0 * c.size)
-        c[:, :] = a @ b
+        if ctx.numeric:
+            c[:, :] = a @ b
         return None
     h = n // 2
     a11, a12, a21, a22 = _quadrants(a)
     b11, b12, b21, b22 = _quadrants(b)
-    # The ten linear combinations of quadrants feeding the 7 products.
-    s1 = a11 + a22
-    s2 = b11 + b22
-    s3 = a21 + a22
-    s4 = b12 - b22
-    s5 = b21 - b11
-    s6 = a11 + a12
-    s7 = a21 - a11
-    s8 = b11 + b12
-    s9 = a12 - a22
-    s10 = b21 + b22
+    if ctx.numeric:
+        # The ten linear combinations of quadrants feeding the 7 products.
+        s1 = a11 + a22
+        s2 = b11 + b22
+        s3 = a21 + a22
+        s4 = b12 - b22
+        s5 = b21 - b11
+        s6 = a11 + a12
+        s7 = a21 - a11
+        s8 = b11 + b12
+        s9 = a12 - a22
+        s10 = b21 + b22
+    else:
+        # Elided lane: the combinations are never read, only their
+        # shapes matter to the children; distinct stand-ins preserve
+        # the id-keyed buffer bookkeeping.
+        s1, s2, s3, s4, s5, s6, s7, s8, s9, s10 = (
+            _scratch(h, False) for _ in range(10)
+        )
     ctx.charge(flops=10.0 * h * h, mem_bytes=8.0 * 30 * h * h)
-    products = [np.zeros((h, h)) for _ in range(7)]
+    products = [_scratch(h, ctx.numeric) for _ in range(7)]
     inner = {"inner": float(h)}
     children = [
         SubInvoke("MatMul", {"A": s1, "B": s2, "C": products[0]}, params=dict(inner)),
@@ -196,12 +226,13 @@ def _strassen_body(ctx):
     ]
 
     def combine(cctx):
-        m1, m2, m3, m4, m5, m6, m7 = products
-        c11, c12, c21, c22 = _quadrants(c)
-        c11[:, :] = m1 + m4 - m5 + m7
-        c12[:, :] = m3 + m5
-        c21[:, :] = m2 + m4
-        c22[:, :] = m1 - m2 + m3 + m6
+        if cctx.numeric:
+            m1, m2, m3, m4, m5, m6, m7 = products
+            c11, c12, c21, c22 = _quadrants(c)
+            c11[:, :] = m1 + m4 - m5 + m7
+            c12[:, :] = m3 + m5
+            c21[:, :] = m2 + m4
+            c22[:, :] = m1 - m2 + m3 + m6
         cctx.charge(flops=8.0 * h * h, mem_bytes=8.0 * 20 * h * h)
         return None
 
@@ -214,6 +245,7 @@ _NAIVE_RULE = Rule(
     writes=("C",),
     body=_naive_body,
     pattern=Pattern.DATA_PARALLEL,
+    data_independent=True,
     cost=CostSpec(
         flops_per_item=lambda p: 2.0 * _side(p),
         bytes_read_per_item=lambda p: 16.0 * _side(p),
@@ -231,6 +263,7 @@ _LAPACK_RULE = Rule(
     pattern=Pattern.SEQUENTIAL,
     calls_external=True,  # phase-two disqualifier: no OpenCL version
     divisible=False,
+    data_independent=True,
     cost=CostSpec(
         # Blocked library dgemm: ~2x the naive effective rate, low
         # memory traffic per element.
@@ -242,15 +275,15 @@ _LAPACK_RULE = Rule(
 
 _REC8_RULE = Rule(
     name="rec8", reads=("A", "B"), writes=("C",), body=_rec8_body,
-    pattern=Pattern.RECURSIVE, divisible=False,
+    pattern=Pattern.RECURSIVE, divisible=False, data_independent=True,
 )
 _REC2_RULE = Rule(
     name="rec2", reads=("A", "B"), writes=("C",), body=_rec2_body,
-    pattern=Pattern.RECURSIVE, divisible=False,
+    pattern=Pattern.RECURSIVE, divisible=False, data_independent=True,
 )
 _STRASSEN_RULE = Rule(
     name="strassen", reads=("A", "B"), writes=("C",), body=_strassen_body,
-    pattern=Pattern.RECURSIVE, divisible=False,
+    pattern=Pattern.RECURSIVE, divisible=False, data_independent=True,
 )
 
 #: Authored choice order (selector algorithm indices before OpenCL

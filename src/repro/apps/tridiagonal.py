@@ -99,6 +99,7 @@ _THOMAS_RULE = Rule(
     body=_solver_body,
     pattern=Pattern.SEQUENTIAL,
     divisible=False,
+    data_independent=True,
     cost=CostSpec(
         # Forward sweep + back substitution with division chains.
         flops_per_item=24.0,
@@ -116,6 +117,7 @@ _CR_RULE = Rule(
     body=_solver_body,
     pattern=Pattern.SEQUENTIAL,
     divisible=False,
+    data_independent=True,
     cost=CostSpec(
         flops_per_item=17.0,
         bytes_read_per_item=56.0,
@@ -132,6 +134,7 @@ _PCR_RULE = Rule(
     body=_solver_body,
     pattern=Pattern.SEQUENTIAL,
     divisible=False,
+    data_independent=True,
     cost=CostSpec(
         flops_per_item=lambda p: 12.0 * _log2n(p),
         bytes_read_per_item=lambda p: 24.0 * _log2n(p),

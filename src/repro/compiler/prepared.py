@@ -279,5 +279,18 @@ class PreparedPlans:
             self._plans[name] = plan
         return plan
 
+    def warm_all(self) -> "PreparedPlans":
+        """Build every transform's plan now.
+
+        The batched evaluator calls this once per
+        :class:`~repro.core.backends.BatchEvaluationRequest` so all
+        lanes of the batch share fully-built plan handles instead of
+        racing the lazy first-touch path lane by lane.  Idempotent and
+        cheap when already warm.
+        """
+        for name in self._compiled.transforms:
+            self.transform_plan(name)
+        return self
+
     def __len__(self) -> int:  # pragma: no cover - diagnostics
         return len(self._plans)

@@ -309,6 +309,48 @@ class EvaluationResult:
     computed: bool
 
 
+@dataclass(frozen=True)
+class BatchEvaluationRequest:
+    """A lane-batch of pure evaluations sharing one context.
+
+    One picklable frame carrying N candidate configurations for the
+    same ``(program, machine, size, seed)``: the worker answers it
+    through :meth:`~repro.core.fitness.Evaluator.compute_batch`, so
+    test-input generation and prepared-plan lookup happen once per
+    batch and qualifying programs run their lanes with numeric bodies
+    elided.  Shipping one frame instead of N also means one pickle and
+    one submission per chunk on the process pool, and one TCP frame on
+    the cluster plane.
+
+    Attributes:
+        app / machine / size / seed / fingerprint / model_hash /
+        cache_dir: As for :class:`EvaluationRequest`.
+        config_jsons: Canonical JSON of each lane's candidate, in lane
+            order.
+    """
+
+    app: str
+    machine: str
+    config_jsons: Tuple[str, ...]
+    size: int
+    seed: int
+    fingerprint: str
+    model_hash: str
+    cache_dir: Optional[str]
+
+
+@dataclass(frozen=True)
+class BatchEvaluationResult:
+    """Picklable outcome of a :class:`BatchEvaluationRequest`.
+
+    Attributes:
+        results: One :class:`EvaluationResult` per lane, aligned with
+            the request's ``config_jsons``.
+    """
+
+    results: Tuple[EvaluationResult, ...]
+
+
 #: Per-worker-process evaluator memo: one rebuild per distinct
 #: (app, machine, seed, cache_dir) over the worker's lifetime.
 _WORKER_EVALUATORS: Dict[Tuple[str, str, int, Optional[str]], Evaluator] = {}
@@ -344,11 +386,30 @@ def evaluate_request(request: EvaluationRequest) -> EvaluationResult:
     Importable at module top level so it pickles by reference under
     every multiprocessing start method.
 
+    Batch frames dispatch here too (cluster workers hand every request
+    to this function), so one entry point serves both shapes.
+
     Raises:
         TuningError: On fingerprint/model-hash mismatch between the
             requesting tuner and this worker's rebuild, or when the
             simulated run itself fails.
     """
+    if isinstance(request, BatchEvaluationRequest):
+        return evaluate_batch_request(request)
+    evaluator = _checked_worker_evaluator(request)
+    config = Configuration.from_json(request.config_json)
+    before = evaluator.computed_evaluations
+    pure = evaluator.compute(config, request.size)
+    return EvaluationResult(
+        time_s=pure.time_s,
+        accuracy=pure.accuracy,
+        compile_events=pure.compile_events,
+        computed=evaluator.computed_evaluations > before,
+    )
+
+
+def _checked_worker_evaluator(request) -> Evaluator:
+    """The worker's memoised evaluator, guards applied."""
     if execution_model_hash() != request.model_hash:
         raise TuningError(
             "execution-model hash mismatch between tuner and worker "
@@ -360,14 +421,37 @@ def evaluate_request(request: EvaluationRequest) -> EvaluationResult:
             f"registry rebuild of {request.app!r} on {request.machine!r} "
             "does not match the tuner's program fingerprint"
         )
-    config = Configuration.from_json(request.config_json)
-    before = evaluator.computed_evaluations
-    pure = evaluator.compute(config, request.size)
-    return EvaluationResult(
-        time_s=pure.time_s,
-        accuracy=pure.accuracy,
-        compile_events=pure.compile_events,
-        computed=evaluator.computed_evaluations > before,
+    return evaluator
+
+
+def evaluate_batch_request(
+    request: BatchEvaluationRequest,
+) -> BatchEvaluationResult:
+    """Worker entry point for one lane-batch (see
+    :class:`BatchEvaluationRequest`).
+
+    Raises:
+        TuningError: As for :func:`evaluate_request`; a failure in any
+            lane fails the whole frame (the requester recomputes
+            locally, lane by lane, surfacing the real error in commit
+            order).
+    """
+    evaluator = _checked_worker_evaluator(request)
+    configs = [
+        Configuration.from_json(config_json)
+        for config_json in request.config_jsons
+    ]
+    pures, computed = evaluator.compute_batch_flagged(configs, request.size)
+    return BatchEvaluationResult(
+        results=tuple(
+            EvaluationResult(
+                time_s=pure.time_s,
+                accuracy=pure.accuracy,
+                compile_events=pure.compile_events,
+                computed=flag,
+            )
+            for pure, flag in zip(pures, computed)
+        )
     )
 
 
@@ -397,6 +481,11 @@ class ProcessEvaluator(Evaluator):
         result_cache: Cross-session disk cache; its directory is shared
             with the workers, whose atomic writes merge straight into
             it.
+        batch_lanes: Candidates per shipped lane-batch (see base
+            class); with more than one lane each pool submission is one
+            pickled :class:`BatchEvaluationRequest` chunk instead of a
+            per-configuration request, cutting both the pickling and
+            the submission count by the lane width.
     """
 
     def __init__(
@@ -409,6 +498,7 @@ class ProcessEvaluator(Evaluator):
         accuracy_target: Optional[float] = None,
         seed: int = 0,
         result_cache: Optional[ResultCache] = None,
+        batch_lanes: int = 1,
     ) -> None:
         super().__init__(
             compiled,
@@ -417,11 +507,15 @@ class ProcessEvaluator(Evaluator):
             accuracy_target=accuracy_target,
             seed=seed,
             result_cache=result_cache,
+            batch_lanes=batch_lanes,
         )
         self.workers = max(1, workers if workers is not None else default_worker_count())
         self.target = target
         self._executor: Optional[ProcessPoolExecutor] = None
-        self._inflight: Dict[Tuple[str, int], Future] = {}
+        # Scalar submissions map a key to (future, None); batched ones
+        # map each chunk key to the shared chunk future plus the key's
+        # lane index into its BatchEvaluationResult.
+        self._inflight: Dict[Tuple[str, int], Tuple[Future, Optional[int]]] = {}
 
     def __enter__(self) -> "ProcessEvaluator":
         return self
@@ -446,15 +540,24 @@ class ProcessEvaluator(Evaluator):
             cache_dir=self.result_cache.directory,
         )
 
-    def prefetch(self, configs: Sequence[Configuration], size: int) -> None:
-        """Start speculative evaluation of ``configs`` in the pool.
+    def _batch_request(
+        self, config_jsons: Sequence[str], size: int
+    ) -> BatchEvaluationRequest:
+        return BatchEvaluationRequest(
+            app=self.target.app,
+            machine=self.target.machine,
+            config_jsons=tuple(config_jsons),
+            size=size,
+            seed=self._seed,
+            fingerprint=self.fingerprint,
+            model_hash=execution_model_hash(),
+            cache_dir=self.result_cache.directory,
+        )
 
-        Same contract as the thread backend: pure computation only,
-        discarded speculation costs wall-clock work but cannot perturb
-        results.
-        """
-        if self.workers <= 1:
-            return
+    def _pending_keys(
+        self, configs: Sequence[Configuration], size: int
+    ) -> "list[Tuple[str, int]]":
+        pending = []
         for config in configs:
             key = self.key_for(config, size)
             if key in self._committed or key in self._inflight:
@@ -463,12 +566,48 @@ class ProcessEvaluator(Evaluator):
                 memoised = key in self._pure
             if memoised:
                 continue
-            self._inflight[key] = self._pool().submit(
-                evaluate_request, self._request(key[0], size)
-            )
+            pending.append(key)
+        return pending
 
-    def _join(self, key: Tuple[str, int], future: Future) -> PureEvaluation:
-        result: EvaluationResult = future.result()
+    def prefetch(self, configs: Sequence[Configuration], size: int) -> None:
+        """Start speculative evaluation of ``configs`` in the pool.
+
+        Same contract as the thread backend: pure computation only,
+        discarded speculation costs wall-clock work but cannot perturb
+        results.  With ``batch_lanes`` > 1 the pending configurations
+        ship as :class:`BatchEvaluationRequest` chunks — one pickle and
+        one pool submission per chunk, and lane-shared computation on
+        the worker.
+        """
+        if self.workers <= 1:
+            return
+        pending = self._pending_keys(configs, size)
+        if self.batch_lanes <= 1:
+            for key in pending:
+                self._inflight[key] = (
+                    self._pool().submit(
+                        evaluate_request, self._request(key[0], size)
+                    ),
+                    None,
+                )
+            return
+        for start in range(0, len(pending), self.batch_lanes):
+            chunk = pending[start : start + self.batch_lanes]
+            future = self._pool().submit(
+                evaluate_batch_request,
+                self._batch_request([key[0] for key in chunk], size),
+            )
+            for lane, key in enumerate(chunk):
+                self._inflight[key] = (future, lane)
+
+    def _join(
+        self, key: Tuple[str, int], future: Future,
+        lane: Optional[int] = None,
+    ) -> PureEvaluation:
+        outcome = future.result()
+        result: EvaluationResult = (
+            outcome if lane is None else outcome.results[lane]
+        )
         pure = PureEvaluation(
             time_s=result.time_s,
             accuracy=result.accuracy,
@@ -494,9 +633,9 @@ class ProcessEvaluator(Evaluator):
         committed = self._committed.get(key)
         if committed is not None:
             return committed
-        future = self._inflight.pop(key, None)
-        if future is not None:
-            pure = self._join(key, future)
+        entry = self._inflight.pop(key, None)
+        if entry is not None:
+            pure = self._join(key, *entry)
         else:
             pure = self.compute(config, size)
         return self._commit(key, pure)
@@ -516,12 +655,12 @@ class ProcessEvaluator(Evaluator):
         swallowed — they surface only if that configuration is later
         actually evaluated.
         """
-        for key, future in self._inflight.items():
+        for key, (future, lane) in self._inflight.items():
             if future.cancel() or not future.done():
                 continue
             if future.exception() is not None:
                 continue
-            self._join(key, future)
+            self._join(key, future, lane)
         self._inflight.clear()
 
     def close(self) -> None:
@@ -571,6 +710,9 @@ class ClusterEvaluator(Evaluator):
             from ``timeout_s``.
         accuracy_fn / accuracy_target / seed / result_cache: As for
             :class:`ProcessEvaluator`.
+        batch_lanes: Candidates per shipped lane-batch (see base
+            class); with more than one lane each chunk travels as a
+            single :class:`BatchEvaluationRequest` TCP frame.
     """
 
     def __init__(
@@ -587,6 +729,7 @@ class ClusterEvaluator(Evaluator):
         accuracy_target: Optional[float] = None,
         seed: int = 0,
         result_cache: Optional[ResultCache] = None,
+        batch_lanes: int = 1,
     ) -> None:
         super().__init__(
             compiled,
@@ -595,6 +738,7 @@ class ClusterEvaluator(Evaluator):
             accuracy_target=accuracy_target,
             seed=seed,
             result_cache=result_cache,
+            batch_lanes=batch_lanes,
         )
         self.target = target
         self.cluster_address = cluster_address
@@ -617,7 +761,9 @@ class ClusterEvaluator(Evaluator):
         )
         self._warned_outage = False
         self.reattachments = 0
-        self._inflight: Dict[Tuple[str, int], Future] = {}
+        # Same shape as ProcessEvaluator._inflight: scalar submissions
+        # map to (future, None), batch chunks to (shared future, lane).
+        self._inflight: Dict[Tuple[str, int], Tuple[Future, Optional[int]]] = {}
 
     def __enter__(self) -> "ClusterEvaluator":
         return self
@@ -721,16 +867,33 @@ class ClusterEvaluator(Evaluator):
             cache_dir=self.result_cache.directory,
         )
 
+    def _batch_request(
+        self, config_jsons: Sequence[str], size: int
+    ) -> BatchEvaluationRequest:
+        return BatchEvaluationRequest(
+            app=self.target.app,
+            machine=self.target.machine,
+            config_jsons=tuple(config_jsons),
+            size=size,
+            seed=self._seed,
+            fingerprint=self.fingerprint,
+            model_hash=execution_model_hash(),
+            cache_dir=self.result_cache.directory,
+        )
+
     def prefetch(self, configs: Sequence[Configuration], size: int) -> None:
         """Ship speculative evaluations to the fleet.
 
         Same contract as the other pooled backends: pure computation
         only, so discarded or duplicated speculation costs wall-clock
-        work but cannot perturb results.
+        work but cannot perturb results.  With ``batch_lanes`` > 1 the
+        pending configurations travel as one
+        :class:`BatchEvaluationRequest` frame per chunk.
         """
         client = self._ensure_client()
         if client is None:
             return
+        pending = []
         for config in configs:
             key = self.key_for(config, size)
             if key in self._committed or key in self._inflight:
@@ -739,15 +902,28 @@ class ClusterEvaluator(Evaluator):
                 memoised = key in self._pure
             if memoised:
                 continue
-            future = client.submit(self._request(key[0], size))
-            # Tag the future with its connection so a loss discovered
-            # at join time degrades the right client — never a fresh
-            # one acquired by a re-attach in between.
+            pending.append(key)
+        if self.batch_lanes <= 1:
+            for key in pending:
+                future = client.submit(self._request(key[0], size))
+                # Tag the future with its connection so a loss
+                # discovered at join time degrades the right client —
+                # never a fresh one acquired by a re-attach in between.
+                future._repro_client = client  # type: ignore[attr-defined]
+                self._inflight[key] = (future, None)
+            return
+        for start in range(0, len(pending), self.batch_lanes):
+            chunk = pending[start : start + self.batch_lanes]
+            future = client.submit(
+                self._batch_request([key[0] for key in chunk], size)
+            )
             future._repro_client = client  # type: ignore[attr-defined]
-            self._inflight[key] = future
+            for lane, key in enumerate(chunk):
+                self._inflight[key] = (future, lane)
 
     def _join(
-        self, key: Tuple[str, int], future: Future
+        self, key: Tuple[str, int], future: Future,
+        lane: Optional[int] = None,
     ) -> Optional[PureEvaluation]:
         """Harvest one remote result; ``None`` when the fleet lost it.
 
@@ -757,11 +933,14 @@ class ClusterEvaluator(Evaluator):
         evaluation error propagates: it would have failed locally too.
         """
         try:
-            result: EvaluationResult = future.result()
+            outcome = future.result()
         except (ClusterUnavailable, CancelledError) as exc:
             if getattr(future, "_repro_client", None) is self._client:
                 self._degrade(exc)
             return None
+        result: EvaluationResult = (
+            outcome if lane is None else outcome.results[lane]
+        )
         pure = PureEvaluation(
             time_s=result.time_s,
             accuracy=result.accuracy,
@@ -788,9 +967,9 @@ class ClusterEvaluator(Evaluator):
         if committed is not None:
             return committed
         pure = None
-        future = self._inflight.pop(key, None)
-        if future is not None:
-            pure = self._join(key, future)
+        entry = self._inflight.pop(key, None)
+        if entry is not None:
+            pure = self._join(key, *entry)
         if pure is None:
             pure = self.compute(config, size)
         return self._commit(key, pure)
@@ -807,13 +986,17 @@ class ClusterEvaluator(Evaluator):
         coordinator-side so dead speculation does not occupy the fleet.
         """
         client = self._client
-        for key, future in self._inflight.items():
+        cancelled = set()
+        for key, (future, lane) in self._inflight.items():
             if future.done():
                 if future.cancelled() or future.exception() is not None:
                     continue
-                self._join(key, future)
+                self._join(key, future, lane)
             elif client is not None:
-                client.cancel(getattr(future, "task_id", ""))
+                task_id = getattr(future, "task_id", "")
+                if task_id not in cancelled:
+                    cancelled.add(task_id)
+                    client.cancel(task_id)
         self._inflight.clear()
 
     def close(self) -> None:
@@ -841,6 +1024,7 @@ def create_evaluator(
     cluster_workers: int = 2,
     cluster_heartbeat_s: float = 2.0,
     cluster_timeout_s: float = 10.0,
+    batch_lanes: int = 1,
 ) -> Evaluator:
     """Build the evaluator for the selected backend.
 
@@ -869,6 +1053,9 @@ def create_evaluator(
         cluster_workers: Self-hosted fleet size.
         cluster_heartbeat_s: Worker heartbeat interval.
         cluster_timeout_s: Connect timeout / dead-worker threshold.
+        batch_lanes: Candidates per lane-batch, forwarded to every
+            backend (1 = classic scalar evaluation; see
+            :class:`~repro.core.fitness.Evaluator`).
 
     Raises:
         TuningError: For unknown explicit backend names, and (as
@@ -904,6 +1091,7 @@ def create_evaluator(
                 accuracy_target=accuracy_target,
                 seed=seed,
                 result_cache=result_cache,
+                batch_lanes=batch_lanes,
             )
     if name == "process":
         try:
@@ -922,6 +1110,7 @@ def create_evaluator(
                 accuracy_target=accuracy_target,
                 seed=seed,
                 result_cache=result_cache,
+                batch_lanes=batch_lanes,
             )
     if name == "thread":
         return ParallelEvaluator(
@@ -932,6 +1121,7 @@ def create_evaluator(
             accuracy_target=accuracy_target,
             seed=seed,
             result_cache=result_cache,
+            batch_lanes=batch_lanes,
         )
     return Evaluator(
         compiled,
@@ -940,4 +1130,5 @@ def create_evaluator(
         accuracy_target=accuracy_target,
         seed=seed,
         result_cache=result_cache,
+        batch_lanes=batch_lanes,
     )

@@ -544,12 +544,17 @@ class TuningDriver:
         Recomputed every round rather than frozen at construction: the
         cluster backend's ``workers`` is the *current* fleet width, so
         a worker joining mid-tune immediately deepens speculation (and
-        a shrinking fleet stops over-queueing it).
+        a shrinking fleet stops over-queueing it).  Lane-batched
+        evaluators widen the target by their lane count, so each
+        prefetch round hands the backend enough proposals to fill whole
+        chunks — commit order is untouched (the pending deque still
+        drains in proposal order).
         """
         return max(
             1,
             self._inflight_per_worker
-            * max(1, getattr(self._evaluator, "workers", 1)),
+            * max(1, getattr(self._evaluator, "workers", 1))
+            * max(1, getattr(self._evaluator, "batch_lanes", 1)),
         )
 
     def run(self, label: str = "") -> TuningReport:

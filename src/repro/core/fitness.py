@@ -30,7 +30,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -221,6 +221,25 @@ def clear_env_memo() -> None:
         _ENV_MEMO.clear()
 
 
+def lane_batchable(compiled: CompiledProgram) -> bool:
+    """Whether a compiled program qualifies for lane-batched (elided)
+    evaluation.
+
+    Every authored rule must be flagged
+    :attr:`~repro.lang.rule.Rule.data_independent` — one rule with
+    data-dependent control flow (Sort's median pivot) disqualifies the
+    whole program, because a candidate could route work through it.
+    Accuracy is checked separately by the evaluator (an accuracy
+    function reads the output arrays that elision leaves unwritten).
+    """
+    for transform in compiled.program.iter_transforms():
+        for choice in transform.choices:
+            rule = choice.rule
+            if rule is not None and not rule.data_independent:
+                return False
+    return True
+
+
 class Evaluator:
     """Runs candidate configurations and accounts tuning time.
 
@@ -232,6 +251,15 @@ class Evaluator:
         seed: Seed forwarded to the runtime scheduler.
         result_cache: Cross-session disk cache; defaults to the one
             configured by ``REPRO_CACHE_DIR`` (disabled when unset).
+        batch_lanes: Candidate configurations evaluated per lane-batch
+            (1 = classic scalar evaluation).  With more than one lane,
+            ``prefetch`` computes whole batches through
+            :meth:`compute_batch`: test-input generation and prepared
+            plans are shared once per batch, and programs whose rules
+            are all ``data_independent`` (and that have no accuracy
+            function) run their lanes with the numeric bodies elided —
+            byte-identical outcomes, a fraction of the work.  Programs
+            that do not qualify fall back to per-lane scalar runs.
 
     Attributes:
         tuning_time_s: Accumulated virtual tuning time (test runs plus
@@ -261,12 +289,17 @@ class Evaluator:
         accuracy_target: Optional[float] = None,
         seed: int = 0,
         result_cache: Optional[ResultCache] = None,
+        batch_lanes: int = 1,
     ) -> None:
         self._compiled = compiled
         self._env_factory = env_factory
         self._accuracy_fn = accuracy_fn
         self._accuracy_target = accuracy_target
         self._seed = seed
+        self.batch_lanes = max(1, int(batch_lanes))
+        # Lane-elision qualification: every rule data-independent and
+        # no accuracy function consuming the (unwritten) outputs.
+        self.lane_batchable = accuracy_fn is None and lane_batchable(compiled)
         self._result_cache = (
             result_cache if result_cache is not None else ResultCache.from_environment()
         )
@@ -402,15 +435,70 @@ class Evaluator:
             for name, array in master.items()
         }
 
-    def _simulate(self, config: Configuration, size: int) -> PureEvaluation:
+    def _fresh_env_batch(
+        self, size: int, lanes: int, numeric: bool = True
+    ) -> List[Dict[str, np.ndarray]]:
+        """Private test environments for a whole lane-batch.
+
+        The copy-on-write contract of :meth:`_fresh_env`, amortised:
+        the memo lock is taken once, every lane shares the same input
+        masters, and each lane gets private output arrays.  On elided
+        (non-``numeric``) lanes the outputs are never physically
+        written, so each lane's "private output" is a distinct
+        read-only broadcast stand-in — same shape/dtype/identity
+        semantics, zero allocation, and an accidental write raises
+        instead of corrupting a neighbour lane.
+        """
+        key = (self._env_token, self._fingerprint, size, self._seed)
+        with _ENV_MEMO_LOCK:
+            master = _ENV_MEMO.get(key)
+            if master is not None:
+                _ENV_MEMO.move_to_end(key)
+        if master is None:
+            master = self._env_factory(size)
+            with _ENV_MEMO_LOCK:
+                master = _ENV_MEMO.setdefault(key, master)
+                _ENV_MEMO.move_to_end(key)
+                while len(_ENV_MEMO) > _ENV_MEMO_CAPACITY:
+                    _ENV_MEMO.popitem(last=False)
+        outputs = self._entry_outputs
+        stand_ins: Dict[str, np.ndarray] = {}
+        if not numeric:
+            stand_ins = {
+                name: np.zeros(1, dtype=array.dtype)
+                for name, array in master.items()
+                if name in outputs
+            }
+        envs: List[Dict[str, np.ndarray]] = []
+        for _ in range(max(1, lanes)):
+            env: Dict[str, np.ndarray] = {}
+            for name, array in master.items():
+                if name not in outputs:
+                    env[name] = array  # shared read-only input master
+                elif numeric:
+                    env[name] = array.copy()  # private writable output
+                else:
+                    env[name] = np.broadcast_to(stand_ins[name], array.shape)
+            envs.append(env)
+        return envs
+
+    def _simulate(
+        self,
+        config: Configuration,
+        size: int,
+        numeric: bool = True,
+        env: Optional[Dict[str, np.ndarray]] = None,
+    ) -> PureEvaluation:
         """Physically run the simulation (the expensive pure step)."""
         from repro.runtime.executor import run_program  # local: avoids cycle
 
-        env = self._fresh_env(size)
+        if env is None:
+            env = self._fresh_env(size)
         recorder = _RecordingJit(self._compiled.machine.fresh_jit())
         try:
             result = run_program(
-                self._compiled, config, env, seed=self._seed, jit=recorder
+                self._compiled, config, env, seed=self._seed, jit=recorder,
+                numeric=numeric,
             )
         except Exception as exc:
             raise TuningError(
@@ -458,6 +546,84 @@ class Evaluator:
             self._pure.setdefault(key, pure)
             return self._pure[key]
 
+    def compute_batch(
+        self, configs: Sequence[Configuration], size: int
+    ) -> List[PureEvaluation]:
+        """Pure outcomes for a lane-batch of configurations at ``size``.
+
+        Per-candidate results are byte-identical to :meth:`compute` —
+        the batch only amortises the *surroundings* of each simulation:
+        prepared invocation plans are warmed once, test environments
+        are handed out in one memo-lock acquisition with shared input
+        masters, and when the program qualifies (see
+        :func:`lane_batchable`) the lanes run with numeric rule bodies
+        elided, skipping the numpy arithmetic whose results nothing
+        reads.  Programs that do not qualify fall back to per-lane
+        scalar simulation inside the same batch walk.
+
+        Safe to call from worker threads; memo and disk hits are
+        served without simulating, exactly as in :meth:`compute`.
+
+        Raises:
+            TuningError: If any lane's simulated run fails.
+        """
+        return self.compute_batch_flagged(configs, size)[0]
+
+    def compute_batch_flagged(
+        self, configs: Sequence[Configuration], size: int
+    ) -> Tuple[List[PureEvaluation], List[bool]]:
+        """:meth:`compute_batch` plus per-lane "physically simulated"
+        flags (True for lanes served by the simulator rather than the
+        memo or disk cache) — worker backends forward the flags so the
+        requester's ``computed_evaluations`` gauge attributes work to
+        the right lanes."""
+        configs = list(configs)
+        results: List[Optional[PureEvaluation]] = [None] * len(configs)
+        misses: List[int] = []
+        for index, config in enumerate(configs):
+            key = self.key_for(config, size)
+            with self._pure_lock:
+                pure = self._pure.get(key)
+            if pure is None:
+                pure = self._disk_lookup(key[0], size)
+            if pure is not None:
+                results[index] = pure
+            else:
+                misses.append(index)
+        if misses:
+            # Shared once per batch: fully-built plan handles and the
+            # env masters (one lock acquisition for all lanes).
+            self._compiled.plans.warm_all()
+            numeric = not self.lane_batchable
+            envs = self._fresh_env_batch(size, len(misses), numeric=numeric)
+            for env, index in zip(envs, misses):
+                config = configs[index]
+                pure = self._simulate(config, size, numeric=numeric, env=env)
+                with self._pure_lock:
+                    self.computed_evaluations += 1
+                config_json = config.canonical_key()
+                self._result_cache.put(
+                    self._cache_key(config_json, size),
+                    {
+                        "time_s": pure.time_s,
+                        "accuracy": pure.accuracy,
+                        "compile_events": [
+                            list(event) for event in pure.compile_events
+                        ],
+                    },
+                )
+                results[index] = pure
+        computed = [False] * len(configs)
+        for index in misses:
+            computed[index] = True
+        out: List[PureEvaluation] = []
+        with self._pure_lock:
+            for config, pure in zip(configs, results):
+                key = self.key_for(config, size)
+                self._pure.setdefault(key, pure)
+                out.append(self._pure[key])
+        return out, computed
+
     def _commit(self, key: Tuple[str, int], pure: PureEvaluation) -> Evaluation:
         """Account one pure outcome in sequential commit order."""
         committed = self._committed.get(key)
@@ -495,9 +661,22 @@ class Evaluator:
     def prefetch(self, configs, size: int) -> None:
         """Hint that these configurations will be evaluated soon.
 
-        The serial evaluator ignores the hint; the parallel evaluator
-        overrides this to start speculative background computation.
+        With ``batch_lanes`` left at 1 the serial evaluator ignores the
+        hint (every simulation happens lazily inside ``evaluate``);
+        with more than one lane it computes the hinted configurations
+        in lane-batches through :meth:`compute_batch`, so the following
+        ``evaluate`` calls commit memoised pure results.  Pooled
+        evaluators override this with speculative background versions.
         """
+        if self.batch_lanes <= 1:
+            return
+        pending = [
+            config
+            for config in configs
+            if self.key_for(config, size) not in self._committed
+        ]
+        for start in range(0, len(pending), self.batch_lanes):
+            self.compute_batch(pending[start : start + self.batch_lanes], size)
 
     def drop_speculation(self) -> None:
         """Forget speculation whose premise was invalidated (no-op

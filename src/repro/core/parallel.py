@@ -69,6 +69,10 @@ class ParallelEvaluator(Evaluator):
         accuracy_target: Largest acceptable error.
         seed: Seed forwarded to the runtime scheduler.
         result_cache: Cross-session disk cache (see base class).
+        batch_lanes: Candidates per speculative lane-batch (see base
+            class); with more than one lane each pool submission is a
+            whole :meth:`~repro.core.fitness.Evaluator.compute_batch`
+            chunk instead of a single configuration.
     """
 
     def __init__(
@@ -80,6 +84,7 @@ class ParallelEvaluator(Evaluator):
         accuracy_target: Optional[float] = None,
         seed: int = 0,
         result_cache: Optional[ResultCache] = None,
+        batch_lanes: int = 1,
     ) -> None:
         super().__init__(
             compiled,
@@ -88,10 +93,14 @@ class ParallelEvaluator(Evaluator):
             accuracy_target=accuracy_target,
             seed=seed,
             result_cache=result_cache,
+            batch_lanes=batch_lanes,
         )
         self.workers = max(1, workers if workers is not None else default_worker_count())
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._inflight: Dict[Tuple[str, int], Future] = {}
+        # One entry per speculated key.  Scalar submissions map to a
+        # bare Future; batched submissions map several keys to the same
+        # compute_batch Future tagged with each key's lane index.
+        self._inflight: Dict[Tuple[str, int], Tuple[Future, Optional[int]]] = {}
 
     def __enter__(self) -> "ParallelEvaluator":
         return self
@@ -115,15 +124,35 @@ class ParallelEvaluator(Evaluator):
         failure surfaces only if that configuration is later actually
         evaluated (exactly when the serial tuner would have failed).
         """
-        if self.workers <= 1:
+        if self.workers <= 1 and self.batch_lanes <= 1:
             return
+        pending: List[Tuple[Tuple[str, int], Configuration]] = []
         for config in configs:
             key = self.key_for(config, size)
             if key in self._committed or key in self._inflight:
                 continue
             if key in self._pure:
                 continue
-            self._inflight[key] = self._pool().submit(self.compute, config, size)
+            pending.append((key, config))
+        if not pending:
+            return
+        if self.batch_lanes <= 1:
+            for key, config in pending:
+                self._inflight[key] = (
+                    self._pool().submit(self.compute, config, size),
+                    None,
+                )
+            return
+        # Lane-batched speculation: one submission per chunk so every
+        # chunk shares env handout, plan warming and (when the program
+        # qualifies) elided numeric bodies.  All chunk keys alias the
+        # same future, tagged with their lane index.
+        for start in range(0, len(pending), self.batch_lanes):
+            chunk = pending[start : start + self.batch_lanes]
+            chunk_configs = [config for _, config in chunk]
+            future = self._pool().submit(self.compute_batch, chunk_configs, size)
+            for lane, (key, _) in enumerate(chunk):
+                self._inflight[key] = (future, lane)
 
     def evaluate(self, config: Configuration, size: int) -> Evaluation:
         """Commit-ordered evaluation (see base class).
@@ -135,9 +164,11 @@ class ParallelEvaluator(Evaluator):
         committed = self._committed.get(key)
         if committed is not None:
             return committed
-        future = self._inflight.pop(key, None)
-        if future is not None:
-            pure: PureEvaluation = future.result()
+        entry = self._inflight.pop(key, None)
+        if entry is not None:
+            future, lane = entry
+            result = future.result()
+            pure: PureEvaluation = result if lane is None else result[lane]
         else:
             pure = self.compute(config, size)
         return self._commit(key, pure)
@@ -152,7 +183,7 @@ class ParallelEvaluator(Evaluator):
         In-flight futures keep running (their results stay usable via
         the pure memo), but they will no longer be joined implicitly.
         """
-        for future in self._inflight.values():
+        for future, _ in self._inflight.values():
             future.cancel()
         self._inflight.clear()
 

@@ -213,6 +213,7 @@ class EvolutionaryTuner:
             cluster_workers=config.cluster_workers,
             cluster_heartbeat_s=config.cluster_heartbeat_s,
             cluster_timeout_s=config.cluster_timeout_s,
+            batch_lanes=config.batch_lanes,
         )
         mutator_set = (
             mutators if mutators is not None else mutators_for(compiled.training_info)

@@ -182,6 +182,16 @@ class Rule:
             residency check and device invalidation, so data produced
             on the GPU stays there across the driver's children (e.g.
             an iteration loop whose kernels reuse device buffers).
+        data_independent: True when the rule's virtual timing, cost
+            charges and spawn structure depend only on array *shapes*
+            and transform parameters — never on array *contents* — and
+            the numeric results feed nothing but the (discarded)
+            output arrays.  The batched evaluator may then run the
+            rule with ``ctx.numeric`` off: the scheduler walks the
+            exact same task graph with the exact same virtual costs
+            while the numpy arithmetic is skipped.  Rules with
+            data-dependent control flow (Sort's median pivot) must
+            leave this False.
     """
 
     name: str
@@ -195,6 +205,7 @@ class Rule:
     divisible: bool = True
     opencl_hostile_platforms: Tuple[str, ...] = ()
     touches_data: bool = True
+    data_independent: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -221,6 +232,13 @@ class RuleContext:
             this body invocation must produce.  Data-parallel bodies
             must restrict writes to these rows.
         params: Transform parameter mapping (e.g. ``{"kw": 7}``).
+        numeric: False when the runtime only needs the body's *shape*
+            behaviour — charges and spawns — because the numeric
+            results are discarded (batched lanes of a
+            ``data_independent`` program).  Bodies of
+            ``data_independent`` recursive rules must branch on this
+            flag around their heavy array arithmetic while keeping
+            every :meth:`charge` call and returned spawn identical.
     """
 
     def __init__(
@@ -229,10 +247,12 @@ class RuleContext:
         params: Mapping[str, float],
         rows: Tuple[int, int],
         tunables: Optional[Mapping[str, int]] = None,
+        numeric: bool = True,
     ) -> None:
         self._env = env
         self.params = dict(params)
         self.rows = rows
+        self.numeric = numeric
         self._tunables = dict(tunables or {})
         self._charged_flops = 0.0
         self._charged_bytes = 0.0

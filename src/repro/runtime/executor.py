@@ -46,6 +46,7 @@ def run_program(
     worker_count: Optional[int] = None,
     charge_compile_in_run: bool = False,
     dedup_copy_ins: bool = True,
+    numeric: bool = True,
 ) -> RunResult:
     """Execute a compiled program under a configuration.
 
@@ -70,6 +71,11 @@ def run_program(
             ``stats.compile_seconds``); off by default to match the
             paper's timing methodology, where kernel compilation is a
             startup cost that inflates autotuning time instead.
+        numeric: False to elide the numeric bodies of
+            ``data_independent`` rules (batched evaluation lanes): the
+            scheduler, cost model and statistics behave identically,
+            but output arrays are left untouched.  Only valid for
+            programs whose rules are all flagged ``data_independent``.
 
     Returns:
         A :class:`RunResult`.
@@ -94,6 +100,7 @@ def run_program(
         worker_count=worker_count,
         charge_compile_in_run=charge_compile_in_run,
         dedup_copy_ins=dedup_copy_ins,
+        numeric=numeric,
     )
     root = make_invocation_task(
         compiled.program.entry,

@@ -151,18 +151,25 @@ class ExecutePayload:
         rt.stats.kernel_seconds += kernel_s
 
         # Execute the kernel semantics on the device buffers so the
-        # numerical results are real.
+        # numerical results are real.  Elided batched lanes skip the
+        # body (flagged kernel rules never charge or spawn) while the
+        # compile, launch-timing and copy-out accounting above/below
+        # stay byte-identical.
         rule = self.kernel.rule
-        device_env: Dict[str, np.ndarray] = {}
-        for name in set(rule.reads) | set(rule.writes):
-            buffer, _ = rt.memory.get_or_create(self.env[name])
-            device_env[name] = buffer.device
-        ctx = RuleContext(device_env, self.params, self.rows, rt.config.tunables)
-        result = rule.body(ctx)
-        if result is not None:
-            raise RuntimeFault(
-                f"kernel rule {rule.name!r} attempted to spawn child tasks"
+        if rt.numeric or not rule.data_independent:
+            device_env: Dict[str, np.ndarray] = {}
+            for name in set(rule.reads) | set(rule.writes):
+                buffer, _ = rt.memory.get_or_create(self.env[name])
+                device_env[name] = buffer.device
+            ctx = RuleContext(
+                device_env, self.params, self.rows, rt.config.tunables,
+                numeric=rt.numeric,
             )
+            result = rule.body(ctx)
+            if result is not None:
+                raise RuntimeFault(
+                    f"kernel rule {rule.name!r} attempted to spawn child tasks"
+                )
 
         reads_started = 0
         for name in rule.writes:

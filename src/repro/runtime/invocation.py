@@ -60,6 +60,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 DISPATCH_COST_S = 5.0e-7
 #: Per-child task-creation cost.
 TASK_CREATE_COST_S = 1.0e-7
+#: Base array behind elided-lane composite intermediates.
+_ELIDED_ZERO = np.zeros(1)
 
 
 def merged_params(
@@ -246,8 +248,17 @@ class InvocationPayload:
             for name in rule.reads:
                 lazy_s += rt.memory.ensure_host(self.env[name], now)
         out = self.env[rule.writes[0]]
-        ctx = RuleContext(self.env, params, (0, out.shape[0]), rt.config.tunables)
-        spawn = rule.body(ctx)
+        numeric = rt.numeric
+        ctx = RuleContext(
+            self.env, params, (0, out.shape[0]), rt.config.tunables, numeric=numeric
+        )
+        if not numeric and rule.data_independent and rule.pattern is not Pattern.RECURSIVE:
+            # Elided lane: flagged leaf bodies neither charge nor spawn
+            # (their cost comes from the CostSpec below), so the body
+            # call is pure array arithmetic — skip it wholesale.
+            spawn = None
+        else:
+            spawn = rule.body(ctx)
         if rule.touches_data:
             for name in rule.writes:
                 rt.memory.invalidate_device(self.env[name])
@@ -478,8 +489,15 @@ class InvocationPayload:
             memo[key] = lowered
 
         env: Dict[str, np.ndarray] = dict(self.env)
-        for name, shape in lowered.inter_shapes:
-            env[name] = np.zeros(shape)
+        if rt.numeric:
+            for name, shape in lowered.inter_shapes:
+                env[name] = np.zeros(shape)
+        else:
+            # Elided lane: intermediates are never physically read or
+            # written, so a read-only broadcast stand-in keeps the
+            # shape (and the id-keyed buffer bookkeeping) for free.
+            for name, shape in lowered.inter_shapes:
+                env[name] = np.broadcast_to(_ELIDED_ZERO, shape)
 
         child_params = {k: v for k, v in params.items() if k != "_size"}
         children: List[Task] = []
@@ -532,8 +550,17 @@ class CpuChunkPayload:
         env = self.env
         for name in self.rule.reads:
             lazy_s += memory.ensure_host(env[name], now)
-        ctx = RuleContext(env, self.params, self.rows, rt.config.tunables)
-        spawn = self.rule.body(ctx)
+        numeric = rt.numeric
+        ctx = RuleContext(
+            env, self.params, self.rows, rt.config.tunables, numeric=numeric
+        )
+        if not numeric and self.rule.data_independent:
+            # Elided lane: flagged data-parallel bodies never charge,
+            # so skipping the body leaves the CostSpec timing below
+            # (and every piece of memory bookkeeping) untouched.
+            spawn = None
+        else:
+            spawn = self.rule.body(ctx)
         if spawn is not None:
             raise RuntimeFault(
                 f"data-parallel rule {self.rule.name!r} attempted to spawn"
@@ -576,7 +603,9 @@ class CombinePayload:
         lazy_s = 0.0
         for arr in self.ensure_arrays:
             lazy_s += rt.memory.ensure_host(arr, now)
-        ctx = RuleContext(self.env, self.params, self.rows, rt.config.tunables)
+        ctx = RuleContext(
+            self.env, self.params, self.rows, rt.config.tunables, numeric=rt.numeric
+        )
         spawn = self.fn(ctx)  # type: ignore[operator]
         flops, mem_bytes, sequential = ctx.charged
         duration = lazy_s + cpu_task_time(

@@ -73,6 +73,7 @@ class GpuMemoryManager:
         self,
         transfer: TransferModel,
         dedup_copy_ins: bool = True,
+        numeric: bool = True,
     ) -> None:
         """Create a manager.
 
@@ -82,9 +83,17 @@ class GpuMemoryManager:
                 copy-in even when the device copy is current (the
                 ablation baseline for the paper's copy-in management
                 optimisation, Section 4.3).
+            numeric: False when the run is an elided batched lane: all
+                freshness bookkeeping, counters and virtual transfer
+                times stay identical, but the *physical* byte movement
+                (device allocation, ``np.copyto``, host row writes) is
+                skipped — kernels never ran, so device buffers hold no
+                meaningful data and must not clobber host arrays
+                (batched lanes share input masters).
         """
         self._transfer = transfer
         self._dedup_copy_ins = dedup_copy_ins
+        self._numeric = numeric
         self._table: Dict[int, DeviceBuffer] = {}
         self.allocations = 0
         self.copy_in_transfers = 0
@@ -115,7 +124,14 @@ class GpuMemoryManager:
         buffer = self._table.get(key)
         if buffer is not None:
             return buffer, False
-        buffer = DeviceBuffer(host=host, device=np.zeros_like(host))
+        if self._numeric:
+            device = np.zeros_like(host)
+        else:
+            # Elided lane: a read-only broadcast view keeps the shape,
+            # dtype and (virtual) nbytes without allocating — any
+            # accidental physical write raises instead of corrupting.
+            device = np.broadcast_to(np.zeros(1, dtype=host.dtype), host.shape)
+        buffer = DeviceBuffer(host=host, device=device)
         self._table[key] = buffer
         self.allocations += 1
         return buffer, True
@@ -139,7 +155,8 @@ class GpuMemoryManager:
         merge_s = 0.0
         if buffer.pending_rows:
             merge_s = self.ensure_host(host)
-        np.copyto(buffer.device, host)
+        if self._numeric:
+            np.copyto(buffer.device, host)
         buffer.device_current = True
         self.copy_in_transfers += 1
         self.bytes_copied_in += buffer.nbytes
@@ -180,7 +197,8 @@ class GpuMemoryManager:
         if buffer is None:
             raise RuntimeFault("eager copy-out of a matrix with no device buffer")
         r0, r1 = rows
-        host[r0:r1] = buffer.device[r0:r1]
+        if self._numeric:
+            host[r0:r1] = buffer.device[r0:r1]
         buffer.pending_rows = [p for p in buffer.pending_rows if p != rows]
         if not buffer.pending_rows:
             buffer.host_current = True
@@ -211,7 +229,8 @@ class GpuMemoryManager:
             return 0.0
         total_bytes = 0
         for r0, r1 in buffer.pending_rows:
-            host[r0:r1] = buffer.device[r0:r1]
+            if self._numeric:
+                host[r0:r1] = buffer.device[r0:r1]
             total_bytes += int(buffer.device[r0:r1].nbytes)
         buffer.pending_rows.clear()
         buffer.host_current = True

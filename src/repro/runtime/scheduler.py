@@ -84,6 +84,7 @@ class RuntimeState:
         "config",
         "charge_compile_in_run",
         "dedup_copy_ins",
+        "numeric",
         "machine",
         "memory",
         "stats",
@@ -114,14 +115,16 @@ class RuntimeState:
         worker_count: Optional[int] = None,
         charge_compile_in_run: bool = False,
         dedup_copy_ins: bool = True,
+        numeric: bool = True,
     ) -> None:
         self.compiled = compiled
         self.config = config
         self.charge_compile_in_run = charge_compile_in_run
         self.dedup_copy_ins = dedup_copy_ins
+        self.numeric = numeric
         self.machine: MachineSpec = compiled.machine
         self.memory = GpuMemoryManager(
-            self.machine.transfer, dedup_copy_ins=dedup_copy_ins
+            self.machine.transfer, dedup_copy_ins=dedup_copy_ins, numeric=numeric
         )
         self.stats = RunStats()
         self.rng = _acquire_rng(seed)

@@ -326,6 +326,7 @@ class TestDerivedViews:
         assert [name for name, _, _ in rows] == [
             "backend",
             "workers",
+            "batch_lanes",
             "tune_many_workers",
             "strategy",
             "seed",

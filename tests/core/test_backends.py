@@ -315,7 +315,8 @@ class TestProcessEvaluatorProtocol:
             config = default_configuration(strassen_desktop.training_info)
             evaluator.prefetch([config], 64)
             key = evaluator.key_for(config, 64)
-            evaluator._inflight[key].result()  # let the worker finish
+            future, _lane = evaluator._inflight[key]
+            future.result()  # let the worker finish
             evaluator.drop_speculation()
             assert not evaluator._inflight
             assert key in evaluator._pure

@@ -112,3 +112,68 @@ class TestEnvMemo:
         for size in range(32, 32 + 2 * _ENV_MEMO_CAPACITY):
             evaluator._fresh_env(size)
         assert len(_ENV_MEMO) <= _ENV_MEMO_CAPACITY
+
+
+class TestBatchedHandout:
+    """The copy-on-write contract extends to lane-batched handout."""
+
+    def test_lanes_share_input_masters_once(self):
+        calls = []
+        compiled, evaluator = _evaluator(_make_factory(calls))
+        envs = evaluator._fresh_env_batch(64, 4)
+        # One factory call feeds the whole batch...
+        assert calls == [64]
+        # ...and every lane aliases the same read-only input master.
+        first_in = envs[0]["In"]
+        assert all(env["In"] is first_in for env in envs)
+
+    def test_lanes_have_private_outputs(self):
+        compiled, evaluator = _evaluator(_make_factory([]))
+        envs = evaluator._fresh_env_batch(64, 4, numeric=True)
+        outs = [env["Out"] for env in envs]
+        assert len({id(out) for out in outs}) == len(outs)
+        outs[0][:] = 123.0
+        for other in outs[1:]:
+            assert not np.any(other)
+
+    def test_masters_pristine_after_batched_compute(self):
+        calls = []
+        factory = _make_factory(calls)
+        compiled, evaluator = _evaluator(factory)
+        config = default_configuration(compiled.training_info)
+        variants = [config]
+        for cutoff in (16, 17, 18):
+            variant = config.copy()
+            variant.tunables["seq_par_cutoff"] = cutoff
+            variants.append(variant)
+        evaluator.compute_batch(variants, 64)
+        # A post-batch handout must still equal a from-scratch build.
+        pristine = factory(64)
+        handout = evaluator._fresh_env(64)
+        for name in pristine:
+            assert np.array_equal(handout[name], pristine[name]), name
+
+    def test_batch_results_match_scalar_path(self):
+        compiled, evaluator = _evaluator(_make_factory([]))
+        config = default_configuration(compiled.training_info)
+        variants = [config]
+        for cutoff in (16, 18):
+            variant = config.copy()
+            variant.tunables["seq_par_cutoff"] = cutoff
+            variants.append(variant)
+        batch = evaluator.compute_batch(variants, 64)
+        _, scalar = _evaluator(_make_factory([]))
+        for variant, pure in zip(variants, batch):
+            assert scalar.compute(variant, 64) == pure
+
+    def test_elided_lane_outputs_are_read_only_stand_ins(self):
+        compiled, evaluator = _evaluator(_make_factory([]))
+        envs = evaluator._fresh_env_batch(64, 2, numeric=False)
+        for env in envs:
+            out = env["Out"]
+            assert out.shape == (64,)
+            assert out.dtype == np.float64
+            with pytest.raises(ValueError):
+                out[:] = 1.0
+        # Inputs stay genuine shared masters even on elided lanes.
+        assert envs[0]["In"] is envs[1]["In"]

@@ -77,7 +77,8 @@ def report_key(report: TuningReport):
 
 
 def tune_app(name: str, workers: int, machine=DESKTOP, seed: int = 1,
-             result_cache=None, backend=None, strategy=None) -> TuningReport:
+             result_cache=None, backend=None, strategy=None,
+             batch_lanes=None) -> TuningReport:
     spec = benchmark(name)
     compiled = compile_program(spec.build_program(), machine)
     return autotune(
@@ -88,7 +89,8 @@ def tune_app(name: str, workers: int, machine=DESKTOP, seed: int = 1,
         accuracy_fn=spec.accuracy_fn,
         accuracy_target=spec.accuracy_target,
         config=TunerConfig.from_env(
-            workers=workers, backend=backend, strategy=strategy
+            workers=workers, backend=backend, strategy=strategy,
+            batch_lanes=batch_lanes,
         ),
         result_cache=result_cache,
     )
@@ -199,24 +201,90 @@ def test_parallel_evaluator_prefetch_does_not_change_accounting(compiled_stencil
         )
 
 
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_batched_serial_identical_to_scalar_serial(name):
+    """Lane-batched evaluation is a pure wall-clock optimisation: a
+    serial session with ``batch_lanes=4`` produces a TuningReport
+    byte-identical to the scalar serial baseline — whether the app
+    qualifies for lane elision (Black-Scholes, SeparableConv.,
+    Strassen, Poisson2D SOR, Tridiagonal) or falls back to per-lane
+    scalar simulation (Sort's data-dependent pivot, SVD's accuracy
+    hook)."""
+    batched = tune_app(
+        name, workers=1, backend="serial",
+        result_cache=ResultCache(None), batch_lanes=4,
+    )
+    assert report_key(batched) == report_key(baseline_report(name)), (
+        f"batch_lanes=4 diverged from scalar serial on {name}"
+    )
+
+
+#: Batched pooled legs: the lane-batchable poster child on the thread
+#: backend, plus one process and one cluster leg on a fast pooled app.
+BATCHED_POOLED_LEGS = [
+    ("SeparableConv.", "thread"),
+    ("Strassen", "process"),
+    ("Strassen", "cluster"),
+]
+
+
+@pytest.mark.parametrize(
+    "name,backend",
+    [pytest.param(n, b, id=f"{n}-{b}-batched") for n, b in BATCHED_POOLED_LEGS],
+)
+def test_batched_pooled_identical_to_serial(name, backend):
+    """Batch lanes compose with speculative pooled prefetch: one
+    submission carries the whole chunk, results fan back out per lane,
+    and the ordered-commit layer keeps the report identical."""
+    tuned = tune_app(
+        name, workers=4, backend=backend,
+        result_cache=ResultCache(None), batch_lanes=4,
+    )
+    assert report_key(tuned) == report_key(baseline_report(name)), (
+        f"backend={backend} batch_lanes=4 diverged from serial on {name}"
+    )
+
+
+def test_batch_lanes_env_knob(monkeypatch, compiled_stencil):
+    monkeypatch.setenv("REPRO_TUNER_BATCH_LANES", "4")
+    monkeypatch.delenv("REPRO_TUNER_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_TUNER_BACKEND", raising=False)
+    tuner = EvolutionaryTuner(
+        compiled_stencil, lambda n: scale_env(n, seed=1), max_size=1024
+    )
+    try:
+        assert tuner.evaluator.batch_lanes == 4
+    finally:
+        tuner.close()
+
+
 def test_cold_vs_warm_disk_cache_equivalence(tmp_path):
     """A warm cache must replay the cold session bit-for-bit while
-    simulating nothing."""
+    simulating nothing.  Pinned to ``batch_lanes=1``: the
+    computed==evaluations identity is a scalar-serial contract (lane
+    batching may speculatively compute whole chunks that are later
+    discarded, legitimately inflating the physical counter)."""
     cold = tune_app("SeparableConv.", workers=1, backend="serial",
-                    result_cache=ResultCache(str(tmp_path)))
+                    result_cache=ResultCache(str(tmp_path)), batch_lanes=1)
     warm = tune_app("SeparableConv.", workers=1, backend="serial",
-                    result_cache=ResultCache(str(tmp_path)))
+                    result_cache=ResultCache(str(tmp_path)), batch_lanes=1)
     assert report_key(warm) == report_key(cold)
     assert cold.computed_evaluations == cold.evaluations
     assert warm.computed_evaluations == 0
 
 
 def test_cold_parallel_vs_warm_serial_equivalence(tmp_path):
-    """Cache written by a thread-pool session must satisfy a serial one."""
+    """Cache written by a thread-pool session must satisfy a serial one.
+
+    The warm sessions here (and below) pin ``batch_lanes=1``: a scalar
+    serial replay computes exactly the committed sequence, which every
+    cold session writes through — so ``computed_evaluations == 0`` is
+    guaranteed regardless of how wide the cold session speculated.
+    """
     cold = tune_app("Tridiagonal Solver", workers=4, backend="thread",
                     result_cache=ResultCache(str(tmp_path)))
     warm = tune_app("Tridiagonal Solver", workers=1, backend="serial",
-                    result_cache=ResultCache(str(tmp_path)))
+                    result_cache=ResultCache(str(tmp_path)), batch_lanes=1)
     assert report_key(warm) == report_key(cold)
     assert warm.computed_evaluations == 0
 
@@ -228,7 +296,7 @@ def test_cold_process_vs_warm_serial_equivalence(tmp_path):
     cold = tune_app("Strassen", workers=2, backend="process",
                     result_cache=ResultCache(str(tmp_path)))
     warm = tune_app("Strassen", workers=1, backend="serial",
-                    result_cache=ResultCache(str(tmp_path)))
+                    result_cache=ResultCache(str(tmp_path)), batch_lanes=1)
     assert report_key(warm) == report_key(cold)
     assert warm.computed_evaluations == 0
 
@@ -241,7 +309,7 @@ def test_cold_cluster_vs_warm_serial_equivalence(tmp_path):
     cold = tune_app("Strassen", workers=2, backend="cluster",
                     result_cache=ResultCache(str(tmp_path)))
     warm = tune_app("Strassen", workers=1, backend="serial",
-                    result_cache=ResultCache(str(tmp_path)))
+                    result_cache=ResultCache(str(tmp_path)), batch_lanes=1)
     assert report_key(warm) == report_key(cold)
     assert warm.computed_evaluations == 0
 
