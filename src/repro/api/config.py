@@ -96,6 +96,7 @@ __all__ = [
     "ENV_FULL_SCALE",
     "ENV_PROGRESS",
     "ENV_RESUME",
+    "ENV_RETUNE",
     "ENV_SEED",
     "ENV_SERVICE_ADDRESS",
     "ENV_SERVICE_MAX_JOBS",
@@ -120,6 +121,7 @@ ENV_SEED = "REPRO_SEED"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CHECKPOINT_EVERY = "REPRO_TUNER_CHECKPOINT_EVERY"
 ENV_RESUME = "REPRO_TUNER_RESUME"
+ENV_RETUNE = "REPRO_TUNER_RETUNE"
 ENV_PROGRESS = "REPRO_TUNER_PROGRESS"
 ENV_FULL_SCALE = "REPRO_FULL_SCALE"
 ENV_CLUSTER_ADDRESS = "REPRO_CLUSTER_ADDRESS"
@@ -164,6 +166,7 @@ ENV_BY_FIELD: Dict[str, str] = {
     "cache_dir": ENV_CACHE_DIR,
     "checkpoint_every": ENV_CHECKPOINT_EVERY,
     "resume": ENV_RESUME,
+    "retune": ENV_RETUNE,
     "progress": ENV_PROGRESS,
     "full_scale": ENV_FULL_SCALE,
     "cluster_address": ENV_CLUSTER_ADDRESS,
@@ -268,6 +271,11 @@ class TunerConfig:
         checkpoint_every: Commits between periodic session checkpoints
             (0 disables periodic checkpointing).
         resume: Resume checkpointed sessions.
+        retune: Route benchmark tuning through the incremental
+            re-tuning path (:mod:`repro.artifacts.retune`): consult
+            the derivation graph, serve byte-cached reports when every
+            node is clean, and warm-start the search from the prior
+            report's best configuration otherwise.
         progress: Emit per-round tuning progress lines on stderr.
         full_scale: Run experiments at the paper's exact input sizes.
         cluster_address: ``host:port`` of a running cluster
@@ -307,6 +315,7 @@ class TunerConfig:
     cache_dir: Optional[str] = None
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
     resume: bool = False
+    retune: bool = False
     progress: bool = False
     full_scale: bool = False
     cluster_address: Optional[str] = None
@@ -429,7 +438,7 @@ class TunerConfig:
             self._fail(
                 "cache_dir", f"expected a directory path or None, got {self.cache_dir!r}"
             )
-        for name in ("resume", "progress", "full_scale"):
+        for name in ("resume", "retune", "progress", "full_scale"):
             self._require_bool(name)
         if self.cluster_address is not None and not isinstance(
             self.cluster_address, str
@@ -614,7 +623,7 @@ class TunerConfig:
         _env("service_max_jobs", lambda raw: _lenient_count(raw, 0))
         _env("service_rate_limit", lambda raw: _lenient_count(raw, 0))
         _env("fault_spec", _dir_or_none)
-        for flag_name in ("resume", "progress"):
+        for flag_name in ("resume", "retune", "progress"):
             _env(flag_name, _flag)
         # REPRO_FULL_SCALE's historical grammar differs from the other
         # flags: anything except ""/"0" enabled it.
@@ -697,7 +706,7 @@ class TunerConfig:
         naming the variable.
         """
         text = raw.strip()
-        if field_name in ("resume", "progress", "full_scale"):
+        if field_name in ("resume", "retune", "progress", "full_scale"):
             return _flag(raw), text != ""
         if field_name in (
             "cache_dir",
@@ -779,7 +788,7 @@ _IGNORED = object()
 def _coerce_file_value(field_name: str, value: object, path: str) -> object:
     """Type-check one config-file value (TOML carries real types, so
     mistyped values are errors, not coercions)."""
-    if field_name in ("resume", "progress", "full_scale"):
+    if field_name in ("resume", "retune", "progress", "full_scale"):
         if not isinstance(value, bool):
             raise ConfigError(
                 f"invalid {field_name!r} in config file {path}: "

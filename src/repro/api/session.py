@@ -275,6 +275,49 @@ class Session:
             on_round=on_round,
         )
 
+    def retune(
+        self,
+        app: str,
+        machine: Union[MachineSpec, str],
+        seed: Optional[int] = None,
+        on_candidate: Optional[Callable[[CandidateEvent], None]] = None,
+        on_round: Optional[Callable[[RoundEvent], None]] = None,
+    ) -> TunedSession:
+        """Incrementally re-tune one benchmark (blocking).
+
+        Consults the memoized artifact derivation graph under
+        ``config.cache_dir`` (see :mod:`repro.artifacts`): when every
+        graph node is clean the prior report is served without any
+        search; when inputs changed, only the affected choice sites are
+        re-tuned and the search population is warm-started from the
+        prior report's best configuration, with ``warm_start_from``
+        provenance recorded on the new report.  Falls back to a cold
+        tune when no prior derivations exist.
+
+        Args:
+            app: Registry benchmark name.
+            machine: Target machine or its codename.
+            seed: Tuning seed; ``None`` uses ``config.seed``.
+            on_candidate: Streaming observer for committed evaluations
+                (re-tuned runs only).
+            on_round: Streaming observer for completed rounds
+                (re-tuned runs only).
+        """
+        from repro.artifacts.retune import retune_session
+
+        spec = _runner._resolve_machine(machine)
+        result = retune_session(
+            app,
+            spec,
+            self._config.seed if seed is None else seed,
+            self._config,
+            result_cache=self._result_cache,
+            checkpoint_store=self._checkpoints,
+            on_candidate=on_candidate,
+            on_round=on_round,
+        )
+        return result.session
+
     def submit(
         self,
         app: str,

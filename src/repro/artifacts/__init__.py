@@ -1,0 +1,45 @@
+"""The memoized artifact derivation graph (incremental re-tuning).
+
+The engine derives a chain of artifacts for every tuning session —
+per-rule and per-transform fingerprints, the compiled program, its
+prepared plans, the deterministic test-input masters, the evaluation
+outcomes and finally the tuning report.  Historically one coarse
+program fingerprint guarded all of them: any edit invalidated either
+nothing or everything.
+
+This package makes the chain explicit.  :mod:`repro.artifacts.keys`
+hashes each artifact by *exactly its inputs* (rule source, machine
+parameters, engine version, size, seed);
+:mod:`repro.artifacts.graph` composes those keys into a
+:class:`~repro.artifacts.graph.DerivationGraph` with dirty
+propagation; :mod:`repro.artifacts.store` memoizes node state on disk
+with the result cache's crash-safety discipline; and
+:mod:`repro.artifacts.retune` implements incremental re-tuning — serve
+clean graphs from the memo, warm-start dirty ones from the prior
+report and re-tune only the affected choice sites.
+"""
+
+from repro.artifacts.graph import DerivationGraph, DerivationNode, GraphSync
+from repro.artifacts.keys import (
+    digest_of,
+    engine_key,
+    machine_key,
+    rule_fingerprint,
+    transform_fingerprint,
+)
+from repro.artifacts.retune import RetuneResult, retune_session
+from repro.artifacts.store import DerivationStore
+
+__all__ = [
+    "DerivationGraph",
+    "DerivationNode",
+    "DerivationStore",
+    "GraphSync",
+    "RetuneResult",
+    "digest_of",
+    "engine_key",
+    "machine_key",
+    "retune_session",
+    "rule_fingerprint",
+    "transform_fingerprint",
+]

@@ -1,0 +1,59 @@
+"""Disk-backed memo store for derivation-graph nodes.
+
+:class:`DerivationStore` is a :class:`~repro.core.result_cache.ResultCache`
+bound to the ``graph/`` subdirectory of the cache directory — it
+inherits the whole discipline verbatim:
+
+* atomic, crash-safe writes (temp file, fsync, ``os.replace``, fsync
+  of the directory entry) with bounded retry on transient ``OSError``;
+* corrupt entries quarantined into ``graph/quarantine/`` on read,
+  counted, never fatal;
+* verbatim key comparison on lookup, so a truncated-hash collision can
+  never serve the wrong node;
+* the full :class:`~repro.core.result_cache.CacheStats` counter set
+  (hits/misses/stores/invalid/collisions/quarantined/write_errors).
+
+Entries are keyed by a node's *location* — the stable identity of the
+derivation (program, machine, node name, size, seed) — and carry the
+node's current *content digest* in the payload.  The graph layer
+compares the stored digest against the freshly computed one: equal
+means the derivation is memoized (clean), different means some input
+key changed (dirty).  Keying by location rather than content is what
+lets a dirty lookup still surface the *stale* payload — the previous
+tuning report that warm-starts the re-tune.
+
+Fault injection targets the store through its own point, ``graph.put``
+(the result cache keeps ``cache.put``), so chaos tests can break one
+store at a time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.core.result_cache import CacheStats, ResultCache
+
+__all__ = ["CacheStats", "DerivationStore"]
+
+
+class DerivationStore(ResultCache):
+    """Memo store for derivation-graph nodes under ``<cache_dir>/graph/``."""
+
+    FAULT_POINT = "graph.put"
+
+    @staticmethod
+    def for_cache_dir(cache_dir: Optional[str]) -> "DerivationStore":
+        """Store in a cache directory's ``graph/`` subdirectory
+        (disabled when the cache directory is None)."""
+        if cache_dir is None:
+            return DerivationStore(None)
+        return DerivationStore(os.path.join(cache_dir, "graph"))
+
+    @staticmethod
+    def from_environment() -> "DerivationStore":
+        """Store under ``$REPRO_CACHE_DIR/graph`` (disabled when the
+        result cache is disabled)."""
+        return DerivationStore.for_cache_dir(
+            ResultCache.from_environment().directory
+        )

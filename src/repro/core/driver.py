@@ -658,6 +658,7 @@ class TuningDriver:
             computed_evaluations=evaluator.computed_evaluations,
             strategy=self._strategy.name,
             seed=self._plan.seed,
+            warm_start_from=self._plan.warm_start,
         )
         if self._store.enabled:
             self._store.save(
@@ -676,7 +677,7 @@ class TuningDriver:
 
     def _identity(self) -> Dict[str, object]:
         evaluator = self._evaluator
-        return {
+        identity = {
             "version": CHECKPOINT_VERSION,
             "model": execution_model_hash(),
             "program": self._compiled.program.name,
@@ -690,6 +691,15 @@ class TuningDriver:
             "generations": self._plan.generations,
             "population_size": self._plan.population_size,
         }
+        if self._plan.warm_start is not None:
+            # The identity omits plan.seeds, so a warm-started session
+            # (extra seed configs injected from a donor report) must not
+            # share checkpoints with a cold one — or with a session warm
+            # started from a *different* donor.
+            identity["warm_start"] = hashlib.sha256(
+                json.dumps(self._plan.warm_start, sort_keys=True).encode("utf-8")
+            ).hexdigest()[:16]
+        return identity
 
     def _write_checkpoint(self, identity: Dict[str, object]) -> None:
         self._store.save(

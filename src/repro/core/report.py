@@ -14,7 +14,7 @@ reprs), which the property tests in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.configuration import Configuration
 
@@ -42,6 +42,10 @@ class TuningReport:
             across checkpoint resumes).
         strategy: Name of the search strategy that produced the report.
         seed: The randomness seed the search ran with.
+        warm_start_from: Provenance of an incremental re-tune —
+            which prior report seeded the search population and which
+            derivation-graph nodes were dirty (see
+            :mod:`repro.artifacts.retune`).  ``None`` for cold runs.
     """
 
     best: Configuration
@@ -53,6 +57,7 @@ class TuningReport:
     computed_evaluations: int = 0
     strategy: str = DEFAULT_REPORT_STRATEGY
     seed: int = 0
+    warm_start_from: Optional[Dict[str, object]] = None
 
 
 def report_to_payload(report: TuningReport) -> Dict[str, object]:
@@ -64,7 +69,7 @@ def report_to_payload(report: TuningReport) -> Dict[str, object]:
     :class:`~repro.core.configuration.Configuration`, which crosses the
     pipe as its canonical JSON instead.
     """
-    return {
+    payload: Dict[str, object] = {
         "best": report.best.to_json(),
         "best_time_s": report.best_time_s,
         "tuning_time_s": report.tuning_time_s,
@@ -75,6 +80,11 @@ def report_to_payload(report: TuningReport) -> Dict[str, object]:
         "strategy": report.strategy,
         "seed": report.seed,
     }
+    if report.warm_start_from is not None:
+        # Only present on re-tuned reports: cold payloads stay
+        # byte-identical to every previously shipped or golden file.
+        payload["warm_start_from"] = dict(report.warm_start_from)
+    return payload
 
 
 def report_from_payload(payload: Dict[str, object]) -> TuningReport:
@@ -93,4 +103,5 @@ def report_from_payload(payload: Dict[str, object]) -> TuningReport:
         computed_evaluations=int(payload["computed_evaluations"]),
         strategy=str(payload.get("strategy", DEFAULT_REPORT_STRATEGY)),
         seed=int(payload.get("seed", 0)),
+        warm_start_from=payload.get("warm_start_from"),  # type: ignore[arg-type]
     )

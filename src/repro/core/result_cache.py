@@ -173,6 +173,11 @@ class ResultCache:
             :meth:`put` is a no-op.
     """
 
+    #: Fault-injection point name for the atomic write path; subclasses
+    #: with their own failure domain (the derivation graph store)
+    #: override this so chaos tests can target one store at a time.
+    FAULT_POINT = "cache.put"
+
     def __init__(self, directory: Optional[str]) -> None:
         self._directory = directory
         self.stats = CacheStats()
@@ -321,7 +326,7 @@ class ResultCache:
         """
         assert self._directory is not None
         os.makedirs(self._directory, exist_ok=True)
-        fault = faults.fault_point("cache.put")
+        fault = faults.fault_point(self.FAULT_POINT)
         if fault is not None and fault.kind == "oserror":
             raise faults.injected_oserror(fault)
         fd, tmp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
@@ -368,6 +373,33 @@ class ResultCache:
         """Count an entry whose payload failed validation downstream."""
         with self._stats_lock:
             self.stats.invalid += 1
+
+    def merge_stats(self, counts: Dict[str, int]) -> None:
+        """Fold another cache's counters into this instance's stats.
+
+        Process-sharded batch runs open their own cache handle on the
+        shared directory inside each worker; the shard ships its
+        counters back as a plain dict (``dataclasses.asdict``) and the
+        parent folds them in here, so multi-shard totals are true
+        totals instead of silently dropping every worker's traffic.
+        Unknown keys are ignored — an older shard payload can never
+        crash the parent.
+        """
+        with self._stats_lock:
+            for name in (
+                "hits",
+                "misses",
+                "stores",
+                "invalid",
+                "collisions",
+                "quarantined",
+                "write_errors",
+            ):
+                setattr(
+                    self.stats,
+                    name,
+                    getattr(self.stats, name) + int(counts.get(name, 0)),
+                )
 
 
 def _fsync_dir(directory: str) -> None:

@@ -54,7 +54,7 @@ barriers.
 from __future__ import annotations
 
 import warnings
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.api.config import TunerConfig
 from repro.compiler.compile import CompiledProgram
@@ -123,6 +123,8 @@ class EvolutionaryTuner:
         progress: Optional[Callable[[str], None]] = None,
         on_candidate: Optional[Callable[[CandidateEvent], None]] = None,
         on_round: Optional[Callable[[RoundEvent], None]] = None,
+        warm_seeds: Optional[List["Configuration"]] = None,
+        warm_start: Optional[Dict[str, object]] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
         strategy: Optional[str] = None,
@@ -169,6 +171,15 @@ class EvolutionaryTuner:
                 :class:`~repro.core.driver.CandidateEvent`).
             on_round: Streaming observer for every completed search
                 round (see :class:`~repro.core.driver.RoundEvent`).
+            warm_seeds: Extra seed configurations injected into the
+                initial population (incremental re-tuning warm-starts
+                the search from a prior report's best configs; see
+                :mod:`repro.artifacts.retune`).  Deduplicated against
+                the compiler-derived seeds by canonical key.
+            warm_start: Provenance of the warm-start donor, recorded
+                on the report (``warm_start_from``) and folded into
+                the checkpoint identity so warm and cold sessions
+                never share checkpoints.
             workers: Deprecated — use ``config.workers``.
             backend: Deprecated — use ``config.backend``.
             strategy: Deprecated — use ``config.strategy``.
@@ -225,16 +236,24 @@ class EvolutionaryTuner:
         sizes = self._plan_sizes(
             min_size, max_size, size_growth, skip_small_sizes_for_opencl
         )
+        seeds = seed_configurations(compiled.training_info)
+        if warm_seeds:
+            present = {seed_config.canonical_key() for seed_config in seeds}
+            for warm in warm_seeds:
+                if warm.canonical_key() not in present:
+                    present.add(warm.canonical_key())
+                    seeds.append(warm)
         self._plan = SearchPlan(
             training=compiled.training_info,
             mutators=tuple(mutator_set),
-            seeds=tuple(seed_configurations(compiled.training_info)),
+            seeds=tuple(seeds),
             sizes=tuple(sizes),
             max_size=max_size,
             kernel_count=compiled.kernel_count,
             population_size=population_size,
             generations=generations,
             seed=seed,
+            warm_start=warm_start,
         )
         self._driver = TuningDriver(
             compiled,

@@ -118,6 +118,11 @@ class SearchPlan:
         population_size: Population capacity for population strategies.
         generations: Base mutation budget per input size.
         seed: Randomness seed; the whole search is deterministic in it.
+        warm_start: Provenance of the warm-start donor when the tuner
+            injected a prior report's best configurations into
+            ``seeds`` (incremental re-tuning); ``None`` for cold
+            sessions.  Carried into the report and the checkpoint
+            identity — warm and cold sessions never share checkpoints.
     """
 
     training: TrainingInfo
@@ -129,6 +134,7 @@ class SearchPlan:
     population_size: int
     generations: int
     seed: int
+    warm_start: Optional[Dict[str, object]] = None
 
     def generations_at(self, size: int) -> int:
         """Mutation budget at one size (Section 5.4 scaling).
@@ -210,6 +216,19 @@ class SearchStrategy(abc.ABC):
     def __init__(self, plan: SearchPlan) -> None:
         self.plan = plan
         self._rng = random.Random(plan.seed)
+
+    def seed_population(self) -> List[Configuration]:
+        """The configurations that found (or re-found) the population.
+
+        The default is the plan's seed list — the compiler-derived
+        defaults plus any warm-start configurations the tuner injected
+        from a prior report (incremental re-tuning).  Population
+        strategies call this whenever they (re)build their member set,
+        so a subclass can reorder, filter or augment the initial
+        candidates without re-implementing size bookkeeping.  Returned
+        configurations are fresh copies: strategies may mutate them.
+        """
+        return [config.copy() for config in self.plan.seeds]
 
     @abc.abstractmethod
     def propose(self, k: int) -> List[Proposal]:

@@ -235,9 +235,9 @@ class EvolutionaryStrategy(SearchStrategy):
         """
         self._size_index = index
         present = {c.config.canonical_key() for c in self._population.members}
-        for config in self.plan.seeds:
+        for config in self.seed_population():
             if config.canonical_key() not in present:
-                self._population.add(Candidate(config=config.copy()))
+                self._population.add(Candidate(config=config))
         self._member_queue = list(self._population.members)
         self._phase = "members"
 

@@ -108,11 +108,11 @@ class RandomSearchStrategy(SearchStrategy):
         if self._best is not None:
             queue.append(self._best.config)
             seen.add(self._best.config.canonical_key())
-        for config in self.plan.seeds:
+        for config in self.seed_population():
             key = config.canonical_key()
             if key not in seen:
                 seen.add(key)
-                queue.append(config.copy())
+                queue.append(config)
         for _ in range(self.plan.generations_at(size)):
             sample = self._sample()
             key = sample.canonical_key()

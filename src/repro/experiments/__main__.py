@@ -10,6 +10,8 @@ Usage::
     python -m repro.experiments config               # resolved TunerConfig
     python -m repro.experiments bench                # hot-path benchmark
     python -m repro.experiments bench --tier=tiny --check=benchmarks/perf/BENCH_baseline.json
+    python -m repro.experiments graph Strassen Desktop   # derivation graph
+    python -m repro.experiments graph Sort Desktop --record  # + memoize
 
 The run is driven by one :class:`repro.api.TunerConfig`, resolved as
 ``built-in defaults < REPRO_* environment < repro.toml < flags`` —
@@ -50,6 +52,13 @@ Flags:
                                   from the cache directory; resumed
                                   reports are byte-identical to
                                   uninterrupted runs.
+    --retune                      tune incrementally through the
+                                  artifact derivation graph: clean
+                                  graphs serve memoized reports, dirty
+                                  ones re-tune only the affected
+                                  choice sites, warm-started from the
+                                  prior best (requires a cache
+                                  directory).
     --quiet                       suppress the per-round tuning
                                   progress lines (on by default on
                                   this CLI).
@@ -165,6 +174,85 @@ def _render_config(config: TunerConfig) -> str:
     return "\n".join(lines)
 
 
+def _graph_main(argv: list) -> int:
+    """The ``graph`` subcommand: print one (app, machine, size)
+    derivation graph with per-node clean/dirty status, key provenance,
+    and the sync counters the incremental-smoke CI leg asserts on.
+
+    With ``--record``, dirty nodes are memoized into the store
+    afterwards (the report node only gets a payload when a tuning
+    session attaches one, so recording here marks structure clean
+    without fabricating results)."""
+    positional = []
+    size: Optional[int] = None
+    seed: Optional[int] = None
+    record = False
+    for arg in argv:
+        if arg.startswith("--size="):
+            try:
+                size = int(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"invalid {arg}: expected an integer")
+                return 2
+        elif arg.startswith("--seed="):
+            try:
+                seed = int(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"invalid {arg}: expected an integer")
+                return 2
+        elif arg == "--record":
+            record = True
+        else:
+            positional.append(arg)
+    if len(positional) != 2:
+        print(
+            "usage: python -m repro.experiments graph <app> <machine> "
+            "[--size=N] [--seed=N] [--record]"
+        )
+        return 2
+    app, machine_name = positional
+    try:
+        config = TunerConfig.resolve()
+    except ConfigError as error:
+        print(error)
+        return 2
+    from repro.apps.registry import benchmark, canonical_env_factory
+    from repro.artifacts import DerivationGraph, DerivationStore
+    from repro.compiler.compile import compile_program
+    from repro.errors import ExperimentError
+    from repro.hardware.machines import machine_by_name
+
+    try:
+        spec = benchmark(app)
+        machine = machine_by_name(machine_name)
+    except (ExperimentError, KeyError) as error:
+        message = error.args[0] if error.args else error
+        print(message)
+        return 2
+    compiled = compile_program(spec.build_program(), machine)
+    graph = DerivationGraph.build(
+        compiled,
+        canonical_env_factory(app),
+        size=size if size is not None else spec.tuning_size,
+        seed=config.seed if seed is None else seed,
+        strategy=config.strategy,
+    )
+    store = DerivationStore.for_cache_dir(config.cache_dir)
+    sync = graph.sync(store)
+    print(graph.render())
+    print()
+    print(
+        f"sync: hits={sync.hits} misses={sync.misses} stale={sync.stale} "
+        f"dirty={len(sync.dirty)} frontier={len(sync.frontier)}"
+    )
+    if not store.enabled:
+        print("store: disabled (set REPRO_CACHE_DIR to memoize derivations)")
+    elif record:
+        written = graph.record(store)
+        print(f"recorded: {written} node(s)")
+    return 0
+
+
 def main(argv: list) -> int:
     if argv and argv[0] == "bench":
         # The benchmark harness has its own flags (--tier, --repeats,
@@ -173,6 +261,10 @@ def main(argv: list) -> int:
         from repro.experiments.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "graph":
+        # Same shape as `bench`: its own positional arguments and
+        # flags, everything after the verb is forwarded.
+        return _graph_main(argv[1:])
     requested = []
     overrides = {}
     config_file: Optional[str] = None
@@ -205,6 +297,8 @@ def main(argv: list) -> int:
                 return 2
         elif arg == "--resume":
             overrides["resume"] = True
+        elif arg == "--retune":
+            overrides["retune"] = True
         elif arg == "--quiet":
             # Explicit flags land in the argument layer, so --quiet
             # wins over REPRO_TUNER_PROGRESS=1 by construction.
@@ -234,7 +328,7 @@ def main(argv: list) -> int:
     if unknown:
         print(
             f"unknown artefact(s): {unknown}; "
-            f"available: {sorted(_ARTEFACTS) + ['bench', 'config']}"
+            f"available: {sorted(_ARTEFACTS) + ['bench', 'config', 'graph']}"
         )
         return 2
     # One Session drives the whole run: the tuning harnesses (fig6/7/8)

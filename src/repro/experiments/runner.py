@@ -179,6 +179,22 @@ def _tune_one(
     on_candidate: Optional[Callable[[CandidateEvent], None]] = None,
     on_round: Optional[Callable[[RoundEvent], None]] = None,
 ) -> TunedSession:
+    if config.retune:
+        # The incremental path consults the derivation graph first and
+        # warm-starts from the prior report when anything changed.
+        # Local import: repro.artifacts.retune imports this module.
+        from repro.artifacts.retune import retune_session
+
+        return retune_session(
+            benchmark_name,
+            machine,
+            seed,
+            config,
+            result_cache=result_cache,
+            checkpoint_store=checkpoint_store,
+            on_candidate=on_candidate,
+            on_round=on_round,
+        ).session
     spec = benchmark(benchmark_name)
     compiled = compile_program(spec.build_program(), machine)
     with EvolutionaryTuner(
@@ -275,9 +291,10 @@ def _tune_shard(
     pairs: Sequence[Tuple[str, str]],
     seed: int,
     config: TunerConfig,
-) -> List[Tuple[str, str, Dict[str, object]]]:
+) -> Tuple[List[Tuple[str, str, Dict[str, object]]], Dict[str, int]]:
     """Process-pool entry point: tune one shard of (name, codename)
-    pairs and return their reports as primitive payloads.
+    pairs and return their reports as primitive payloads, plus the
+    shard cache's counter snapshot.
 
     Receives the parent's full (picklable) :class:`TunerConfig`, so
     shard children follow the batch's strategy/resume/cache/progress
@@ -286,7 +303,11 @@ def _tune_shard(
     concurrent shards merge through the cache's atomic writes, never
     through shared state.  Checkpoints written by the shard land in
     the shared ``config.cache_dir``-derived store, so a killed batch
-    resumes no matter which shard a session lands on next time.
+    resumes no matter which shard a session lands on next time.  The
+    returned :class:`~repro.core.result_cache.CacheStats` counters let
+    the parent fold the shard's hits/misses/quarantines into its own
+    handle — a sharded batch reports the same totals as a threaded
+    one.
     """
     shard_config = _no_fork_config(config)
     cache = ResultCache(shard_config.cache_dir)
@@ -300,7 +321,7 @@ def _tune_shard(
             result_cache=cache,
         )
         results.append((name, codename, report_to_payload(session.report)))
-    return results
+    return results, dataclasses.asdict(cache.stats)
 
 
 def _shardable(machine: MachineSpec) -> bool:
@@ -371,6 +392,7 @@ def _tune_many_process(
     seed: int,
     worker_count: int,
     config: TunerConfig,
+    result_cache: Optional[ResultCache] = None,
 ) -> List[TunedSession]:
     """Shard a batch across worker processes and collect the sessions.
 
@@ -380,7 +402,9 @@ def _tune_many_process(
     ``worker_count`` shards.  The parent rebuilds each shipped report
     into a full :class:`TunedSession` (recompiling the program locally
     — cheap next to tuning) and installs it in the process-wide
-    session cache before releasing the claim.
+    session cache before releasing the claim.  Shard cache counters
+    are folded into ``result_cache`` (when the caller shares a handle)
+    so batch-level cache accounting survives the process hop.
     """
     strategy_name = config.strategy
     claimed, held = _claim_missing(resolved, seed, strategy_name)
@@ -406,7 +430,10 @@ def _tune_many_process(
                     for shard in shards
                 ]
                 for future in futures:
-                    for name, codename, payload in future.result():
+                    shard_results, shard_stats = future.result()
+                    if result_cache is not None:
+                        result_cache.merge_stats(shard_stats)
+                    for name, codename, payload in shard_results:
                         _install_session(
                             name,
                             machines[codename],
@@ -485,7 +512,9 @@ def run_batch(
         worker_count = 1
 
     if backend_name == "process" and worker_count > 1 and len(resolved) > 1:
-        sessions = _tune_many_process(resolved, seed, worker_count, config)
+        sessions = _tune_many_process(
+            resolved, seed, worker_count, config, result_cache=result_cache
+        )
     elif worker_count == 1 or len(resolved) <= 1:
         # Forward the caller's backend choice: an explicit "serial"
         # must stay serial even when the environment says process, and

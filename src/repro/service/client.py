@@ -212,6 +212,45 @@ class ServiceClient:
             return True, report_from_payload(response["report"])
         return False, str(response["config"])
 
+    def retune(
+        self,
+        app: str,
+        machine: str,
+        seed: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[TuningReport, Dict[str, Any]]:
+        """Incrementally re-tune one target (blocking).
+
+        The daemon consults its artifact derivation graph for the
+        tenant: a fully clean graph serves the memoized prior report
+        without any search; otherwise only the affected choice sites
+        are re-tuned, warm-started from that report.
+
+        Args:
+            app: Registry benchmark name.
+            machine: Machine codename.
+            seed: Tuning seed (``None`` uses the daemon's default).
+            timeout: Seconds to wait for the re-tune (``None`` parks
+                until it finishes — a cold first run tunes from
+                scratch).
+
+        Returns:
+            ``(report, provenance)`` where ``provenance`` carries the
+            daemon's ``clean`` / ``warm_started`` / ``affected``
+            fields.
+        """
+        response = self._call(
+            {"type": "retune", "app": app, "machine": machine, "seed": seed},
+            expect="retuned",
+            timeout_s=timeout,
+        )
+        provenance = {
+            "clean": bool(response.get("clean")),
+            "warm_started": bool(response.get("warm_started")),
+            "affected": list(response.get("affected") or ()),
+        }
+        return report_from_payload(response["report"]), provenance
+
     def metrics(self) -> Dict[str, Any]:
         """The daemon's counters (queue depth, job states, cache and
         index stats, evaluations/s)."""

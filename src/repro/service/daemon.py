@@ -48,7 +48,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro import faults
@@ -164,6 +164,7 @@ class TuningService:
         self._evals_lock = threading.Lock()
         self._defaults: Dict[Tuple[str, str], str] = {}
         self._defaults_lock = threading.Lock()
+        self._boot_scans: Dict[str, Dict[str, int]] = {}
         self._misc = ThreadPoolExecutor(
             max_workers=2, thread_name_prefix="repro-service-misc"
         )
@@ -322,9 +323,17 @@ class TuningService:
                 self.backlog_restored += 1
 
     def _load_index(self) -> int:
-        """Boot scan: the base checkpoint store plus every tenant's."""
+        """Boot scan: the base checkpoint store plus every tenant's.
+
+        Each store's :class:`~repro.core.driver.CheckpointScanStats` is
+        retained (keyed by tenant namespace, ``"base"`` for the shared
+        store) and exported by the ``metrics`` verb, so an operator can
+        tell an empty store apart from one full of unreadable files."""
         cache_dir = self._config.cache_dir
-        loaded = self._index.load_store(CheckpointStore.for_cache_dir(cache_dir))
+        store = CheckpointStore.for_cache_dir(cache_dir)
+        loaded = self._index.load_store(store)
+        if store.last_scan is not None:
+            self._boot_scans["base"] = asdict(store.last_scan)
         if cache_dir is not None:
             import glob
             import os
@@ -332,9 +341,12 @@ class TuningService:
             pattern = os.path.join(cache_dir, "tenants", "*")
             for tenant_dir in sorted(glob.glob(pattern)):
                 if os.path.isdir(tenant_dir):
-                    loaded += self._index.load_store(
-                        CheckpointStore.for_cache_dir(tenant_dir)
-                    )
+                    tenant_store = CheckpointStore.for_cache_dir(tenant_dir)
+                    loaded += self._index.load_store(tenant_store)
+                    if tenant_store.last_scan is not None:
+                        self._boot_scans[
+                            os.path.basename(tenant_dir)
+                        ] = asdict(tenant_store.last_scan)
         return loaded
 
     def _session(self, namespace: str) -> Session:
@@ -468,6 +480,8 @@ class TuningService:
                 response = self._handle_cancel(message, namespace)
             elif kind == "lookup":
                 response = await self._handle_lookup(message, client, namespace)
+            elif kind == "retune":
+                response = await self._handle_retune(message, namespace)
             elif kind == "metrics":
                 response = {
                     "type": "metrics-report",
@@ -636,6 +650,64 @@ class TuningService:
             "config": config_json,
             "enqueued": job is not None,
             "job_id": None if job is None else job.job_id,
+        }
+
+    async def _handle_retune(
+        self, message: Dict[str, Any], namespace: str
+    ) -> Dict[str, Any]:
+        """The ``retune`` verb: incremental re-tuning over the tenant's
+        artifact derivation graph.
+
+        Blocking from the client's point of view (it runs on the misc
+        executor, never the event loop): when every graph node is clean
+        the answer is the memoized prior report; otherwise only the
+        affected choice sites are re-tuned, warm-started from that
+        report.  The fresh report is folded into the hot
+        :class:`ReportIndex` so subsequent ``lookup`` calls hit it."""
+        req_id = message.get("req_id")
+        try:
+            app, machine, seed = self._validate_target(message)
+        except ServiceError as exc:
+            return verbs.error_response(req_id, verbs.BAD_REQUEST, str(exc))
+        session = self._session(namespace)
+
+        def _run():
+            from repro.artifacts.retune import retune_session
+
+            return retune_session(
+                app,
+                machine_by_name(machine),
+                seed,
+                session.config,
+                result_cache=session.result_cache,
+                checkpoint_store=session.checkpoints,
+                on_candidate=self._on_candidate,
+            )
+
+        assert self._loop is not None
+        result = await self._loop.run_in_executor(self._misc, _run)
+        payload = report_to_payload(result.report)
+        try:
+            self._index.put(
+                app,
+                machine,
+                self._config.strategy,
+                seed,
+                payload["sizes"][-1],  # type: ignore[index]
+                payload,
+            )
+        except Exception:
+            log.exception("failed to index re-tuned report for %s/%s", app, machine)
+        return {
+            "type": "retuned",
+            "req_id": req_id,
+            "app": app,
+            "machine": machine,
+            "seed": seed,
+            "clean": result.clean,
+            "warm_started": result.warm_started,
+            "affected": list(result.affected),
+            "report": payload,
         }
 
     # -- job machinery --------------------------------------------------
@@ -834,6 +906,44 @@ class TuningService:
 
     # -- metrics --------------------------------------------------------
 
+    def _quarantine_counts(self) -> Dict[str, Dict[str, int]]:
+        """Quarantined-file counts per tenant (plus the base store).
+
+        Counts files in each cache directory's ``quarantine/``
+        subdirectories — evaluation cache, checkpoints, and the
+        derivation graph — so an operator can see *which tenant's*
+        storage is rotting without grepping the filesystem."""
+        cache_dir = self._config.cache_dir
+        if cache_dir is None:
+            return {}
+
+        def _count(directory: str) -> int:
+            try:
+                return len(os.listdir(directory))
+            except OSError:
+                return 0
+
+        def _pens(root: str) -> Dict[str, int]:
+            return {
+                "cache": _count(os.path.join(root, "quarantine")),
+                "checkpoints": _count(
+                    os.path.join(root, "checkpoints", "quarantine")
+                ),
+                "graph": _count(os.path.join(root, "graph", "quarantine")),
+            }
+
+        counts = {"base": _pens(cache_dir)}
+        tenants_dir = os.path.join(cache_dir, "tenants")
+        try:
+            tenants = sorted(os.listdir(tenants_dir))
+        except OSError:
+            tenants = []
+        for tenant in tenants:
+            tenant_dir = os.path.join(tenants_dir, tenant)
+            if os.path.isdir(tenant_dir):
+                counts[tenant] = _pens(tenant_dir)
+        return counts
+
     def metrics_snapshot(self) -> Dict[str, Any]:
         """Everything the ``metrics`` verb exports, as one JSON-safe dict."""
         states: Dict[str, int] = {}
@@ -866,6 +976,11 @@ class TuningService:
             "evaluations_per_s": evaluations_per_s,
             "rate_limited": self._limiter.rejected,
             "backlog_restored": self.backlog_restored,
+            "checkpoint_scans": {
+                namespace: dict(stats)
+                for namespace, stats in self._boot_scans.items()
+            },
+            "quarantine": self._quarantine_counts(),
         }
 
 

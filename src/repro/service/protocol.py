@@ -42,6 +42,15 @@ job-result  dmn → cli   ``req_id``, ``job_id``, ``state``, ``report``
                         (failure reason, terminal failure only)
 cancel      cli → dmn   ``req_id``, ``job_id``
 cancelled   dmn → cli   ``req_id``, ``job_id``, ``ok``, ``state``
+retune      cli → dmn   ``req_id``, ``app``, ``machine``, ``seed``
+                        (optional).  Blocking: the daemon consults the
+                        artifact derivation graph and re-tunes only
+                        what changed (see :mod:`repro.artifacts`)
+retuned     dmn → cli   ``req_id``, ``app``, ``machine``, ``seed``,
+                        ``clean`` (no inputs changed — the prior
+                        report was served without search),
+                        ``warm_started``, ``affected`` (transform
+                        names re-tuned), ``report`` (payload)
 lookup      cli → dmn   ``req_id``, ``app``, ``machine``, ``size``
                         (optional; defaults to the registry tuning
                         size)

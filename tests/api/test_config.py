@@ -333,6 +333,7 @@ class TestDerivedViews:
             "cache_dir",
             "checkpoint_every",
             "resume",
+            "retune",
             "progress",
             "full_scale",
             "cluster_address",

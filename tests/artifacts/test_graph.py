@@ -1,0 +1,235 @@
+"""Dirty propagation over the derivation graph.
+
+Builds a two-phase pipeline program twice — once pristine, once with a
+single rule body edited — and asserts the *minimal invalidated
+frontier*: exactly the edited rule is the root cause, exactly its
+dependents recompute, and every sibling derivation stays memoized.
+"""
+
+from __future__ import annotations
+
+from repro.artifacts.graph import DerivationGraph
+from repro.artifacts.store import DerivationStore
+from repro.compiler.compile import compile_program
+from repro.hardware.machines import DESKTOP, LAPTOP
+from repro.lang import Choice, CostSpec, Rule, Step, Transform, make_program
+
+SIZE = 256
+
+
+def pipeline_program(double_factor: float = 2.0):
+    """Two chained transforms under a composite top: Mid = factor*In,
+    Out = Mid + 1.  ``double_factor`` is the "edited rule" knob — it
+    lands in the Double rule's body bytecode and nowhere else."""
+
+    def double(ctx):
+        src, out = ctx.input("In"), ctx.array("Out")
+        r0, r1 = ctx.rows
+        out[r0:r1] = double_factor * src[r0:r1]
+
+    def add_one(ctx):
+        src, out = ctx.input("In"), ctx.array("Out")
+        r0, r1 = ctx.rows
+        out[r0:r1] = src[r0:r1] + 1.0
+
+    phase1 = Transform(
+        name="Double", inputs=("In",), outputs=("Out",),
+        choices=(Choice(name="d", rule=Rule(
+            name="double", reads=("In",), writes=("Out",), body=double,
+            cost=CostSpec(flops_per_item=1.0))),),
+    )
+    phase2 = Transform(
+        name="AddOne", inputs=("In",), outputs=("Out",),
+        choices=(Choice(name="a", rule=Rule(
+            name="add_one", reads=("In",), writes=("Out",), body=add_one,
+            cost=CostSpec(flops_per_item=1.0))),),
+    )
+    top = Transform(
+        name="Pipeline", inputs=("In",), outputs=("Out",),
+        choices=(
+            Choice(
+                name="chain",
+                steps=(
+                    Step(transform="Double", bindings={"Out": "Mid"}),
+                    Step(transform="AddOne", bindings={"In": "Mid"}),
+                ),
+                intermediates={"Mid": lambda shapes, p: shapes["In"]},
+            ),
+        ),
+    )
+    return make_program("pipeline", [top, phase1, phase2], "Pipeline")
+
+
+def build_graph(factor: float = 2.0, machine=DESKTOP) -> DerivationGraph:
+    compiled = compile_program(pipeline_program(factor), machine)
+    return DerivationGraph.build(compiled, None, size=SIZE, seed=7)
+
+
+class TestTopology:
+    def test_node_set_and_wiring(self):
+        graph = build_graph()
+        names = set(graph.order)
+        assert names == {
+            "rule:Double/d", "transform:Double",
+            "rule:AddOne/a", "transform:AddOne",
+            "transform:Pipeline",
+            "compiled", "plans", "input-master", "outcomes", "report",
+        }
+        assert graph.node("transform:Double").inputs == ("rule:Double/d",)
+        assert graph.node("transform:Pipeline").inputs == ()
+        assert set(graph.node("compiled").inputs) == {
+            "transform:Double", "transform:AddOne", "transform:Pipeline",
+        }
+        assert graph.node("plans").inputs == ("compiled",)
+        assert graph.node("outcomes").inputs == ("plans", "input-master")
+        assert graph.node("report").inputs == ("outcomes",)
+
+    def test_topological_order(self):
+        graph = build_graph()
+        position = {name: i for i, name in enumerate(graph.order)}
+        for node in graph.nodes():
+            assert all(
+                position[parent] < position[node.name]
+                for parent in node.inputs
+            )
+
+    def test_digests_are_deterministic(self):
+        a, b = build_graph(), build_graph()
+        for name in a.order:
+            assert a.node(name).digest == b.node(name).digest
+
+
+class TestSyncAndRecord:
+    def test_empty_store_is_all_miss_with_sourceless_frontier(self, tmp_path):
+        graph = build_graph()
+        sync = graph.sync(DerivationStore.for_cache_dir(str(tmp_path)))
+        assert sync.misses == 10 and sync.hits == 0 and sync.stale == 0
+        assert not sync.clean
+        assert len(sync.dirty) == 10
+        # The frontier on a cold store is every node without inputs.
+        assert set(sync.frontier) == {
+            "rule:Double/d", "rule:AddOne/a", "transform:Pipeline",
+            "input-master",
+        }
+
+    def test_record_then_resync_is_all_clean(self, tmp_path):
+        store = DerivationStore.for_cache_dir(str(tmp_path))
+        graph = build_graph()
+        graph.sync(store)
+        assert graph.record(store) == 10
+        fresh = build_graph()
+        sync = fresh.sync(store)
+        assert sync.clean
+        assert sync.hits == 10 and sync.misses == 0 and sync.stale == 0
+        assert fresh.dirty_transforms() == []
+
+    def test_one_edited_rule_dirties_exactly_its_dependents(self, tmp_path):
+        store = DerivationStore.for_cache_dir(str(tmp_path))
+        pristine = build_graph(factor=2.0)
+        pristine.sync(store)
+        pristine.record(store)
+
+        edited = build_graph(factor=3.0)
+        sync = edited.sync(store)
+        assert sync.frontier == ["rule:Double/d"]
+        assert set(sync.dirty) == {
+            "rule:Double/d", "transform:Double",
+            "compiled", "plans", "outcomes", "report",
+        }
+        # The stale root plus five digest-chained dependents.
+        assert sync.stale == 6 and sync.misses == 0 and sync.hits == 4
+        # Untouched derivations stay memoized.
+        for name in ("rule:AddOne/a", "transform:AddOne",
+                     "transform:Pipeline", "input-master"):
+            assert edited.node(name).clean is True
+        assert edited.dirty_transforms() == ["Double"]
+
+    def test_stale_payload_stays_readable(self, tmp_path):
+        # A dirty report node must still surface its stored payload —
+        # that is the warm-start donor.
+        store = DerivationStore.for_cache_dir(str(tmp_path))
+        pristine = build_graph(factor=2.0)
+        pristine.sync(store)
+        pristine.record(store)
+        pristine.attach(store, "report", {"report": {"evaluations": 5}})
+
+        edited = build_graph(factor=3.0)
+        edited.sync(store)
+        report_node = edited.node("report")
+        assert report_node.clean is False
+        assert report_node.stored is not None
+        assert report_node.stored["report"] == {"evaluations": 5}
+
+    def test_recording_the_edit_heals_the_graph(self, tmp_path):
+        store = DerivationStore.for_cache_dir(str(tmp_path))
+        pristine = build_graph(factor=2.0)
+        pristine.sync(store)
+        pristine.record(store)
+        edited = build_graph(factor=3.0)
+        edited.sync(store)
+        assert edited.record(store) == 6  # only the dirty nodes rewrite
+        again = build_graph(factor=3.0)
+        assert again.sync(store).clean
+
+    def test_lost_downstream_record_recomputes_without_a_stale_root(
+        self, tmp_path
+    ):
+        # Explicit propagation covers a quarantined/lost record too:
+        # the lost node itself is the frontier, everything below it
+        # recomputes, nothing above it does.
+        store = DerivationStore.for_cache_dir(str(tmp_path))
+        graph = build_graph()
+        graph.sync(store)
+        graph.record(store)
+        import os
+        os.remove(store._path_for(graph._location(graph.node("plans"))))
+        fresh = build_graph()
+        sync = fresh.sync(store)
+        assert sync.frontier == ["plans"]
+        assert set(sync.dirty) == {"plans", "outcomes", "report"}
+        assert sync.misses == 1 and sync.stale == 2
+
+
+class TestLocationPartitioning:
+    def test_machines_share_structure_nodes_only(self, tmp_path):
+        store = DerivationStore.for_cache_dir(str(tmp_path))
+        desktop = build_graph(machine=DESKTOP)
+        desktop.sync(store)
+        desktop.record(store)
+
+        laptop = build_graph(machine=LAPTOP)
+        sync = laptop.sync(store)
+        # Rules, transforms and the input master are machine-agnostic;
+        # compiled/plans/outcomes/report live at per-machine locations.
+        assert sync.hits == 6
+        assert sync.misses == 4
+        assert sync.frontier == ["compiled"]
+
+    def test_seeds_get_their_own_session_nodes(self, tmp_path):
+        store = DerivationStore.for_cache_dir(str(tmp_path))
+        compiled = compile_program(pipeline_program(), DESKTOP)
+        first = DerivationGraph.build(compiled, None, size=SIZE, seed=7)
+        first.sync(store)
+        first.record(store)
+        other = DerivationGraph.build(compiled, None, size=SIZE, seed=8)
+        sync = other.sync(store)
+        # input-master/outcomes/report are seed-scoped; everything
+        # structural plus compiled/plans is shared.
+        assert sync.hits == 7 and sync.misses == 3
+
+
+class TestRender:
+    def test_render_marks_status_and_provenance(self, tmp_path):
+        store = DerivationStore.for_cache_dir(str(tmp_path))
+        pristine = build_graph(factor=2.0)
+        pristine.sync(store)
+        pristine.record(store)
+        edited = build_graph(factor=3.0)
+        listing = edited.render()
+        assert "[?    ]" in listing  # before sync
+        edited.sync(store)
+        listing = edited.render()
+        assert "pipeline @ Desktop" in listing
+        assert "[DIRTY] rule         rule:Double/d" in listing
+        assert "[clean]" in listing
+        assert "<- outcomes" in listing

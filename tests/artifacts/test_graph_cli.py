@@ -1,0 +1,78 @@
+"""The ``graph`` CLI subcommand: render, sync counters, recording.
+
+Runs the entry point in-process (the CLI returns exit codes instead of
+calling ``sys.exit``), with the cache environment pointed at a private
+directory so clean/dirty status is fully under the test's control.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result_cache import CACHE_DIR_ENV
+from repro.experiments.__main__ import main
+
+APP = "Strassen"
+MACHINE = "Desktop"
+
+
+@pytest.fixture
+def private_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+class TestGraphSubcommand:
+    def test_cold_store_renders_all_dirty(self, private_cache, capsys):
+        assert main(["graph", APP, MACHINE]) == 0
+        out = capsys.readouterr().out
+        assert f"derivation graph: {APP} @ {MACHINE}" in out
+        assert "[DIRTY]" in out
+        assert "[clean]" not in out
+        assert "sync: hits=0" in out
+        assert "frontier=" in out
+
+    def test_record_then_rerun_is_all_clean(self, private_cache, capsys):
+        assert main(["graph", APP, MACHINE, "--record"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded:" in out
+        assert main(["graph", APP, MACHINE]) == 0
+        out = capsys.readouterr().out
+        assert "[DIRTY]" not in out
+        assert "misses=0 stale=0 dirty=0 frontier=0" in out
+
+    def test_disabled_store_says_so(self, monkeypatch, capsys):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.delenv("REPRO_TUNER_CACHE_DIR", raising=False)
+        assert main(["graph", APP, MACHINE]) == 0
+        assert "store: disabled" in capsys.readouterr().out
+
+    def test_usage_and_unknown_targets(self, private_cache, capsys):
+        assert main(["graph", APP]) == 2
+        assert "usage:" in capsys.readouterr().out
+        assert main(["graph", "NoSuchApp", MACHINE]) == 2
+        assert main(["graph", APP, "NoSuchMachine"]) == 2
+        assert main(["graph", APP, MACHINE, "--size=abc"]) == 2
+
+    def test_size_and_seed_flags_rekey_session_nodes(
+        self, private_cache, capsys
+    ):
+        assert main(["graph", APP, MACHINE, "--record"]) == 0
+        capsys.readouterr()
+        assert main(["graph", APP, MACHINE, "--seed=99"]) == 0
+        out = capsys.readouterr().out
+        # Structure and compile nodes stay memoized; the seed-scoped
+        # session nodes (input-master/outcomes/report) miss.
+        assert "misses=3" in out
+
+
+class TestRetuneFlag:
+    def test_retune_flag_lands_in_config_provenance(self, capsys):
+        assert main(["config", "--retune"]) == 0
+        out = capsys.readouterr().out
+        retune_line = next(
+            line for line in out.splitlines()
+            if line.strip().startswith("retune")
+        )
+        assert "True" in retune_line
+        assert "command-line flag" in retune_line

@@ -1,0 +1,133 @@
+"""Fingerprint sensitivity and stability for the derivation graph.
+
+The whole point of the fine-grained keys is surgical invalidation:
+editing one rule must change exactly that rule's fingerprint, the
+structural hashes must *exclude* rule bodies (so a body edit reaches
+the transform only through explicit digest chaining), and every key
+must be stable across repeated computation in one process.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.artifacts.keys import (
+    KEY_VERSION,
+    choice_fingerprint,
+    digest_of,
+    engine_key,
+    machine_key,
+    rule_fingerprint,
+    transform_fingerprint,
+)
+from repro.hardware.machines import DESKTOP, LAPTOP, SERVER
+from repro.lang import Choice, CostSpec, Pattern, Rule, Transform
+
+HEX16 = re.compile(r"^[0-9a-f]{16}$")
+
+
+def _rule(factor: float = 2.0, flops: float = 1.0, name: str = "scale") -> Rule:
+    def body(ctx):
+        src = ctx.input("In")
+        out = ctx.array("Out")
+        r0, r1 = ctx.rows
+        out[r0:r1] = factor * src[r0:r1]
+
+    return Rule(
+        name=name,
+        reads=("In",),
+        writes=("Out",),
+        body=body,
+        pattern=Pattern.DATA_PARALLEL,
+        cost=CostSpec(flops_per_item=flops),
+    )
+
+
+def _transform(rule: Rule, name: str = "Scale") -> Transform:
+    return Transform(
+        name=name,
+        inputs=("In",),
+        outputs=("Out",),
+        choices=(Choice(name=rule.name, rule=rule),),
+    )
+
+
+class TestRuleFingerprint:
+    def test_identical_rules_share_a_fingerprint(self):
+        # Two separately constructed but behaviourally identical rules
+        # must memoize to the same graph node across sessions.
+        assert rule_fingerprint(_rule()) == rule_fingerprint(_rule())
+
+    def test_stable_across_calls(self):
+        rule = _rule()
+        first = rule_fingerprint(rule)
+        assert first == rule_fingerprint(rule)
+        assert HEX16.match(first)
+
+    def test_body_constant_changes_the_fingerprint(self):
+        # `factor` lands in the closure consts, i.e. the body bytecode
+        # token — exactly the kind of one-line edit a re-tune is for.
+        assert rule_fingerprint(_rule(factor=2.0)) != rule_fingerprint(
+            _rule(factor=3.0)
+        )
+
+    def test_cost_model_changes_the_fingerprint(self):
+        assert rule_fingerprint(_rule(flops=1.0)) != rule_fingerprint(
+            _rule(flops=50.0)
+        )
+
+    def test_metadata_changes_the_fingerprint(self):
+        assert rule_fingerprint(_rule(name="scale")) != rule_fingerprint(
+            _rule(name="scale2")
+        )
+
+
+class TestStructuralFingerprints:
+    def test_transform_hash_excludes_rule_bodies(self):
+        # Same structure, different rule body: the transform's own
+        # structural hash must NOT move — the graph layer composes the
+        # rule digests explicitly, and smearing bodies into the shell
+        # would hide which choice site actually changed.
+        a = _transform(_rule(factor=2.0))
+        b = _transform(_rule(factor=9.0))
+        assert transform_fingerprint(a) == transform_fingerprint(b)
+        assert choice_fingerprint(a.choices[0]) == choice_fingerprint(
+            b.choices[0]
+        )
+
+    def test_transform_hash_sees_structure(self):
+        base = _transform(_rule())
+        renamed = _transform(_rule(), name="Other")
+        assert transform_fingerprint(base) != transform_fingerprint(renamed)
+
+    def test_choice_hash_sees_the_choice_name(self):
+        rule = _rule()
+        assert choice_fingerprint(
+            Choice(name="a", rule=rule)
+        ) != choice_fingerprint(Choice(name="b", rule=rule))
+
+
+class TestMachineAndEngineKeys:
+    def test_machines_key_apart(self):
+        keys = {machine_key(m) for m in (DESKTOP, LAPTOP, SERVER)}
+        assert len(keys) == 3
+
+    def test_machine_key_stable(self):
+        assert machine_key(DESKTOP) == machine_key(DESKTOP)
+
+    def test_engine_key_is_memoized_and_well_formed(self):
+        first = engine_key()
+        assert HEX16.match(first)
+        assert engine_key() == first
+
+
+class TestDigestOf:
+    def test_insertion_order_is_irrelevant(self):
+        assert digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})
+
+    def test_any_field_matters(self):
+        base = {"version": KEY_VERSION, "rule": "abc"}
+        assert digest_of(base) != digest_of(dict(base, rule="abd"))
+        assert digest_of(base) != digest_of(
+            dict(base, version=KEY_VERSION + 1)
+        )

@@ -1,0 +1,105 @@
+"""The ``retune`` service verb and the scan/quarantine metrics.
+
+One real daemon, private cache directory: the first ``retune`` is a
+cold tune that also records the tenant's derivation graph; the second
+must be served clean out of the memoized graph, byte-identical, and
+the fresh report must be visible on the hot ``lookup`` path without
+any extra tuning.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import TunerConfig
+from repro.core.report import report_to_payload
+from repro.errors import ServiceRejected
+from repro.experiments.runner import clear_sessions
+from repro.service import ServiceClient, ServiceHandle
+
+APP = "Strassen"
+MACHINE = "Desktop"
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache():
+    clear_sessions()
+    yield
+    clear_sessions()
+
+
+def _daemon(**overrides) -> ServiceHandle:
+    config = TunerConfig.from_env(
+        backend="serial",
+        progress=False,
+        service_address="127.0.0.1:0",
+        **overrides,
+    )
+    return ServiceHandle.start_in_thread(config)
+
+
+def _bytes(report) -> str:
+    payload = report_to_payload(report)
+    payload.pop("computed_evaluations", None)  # cache-warmth gauge
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestRetuneVerb:
+    def test_retune_cold_then_memoized_then_indexed(self, tmp_path):
+        with _daemon(cache_dir=str(tmp_path)) as daemon:
+            with ServiceClient(daemon.address, name="inc") as client:
+                first, provenance = client.retune(APP, MACHINE, timeout=300)
+                assert not provenance["clean"]
+                assert not provenance["warm_started"]  # nothing prior
+                assert first.best.program_name == APP
+
+                second, provenance = client.retune(APP, MACHINE, timeout=300)
+                assert provenance["clean"]
+                assert provenance["affected"] == []
+                assert _bytes(second) == _bytes(first)
+
+                # The re-tuned report is folded into the daemon's hot
+                # read path, not just handed back.
+                hit, indexed = client.lookup(APP, MACHINE)
+                assert hit
+                assert _bytes(indexed) == _bytes(first)
+
+    def test_retune_rejects_unknown_targets(self, tmp_path):
+        with _daemon(cache_dir=str(tmp_path)) as daemon:
+            with ServiceClient(daemon.address, name="inc") as client:
+                with pytest.raises(ServiceRejected):
+                    client.retune("NoSuchApp", MACHINE)
+            with ServiceClient(daemon.address, name="inc2") as client:
+                with pytest.raises(ServiceRejected):
+                    client.retune(APP, "NoSuchMachine")
+
+
+class TestScanAndQuarantineMetrics:
+    def test_metrics_expose_boot_scan_and_quarantine_counts(self, tmp_path):
+        with _daemon(cache_dir=str(tmp_path)) as daemon:
+            with ServiceClient(daemon.address, name="ops") as client:
+                metrics = client.metrics()
+        scans = metrics["checkpoint_scans"]
+        # The boot index load scans the shared store.
+        assert "base" in scans
+        for counter in (
+            "scanned", "yielded", "unreadable", "malformed",
+            "not_complete", "wrong_version", "stale_model",
+        ):
+            assert counter in scans["base"]
+        pens = metrics["quarantine"]
+        assert pens["base"] == {"cache": 0, "checkpoints": 0, "graph": 0}
+
+    def test_quarantine_counts_see_planted_corpses(self, tmp_path):
+        import os
+
+        pen = tmp_path / "graph" / "quarantine"
+        pen.mkdir(parents=True)
+        (pen / "deadbeef.json").write_text("{ torn")
+        with _daemon(cache_dir=str(tmp_path)) as daemon:
+            with ServiceClient(daemon.address, name="ops") as client:
+                metrics = client.metrics()
+        assert metrics["quarantine"]["base"]["graph"] == 1
+        assert metrics["quarantine"]["base"]["cache"] == 0
